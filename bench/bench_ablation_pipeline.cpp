@@ -1,0 +1,55 @@
+// Ablation for a design decision this reproduction adds on top of the paper
+// (DESIGN.md §4, "Bounded pipeline depth"): the candidate retriever admits at
+// most `pipeline_depth` tasks into the CMQ/CPQ at once. Too shallow starves
+// the computing threads; too deep drains the task store, defeating both the
+// LSH ordering (nothing left to sort) and task stealing (nothing left to
+// steal). The sweep runs GM on the friendster-like graph across depths and
+// reports time, pulls and cache hit rate.
+#include <string>
+
+#include "apps/gm.h"
+#include "bench/bench_common.h"
+#include "core/cluster.h"
+
+namespace gminer {
+namespace {
+
+void RunPoint(benchmark::State& state, size_t depth) {
+  const Graph& g = BenchLabeledDataset("friendster");
+  for (auto _ : state) {
+    JobConfig config = BenchConfig(4, 2);
+    config.pipeline_depth = depth;
+    config.rcv_cache_capacity = 1024;
+    GraphMatchJob job(Fig1Pattern());
+    Cluster cluster(config);
+    const JobResult r = cluster.Run(g, job);
+    ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                      r.peak_memory_bytes, r.totals.net_bytes_sent);
+    state.counters["pulls"] = static_cast<double>(r.totals.pull_responses);
+    state.counters["cache_hit_pct"] = 100.0 * r.totals.CacheHitRate();
+    state.counters["matches"] =
+        static_cast<double>(GraphMatchJob::MatchCount(r.final_aggregate));
+  }
+}
+
+void RegisterCells() {
+  for (const size_t depth : {2, 8, 32, 128, 1024}) {
+    const std::string name =
+        "Ablation/PipelineDepth/GM-friendster/depth:" + std::to_string(depth);
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [depth](benchmark::State& s) { RunPoint(s, depth); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace gminer
+
+int main(int argc, char** argv) {
+  gminer::RegisterCells();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Shared helpers for the benchmark harness. Each bench binary regenerates
+// one table or figure of the paper's evaluation (§8) on the scaled-down
+// dataset stand-ins. Absolute numbers differ from the paper (simulated
+// cluster, ~1000x smaller graphs); the *shape* — which system wins, by
+// roughly what factor, who fails with OOM/timeout — is what each harness
+// reports. EXPERIMENTS.md records paper-vs-measured for every row.
+#ifndef GMINER_BENCH_BENCH_COMMON_H_
+#define GMINER_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "core/job_result.h"
+#include "graph/generators.h"
+
+namespace gminer {
+
+// Lazily-built dataset cache so repeated benchmark registrations share one
+// graph instance.
+inline const Graph& BenchDataset(const std::string& name, double scale = 1.0) {
+  static std::map<std::string, std::unique_ptr<Graph>> cache;
+  const std::string key = name + "@" + std::to_string(scale);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<Graph>(MakeDataset(name, scale, 42))).first;
+  }
+  return *it->second;
+}
+
+// Labeled variant for the GM experiments (uniform labels a..g, as in §8.2).
+inline const Graph& BenchLabeledDataset(const std::string& name, double scale = 1.0) {
+  static std::map<std::string, std::unique_ptr<Graph>> cache;
+  const std::string key = name + "@" + std::to_string(scale);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Rng rng(43);
+    it = cache
+             .emplace(key, std::make_unique<Graph>(
+                               WithUniformLabels(MakeDataset(name, scale, 42), 7, rng)))
+             .first;
+  }
+  return *it->second;
+}
+
+// Attributed variant for the CD / GC experiments (footnote 7's 5-dimension
+// uniform attributes for the non-attributed graphs).
+inline const Graph& BenchAttributedDataset(const std::string& name, double scale = 1.0) {
+  static std::map<std::string, std::unique_ptr<Graph>> cache;
+  const std::string key = name + "@" + std::to_string(scale);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const Graph& base = BenchDataset(name, scale);
+    Rng rng(44);
+    std::unique_ptr<Graph> g;
+    if (base.has_attributes()) {
+      g = std::make_unique<Graph>(base);
+    } else {
+      g = std::make_unique<Graph>(WithPlantedAttributeGroups(base, 16, 5, 10, 0.8, rng));
+    }
+    it = cache.emplace(key, std::move(g)).first;
+  }
+  return *it->second;
+}
+
+// Default cluster shape for the benches: the paper's 15-node cluster scaled
+// to an in-process deployment.
+inline JobConfig BenchConfig(int workers = 4, int threads = 2) {
+  JobConfig config;
+  config.num_workers = workers;
+  config.threads_per_worker = threads;
+  config.rcv_cache_capacity = 1 << 14;
+  config.task_block_capacity = 2048;
+  config.task_buffer_batch = 128;
+  // Simulated Gigabit-class interconnect: transfers take wall time in every
+  // engine, so overlapping communication with computation (the task
+  // pipeline's purpose) is visible in elapsed time.
+  config.net_latency_us = 50;
+  config.net_bandwidth_gbps = 1.0;
+  config.seed = 42;
+  return config;
+}
+
+// Attaches the standard result counters to a benchmark row.
+inline void ReportJobCounters(benchmark::State& state, JobStatus status, double elapsed,
+                              double cpu_util, int64_t peak_mem, int64_t net_bytes) {
+  state.counters["time_s"] = elapsed;
+  state.counters["cpu_util_pct"] = 100.0 * cpu_util;
+  state.counters["mem_MB"] = static_cast<double>(peak_mem) / 1e6;
+  state.counters["net_MB"] = static_cast<double>(net_bytes) / 1e6;
+  if (status == JobStatus::kOutOfMemory) {
+    state.SetLabel("OOM(x)");
+  } else if (status == JobStatus::kTimeout) {
+    state.SetLabel("TIMEOUT(-)");
+  }
+}
+
+}  // namespace gminer
+
+#endif  // GMINER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,75 @@
+// Figure 10 (§8.3): scalability of the comparator systems, as a reference
+// against Figs. 8/9 — TC on Skitter and Orkut with the node count swept.
+// Paper shape: without a load-balancing design there is no guarantee the
+// curves improve with more nodes (Giraph on Orkut famously degrades).
+#include <string>
+
+#include "baselines/batch_engine.h"
+#include "baselines/bsp_engine.h"
+#include "baselines/embed_engine.h"
+#include "bench/bench_common.h"
+
+#include "apps/tc.h"
+
+namespace gminer {
+namespace {
+
+constexpr double kTimeBudget = 30.0;
+
+void RunPoint(benchmark::State& state, const std::string& system, const std::string& dataset,
+              int workers) {
+  const Graph& g = BenchDataset(dataset);
+  JobConfig config = BenchConfig(workers, 2);
+  config.time_budget_seconds = kTimeBudget;
+  for (auto _ : state) {
+    if (system == "ArabesqueModel") {
+      auto app = MakeEmbedTriangleCount();
+      const EmbedResult r = RunEmbed(g, *app, config);
+      ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                        r.peak_memory_bytes, 0);
+    } else if (system == "GiraphModel") {
+      auto app = MakeBspTriangleCount();
+      const BspResult r = RunBsp(g, *app, config);
+      ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                        r.peak_memory_bytes, r.net_bytes);
+    } else {
+      TriangleCountJob job;
+      const JobResult r = RunBatch(g, job, config);
+      ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                        r.peak_memory_bytes, r.totals.net_bytes_sent);
+    }
+  }
+}
+
+void RegisterCells() {
+  const char* systems[] = {"ArabesqueModel", "GiraphModel", "GthinkerModel"};
+  const char* datasets[] = {"skitter", "orkut"};
+  const int worker_points[] = {5, 10, 15, 20};
+  for (const char* dataset : datasets) {
+    for (const char* system : systems) {
+      for (const int workers : worker_points) {
+        const std::string name = std::string("Fig10/TC-") + dataset + "/" + system +
+                                 "/workers:" + std::to_string(workers);
+        benchmark::RegisterBenchmark(name.c_str(),
+                                     [system = std::string(system),
+                                      dataset = std::string(dataset),
+                                      workers](benchmark::State& s) {
+                                       RunPoint(s, system, dataset, workers);
+                                     })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gminer
+
+int main(int argc, char** argv) {
+  gminer::RegisterCells();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 11 (§8.4): BDG partitioning vs hash partitioning, running MCF on
+// the Orkut-like and Friendster-like graphs. Reported per bar group:
+// partitioning time, job time, peak memory, and network traffic. Paper
+// shape: BDG costs more to compute but repays it with less vertex pulling
+// (network), less cache pressure (memory) and a faster job.
+#include <string>
+
+#include "apps/mcf.h"
+#include "bench/bench_common.h"
+#include "core/cluster.h"
+#include "partition/partitioner.h"
+
+#include "partition/bdg_partitioner.h"
+#include "partition/hash_partitioner.h"
+
+namespace gminer {
+namespace {
+
+void RunCell(benchmark::State& state, PartitionStrategy strategy, const std::string& dataset) {
+  const Graph& g = BenchDataset(dataset);
+  for (auto _ : state) {
+    JobConfig config = BenchConfig(8, 2);
+    config.partition = strategy;
+    MaxCliqueJob job;
+    Cluster cluster(config);
+    const JobResult r = cluster.Run(g, job);
+    ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                      r.peak_memory_bytes, r.totals.net_bytes_sent);
+    state.counters["partition_s"] = r.partition_seconds;
+    state.counters["pulls"] = static_cast<double>(r.totals.pull_responses);
+
+    // Partition-quality context for the row (edge cut drives the pulls).
+    std::unique_ptr<Partitioner> partitioner;
+    if (strategy == PartitionStrategy::kBdg) {
+      partitioner = std::make_unique<BdgPartitioner>(config.bdg_num_sources,
+                                                     config.bdg_bfs_depth,
+                                                     config.bdg_max_rounds, config.seed);
+    } else {
+      partitioner = std::make_unique<HashPartitioner>();
+    }
+    const auto owner = partitioner->Partition(g, config.num_workers);
+    state.counters["locality_pct"] =
+        100.0 * EvaluatePartition(g, owner, config.num_workers).locality;
+  }
+}
+
+void RegisterCells() {
+  const char* datasets[] = {"orkut", "friendster"};
+  for (const char* dataset : datasets) {
+    for (const bool bdg : {false, true}) {
+      const std::string name = std::string("Fig11/MCF-") + dataset + "/" +
+                               (bdg ? "BDG-Partition" : "Hash-Partition");
+      benchmark::RegisterBenchmark(
+          name.c_str(), [bdg, dataset = std::string(dataset)](benchmark::State& s) {
+            RunCell(s, bdg ? PartitionStrategy::kBdg : PartitionStrategy::kHash, dataset);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gminer
+
+int main(int argc, char** argv) {
+  gminer::RegisterCells();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 13 (§8.4): impact of task stealing — the paper's four cells
+// (GM / MCF × Orkut-like / Friendster-like) with stealing enabled and
+// disabled. BDG partitioning concentrates the heavy regions of power-law
+// graphs, which is exactly the skew dynamic load balancing exists for.
+// Reported: time and the number of migrated tasks.
+#include <string>
+
+#include "apps/gm.h"
+#include "apps/mcf.h"
+#include "bench/bench_common.h"
+#include "core/cluster.h"
+
+namespace gminer {
+namespace {
+
+JobConfig StealConfig(bool enable_stealing) {
+  JobConfig config = BenchConfig(8, 2);
+  config.partition = PartitionStrategy::kBdg;
+  config.enable_stealing = enable_stealing;
+  config.steal_batch = 16;
+  config.pipeline_depth = 32;  // queued tasks stay in the (stealable) store
+  config.progress_interval_ms = 2;
+  return config;
+}
+
+void RunCell(benchmark::State& state, const std::string& app, const std::string& dataset,
+             bool stealing) {
+  for (auto _ : state) {
+    JobResult r;
+    if (app == "MCF") {
+      MaxCliqueJob job;
+      r = Cluster(StealConfig(stealing)).Run(BenchDataset(dataset), job);
+    } else {
+      GraphMatchJob job(Fig1Pattern());
+      r = Cluster(StealConfig(stealing)).Run(BenchLabeledDataset(dataset), job);
+    }
+    ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                      r.peak_memory_bytes, r.totals.net_bytes_sent);
+    state.counters["migrated"] = static_cast<double>(r.totals.tasks_stolen_in);
+  }
+}
+
+void RegisterCells() {
+  const char* apps[] = {"GM", "MCF"};
+  const char* datasets[] = {"orkut", "friendster"};
+  for (const char* app : apps) {
+    for (const char* dataset : datasets) {
+      for (const bool stealing : {true, false}) {
+        const std::string name = std::string("Fig13/") + app + "-" + dataset + "/" +
+                                 (stealing ? "En-Stealing" : "Dis-Stealing");
+        benchmark::RegisterBenchmark(name.c_str(),
+                                     [app = std::string(app), dataset = std::string(dataset),
+                                      stealing](benchmark::State& s) {
+                                       RunCell(s, app, dataset, stealing);
+                                     })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gminer
+
+int main(int argc, char** argv) {
+  gminer::RegisterCells();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

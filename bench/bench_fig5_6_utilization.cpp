@@ -1,0 +1,77 @@
+// Figures 5 and 6 (§8.2): CPU / network / disk utilization timelines of the
+// batch-synchronous engine (Fig. 5, G-thinker) versus the G-Miner task
+// pipeline (Fig. 6), running GM on the Friendster-like graph. Network
+// transmission is simulated (shared 1 Gbit-class link) so communication takes
+// wall time: the batch engine's compute stalls during its communication
+// phases, while the pipeline overlaps them. Each series is printed as
+// "FIG5 ..." / "FIG6 ..." lines after the corresponding benchmark.
+#include <cstdio>
+#include <vector>
+
+#include "apps/gm.h"
+#include "baselines/batch_engine.h"
+#include "bench/bench_common.h"
+#include "core/cluster.h"
+
+namespace gminer {
+namespace {
+
+JobConfig UtilizationConfig() {
+  JobConfig config = BenchConfig(8, 2);
+  config.sample_utilization = true;
+  config.sample_interval_ms = 25;
+  config.net_latency_us = 50;          // enables transmission-time simulation
+  config.net_bandwidth_gbps = 0.5;     // scaled-down shared fabric
+  config.time_budget_seconds = 120.0;
+  return config;
+}
+
+void PrintSeries(const char* tag, const std::vector<UtilizationSample>& samples) {
+  for (const auto& s : samples) {
+    std::printf("%s t=%.3f cpu=%.1f net=%.1f disk=%.1f\n", tag, s.t_seconds, s.cpu_pct,
+                s.net_pct, s.disk_pct);
+  }
+}
+
+double AvgCpu(const std::vector<UtilizationSample>& samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& s : samples) {
+    total += s.cpu_pct;
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+void BM_Fig5_GthinkerUtilization(benchmark::State& state) {
+  const Graph& g = BenchLabeledDataset("friendster");
+  for (auto _ : state) {
+    GraphMatchJob job(Fig1Pattern());
+    const JobResult r = RunBatch(g, job, UtilizationConfig());
+    ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                      r.peak_memory_bytes, r.totals.net_bytes_sent);
+    state.counters["avg_cpu_series"] = AvgCpu(r.utilization);
+    PrintSeries("FIG5", r.utilization);
+  }
+}
+BENCHMARK(BM_Fig5_GthinkerUtilization)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_Fig6_GMinerUtilization(benchmark::State& state) {
+  const Graph& g = BenchLabeledDataset("friendster");
+  for (auto _ : state) {
+    GraphMatchJob job(Fig1Pattern());
+    Cluster cluster(UtilizationConfig());
+    const JobResult r = cluster.Run(g, job);
+    ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                      r.peak_memory_bytes, r.totals.net_bytes_sent);
+    state.counters["avg_cpu_series"] = AvgCpu(r.utilization);
+    PrintSeries("FIG6", r.utilization);
+  }
+}
+BENCHMARK(BM_Fig6_GMinerUtilization)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gminer
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Figure 7 (§8.3): the COST metric of McSherry et al. — the core count at
+// which a single-node G-Miner deployment overtakes an optimized
+// single-threaded implementation — for TC and GM on Skitter and Orkut. The
+// harness sweeps computing threads on one worker and reports the speedup over
+// the serial baseline per point; the COST per workload is printed at the end.
+// NOTE: on a host with few physical cores the sweep oversubscribes and the
+// speedup curve flattens at the hardware limit (see EXPERIMENTS.md).
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "apps/gm.h"
+#include "apps/tc.h"
+#include "baselines/serial.h"
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "core/cluster.h"
+
+namespace gminer {
+namespace {
+
+std::map<std::string, double>& SerialBaselines() {
+  static std::map<std::string, double> baselines;
+  return baselines;
+}
+
+std::map<std::string, std::map<int, double>>& SweepTimes() {
+  static std::map<std::string, std::map<int, double>> times;
+  return times;
+}
+
+double SerialTime(const std::string& app, const std::string& dataset) {
+  const std::string key = app + "/" + dataset;
+  auto it = SerialBaselines().find(key);
+  if (it != SerialBaselines().end()) {
+    return it->second;
+  }
+  WallTimer timer;
+  if (app == "TC") {
+    benchmark::DoNotOptimize(SerialTriangleCount(BenchDataset(dataset)));
+  } else {
+    // Like-for-like baseline: the same per-seed exploration, one thread.
+    benchmark::DoNotOptimize(
+        SerialGraphMatchPerSeed(BenchLabeledDataset(dataset), Fig1Pattern()));
+  }
+  const double t = timer.ElapsedSeconds();
+  SerialBaselines()[key] = t;
+  return t;
+}
+
+void RunPoint(benchmark::State& state, const std::string& app, const std::string& dataset,
+              int cores) {
+  const double serial = SerialTime(app, dataset);
+  for (auto _ : state) {
+    JobConfig config = BenchConfig(/*workers=*/1, /*threads=*/cores);
+    JobResult r;
+    if (app == "TC") {
+      TriangleCountJob job;
+      r = Cluster(config).Run(BenchDataset(dataset), job);
+    } else {
+      GraphMatchJob job(Fig1Pattern());
+      r = Cluster(config).Run(BenchLabeledDataset(dataset), job);
+    }
+    ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                      r.peak_memory_bytes, r.totals.net_bytes_sent);
+    state.counters["serial_s"] = serial;
+    state.counters["speedup"] = serial / r.elapsed_seconds;
+    SweepTimes()[app + "/" + dataset][cores] = r.elapsed_seconds;
+  }
+}
+
+void RegisterCells() {
+  const char* apps[] = {"TC", "GM"};
+  const char* datasets[] = {"skitter", "orkut"};
+  const int core_points[] = {1, 2, 4, 8, 12, 24};
+  for (const char* app : apps) {
+    for (const char* dataset : datasets) {
+      for (const int cores : core_points) {
+        const std::string name = std::string("Fig7/COST/") + app + "/" + dataset + "/cores:" +
+                                 std::to_string(cores);
+        benchmark::RegisterBenchmark(name.c_str(),
+                                     [app = std::string(app), dataset = std::string(dataset),
+                                      cores](benchmark::State& s) {
+                                       RunPoint(s, app, dataset, cores);
+                                     })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+void PrintCost() {
+  std::printf("\n=== Fig. 7: COST (cores needed to beat the single-threaded baseline) ===\n");
+  for (const auto& [key, times] : SweepTimes()) {
+    const double serial = SerialBaselines()[key];
+    int cost = -1;
+    for (const auto& [cores, t] : times) {
+      if (t < serial) {
+        cost = cores;
+        break;
+      }
+    }
+    if (cost > 0) {
+      std::printf("COST %-12s serial=%.3fs cost=%d cores\n", key.c_str(), serial, cost);
+    } else {
+      std::printf("COST %-12s serial=%.3fs unbounded on this host (hw core limit)\n",
+                  key.c_str(), serial);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gminer
+
+int main(int argc, char** argv) {
+  gminer::RegisterCells();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  gminer::PrintCost();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 8 (§8.3): vertical scalability — MCF and GM on the Friendster-like
+// graph with the worker count fixed and the computing threads per worker
+// swept (the paper fixes 15 nodes and sweeps 1..24 cores per node). On a
+// host with fewer physical cores than the swept total the curve flattens at
+// the hardware limit; the harness still reports every point.
+#include <string>
+
+#include "apps/gm.h"
+#include "apps/mcf.h"
+#include "bench/bench_common.h"
+#include "core/cluster.h"
+
+namespace gminer {
+namespace {
+
+constexpr int kWorkers = 8;
+
+void RunPoint(benchmark::State& state, const std::string& app, int threads) {
+  for (auto _ : state) {
+    JobConfig config = BenchConfig(kWorkers, threads);
+    JobResult r;
+    if (app == "MCF") {
+      MaxCliqueJob job;
+      r = Cluster(config).Run(BenchDataset("friendster"), job);
+    } else {
+      GraphMatchJob job(Fig1Pattern());
+      r = Cluster(config).Run(BenchLabeledDataset("friendster"), job);
+    }
+    ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                      r.peak_memory_bytes, r.totals.net_bytes_sent);
+  }
+}
+
+void RegisterCells() {
+  const char* apps[] = {"MCF", "GM"};
+  const int thread_points[] = {1, 2, 4, 8};  // 8 workers × t = 8..64 logical cores
+  for (const char* app : apps) {
+    for (const int threads : thread_points) {
+      const std::string name = std::string("Fig8/Vertical/") + app + "-friendster/threads:" +
+                               std::to_string(threads);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [app = std::string(app), threads](benchmark::State& s) { RunPoint(s, app, threads); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gminer
+
+int main(int argc, char** argv) {
+  gminer::RegisterCells();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 9 (§8.3): horizontal scalability — MCF and GM on the
+// Friendster-like graph with threads-per-worker fixed and the worker (node)
+// count swept, as the paper does with 10 / 15 / 20 nodes.
+#include <string>
+
+#include "apps/gm.h"
+#include "apps/mcf.h"
+#include "bench/bench_common.h"
+#include "core/cluster.h"
+
+namespace gminer {
+namespace {
+
+void RunPoint(benchmark::State& state, const std::string& app, int workers) {
+  for (auto _ : state) {
+    JobConfig config = BenchConfig(workers, /*threads=*/2);
+    JobResult r;
+    if (app == "MCF") {
+      MaxCliqueJob job;
+      r = Cluster(config).Run(BenchDataset("friendster"), job);
+    } else {
+      GraphMatchJob job(Fig1Pattern());
+      r = Cluster(config).Run(BenchLabeledDataset("friendster"), job);
+    }
+    ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                      r.peak_memory_bytes, r.totals.net_bytes_sent);
+  }
+}
+
+void RegisterCells() {
+  const char* apps[] = {"MCF", "GM"};
+  const int worker_points[] = {5, 10, 15, 20};
+  for (const char* app : apps) {
+    for (const int workers : worker_points) {
+      const std::string name = std::string("Fig9/Horizontal/") + app +
+                               "-friendster/workers:" + std::to_string(workers);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [app = std::string(app), workers](benchmark::State& s) { RunPoint(s, app, workers); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gminer
+
+int main(int argc, char** argv) {
+  gminer::RegisterCells();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

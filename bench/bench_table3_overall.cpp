@@ -1,0 +1,125 @@
+// Table 3 (§8.2, "All systems"): TC and MCF elapsed time on the four
+// non-attributed graphs across the system models. Paper shape: the
+// Arabesque-model and Giraph-model engines only survive the small graphs for
+// TC and fail (OOM / >24h) on everything else; the subgraph-centric engines
+// (G-thinker model, G-Miner) complete every cell, with G-Miner ahead —
+// decisively so on the largest graph.
+#include <string>
+
+#include "apps/mcf.h"
+#include "apps/tc.h"
+#include "baselines/batch_engine.h"
+#include "baselines/bsp_engine.h"
+#include "baselines/embed_engine.h"
+#include "bench/bench_common.h"
+#include "core/cluster.h"
+
+namespace gminer {
+namespace {
+
+constexpr double kTimeBudget = 15.0;
+constexpr size_t kMemoryBudget = 48u << 20;
+
+JobConfig Table3Config() {
+  JobConfig config = BenchConfig(8, 2);
+  config.time_budget_seconds = kTimeBudget;
+  config.memory_budget_bytes = kMemoryBudget;
+  return config;
+}
+
+enum class App { kTc, kMcf };
+enum class System { kArabesque, kGiraph, kGthinker, kGMiner };
+
+void RunCell(benchmark::State& state, App app, System system, const std::string& dataset) {
+  const Graph& g = BenchDataset(dataset);
+  for (auto _ : state) {
+    switch (system) {
+      case System::kArabesque: {
+        auto embed_app = app == App::kTc ? MakeEmbedTriangleCount() : MakeEmbedMaxClique();
+        const EmbedResult r = RunEmbed(g, *embed_app, Table3Config());
+        ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                          r.peak_memory_bytes, 0);
+        state.counters["result"] = static_cast<double>(r.result);
+        break;
+      }
+      case System::kGiraph: {
+        auto bsp_app = app == App::kTc ? MakeBspTriangleCount() : MakeBspMaxClique();
+        const BspResult r = RunBsp(g, *bsp_app, Table3Config());
+        ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                          r.peak_memory_bytes, r.net_bytes);
+        state.counters["result"] = static_cast<double>(r.result);
+        break;
+      }
+      case System::kGthinker: {
+        JobResult r;
+        if (app == App::kTc) {
+          TriangleCountJob job;
+          r = RunBatch(g, job, Table3Config());
+          state.counters["result"] =
+              static_cast<double>(TriangleCountJob::Count(r.final_aggregate));
+        } else {
+          MaxCliqueJob job;
+          r = RunBatch(g, job, Table3Config());
+          state.counters["result"] =
+              static_cast<double>(MaxCliqueJob::MaxCliqueSize(r.final_aggregate));
+        }
+        ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                          r.peak_memory_bytes, r.totals.net_bytes_sent);
+        break;
+      }
+      case System::kGMiner: {
+        Cluster cluster(Table3Config());
+        JobResult r;
+        if (app == App::kTc) {
+          TriangleCountJob job;
+          r = cluster.Run(g, job);
+          state.counters["result"] =
+              static_cast<double>(TriangleCountJob::Count(r.final_aggregate));
+        } else {
+          MaxCliqueJob job;
+          r = cluster.Run(g, job);
+          state.counters["result"] =
+              static_cast<double>(MaxCliqueJob::MaxCliqueSize(r.final_aggregate));
+        }
+        ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                          r.peak_memory_bytes, r.totals.net_bytes_sent);
+        break;
+      }
+    }
+  }
+}
+
+void RegisterCells() {
+  const std::pair<App, const char*> apps[] = {{App::kTc, "TC"}, {App::kMcf, "MCF"}};
+  const std::pair<System, const char*> systems[] = {{System::kArabesque, "ArabesqueModel"},
+                                                    {System::kGiraph, "GiraphModel"},
+                                                    {System::kGthinker, "GthinkerModel"},
+                                                    {System::kGMiner, "GMiner"}};
+  const char* datasets[] = {"skitter", "orkut", "btc", "friendster"};
+  for (const auto& [app, app_name] : apps) {
+    for (const char* dataset : datasets) {
+      for (const auto& [system, system_name] : systems) {
+        const std::string name =
+            std::string("Table3/") + app_name + "/" + dataset + "/" + system_name;
+        benchmark::RegisterBenchmark(name.c_str(),
+                                     [app = app, system = system,
+                                      dataset = std::string(dataset)](benchmark::State& s) {
+                                       RunCell(s, app, system, dataset);
+                                     })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gminer
+
+int main(int argc, char** argv) {
+  gminer::RegisterCells();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Community detection example: mine attribute-coherent dense communities
+// from an attributed social graph (the Tencent-style workload of Table 5).
+//
+//   ./social_communities [n] [similarity_threshold]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/cd.h"
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "graph/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace gminer;
+  const VertexId n = argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 3000;
+  const double tau = argc > 2 ? std::atof(argv[2]) : 0.4;
+
+  // Attributed social graph: power-law topology + planted attribute groups
+  // (communities share interests).
+  Rng rng(99);
+  Graph graph = GenerateBarabasiAlbert(n, 10, rng);
+  graph = WithPlantedAttributeGroups(graph, /*num_groups=*/16, /*dims=*/8,
+                                     /*values_per_dim=*/12, /*fidelity=*/0.85, rng);
+  std::printf("graph: %u vertices, %lu edges, 8-dimensional attributes\n", graph.num_vertices(),
+              static_cast<unsigned long>(graph.num_edges()));
+
+  CdParams params;
+  params.min_similarity = tau;
+  params.min_size = 4;
+  params.emit_outputs = true;
+
+  JobConfig config;
+  config.num_workers = 4;
+  config.threads_per_worker = 2;
+  Cluster cluster(config);
+  CommunityJob job(params);
+  const JobResult result = cluster.Run(graph, job);
+
+  std::printf("status:      %s\n", JobStatusName(result.status));
+  std::printf("communities: %lu (size >= %u, attribute similarity >= %.2f)\n",
+              static_cast<unsigned long>(CommunityJob::CommunityCount(result.final_aggregate)),
+              params.min_size, params.min_similarity);
+  std::printf("elapsed:     %.3f s, peak memory %.2f MB\n", result.elapsed_seconds,
+              static_cast<double>(result.peak_memory_bytes) / 1e6);
+  int shown = 0;
+  for (const auto& line : result.outputs) {
+    if (shown++ >= 5) {
+      std::printf("  ... (%zu more)\n", result.outputs.size() - 5);
+      break;
+    }
+    std::printf("  %s\n", line.c_str());
+  }
+  return result.status == JobStatus::kOk ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Turn bench_output.txt into per-experiment CSV files (and, if matplotlib is
+available, PNG plots for the utilization timelines of Figs. 5-6).
+
+Usage:
+    python3 scripts/plot_results.py [bench_output.txt] [out_dir]
+
+The benchmark rows look like:
+    Table3/TC/orkut/GMiner/iterations:1   412 ms  14.7 ms  1  cpu_util_pct=25.3 ... time_s=0.406
+    FIG6 t=0.125 cpu=83.0 net=4.1 disk=0.0
+This script groups rows by experiment prefix (Table1, Table3, ..., Fig13,
+Ablation) and writes one CSV per experiment with the parsed counters.
+"""
+
+import csv
+import os
+import re
+import sys
+
+
+ROW_RE = re.compile(r"^((?:BM_)?(?:Table|Fig|Ablation|COST)\S*)\s")
+COUNTER_RE = re.compile(r"(\w+)=([-\d.eku]+)")
+SERIES_RE = re.compile(r"^(FIG\d)\s+t=([\d.]+)\s+cpu=([\d.]+)\s+net=([\d.]+)\s+disk=([\d.]+)")
+
+SUFFIX = {"k": 1e3, "m": 1e-3, "u": 1e-6}
+
+
+def parse_value(raw: str) -> float:
+    if raw and raw[-1] in SUFFIX:
+        return float(raw[:-1]) * SUFFIX[raw[-1]]
+    return float(raw)
+
+
+def experiment_of(name: str) -> str:
+    name = name.removeprefix("BM_")
+    return name.split("/")[0].split("_")[0]
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else "bench_csv"
+    os.makedirs(out_dir, exist_ok=True)
+
+    rows: dict[str, list[dict]] = {}
+    series: dict[str, list[tuple]] = {}
+    with open(path) as f:
+        for line in f:
+            m = SERIES_RE.match(line)
+            if m:
+                series.setdefault(m.group(1), []).append(tuple(map(float, m.groups()[1:])))
+                continue
+            m = ROW_RE.match(line)
+            if not m:
+                continue
+            name = m.group(1)
+            record = {"benchmark": name}
+            for key, raw in COUNTER_RE.findall(line):
+                try:
+                    record[key] = parse_value(raw)
+                except ValueError:
+                    pass
+            record["verdict"] = (
+                "OOM" if "OOM(x)" in line else "TIMEOUT" if "TIMEOUT(-)" in line else "ok"
+            )
+            rows.setdefault(experiment_of(name), []).append(record)
+
+    for experiment, records in rows.items():
+        keys = sorted({k for r in records for k in r} - {"benchmark", "verdict"})
+        out_path = os.path.join(out_dir, f"{experiment.lower()}.csv")
+        with open(out_path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["benchmark", "verdict", *keys])
+            for r in records:
+                writer.writerow([r["benchmark"], r["verdict"], *[r.get(k, "") for k in keys]])
+        print(f"wrote {out_path} ({len(records)} rows)")
+
+    for fig, samples in series.items():
+        out_path = os.path.join(out_dir, f"{fig.lower()}_series.csv")
+        with open(out_path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["t_seconds", "cpu_pct", "net_pct", "disk_pct"])
+            writer.writerows(samples)
+        print(f"wrote {out_path} ({len(samples)} samples)")
+
+    if series:
+        try:
+            import matplotlib  # type: ignore
+
+            matplotlib.use("Agg")
+            import matplotlib.pyplot as plt  # type: ignore
+
+            for fig_name, samples in series.items():
+                t, cpu, net, disk = zip(*samples)
+                plt.figure(figsize=(8, 3))
+                plt.plot(t, cpu, label="CPU")
+                plt.plot(t, net, label="Network")
+                plt.plot(t, disk, label="Disk")
+                plt.xlabel("time (s)")
+                plt.ylabel("utilization (%)")
+                plt.ylim(0, 105)
+                title = "G-thinker model" if fig_name == "FIG5" else "G-Miner"
+                plt.title(f"{fig_name}: {title}, GM on friendster-like")
+                plt.legend()
+                plt.tight_layout()
+                png = os.path.join(out_dir, f"{fig_name.lower()}.png")
+                plt.savefig(png, dpi=120)
+                print(f"wrote {png}")
+        except ImportError:
+            print("matplotlib not available; CSVs written, plots skipped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+// Reusable aggregators for the mining applications (§5.1): a global sum (TC
+// match counts, CD community counts) and a global max (the current maximum
+// clique size, used for cross-worker pruning in MCF).
+//
+// Thread model: compute threads call Add()/Offer() concurrently; the reporter
+// thread serializes the partial; the listener thread applies the broadcast
+// global. All state is therefore atomic.
+#ifndef GMINER_APPS_AGGREGATORS_H_
+#define GMINER_APPS_AGGREGATORS_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "core/job.h"
+
+namespace gminer {
+
+class SumAggregator : public AggregatorBase {
+ public:
+  // Compute-thread side.
+  void Add(uint64_t delta) { local_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t local() const { return local_.load(std::memory_order_relaxed); }
+
+  // Protocol.
+  void SerializePartial(OutArchive& out) const override {
+    out.Write<uint64_t>(local_.load(std::memory_order_relaxed));
+  }
+  void MergePartial(InArchive& in) override { fold_ += in.Read<uint64_t>(); }
+  void SerializeGlobal(OutArchive& out) const override { out.Write<uint64_t>(fold_); }
+  void ApplyGlobal(InArchive& in) override {
+    global_.store(in.Read<uint64_t>(), std::memory_order_relaxed);
+  }
+
+  static uint64_t DecodeFinal(const std::vector<uint8_t>& bytes) {
+    InArchive in(bytes.data(), bytes.size());
+    return in.Read<uint64_t>();
+  }
+
+ private:
+  std::atomic<uint64_t> local_{0};
+  std::atomic<uint64_t> global_{0};
+  uint64_t fold_ = 0;  // master-side only
+};
+
+class MaxAggregator : public AggregatorBase {
+ public:
+  // Compute-thread side: raises the local maximum.
+  void Offer(uint64_t value) {
+    uint64_t cur = local_.load(std::memory_order_relaxed);
+    while (value > cur && !local_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  // The pruning bound a task should use: the larger of what this worker found
+  // and what the master last broadcast.
+  uint64_t best() const {
+    return std::max(local_.load(std::memory_order_relaxed),
+                    global_.load(std::memory_order_relaxed));
+  }
+
+  void SerializePartial(OutArchive& out) const override {
+    out.Write<uint64_t>(local_.load(std::memory_order_relaxed));
+  }
+  void MergePartial(InArchive& in) override { fold_ = std::max(fold_, in.Read<uint64_t>()); }
+  void SerializeGlobal(OutArchive& out) const override { out.Write<uint64_t>(fold_); }
+  void ApplyGlobal(InArchive& in) override {
+    const uint64_t value = in.Read<uint64_t>();
+    uint64_t cur = global_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !global_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  static uint64_t DecodeFinal(const std::vector<uint8_t>& bytes) {
+    InArchive in(bytes.data(), bytes.size());
+    return in.Read<uint64_t>();
+  }
+
+ private:
+  std::atomic<uint64_t> local_{0};
+  std::atomic<uint64_t> global_{0};
+  uint64_t fold_ = 0;  // master-side only
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_APPS_AGGREGATORS_H_

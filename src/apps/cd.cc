@@ -1,0 +1,178 @@
+#include "apps/cd.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "apps/similarity.h"
+#include "common/logging.h"
+
+namespace gminer {
+
+void CommunityTask::BronKerbosch(const std::vector<std::vector<uint32_t>>& adj,
+                                 std::vector<uint32_t>& r, std::vector<uint32_t> p,
+                                 std::vector<uint32_t> x, uint64_t& found, UpdateContext& ctx,
+                                 std::string* sink) {
+  if (ctx.cancelled()) {
+    return;
+  }
+  if (p.empty() && x.empty()) {
+    // r ∪ {seed} is a maximal clique in the filtered neighborhood.
+    if (r.size() + 1 >= params->min_size) {
+      ++found;
+      if (sink != nullptr) {
+        sink->append(" |");
+        sink->append(std::to_string(r.size() + 1));
+      }
+    }
+    return;
+  }
+  // Pivot: the vertex of p ∪ x with the most neighbors in p.
+  uint32_t pivot = 0;
+  size_t best = 0;
+  bool have_pivot = false;
+  for (const auto* set : {&p, &x}) {
+    for (const uint32_t u : *set) {
+      size_t cnt = 0;
+      for (const uint32_t w : p) {
+        if (std::binary_search(adj[u].begin(), adj[u].end(), w)) {
+          ++cnt;
+        }
+      }
+      if (!have_pivot || cnt > best) {
+        best = cnt;
+        pivot = u;
+        have_pivot = true;
+      }
+    }
+  }
+  std::vector<uint32_t> branch;
+  for (const uint32_t u : p) {
+    if (!std::binary_search(adj[pivot].begin(), adj[pivot].end(), u)) {
+      branch.push_back(u);
+    }
+  }
+  for (const uint32_t v : branch) {
+    std::vector<uint32_t> p_next;
+    std::vector<uint32_t> x_next;
+    for (const uint32_t u : p) {
+      if (std::binary_search(adj[v].begin(), adj[v].end(), u)) {
+        p_next.push_back(u);
+      }
+    }
+    for (const uint32_t u : x) {
+      if (std::binary_search(adj[v].begin(), adj[v].end(), u)) {
+        x_next.push_back(u);
+      }
+    }
+    r.push_back(v);
+    BronKerbosch(adj, r, std::move(p_next), std::move(x_next), found, ctx, sink);
+    r.pop_back();
+    p.erase(std::find(p.begin(), p.end(), v));
+    x.push_back(v);
+  }
+}
+
+void CommunityTask::Update(UpdateContext& ctx) {
+  GM_CHECK(params != nullptr);
+  auto* agg = static_cast<SumAggregator*>(ctx.aggregator());
+
+  // Attribute filter on the pulled candidates (the paper's filtering
+  // condition on newly added vertex candidates).
+  std::vector<VertexId> filtered;
+  filtered.reserve(candidates().size());
+  for (const VertexId u : candidates()) {
+    const VertexRecord* record = ctx.GetVertex(u);
+    GM_CHECK(record != nullptr) << "candidate " << u << " unavailable";
+    if (AttrSimilarity(record->attrs, seed_attrs) >= params->min_similarity) {
+      filtered.push_back(u);
+    }
+  }
+  if (filtered.size() + 1 < params->min_size) {
+    MarkDead();
+    return;
+  }
+
+  // Candidate-induced adjacency (the seed connects to every candidate by
+  // construction and stays implicit).
+  std::unordered_map<VertexId, uint32_t> index;
+  index.reserve(filtered.size());
+  for (uint32_t i = 0; i < filtered.size(); ++i) {
+    index.emplace(filtered[i], i);
+  }
+  std::vector<std::vector<uint32_t>> adj(filtered.size());
+  for (uint32_t i = 0; i < filtered.size(); ++i) {
+    const VertexRecord* record = ctx.GetVertex(filtered[i]);
+    for (const VertexId u : record->adj) {
+      auto it = index.find(u);
+      if (it != index.end()) {
+        adj[i].push_back(it->second);
+      }
+    }
+    std::sort(adj[i].begin(), adj[i].end());
+  }
+  std::vector<uint32_t> p(filtered.size());
+  for (uint32_t i = 0; i < p.size(); ++i) {
+    p[i] = i;
+  }
+  uint64_t found = 0;
+  std::vector<uint32_t> r;
+  std::string line;
+  std::string* sink = nullptr;
+  if (params->emit_outputs) {
+    line = "community seed=" + std::to_string(seed);
+    sink = &line;
+  }
+  BronKerbosch(adj, r, std::move(p), {}, found, ctx, sink);
+  agg->Add(found);
+  if (params->emit_outputs && found > 0) {
+    ctx.Output(line);
+  }
+  MarkDead();
+}
+
+void CommunityTask::SerializeBody(OutArchive& out) const {
+  out.Write(seed);
+  out.WriteVector(seed_attrs);
+}
+
+void CommunityTask::DeserializeBody(InArchive& in) {
+  seed = in.Read<VertexId>();
+  seed_attrs = in.ReadVector<AttrValue>();
+}
+
+void CommunityJob::GenerateSeeds(const VertexTable& table, SeedSink& sink) {
+  for (const auto& [v, record] : table.records()) {
+    if (record.adj.size() < params_.min_degree) {
+      continue;
+    }
+    std::vector<VertexId> cand;
+    for (const VertexId u : record.adj) {
+      if (u > v) {
+        cand.push_back(u);
+      }
+    }
+    if (cand.size() + 1 < params_.min_size) {
+      continue;
+    }
+    auto task = std::make_unique<CommunityTask>();
+    task->seed = v;
+    task->seed_attrs = record.attrs;
+    task->params = &params_;
+    task->subgraph().AddVertex(v);
+    task->set_candidates(std::move(cand));
+    sink.Emit(std::move(task));
+  }
+}
+
+std::unique_ptr<TaskBase> CommunityJob::MakeTask() const {
+  auto task = std::make_unique<CommunityTask>();
+  task->params = &params_;
+  return task;
+}
+
+std::unique_ptr<AggregatorBase> CommunityJob::MakeAggregator() const {
+  return std::make_unique<SumAggregator>();
+}
+
+}  // namespace gminer

@@ -1,0 +1,61 @@
+// Community Detection (CD, §8.1): heavy attributed workload. Following the
+// paper's description ([33]-style dense-subgraph mining with an attribute
+// filter on newly added candidates), a community rooted at seed s is a
+// maximal clique of size ≥ min_size inside the attribute-filtered
+// neighborhood  {s} ∪ {u ∈ Γ(s) : u > s, sim(a(u), a(s)) ≥ min_similarity},
+// enumerated with Bron–Kerbosch (pivoting). Restricting candidates to ids
+// larger than the seed deduplicates communities across tasks.
+#ifndef GMINER_APPS_CD_H_
+#define GMINER_APPS_CD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/aggregators.h"
+#include "core/job.h"
+
+namespace gminer {
+
+struct CdParams {
+  double min_similarity = 0.4;  // attribute filter τ on new candidates
+  uint32_t min_size = 3;        // smallest community reported
+  uint32_t min_degree = 2;      // seeds must have at least this degree
+  bool emit_outputs = false;    // Output() one line per community
+};
+
+class CommunityTask : public TaskBase {
+ public:
+  void Update(UpdateContext& ctx) override;
+  void SerializeBody(OutArchive& out) const override;
+  void DeserializeBody(InArchive& in) override;
+
+  VertexId seed = kInvalidVertex;
+  std::vector<AttrValue> seed_attrs;
+  const CdParams* params = nullptr;  // injected by the job
+
+ private:
+  void BronKerbosch(const std::vector<std::vector<uint32_t>>& adj, std::vector<uint32_t>& r,
+                    std::vector<uint32_t> p, std::vector<uint32_t> x, uint64_t& found,
+                    UpdateContext& ctx, std::string* sink);
+};
+
+class CommunityJob : public JobBase {
+ public:
+  explicit CommunityJob(CdParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "cd"; }
+  void GenerateSeeds(const VertexTable& table, SeedSink& sink) override;
+  std::unique_ptr<TaskBase> MakeTask() const override;
+  std::unique_ptr<AggregatorBase> MakeAggregator() const override;
+
+  static uint64_t CommunityCount(const std::vector<uint8_t>& final_aggregate) {
+    return SumAggregator::DecodeFinal(final_aggregate);
+  }
+
+ private:
+  CdParams params_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_APPS_CD_H_

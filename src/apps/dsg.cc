@@ -1,0 +1,148 @@
+#include "apps/dsg.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "graph/graph.h"
+
+namespace gminer {
+
+namespace {
+
+// Charikar peeling over an adjacency given as index lists. Returns the best
+// density (edges / vertices, fixed-point) over all peel prefixes. Determinism:
+// ties on minimum degree break toward the smallest index.
+uint64_t PeelDensity(std::vector<std::vector<uint32_t>> adj) {
+  const size_t n = adj.size();
+  if (n == 0) {
+    return 0;
+  }
+  std::vector<uint32_t> degree(n);
+  std::vector<bool> removed(n, false);
+  uint64_t edges = 0;
+  for (size_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(adj[v].size());
+    edges += adj[v].size();
+  }
+  edges /= 2;
+  size_t alive = n;
+  uint64_t best = 0;
+  while (alive > 0) {
+    best = std::max(best, edges * kDensityFixedPoint / alive);
+    // Find the minimum-degree live vertex (smallest index wins ties).
+    size_t victim = n;
+    for (size_t v = 0; v < n; ++v) {
+      if (!removed[v] && (victim == n || degree[v] < degree[victim])) {
+        victim = v;
+      }
+    }
+    removed[victim] = true;
+    --alive;
+    edges -= degree[victim];
+    for (const uint32_t u : adj[victim]) {
+      if (!removed[u]) {
+        --degree[u];
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void DensestSubgraphTask::Update(UpdateContext& ctx) {
+  GM_CHECK(params != nullptr);
+  auto& agg = *static_cast<MaxAggregator*>(ctx.aggregator());
+  const auto& cand = candidates();
+  // Indices: 0 = the seed, 1..k = candidates. The seed is adjacent to every
+  // candidate by construction.
+  std::unordered_map<VertexId, uint32_t> index;
+  index.reserve(cand.size());
+  for (uint32_t i = 0; i < cand.size(); ++i) {
+    index.emplace(cand[i], i + 1);
+  }
+  std::vector<std::vector<uint32_t>> adj(cand.size() + 1);
+  for (uint32_t i = 0; i < cand.size(); ++i) {
+    adj[0].push_back(i + 1);
+    adj[i + 1].push_back(0);
+    const VertexRecord* record = ctx.GetVertex(cand[i]);
+    GM_CHECK(record != nullptr) << "candidate " << cand[i] << " unavailable";
+    for (const VertexId u : record->adj) {
+      auto it = index.find(u);
+      if (it != index.end()) {
+        adj[i + 1].push_back(it->second);
+      }
+    }
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+  agg.Offer(PeelDensity(std::move(adj)));
+  MarkDead();
+}
+
+void DensestSubgraphJob::GenerateSeeds(const VertexTable& table, SeedSink& sink) {
+  for (const auto& [v, record] : table.records()) {
+    std::vector<VertexId> cand;
+    for (const VertexId u : record.adj) {
+      if (u > v) {
+        cand.push_back(u);
+      }
+    }
+    if (cand.size() < params_.min_degree) {
+      continue;
+    }
+    auto task = std::make_unique<DensestSubgraphTask>();
+    task->context() = v;
+    task->params = &params_;
+    task->subgraph().AddVertex(v);
+    task->set_candidates(std::move(cand));
+    sink.Emit(std::move(task));
+  }
+}
+
+std::unique_ptr<TaskBase> DensestSubgraphJob::MakeTask() const {
+  auto task = std::make_unique<DensestSubgraphTask>();
+  task->params = &params_;
+  return task;
+}
+
+std::unique_ptr<AggregatorBase> DensestSubgraphJob::MakeAggregator() const {
+  return std::make_unique<MaxAggregator>();
+}
+
+double SerialDensestNeighborhood(const Graph& g, const DsgParams& params) {
+  uint64_t best = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto adj_v = g.neighbors(v);
+    std::vector<VertexId> cand(std::upper_bound(adj_v.begin(), adj_v.end(), v), adj_v.end());
+    if (cand.size() < params.min_degree) {
+      continue;
+    }
+    std::unordered_map<VertexId, uint32_t> index;
+    for (uint32_t i = 0; i < cand.size(); ++i) {
+      index.emplace(cand[i], i + 1);
+    }
+    std::vector<std::vector<uint32_t>> adj(cand.size() + 1);
+    for (uint32_t i = 0; i < cand.size(); ++i) {
+      adj[0].push_back(i + 1);
+      adj[i + 1].push_back(0);
+      for (const VertexId u : g.neighbors(cand[i])) {
+        auto it = index.find(u);
+        if (it != index.end()) {
+          adj[i + 1].push_back(it->second);
+        }
+      }
+    }
+    for (auto& a : adj) {
+      std::sort(a.begin(), a.end());
+      a.erase(std::unique(a.begin(), a.end()), a.end());
+    }
+    best = std::max(best, PeelDensity(std::move(adj)));
+  }
+  return static_cast<double>(best) / static_cast<double>(kDensityFixedPoint);
+}
+
+}  // namespace gminer

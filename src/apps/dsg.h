@@ -1,0 +1,56 @@
+// Densest-neighborhood subgraph finding — the "subgraph finding" category of
+// the general mining schema (§4.1, category 3, citing the densest-k-subgraph
+// problem [10]). Each task peels its seed's closed higher-neighborhood with
+// Charikar's greedy (repeatedly remove the minimum-degree vertex, remember
+// the densest intermediate subgraph); the global aggregator keeps the best
+// density found anywhere. This demonstrates the schema's "shrink" operation,
+// complementing the grow-style apps.
+#ifndef GMINER_APPS_DSG_H_
+#define GMINER_APPS_DSG_H_
+
+#include <cstdint>
+
+#include "apps/aggregators.h"
+#include "core/job.h"
+
+namespace gminer {
+
+struct DsgParams {
+  uint32_t min_degree = 3;  // seed filter: smaller neighborhoods are skipped
+};
+
+// Density is reported in fixed point: edges-per-vertex × 1000, so it folds
+// through the integer MaxAggregator.
+inline constexpr uint64_t kDensityFixedPoint = 1000;
+
+class DensestSubgraphTask : public Task<VertexId> {
+ public:
+  void Update(UpdateContext& ctx) override;
+  const DsgParams* params = nullptr;  // injected by the job
+};
+
+class DensestSubgraphJob : public JobBase {
+ public:
+  explicit DensestSubgraphJob(DsgParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "dsg"; }
+  void GenerateSeeds(const VertexTable& table, SeedSink& sink) override;
+  std::unique_ptr<TaskBase> MakeTask() const override;
+  std::unique_ptr<AggregatorBase> MakeAggregator() const override;
+
+  // Best density found, in units of edges-per-vertex.
+  static double BestDensity(const std::vector<uint8_t>& final_aggregate) {
+    return static_cast<double>(MaxAggregator::DecodeFinal(final_aggregate)) /
+           static_cast<double>(kDensityFixedPoint);
+  }
+
+ private:
+  DsgParams params_;
+};
+
+// Serial oracle with identical semantics (same seeds, same peeling).
+double SerialDensestNeighborhood(const class Graph& g, const DsgParams& params);
+
+}  // namespace gminer
+
+#endif  // GMINER_APPS_DSG_H_

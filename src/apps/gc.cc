@@ -1,0 +1,234 @@
+#include "apps/gc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "apps/similarity.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace gminer {
+
+double FocusedClusterTask::ScoreAgainstCluster(const VertexRecord& candidate) const {
+  // Attachment score: semantic closeness (average weighted attribute
+  // similarity over the members the candidate touches) damped by structural
+  // closeness (the square root of the fraction of members it touches).
+  // Non-adjacent members contribute nothing, so a candidate must be both
+  // similar and well-connected to clear the threshold.
+  double total = 0.0;
+  size_t adjacent = 0;
+  for (const Member& m : members) {
+    if (std::binary_search(candidate.adj.begin(), candidate.adj.end(), m.id)) {
+      total += WeightedAttrSimilarity(candidate.attrs, m.attrs, params->weights);
+      ++adjacent;
+    }
+  }
+  if (adjacent == 0) {
+    return 0.0;
+  }
+  const double semantic = total / static_cast<double>(adjacent);
+  const double structural =
+      static_cast<double>(adjacent) / static_cast<double>(members.size());
+  return semantic * std::sqrt(structural);
+}
+
+std::vector<VertexId> FocusedClusterTask::ComputeBoundary() const {
+  std::set<VertexId> member_ids;
+  for (const Member& m : members) {
+    member_ids.insert(m.id);
+  }
+  std::set<VertexId> banned_ids(banned.begin(), banned.end());
+  std::set<VertexId> boundary;
+  for (const Member& m : members) {
+    for (const VertexId u : m.adj) {
+      if (member_ids.count(u) == 0 && banned_ids.count(u) == 0) {
+        boundary.insert(u);
+      }
+    }
+  }
+  return {boundary.begin(), boundary.end()};
+}
+
+void FocusedClusterTask::Finish(UpdateContext& ctx) {
+  auto* agg = static_cast<SumAggregator*>(ctx.aggregator());
+  if (members.size() >= params->min_cluster) {
+    agg->Add(1);
+    if (params->emit_outputs) {
+      std::string line = "cluster seed=" + std::to_string(seed) + " size=" +
+                         std::to_string(members.size()) + " members=";
+      for (const Member& m : members) {
+        line += std::to_string(m.id);
+        line += ',';
+      }
+      ctx.Output(line);
+    }
+  }
+  MarkDead();
+}
+
+void FocusedClusterTask::Update(UpdateContext& ctx) {
+  GM_CHECK(params != nullptr);
+  if (round() >= params->max_rounds) {
+    Finish(ctx);
+    return;
+  }
+  bool changed = false;
+
+  // Expand: evaluate the boundary candidates pulled for this round,
+  // best-scoring first, respecting the growth cap.
+  std::vector<std::pair<double, VertexId>> scored;
+  for (const VertexId u : candidates()) {
+    const VertexRecord* record = ctx.GetVertex(u);
+    GM_CHECK(record != nullptr) << "candidate " << u << " unavailable";
+    const double score = ScoreAgainstCluster(*record);
+    if (score >= params->accept_threshold) {
+      scored.emplace_back(score, u);
+    }
+  }
+  std::sort(scored.begin(), scored.end(), std::greater<>());
+  for (const auto& [score, u] : scored) {
+    if (members.size() >= params->max_cluster) {
+      break;
+    }
+    const VertexRecord* record = ctx.GetVertex(u);
+    Member m;
+    m.id = u;
+    m.attrs = record->attrs;
+    m.adj = record->adj;
+    members.push_back(std::move(m));
+    subgraph().AddVertex(u);
+    changed = true;
+  }
+
+  // Shrink (the dynamic update): evict members whose average weighted
+  // similarity to the rest of the cluster fell below the shrink threshold.
+  if (members.size() > 1) {
+    std::vector<Member> kept;
+    kept.reserve(members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (members[i].id == seed) {
+        kept.push_back(std::move(members[i]));
+        continue;
+      }
+      double total = 0.0;
+      for (size_t j = 0; j < members.size(); ++j) {
+        if (j != i) {
+          total += WeightedAttrSimilarity(members[i].attrs, members[j].attrs, params->weights);
+        }
+      }
+      const double avg = total / static_cast<double>(members.size() - 1);
+      if (avg < params->shrink_threshold) {
+        banned.push_back(members[i].id);
+        changed = true;
+      } else {
+        kept.push_back(std::move(members[i]));
+      }
+    }
+    members = std::move(kept);
+  }
+
+  if (!changed && round() > 0) {
+    Finish(ctx);  // converged: a full round without any add or evict
+    return;
+  }
+  std::vector<VertexId> boundary = ComputeBoundary();
+  if (boundary.empty() || members.size() >= params->max_cluster) {
+    Finish(ctx);
+    return;
+  }
+  set_candidates(std::move(boundary));
+}
+
+void FocusedClusterTask::SerializeBody(OutArchive& out) const {
+  out.Write(seed);
+  out.Write<uint64_t>(members.size());
+  for (const Member& m : members) {
+    out.Write(m.id);
+    out.WriteVector(m.attrs);
+    out.WriteVector(m.adj);
+  }
+  out.WriteVector(banned);
+}
+
+void FocusedClusterTask::DeserializeBody(InArchive& in) {
+  seed = in.Read<VertexId>();
+  const uint64_t n = in.Read<uint64_t>();
+  members.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    members[i].id = in.Read<VertexId>();
+    members[i].attrs = in.ReadVector<AttrValue>();
+    members[i].adj = in.ReadVector<VertexId>();
+  }
+  banned = in.ReadVector<VertexId>();
+}
+
+void FocusedClusteringJob::GenerateSeeds(const VertexTable& table, SeedSink& sink) {
+  for (const VertexId v : params_.exemplars) {
+    const VertexRecord* record = table.Find(v);
+    if (record == nullptr) {
+      continue;  // another worker owns this exemplar
+    }
+    auto task = std::make_unique<FocusedClusterTask>();
+    task->seed = v;
+    task->params = &params_;
+    FocusedClusterTask::Member m;
+    m.id = v;
+    m.attrs = record->attrs;
+    m.adj = record->adj;
+    task->members.push_back(std::move(m));
+    task->subgraph().AddVertex(v);
+    std::vector<VertexId> boundary = task->ComputeBoundary();
+    if (boundary.empty()) {
+      continue;
+    }
+    task->set_candidates(std::move(boundary));
+    sink.Emit(std::move(task));
+  }
+}
+
+std::unique_ptr<TaskBase> FocusedClusteringJob::MakeTask() const {
+  auto task = std::make_unique<FocusedClusterTask>();
+  task->params = &params_;
+  return task;
+}
+
+std::unique_ptr<AggregatorBase> FocusedClusteringJob::MakeAggregator() const {
+  return std::make_unique<SumAggregator>();
+}
+
+GcParams MakeGcParams(const Graph& g, int num_exemplars, uint64_t seed) {
+  GM_CHECK(g.has_attributes()) << "graph clustering requires an attributed graph";
+  GcParams params;
+  Rng rng(seed);
+  // Pick a random anchor user, then gather exemplars among users with highly
+  // similar attribute lists (the same interest group), scanning from a random
+  // offset — robust to arbitrary vertex-id assignment.
+  VertexId anchor = rng.NextUint32(g.num_vertices());
+  for (int attempts = 0; g.degree(anchor) < 2 && attempts < 1000; ++attempts) {
+    anchor = rng.NextUint32(g.num_vertices());
+  }
+  const auto anchor_attrs = g.attributes(anchor);
+  std::set<VertexId> chosen{anchor};
+  const VertexId offset = rng.NextUint32(g.num_vertices());
+  for (VertexId i = 0; i < g.num_vertices() && static_cast<int>(chosen.size()) < num_exemplars;
+       ++i) {
+    const VertexId v = (offset + i) % g.num_vertices();
+    if (g.degree(v) >= 2 && AttrSimilarity(g.attributes(v), anchor_attrs) >= 0.6) {
+      chosen.insert(v);
+    }
+  }
+  params.exemplars.assign(chosen.begin(), chosen.end());
+  std::vector<std::vector<AttrValue>> exemplar_attrs;
+  size_t dims = 0;
+  for (const VertexId v : params.exemplars) {
+    const auto attrs = g.attributes(v);
+    exemplar_attrs.emplace_back(attrs.begin(), attrs.end());
+    dims = std::max(dims, attrs.size());
+  }
+  params.weights = InferAttributeWeights(exemplar_attrs, dims);
+  return params;
+}
+
+}  // namespace gminer

@@ -1,0 +1,83 @@
+// Graph Clustering (GC, §8.1): FocusCO-style focused clustering. Attribute
+// weights are inferred from user-supplied exemplar vertices; each exemplar
+// seeds a task that grows a focused cluster by repeated expand/shrink rounds
+// until convergence — the paper's "expensive subgraph dynamic update until
+// convergence". Each round pulls the current boundary, admits candidates
+// whose weighted attribute similarity to the cluster clears the accept
+// threshold, evicts members that fell below the shrink threshold, and stops
+// when a round changes nothing (or the round / size caps hit).
+#ifndef GMINER_APPS_GC_H_
+#define GMINER_APPS_GC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/aggregators.h"
+#include "core/job.h"
+#include "graph/graph.h"
+
+namespace gminer {
+
+struct GcParams {
+  std::vector<VertexId> exemplars;
+  std::vector<double> weights;      // normalized attribute weights
+  double accept_threshold = 0.3;    // min attachment score to join
+  double shrink_threshold = 0.12;   // members below this get evicted
+  uint32_t min_cluster = 3;         // smallest cluster reported
+  uint32_t max_cluster = 64;        // growth cap
+  int max_rounds = 16;              // convergence cap
+  bool emit_outputs = true;         // Output() one line per cluster
+};
+
+class FocusedClusterTask : public TaskBase {
+ public:
+  void Update(UpdateContext& ctx) override;
+  void SerializeBody(OutArchive& out) const override;
+  void DeserializeBody(InArchive& in) override;
+
+  struct Member {
+    VertexId id = kInvalidVertex;
+    std::vector<AttrValue> attrs;
+    std::vector<VertexId> adj;
+  };
+
+  VertexId seed = kInvalidVertex;
+  std::vector<Member> members;
+  std::vector<VertexId> banned;  // evicted members never rejoin (convergence)
+  const GcParams* params = nullptr;  // injected by the job
+
+  // Neighbors of the cluster that are neither members nor banned.
+  std::vector<VertexId> ComputeBoundary() const;
+
+ private:
+  void Finish(UpdateContext& ctx);
+  double ScoreAgainstCluster(const VertexRecord& candidate) const;
+};
+
+class FocusedClusteringJob : public JobBase {
+ public:
+  explicit FocusedClusteringJob(GcParams params) : params_(std::move(params)) {}
+
+  std::string name() const override { return "gc"; }
+  void GenerateSeeds(const VertexTable& table, SeedSink& sink) override;
+  std::unique_ptr<TaskBase> MakeTask() const override;
+  std::unique_ptr<AggregatorBase> MakeAggregator() const override;
+
+  static uint64_t ClusterCount(const std::vector<uint8_t>& final_aggregate) {
+    return SumAggregator::DecodeFinal(final_aggregate);
+  }
+
+  const GcParams& params() const { return params_; }
+
+ private:
+  GcParams params_;
+};
+
+// Convenience: samples `num_exemplars` vertices from one planted attribute
+// group of g, infers attribute weights from them, and returns a ready job
+// parameter block.
+GcParams MakeGcParams(const Graph& g, int num_exemplars, uint64_t seed);
+
+}  // namespace gminer
+
+#endif  // GMINER_APPS_GC_H_

@@ -1,0 +1,227 @@
+#include "apps/gm.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace gminer {
+
+TreePattern TreePattern::Build(const std::vector<std::pair<Label, int>>& spec) {
+  TreePattern p;
+  GM_CHECK(!spec.empty() && spec[0].second == -1) << "node 0 must be the root";
+  p.nodes.resize(spec.size());
+  p.parent.resize(spec.size());
+  p.depth.assign(spec.size(), 0);
+  for (size_t i = 0; i < spec.size(); ++i) {
+    p.nodes[i].label = spec[i].first;
+    p.parent[i] = spec[i].second;
+    if (spec[i].second >= 0) {
+      GM_CHECK(spec[i].second < static_cast<int>(i)) << "children must follow parents";
+      p.nodes[static_cast<size_t>(spec[i].second)].children.push_back(static_cast<int>(i));
+      p.depth[i] = p.depth[static_cast<size_t>(spec[i].second)] + 1;
+    }
+  }
+  const int max_depth = *std::max_element(p.depth.begin(), p.depth.end());
+  p.levels.resize(static_cast<size_t>(max_depth) + 1);
+  for (size_t i = 0; i < spec.size(); ++i) {
+    p.levels[static_cast<size_t>(p.depth[i])].push_back(static_cast<int>(i));
+  }
+  return p;
+}
+
+TreePattern Fig1Pattern() {
+  // a(0) -> b(1), c(2); c -> d(3), e(4). Labels a..g = 0..6.
+  return TreePattern::Build({{0, -1}, {1, 0}, {2, 0}, {3, 2}, {4, 2}});
+}
+
+void GraphMatchTask::Update(UpdateContext& ctx) {
+  GM_CHECK(pattern != nullptr);
+  auto* agg = static_cast<SumAggregator*>(ctx.aggregator());
+
+  // 1. Filter the frontier by label: every frontier vertex was a candidate of
+  //    this round, so its record (including its label) is available.
+  std::vector<FrontierEntry> matched;
+  matched.reserve(frontier_.size());
+  for (const FrontierEntry& entry : frontier_) {
+    const VertexRecord* record = ctx.GetVertex(entry.vertex);
+    GM_CHECK(record != nullptr) << "frontier vertex " << entry.vertex << " unavailable";
+    if (record->label == pattern->nodes[static_cast<size_t>(entry.pattern_node)].label) {
+      matched.push_back(entry);
+    }
+  }
+  if (matched.empty()) {
+    MarkDead();
+    return;
+  }
+  for (const FrontierEntry& entry : matched) {
+    if (entry.parent != kInvalidVertex) {
+      match_edges_.push_back({entry.pattern_node, entry.parent, entry.vertex});
+      subgraph().AddEdge(entry.parent, entry.vertex);
+    } else {
+      subgraph().AddVertex(entry.vertex);
+    }
+  }
+
+  // 2. Expand each distinct (pattern node, vertex) pair once into the next
+  //    level's frontier.
+  std::set<std::pair<int32_t, VertexId>> expanded;
+  std::vector<FrontierEntry> next;
+  for (const FrontierEntry& entry : matched) {
+    if (!expanded.emplace(entry.pattern_node, entry.vertex).second) {
+      continue;
+    }
+    const auto& children = pattern->nodes[static_cast<size_t>(entry.pattern_node)].children;
+    if (children.empty()) {
+      continue;
+    }
+    const VertexRecord* record = ctx.GetVertex(entry.vertex);
+    for (const int child : children) {
+      for (const VertexId u : record->adj) {
+        next.push_back({child, entry.vertex, u});
+      }
+    }
+  }
+
+  if (next.empty()) {
+    // Deepest level matched (or all matched nodes were leaves): count.
+    agg->Add(CountMatches());
+    MarkDead();
+    return;
+  }
+  std::vector<VertexId> cand;
+  cand.reserve(next.size());
+  for (const FrontierEntry& entry : next) {
+    cand.push_back(entry.vertex);
+  }
+  std::sort(cand.begin(), cand.end());
+  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+  frontier_ = std::move(next);
+  set_candidates(std::move(cand));
+}
+
+uint64_t GraphMatchTask::CountMatches() const {
+  // Bottom-up homomorphism count: cnt(pn, v) = Π_{c ∈ children(pn)}
+  // Σ_{(c, v→w) ∈ match_edges} cnt(c, w). Leaves count 1. The task's root
+  // match is the single vertex matched at pattern node 0.
+  GM_CHECK(pattern != nullptr);
+  // children_matches[(pn, parent_vertex)] per pattern child → matched ws.
+  std::map<std::pair<int32_t, VertexId>, std::vector<VertexId>> edges_by_parent;
+  std::set<std::pair<int32_t, VertexId>> matched_nodes;
+  VertexId root_vertex = kInvalidVertex;
+  for (const MatchEdge& e : match_edges_) {
+    edges_by_parent[{e.pattern_child, e.parent}].push_back(e.child);
+    matched_nodes.emplace(e.pattern_child, e.child);
+  }
+  if (!subgraph().vertices().empty()) {
+    root_vertex = subgraph().vertices().front();
+  }
+  if (root_vertex == kInvalidVertex) {
+    return 0;
+  }
+  std::map<std::pair<int32_t, VertexId>, uint64_t> memo;
+  // Iterative bottom-up over levels, deepest first.
+  const auto count_of = [&](int32_t pn, VertexId v) -> uint64_t {
+    auto it = memo.find({pn, v});
+    return it == memo.end() ? 0 : it->second;
+  };
+  for (int level = pattern->max_depth(); level >= 0; --level) {
+    for (const int pn : pattern->levels[static_cast<size_t>(level)]) {
+      const auto& children = pattern->nodes[static_cast<size_t>(pn)].children;
+      // Vertices matched at pn: from matched_nodes (or the root).
+      std::vector<VertexId> here;
+      if (pn == 0) {
+        here.push_back(root_vertex);
+      } else {
+        for (const auto& [node, v] : matched_nodes) {
+          if (node == pn) {
+            here.push_back(v);
+          }
+        }
+      }
+      for (const VertexId v : here) {
+        uint64_t product = 1;
+        for (const int child : children) {
+          uint64_t sum = 0;
+          auto it = edges_by_parent.find({child, v});
+          if (it != edges_by_parent.end()) {
+            // Deduplicate: the same (child, v, w) edge may have been recorded
+            // through several frontier paths.
+            std::vector<VertexId> ws = it->second;
+            std::sort(ws.begin(), ws.end());
+            ws.erase(std::unique(ws.begin(), ws.end()), ws.end());
+            for (const VertexId w : ws) {
+              sum += count_of(child, w);
+            }
+          }
+          product *= sum;
+          if (product == 0) {
+            break;
+          }
+        }
+        memo[{pn, v}] = product;
+      }
+    }
+  }
+  return count_of(0, root_vertex);
+}
+
+void GraphMatchTask::SerializeBody(OutArchive& out) const {
+  out.Write<uint64_t>(frontier_.size());
+  for (const FrontierEntry& e : frontier_) {
+    out.Write(e.pattern_node);
+    out.Write(e.parent);
+    out.Write(e.vertex);
+  }
+  out.Write<uint64_t>(match_edges_.size());
+  for (const MatchEdge& e : match_edges_) {
+    out.Write(e.pattern_child);
+    out.Write(e.parent);
+    out.Write(e.child);
+  }
+}
+
+void GraphMatchTask::DeserializeBody(InArchive& in) {
+  const uint64_t nf = in.Read<uint64_t>();
+  frontier_.resize(nf);
+  for (uint64_t i = 0; i < nf; ++i) {
+    frontier_[i].pattern_node = in.Read<int32_t>();
+    frontier_[i].parent = in.Read<VertexId>();
+    frontier_[i].vertex = in.Read<VertexId>();
+  }
+  const uint64_t ne = in.Read<uint64_t>();
+  match_edges_.resize(ne);
+  for (uint64_t i = 0; i < ne; ++i) {
+    match_edges_[i].pattern_child = in.Read<int32_t>();
+    match_edges_[i].parent = in.Read<VertexId>();
+    match_edges_[i].child = in.Read<VertexId>();
+  }
+}
+
+void GraphMatchJob::GenerateSeeds(const VertexTable& table, SeedSink& sink) {
+  const Label root_label = pattern_.nodes[0].label;
+  for (const auto& [v, record] : table.records()) {
+    if (record.label != root_label) {
+      continue;
+    }
+    auto task = std::make_unique<GraphMatchTask>();
+    task->pattern = &pattern_;
+    task->frontier().push_back({0, kInvalidVertex, v});
+    task->set_candidates({v});
+    sink.Emit(std::move(task));
+  }
+}
+
+std::unique_ptr<TaskBase> GraphMatchJob::MakeTask() const {
+  auto task = std::make_unique<GraphMatchTask>();
+  task->pattern = &pattern_;
+  return task;
+}
+
+std::unique_ptr<AggregatorBase> GraphMatchJob::MakeAggregator() const {
+  return std::make_unique<SumAggregator>();
+}
+
+}  // namespace gminer

@@ -1,0 +1,91 @@
+// Graph Matching (GM, §8.1): lists/counts occurrences of a labeled rooted
+// tree pattern in an attributed data graph, growing the match level by level
+// exactly as the paper's Fig. 1 / Listing 2 example — each update() round
+// matches one level of the pattern against the pulled candidate vertices,
+// grows subG with the matched vertices, and sets the candidates for the next
+// level. The reported count is the number of tree homomorphisms (each pattern
+// node mapped to a data vertex with matching label, pattern edges mapped to
+// data edges), computed by a bottom-up product once the deepest level matched.
+#ifndef GMINER_APPS_GM_H_
+#define GMINER_APPS_GM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/aggregators.h"
+#include "core/job.h"
+
+namespace gminer {
+
+// A rooted tree pattern. Node 0 is the root; children always have larger
+// indices, and nodes are grouped into BFS levels at construction.
+struct TreePattern {
+  struct Node {
+    Label label = 0;
+    std::vector<int> children;
+  };
+  std::vector<Node> nodes;
+  std::vector<std::vector<int>> levels;  // node indices per depth
+  std::vector<int> parent;               // parent index, -1 for the root
+  std::vector<int> depth;
+
+  // Builds from (label, parent) pairs; entry 0 must have parent -1.
+  static TreePattern Build(const std::vector<std::pair<Label, int>>& spec);
+
+  int max_depth() const { return static_cast<int>(levels.size()) - 1; }
+};
+
+// The pattern used in the paper's Fig. 1: root 'a' with children 'b' and 'c';
+// 'c' has children 'd' and 'e'. Labels are encoded a=0 .. g=6.
+TreePattern Fig1Pattern();
+
+class GraphMatchTask : public TaskBase {
+ public:
+  void Update(UpdateContext& ctx) override;
+  void SerializeBody(OutArchive& out) const override;
+  void DeserializeBody(InArchive& in) override;
+
+  struct FrontierEntry {
+    int32_t pattern_node = 0;
+    VertexId parent = kInvalidVertex;
+    VertexId vertex = kInvalidVertex;
+  };
+  struct MatchEdge {
+    int32_t pattern_child = 0;  // pattern node matched by `child`
+    VertexId parent = kInvalidVertex;
+    VertexId child = kInvalidVertex;
+  };
+
+  std::vector<FrontierEntry>& frontier() { return frontier_; }
+  const TreePattern* pattern = nullptr;  // injected by the job factory
+
+ private:
+  uint64_t CountMatches() const;
+
+  std::vector<FrontierEntry> frontier_;
+  std::vector<MatchEdge> match_edges_;
+};
+
+class GraphMatchJob : public JobBase {
+ public:
+  explicit GraphMatchJob(TreePattern pattern) : pattern_(std::move(pattern)) {}
+
+  std::string name() const override { return "gm"; }
+  void GenerateSeeds(const VertexTable& table, SeedSink& sink) override;
+  std::unique_ptr<TaskBase> MakeTask() const override;
+  std::unique_ptr<AggregatorBase> MakeAggregator() const override;
+
+  static uint64_t MatchCount(const std::vector<uint8_t>& final_aggregate) {
+    return SumAggregator::DecodeFinal(final_aggregate);
+  }
+
+  const TreePattern& pattern() const { return pattern_; }
+
+ private:
+  TreePattern pattern_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_APPS_GM_H_

@@ -1,0 +1,139 @@
+#include "apps/kclique.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "graph/graph.h"
+
+namespace gminer {
+
+uint64_t KCliqueTask::CountFrom(const std::vector<std::vector<uint32_t>>& adj,
+                                const std::vector<uint32_t>& cand, uint32_t depth_left,
+                                UpdateContext& ctx) {
+  if (depth_left == 0) {
+    return 1;
+  }
+  if (cand.size() < depth_left || ctx.cancelled()) {
+    return 0;
+  }
+  if (depth_left == 1) {
+    return cand.size();
+  }
+  uint64_t total = 0;
+  for (const uint32_t v : cand) {
+    // Only extend upward (indices above v) so each clique is counted once.
+    std::vector<uint32_t> next;
+    for (const uint32_t u : cand) {
+      if (u > v && std::binary_search(adj[v].begin(), adj[v].end(), u)) {
+        next.push_back(u);
+      }
+    }
+    total += CountFrom(adj, next, depth_left - 1, ctx);
+  }
+  return total;
+}
+
+void KCliqueTask::Update(UpdateContext& ctx) {
+  auto* agg = static_cast<SumAggregator*>(ctx.aggregator());
+  const auto& cand = candidates();
+  // Build the candidate-induced adjacency and count the (k-1)-cliques inside
+  // it; together with the seed each one forms a k-clique whose minimum-id
+  // member is the seed.
+  std::unordered_map<VertexId, uint32_t> index;
+  index.reserve(cand.size());
+  for (uint32_t i = 0; i < cand.size(); ++i) {
+    index.emplace(cand[i], i);
+  }
+  std::vector<std::vector<uint32_t>> adj(cand.size());
+  for (uint32_t i = 0; i < cand.size(); ++i) {
+    const VertexRecord* record = ctx.GetVertex(cand[i]);
+    GM_CHECK(record != nullptr) << "candidate " << cand[i] << " unavailable";
+    for (const VertexId u : record->adj) {
+      auto it = index.find(u);
+      if (it != index.end()) {
+        adj[i].push_back(it->second);
+      }
+    }
+    std::sort(adj[i].begin(), adj[i].end());
+  }
+  std::vector<uint32_t> all(cand.size());
+  for (uint32_t i = 0; i < all.size(); ++i) {
+    all[i] = i;
+  }
+  agg->Add(CountFrom(adj, all, k - 1, ctx));
+  MarkDead();
+}
+
+void KCliqueJob::GenerateSeeds(const VertexTable& table, SeedSink& sink) {
+  GM_CHECK(k_ >= 2);
+  for (const auto& [v, record] : table.records()) {
+    std::vector<VertexId> cand;
+    for (const VertexId u : record.adj) {
+      if (u > v) {
+        cand.push_back(u);
+      }
+    }
+    if (cand.size() + 1 < k_) {
+      continue;
+    }
+    auto task = std::make_unique<KCliqueTask>();
+    task->context() = v;
+    task->k = k_;
+    task->subgraph().AddVertex(v);
+    task->set_candidates(std::move(cand));
+    sink.Emit(std::move(task));
+  }
+}
+
+std::unique_ptr<TaskBase> KCliqueJob::MakeTask() const {
+  auto task = std::make_unique<KCliqueTask>();
+  task->k = k_;
+  return task;
+}
+
+std::unique_ptr<AggregatorBase> KCliqueJob::MakeAggregator() const {
+  return std::make_unique<SumAggregator>();
+}
+
+uint64_t SerialKCliqueCount(const Graph& g, uint32_t k) {
+  GM_CHECK(k >= 2);
+  // Recursive ordered extension over higher-id neighborhoods.
+  struct Counter {
+    const Graph& g;
+    uint64_t Count(const std::vector<VertexId>& cand, uint32_t depth_left) {
+      if (depth_left == 0) {
+        return 1;
+      }
+      if (cand.size() < depth_left) {
+        return 0;
+      }
+      if (depth_left == 1) {
+        return cand.size();
+      }
+      uint64_t total = 0;
+      for (const VertexId v : cand) {
+        const auto adj = g.neighbors(v);
+        std::vector<VertexId> next;
+        for (const VertexId u : cand) {
+          if (u > v && std::binary_search(adj.begin(), adj.end(), u)) {
+            next.push_back(u);
+          }
+        }
+        total += Count(next, depth_left - 1);
+      }
+      return total;
+    }
+  } counter{g};
+  uint64_t total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto adj = g.neighbors(v);
+    std::vector<VertexId> cand(std::upper_bound(adj.begin(), adj.end(), v), adj.end());
+    if (cand.size() + 1 >= k) {
+      total += counter.Count(cand, k - 1);
+    }
+  }
+  return total;
+}
+
+}  // namespace gminer

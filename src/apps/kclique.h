@@ -1,0 +1,52 @@
+// k-Clique counting — the subgraph/graphlet-enumeration category of the
+// paper's general mining schema (§4.1, category 1; cliques per Bron–Kerbosch
+// [6]). One task per vertex v: after one pull round the task owns the
+// adjacency among v's higher-id candidates and counts the (k-1)-cliques
+// inside them by ordered recursive intersection, so each k-clique is counted
+// exactly once at its minimum-id member.
+#ifndef GMINER_APPS_KCLIQUE_H_
+#define GMINER_APPS_KCLIQUE_H_
+
+#include <cstdint>
+
+#include "apps/aggregators.h"
+#include "core/job.h"
+
+namespace gminer {
+
+class KCliqueTask : public Task<uint32_t> {
+ public:
+  void Update(UpdateContext& ctx) override;
+  uint32_t k = 4;  // injected by the job (context() holds the seed vertex)
+
+ private:
+  uint64_t CountFrom(const std::vector<std::vector<uint32_t>>& adj,
+                     const std::vector<uint32_t>& cand, uint32_t depth_left,
+                     UpdateContext& ctx);
+};
+
+class KCliqueJob : public JobBase {
+ public:
+  explicit KCliqueJob(uint32_t k) : k_(k) {}
+
+  std::string name() const override { return "kclique"; }
+  void GenerateSeeds(const VertexTable& table, SeedSink& sink) override;
+  std::unique_ptr<TaskBase> MakeTask() const override;
+  std::unique_ptr<AggregatorBase> MakeAggregator() const override;
+
+  static uint64_t Count(const std::vector<uint8_t>& final_aggregate) {
+    return SumAggregator::DecodeFinal(final_aggregate);
+  }
+
+  uint32_t k() const { return k_; }
+
+ private:
+  uint32_t k_;
+};
+
+// Serial oracle with identical semantics.
+uint64_t SerialKCliqueCount(const class Graph& g, uint32_t k);
+
+}  // namespace gminer
+
+#endif  // GMINER_APPS_KCLIQUE_H_

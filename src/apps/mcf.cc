@@ -1,0 +1,145 @@
+#include "apps/mcf.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace gminer {
+
+uint32_t GreedyColorBound(const std::vector<std::vector<uint32_t>>& adj,
+                          const std::vector<uint32_t>& cand) {
+  // Sequential greedy coloring in the given order; vertices are indices into
+  // adj. Returns the color count (clique size upper bound).
+  std::unordered_map<uint32_t, uint32_t> color;
+  color.reserve(cand.size());
+  uint32_t num_colors = 0;
+  std::vector<bool> used;
+  for (const uint32_t v : cand) {
+    used.assign(num_colors + 1, false);
+    for (const uint32_t u : adj[v]) {
+      auto it = color.find(u);
+      if (it != color.end() && it->second <= num_colors) {
+        used[it->second] = true;
+      }
+    }
+    uint32_t c = 0;
+    while (c < used.size() && used[c]) {
+      ++c;
+    }
+    color[v] = c;
+    num_colors = std::max(num_colors, c + 1);
+  }
+  return num_colors;
+}
+
+void MaxCliqueTask::Search(const std::vector<std::vector<uint32_t>>& adj,
+                           std::vector<uint32_t>& cand, uint32_t r_size, MaxAggregator& agg,
+                           UpdateContext& ctx) {
+  if (++steps_since_cancel_check_ >= 1024) {
+    steps_since_cancel_check_ = 0;
+    if (ctx.cancelled()) {
+      return;
+    }
+  }
+  if (cand.empty()) {
+    agg.Offer(r_size);
+    return;
+  }
+  if (r_size + cand.size() <= agg.best()) {
+    return;  // even taking every candidate cannot beat the global best
+  }
+  if (r_size + GreedyColorBound(adj, cand) <= agg.best()) {
+    return;
+  }
+  // Branch on candidates in reverse order (highest degree last in the sorted
+  // construction below); the classic Tomita loop shrinks cand as it goes.
+  while (!cand.empty()) {
+    if (r_size + cand.size() <= agg.best()) {
+      return;
+    }
+    const uint32_t v = cand.back();
+    cand.pop_back();
+    // next = cand ∩ N(v)
+    std::vector<uint32_t> next;
+    next.reserve(std::min(cand.size(), adj[v].size()));
+    for (const uint32_t u : cand) {
+      if (std::binary_search(adj[v].begin(), adj[v].end(), u)) {
+        next.push_back(u);
+      }
+    }
+    if (r_size + 1 + next.size() > agg.best()) {
+      Search(adj, next, r_size + 1, agg, ctx);
+    } else if (r_size + 1 > agg.best()) {
+      agg.Offer(r_size + 1);
+    }
+  }
+}
+
+void MaxCliqueTask::Update(UpdateContext& ctx) {
+  auto& agg = *static_cast<MaxAggregator*>(ctx.aggregator());
+  const auto& cand = candidates();
+  // The clique containing the root alone.
+  agg.Offer(1 + 0);
+  if (1 + cand.size() <= agg.best()) {
+    MarkDead();
+    return;
+  }
+  // Build the candidate-induced adjacency: index candidates 0..k-1 and keep,
+  // per candidate, the sorted indices of its neighbors inside the set.
+  std::unordered_map<VertexId, uint32_t> index;
+  index.reserve(cand.size());
+  for (uint32_t i = 0; i < cand.size(); ++i) {
+    index.emplace(cand[i], i);
+  }
+  std::vector<std::vector<uint32_t>> adj(cand.size());
+  for (uint32_t i = 0; i < cand.size(); ++i) {
+    const VertexRecord* record = ctx.GetVertex(cand[i]);
+    GM_CHECK(record != nullptr) << "candidate " << cand[i] << " unavailable";
+    for (const VertexId u : record->adj) {
+      auto it = index.find(u);
+      if (it != index.end()) {
+        adj[i].push_back(it->second);
+      }
+    }
+    std::sort(adj[i].begin(), adj[i].end());
+  }
+  // Order candidates by ascending induced degree so the densest vertices are
+  // branched first (popped from the back).
+  std::vector<uint32_t> order(cand.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&adj](uint32_t a, uint32_t b) { return adj[a].size() < adj[b].size(); });
+  Search(adj, order, /*r_size=*/1, agg, ctx);
+  MarkDead();
+}
+
+void MaxCliqueJob::GenerateSeeds(const VertexTable& table, SeedSink& sink) {
+  for (const auto& [v, record] : table.records()) {
+    std::vector<VertexId> cand;
+    for (const VertexId u : record.adj) {
+      if (u > v) {
+        cand.push_back(u);
+      }
+    }
+    // Every vertex seeds a task: the max clique is found from the task of its
+    // minimum-id member; isolated vertices still contribute cliques of size 1.
+    auto task = std::make_unique<MaxCliqueTask>();
+    task->context() = v;
+    task->subgraph().AddVertex(v);
+    task->set_candidates(std::move(cand));
+    sink.Emit(std::move(task));
+  }
+}
+
+std::unique_ptr<TaskBase> MaxCliqueJob::MakeTask() const {
+  return std::make_unique<MaxCliqueTask>();
+}
+
+std::unique_ptr<AggregatorBase> MaxCliqueJob::MakeAggregator() const {
+  return std::make_unique<MaxAggregator>();
+}
+
+}  // namespace gminer

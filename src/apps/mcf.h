@@ -1,0 +1,52 @@
+// Maximum Clique Finding (MCF, §8.1): heavy non-attributed workload. One task
+// per vertex v over its higher-id neighborhood; after one pull round the task
+// owns the induced subgraph and runs a Tomita-style branch-and-bound search
+// (greedy coloring bound) to completion. The MaxAggregator shares the current
+// globally best clique size across workers — the parallel-pruning effect the
+// paper highlights as the source of superlinear speedup (§3).
+#ifndef GMINER_APPS_MCF_H_
+#define GMINER_APPS_MCF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/aggregators.h"
+#include "core/job.h"
+
+namespace gminer {
+
+class MaxCliqueTask : public Task<VertexId> {
+ public:
+  void Update(UpdateContext& ctx) override;
+
+ private:
+  // Branch and bound over the candidate-induced adjacency. `r_size` is the
+  // size of the clique grown so far (including the root).
+  void Search(const std::vector<std::vector<uint32_t>>& adj, std::vector<uint32_t>& cand,
+              uint32_t r_size, MaxAggregator& agg, UpdateContext& ctx);
+
+  int steps_since_cancel_check_ = 0;
+};
+
+class MaxCliqueJob : public JobBase {
+ public:
+  std::string name() const override { return "mcf"; }
+  void GenerateSeeds(const VertexTable& table, SeedSink& sink) override;
+  std::unique_ptr<TaskBase> MakeTask() const override;
+  std::unique_ptr<AggregatorBase> MakeAggregator() const override;
+
+  // Reads the maximum clique size out of a finished JobResult.
+  static uint64_t MaxCliqueSize(const std::vector<uint8_t>& final_aggregate) {
+    return MaxAggregator::DecodeFinal(final_aggregate);
+  }
+};
+
+// Greedy-coloring upper bound used by both the distributed task and the
+// serial baseline: colors `cand` (indices into adj) and returns the number of
+// colors, an upper bound on the largest clique inside cand.
+uint32_t GreedyColorBound(const std::vector<std::vector<uint32_t>>& adj,
+                          const std::vector<uint32_t>& cand);
+
+}  // namespace gminer
+
+#endif  // GMINER_APPS_MCF_H_

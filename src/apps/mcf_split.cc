@@ -1,0 +1,155 @@
+#include "apps/mcf_split.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "apps/mcf.h"
+#include "common/logging.h"
+
+namespace gminer {
+
+void SplittingCliqueTask::Update(UpdateContext& ctx) {
+  GM_CHECK(params != nullptr);
+  auto& agg = *static_cast<MaxAggregator*>(ctx.aggregator());
+  const auto& cand = candidates();
+  agg.Offer(clique_size);
+  if (clique_size + cand.size() <= agg.best()) {
+    MarkDead();
+    return;
+  }
+
+  // Candidate-induced adjacency over this task's candidate set.
+  std::unordered_map<VertexId, uint32_t> index;
+  index.reserve(cand.size());
+  for (uint32_t i = 0; i < cand.size(); ++i) {
+    index.emplace(cand[i], i);
+  }
+  std::vector<std::vector<uint32_t>> adj(cand.size());
+  for (uint32_t i = 0; i < cand.size(); ++i) {
+    const VertexRecord* record = ctx.GetVertex(cand[i]);
+    GM_CHECK(record != nullptr) << "candidate " << cand[i] << " unavailable";
+    for (const VertexId u : record->adj) {
+      auto it = index.find(u);
+      if (it != index.end()) {
+        adj[i].push_back(it->second);
+      }
+    }
+    std::sort(adj[i].begin(), adj[i].end());
+  }
+
+  if (cand.size() <= params->split_threshold || depth >= params->max_split_depth) {
+    // Small enough: solve locally with the same branch and bound as MCF.
+    std::vector<uint32_t> order(cand.size());
+    for (uint32_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(),
+              [&adj](uint32_t a, uint32_t b) { return adj[a].size() < adj[b].size(); });
+    LocalSearch(adj, order, clique_size, agg, ctx);
+    MarkDead();
+    return;
+  }
+
+  // Split: one child per top-level branch. Branch i fixes cand[i] into the
+  // clique; its candidate set is cand ∩ N(cand[i]) restricted to indices
+  // above i (the standard enumeration-order restriction, so branches are
+  // disjoint).
+  for (uint32_t i = 0; i < cand.size(); ++i) {
+    std::vector<VertexId> child_cand;
+    for (const uint32_t j : adj[i]) {
+      if (j > i) {
+        child_cand.push_back(cand[j]);
+      }
+    }
+    if (clique_size + 1 + child_cand.size() <= agg.best()) {
+      agg.Offer(clique_size + 1);
+      continue;  // pruned before it is even born
+    }
+    auto child = std::make_unique<SplittingCliqueTask>();
+    child->params = params;
+    child->clique_size = clique_size + 1;
+    child->depth = depth + 1;
+    for (const VertexId v : subgraph().vertices()) {
+      child->subgraph().AddVertex(v);
+    }
+    child->subgraph().AddVertex(cand[i]);
+    child->set_candidates(std::move(child_cand));
+    ctx.Spawn(std::move(child));
+  }
+  MarkDead();
+}
+
+void SplittingCliqueTask::LocalSearch(const std::vector<std::vector<uint32_t>>& adj,
+                                      std::vector<uint32_t>& cand, uint32_t r_size,
+                                      MaxAggregator& agg, UpdateContext& ctx) {
+  if (ctx.cancelled()) {
+    return;
+  }
+  if (cand.empty()) {
+    agg.Offer(r_size);
+    return;
+  }
+  if (r_size + cand.size() <= agg.best()) {
+    return;
+  }
+  if (r_size + GreedyColorBound(adj, cand) <= agg.best()) {
+    return;
+  }
+  while (!cand.empty()) {
+    if (r_size + cand.size() <= agg.best()) {
+      return;
+    }
+    const uint32_t v = cand.back();
+    cand.pop_back();
+    std::vector<uint32_t> next;
+    for (const uint32_t u : cand) {
+      if (std::binary_search(adj[v].begin(), adj[v].end(), u)) {
+        next.push_back(u);
+      }
+    }
+    if (r_size + 1 + next.size() > agg.best()) {
+      LocalSearch(adj, next, r_size + 1, agg, ctx);
+    } else if (r_size + 1 > agg.best()) {
+      agg.Offer(r_size + 1);
+    }
+  }
+}
+
+void SplittingCliqueTask::SerializeBody(OutArchive& out) const {
+  out.Write(clique_size);
+  out.Write(depth);
+}
+
+void SplittingCliqueTask::DeserializeBody(InArchive& in) {
+  clique_size = in.Read<uint32_t>();
+  depth = in.Read<int32_t>();
+}
+
+void SplittingCliqueJob::GenerateSeeds(const VertexTable& table, SeedSink& sink) {
+  for (const auto& [v, record] : table.records()) {
+    std::vector<VertexId> cand;
+    for (const VertexId u : record.adj) {
+      if (u > v) {
+        cand.push_back(u);
+      }
+    }
+    auto task = std::make_unique<SplittingCliqueTask>();
+    task->params = &params_;
+    task->clique_size = 1;
+    task->subgraph().AddVertex(v);
+    task->set_candidates(std::move(cand));
+    sink.Emit(std::move(task));
+  }
+}
+
+std::unique_ptr<TaskBase> SplittingCliqueJob::MakeTask() const {
+  auto task = std::make_unique<SplittingCliqueTask>();
+  task->params = &params_;
+  return task;
+}
+
+std::unique_ptr<AggregatorBase> SplittingCliqueJob::MakeAggregator() const {
+  return std::make_unique<MaxAggregator>();
+}
+
+}  // namespace gminer

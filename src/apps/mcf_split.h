@@ -1,0 +1,57 @@
+// Maximum clique finding with recursive task splitting — the load-balancing
+// extension the paper names as future work (§9): instead of one monolithic
+// branch-and-bound per seed, a task whose candidate set is larger than
+// `split_threshold` spawns one child task per top-level branch (the "split"
+// operation of the general mining schema, §4.1). Children are independent
+// tasks: they re-enter the pipeline, can spill, and can be stolen — so a
+// single huge neighborhood no longer pins one computing thread.
+#ifndef GMINER_APPS_MCF_SPLIT_H_
+#define GMINER_APPS_MCF_SPLIT_H_
+
+#include <cstdint>
+
+#include "apps/aggregators.h"
+#include "core/job.h"
+
+namespace gminer {
+
+struct McfSplitParams {
+  size_t split_threshold = 64;  // candidate sets larger than this split
+  int max_split_depth = 3;      // beyond this, solve locally regardless
+};
+
+class SplittingCliqueTask : public TaskBase {
+ public:
+  void Update(UpdateContext& ctx) override;
+  void SerializeBody(OutArchive& out) const override;
+  void DeserializeBody(InArchive& in) override;
+
+  uint32_t clique_size = 1;  // |R|: vertices already fixed into the clique
+  int32_t depth = 0;         // split generation
+  const McfSplitParams* params = nullptr;  // injected by the job
+
+ private:
+  void LocalSearch(const std::vector<std::vector<uint32_t>>& adj, std::vector<uint32_t>& cand,
+                   uint32_t r_size, class MaxAggregator& agg, UpdateContext& ctx);
+};
+
+class SplittingCliqueJob : public JobBase {
+ public:
+  explicit SplittingCliqueJob(McfSplitParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "mcf-split"; }
+  void GenerateSeeds(const VertexTable& table, SeedSink& sink) override;
+  std::unique_ptr<TaskBase> MakeTask() const override;
+  std::unique_ptr<AggregatorBase> MakeAggregator() const override;
+
+  static uint64_t MaxCliqueSize(const std::vector<uint8_t>& final_aggregate) {
+    return MaxAggregator::DecodeFinal(final_aggregate);
+  }
+
+ private:
+  McfSplitParams params_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_APPS_MCF_SPLIT_H_

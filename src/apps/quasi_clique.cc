@@ -1,0 +1,164 @@
+#include "apps/quasi_clique.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "graph/graph.h"
+
+namespace gminer {
+
+namespace {
+
+// Peels indices until every survivor has in-set degree ≥ γ·(|S|−1).
+// Returns the surviving index set (possibly empty). Deterministic: the
+// minimum-degree victim with the smallest index is removed each step.
+std::vector<uint32_t> PeelToQuasiClique(const std::vector<std::vector<uint32_t>>& adj,
+                                        double gamma) {
+  const size_t n = adj.size();
+  std::vector<uint32_t> degree(n);
+  std::vector<bool> removed(n, false);
+  for (size_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(adj[v].size());
+  }
+  size_t alive = n;
+  while (alive > 0) {
+    // Find the worst violator (minimum in-set degree among violators).
+    size_t victim = n;
+    for (size_t v = 0; v < n; ++v) {
+      if (removed[v]) {
+        continue;
+      }
+      if (static_cast<double>(degree[v]) + 1e-9 <
+          gamma * static_cast<double>(alive - 1)) {
+        if (victim == n || degree[v] < degree[victim]) {
+          victim = v;
+        }
+      }
+    }
+    if (victim == n) {
+      break;  // everyone satisfies the bound: quasi-clique found
+    }
+    removed[victim] = true;
+    --alive;
+    for (const uint32_t u : adj[victim]) {
+      if (!removed[u]) {
+        --degree[u];
+      }
+    }
+  }
+  std::vector<uint32_t> survivors;
+  for (size_t v = 0; v < n; ++v) {
+    if (!removed[v]) {
+      survivors.push_back(static_cast<uint32_t>(v));
+    }
+  }
+  return survivors;
+}
+
+}  // namespace
+
+void QuasiCliqueTask::Update(UpdateContext& ctx) {
+  GM_CHECK(params != nullptr);
+  auto* agg = static_cast<SumAggregator*>(ctx.aggregator());
+  const auto& cand = candidates();
+  // Index 0 = seed, 1..k = candidates (seed adjacent to all by construction).
+  std::unordered_map<VertexId, uint32_t> index;
+  index.reserve(cand.size());
+  for (uint32_t i = 0; i < cand.size(); ++i) {
+    index.emplace(cand[i], i + 1);
+  }
+  std::vector<std::vector<uint32_t>> adj(cand.size() + 1);
+  for (uint32_t i = 0; i < cand.size(); ++i) {
+    adj[0].push_back(i + 1);
+    adj[i + 1].push_back(0);
+    const VertexRecord* record = ctx.GetVertex(cand[i]);
+    GM_CHECK(record != nullptr) << "candidate " << cand[i] << " unavailable";
+    for (const VertexId u : record->adj) {
+      auto it = index.find(u);
+      if (it != index.end()) {
+        adj[i + 1].push_back(it->second);
+      }
+    }
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+  const auto survivors = PeelToQuasiClique(adj, params->gamma);
+  const bool has_seed =
+      std::find(survivors.begin(), survivors.end(), 0u) != survivors.end();
+  if (has_seed && survivors.size() >= params->min_size) {
+    agg->Add(1);
+  }
+  MarkDead();
+}
+
+void QuasiCliqueJob::GenerateSeeds(const VertexTable& table, SeedSink& sink) {
+  for (const auto& [v, record] : table.records()) {
+    std::vector<VertexId> cand;
+    for (const VertexId u : record.adj) {
+      if (u > v) {
+        cand.push_back(u);
+      }
+    }
+    if (cand.size() + 1 < params_.min_size) {
+      continue;
+    }
+    auto task = std::make_unique<QuasiCliqueTask>();
+    task->context() = v;
+    task->params = &params_;
+    task->subgraph().AddVertex(v);
+    task->set_candidates(std::move(cand));
+    sink.Emit(std::move(task));
+  }
+}
+
+std::unique_ptr<TaskBase> QuasiCliqueJob::MakeTask() const {
+  auto task = std::make_unique<QuasiCliqueTask>();
+  task->params = &params_;
+  return task;
+}
+
+std::unique_ptr<AggregatorBase> QuasiCliqueJob::MakeAggregator() const {
+  return std::make_unique<SumAggregator>();
+}
+
+uint64_t SerialQuasiCliqueCount(const Graph& g, const QuasiCliqueParams& params) {
+  uint64_t total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto adj_v = g.neighbors(v);
+    std::vector<VertexId> cand(std::upper_bound(adj_v.begin(), adj_v.end(), v), adj_v.end());
+    if (cand.size() + 1 < params.min_size) {
+      continue;
+    }
+    std::unordered_map<VertexId, uint32_t> index;
+    for (uint32_t i = 0; i < cand.size(); ++i) {
+      index.emplace(cand[i], i + 1);
+    }
+    std::vector<std::vector<uint32_t>> adj(cand.size() + 1);
+    for (uint32_t i = 0; i < cand.size(); ++i) {
+      adj[0].push_back(i + 1);
+      adj[i + 1].push_back(0);
+      for (const VertexId u : g.neighbors(cand[i])) {
+        auto it = index.find(u);
+        if (it != index.end()) {
+          adj[i + 1].push_back(it->second);
+        }
+      }
+    }
+    for (auto& a : adj) {
+      std::sort(a.begin(), a.end());
+      a.erase(std::unique(a.begin(), a.end()), a.end());
+    }
+    const auto survivors = PeelToQuasiClique(adj, params.gamma);
+    const bool has_seed =
+        std::find(survivors.begin(), survivors.end(), 0u) != survivors.end();
+    if (has_seed && survivors.size() >= params.min_size) {
+      ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace gminer

@@ -1,0 +1,52 @@
+// γ-Quasi-clique detection (§4.1 category 1 cites massive quasi-clique
+// detection [1]). A γ-quasi-clique is a vertex set S where every member is
+// adjacent to at least γ·(|S|−1) others in S. Each task peels its seed's
+// closed higher-neighborhood: while some member violates the density bound,
+// remove the one with minimum in-set degree (smallest id on ties). If the
+// surviving set contains the seed and meets min_size, it is reported — a
+// deterministic, oracle-checkable quasi-clique per seed, deduplicated by the
+// minimum-id convention like the other enumeration apps.
+#ifndef GMINER_APPS_QUASI_CLIQUE_H_
+#define GMINER_APPS_QUASI_CLIQUE_H_
+
+#include <cstdint>
+
+#include "apps/aggregators.h"
+#include "core/job.h"
+
+namespace gminer {
+
+struct QuasiCliqueParams {
+  double gamma = 0.7;      // density requirement
+  uint32_t min_size = 5;   // smallest quasi-clique reported
+};
+
+class QuasiCliqueTask : public Task<VertexId> {
+ public:
+  void Update(UpdateContext& ctx) override;
+  const QuasiCliqueParams* params = nullptr;  // injected by the job
+};
+
+class QuasiCliqueJob : public JobBase {
+ public:
+  explicit QuasiCliqueJob(QuasiCliqueParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "quasi-clique"; }
+  void GenerateSeeds(const VertexTable& table, SeedSink& sink) override;
+  std::unique_ptr<TaskBase> MakeTask() const override;
+  std::unique_ptr<AggregatorBase> MakeAggregator() const override;
+
+  static uint64_t Count(const std::vector<uint8_t>& final_aggregate) {
+    return SumAggregator::DecodeFinal(final_aggregate);
+  }
+
+ private:
+  QuasiCliqueParams params_;
+};
+
+// Serial oracle with identical semantics.
+uint64_t SerialQuasiCliqueCount(const class Graph& g, const QuasiCliqueParams& params);
+
+}  // namespace gminer
+
+#endif  // GMINER_APPS_QUASI_CLIQUE_H_

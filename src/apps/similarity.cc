@@ -1,0 +1,38 @@
+#include "apps/similarity.h"
+
+#include <algorithm>
+
+namespace gminer {
+
+std::vector<double> InferAttributeWeights(const std::vector<std::vector<AttrValue>>& exemplars,
+                                          size_t dims) {
+  std::vector<double> weights(dims, 1.0 / (dims > 0 ? static_cast<double>(dims) : 1.0));
+  if (exemplars.size() < 2 || dims == 0) {
+    return weights;  // uniform fallback
+  }
+  std::vector<double> agreement(dims, 0.0);
+  size_t pairs = 0;
+  for (size_t i = 0; i < exemplars.size(); ++i) {
+    for (size_t j = i + 1; j < exemplars.size(); ++j) {
+      ++pairs;
+      const size_t common = std::min({exemplars[i].size(), exemplars[j].size(), dims});
+      for (size_t d = 0; d < common; ++d) {
+        if (exemplars[i][d] == exemplars[j][d]) {
+          agreement[d] += 1.0;
+        }
+      }
+    }
+  }
+  double total = 0.0;
+  for (size_t d = 0; d < dims; ++d) {
+    // Laplace smoothing keeps every dimension in play.
+    agreement[d] = (agreement[d] + 0.5) / (static_cast<double>(pairs) + 1.0);
+    total += agreement[d];
+  }
+  for (size_t d = 0; d < dims; ++d) {
+    weights[d] = agreement[d] / total;
+  }
+  return weights;
+}
+
+}  // namespace gminer

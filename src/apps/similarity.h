@@ -1,0 +1,56 @@
+// Attribute similarity helpers shared by the attributed-graph applications
+// (community detection and graph clustering). Attribute lists are fixed-
+// dimension categorical vectors (see WithUniformAttributes): similarity is
+// the (optionally weighted) fraction of dimensions in agreement.
+#ifndef GMINER_APPS_SIMILARITY_H_
+#define GMINER_APPS_SIMILARITY_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gminer {
+
+// Unweighted: |{d : a_d == b_d}| / dims. Mismatched lengths compare the
+// common prefix and count the excess dimensions as disagreement.
+inline double AttrSimilarity(std::span<const AttrValue> a, std::span<const AttrValue> b) {
+  const size_t dims = std::max(a.size(), b.size());
+  if (dims == 0) {
+    return 0.0;
+  }
+  const size_t common = std::min(a.size(), b.size());
+  size_t equal = 0;
+  for (size_t d = 0; d < common; ++d) {
+    if (a[d] == b[d]) {
+      ++equal;
+    }
+  }
+  return static_cast<double>(equal) / static_cast<double>(dims);
+}
+
+// Weighted variant used by FocusCO-style clustering: Σ w_d · [a_d == b_d],
+// with the weight vector normalized to sum 1 by the caller.
+inline double WeightedAttrSimilarity(std::span<const AttrValue> a, std::span<const AttrValue> b,
+                                     std::span<const double> weights) {
+  const size_t common = std::min({a.size(), b.size(), weights.size()});
+  double sim = 0.0;
+  for (size_t d = 0; d < common; ++d) {
+    if (a[d] == b[d]) {
+      sim += weights[d];
+    }
+  }
+  return sim;
+}
+
+// Infers a normalized attribute weight vector from a set of exemplar
+// attribute lists: dimensions on which exemplars agree more often get higher
+// weight (the weight-learning step of FocusCO, simplified to pairwise
+// agreement frequency).
+std::vector<double> InferAttributeWeights(const std::vector<std::vector<AttrValue>>& exemplars,
+                                          size_t dims);
+
+}  // namespace gminer
+
+#endif  // GMINER_APPS_SIMILARITY_H_

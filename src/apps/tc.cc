@@ -1,0 +1,66 @@
+#include "apps/tc.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gminer {
+
+void TriangleCountTask::Update(UpdateContext& ctx) {
+  // candidates() = sorted higher-id neighbors of the root. For each candidate
+  // u, triangles rooted here are the members of N(u) ∩ candidates greater
+  // than u.
+  auto* agg = static_cast<SumAggregator*>(ctx.aggregator());
+  const auto& cand = candidates();
+  uint64_t triangles = 0;
+  for (const VertexId u : cand) {
+    const VertexRecord* record = ctx.GetVertex(u);
+    GM_CHECK(record != nullptr) << "candidate " << u << " unavailable";
+    // Both lists are sorted: advance two cursors, counting matches above u.
+    auto cit = std::upper_bound(cand.begin(), cand.end(), u);
+    auto ait = record->adj.begin();
+    while (cit != cand.end() && ait != record->adj.end()) {
+      if (*cit < *ait) {
+        ++cit;
+      } else if (*ait < *cit) {
+        ++ait;
+      } else {
+        ++triangles;
+        ++cit;
+        ++ait;
+      }
+    }
+  }
+  agg->Add(triangles);
+  MarkDead();
+}
+
+void TriangleCountJob::GenerateSeeds(const VertexTable& table, SeedSink& sink) {
+  for (const auto& [v, record] : table.records()) {
+    // Higher-id neighbors; a vertex roots a triangle only via two of them.
+    std::vector<VertexId> cand;
+    for (const VertexId u : record.adj) {
+      if (u > v) {
+        cand.push_back(u);
+      }
+    }
+    if (cand.size() < 2) {
+      continue;
+    }
+    auto task = std::make_unique<TriangleCountTask>();
+    task->context() = v;
+    task->subgraph().AddVertex(v);
+    task->set_candidates(std::move(cand));
+    sink.Emit(std::move(task));
+  }
+}
+
+std::unique_ptr<TaskBase> TriangleCountJob::MakeTask() const {
+  return std::make_unique<TriangleCountTask>();
+}
+
+std::unique_ptr<AggregatorBase> TriangleCountJob::MakeAggregator() const {
+  return std::make_unique<SumAggregator>();
+}
+
+}  // namespace gminer

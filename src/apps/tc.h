@@ -1,0 +1,37 @@
+// Triangle Counting (TC, §8.1): the lightest of the five evaluation
+// applications. One task per vertex v with degree ≥ 2; the candidates are the
+// higher-id neighbors of v; one pull round fetches their adjacency lists and
+// the task counts the triangles {v < u < w} it roots, so every triangle is
+// counted exactly once cluster-wide.
+#ifndef GMINER_APPS_TC_H_
+#define GMINER_APPS_TC_H_
+
+#include <cstdint>
+
+#include "apps/aggregators.h"
+#include "core/job.h"
+
+namespace gminer {
+
+class TriangleCountTask : public Task<VertexId> {
+ public:
+  // context() holds the root vertex id.
+  void Update(UpdateContext& ctx) override;
+};
+
+class TriangleCountJob : public JobBase {
+ public:
+  std::string name() const override { return "tc"; }
+  void GenerateSeeds(const VertexTable& table, SeedSink& sink) override;
+  std::unique_ptr<TaskBase> MakeTask() const override;
+  std::unique_ptr<AggregatorBase> MakeAggregator() const override;
+
+  // Reads the triangle count out of a finished JobResult.
+  static uint64_t Count(const std::vector<uint8_t>& final_aggregate) {
+    return SumAggregator::DecodeFinal(final_aggregate);
+  }
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_APPS_TC_H_

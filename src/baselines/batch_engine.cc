@@ -1,0 +1,450 @@
+#include "baselines/batch_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "metrics/memory_tracker.h"
+#include "metrics/sampler.h"
+#include "net/message.h"
+#include "partition/hash_partitioner.h"
+#include "storage/vertex_table.h"
+
+namespace gminer {
+
+namespace {
+
+// Plain LRU cache of remote vertex records. It only deduplicates network
+// fetches; unlike G-Miner's RCV cache it has no reference counting, so hot
+// vertices get evicted and re-pulled (the Fig. 3 problem).
+class LruCache {
+ public:
+  LruCache(size_t capacity, MemoryTracker* memory) : capacity_(capacity), memory_(memory) {}
+
+  ~LruCache() {
+    for (const auto& [v, entry] : entries_) {
+      memory_->Sub(entry.record.ByteSize());
+    }
+  }
+
+  // Copies out when resident, so the caller stays independent of eviction.
+  bool Lookup(VertexId v, VertexRecord* out) {
+    auto it = entries_.find(v);
+    if (it == entries_.end()) {
+      return false;
+    }
+    order_.splice(order_.begin(), order_, it->second.pos);
+    *out = it->second.record;
+    return true;
+  }
+
+  void Insert(VertexRecord record) {
+    if (entries_.count(record.id) > 0) {
+      return;
+    }
+    while (entries_.size() >= capacity_ && !order_.empty()) {
+      const VertexId victim = order_.back();
+      order_.pop_back();
+      auto it = entries_.find(victim);
+      memory_->Sub(it->second.record.ByteSize());
+      entries_.erase(it);
+    }
+    memory_->Add(record.ByteSize());
+    const VertexId id = record.id;
+    order_.push_front(id);
+    entries_.emplace(id, Entry{std::move(record), order_.begin()});
+  }
+
+ private:
+  struct Entry {
+    VertexRecord record;
+    std::list<VertexId>::iterator pos;
+  };
+  size_t capacity_;
+  MemoryTracker* memory_;
+  std::unordered_map<VertexId, Entry> entries_;
+  std::list<VertexId> order_;
+};
+
+// A task plus private copies of the remote vertices it needs this round.
+// G-thinker keeps pulled data with the requesting task — which is also why
+// its memory footprint runs high (Table 4).
+struct BatchTask {
+  std::unique_ptr<TaskBase> task;
+  std::unordered_map<VertexId, VertexRecord> stash;
+  int64_t stash_bytes = 0;
+
+  void ClearStash(MemoryTracker& memory) {
+    memory.Sub(stash_bytes);
+    stash.clear();
+    stash_bytes = 0;
+  }
+};
+
+struct BatchWorker {
+  VertexTable table;
+  std::unique_ptr<LruCache> cache;
+  std::vector<BatchTask> ready;    // stash filled, runnable
+  std::vector<BatchTask> waiting;  // need remote vertices
+  std::unique_ptr<AggregatorBase> aggregator;
+  std::mutex mutex;  // guards `waiting` during the parallel compute phase
+};
+
+class BatchSeedSink : public SeedSink {
+ public:
+  BatchSeedSink(BatchWorker* worker, MemoryTracker* memory, std::atomic<int64_t>* created)
+      : worker_(worker), memory_(memory), created_(created) {}
+
+  void Emit(std::unique_ptr<TaskBase> task) override {
+    task->accounted_bytes = task->ByteSize();
+    memory_->Add(task->accounted_bytes);
+    created_->fetch_add(1, std::memory_order_relaxed);
+    BatchTask bt;
+    bt.task = std::move(task);
+    worker_->waiting.push_back(std::move(bt));
+  }
+
+ private:
+  BatchWorker* worker_;
+  MemoryTracker* memory_;
+  std::atomic<int64_t>* created_;
+};
+
+class BatchUpdateContext : public UpdateContext {
+ public:
+  BatchUpdateContext(BatchWorker* worker, const JobConfig* config, WorkerId id,
+                     MemoryTracker* memory, std::atomic<int64_t>* created,
+                     std::atomic<bool>* cancelled, std::vector<std::string>* outputs,
+                     std::mutex* output_mutex, Rng rng)
+      : worker_(worker),
+        config_(config),
+        id_(id),
+        memory_(memory),
+        created_(created),
+        cancelled_(cancelled),
+        outputs_(outputs),
+        output_mutex_(output_mutex),
+        rng_(std::move(rng)) {}
+
+  void set_current(BatchTask* current) { current_ = current; }
+
+  const VertexRecord* GetVertex(VertexId v) override {
+    const VertexRecord* local = worker_->table.Find(v);
+    if (local != nullptr) {
+      return local;
+    }
+    if (current_ != nullptr) {
+      auto it = current_->stash.find(v);
+      if (it != current_->stash.end()) {
+        return &it->second;
+      }
+    }
+    return nullptr;
+  }
+
+  bool IsLocal(VertexId v) const override { return worker_->table.Contains(v); }
+
+  void Spawn(std::unique_ptr<TaskBase> task) override {
+    task->accounted_bytes = task->ByteSize();
+    memory_->Add(task->accounted_bytes);
+    created_->fetch_add(1, std::memory_order_relaxed);
+    BatchTask bt;
+    bt.task = std::move(task);
+    std::lock_guard<std::mutex> lock(worker_->mutex);
+    worker_->waiting.push_back(std::move(bt));
+  }
+
+  void Output(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(*output_mutex_);
+    outputs_->push_back(line);
+  }
+
+  void* aggregator() override { return worker_->aggregator.get(); }
+  bool cancelled() const override { return cancelled_->load(std::memory_order_acquire); }
+  WorkerId worker_id() const override { return id_; }
+  int num_workers() const override { return config_->num_workers; }
+  Rng& rng() override { return rng_; }
+
+ private:
+  BatchWorker* worker_;
+  const JobConfig* config_;
+  WorkerId id_;
+  MemoryTracker* memory_;
+  std::atomic<int64_t>* created_;
+  std::atomic<bool>* cancelled_;
+  std::vector<std::string>* outputs_;
+  std::mutex* output_mutex_;
+  Rng rng_;
+  BatchTask* current_ = nullptr;
+};
+
+// Remote candidates of a task, independent of caching (the stash decides
+// reuse).
+std::vector<VertexId> RemoteCandidates(const BatchWorker& worker, const TaskBase& task) {
+  std::vector<VertexId> to_pull;
+  for (const VertexId v : task.candidates()) {
+    if (!worker.table.Contains(v)) {
+      to_pull.push_back(v);
+    }
+  }
+  std::sort(to_pull.begin(), to_pull.end());
+  to_pull.erase(std::unique(to_pull.begin(), to_pull.end()), to_pull.end());
+  return to_pull;
+}
+
+}  // namespace
+
+JobResult RunBatch(const Graph& g, JobBase& job, const JobConfig& config) {
+  JobResult result;
+  const int num_workers = config.num_workers;
+  const int total_threads = std::max(1, num_workers * config.threads_per_worker);
+  const int effective_cores = EffectiveCores(total_threads);
+
+  // G-thinker-style deployment always hash-partitions.
+  WallTimer partition_timer;
+  HashPartitioner partitioner;
+  const std::vector<WorkerId> owner = partitioner.Partition(g, num_workers);
+  result.partition_seconds = partition_timer.ElapsedSeconds();
+
+  MemoryTracker memory;
+  WorkerCounters counters;  // engine-wide counters
+  std::vector<std::unique_ptr<BatchWorker>> workers;
+  workers.reserve(static_cast<size_t>(num_workers));
+  std::atomic<int64_t> created{0};
+  std::atomic<int64_t> completed{0};
+  std::atomic<bool> cancelled{false};
+  std::vector<std::string> outputs;
+  std::mutex output_mutex;
+
+  for (int w = 0; w < num_workers; ++w) {
+    auto worker = std::make_unique<BatchWorker>();
+    worker->table.LoadPartition(g, owner, w);
+    memory.Add(worker->table.byte_size());
+    worker->cache = std::make_unique<LruCache>(config.rcv_cache_capacity, &memory);
+    worker->aggregator = job.MakeAggregator();
+    workers.push_back(std::move(worker));
+  }
+
+  ThreadPool pool(total_threads);
+  std::unique_ptr<UtilizationSampler> sampler;
+  const auto snapshot = [&counters] { return Snapshot(counters); };
+  if (config.sample_utilization) {
+    sampler = std::make_unique<UtilizationSampler>(snapshot, effective_cores,
+                                                   config.net_bandwidth_gbps,
+                                                   config.sample_interval_ms);
+    sampler->Start();
+  }
+
+  WallTimer timer;
+  for (int w = 0; w < num_workers; ++w) {
+    BatchSeedSink sink(workers[static_cast<size_t>(w)].get(), &memory, &created);
+    job.GenerateSeeds(workers[static_cast<size_t>(w)]->table, sink);
+  }
+  for (int w = 0; w < num_workers; ++w) {
+    auto& worker = *workers[static_cast<size_t>(w)];
+    for (auto& bt : worker.waiting) {
+      bt.task->set_to_pull(RemoteCandidates(worker, *bt.task));
+    }
+  }
+
+  while (!cancelled.load()) {
+    // ---- Communication phase: fill every waiting task's private stash; the
+    // LRU cache deduplicates the actual fetches. ----
+    int64_t phase_bytes = 0;
+    bool any_waiting = false;
+    for (int w = 0; w < num_workers; ++w) {
+      auto& worker = *workers[static_cast<size_t>(w)];
+      if (worker.waiting.empty()) {
+        continue;
+      }
+      any_waiting = true;
+      // G-thinker admits a bounded batch of tasks per round (its task queue
+      // has fixed capacity); the remainder waits for a later round. Without
+      // this cap every task's pulled data would materialize at once.
+      const size_t admit = std::min(worker.waiting.size(), config.pipeline_depth);
+      for (size_t i = 0; i < admit; ++i) {
+        auto& bt = worker.waiting[i];
+        for (const VertexId v : bt.task->to_pull()) {
+          if (bt.stash.count(v) > 0) {
+            continue;
+          }
+          VertexRecord record;
+          if (worker.cache->Lookup(v, &record)) {
+            counters.cache_hits.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            counters.cache_misses.fetch_add(1, std::memory_order_relaxed);
+            const VertexRecord* remote =
+                workers[static_cast<size_t>(owner[v])]->table.Find(v);
+            GM_CHECK(remote != nullptr);
+            record = *remote;
+            counters.pull_requests.fetch_add(1, std::memory_order_relaxed);
+            counters.pull_responses.fetch_add(1, std::memory_order_relaxed);
+            const int64_t bytes = record.ByteSize() +
+                                  static_cast<int64_t>(sizeof(VertexId)) + kMessageHeaderBytes;
+            counters.net_bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+            counters.net_bytes_received.fetch_add(bytes, std::memory_order_relaxed);
+            phase_bytes += bytes;
+            worker.cache->Insert(record);
+          }
+          bt.stash_bytes += record.ByteSize();
+          memory.Add(record.ByteSize());
+          bt.stash.emplace(v, std::move(record));
+        }
+        worker.ready.push_back(std::move(bt));
+      }
+      worker.waiting.erase(worker.waiting.begin(),
+                           worker.waiting.begin() + static_cast<ptrdiff_t>(admit));
+    }
+    // Simulated transfer time: the whole cluster waits out the batch transfer
+    // (CPU idles — the Fig. 5 gaps).
+    if (config.net_latency_us > 0 && phase_bytes > 0) {
+      const double seconds =
+          static_cast<double>(phase_bytes) / (config.net_bandwidth_gbps * 1e9 / 8.0) +
+          static_cast<double>(config.net_latency_us) / 1e6;
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    }
+
+    // ---- Compute phase: run every ready task to its next pull or death
+    // (cluster-wide parallel, barrier at the end). ----
+    std::vector<std::pair<int, BatchTask>> batch;
+    for (int w = 0; w < num_workers; ++w) {
+      auto& worker = *workers[static_cast<size_t>(w)];
+      for (auto& bt : worker.ready) {
+        batch.emplace_back(w, std::move(bt));
+      }
+      worker.ready.clear();
+    }
+    const bool any_ready = !batch.empty();
+    std::atomic<size_t> cursor{0};
+    for (int t = 0; t < total_threads; ++t) {
+      pool.Submit([&, t] {
+        while (true) {
+          const size_t i = cursor.fetch_add(1);
+          if (i >= batch.size()) {
+            return;
+          }
+          const int w = batch[i].first;
+          BatchTask& bt = batch[i].second;
+          auto& worker = *workers[static_cast<size_t>(w)];
+          BatchUpdateContext ctx(&worker, &config, w, &memory, &created, &cancelled, &outputs,
+                                 &output_mutex,
+                                 Rng(config.seed + static_cast<uint64_t>(i * 131 + t)));
+          ctx.set_current(&bt);
+          while (true) {
+            if (cancelled.load(std::memory_order_acquire)) {
+              bt.task->MarkDead();
+            } else {
+              ThreadCpuTimer update_timer;
+              bt.task->Update(ctx);
+              counters.compute_busy_ns.fetch_add(update_timer.ElapsedNanos(),
+                                                 std::memory_order_relaxed);
+              counters.update_rounds.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (bt.task->dead()) {
+              bt.ClearStash(memory);
+              memory.Sub(bt.task->accounted_bytes);
+              completed.fetch_add(1, std::memory_order_relaxed);
+              bt.task.reset();
+              break;
+            }
+            bt.task->advance_round();
+            const std::vector<VertexId> to_pull = RemoteCandidates(worker, *bt.task);
+            bool missing = false;
+            for (const VertexId v : to_pull) {
+              if (bt.stash.count(v) == 0) {
+                missing = true;
+                break;
+              }
+            }
+            bt.task->set_to_pull(to_pull);
+            if (missing) {
+              memory.Sub(bt.task->accounted_bytes);
+              bt.task->accounted_bytes = bt.task->ByteSize();
+              memory.Add(bt.task->accounted_bytes);
+              std::lock_guard<std::mutex> lock(worker.mutex);
+              worker.waiting.push_back(std::move(bt));
+              break;
+            }
+            // Everything needed is local or already stashed: run on.
+          }
+        }
+      });
+    }
+    pool.Wait();
+
+    // ---- Barrier: aggregator synchronization (G-thinker's global pruning
+    // advances only at batch boundaries). ----
+    std::unique_ptr<AggregatorBase> fold = job.MakeAggregator();
+    if (fold != nullptr) {
+      for (auto& worker : workers) {
+        OutArchive partial;
+        worker->aggregator->SerializePartial(partial);
+        InArchive in(partial.TakeBuffer());
+        fold->MergePartial(in);
+      }
+      OutArchive global;
+      fold->SerializeGlobal(global);
+      for (auto& worker : workers) {
+        InArchive in(global.buffer().data(), global.buffer().size());
+        worker->aggregator->ApplyGlobal(in);
+      }
+    }
+
+    if (!any_ready && !any_waiting) {
+      break;  // no work anywhere: job complete
+    }
+    if (config.memory_budget_bytes > 0 &&
+        memory.peak() > static_cast<int64_t>(config.memory_budget_bytes)) {
+      result.status = JobStatus::kOutOfMemory;
+      cancelled.store(true);
+      break;
+    }
+    if (config.time_budget_seconds > 0.0 &&
+        timer.ElapsedSeconds() > config.time_budget_seconds) {
+      result.status = JobStatus::kTimeout;
+      cancelled.store(true);
+      break;
+    }
+  }
+  result.elapsed_seconds = timer.ElapsedSeconds();
+
+  if (sampler != nullptr) {
+    sampler->Stop();
+    result.utilization = sampler->TakeSamples();
+  }
+
+  // Final aggregate.
+  std::unique_ptr<AggregatorBase> fold = job.MakeAggregator();
+  if (fold != nullptr) {
+    for (auto& worker : workers) {
+      OutArchive partial;
+      worker->aggregator->SerializePartial(partial);
+      InArchive in(partial.TakeBuffer());
+      fold->MergePartial(in);
+    }
+    OutArchive global;
+    fold->SerializeGlobal(global);
+    result.final_aggregate = global.TakeBuffer();
+  }
+
+  counters.tasks_created.store(created.load());
+  counters.tasks_completed.store(completed.load());
+  result.totals = Snapshot(counters);
+  result.peak_memory_bytes = memory.peak();
+  result.avg_cpu_utilization =
+      result.elapsed_seconds > 0.0
+          ? static_cast<double>(result.totals.compute_busy_ns) /
+                (result.elapsed_seconds * 1e9 * effective_cores)
+          : 0.0;
+  result.outputs = std::move(outputs);
+  return result;
+}
+
+}  // namespace gminer

@@ -1,0 +1,29 @@
+// Batch-synchronous subgraph-centric engine reproducing the G-thinker model
+// (§2): the same task/update programming interface as G-Miner, but computation
+// and communication proceed in alternating global phases with a barrier
+// between them. Remote vertices are cached in a plain LRU cache without
+// reference counting, so hot vertices can be evicted and re-pulled (the
+// motivating example of Fig. 3). This engine is the comparator for Tables 1,
+// 3, 4 and the Fig. 5 utilization timeline.
+#ifndef GMINER_BASELINES_BATCH_ENGINE_H_
+#define GMINER_BASELINES_BATCH_ENGINE_H_
+
+#include "common/config.h"
+#include "core/job.h"
+#include "core/job_result.h"
+#include "graph/graph.h"
+
+namespace gminer {
+
+// Runs `job` over `g` with config.num_workers workers × threads_per_worker
+// compute threads. Honors config.memory_budget_bytes / time_budget_seconds,
+// config.rcv_cache_capacity (as the LRU capacity) and — when
+// config.net_latency_us > 0 — sleeps through each communication phase for the
+// transfer time implied by config.net_bandwidth_gbps, which is what makes the
+// CPU idle gaps of Fig. 5 visible. Utilization samples are collected when
+// config.sample_utilization is set.
+JobResult RunBatch(const Graph& g, JobBase& job, const JobConfig& config);
+
+}  // namespace gminer
+
+#endif  // GMINER_BASELINES_BATCH_ENGINE_H_

@@ -1,0 +1,101 @@
+#include "baselines/bsp_apps.h"
+
+#include <algorithm>
+
+namespace gminer {
+
+namespace {
+constexpr double kDamping = 0.85;
+}  // namespace
+
+BspPageRank::BspPageRank(VertexId num_vertices, int iterations)
+    : iterations_(iterations),
+      ranks_(num_vertices, 0.0),
+      incoming_(num_vertices, 0.0) {}
+
+void BspPageRank::Compute(int superstep, const Graph& g, VertexId v,
+                          const std::vector<const BspMessage*>& inbox,
+                          std::vector<BspMessage>& outbox, std::atomic<uint64_t>& result) {
+  (void)result;
+  const double n = static_cast<double>(g.num_vertices());
+  const auto adj = g.neighbors(v);
+  if (superstep == 0) {
+    ranks_[v] = adj.empty() ? (1.0 - kDamping) / n : 1.0 / n;
+    if (!adj.empty() && iterations_ > 0) {
+      const double share = ranks_[v] / static_cast<double>(adj.size());
+      for (const VertexId u : adj) {
+        BspMessage m;
+        m.source = v;
+        m.target = u;
+        m.value = share;
+        outbox.push_back(std::move(m));
+      }
+    }
+    return;
+  }
+  double sum = 0.0;
+  for (const BspMessage* m : inbox) {
+    sum += m->value;
+  }
+  ranks_[v] = (1.0 - kDamping) / n + kDamping * sum;
+  if (superstep < iterations_ && !adj.empty()) {
+    const double share = ranks_[v] / static_cast<double>(adj.size());
+    for (const VertexId u : adj) {
+      BspMessage m;
+      m.source = v;
+      m.target = u;
+      m.value = share;
+      outbox.push_back(std::move(m));
+    }
+  }
+}
+
+BspConnectedComponents::BspConnectedComponents(VertexId num_vertices)
+    : components_(num_vertices, kInvalidVertex) {}
+
+void BspConnectedComponents::Compute(int superstep, const Graph& g, VertexId v,
+                                     const std::vector<const BspMessage*>& inbox,
+                                     std::vector<BspMessage>& outbox,
+                                     std::atomic<uint64_t>& result) {
+  (void)result;
+  const auto adj = g.neighbors(v);
+  if (superstep == 0) {
+    components_[v] = v;
+    for (const VertexId u : adj) {
+      if (u > v) {  // only the smaller endpoint needs announcing
+        BspMessage m;
+        m.source = v;
+        m.target = u;
+        m.payload = {v};
+        outbox.push_back(std::move(m));
+      }
+    }
+    return;
+  }
+  VertexId best = components_[v];
+  for (const BspMessage* m : inbox) {
+    for (const VertexId c : m->payload) {
+      best = std::min(best, c);
+    }
+  }
+  if (best < components_[v]) {
+    components_[v] = best;
+    for (const VertexId u : adj) {
+      BspMessage m;
+      m.source = v;
+      m.target = u;
+      m.payload = {best};
+      outbox.push_back(std::move(m));
+    }
+  }
+}
+
+std::unique_ptr<BspPageRank> MakeBspPageRank(VertexId num_vertices, int iterations) {
+  return std::make_unique<BspPageRank>(num_vertices, iterations);
+}
+
+std::unique_ptr<BspConnectedComponents> MakeBspConnectedComponents(VertexId num_vertices) {
+  return std::make_unique<BspConnectedComponents>(num_vertices);
+}
+
+}  // namespace gminer

@@ -1,0 +1,59 @@
+// Classic vertex-centric programs on the BSP engine: PageRank and Hash-Min
+// connected components. These are the workloads the paper's §1 credits
+// vertex-centric systems with handling well (light per-vertex state, linear
+// per-superstep work) — including them keeps the comparator engine honest: it
+// is a real Pregel-model engine, not a strawman that only runs mining.
+#ifndef GMINER_BASELINES_BSP_APPS_H_
+#define GMINER_BASELINES_BSP_APPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/bsp_engine.h"
+
+namespace gminer {
+
+// PageRank with damping 0.85 for a fixed number of iterations (dangling mass
+// is dropped, as the serial oracle does). Ranks live in app-owned per-vertex
+// state; Compute() touches only state[v], so parallel supersteps are safe.
+class BspPageRank : public BspApp {
+ public:
+  BspPageRank(VertexId num_vertices, int iterations);
+
+  void Compute(int superstep, const Graph& g, VertexId v,
+               const std::vector<const BspMessage*>& inbox, std::vector<BspMessage>& outbox,
+               std::atomic<uint64_t>& result) override;
+  int max_supersteps() const override { return iterations_ + 1; }
+
+  const std::vector<double>& ranks() const { return ranks_; }
+
+ private:
+  int iterations_;
+  std::vector<double> ranks_;
+  std::vector<double> incoming_;
+};
+
+// Hash-Min connected components: every vertex repeatedly adopts the smallest
+// component id seen, propagating only on change (vote-to-halt). This is the
+// same algorithm BDG partitioning's fallback uses (§6.1, [39]).
+class BspConnectedComponents : public BspApp {
+ public:
+  explicit BspConnectedComponents(VertexId num_vertices);
+
+  void Compute(int superstep, const Graph& g, VertexId v,
+               const std::vector<const BspMessage*>& inbox, std::vector<BspMessage>& outbox,
+               std::atomic<uint64_t>& result) override;
+  int max_supersteps() const override { return 1 << 20; }  // runs to quiescence
+
+  const std::vector<VertexId>& components() const { return components_; }
+
+ private:
+  std::vector<VertexId> components_;
+};
+
+std::unique_ptr<BspPageRank> MakeBspPageRank(VertexId num_vertices, int iterations);
+std::unique_ptr<BspConnectedComponents> MakeBspConnectedComponents(VertexId num_vertices);
+
+}  // namespace gminer
+
+#endif  // GMINER_BASELINES_BSP_APPS_H_

@@ -1,0 +1,274 @@
+#include "baselines/bsp_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include <chrono>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "metrics/memory_tracker.h"
+#include "net/message.h"
+
+namespace gminer {
+
+BspResult RunBsp(const Graph& g, BspApp& app, const JobConfig& config) {
+  BspResult result;
+  const int total_threads = std::max(1, config.num_workers * config.threads_per_worker);
+  const int effective_cores = EffectiveCores(total_threads);
+  ThreadPool pool(total_threads);
+  MemoryTracker memory;
+  memory.Add(static_cast<int64_t>(g.ByteSize()));
+
+  // Hash partitioning of vertices to workers, as in Giraph's default.
+  const auto worker_of = [&config](VertexId v) {
+    return static_cast<int>(v % static_cast<uint32_t>(config.num_workers));
+  };
+
+  std::vector<std::vector<BspMessage>> inbox(g.num_vertices());
+  std::atomic<uint64_t> global{0};
+  std::atomic<int64_t> busy_ns{0};
+  std::atomic<int64_t> net_bytes{0};
+  std::atomic<int64_t> inbox_bytes{0};
+
+  WallTimer timer;
+  bool halted = false;
+  int64_t prev_net_bytes = 0;
+  for (int step = 0; step < app.max_supersteps() && !halted; ++step) {
+    result.supersteps = step + 1;
+    // --- Compute phase (parallel, barrier at the end: the BSP hallmark) ---
+    std::vector<std::vector<BspMessage>> thread_outbox(static_cast<size_t>(total_threads));
+    std::atomic<size_t> cursor{0};
+    const VertexId n = g.num_vertices();
+    for (int t = 0; t < total_threads; ++t) {
+      pool.Submit([&, t] {
+        std::vector<const BspMessage*> local_inbox;
+        while (true) {
+          const size_t begin = cursor.fetch_add(256);
+          if (begin >= n) {
+            return;
+          }
+          const size_t end = std::min<size_t>(begin + 256, n);
+          for (size_t v = begin; v < end; ++v) {
+            if (step > 0 && inbox[v].empty()) {
+              continue;  // vote-to-halt semantics: only message receivers run
+            }
+            local_inbox.clear();
+            for (const BspMessage& m : inbox[v]) {
+              local_inbox.push_back(&m);
+            }
+            ThreadCpuTimer compute_timer;
+            app.Compute(step, g, static_cast<VertexId>(v), local_inbox,
+                        thread_outbox[static_cast<size_t>(t)], global);
+            busy_ns.fetch_add(compute_timer.ElapsedNanos(), std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    pool.Wait();
+
+    // --- Message routing phase (sequential barrier work) ---
+    memory.Sub(inbox_bytes.exchange(0));
+    for (auto& box : inbox) {
+      box.clear();
+      box.shrink_to_fit();
+    }
+    bool any_messages = false;
+    for (auto& outbox : thread_outbox) {
+      for (BspMessage& m : outbox) {
+        any_messages = true;
+        const int64_t bytes = m.ByteSize();
+        // Cross-worker messages pay network cost.
+        if (worker_of(m.target) != worker_of(m.source)) {
+          net_bytes.fetch_add(bytes + kMessageHeaderBytes, std::memory_order_relaxed);
+        }
+        inbox_bytes.fetch_add(bytes, std::memory_order_relaxed);
+        memory.Add(bytes);
+        inbox[m.target].push_back(std::move(m));
+      }
+      outbox.clear();
+    }
+    if (!any_messages) {
+      halted = true;
+    }
+    // Simulated transfer time for the cross-worker traffic of this superstep
+    // (matches the shared-link model of the other engines).
+    if (config.net_latency_us > 0) {
+      const int64_t step_bytes = net_bytes.load() - prev_net_bytes;
+      prev_net_bytes = net_bytes.load();
+      if (step_bytes > 0) {
+        const double seconds =
+            static_cast<double>(step_bytes) / (config.net_bandwidth_gbps * 1e9 / 8.0) +
+            static_cast<double>(config.net_latency_us) / 1e6;
+        std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+      }
+    }
+    if (config.memory_budget_bytes > 0 &&
+        memory.peak() > static_cast<int64_t>(config.memory_budget_bytes)) {
+      result.status = JobStatus::kOutOfMemory;
+      break;
+    }
+    if (config.time_budget_seconds > 0.0 && timer.ElapsedSeconds() > config.time_budget_seconds) {
+      result.status = JobStatus::kTimeout;
+      break;
+    }
+  }
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  result.result = global.load();
+  result.peak_memory_bytes = memory.peak();
+  result.net_bytes = net_bytes.load();
+  result.avg_cpu_utilization =
+      result.elapsed_seconds > 0.0
+          ? static_cast<double>(busy_ns.load()) /
+                (result.elapsed_seconds * 1e9 * effective_cores)
+          : 0.0;
+  return result;
+}
+
+namespace {
+
+class BspTriangleCount : public BspApp {
+ public:
+  void Compute(int superstep, const Graph& g, VertexId v,
+               const std::vector<const BspMessage*>& inbox, std::vector<BspMessage>& outbox,
+               std::atomic<uint64_t>& result) override {
+    if (superstep == 0) {
+      const auto adj = g.neighbors(v);
+      auto first_higher = std::upper_bound(adj.begin(), adj.end(), v);
+      for (auto it = first_higher; it != adj.end(); ++it) {
+        // Send to u the members of N+(v) above u; u checks adjacency locally.
+        BspMessage m;
+        m.source = v;
+        m.target = *it;
+        m.payload.assign(it + 1, adj.end());
+        if (!m.payload.empty()) {
+          outbox.push_back(std::move(m));
+        }
+      }
+      return;
+    }
+    const auto adj = g.neighbors(v);
+    uint64_t triangles = 0;
+    for (const BspMessage* m : inbox) {
+      for (const VertexId w : m->payload) {
+        if (std::binary_search(adj.begin(), adj.end(), w)) {
+          ++triangles;
+        }
+      }
+    }
+    result.fetch_add(triangles, std::memory_order_relaxed);
+  }
+
+  int max_supersteps() const override { return 2; }
+};
+
+class BspMaxClique : public BspApp {
+ public:
+  void Compute(int superstep, const Graph& g, VertexId v,
+               const std::vector<const BspMessage*>& inbox, std::vector<BspMessage>& outbox,
+               std::atomic<uint64_t>& result) override {
+    if (superstep == 0) {
+      Offer(result, 1);
+      // Ship N+(v) to every lower neighbor so each vertex can materialize the
+      // full 1-hop-higher neighborhood subgraph — the memory-hungry strategy
+      // of vertex-centric mining.
+      const auto adj = g.neighbors(v);
+      std::vector<VertexId> higher(std::upper_bound(adj.begin(), adj.end(), v), adj.end());
+      for (const VertexId u : adj) {
+        if (u >= v) {
+          break;
+        }
+        BspMessage m;
+        m.source = v;
+        m.target = u;
+        m.payload.reserve(higher.size() + 1);
+        m.payload.push_back(v);
+        m.payload.insert(m.payload.end(), higher.begin(), higher.end());
+        outbox.push_back(std::move(m));
+      }
+      return;
+    }
+    // Superstep 1: v holds N+(u) for every u ∈ N+(v). Build the induced
+    // adjacency among N+(v) and search for the largest clique locally, with
+    // no cross-vertex pruning (each vertex only knows its own best).
+    const auto adj = g.neighbors(v);
+    std::vector<VertexId> cand(std::upper_bound(adj.begin(), adj.end(), v), adj.end());
+    if (cand.empty()) {
+      return;
+    }
+    std::unordered_map<VertexId, uint32_t> index;
+    for (uint32_t i = 0; i < cand.size(); ++i) {
+      index.emplace(cand[i], i);
+    }
+    std::vector<std::vector<uint32_t>> iadj(cand.size());
+    for (const BspMessage* m : inbox) {
+      if (m->payload.empty()) {
+        continue;
+      }
+      auto it = index.find(m->payload[0]);
+      if (it == index.end()) {
+        continue;
+      }
+      const uint32_t i = it->second;
+      for (size_t k = 1; k < m->payload.size(); ++k) {
+        auto jt = index.find(m->payload[k]);
+        if (jt != index.end()) {
+          iadj[i].push_back(jt->second);
+          iadj[jt->second].push_back(i);
+        }
+      }
+    }
+    for (auto& a : iadj) {
+      std::sort(a.begin(), a.end());
+      a.erase(std::unique(a.begin(), a.end()), a.end());
+    }
+    std::vector<uint32_t> order(cand.size());
+    for (uint32_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    uint64_t best = 1;
+    Expand(iadj, order, 1, best);
+    Offer(result, best);
+  }
+
+  uint64_t Combine(uint64_t a, uint64_t b) const override { return std::max(a, b); }
+  int max_supersteps() const override { return 2; }
+
+ private:
+  static void Offer(std::atomic<uint64_t>& result, uint64_t value) {
+    uint64_t cur = result.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !result.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  static void Expand(const std::vector<std::vector<uint32_t>>& adj, std::vector<uint32_t>& cand,
+                     uint64_t r_size, uint64_t& best) {
+    if (cand.empty()) {
+      best = std::max(best, r_size);
+      return;
+    }
+    while (!cand.empty()) {
+      if (r_size + cand.size() <= best) {
+        return;
+      }
+      const uint32_t u = cand.back();
+      cand.pop_back();
+      std::vector<uint32_t> next;
+      for (const uint32_t w : cand) {
+        if (std::binary_search(adj[u].begin(), adj[u].end(), w)) {
+          next.push_back(w);
+        }
+      }
+      Expand(adj, next, r_size + 1, best);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<BspApp> MakeBspTriangleCount() { return std::make_unique<BspTriangleCount>(); }
+std::unique_ptr<BspApp> MakeBspMaxClique() { return std::make_unique<BspMaxClique>(); }
+
+}  // namespace gminer

@@ -1,0 +1,75 @@
+// Vertex-centric BSP engine reproducing the computational model of Pregel /
+// Giraph / GraphX: per-vertex compute functions, message passing between
+// supersteps, and a global synchronization barrier after every superstep.
+// This is the comparator model behind the Giraph and GraphX rows of Tables 1
+// and 3 — the barrier throttles CPU utilization and the need to materialize
+// whole neighborhoods in messages blows up memory on dense graphs (OOM).
+#ifndef GMINER_BASELINES_BSP_ENGINE_H_
+#define GMINER_BASELINES_BSP_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "core/job_result.h"
+#include "graph/graph.h"
+
+namespace gminer {
+
+struct BspMessage {
+  VertexId source = kInvalidVertex;
+  VertexId target = kInvalidVertex;
+  std::vector<VertexId> payload;
+  double value = 0.0;  // scalar payload (e.g. PageRank mass)
+
+  int64_t ByteSize() const {
+    return static_cast<int64_t>(sizeof(BspMessage)) +
+           static_cast<int64_t>(payload.capacity() * sizeof(VertexId));
+  }
+};
+
+// A vertex program. Superstep 0 is invoked on every vertex with an empty
+// inbox; afterwards only vertices with pending messages run. The engine halts
+// when no messages were produced in a superstep (or max_supersteps passed).
+class BspApp {
+ public:
+  virtual ~BspApp() = default;
+
+  virtual void Compute(int superstep, const Graph& g, VertexId v,
+                       const std::vector<const BspMessage*>& inbox,
+                       std::vector<BspMessage>& outbox, std::atomic<uint64_t>& result) = 0;
+
+  // Fold `value` into the running global result (sum or max semantics).
+  virtual uint64_t Combine(uint64_t a, uint64_t b) const { return a + b; }
+
+  virtual int max_supersteps() const = 0;
+};
+
+struct BspResult {
+  JobStatus status = JobStatus::kOk;
+  double elapsed_seconds = 0.0;
+  uint64_t result = 0;
+  int64_t peak_memory_bytes = 0;
+  int64_t net_bytes = 0;
+  double avg_cpu_utilization = 0.0;
+  int supersteps = 0;
+};
+
+// Runs the app over g with config.num_workers × config.threads_per_worker
+// compute slots, hash partitioning, and the configured memory / time budgets.
+BspResult RunBsp(const Graph& g, BspApp& app, const JobConfig& config);
+
+// Vertex-centric triangle counting: superstep 0 sends, per higher neighbor u,
+// the still-higher part of N+(v); superstep 1 intersects with local adjacency.
+std::unique_ptr<BspApp> MakeBspTriangleCount();
+
+// Vertex-centric maximum clique: materializes every vertex's higher-neighbor
+// adjacency via messages, then solves a local clique problem per vertex — the
+// memory-hungry strategy that drives Giraph out of memory on dense graphs.
+std::unique_ptr<BspApp> MakeBspMaxClique();
+
+}  // namespace gminer
+
+#endif  // GMINER_BASELINES_BSP_ENGINE_H_

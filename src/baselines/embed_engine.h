@@ -1,0 +1,61 @@
+// Embedding-exploration engine reproducing Arabesque's computational model:
+// level-synchronous rounds in which every frontier embedding is expanded by
+// one neighboring vertex, candidates are generated *before* the filter runs
+// (the paper's §2 criticism — "the pruning step is only executed after the
+// exploration steps"), and the whole frontier of a level is materialized in
+// memory. Canonicality (only extend with ids above the embedding maximum)
+// avoids duplicate embeddings, as in Arabesque.
+#ifndef GMINER_BASELINES_EMBED_ENGINE_H_
+#define GMINER_BASELINES_EMBED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "core/job_result.h"
+#include "graph/graph.h"
+
+namespace gminer {
+
+// An embedding-exploration program over vertex-induced embeddings.
+class EmbedApp {
+ public:
+  virtual ~EmbedApp() = default;
+
+  // Whether a candidate embedding (after expansion) survives the filter.
+  virtual bool Filter(const Graph& g, const std::vector<VertexId>& embedding) = 0;
+
+  // Processes a surviving embedding; returns the value to fold into the
+  // global result (e.g. 1 for a counted match).
+  virtual uint64_t Process(const Graph& g, const std::vector<VertexId>& embedding) = 0;
+
+  // Whether surviving embeddings of this size should be expanded further.
+  virtual bool ShouldExpand(const Graph& g, const std::vector<VertexId>& embedding) = 0;
+
+  virtual uint64_t Combine(uint64_t a, uint64_t b) const { return a + b; }
+};
+
+struct EmbedResult {
+  JobStatus status = JobStatus::kOk;
+  double elapsed_seconds = 0.0;
+  uint64_t result = 0;
+  int64_t peak_memory_bytes = 0;
+  double avg_cpu_utilization = 0.0;
+  int rounds = 0;
+  uint64_t peak_frontier = 0;  // embeddings materialized at the widest level
+};
+
+EmbedResult RunEmbed(const Graph& g, EmbedApp& app, const JobConfig& config);
+
+// Triangle counting as 3-clique embedding enumeration.
+std::unique_ptr<EmbedApp> MakeEmbedTriangleCount();
+
+// Maximum clique finding by growing clique embeddings until no level
+// survives; the result is the deepest non-empty level. Exponential frontier —
+// the Arabesque rows of Tables 1 and 3 ("-" / OOM).
+std::unique_ptr<EmbedApp> MakeEmbedMaxClique();
+
+}  // namespace gminer
+
+#endif  // GMINER_BASELINES_EMBED_ENGINE_H_

@@ -1,0 +1,508 @@
+#include "baselines/serial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "apps/similarity.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace gminer {
+
+uint64_t SerialTriangleCount(const Graph& g) {
+  uint64_t triangles = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto adj = g.neighbors(v);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      const VertexId u = adj[i];
+      if (u <= v) {
+        continue;
+      }
+      const auto adj_u = g.neighbors(u);
+      // Count w > u adjacent to both v and u.
+      auto it_v = std::upper_bound(adj.begin(), adj.end(), u);
+      auto it_u = adj_u.begin();
+      while (it_v != adj.end() && it_u != adj_u.end()) {
+        if (*it_v < *it_u) {
+          ++it_v;
+        } else if (*it_u < *it_v) {
+          ++it_u;
+        } else {
+          ++triangles;
+          ++it_v;
+          ++it_u;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+namespace {
+
+struct CliqueSearch {
+  const Graph& g;
+  uint64_t best = 0;
+  WallTimer timer;
+  double budget_seconds;
+  bool timed_out = false;
+  int steps = 0;
+
+  bool Cancelled() {
+    if (budget_seconds <= 0.0) {
+      return false;
+    }
+    if (++steps >= 4096) {
+      steps = 0;
+      if (timer.ElapsedSeconds() > budget_seconds) {
+        timed_out = true;
+      }
+    }
+    return timed_out;
+  }
+
+  uint32_t ColorBound(const std::vector<VertexId>& cand) {
+    std::unordered_map<VertexId, uint32_t> color;
+    uint32_t num_colors = 0;
+    std::vector<bool> used;
+    for (const VertexId v : cand) {
+      used.assign(num_colors + 1, false);
+      for (const VertexId u : g.neighbors(v)) {
+        auto it = color.find(u);
+        if (it != color.end()) {
+          used[it->second] = true;
+        }
+      }
+      uint32_t c = 0;
+      while (c < used.size() && used[c]) {
+        ++c;
+      }
+      color[v] = c;
+      num_colors = std::max(num_colors, c + 1);
+    }
+    return num_colors;
+  }
+
+  void Expand(std::vector<VertexId>& cand, uint64_t r_size) {
+    if (Cancelled()) {
+      return;
+    }
+    if (cand.empty()) {
+      best = std::max(best, r_size);
+      return;
+    }
+    if (r_size + cand.size() <= best) {
+      return;
+    }
+    if (r_size + ColorBound(cand) <= best) {
+      return;
+    }
+    while (!cand.empty()) {
+      if (r_size + cand.size() <= best || Cancelled()) {
+        return;
+      }
+      const VertexId v = cand.back();
+      cand.pop_back();
+      const auto adj = g.neighbors(v);
+      std::vector<VertexId> next;
+      for (const VertexId u : cand) {
+        if (std::binary_search(adj.begin(), adj.end(), u)) {
+          next.push_back(u);
+        }
+      }
+      if (r_size + 1 + next.size() > best) {
+        Expand(next, r_size + 1);
+      } else {
+        best = std::max(best, r_size + 1);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+uint64_t SerialMaxClique(const Graph& g, double budget_seconds, bool* timed_out) {
+  CliqueSearch search{g, /*best=*/0, WallTimer(), budget_seconds};
+  if (g.num_vertices() > 0) {
+    search.best = 1;
+  }
+  // Degeneracy-flavored order: ascending degree, branched from the back
+  // (densest first).
+  std::vector<VertexId> order(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    order[v] = v;
+  }
+  std::sort(order.begin(), order.end(),
+            [&g](VertexId a, VertexId b) { return g.degree(a) < g.degree(b); });
+  search.Expand(order, 0);
+  if (timed_out != nullptr) {
+    *timed_out = search.timed_out;
+  }
+  return search.best;
+}
+
+uint64_t SerialGraphMatch(const Graph& g, const TreePattern& pattern) {
+  // Bottom-up homomorphism DP: cnt[pn][v] for v with the right label.
+  std::vector<std::unordered_map<VertexId, uint64_t>> cnt(pattern.nodes.size());
+  for (int level = pattern.max_depth(); level >= 0; --level) {
+    for (const int pn : pattern.levels[static_cast<size_t>(level)]) {
+      const Label label = pattern.nodes[static_cast<size_t>(pn)].label;
+      const auto& children = pattern.nodes[static_cast<size_t>(pn)].children;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (g.label(v) != label) {
+          continue;
+        }
+        uint64_t product = 1;
+        for (const int child : children) {
+          uint64_t sum = 0;
+          const auto& child_cnt = cnt[static_cast<size_t>(child)];
+          for (const VertexId u : g.neighbors(v)) {
+            auto it = child_cnt.find(u);
+            if (it != child_cnt.end()) {
+              sum += it->second;
+            }
+          }
+          product *= sum;
+          if (product == 0) {
+            break;
+          }
+        }
+        if (product > 0) {
+          cnt[static_cast<size_t>(pn)][v] = product;
+        }
+      }
+    }
+  }
+  uint64_t total = 0;
+  for (const auto& [v, c] : cnt[0]) {
+    total += c;
+  }
+  return total;
+}
+
+uint64_t SerialGraphMatchPerSeed(const Graph& g, const TreePattern& pattern) {
+  uint64_t total = 0;
+  const Label root_label = pattern.nodes[0].label;
+  for (VertexId seed = 0; seed < g.num_vertices(); ++seed) {
+    if (g.label(seed) != root_label) {
+      continue;
+    }
+    // Frontier expansion identical to GraphMatchTask, with direct access.
+    struct Entry {
+      int pn;
+      VertexId parent;
+      VertexId vertex;
+    };
+    std::vector<Entry> frontier{{0, kInvalidVertex, seed}};
+    // match edges per (pattern child, parent vertex) → children.
+    std::map<std::pair<int, VertexId>, std::vector<VertexId>> edges;
+    std::set<std::pair<int, VertexId>> matched;
+    bool dead = false;
+    while (!dead) {
+      std::vector<Entry> level_matched;
+      for (const Entry& e : frontier) {
+        if (g.label(e.vertex) == pattern.nodes[static_cast<size_t>(e.pn)].label) {
+          level_matched.push_back(e);
+        }
+      }
+      if (level_matched.empty()) {
+        dead = true;
+        break;
+      }
+      for (const Entry& e : level_matched) {
+        if (e.parent != kInvalidVertex) {
+          edges[{e.pn, e.parent}].push_back(e.vertex);
+          matched.emplace(e.pn, e.vertex);
+        }
+      }
+      std::set<std::pair<int, VertexId>> expanded;
+      std::vector<Entry> next;
+      for (const Entry& e : level_matched) {
+        if (!expanded.emplace(e.pn, e.vertex).second) {
+          continue;
+        }
+        for (const int child : pattern.nodes[static_cast<size_t>(e.pn)].children) {
+          for (const VertexId u : g.neighbors(e.vertex)) {
+            next.push_back({child, e.vertex, u});
+          }
+        }
+      }
+      if (next.empty()) {
+        // Count via the same bottom-up product the task uses.
+        std::map<std::pair<int, VertexId>, uint64_t> memo;
+        for (int level = pattern.max_depth(); level >= 0; --level) {
+          for (const int pn : pattern.levels[static_cast<size_t>(level)]) {
+            std::vector<VertexId> here;
+            if (pn == 0) {
+              here.push_back(seed);
+            } else {
+              for (const auto& [node, v] : matched) {
+                if (node == pn) {
+                  here.push_back(v);
+                }
+              }
+            }
+            for (const VertexId v : here) {
+              uint64_t product = 1;
+              for (const int child : pattern.nodes[static_cast<size_t>(pn)].children) {
+                uint64_t sum = 0;
+                auto it = edges.find({child, v});
+                if (it != edges.end()) {
+                  std::vector<VertexId> ws = it->second;
+                  std::sort(ws.begin(), ws.end());
+                  ws.erase(std::unique(ws.begin(), ws.end()), ws.end());
+                  for (const VertexId w : ws) {
+                    auto mt = memo.find({child, w});
+                    if (mt != memo.end()) {
+                      sum += mt->second;
+                    }
+                  }
+                }
+                product *= sum;
+                if (product == 0) {
+                  break;
+                }
+              }
+              memo[{pn, v}] = product;
+            }
+          }
+        }
+        auto it = memo.find({0, seed});
+        if (it != memo.end()) {
+          total += it->second;
+        }
+        break;
+      }
+      frontier = std::move(next);
+    }
+  }
+  return total;
+}
+
+namespace {
+
+// Independent Bron–Kerbosch (with pivot) used by the CD oracle. Counts
+// maximal cliques of the induced graph over `members` whose size + 1 (for the
+// implicit seed) reaches min_size.
+void OracleBk(const std::vector<std::vector<uint32_t>>& adj, std::vector<uint32_t>& r,
+              std::vector<uint32_t> p, std::vector<uint32_t> x, uint32_t min_size,
+              uint64_t& found) {
+  if (p.empty() && x.empty()) {
+    if (r.size() + 1 >= min_size) {
+      ++found;
+    }
+    return;
+  }
+  uint32_t pivot = 0;
+  size_t best = 0;
+  bool have = false;
+  for (const auto* set : {&p, &x}) {
+    for (const uint32_t u : *set) {
+      size_t cnt = 0;
+      for (const uint32_t w : p) {
+        if (std::binary_search(adj[u].begin(), adj[u].end(), w)) {
+          ++cnt;
+        }
+      }
+      if (!have || cnt > best) {
+        best = cnt;
+        pivot = u;
+        have = true;
+      }
+    }
+  }
+  std::vector<uint32_t> branch;
+  for (const uint32_t u : p) {
+    if (!std::binary_search(adj[pivot].begin(), adj[pivot].end(), u)) {
+      branch.push_back(u);
+    }
+  }
+  for (const uint32_t v : branch) {
+    std::vector<uint32_t> p_next;
+    std::vector<uint32_t> x_next;
+    for (const uint32_t u : p) {
+      if (std::binary_search(adj[v].begin(), adj[v].end(), u)) {
+        p_next.push_back(u);
+      }
+    }
+    for (const uint32_t u : x) {
+      if (std::binary_search(adj[v].begin(), adj[v].end(), u)) {
+        x_next.push_back(u);
+      }
+    }
+    r.push_back(v);
+    OracleBk(adj, r, std::move(p_next), std::move(x_next), min_size, found);
+    r.pop_back();
+    p.erase(std::find(p.begin(), p.end(), v));
+    x.push_back(v);
+  }
+}
+
+}  // namespace
+
+uint64_t SerialCommunityCount(const Graph& g, const CdParams& params) {
+  uint64_t total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto adj = g.neighbors(v);
+    if (adj.size() < params.min_degree) {
+      continue;
+    }
+    std::vector<VertexId> cand;
+    for (const VertexId u : adj) {
+      if (u > v) {
+        cand.push_back(u);
+      }
+    }
+    if (cand.size() + 1 < params.min_size) {
+      continue;
+    }
+    std::vector<VertexId> filtered;
+    for (const VertexId u : cand) {
+      if (AttrSimilarity(g.attributes(u), g.attributes(v)) >= params.min_similarity) {
+        filtered.push_back(u);
+      }
+    }
+    if (filtered.size() + 1 < params.min_size) {
+      continue;
+    }
+    std::unordered_map<VertexId, uint32_t> index;
+    for (uint32_t i = 0; i < filtered.size(); ++i) {
+      index.emplace(filtered[i], i);
+    }
+    std::vector<std::vector<uint32_t>> iadj(filtered.size());
+    for (uint32_t i = 0; i < filtered.size(); ++i) {
+      for (const VertexId u : g.neighbors(filtered[i])) {
+        auto it = index.find(u);
+        if (it != index.end()) {
+          iadj[i].push_back(it->second);
+        }
+      }
+      std::sort(iadj[i].begin(), iadj[i].end());
+    }
+    std::vector<uint32_t> p(filtered.size());
+    for (uint32_t i = 0; i < p.size(); ++i) {
+      p[i] = i;
+    }
+    std::vector<uint32_t> r;
+    OracleBk(iadj, r, std::move(p), {}, params.min_size, total);
+  }
+  return total;
+}
+
+std::vector<std::vector<VertexId>> SerialFocusedClusters(const Graph& g,
+                                                         const GcParams& params) {
+  std::vector<std::vector<VertexId>> clusters;
+  for (const VertexId seed : params.exemplars) {
+    // Mirror FocusedClusterTask exactly, with direct graph access.
+    struct Member {
+      VertexId id;
+      std::vector<AttrValue> attrs;
+      std::vector<VertexId> adj;
+    };
+    const auto make_member = [&g](VertexId v) {
+      const auto attrs = g.attributes(v);
+      const auto adj = g.neighbors(v);
+      return Member{v, {attrs.begin(), attrs.end()}, {adj.begin(), adj.end()}};
+    };
+    std::vector<Member> members{make_member(seed)};
+    std::set<VertexId> banned;
+    const auto boundary_of = [&] {
+      std::set<VertexId> ids;
+      for (const Member& m : members) {
+        ids.insert(m.id);
+      }
+      std::set<VertexId> boundary;
+      for (const Member& m : members) {
+        for (const VertexId u : m.adj) {
+          if (ids.count(u) == 0 && banned.count(u) == 0) {
+            boundary.insert(u);
+          }
+        }
+      }
+      return boundary;
+    };
+    std::set<VertexId> boundary = boundary_of();
+    if (boundary.empty()) {
+      continue;
+    }
+    for (int round = 0; round < params.max_rounds; ++round) {
+      bool changed = false;
+      std::vector<std::pair<double, VertexId>> scored;
+      for (const VertexId u : boundary) {
+        const auto u_adj = g.neighbors(u);
+        const auto u_attrs = g.attributes(u);
+        double total = 0.0;
+        size_t adjacent = 0;
+        for (const Member& m : members) {
+          if (std::binary_search(u_adj.begin(), u_adj.end(), m.id)) {
+            total += WeightedAttrSimilarity(u_attrs, m.attrs, params.weights);
+            ++adjacent;
+          }
+        }
+        double score = 0.0;
+        if (adjacent > 0) {
+          const double semantic = total / static_cast<double>(adjacent);
+          const double structural =
+              static_cast<double>(adjacent) / static_cast<double>(members.size());
+          score = semantic * std::sqrt(structural);
+        }
+        if (score >= params.accept_threshold) {
+          scored.emplace_back(score, u);
+        }
+      }
+      std::sort(scored.begin(), scored.end(), std::greater<>());
+      for (const auto& [score, u] : scored) {
+        if (members.size() >= params.max_cluster) {
+          break;
+        }
+        members.push_back(make_member(u));
+        changed = true;
+      }
+      if (members.size() > 1) {
+        std::vector<Member> kept;
+        for (size_t i = 0; i < members.size(); ++i) {
+          if (members[i].id == seed) {
+            kept.push_back(std::move(members[i]));
+            continue;
+          }
+          double total = 0.0;
+          for (size_t j = 0; j < members.size(); ++j) {
+            if (j != i) {
+              total +=
+                  WeightedAttrSimilarity(members[i].attrs, members[j].attrs, params.weights);
+            }
+          }
+          if (total / static_cast<double>(members.size() - 1) < params.shrink_threshold) {
+            banned.insert(members[i].id);
+            changed = true;
+          } else {
+            kept.push_back(std::move(members[i]));
+          }
+        }
+        members = std::move(kept);
+      }
+      if (!changed && round > 0) {
+        break;
+      }
+      boundary = boundary_of();
+      if (boundary.empty() || members.size() >= params.max_cluster) {
+        break;
+      }
+    }
+    if (members.size() >= params.min_cluster) {
+      std::vector<VertexId> ids;
+      ids.reserve(members.size());
+      for (const Member& m : members) {
+        ids.push_back(m.id);
+      }
+      std::sort(ids.begin(), ids.end());
+      clusters.push_back(std::move(ids));
+    }
+  }
+  return clusters;
+}
+
+}  // namespace gminer

@@ -1,0 +1,50 @@
+// Optimized single-threaded implementations of the five mining applications.
+// They serve two roles: (1) the single-thread baseline of Table 1 and the
+// COST measurement of Fig. 7 (McSherry et al.), and (2) the correctness
+// oracle the test suite compares every distributed engine against. Semantics
+// match the distributed apps exactly (same seed rules, same filters, same
+// counting), so results must be equal, not merely close.
+#ifndef GMINER_BASELINES_SERIAL_H_
+#define GMINER_BASELINES_SERIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/cd.h"
+#include "apps/gc.h"
+#include "apps/gm.h"
+#include "graph/graph.h"
+
+namespace gminer {
+
+// Triangle count via sorted higher-neighbor intersection.
+uint64_t SerialTriangleCount(const Graph& g);
+
+// Maximum clique size via Tomita-style branch and bound with a greedy
+// coloring bound. `budget_seconds` = 0 disables the timeout; on timeout the
+// best bound found so far is returned and *timed_out is set.
+uint64_t SerialMaxClique(const Graph& g, double budget_seconds = 0.0,
+                         bool* timed_out = nullptr);
+
+// Tree-pattern homomorphism count (same semantics as GraphMatchJob), via a
+// global bottom-up dynamic program — the fastest single-threaded algorithm,
+// used as the correctness oracle.
+uint64_t SerialGraphMatch(const Graph& g, const TreePattern& pattern);
+
+// Same count via sequential per-seed exploration — one root task at a time,
+// expanding level by level exactly as the distributed tasks do. This is the
+// like-for-like single-threaded baseline for the COST measurement (Fig. 7):
+// the same algorithm on one thread, as the paper compares.
+uint64_t SerialGraphMatchPerSeed(const Graph& g, const TreePattern& pattern);
+
+// Community count with CommunityJob's exact seed/filter/maximal-clique rules.
+uint64_t SerialCommunityCount(const Graph& g, const CdParams& params);
+
+// Focused clusters with FocusedClusterTask's exact expand/shrink algorithm;
+// returns the sorted member lists of clusters meeting min_cluster.
+std::vector<std::vector<VertexId>> SerialFocusedClusters(const Graph& g,
+                                                         const GcParams& params);
+
+}  // namespace gminer
+
+#endif  // GMINER_BASELINES_SERIAL_H_

@@ -1,0 +1,92 @@
+// Multi-producer multi-consumer blocking queue. Backbone of the task pipeline:
+// the communication queue (CMQ hand-off), the computation queue (CPQ) and the
+// network mailboxes are all instances of this type.
+#ifndef GMINER_COMMON_BLOCKING_QUEUE_H_
+#define GMINER_COMMON_BLOCKING_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace gminer {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  BlockingQueue() = default;
+
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  // Enqueues an item. Returns false when the queue has been closed (the item
+  // is dropped in that case).
+  bool Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  // Returns nullopt only after Close() once all items are consumed.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Wakes all waiters; subsequent Pop() calls drain remaining items then
+  // return nullopt. Pushing after Close() is a no-op.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_COMMON_BLOCKING_QUEUE_H_

@@ -1,0 +1,78 @@
+// Configuration for a G-Miner deployment and job run. Mirrors the knobs the
+// paper exposes: worker count (cluster size), computing threads per worker
+// (cores), RCV cache capacity, task-store block capacity, LSH priority queue
+// on/off, task stealing on/off with its thresholds, and resource budgets used
+// to reproduce the paper's OOM / timeout verdicts for the baseline engines.
+#ifndef GMINER_COMMON_CONFIG_H_
+#define GMINER_COMMON_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gminer {
+
+enum class PartitionStrategy {
+  kHash,  // vertex-id hashing (the default of most existing systems)
+  kBdg,   // Block-based Deterministic Greedy partitioning (§6.1)
+};
+
+struct JobConfig {
+  // Cluster shape. One Worker models one slave node of the paper's cluster.
+  int num_workers = 4;
+  int threads_per_worker = 2;  // computing threads in the task executor
+
+  PartitionStrategy partition = PartitionStrategy::kBdg;
+
+  // BDG partitioning (§6.1).
+  int bdg_num_sources = 64;   // BFS sources colored per round
+  int bdg_bfs_depth = 3;      // steps taken by each BFS before re-sampling
+  int bdg_max_rounds = 16;    // rounds before the Hash-Min CC fallback kicks in
+
+  // Task pipeline (§4.3, §7).
+  size_t rcv_cache_capacity = 1 << 16;  // max resident remote vertices per worker
+  size_t task_block_capacity = 1024;    // tasks per priority-queue block
+  size_t task_store_memory_blocks = 1;  // head blocks kept in memory (paper: 1)
+  size_t task_buffer_batch = 64;        // task-buffer flush batch size
+  size_t pipeline_depth = 128;          // max tasks admitted into CMQ+CPQ at once
+  bool enable_lsh = true;               // LSH-keyed priority queue (Fig. 12 ablation)
+  int lsh_num_hashes = 16;
+  int lsh_bands = 4;
+
+  // Dynamic load balancing (§6.2, Fig. 13 ablation).
+  bool enable_stealing = true;
+  int steal_batch = 32;                  // Tnum: tasks migrated per MIGRATE
+  size_t steal_cost_threshold = 4096;    // Tc: max |subG| + |candVtxs| to migrate
+  double steal_local_rate_threshold = 0.8;  // Tr: max locality for migration
+  // Improved cost model (the paper's §9 future work): instead of taking any
+  // task under the (Tc, Tr) thresholds, rank the eligible tasks and migrate
+  // the cheapest-to-move, least-local ones first.
+  bool steal_ranked_selection = true;
+  int progress_interval_ms = 5;          // progress reporter period
+
+  // Aggregator sync period (global pruning freshness, e.g. current max clique).
+  int aggregator_interval_ms = 2;
+
+  // Simulated network. Bytes are always accounted; latency is optional.
+  int64_t net_latency_us = 0;
+  double net_bandwidth_gbps = 1.0;  // used to express network utilization in %
+
+  // Disk spill location for the task store. Empty = std::filesystem::temp_directory_path().
+  std::string spill_dir;
+
+  // Resource budgets. Zero means unlimited. Engines that exceed the budget
+  // abort the job with JobStatus::kOutOfMemory / kTimeout, reproducing the
+  // "x" / "-" entries of Tables 1 and 3.
+  size_t memory_budget_bytes = 0;
+  double time_budget_seconds = 0.0;
+
+  // Utilization sampling for the Fig. 5 / Fig. 6 timelines.
+  bool sample_utilization = false;
+  int sample_interval_ms = 20;
+
+  uint64_t seed = 42;  // job-level RNG seed (seed ordering, LSH hash seeds)
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_COMMON_CONFIG_H_

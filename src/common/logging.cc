@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace gminer {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
+std::mutex& LogMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, message.c_str());
+}
+
+void CheckFailureImpl(const char* cond, const char* file, int line, const std::string& message) {
+  LogMessage(LogLevel::kError, file, line,
+             std::string("CHECK failed: ") + cond + (message.empty() ? "" : " — " + message));
+  std::abort();
+}
+
+}  // namespace gminer

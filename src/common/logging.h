@@ -1,0 +1,99 @@
+// Minimal thread-safe leveled logging for the G-Miner runtime.
+//
+// The runtime is heavily multi-threaded (per-worker communication threads,
+// computing thread pools, the master progress loop), so all sinks serialize
+// through a single mutex. Logging defaults to kWarn so that tests and
+// benchmarks stay quiet; examples raise it to kInfo.
+#ifndef GMINER_COMMON_LOGGING_H_
+#define GMINER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gminer {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Sets the global log threshold. Messages below the threshold are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Writes one formatted line to stderr under the global log mutex.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+// Stream-style helper used by the GM_LOG macro. Accumulates into a string and
+// emits on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace gminer
+
+#define GM_LOG(level)                                        \
+  if (static_cast<int>(level) < static_cast<int>(::gminer::GetLogLevel())) { \
+  } else                                                     \
+    ::gminer::LogStream(level, __FILE__, __LINE__)
+
+#define GM_LOG_DEBUG GM_LOG(::gminer::LogLevel::kDebug)
+#define GM_LOG_INFO GM_LOG(::gminer::LogLevel::kInfo)
+#define GM_LOG_WARN GM_LOG(::gminer::LogLevel::kWarn)
+#define GM_LOG_ERROR GM_LOG(::gminer::LogLevel::kError)
+
+// Invariant check that stays on in release builds. The runtime relies on these
+// for pipeline state-machine transitions that must never be silently wrong.
+#define GM_CHECK(cond)                                                            \
+  if (cond) {                                                                     \
+  } else                                                                          \
+    ::gminer::CheckFailure(#cond, __FILE__, __LINE__)
+
+namespace gminer {
+// Aborts the process after logging the failed condition.
+[[noreturn]] void CheckFailureImpl(const char* cond, const char* file, int line,
+                                   const std::string& message);
+
+class CheckFailure {
+ public:
+  CheckFailure(const char* cond, const char* file, int line)
+      : cond_(cond), file_(file), line_(line) {}
+  ~CheckFailure() { CheckFailureImpl(cond_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* cond_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_COMMON_LOGGING_H_

@@ -1,0 +1,47 @@
+// Deterministic random number generation. Every source of randomness in the
+// repository (graph generators, label assignment, LSH hash seeds, workload
+// skew) flows through an explicitly seeded Rng so experiments are repeatable.
+#ifndef GMINER_COMMON_RNG_H_
+#define GMINER_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace gminer {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextUint64(uint64_t bound) {
+    return std::uniform_int_distribution<uint64_t>(0, bound - 1)(engine_);
+  }
+
+  uint32_t NextUint32(uint32_t bound) {
+    return std::uniform_int_distribution<uint32_t>(0, bound - 1)(engine_);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  // Forks an independent stream; child streams are decorrelated by mixing the
+  // parent state with a SplitMix64 step.
+  Rng Fork() {
+    uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_COMMON_RNG_H_

@@ -1,0 +1,109 @@
+// Byte-oriented serialization used for everything that crosses a worker
+// boundary: pulled vertex records, migrated tasks, aggregator partials, and
+// checkpoint state. Keeping serialization explicit lets the simulated network
+// account the exact number of bytes a real deployment would move.
+#ifndef GMINER_COMMON_SERIALIZE_H_
+#define GMINER_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gminer {
+
+// Append-only output byte buffer.
+class OutArchive {
+ public:
+  OutArchive() = default;
+
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>, "Write requires a trivially copyable type");
+    const auto* bytes = reinterpret_cast<const uint8_t*>(&value);
+    buffer_.insert(buffer_.end(), bytes, bytes + sizeof(T));
+  }
+
+  void WriteString(const std::string& s) {
+    Write<uint64_t>(s.size());
+    buffer_.insert(buffer_.end(), s.begin(), s.end());
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "WriteVector requires trivially copyable elements");
+    Write<uint64_t>(v.size());
+    if (!v.empty()) {
+      const auto* bytes = reinterpret_cast<const uint8_t*>(v.data());
+      buffer_.insert(buffer_.end(), bytes, bytes + v.size() * sizeof(T));
+    }
+  }
+
+  void WriteBytes(const std::vector<uint8_t>& bytes) {
+    Write<uint64_t>(bytes.size());
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+// Sequential reader over a byte buffer produced by OutArchive.
+class InArchive {
+ public:
+  explicit InArchive(std::vector<uint8_t> buffer) : buffer_(std::move(buffer)) {}
+  InArchive(const uint8_t* data, size_t size) : buffer_(data, data + size) {}
+
+  template <typename T>
+  T Read() {
+    static_assert(std::is_trivially_copyable_v<T>, "Read requires a trivially copyable type");
+    GM_CHECK(pos_ + sizeof(T) <= buffer_.size()) << "archive underflow";
+    T value;
+    std::memcpy(&value, buffer_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string ReadString() {
+    const uint64_t n = Read<uint64_t>();
+    GM_CHECK(pos_ + n <= buffer_.size()) << "archive underflow";
+    std::string s(reinterpret_cast<const char*>(buffer_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> ReadVector() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ReadVector requires trivially copyable elements");
+    const uint64_t n = Read<uint64_t>();
+    GM_CHECK(pos_ + n * sizeof(T) <= buffer_.size()) << "archive underflow";
+    std::vector<T> v(n);
+    if (n > 0) {
+      std::memcpy(v.data(), buffer_.data() + pos_, n * sizeof(T));
+      pos_ += n * sizeof(T);
+    }
+    return v;
+  }
+
+  std::vector<uint8_t> ReadBytes() { return ReadVector<uint8_t>(); }
+
+  bool AtEnd() const { return pos_ == buffer_.size(); }
+  size_t remaining() const { return buffer_.size() - pos_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_COMMON_SERIALIZE_H_

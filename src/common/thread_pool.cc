@@ -1,0 +1,81 @@
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace gminer {
+
+ThreadPool::ThreadPool(int num_threads) {
+  GM_CHECK(num_threads > 0);
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { RunLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(wait_mutex_);
+    GM_CHECK(!shutdown_) << "Submit after Shutdown";
+    ++pending_;
+  }
+  queue_.Push(std::move(fn));
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(wait_mutex_);
+  wait_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(wait_mutex_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+  }
+  queue_.Close();
+  for (auto& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void ThreadPool::RunLoop() {
+  while (true) {
+    auto fn = queue_.Pop();
+    if (!fn.has_value()) {
+      return;
+    }
+    (*fn)();
+    {
+      std::lock_guard<std::mutex> lock(wait_mutex_);
+      --pending_;
+      if (pending_ == 0) {
+        wait_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, int64_t n, const std::function<void(int64_t)>& fn) {
+  const int64_t chunks = pool.num_threads() * 4;
+  const int64_t chunk = (n + chunks - 1) / (chunks > 0 ? chunks : 1);
+  if (chunk <= 0) {
+    return;
+  }
+  for (int64_t begin = 0; begin < n; begin += chunk) {
+    const int64_t end = begin + chunk < n ? begin + chunk : n;
+    pool.Submit([begin, end, &fn] {
+      for (int64_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace gminer

@@ -1,0 +1,55 @@
+// Fixed-size worker thread pool. Used by the batch-synchronous baseline
+// engine and by parallel phases of BDG partitioning; the G-Miner task
+// executor manages its own computing threads directly because their lifetime
+// is tied to the pipeline, not to individual closures.
+#ifndef GMINER_COMMON_THREAD_POOL_H_
+#define GMINER_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+
+namespace gminer {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Schedules a closure. Must not be called after Shutdown().
+  void Submit(std::function<void()> fn);
+
+  // Blocks until every submitted closure has finished executing.
+  void Wait();
+
+  // Drains outstanding work and joins all threads. Idempotent; also called by
+  // the destructor.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void RunLoop();
+
+  BlockingQueue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::mutex wait_mutex_;
+  std::condition_variable wait_cv_;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+void ParallelFor(ThreadPool& pool, int64_t n, const std::function<void(int64_t)>& fn);
+
+}  // namespace gminer
+
+#endif  // GMINER_COMMON_THREAD_POOL_H_

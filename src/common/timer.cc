@@ -1,0 +1,24 @@
+#include "common/timer.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <thread>
+
+namespace gminer {
+
+int64_t ThreadCpuNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+int EffectiveCores(int configured) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) {
+    return configured;
+  }
+  return std::max(1, std::min(configured, hw));
+}
+
+}  // namespace gminer

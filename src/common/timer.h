@@ -1,0 +1,64 @@
+// Wall-clock timing helpers used by the runtime, benchmarks and the
+// utilization sampler.
+#ifndef GMINER_COMMON_TIMER_H_
+#define GMINER_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gminer {
+
+// Monotonic stopwatch. Started on construction; Restart() resets the origin.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Returns a process-wide monotonic timestamp in nanoseconds. Utilization
+// samples and pipeline events are stamped with this clock.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// CPU time consumed by the calling thread, in nanoseconds. Compute busy-time
+// accounting uses this instead of wall time so that CPU-utilization numbers
+// stay honest when worker threads oversubscribe the physical cores.
+int64_t ThreadCpuNanos();
+
+// CPU-time stopwatch for the calling thread.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(ThreadCpuNanos()) {}
+  int64_t ElapsedNanos() const { return ThreadCpuNanos() - start_; }
+
+ private:
+  int64_t start_;
+};
+
+// Core count available to utilization math: the configured logical core
+// count, capped by what the hardware actually provides.
+int EffectiveCores(int configured);
+
+}  // namespace gminer
+
+#endif  // GMINER_COMMON_TIMER_H_

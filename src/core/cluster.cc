@@ -1,0 +1,144 @@
+#include "core/cluster.h"
+
+#include <filesystem>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/master.h"
+#include "core/worker.h"
+#include "metrics/sampler.h"
+#include "net/network.h"
+#include "partition/bdg_partitioner.h"
+#include "partition/hash_partitioner.h"
+#include "storage/spill_file.h"
+
+namespace gminer {
+
+namespace {
+
+std::string CheckpointFile(const std::string& dir, int index) {
+  return dir + "/worker_" + std::to_string(index) + ".tasks";
+}
+
+}  // namespace
+
+JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) {
+  JobResult result;
+
+  // --- Partitioning phase (Fig. 11 reports it separately) ---
+  WallTimer partition_timer;
+  std::unique_ptr<Partitioner> partitioner;
+  if (config_.partition == PartitionStrategy::kBdg) {
+    partitioner = std::make_unique<BdgPartitioner>(config_.bdg_num_sources,
+                                                   config_.bdg_bfs_depth,
+                                                   config_.bdg_max_rounds, config_.seed);
+  } else {
+    partitioner = std::make_unique<HashPartitioner>();
+  }
+  auto owner = std::make_shared<const std::vector<WorkerId>>(
+      partitioner->Partition(g, config_.num_workers));
+  result.partition_seconds = partition_timer.ElapsedSeconds();
+
+  // --- Deployment ---
+  ClusterState state;
+  std::vector<std::unique_ptr<WorkerCounters>> counters;
+  std::vector<WorkerCounters*> counter_ptrs;
+  counters.reserve(static_cast<size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    counters.push_back(std::make_unique<WorkerCounters>());
+    counter_ptrs.push_back(counters.back().get());
+  }
+  counter_ptrs.push_back(nullptr);  // master endpoint: no accounting
+  Network net(config_.num_workers + 1, counter_ptrs, config_.net_latency_us > 0,
+              config_.net_bandwidth_gbps, config_.net_latency_us);
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(static_cast<size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers.push_back(
+        std::make_unique<Worker>(i, config_, &net, &state, counters[i].get(), &job));
+    workers.back()->LoadPartition(g, owner);
+    if (!options.checkpoint_dir.empty()) {
+      std::filesystem::create_directories(options.checkpoint_dir);
+      workers.back()->set_checkpoint_path(CheckpointFile(options.checkpoint_dir, i));
+    }
+  }
+
+  // Recovery: load checkpointed seed batches instead of generating seeds.
+  std::vector<std::vector<std::vector<uint8_t>>> recovered(
+      static_cast<size_t>(config_.num_workers));
+  const bool recovering = !options.recover_dir.empty();
+  if (recovering) {
+    for (int i = 0; i < config_.num_workers; ++i) {
+      const int source = options.recover_assignment.empty()
+                             ? i
+                             : options.recover_assignment[static_cast<size_t>(i)];
+      const std::string path = CheckpointFile(options.recover_dir, source);
+      if (std::filesystem::exists(path)) {
+        // Checkpoint files must survive recovery (a second failure may need
+        // them), so read a copy rather than consuming the file.
+        const std::string scratch = path + ".recover";
+        std::filesystem::copy_file(path, scratch,
+                                   std::filesystem::copy_options::overwrite_existing);
+        int64_t bytes = 0;
+        recovered[static_cast<size_t>(i)] = ReadSpillBlock(scratch, &bytes);
+      }
+    }
+  }
+
+  const int total_cores = EffectiveCores(config_.num_workers * config_.threads_per_worker);
+  const auto snapshot_all = [&counters] {
+    CountersSnapshot total;
+    for (const auto& c : counters) {
+      total += Snapshot(*c);
+    }
+    return total;
+  };
+  std::unique_ptr<UtilizationSampler> sampler;
+  if (config_.sample_utilization) {
+    sampler = std::make_unique<UtilizationSampler>(snapshot_all, total_cores,
+                                                   config_.net_bandwidth_gbps,
+                                                   config_.sample_interval_ms);
+    sampler->Start();
+  }
+
+  // --- Job execution ---
+  WallTimer job_timer;
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers[static_cast<size_t>(i)]->Start(
+        recovering ? &recovered[static_cast<size_t>(i)] : nullptr);
+  }
+  Master master(config_, &net, &state, &job);
+  result.final_aggregate = master.Run();
+  for (auto& worker : workers) {
+    worker->Join();
+  }
+  result.elapsed_seconds = job_timer.ElapsedSeconds();
+
+  if (sampler != nullptr) {
+    sampler->Stop();
+    result.utilization = sampler->TakeSamples();
+  }
+
+  // --- Metrics collection ---
+  result.status = state.final_status();
+  result.peak_memory_bytes = state.memory.peak();
+  for (const auto& c : counters) {
+    result.per_worker.push_back(Snapshot(*c));
+    result.totals += result.per_worker.back();
+  }
+  result.avg_cpu_utilization =
+      result.elapsed_seconds > 0.0
+          ? static_cast<double>(result.totals.compute_busy_ns) /
+                (result.elapsed_seconds * 1e9 * total_cores)
+          : 0.0;
+  for (auto& worker : workers) {
+    for (auto& line : worker->TakeOutputs()) {
+      result.outputs.push_back(std::move(line));
+    }
+  }
+  workers.clear();  // tear down before the network
+  return result;
+}
+
+}  // namespace gminer

@@ -1,0 +1,51 @@
+// In-process deployment of a G-Miner cluster: N workers plus a master wired
+// through the simulated network. One Cluster::Run() call corresponds to one
+// job submission in the paper's system.
+#ifndef GMINER_CORE_CLUSTER_H_
+#define GMINER_CORE_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/job.h"
+#include "core/job_result.h"
+#include "graph/graph.h"
+
+namespace gminer {
+
+struct RunOptions {
+  // When non-empty, each worker writes its seed tasks to
+  // <checkpoint_dir>/worker_<i>.tasks before processing (fault tolerance §7:
+  // recovery re-runs tasks from the previous checkpoint).
+  std::string checkpoint_dir;
+
+  // When non-empty, workers skip GenerateSeeds() and recover their task sets
+  // from <recover_dir>/worker_<i>.tasks instead.
+  std::string recover_dir;
+
+  // Optional remap for recovery after a "node failure": entry i names the
+  // checkpoint file index whose tasks worker i should adopt (tasks are
+  // independent, so any worker can re-run any checkpointed task). Empty =
+  // identity mapping.
+  std::vector<int> recover_assignment;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(JobConfig config) : config_(std::move(config)) {}
+
+  // Partitions g (timed separately), deploys workers + master, runs the job
+  // to completion (or budget violation) and gathers metrics and outputs.
+  JobResult Run(const Graph& g, JobBase& job, const RunOptions& options = {});
+
+  const JobConfig& config() const { return config_; }
+
+ private:
+  JobConfig config_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_CORE_CLUSTER_H_

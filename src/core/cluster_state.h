@@ -1,0 +1,42 @@
+// Control-plane state shared by all workers and the master of one job run.
+// This stands in for the cluster-wide invariants a real deployment maintains
+// through its control messages: the global count of live tasks (termination
+// detection for the independent-task model), cancellation, and the job-wide
+// memory tracker.
+#ifndef GMINER_CORE_CLUSTER_STATE_H_
+#define GMINER_CORE_CLUSTER_STATE_H_
+
+#include <atomic>
+
+#include "core/job_result.h"
+#include "metrics/memory_tracker.h"
+
+namespace gminer {
+
+struct ClusterState {
+  // Tasks created minus tasks dead, cluster-wide. The job completes when all
+  // workers finished seeding and this reaches zero — tasks are independent,
+  // so no other in-flight state can produce new work.
+  std::atomic<int64_t> live_tasks{0};
+
+  // Workers that have finished GenerateSeeds().
+  std::atomic<int> workers_seeded{0};
+
+  // Set by the master on budget violation; workers drop remaining work.
+  std::atomic<bool> cancelled{false};
+  std::atomic<int> status{static_cast<int>(JobStatus::kOk)};
+
+  MemoryTracker memory;
+
+  void Cancel(JobStatus reason) {
+    int expected = static_cast<int>(JobStatus::kOk);
+    status.compare_exchange_strong(expected, static_cast<int>(reason));
+    cancelled.store(true, std::memory_order_release);
+  }
+
+  JobStatus final_status() const { return static_cast<JobStatus>(status.load()); }
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_CORE_CLUSTER_STATE_H_

@@ -1,0 +1,69 @@
+// The user programming framework (§5.2, Listing 1). A mining job supplies:
+//   * init()   — seed selection and task generation (GenerateSeeds here);
+//   * a task factory for deserializing migrated / spilled / recovered tasks;
+//   * an aggregator for global communication (e.g. the current max clique).
+#ifndef GMINER_CORE_JOB_H_
+#define GMINER_CORE_JOB_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/serialize.h"
+#include "core/task.h"
+#include "storage/vertex_table.h"
+
+namespace gminer {
+
+// Global aggregation protocol (§5.1 "aggregator"): compute threads absorb
+// task results into the worker-local instance; workers periodically ship a
+// serialized partial to the master; the master folds the latest partial of
+// every worker into a fresh instance and broadcasts the serialized global
+// value back, which workers apply to their local instance. Implementations
+// must make Absorb / reads thread safe (compute threads vs. listener thread).
+class AggregatorBase {
+ public:
+  virtual ~AggregatorBase() = default;
+
+  // Worker side: serialize the local partial for shipping to the master.
+  virtual void SerializePartial(OutArchive& out) const = 0;
+
+  // Master side: fold one worker's partial into this (fresh) instance.
+  virtual void MergePartial(InArchive& in) = 0;
+
+  // Master side: serialize the folded global value.
+  virtual void SerializeGlobal(OutArchive& out) const = 0;
+
+  // Worker side: install a received global value.
+  virtual void ApplyGlobal(InArchive& in) = 0;
+};
+
+// Receives seed tasks produced by JobBase::GenerateSeeds.
+class SeedSink {
+ public:
+  virtual ~SeedSink() = default;
+  virtual void Emit(std::unique_ptr<TaskBase> task) = 0;
+};
+
+class JobBase {
+ public:
+  virtual ~JobBase() = default;
+
+  virtual std::string name() const = 0;
+
+  // Listing 1's init(): called once per worker over its local partition;
+  // emits one task per selected seed vertex.
+  virtual void GenerateSeeds(const VertexTable& table, SeedSink& sink) = 0;
+
+  // Creates an empty task of this job's concrete type (deserialization
+  // factory for migration, spilling and checkpoint recovery).
+  virtual std::unique_ptr<TaskBase> MakeTask() const = 0;
+
+  // Creates this job's aggregator. Return nullptr for jobs with no global
+  // state; the runtime then skips aggregator traffic.
+  virtual std::unique_ptr<AggregatorBase> MakeAggregator() const { return nullptr; }
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_CORE_JOB_H_

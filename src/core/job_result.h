@@ -1,0 +1,48 @@
+// Outcome of one job run: elapsed time, resource metrics, result outputs and
+// the final global aggregate — everything the paper's tables report per cell.
+#ifndef GMINER_CORE_JOB_RESULT_H_
+#define GMINER_CORE_JOB_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/counters.h"
+#include "metrics/sampler.h"
+
+namespace gminer {
+
+enum class JobStatus {
+  kOk = 0,
+  kOutOfMemory = 1,  // the "x" entries of Tables 1 and 3
+  kTimeout = 2,      // the "-" (>24h) entries, scaled to the configured budget
+};
+
+inline const char* JobStatusName(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk:
+      return "ok";
+    case JobStatus::kOutOfMemory:
+      return "OOM";
+    case JobStatus::kTimeout:
+      return "TIMEOUT";
+  }
+  return "?";
+}
+
+struct JobResult {
+  JobStatus status = JobStatus::kOk;
+  double elapsed_seconds = 0.0;    // job execution (excludes partitioning)
+  double partition_seconds = 0.0;  // graph partitioning phase
+  CountersSnapshot totals;
+  std::vector<CountersSnapshot> per_worker;
+  int64_t peak_memory_bytes = 0;
+  double avg_cpu_utilization = 0.0;  // busy core time / available core time
+  std::vector<UtilizationSample> utilization;  // when sampling was enabled
+  std::vector<std::string> outputs;
+  std::vector<uint8_t> final_aggregate;  // serialized global aggregator value
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_CORE_JOB_RESULT_H_

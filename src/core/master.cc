@@ -1,0 +1,170 @@
+#include "core/master.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "common/timer.h"
+
+namespace gminer {
+
+Master::Master(const JobConfig& config, Network* net, ClusterState* state, JobBase* job)
+    : config_(config),
+      net_(net),
+      state_(state),
+      job_(job),
+      master_id_(config.num_workers),
+      progress_(static_cast<size_t>(config.num_workers)),
+      latest_partials_(static_cast<size_t>(config.num_workers)) {}
+
+bool Master::JobComplete() const {
+  return seeded_workers_ == config_.num_workers &&
+         state_->live_tasks.load(std::memory_order_relaxed) == 0;
+}
+
+void Master::CheckBudgets() {
+  if (state_->cancelled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (config_.time_budget_seconds > 0.0) {
+    const double elapsed = static_cast<double>(MonotonicNanos() - start_ns_) / 1e9;
+    if (elapsed > config_.time_budget_seconds) {
+      GM_LOG_INFO << "master: time budget exceeded, cancelling job";
+      state_->Cancel(JobStatus::kTimeout);
+      return;
+    }
+  }
+  if (config_.memory_budget_bytes > 0 &&
+      state_->memory.OverBudget(static_cast<int64_t>(config_.memory_budget_bytes))) {
+    GM_LOG_INFO << "master: memory budget exceeded, cancelling job";
+    state_->Cancel(JobStatus::kOutOfMemory);
+  }
+}
+
+void Master::HandleProgress(WorkerId from, InArchive in) {
+  WorkerProgress& p = progress_[static_cast<size_t>(from)];
+  p.inactive = in.Read<uint64_t>();
+  p.ready = in.Read<uint64_t>();
+  p.local_tasks = in.Read<int64_t>();
+}
+
+void Master::HandleStealRequest(WorkerId requester) {
+  // Pick the most heavily loaded worker by reported inactive-task count; it
+  // must have more than one migration batch to spare, otherwise decline.
+  WorkerId victim = kInvalidWorker;
+  uint64_t victim_load = static_cast<uint64_t>(config_.steal_batch);
+  for (int w = 0; w < config_.num_workers; ++w) {
+    if (w == requester) {
+      continue;
+    }
+    if (progress_[static_cast<size_t>(w)].inactive > victim_load) {
+      victim_load = progress_[static_cast<size_t>(w)].inactive;
+      victim = w;
+    }
+  }
+  if (victim == kInvalidWorker) {
+    net_->Send(master_id_, requester, MessageType::kNoTask, {});
+    return;
+  }
+  OutArchive out;
+  out.Write<WorkerId>(requester);
+  out.Write<int32_t>(config_.steal_batch);
+  net_->Send(master_id_, victim, MessageType::kMigrateCommand, out.TakeBuffer());
+}
+
+void Master::HandleAggPartial(WorkerId from, InArchive in) {
+  in.Read<uint8_t>();  // final flag, handled by the caller
+  std::vector<uint8_t> rest;
+  rest.reserve(in.remaining());
+  while (!in.AtEnd()) {
+    rest.push_back(in.Read<uint8_t>());
+  }
+  latest_partials_[static_cast<size_t>(from)] = std::move(rest);
+  BroadcastGlobal();
+}
+
+void Master::BroadcastGlobal() {
+  std::unique_ptr<AggregatorBase> fold = job_->MakeAggregator();
+  if (fold == nullptr) {
+    return;
+  }
+  for (const auto& partial : latest_partials_) {
+    if (partial.empty()) {
+      continue;
+    }
+    InArchive in(partial.data(), partial.size());
+    fold->MergePartial(in);
+  }
+  OutArchive global;
+  fold->SerializeGlobal(global);
+  for (int w = 0; w < config_.num_workers; ++w) {
+    net_->Send(master_id_, w, MessageType::kAggGlobal, global.buffer());
+  }
+}
+
+std::vector<uint8_t> Master::Run() {
+  start_ns_ = MonotonicNanos();
+  // Main control loop. Progress reports arrive every few milliseconds from
+  // every worker, so blocking receives double as budget-check ticks.
+  while (!JobComplete() && !state_->cancelled.load(std::memory_order_relaxed)) {
+    std::optional<NetMessage> msg = net_->Receive(master_id_);
+    if (!msg.has_value()) {
+      break;  // network closed externally
+    }
+    switch (msg->type) {
+      case MessageType::kProgressReport:
+        HandleProgress(msg->from, InArchive(std::move(msg->payload)));
+        break;
+      case MessageType::kSeedDone:
+        ++seeded_workers_;
+        break;
+      case MessageType::kStealRequest:
+        HandleStealRequest(msg->from);
+        break;
+      case MessageType::kAggPartial:
+        HandleAggPartial(msg->from, InArchive(std::move(msg->payload)));
+        break;
+      default:
+        break;
+    }
+    CheckBudgets();
+  }
+
+  // Shutdown: each worker acknowledges with a final aggregator partial.
+  for (int w = 0; w < config_.num_workers; ++w) {
+    net_->Send(master_id_, w, MessageType::kShutdown, {});
+  }
+  int finals = 0;
+  while (finals < config_.num_workers) {
+    std::optional<NetMessage> msg = net_->Receive(master_id_);
+    if (!msg.has_value()) {
+      break;
+    }
+    if (msg->type == MessageType::kAggPartial) {
+      const uint8_t final_flag = msg->payload.empty() ? 0 : msg->payload[0];
+      HandleAggPartial(msg->from, InArchive(std::move(msg->payload)));
+      if (final_flag != 0) {
+        ++finals;
+      }
+    }
+    // Other message types arriving during teardown (late progress reports,
+    // in-flight pulls already answered) are dropped.
+  }
+
+  std::unique_ptr<AggregatorBase> fold = job_->MakeAggregator();
+  if (fold == nullptr) {
+    return {};
+  }
+  for (const auto& partial : latest_partials_) {
+    if (partial.empty()) {
+      continue;
+    }
+    InArchive in(partial.data(), partial.size());
+    fold->MergePartial(in);
+  }
+  OutArchive global;
+  fold->SerializeGlobal(global);
+  return global.TakeBuffer();
+}
+
+}  // namespace gminer

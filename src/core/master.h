@@ -1,0 +1,54 @@
+// The master node (Fig. 4): drives partitioning (in Cluster), collects
+// progress reports, schedules task stealing (REQ → MIGRATE → tasks / No_Task),
+// folds aggregator partials into the global value it broadcasts back, detects
+// termination, and enforces the time / memory budgets.
+#ifndef GMINER_CORE_MASTER_H_
+#define GMINER_CORE_MASTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "core/cluster_state.h"
+#include "core/job.h"
+#include "net/network.h"
+
+namespace gminer {
+
+class Master {
+ public:
+  Master(const JobConfig& config, Network* net, ClusterState* state, JobBase* job);
+
+  // Runs the control loop until the job completes or a budget trips, then
+  // shuts the workers down and collects their final aggregator partials.
+  // Returns the serialized final global aggregate (empty if no aggregator).
+  std::vector<uint8_t> Run();
+
+ private:
+  void HandleProgress(WorkerId from, InArchive in);
+  void HandleStealRequest(WorkerId requester);
+  void HandleAggPartial(WorkerId from, InArchive in);
+  void BroadcastGlobal();
+  bool JobComplete() const;
+  void CheckBudgets();
+
+  const JobConfig& config_;
+  Network* net_;
+  ClusterState* state_;
+  JobBase* job_;
+  const WorkerId master_id_;
+
+  struct WorkerProgress {
+    uint64_t inactive = 0;
+    uint64_t ready = 0;
+    int64_t local_tasks = 0;
+  };
+  std::vector<WorkerProgress> progress_;
+  std::vector<std::vector<uint8_t>> latest_partials_;  // per worker, cumulative
+  int seeded_workers_ = 0;
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_CORE_MASTER_H_

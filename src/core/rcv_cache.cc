@@ -1,0 +1,140 @@
+#include "core/rcv_cache.h"
+
+#include "common/logging.h"
+
+namespace gminer {
+
+RcvCache::RcvCache(size_t capacity, WorkerCounters* counters, MemoryTracker* memory)
+    : capacity_(capacity), counters_(counters), memory_(memory) {
+  GM_CHECK(capacity_ > 0);
+}
+
+RcvCache::~RcvCache() {
+  if (memory_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [v, entry] : entries_) {
+      memory_->Sub(entry.record.ByteSize());
+    }
+  }
+}
+
+bool RcvCache::AddRefIfPresent(VertexId v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(v);
+  if (it == entries_.end()) {
+    // Miss/coalesce classification happens in the caller (the candidate
+    // retriever), which knows whether a pull for v is already in flight.
+    return false;
+  }
+  Entry& entry = it->second;
+  if (entry.in_reclaim) {
+    reclaim_.erase(entry.reclaim_pos);
+    entry.in_reclaim = false;
+  }
+  ++entry.refs;
+  if (counters_ != nullptr) {
+    counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void RcvCache::Insert(VertexRecord record, int initial_refs) {
+  GM_CHECK(initial_refs >= 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(record.id);
+  if (it != entries_.end()) {
+    // Duplicate response (e.g. a re-pull raced with a migration); just add
+    // the references to the existing entry.
+    Entry& entry = it->second;
+    if (entry.in_reclaim && initial_refs > 0) {
+      reclaim_.erase(entry.reclaim_pos);
+      entry.in_reclaim = false;
+    }
+    entry.refs += initial_refs;
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    EvictLocked(entries_.size() - capacity_ + 1);
+  }
+  const VertexId id = record.id;
+  Entry entry;
+  if (memory_ != nullptr) {
+    memory_->Add(record.ByteSize());
+  }
+  entry.record = std::move(record);
+  entry.refs = initial_refs;
+  auto [pos, inserted] = entries_.emplace(id, std::move(entry));
+  GM_CHECK(inserted);
+  if (initial_refs == 0) {
+    reclaim_.push_back(id);
+    pos->second.reclaim_pos = std::prev(reclaim_.end());
+    pos->second.in_reclaim = true;
+  }
+}
+
+const VertexRecord* RcvCache::Get(VertexId v) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(v);
+  return it == entries_.end() ? nullptr : &it->second.record;
+}
+
+void RcvCache::Release(VertexId v) {
+  bool freed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(v);
+    GM_CHECK(it != entries_.end()) << "Release of non-resident vertex " << v;
+    Entry& entry = it->second;
+    GM_CHECK(entry.refs > 0) << "double release of vertex " << v;
+    if (--entry.refs == 0) {
+      // Lazy model: move to the reclaim tail instead of deleting — the vertex
+      // may be referenced again by a subsequent task in the pipeline.
+      reclaim_.push_back(v);
+      entry.reclaim_pos = std::prev(reclaim_.end());
+      entry.in_reclaim = true;
+      freed = true;
+    }
+  }
+  if (freed) {
+    space_cv_.notify_all();
+  }
+}
+
+bool RcvCache::WaitBelowCapacity() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_cv_.wait(lock, [this] {
+    return shutdown_ || entries_.size() < capacity_ || !reclaim_.empty();
+  });
+  return !shutdown_;
+}
+
+void RcvCache::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  space_cv_.notify_all();
+}
+
+size_t RcvCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+size_t RcvCache::EvictLocked(size_t want) {
+  size_t evicted = 0;
+  while (evicted < want && !reclaim_.empty()) {
+    const VertexId victim = reclaim_.front();
+    reclaim_.pop_front();
+    auto it = entries_.find(victim);
+    GM_CHECK(it != entries_.end() && it->second.refs == 0);
+    if (memory_ != nullptr) {
+      memory_->Sub(it->second.record.ByteSize());
+    }
+    entries_.erase(it);
+    ++evicted;
+  }
+  return evicted;
+}
+
+}  // namespace gminer

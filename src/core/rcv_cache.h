@@ -1,0 +1,84 @@
+// Reference Counting Vertex Cache (§4.3, §7). Stores remote vertices obtained
+// by pulling. Each entry carries a reference count of the ready/active tasks
+// referring to it; the count increments when the candidate retriever admits a
+// task that needs the vertex and decrements when the task completes its round.
+// Zero-referenced entries are not deleted eagerly (the "lazy model"): they
+// move to a reclaim list and are evicted only when the cache is full. When
+// every resident vertex is referenced and the cache is at capacity, the
+// retriever sleeps until computing threads release references.
+#ifndef GMINER_CORE_RCV_CACHE_H_
+#define GMINER_CORE_RCV_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "metrics/counters.h"
+#include "metrics/memory_tracker.h"
+#include "storage/vertex_record.h"
+
+namespace gminer {
+
+class RcvCache {
+ public:
+  RcvCache(size_t capacity, WorkerCounters* counters, MemoryTracker* memory);
+  ~RcvCache();
+
+  RcvCache(const RcvCache&) = delete;
+  RcvCache& operator=(const RcvCache&) = delete;
+
+  // Retriever path: if v is resident, takes a reference and returns true
+  // (cache hit); otherwise records a miss and returns false.
+  bool AddRefIfPresent(VertexId v);
+
+  // Listener path: installs a pulled vertex with `initial_refs` references
+  // (one per task waiting on it). Evicts zero-referenced entries if needed;
+  // the cache may transiently exceed capacity when everything is referenced —
+  // WaitBelowCapacity() provides the backpressure that bounds this overshoot.
+  void Insert(VertexRecord record, int initial_refs);
+
+  // Executor path: returns the record for a resident vertex (no ref change);
+  // nullptr when absent.
+  const VertexRecord* Get(VertexId v) const;
+
+  // Executor path: releases one reference taken by AddRefIfPresent/Insert.
+  void Release(VertexId v);
+
+  // Retriever backpressure: blocks while the cache is at/over capacity and
+  // nothing is evictable. Returns false if Shutdown() was called.
+  bool WaitBelowCapacity();
+
+  // Wakes all waiters permanently (job end).
+  void Shutdown();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    VertexRecord record;
+    int refs = 0;
+    // Position in reclaim_ when refs == 0.
+    std::list<VertexId>::iterator reclaim_pos;
+    bool in_reclaim = false;
+  };
+
+  // Evicts up to `want` zero-referenced entries. Caller holds mutex_.
+  size_t EvictLocked(size_t want);
+
+  const size_t capacity_;
+  WorkerCounters* counters_;
+  MemoryTracker* memory_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_cv_;
+  std::unordered_map<VertexId, Entry> entries_;
+  std::list<VertexId> reclaim_;  // zero-ref entries, oldest first
+  bool shutdown_ = false;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_CORE_RCV_CACHE_H_

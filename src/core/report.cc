@@ -1,0 +1,65 @@
+#include "core/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace gminer {
+
+namespace {
+
+void AppendCounters(std::ostringstream& out, const CountersSnapshot& c) {
+  out << "{\"net_bytes_sent\":" << c.net_bytes_sent
+      << ",\"net_bytes_received\":" << c.net_bytes_received
+      << ",\"net_messages\":" << c.net_messages
+      << ",\"pull_requests\":" << c.pull_requests
+      << ",\"pull_responses\":" << c.pull_responses << ",\"cache_hits\":" << c.cache_hits
+      << ",\"cache_misses\":" << c.cache_misses
+      << ",\"disk_bytes_written\":" << c.disk_bytes_written
+      << ",\"disk_bytes_read\":" << c.disk_bytes_read
+      << ",\"tasks_created\":" << c.tasks_created
+      << ",\"tasks_completed\":" << c.tasks_completed
+      << ",\"tasks_stolen_in\":" << c.tasks_stolen_in
+      << ",\"tasks_stolen_out\":" << c.tasks_stolen_out
+      << ",\"update_rounds\":" << c.update_rounds
+      << ",\"compute_busy_ns\":" << c.compute_busy_ns << "}";
+}
+
+}  // namespace
+
+std::string JobResultToJson(const JobResult& result) {
+  std::ostringstream out;
+  out << "{\"status\":\"" << JobStatusName(result.status) << "\""
+      << ",\"elapsed_seconds\":" << result.elapsed_seconds
+      << ",\"partition_seconds\":" << result.partition_seconds
+      << ",\"peak_memory_bytes\":" << result.peak_memory_bytes
+      << ",\"avg_cpu_utilization\":" << result.avg_cpu_utilization << ",\"totals\":";
+  AppendCounters(out, result.totals);
+  out << ",\"per_worker\":[";
+  for (size_t i = 0; i < result.per_worker.size(); ++i) {
+    if (i > 0) {
+      out << ',';
+    }
+    AppendCounters(out, result.per_worker[i]);
+  }
+  out << "],\"utilization\":[";
+  for (size_t i = 0; i < result.utilization.size(); ++i) {
+    const auto& s = result.utilization[i];
+    if (i > 0) {
+      out << ',';
+    }
+    out << "{\"t\":" << s.t_seconds << ",\"cpu\":" << s.cpu_pct << ",\"net\":" << s.net_pct
+        << ",\"disk\":" << s.disk_pct << "}";
+  }
+  out << "],\"num_outputs\":" << result.outputs.size() << "}";
+  return out.str();
+}
+
+void WriteJobResultJson(const JobResult& result, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  GM_CHECK(out.good()) << "cannot open " << path;
+  out << JobResultToJson(result) << '\n';
+}
+
+}  // namespace gminer

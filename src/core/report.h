@@ -1,0 +1,21 @@
+// Machine-readable export of a JobResult — JSON, so bench output can feed
+// plotting scripts or regression dashboards without scraping stdout.
+#ifndef GMINER_CORE_REPORT_H_
+#define GMINER_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/job_result.h"
+
+namespace gminer {
+
+// Serializes the result (status, timings, totals, per-worker counters,
+// utilization samples) as a single JSON object.
+std::string JobResultToJson(const JobResult& result);
+
+// Convenience: writes JobResultToJson to a file (overwrites).
+void WriteJobResultJson(const JobResult& result, const std::string& path);
+
+}  // namespace gminer
+
+#endif  // GMINER_CORE_REPORT_H_

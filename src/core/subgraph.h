@@ -1,0 +1,80 @@
+// The subgraph field `g` of a task (§4.2): the topology of the intermediate
+// subgraph a task grows, shrinks, or reports. Stored as explicit vertex and
+// edge lists — mining apps that need adjacency indexing build it per round,
+// which keeps the serialized (migrated / spilled) form compact.
+#ifndef GMINER_CORE_SUBGRAPH_H_
+#define GMINER_CORE_SUBGRAPH_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.h"
+#include "graph/types.h"
+
+namespace gminer {
+
+class Subgraph {
+ public:
+  void AddVertex(VertexId v) {
+    if (!HasVertex(v)) {
+      vertices_.push_back(v);
+    }
+  }
+
+  void AddEdge(VertexId u, VertexId v) {
+    AddVertex(u);
+    AddVertex(v);
+    edges_.emplace_back(u, v);
+  }
+
+  bool HasVertex(VertexId v) const {
+    return std::find(vertices_.begin(), vertices_.end(), v) != vertices_.end();
+  }
+
+  const std::vector<VertexId>& vertices() const { return vertices_; }
+  const std::vector<std::pair<VertexId, VertexId>>& edges() const { return edges_; }
+
+  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  void Clear() {
+    vertices_.clear();
+    edges_.clear();
+  }
+
+  void Serialize(OutArchive& out) const {
+    out.WriteVector(vertices_);
+    out.Write<uint64_t>(edges_.size());
+    for (const auto& [u, v] : edges_) {
+      out.Write(u);
+      out.Write(v);
+    }
+  }
+
+  void Deserialize(InArchive& in) {
+    vertices_ = in.ReadVector<VertexId>();
+    const uint64_t n = in.Read<uint64_t>();
+    edges_.clear();
+    edges_.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      const VertexId u = in.Read<VertexId>();
+      const VertexId v = in.Read<VertexId>();
+      edges_.emplace_back(u, v);
+    }
+  }
+
+  int64_t ByteSize() const {
+    return static_cast<int64_t>(sizeof(Subgraph)) +
+           static_cast<int64_t>(vertices_.capacity() * sizeof(VertexId)) +
+           static_cast<int64_t>(edges_.capacity() * sizeof(std::pair<VertexId, VertexId>));
+  }
+
+ private:
+  std::vector<VertexId> vertices_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_CORE_SUBGRAPH_H_

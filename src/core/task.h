@@ -1,0 +1,172 @@
+// The task model of §4.2. A task encapsulates one unit of graph mining work:
+// a growing subgraph `g`, the `candidates` to involve next round, and an
+// app-defined context. Its lifetime walks the status machine
+//
+//   active ──(needs remote candidates)──▶ inactive ──(pulled)──▶ ready ─▶ active
+//      └──(result reported / no result possible)──▶ dead
+//
+// Concrete mining algorithms subclass TaskBase (or the typed Task<ContextT>
+// sugar mirroring Listing 1) and implement Update().
+#ifndef GMINER_CORE_TASK_H_
+#define GMINER_CORE_TASK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "core/subgraph.h"
+#include "graph/types.h"
+#include "storage/vertex_record.h"
+
+namespace gminer {
+
+enum class TaskStatus : uint8_t {
+  kActive = 0,
+  kInactive = 1,
+  kReady = 2,
+  kDead = 3,
+};
+
+class TaskBase;
+
+// The view of the worker a task sees during Update(): candidate vertex
+// lookup (local partition or RCV cache), task spawning (recursive splitting),
+// result output, the shared aggregator, and cooperative cancellation.
+class UpdateContext {
+ public:
+  virtual ~UpdateContext() = default;
+
+  // Returns the record of a candidate vertex. Guaranteed non-null for every
+  // id the task listed in candidates() before this round (the pipeline pulls
+  // remote ones first); may be null for ids never requested.
+  virtual const VertexRecord* GetVertex(VertexId v) = 0;
+
+  // True when v resides in this worker's partition.
+  virtual bool IsLocal(VertexId v) const = 0;
+
+  // Hands a newly created task to the pipeline (the "split" operation of the
+  // general mining schema, §4.1).
+  virtual void Spawn(std::unique_ptr<TaskBase> task) = 0;
+
+  // Emits one result line (collected into JobResult::outputs).
+  virtual void Output(const std::string& line) = 0;
+
+  // The worker-local aggregator; apps downcast to their concrete type to
+  // absorb per-task results and read the global view (e.g. the globally best
+  // clique size for pruning).
+  virtual void* aggregator() = 0;
+
+  // Long-running Update() implementations must poll this and return early
+  // when set (job timeout / shutdown).
+  virtual bool cancelled() const = 0;
+
+  virtual WorkerId worker_id() const = 0;
+  virtual int num_workers() const = 0;
+  virtual Rng& rng() = 0;
+};
+
+class TaskBase {
+ public:
+  virtual ~TaskBase() = default;
+
+  // One round of computation (§4.2). Access candidate records through `ctx`,
+  // then either call set_candidates() with the next round's vertex ids or
+  // MarkDead() when finished.
+  virtual void Update(UpdateContext& ctx) = 0;
+
+  // App-specific context (de)serialization; framework fields are handled by
+  // Serialize()/Deserialize() below.
+  virtual void SerializeBody(OutArchive& out) const = 0;
+  virtual void DeserializeBody(InArchive& in) = 0;
+
+  // --- fields of the task model ---
+  Subgraph& subgraph() { return subgraph_; }
+  const Subgraph& subgraph() const { return subgraph_; }
+
+  const std::vector<VertexId>& candidates() const { return candidates_; }
+  void set_candidates(std::vector<VertexId> c) { candidates_ = std::move(c); }
+  void clear_candidates() { candidates_.clear(); }
+
+  int round() const { return round_; }
+  void advance_round() { ++round_; }
+
+  void MarkDead() { dead_ = true; }
+  bool dead() const { return dead_; }
+
+  // Remote subset of candidates, computed by the pipeline after each round;
+  // the LSH priority-queue key and the steal local-rate lr(t) derive from it.
+  const std::vector<VertexId>& to_pull() const { return to_pull_; }
+  void set_to_pull(std::vector<VertexId> p) { to_pull_ = std::move(p); }
+
+  // Migration cost c(t) = |subG| + |candVtxs| (Eq. 2).
+  size_t MigrationCost() const { return subgraph_.num_vertices() + candidates_.size(); }
+
+  // Local rate lr(t) = (|cand| - |to_pull|) / |cand| (Eq. 3).
+  double LocalRate() const {
+    if (candidates_.empty()) {
+      return 0.0;
+    }
+    return static_cast<double>(candidates_.size() - to_pull_.size()) /
+           static_cast<double>(candidates_.size());
+  }
+
+  void Serialize(OutArchive& out) const {
+    subgraph_.Serialize(out);
+    out.WriteVector(candidates_);
+    out.WriteVector(to_pull_);
+    out.Write(round_);
+    out.Write(dead_);
+    SerializeBody(out);
+  }
+
+  void Deserialize(InArchive& in) {
+    subgraph_.Deserialize(in);
+    candidates_ = in.ReadVector<VertexId>();
+    to_pull_ = in.ReadVector<VertexId>();
+    round_ = in.Read<int>();
+    dead_ = in.Read<bool>();
+    DeserializeBody(in);
+  }
+
+  int64_t ByteSize() const {
+    return subgraph_.ByteSize() +
+           static_cast<int64_t>(candidates_.capacity() * sizeof(VertexId)) +
+           static_cast<int64_t>(to_pull_.capacity() * sizeof(VertexId)) +
+           static_cast<int64_t>(sizeof(TaskBase));
+  }
+
+  // Bytes currently registered with the cluster memory tracker for this task.
+  // Managed by the runtime (worker / task store); not serialized.
+  int64_t accounted_bytes = 0;
+
+ private:
+  Subgraph subgraph_;
+  std::vector<VertexId> candidates_;
+  std::vector<VertexId> to_pull_;
+  int round_ = 0;
+  bool dead_ = false;
+};
+
+// Typed sugar mirroring the paper's Listing 1: Task<ContextT> carries a
+// trivially copyable context that is serialized automatically.
+template <typename ContextT>
+class Task : public TaskBase {
+ public:
+  static_assert(std::is_trivially_copyable_v<ContextT>,
+                "ContextT must be trivially copyable; use TaskBase directly otherwise");
+
+  ContextT& context() { return context_; }
+  const ContextT& context() const { return context_; }
+
+  void SerializeBody(OutArchive& out) const override { out.Write(context_); }
+  void DeserializeBody(InArchive& in) override { context_ = in.Read<ContextT>(); }
+
+ private:
+  ContextT context_{};
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_CORE_TASK_H_

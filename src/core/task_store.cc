@@ -1,0 +1,208 @@
+#include "core/task_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "storage/spill_file.h"
+
+namespace gminer {
+
+TaskStore::TaskStore(Options options, TaskFactory factory, WorkerCounters* counters,
+                     MemoryTracker* memory)
+    : options_(std::move(options)),
+      factory_(std::move(factory)),
+      counters_(counters),
+      memory_(memory),
+      hasher_(options_.lsh_num_hashes, options_.lsh_bands, options_.lsh_seed) {
+  GM_CHECK(options_.block_capacity > 0);
+  GM_CHECK(options_.memory_blocks > 0);
+}
+
+TaskStore::~TaskStore() {
+  if (memory_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, task] : head_) {
+      memory_->Sub(task->accounted_bytes);
+    }
+  }
+}
+
+uint64_t TaskStore::KeyFor(const TaskBase& task) {
+  if (!options_.enable_lsh) {
+    return fifo_sequence_++;
+  }
+  return hasher_.Key(task.to_pull());
+}
+
+void TaskStore::InsertBatch(std::vector<std::unique_ptr<TaskBase>> tasks) {
+  if (tasks.empty()) {
+    return;
+  }
+  std::vector<std::pair<uint64_t, std::unique_ptr<TaskBase>>> keyed;
+  keyed.reserve(tasks.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& task : tasks) {
+    keyed.emplace_back(KeyFor(*task), std::move(task));
+  }
+  const size_t memory_capacity = options_.block_capacity * options_.memory_blocks;
+  if (head_.size() + keyed.size() <= memory_capacity) {
+    for (auto& [key, task] : keyed) {
+      head_.emplace(key, std::move(task));
+    }
+    return;
+  }
+  // Overflow: the batch becomes one (or more) sorted spill blocks; the head
+  // block stays in memory untouched.
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  SpillLocked(std::move(keyed));
+}
+
+void TaskStore::SpillLocked(std::vector<std::pair<uint64_t, std::unique_ptr<TaskBase>>> batch) {
+  size_t begin = 0;
+  while (begin < batch.size()) {
+    const size_t end = std::min(begin + options_.block_capacity, batch.size());
+    SpillBlock block;
+    block.min_key = batch[begin].first;
+    block.max_key = batch[end - 1].first;
+    block.count = end - begin;
+    block.path = options_.spill_dir + "/block_" + std::to_string(next_block_id_++) + ".bin";
+    std::vector<std::vector<uint8_t>> blobs;
+    blobs.reserve(block.count);
+    for (size_t i = begin; i < end; ++i) {
+      OutArchive out;
+      out.Write(batch[i].first);
+      batch[i].second->Serialize(out);
+      blobs.push_back(out.TakeBuffer());
+      if (memory_ != nullptr) {
+        memory_->Sub(batch[i].second->accounted_bytes);
+        batch[i].second->accounted_bytes = 0;
+      }
+    }
+    const int64_t bytes = WriteSpillBlock(block.path, blobs);
+    if (counters_ != nullptr) {
+      counters_->disk_bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+    }
+    spilled_count_ += block.count;
+    blocks_.push_back(std::move(block));
+    begin = end;
+  }
+}
+
+void TaskStore::LoadBestBlockLocked() {
+  if (blocks_.empty()) {
+    return;
+  }
+  auto best = std::min_element(blocks_.begin(), blocks_.end(),
+                               [](const SpillBlock& a, const SpillBlock& b) {
+                                 return a.min_key < b.min_key;
+                               });
+  int64_t bytes = 0;
+  std::vector<std::vector<uint8_t>> blobs = ReadSpillBlock(best->path, &bytes);
+  if (counters_ != nullptr) {
+    counters_->disk_bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  spilled_count_ -= best->count;
+  blocks_.erase(best);
+  for (auto& blob : blobs) {
+    InArchive in(std::move(blob));
+    const uint64_t key = in.Read<uint64_t>();
+    std::unique_ptr<TaskBase> task = factory_();
+    task->Deserialize(in);
+    if (memory_ != nullptr) {
+      task->accounted_bytes = task->ByteSize();
+      memory_->Add(task->accounted_bytes);
+    }
+    head_.emplace(key, std::move(task));
+  }
+}
+
+std::unique_ptr<TaskBase> TaskStore::TryPop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (head_.empty()) {
+    LoadBestBlockLocked();
+  }
+  if (head_.empty()) {
+    return nullptr;
+  }
+  auto it = head_.begin();
+  std::unique_ptr<TaskBase> task = std::move(it->second);
+  head_.erase(it);
+  return task;
+}
+
+std::vector<std::unique_ptr<TaskBase>> TaskStore::StealBatch(
+    size_t max_tasks, const std::function<bool(const TaskBase&)>& eligible, bool ranked) {
+  std::vector<std::unique_ptr<TaskBase>> stolen;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ranked) {
+    // Threshold-only model (the paper's §6.2): steal from the back (highest
+    // keys) — the front is about to be consumed locally and its remote
+    // candidates are likely already cached here.
+    auto it = head_.end();
+    while (it != head_.begin() && stolen.size() < max_tasks) {
+      --it;
+      if (eligible(*it->second)) {
+        stolen.push_back(std::move(it->second));
+        it = head_.erase(it);
+      }
+    }
+    return stolen;
+  }
+  // Improved cost model (§9): among the eligible tasks, migrate those the
+  // new home can run most independently (lowest local rate), breaking ties
+  // toward the cheapest to ship (lowest migration cost).
+  std::vector<std::multimap<uint64_t, std::unique_ptr<TaskBase>>::iterator> eligible_its;
+  for (auto it = head_.begin(); it != head_.end(); ++it) {
+    if (eligible(*it->second)) {
+      eligible_its.push_back(it);
+    }
+  }
+  std::sort(eligible_its.begin(), eligible_its.end(), [](const auto& a, const auto& b) {
+    const double lr_a = a->second->LocalRate();
+    const double lr_b = b->second->LocalRate();
+    if (lr_a != lr_b) {
+      return lr_a < lr_b;
+    }
+    return a->second->MigrationCost() < b->second->MigrationCost();
+  });
+  if (eligible_its.size() > max_tasks) {
+    eligible_its.resize(max_tasks);
+  }
+  for (auto& it : eligible_its) {
+    stolen.push_back(std::move(it->second));
+    head_.erase(it);
+  }
+  return stolen;
+}
+
+std::vector<std::vector<uint8_t>> TaskStore::DrainSerialized() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::vector<uint8_t>> out;
+  while (!blocks_.empty() || !head_.empty()) {
+    for (auto& [key, task] : head_) {
+      OutArchive archive;
+      task->Serialize(archive);
+      out.push_back(archive.TakeBuffer());
+      if (memory_ != nullptr) {
+        memory_->Sub(task->accounted_bytes);
+        task->accounted_bytes = 0;
+      }
+    }
+    head_.clear();
+    LoadBestBlockLocked();
+  }
+  return out;
+}
+
+size_t TaskStore::ApproxSize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return head_.size() + spilled_count_;
+}
+
+size_t TaskStore::InMemorySize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return head_.size();
+}
+
+}  // namespace gminer

@@ -1,0 +1,105 @@
+// The task store of the task pipeline (§4.3, §7): manages all inactive tasks
+// in a priority queue ordered by an LSH key of each task's remote-candidate
+// set, so that tasks sharing remote vertices dequeue consecutively and the
+// RCV cache hit rate stays high (Fig. 3, Fig. 12).
+//
+// Memory is bounded: only the head block lives in memory; overflow batches
+// are written to disk as sorted spill blocks with a [min_key, max_key] index.
+// When the head drains, the block with the smallest min_key is loaded back.
+// Disabling LSH (Fig. 12's ablation) degrades the key to an arrival sequence
+// number, i.e. a FIFO queue.
+#ifndef GMINER_CORE_TASK_STORE_H_
+#define GMINER_CORE_TASK_STORE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/task.h"
+#include "lsh/minhash.h"
+#include "metrics/counters.h"
+#include "metrics/memory_tracker.h"
+
+namespace gminer {
+
+class TaskStore {
+ public:
+  using TaskFactory = std::function<std::unique_ptr<TaskBase>()>;
+
+  struct Options {
+    size_t block_capacity = 1024;      // tasks per block
+    size_t memory_blocks = 1;          // head blocks kept in memory
+    bool enable_lsh = true;
+    int lsh_num_hashes = 16;
+    int lsh_bands = 4;
+    uint64_t lsh_seed = 1;
+    std::string spill_dir;             // must exist
+  };
+
+  TaskStore(Options options, TaskFactory factory, WorkerCounters* counters,
+            MemoryTracker* memory);
+  ~TaskStore();
+
+  TaskStore(const TaskStore&) = delete;
+  TaskStore& operator=(const TaskStore&) = delete;
+
+  // Inserts a batch of inactive tasks (the task buffer flushes in batches so
+  // tasks with common remote candidates are gathered together, §4.3).
+  void InsertBatch(std::vector<std::unique_ptr<TaskBase>> tasks);
+
+  // Pops the lowest-key task; loads a spill block first if the in-memory head
+  // is empty. Returns nullopt when the store is empty.
+  std::unique_ptr<TaskBase> TryPop();
+
+  // Removes up to `max_tasks` in-memory tasks satisfying `eligible` for
+  // migration to another worker (task stealing §6.2). Never touches spilled
+  // blocks — migrating those would pay disk I/O on top of network cost.
+  // With `ranked` set (the §9 improved cost model), the eligible tasks are
+  // ordered by migration desirability — lowest locality first, then lowest
+  // migration cost — instead of taking whatever sits at the back of the
+  // queue.
+  std::vector<std::unique_ptr<TaskBase>> StealBatch(
+      size_t max_tasks, const std::function<bool(const TaskBase&)>& eligible,
+      bool ranked = false);
+
+  // Serializes every task (memory + disk) for checkpointing; the store is
+  // drained afterwards.
+  std::vector<std::vector<uint8_t>> DrainSerialized();
+
+  size_t ApproxSize() const;
+  size_t InMemorySize() const;
+
+ private:
+  struct SpillBlock {
+    uint64_t min_key = 0;
+    uint64_t max_key = 0;
+    size_t count = 0;
+    std::string path;
+  };
+
+  uint64_t KeyFor(const TaskBase& task);
+  void SpillLocked(std::vector<std::pair<uint64_t, std::unique_ptr<TaskBase>>> batch);
+  void LoadBestBlockLocked();
+
+  Options options_;
+  TaskFactory factory_;
+  WorkerCounters* counters_;
+  MemoryTracker* memory_;
+  MinHasher hasher_;
+
+  mutable std::mutex mutex_;
+  std::multimap<uint64_t, std::unique_ptr<TaskBase>> head_;
+  std::vector<SpillBlock> blocks_;
+  uint64_t fifo_sequence_ = 0;  // key source when LSH is disabled
+  uint64_t next_block_id_ = 0;
+  size_t spilled_count_ = 0;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_CORE_TASK_STORE_H_

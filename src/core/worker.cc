@@ -1,0 +1,551 @@
+#include "core/worker.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "storage/spill_file.h"
+
+namespace gminer {
+
+namespace {
+
+// Minimum gap between consecutive steal requests from an idle worker, so an
+// unlucky worker does not flood the master while the cluster drains.
+constexpr int64_t kStealRequestGapNs = 2'000'000;
+
+// Retriever poll interval while the task store is empty.
+constexpr auto kIdlePoll = std::chrono::microseconds(200);
+
+}  // namespace
+
+// The UpdateContext handed to Update(): resolves candidates against the local
+// vertex table first, then the RCV cache. Remote candidates are guaranteed
+// resident because the retriever only admits a task once its pulls completed
+// and holds cache references until the round finishes.
+class WorkerUpdateContext : public UpdateContext {
+ public:
+  WorkerUpdateContext(Worker* worker, Rng rng) : worker_(worker), rng_(std::move(rng)) {}
+
+  const VertexRecord* GetVertex(VertexId v) override {
+    const VertexRecord* local = worker_->table_.Find(v);
+    if (local != nullptr) {
+      return local;
+    }
+    return worker_->cache_.Get(v);
+  }
+
+  bool IsLocal(VertexId v) const override { return worker_->table_.Contains(v); }
+
+  void Spawn(std::unique_ptr<TaskBase> task) override {
+    worker_->state_->live_tasks.fetch_add(1, std::memory_order_relaxed);
+    worker_->local_tasks_.fetch_add(1, std::memory_order_relaxed);
+    worker_->counters_->tasks_created.fetch_add(1, std::memory_order_relaxed);
+    worker_->PrepareInactive(*task);
+    worker_->AccountTask(*task);
+    worker_->BufferInactive(std::move(task));
+  }
+
+  void Output(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(worker_->output_mutex_);
+    worker_->outputs_.push_back(line);
+  }
+
+  void* aggregator() override { return worker_->aggregator_.get(); }
+
+  bool cancelled() const override {
+    return worker_->state_->cancelled.load(std::memory_order_acquire) ||
+           worker_->ShuttingDown();
+  }
+
+  WorkerId worker_id() const override { return worker_->id_; }
+  int num_workers() const override { return worker_->config_.num_workers; }
+  Rng& rng() override { return rng_; }
+
+ private:
+  Worker* worker_;
+  Rng rng_;
+};
+
+// SeedSink feeding GenerateSeeds() output into the pipeline (and optionally
+// into the seed checkpoint file).
+class WorkerSeedSink : public SeedSink {
+ public:
+  explicit WorkerSeedSink(Worker* worker) : worker_(worker) {}
+
+  void Emit(std::unique_ptr<TaskBase> task) override {
+    worker_->state_->live_tasks.fetch_add(1, std::memory_order_relaxed);
+    worker_->local_tasks_.fetch_add(1, std::memory_order_relaxed);
+    worker_->counters_->tasks_created.fetch_add(1, std::memory_order_relaxed);
+    worker_->PrepareInactive(*task);
+    if (!worker_->checkpoint_path_.empty()) {
+      OutArchive out;
+      task->Serialize(out);
+      checkpoint_blobs_.push_back(out.TakeBuffer());
+    }
+    worker_->AccountTask(*task);
+    worker_->BufferInactive(std::move(task));
+  }
+
+  void WriteCheckpoint() {
+    if (!worker_->checkpoint_path_.empty()) {
+      WriteSpillBlock(worker_->checkpoint_path_, checkpoint_blobs_);
+    }
+  }
+
+ private:
+  Worker* worker_;
+  std::vector<std::vector<uint8_t>> checkpoint_blobs_;
+};
+
+Worker::Worker(WorkerId id, const JobConfig& config, Network* net, ClusterState* state,
+               WorkerCounters* counters, JobBase* job)
+    : id_(id),
+      config_(config),
+      net_(net),
+      state_(state),
+      counters_(counters),
+      job_(job),
+      master_id_(config.num_workers),
+      cache_(config.rcv_cache_capacity, counters, &state->memory),
+      rng_(config.seed + 0x1000u + static_cast<uint64_t>(id)) {
+  spill_dir_ = MakeSpillDir(config_.spill_dir, id_);
+  TaskStore::Options options;
+  options.block_capacity = config_.task_block_capacity;
+  options.memory_blocks = config_.task_store_memory_blocks;
+  options.enable_lsh = config_.enable_lsh;
+  options.lsh_num_hashes = config_.lsh_num_hashes;
+  options.lsh_bands = config_.lsh_bands;
+  options.lsh_seed = config_.seed;  // identical hash family on every worker
+  options.spill_dir = spill_dir_;
+  store_ = std::make_unique<TaskStore>(
+      options, [job] { return job->MakeTask(); }, counters, &state->memory);
+  aggregator_ = job_->MakeAggregator();
+}
+
+Worker::~Worker() {
+  store_.reset();
+  RemoveSpillDir(spill_dir_);
+  state_->memory.Sub(table_.byte_size());
+}
+
+void Worker::LoadPartition(const Graph& g, std::shared_ptr<const std::vector<WorkerId>> owner) {
+  owner_ = std::move(owner);
+  table_.LoadPartition(g, *owner_, id_);
+  state_->memory.Add(table_.byte_size());
+}
+
+void Worker::Start(const std::vector<std::vector<uint8_t>>* seed_blobs) {
+  running_.store(true, std::memory_order_release);
+  listener_thread_ = std::thread([this] { ListenerLoop(); });
+  retriever_thread_ = std::thread([this] { RetrieverLoop(); });
+  reporter_thread_ = std::thread([this] { ReporterLoop(); });
+  compute_threads_.reserve(static_cast<size_t>(config_.threads_per_worker));
+  for (int i = 0; i < config_.threads_per_worker; ++i) {
+    compute_threads_.emplace_back([this, i] { ComputeLoop(i); });
+  }
+  seeder_thread_ = std::thread([this, seed_blobs] { SeedLoop(seed_blobs); });
+}
+
+void Worker::Join() {
+  if (seeder_thread_.joinable()) {
+    seeder_thread_.join();
+  }
+  if (listener_thread_.joinable()) {
+    listener_thread_.join();
+  }
+  if (retriever_thread_.joinable()) {
+    retriever_thread_.join();
+  }
+  for (auto& t : compute_threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  if (reporter_thread_.joinable()) {
+    reporter_thread_.join();
+  }
+}
+
+std::vector<std::string> Worker::TakeOutputs() {
+  std::lock_guard<std::mutex> lock(output_mutex_);
+  return std::move(outputs_);
+}
+
+void Worker::AccountTask(TaskBase& task) {
+  task.accounted_bytes = task.ByteSize();
+  state_->memory.Add(task.accounted_bytes);
+}
+
+void Worker::UnaccountTask(TaskBase& task) {
+  state_->memory.Sub(task.accounted_bytes);
+  task.accounted_bytes = 0;
+}
+
+void Worker::PrepareInactive(TaskBase& task) {
+  std::vector<VertexId> to_pull;
+  for (const VertexId v : task.candidates()) {
+    if (!table_.Contains(v)) {
+      to_pull.push_back(v);
+    }
+  }
+  std::sort(to_pull.begin(), to_pull.end());
+  to_pull.erase(std::unique(to_pull.begin(), to_pull.end()), to_pull.end());
+  task.set_to_pull(std::move(to_pull));
+}
+
+void Worker::SeedLoop(const std::vector<std::vector<uint8_t>>* seed_blobs) {
+  if (seed_blobs != nullptr) {
+    for (const auto& blob : *seed_blobs) {
+      InArchive in(blob.data(), blob.size());
+      std::unique_ptr<TaskBase> task = job_->MakeTask();
+      task->Deserialize(in);
+      state_->live_tasks.fetch_add(1, std::memory_order_relaxed);
+      local_tasks_.fetch_add(1, std::memory_order_relaxed);
+      counters_->tasks_created.fetch_add(1, std::memory_order_relaxed);
+      PrepareInactive(*task);  // recompute remoteness for this worker
+      AccountTask(*task);
+      BufferInactive(std::move(task));
+    }
+  } else {
+    WorkerSeedSink sink(this);
+    job_->GenerateSeeds(table_, sink);
+    sink.WriteCheckpoint();
+  }
+  FlushBuffer(/*force=*/true);
+  seeding_done_.store(true, std::memory_order_release);
+  state_->workers_seeded.fetch_add(1, std::memory_order_relaxed);
+  net_->Send(id_, master_id_, MessageType::kSeedDone, {});
+}
+
+void Worker::BufferInactive(std::unique_ptr<TaskBase> task) {
+  // Refresh the memory accounting: the subgraph may have grown this round.
+  state_->memory.Sub(task->accounted_bytes);
+  task->accounted_bytes = task->ByteSize();
+  state_->memory.Add(task->accounted_bytes);
+  bool flush = false;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mutex_);
+    task_buffer_.push_back(std::move(task));
+    flush = task_buffer_.size() >= config_.task_buffer_batch;
+  }
+  if (flush) {
+    FlushBuffer(/*force=*/false);
+  }
+}
+
+bool Worker::FlushBuffer(bool force) {
+  std::vector<std::unique_ptr<TaskBase>> batch;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mutex_);
+    if (task_buffer_.empty() || (!force && task_buffer_.size() < config_.task_buffer_batch)) {
+      return false;
+    }
+    batch = std::move(task_buffer_);
+    task_buffer_.clear();
+  }
+  store_->InsertBatch(std::move(batch));
+  return true;
+}
+
+void Worker::RetrieverLoop() {
+  while (!ShuttingDown()) {
+    if (!cache_.WaitBelowCapacity()) {
+      return;  // cache shut down => job over
+    }
+    // Bounded pipeline: inactive tasks accumulate in the task store (where
+    // they are spillable and stealable) rather than flooding the CMQ/CPQ.
+    if (in_pipeline_.load(std::memory_order_relaxed) >=
+        static_cast<int64_t>(config_.pipeline_depth)) {
+      std::this_thread::sleep_for(kIdlePoll);
+      continue;
+    }
+    std::unique_ptr<TaskBase> task = store_->TryPop();
+    if (task == nullptr) {
+      FlushBuffer(/*force=*/true);
+      task = store_->TryPop();
+    }
+    if (task == nullptr) {
+      MaybeRequestSteal();
+      std::this_thread::sleep_for(kIdlePoll);
+      continue;
+    }
+    AdmitTask(std::move(task));
+  }
+}
+
+void Worker::AdmitTask(std::unique_ptr<TaskBase> task) {
+  in_pipeline_.fetch_add(1, std::memory_order_relaxed);
+  auto entry = std::make_shared<PendingTask>();
+  std::unordered_map<WorkerId, std::vector<VertexId>> requests;
+  bool ready = false;
+  {
+    std::lock_guard<std::mutex> lock(pull_mutex_);
+    for (const VertexId v : task->to_pull()) {
+      entry->cache_refs.push_back(v);
+      if (cache_.AddRefIfPresent(v)) {
+        continue;  // hit: reference taken, nothing to pull
+      }
+      PendingVertex& pending = pending_pulls_[v];
+      pending.waiters.push_back(entry);
+      ++entry->pending;
+      if (!pending.requested) {
+        pending.requested = true;
+        requests[(*owner_)[v]].push_back(v);
+        counters_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Pull already in flight (a nearby task in the priority queue needs
+        // the same vertex): coalesced, no extra network fetch — a hit for
+        // cache-efficiency purposes.
+        counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (entry->pending == 0) {
+      ready = true;
+    } else {
+      entry->task = std::move(task);
+      ++pending_task_count_;
+    }
+  }
+  if (ready) {
+    cpq_.Push(RunnableTask{std::move(task), std::move(entry->cache_refs)});
+    return;
+  }
+  for (auto& [target, ids] : requests) {
+    counters_->pull_requests.fetch_add(static_cast<int64_t>(ids.size()),
+                                       std::memory_order_relaxed);
+    OutArchive out;
+    out.WriteVector(ids);
+    net_->Send(id_, target, MessageType::kPullRequest, out.TakeBuffer());
+  }
+}
+
+void Worker::HandlePullRequest(WorkerId from, InArchive in) {
+  const std::vector<VertexId> ids = in.ReadVector<VertexId>();
+  OutArchive out;
+  out.Write<uint64_t>(ids.size());
+  for (const VertexId v : ids) {
+    const VertexRecord* record = table_.Find(v);
+    GM_CHECK(record != nullptr) << "pull request for non-local vertex " << v << " at worker "
+                                << id_;
+    record->Serialize(out);
+  }
+  net_->Send(id_, from, MessageType::kPullResponse, out.TakeBuffer());
+}
+
+void Worker::HandlePullResponse(InArchive in) {
+  const uint64_t count = in.Read<uint64_t>();
+  std::vector<std::shared_ptr<PendingTask>> ready;
+  {
+    std::lock_guard<std::mutex> lock(pull_mutex_);
+    for (uint64_t i = 0; i < count; ++i) {
+      VertexRecord record = VertexRecord::Deserialize(in);
+      counters_->pull_responses.fetch_add(1, std::memory_order_relaxed);
+      auto it = pending_pulls_.find(record.id);
+      if (it == pending_pulls_.end()) {
+        // Duplicate response; keep the record cached with no references.
+        cache_.Insert(std::move(record), 0);
+        continue;
+      }
+      std::vector<std::shared_ptr<PendingTask>> waiters = std::move(it->second.waiters);
+      pending_pulls_.erase(it);
+      cache_.Insert(std::move(record), static_cast<int>(waiters.size()));
+      for (auto& waiter : waiters) {
+        if (--waiter->pending == 0) {
+          ready.push_back(std::move(waiter));
+          --pending_task_count_;
+        }
+      }
+    }
+  }
+  for (auto& waiter : ready) {
+    cpq_.Push(RunnableTask{std::move(waiter->task), std::move(waiter->cache_refs)});
+  }
+}
+
+void Worker::ComputeLoop(int thread_index) {
+  WorkerUpdateContext ctx(this, rng_.Fork());
+  (void)thread_index;
+  while (true) {
+    std::optional<RunnableTask> item = cpq_.Pop();
+    if (!item.has_value()) {
+      return;
+    }
+    RunnableTask rt = std::move(*item);
+    while (true) {
+      if (ctx.cancelled()) {
+        rt.task->MarkDead();
+      } else {
+        ThreadCpuTimer timer;
+        rt.task->Update(ctx);
+        counters_->compute_busy_ns.fetch_add(timer.ElapsedNanos(), std::memory_order_relaxed);
+        counters_->update_rounds.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (const VertexId v : rt.cache_refs) {
+        cache_.Release(v);
+      }
+      rt.cache_refs.clear();
+      if (rt.task->dead()) {
+        in_pipeline_.fetch_sub(1, std::memory_order_relaxed);
+        FinishTask(std::move(rt.task));
+        break;
+      }
+      rt.task->advance_round();
+      PrepareInactive(*rt.task);
+      if (!rt.task->to_pull().empty()) {
+        // Remote candidates required: back to the task store via the buffer.
+        in_pipeline_.fetch_sub(1, std::memory_order_relaxed);
+        BufferInactive(std::move(rt.task));
+        break;
+      }
+      // All candidates local: the task stays active and runs its next round
+      // immediately (§4.2: no status change, no barrier).
+    }
+  }
+}
+
+void Worker::FinishTask(std::unique_ptr<TaskBase> task) {
+  UnaccountTask(*task);
+  local_tasks_.fetch_sub(1, std::memory_order_relaxed);
+  counters_->tasks_completed.fetch_add(1, std::memory_order_relaxed);
+  state_->live_tasks.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Worker::MaybeRequestSteal() {
+  if (!config_.enable_stealing || !seeding_done_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (steal_pending_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (local_tasks_.load(std::memory_order_relaxed) > 0 ||
+      state_->live_tasks.load(std::memory_order_relaxed) == 0) {
+    return;
+  }
+  static thread_local int64_t last_request_ns = 0;
+  const int64_t now = MonotonicNanos();
+  if (now - last_request_ns < kStealRequestGapNs) {
+    return;
+  }
+  last_request_ns = now;
+  steal_pending_.store(true, std::memory_order_release);
+  net_->Send(id_, master_id_, MessageType::kStealRequest, {});
+}
+
+void Worker::HandleMigrateCommand(InArchive in) {
+  const WorkerId dest = in.Read<WorkerId>();
+  const int32_t num = in.Read<int32_t>();
+  const auto eligible = [this](const TaskBase& t) {
+    return t.MigrationCost() < config_.steal_cost_threshold &&
+           t.LocalRate() < config_.steal_local_rate_threshold;
+  };
+  std::vector<std::unique_ptr<TaskBase>> stolen = store_->StealBatch(
+      static_cast<size_t>(num), eligible, config_.steal_ranked_selection);
+  if (stolen.empty()) {
+    net_->Send(id_, dest, MessageType::kNoTask, {});
+    return;
+  }
+  OutArchive out;
+  out.Write<uint64_t>(stolen.size());
+  for (auto& task : stolen) {
+    task->Serialize(out);
+    UnaccountTask(*task);
+  }
+  local_tasks_.fetch_sub(static_cast<int64_t>(stolen.size()), std::memory_order_relaxed);
+  counters_->tasks_stolen_out.fetch_add(static_cast<int64_t>(stolen.size()),
+                                        std::memory_order_relaxed);
+  net_->Send(id_, dest, MessageType::kMigrateTasks, out.TakeBuffer());
+}
+
+void Worker::HandleMigrateTasks(InArchive in) {
+  const uint64_t count = in.Read<uint64_t>();
+  std::vector<std::unique_ptr<TaskBase>> tasks;
+  tasks.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::unique_ptr<TaskBase> task = job_->MakeTask();
+    task->Deserialize(in);
+    PrepareInactive(*task);  // remoteness differs on the new home worker
+    AccountTask(*task);
+    tasks.push_back(std::move(task));
+  }
+  local_tasks_.fetch_add(static_cast<int64_t>(count), std::memory_order_relaxed);
+  counters_->tasks_stolen_in.fetch_add(static_cast<int64_t>(count), std::memory_order_relaxed);
+  store_->InsertBatch(std::move(tasks));
+  steal_pending_.store(false, std::memory_order_release);
+}
+
+void Worker::ReporterLoop() {
+  int64_t last_agg_ns = 0;
+  while (!ShuttingDown()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.progress_interval_ms));
+    if (ShuttingDown()) {
+      break;
+    }
+    OutArchive progress;
+    progress.Write<uint64_t>(store_->ApproxSize());
+    progress.Write<uint64_t>(cpq_.Size());
+    progress.Write<int64_t>(local_tasks_.load(std::memory_order_relaxed));
+    net_->Send(id_, master_id_, MessageType::kProgressReport, progress.TakeBuffer());
+
+    const int64_t now = MonotonicNanos();
+    if (aggregator_ != nullptr &&
+        now - last_agg_ns >= config_.aggregator_interval_ms * 1'000'000) {
+      last_agg_ns = now;
+      OutArchive partial;
+      partial.Write<uint8_t>(0);  // not final
+      aggregator_->SerializePartial(partial);
+      net_->Send(id_, master_id_, MessageType::kAggPartial, partial.TakeBuffer());
+    }
+  }
+}
+
+void Worker::ListenerLoop() {
+  while (true) {
+    std::optional<NetMessage> msg = net_->Receive(id_);
+    if (!msg.has_value()) {
+      return;
+    }
+    switch (msg->type) {
+      case MessageType::kPullRequest:
+        HandlePullRequest(msg->from, InArchive(std::move(msg->payload)));
+        break;
+      case MessageType::kPullResponse:
+        HandlePullResponse(InArchive(std::move(msg->payload)));
+        break;
+      case MessageType::kMigrateCommand:
+        HandleMigrateCommand(InArchive(std::move(msg->payload)));
+        break;
+      case MessageType::kMigrateTasks:
+        HandleMigrateTasks(InArchive(std::move(msg->payload)));
+        break;
+      case MessageType::kNoTask:
+        steal_pending_.store(false, std::memory_order_release);
+        break;
+      case MessageType::kAggGlobal:
+        if (aggregator_ != nullptr) {
+          InArchive in(std::move(msg->payload));
+          aggregator_->ApplyGlobal(in);
+        }
+        break;
+      case MessageType::kShutdown: {
+        running_.store(false, std::memory_order_release);
+        cache_.Shutdown();
+        cpq_.Close();
+        OutArchive final_report;
+        final_report.Write<uint8_t>(1);  // final
+        if (aggregator_ != nullptr) {
+          aggregator_->SerializePartial(final_report);
+        }
+        net_->Send(id_, master_id_, MessageType::kAggPartial, final_report.TakeBuffer());
+        return;
+      }
+      default:
+        GM_LOG_WARN << "worker " << id_ << ": unexpected message type "
+                    << static_cast<int>(msg->type);
+        break;
+    }
+  }
+}
+
+}  // namespace gminer

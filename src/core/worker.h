@@ -1,0 +1,161 @@
+// A G-Miner worker (§5.1): owns one graph partition (vertex table) and runs
+// the task pipeline of §4.3 —
+//
+//   task store (LSH priority queue, disk-spilled)
+//        │ pop                       ▲ batched insert
+//        ▼                           │
+//   candidate retriever ──CMQ──▶ pending pulls ──▶ CPQ ──▶ task executor
+//        │ pull requests              ▲ pull responses        │ task buffer
+//        ▼                            │                       ▼
+//   ───────────────────────── network / request listener ─────────────
+//
+// Threads per worker: 1 request listener, 1 candidate retriever (the paper's
+// communication thread), N computing threads, 1 progress/aggregator reporter,
+// plus a transient seeding thread at job start. There is no barrier anywhere:
+// each thread blocks only on its own queue.
+#ifndef GMINER_CORE_WORKER_H_
+#define GMINER_CORE_WORKER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/config.h"
+#include "common/rng.h"
+#include "core/cluster_state.h"
+#include "core/job.h"
+#include "core/rcv_cache.h"
+#include "core/task_store.h"
+#include "graph/graph.h"
+#include "metrics/counters.h"
+#include "net/network.h"
+#include "storage/vertex_table.h"
+
+namespace gminer {
+
+class Worker {
+ public:
+  Worker(WorkerId id, const JobConfig& config, Network* net, ClusterState* state,
+         WorkerCounters* counters, JobBase* job);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  // Loads this worker's partition of g (the graph loader + vertex table of
+  // Fig. 4). Must be called before Start().
+  void LoadPartition(const Graph& g, std::shared_ptr<const std::vector<WorkerId>> owner);
+
+  // Spawns all pipeline threads and begins seeding. When `seed_blobs` is
+  // non-null, tasks are recovered from the given serialized batch instead of
+  // calling the job's GenerateSeeds (checkpoint recovery, §7).
+  void Start(const std::vector<std::vector<uint8_t>>* seed_blobs = nullptr);
+
+  // Blocks until the master's shutdown message has been processed and all
+  // threads exited.
+  void Join();
+
+  WorkerId id() const { return id_; }
+  std::vector<std::string> TakeOutputs();
+  AggregatorBase* aggregator() { return aggregator_.get(); }
+
+  // Seed checkpointing: when set, every seed task is also appended to this
+  // file (spill-block format) before entering the pipeline.
+  void set_checkpoint_path(std::string path) { checkpoint_path_ = std::move(path); }
+
+ private:
+  friend class WorkerSeedSink;
+  friend class WorkerUpdateContext;
+
+  // A task admitted into the executor together with the cache references the
+  // retriever took on its behalf (released when the round completes).
+  struct RunnableTask {
+    std::unique_ptr<TaskBase> task;
+    std::vector<VertexId> cache_refs;
+  };
+
+  // A task parked in the communication queue, waiting for pull responses.
+  struct PendingTask {
+    std::unique_ptr<TaskBase> task;
+    std::vector<VertexId> cache_refs;
+    int pending = 0;
+  };
+
+  struct PendingVertex {
+    bool requested = false;
+    std::vector<std::shared_ptr<PendingTask>> waiters;
+  };
+
+  void ListenerLoop();
+  void RetrieverLoop();
+  void ComputeLoop(int thread_index);
+  void ReporterLoop();
+  void SeedLoop(const std::vector<std::vector<uint8_t>>* seed_blobs);
+
+  // Pipeline steps.
+  void AdmitTask(std::unique_ptr<TaskBase> task);       // retriever: cache check + pulls
+  void HandlePullRequest(WorkerId from, InArchive in);  // listener
+  void HandlePullResponse(InArchive in);                // listener
+  void HandleMigrateCommand(InArchive in);              // listener
+  void HandleMigrateTasks(InArchive in);                // listener
+  void FinishTask(std::unique_ptr<TaskBase> task);      // executor: task death
+  void BufferInactive(std::unique_ptr<TaskBase> task);  // executor → task buffer
+  bool FlushBuffer(bool force);
+  void PrepareInactive(TaskBase& task);  // compute to_pull from candidates
+  void MaybeRequestSteal();
+
+  void AccountTask(TaskBase& task);
+  void UnaccountTask(TaskBase& task);
+
+  bool ShuttingDown() const { return !running_.load(std::memory_order_acquire); }
+
+  const WorkerId id_;
+  const JobConfig& config_;
+  Network* net_;
+  ClusterState* state_;
+  WorkerCounters* counters_;
+  JobBase* job_;
+  const WorkerId master_id_;
+
+  VertexTable table_;
+  std::shared_ptr<const std::vector<WorkerId>> owner_;
+
+  std::string spill_dir_;
+  std::unique_ptr<TaskStore> store_;
+  RcvCache cache_;
+  BlockingQueue<RunnableTask> cpq_;
+
+  std::mutex buffer_mutex_;
+  std::vector<std::unique_ptr<TaskBase>> task_buffer_;
+
+  std::mutex pull_mutex_;
+  std::unordered_map<VertexId, PendingVertex> pending_pulls_;
+  size_t pending_task_count_ = 0;  // tasks parked in the CMQ
+
+  std::unique_ptr<AggregatorBase> aggregator_;
+  std::mutex output_mutex_;
+  std::vector<std::string> outputs_;
+
+  std::atomic<int64_t> local_tasks_{0};  // tasks resident on this worker
+  std::atomic<int64_t> in_pipeline_{0};  // tasks currently in CMQ or CPQ
+  std::atomic<bool> seeding_done_{false};
+  std::atomic<bool> steal_pending_{false};
+  std::atomic<bool> running_{false};
+
+  std::string checkpoint_path_;
+
+  Rng rng_;
+  std::thread listener_thread_;
+  std::thread retriever_thread_;
+  std::thread reporter_thread_;
+  std::thread seeder_thread_;
+  std::vector<std::thread> compute_threads_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_CORE_WORKER_H_

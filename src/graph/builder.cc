@@ -1,0 +1,60 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gminer {
+
+Graph GraphBuilder::Build() {
+  // Symmetrize: store each undirected edge in both directions, then sort and
+  // deduplicate so adjacency lists come out sorted.
+  std::vector<std::pair<VertexId, VertexId>> directed;
+  directed.reserve(edges_.size() * 2);
+  for (const auto& [u, v] : edges_) {
+    directed.emplace_back(u, v);
+    directed.emplace_back(v, u);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()), directed.end());
+
+  Graph g;
+  std::vector<uint64_t> offsets(static_cast<size_t>(num_vertices_) + 1, 0);
+  for (const auto& [u, v] : directed) {
+    (void)v;
+    ++offsets[u + 1];
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+  g.offsets_ = std::move(offsets);
+  g.neighbors_.resize(directed.size());
+  for (size_t i = 0; i < directed.size(); ++i) {
+    g.neighbors_[i] = directed[i].second;
+  }
+
+  if (!labels_.empty()) {
+    GM_CHECK(labels_.size() == num_vertices_) << "label column size mismatch";
+    g.labels_ = std::move(labels_);
+  }
+  if (!attrs_.empty()) {
+    GM_CHECK(attrs_.size() == num_vertices_) << "attribute column size mismatch";
+    g.attr_offsets_.assign(static_cast<size_t>(num_vertices_) + 1, 0);
+    uint64_t total = 0;
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      g.attr_offsets_[v] = total;
+      total += attrs_[v].size();
+    }
+    g.attr_offsets_[num_vertices_] = total;
+    g.attrs_.reserve(total);
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      g.attrs_.insert(g.attrs_.end(), attrs_[v].begin(), attrs_[v].end());
+    }
+  }
+
+  edges_.clear();
+  attrs_.clear();
+  return g;
+}
+
+}  // namespace gminer

@@ -1,0 +1,47 @@
+// Mutable staging area for constructing an immutable CSR Graph. Handles
+// symmetrization (the paper's discussion focuses on undirected graphs),
+// deduplication, self-loop removal and optional label / attribute columns.
+#ifndef GMINER_GRAPH_BUILDER_H_
+#define GMINER_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gminer {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  VertexId num_vertices() const { return num_vertices_; }
+
+  // Records an undirected edge {u, v}. Self loops are dropped, duplicates are
+  // removed at Build() time.
+  void AddEdge(VertexId u, VertexId v) {
+    if (u == v || u >= num_vertices_ || v >= num_vertices_) {
+      return;
+    }
+    edges_.emplace_back(u, v);
+  }
+
+  size_t num_staged_edges() const { return edges_.size(); }
+
+  void SetLabels(std::vector<Label> labels) { labels_ = std::move(labels); }
+  void SetAttributes(std::vector<std::vector<AttrValue>> attrs) { attrs_ = std::move(attrs); }
+
+  // Finalizes into CSR form. The builder is left empty afterwards.
+  Graph Build();
+
+ private:
+  VertexId num_vertices_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::vector<Label> labels_;
+  std::vector<std::vector<AttrValue>> attrs_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_GRAPH_BUILDER_H_

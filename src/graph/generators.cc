@@ -1,0 +1,353 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "graph/builder.h"
+
+namespace gminer {
+
+Graph GenerateErdosRenyi(VertexId n, double avg_degree, Rng& rng) {
+  GM_CHECK(n > 1);
+  GraphBuilder builder(n);
+  // Sample the target number of undirected edges directly; rejection on
+  // duplicates is handled by the builder's dedup.
+  const uint64_t target_edges = static_cast<uint64_t>(avg_degree * n / 2.0);
+  for (uint64_t i = 0; i < target_edges; ++i) {
+    const VertexId u = rng.NextUint32(n);
+    const VertexId v = rng.NextUint32(n);
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph GenerateBarabasiAlbert(VertexId n, int m, Rng& rng) {
+  GM_CHECK(n > static_cast<VertexId>(m) && m >= 1);
+  GraphBuilder builder(n);
+  // Repeated-endpoint sampling: picking a uniform element of the endpoint
+  // list is equivalent to degree-proportional sampling.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(static_cast<size_t>(n) * m * 2);
+  // Seed clique over the first m+1 vertices.
+  for (VertexId u = 0; u <= static_cast<VertexId>(m); ++u) {
+    for (VertexId v = u + 1; v <= static_cast<VertexId>(m); ++v) {
+      builder.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (VertexId v = static_cast<VertexId>(m) + 1; v < n; ++v) {
+    for (int j = 0; j < m; ++j) {
+      const VertexId target = endpoints[rng.NextUint64(endpoints.size())];
+      builder.AddEdge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return builder.Build();
+}
+
+Graph GenerateRMat(int scale, double edge_factor, Rng& rng, double a, double b, double c) {
+  GM_CHECK(scale >= 2 && scale < 31);
+  const VertexId n = static_cast<VertexId>(1) << scale;
+  const uint64_t target_edges = static_cast<uint64_t>(edge_factor * n);
+  GraphBuilder builder(n);
+  for (uint64_t i = 0; i < target_edges; ++i) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (int level = 0; level < scale; ++level) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: neither bit set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph GenerateMultiComponent(VertexId num_components, VertexId component_size, double intra_p,
+                             Rng& rng) {
+  GM_CHECK(num_components >= 1 && component_size >= 2);
+  const VertexId n = num_components * component_size + 1;  // +1 for the hub
+  const VertexId hub = n - 1;
+  GraphBuilder builder(n);
+  for (VertexId comp = 0; comp < num_components; ++comp) {
+    const VertexId base = comp * component_size;
+    // Spanning path keeps the component connected; extra intra edges add
+    // density.
+    for (VertexId i = 1; i < component_size; ++i) {
+      builder.AddEdge(base + i - 1, base + i);
+    }
+    const uint64_t extra =
+        static_cast<uint64_t>(intra_p * component_size * (component_size - 1) / 2.0);
+    for (uint64_t e = 0; e < extra; ++e) {
+      const VertexId u = base + rng.NextUint32(component_size);
+      const VertexId v = base + rng.NextUint32(component_size);
+      builder.AddEdge(u, v);
+    }
+  }
+  // The hub vertex connects to one vertex in a large fraction of components,
+  // yielding a BTC-like extreme max degree.
+  for (VertexId comp = 0; comp < num_components; ++comp) {
+    if (rng.NextBool(0.5)) {
+      builder.AddEdge(hub, comp * component_size);
+    }
+  }
+  return builder.Build();
+}
+
+Graph GenerateCommunityGraph(VertexId num_communities, VertexId community_size, double p_in,
+                             uint64_t inter_edges, Rng& rng) {
+  GM_CHECK(num_communities >= 1 && community_size >= 2);
+  const VertexId n = num_communities * community_size;
+  GraphBuilder builder(n);
+  for (VertexId c = 0; c < num_communities; ++c) {
+    const VertexId base = c * community_size;
+    for (VertexId i = 1; i < community_size; ++i) {
+      builder.AddEdge(base + i - 1, base + i);  // spanning path
+    }
+    const uint64_t intra =
+        static_cast<uint64_t>(p_in * community_size * (community_size - 1) / 2.0);
+    for (uint64_t e = 0; e < intra; ++e) {
+      builder.AddEdge(base + rng.NextUint32(community_size),
+                      base + rng.NextUint32(community_size));
+    }
+  }
+  for (uint64_t e = 0; e < inter_edges; ++e) {
+    builder.AddEdge(rng.NextUint32(n), rng.NextUint32(n));
+  }
+  return builder.Build();
+}
+
+Graph WithUniformLabels(const Graph& g, int num_labels, Rng& rng) {
+  GM_CHECK(num_labels >= 1);
+  GraphBuilder builder(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (u > v) {
+        builder.AddEdge(v, u);
+      }
+    }
+  }
+  std::vector<Label> labels(g.num_vertices());
+  for (auto& l : labels) {
+    l = rng.NextUint32(static_cast<uint32_t>(num_labels));
+  }
+  builder.SetLabels(std::move(labels));
+  return builder.Build();
+}
+
+namespace {
+
+std::vector<AttrValue> UniformAttrList(int dims, int values_per_dim, Rng& rng) {
+  std::vector<AttrValue> attrs(static_cast<size_t>(dims));
+  for (int d = 0; d < dims; ++d) {
+    attrs[d] = static_cast<AttrValue>(d * values_per_dim +
+                                      rng.NextUint32(static_cast<uint32_t>(values_per_dim)));
+  }
+  return attrs;
+}
+
+GraphBuilder RebuildEdges(const Graph& g) {
+  GraphBuilder builder(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (u > v) {
+        builder.AddEdge(v, u);
+      }
+    }
+  }
+  return builder;
+}
+
+}  // namespace
+
+Graph WithUniformAttributes(const Graph& g, int dims, int values_per_dim, Rng& rng) {
+  GraphBuilder builder = RebuildEdges(g);
+  std::vector<std::vector<AttrValue>> attrs(g.num_vertices());
+  for (auto& a : attrs) {
+    a = UniformAttrList(dims, values_per_dim, rng);
+  }
+  builder.SetAttributes(std::move(attrs));
+  return builder.Build();
+}
+
+Graph WithPlantedAttributeGroups(const Graph& g, int num_groups, int dims, int values_per_dim,
+                                 double fidelity, Rng& rng) {
+  GM_CHECK(num_groups >= 1);
+  GraphBuilder builder = RebuildEdges(g);
+  // Each group has a prototype attribute list; members copy each prototype
+  // value with probability `fidelity`, otherwise draw uniformly.
+  std::vector<std::vector<AttrValue>> prototypes(static_cast<size_t>(num_groups));
+  for (auto& p : prototypes) {
+    p = UniformAttrList(dims, values_per_dim, rng);
+  }
+  const VertexId group_span = std::max<VertexId>(1, g.num_vertices() / num_groups);
+  std::vector<std::vector<AttrValue>> attrs(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto& proto = prototypes[std::min<size_t>(v / group_span, prototypes.size() - 1)];
+    auto a = UniformAttrList(dims, values_per_dim, rng);
+    for (int d = 0; d < dims; ++d) {
+      if (rng.NextBool(fidelity)) {
+        a[d] = proto[d];
+      }
+    }
+    attrs[v] = std::move(a);
+  }
+  builder.SetAttributes(std::move(attrs));
+  return builder.Build();
+}
+
+Graph ShuffleVertexIds(const Graph& g, Rng& rng) {
+  std::vector<VertexId> perm(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    perm[v] = v;
+  }
+  std::shuffle(perm.begin(), perm.end(), rng.engine());
+  GraphBuilder builder(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (u > v) {
+        builder.AddEdge(perm[v], perm[u]);
+      }
+    }
+  }
+  if (g.has_labels()) {
+    std::vector<Label> labels(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      labels[perm[v]] = g.label(v);
+    }
+    builder.SetLabels(std::move(labels));
+  }
+  if (g.has_attributes()) {
+    std::vector<std::vector<AttrValue>> attrs(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const auto a = g.attributes(v);
+      attrs[perm[v]].assign(a.begin(), a.end());
+    }
+    builder.SetAttributes(std::move(attrs));
+  }
+  return builder.Build();
+}
+
+namespace {
+
+Graph MakeDatasetUnshuffled(const std::string& name, double scale_factor, Rng& rng);
+
+}  // namespace
+
+Graph MakeDataset(const std::string& name, double scale_factor, uint64_t seed) {
+  Rng rng(seed);
+  Graph g = MakeDatasetUnshuffled(name, scale_factor, rng);
+  // Ids of real graph files carry no structure; remove the generator artifact.
+  return ShuffleVertexIds(g, rng);
+}
+
+namespace {
+
+Graph MakeDatasetUnshuffled(const std::string& name, double scale_factor, Rng& rng) {
+  const auto scaled = [scale_factor](VertexId base) {
+    return static_cast<VertexId>(std::max(64.0, base * scale_factor));
+  };
+  if (name == "skitter") {
+    // Internet topology: sparse (avg deg ~13), skewed. ~1.7M vertices originally.
+    return GenerateRMat(/*scale=*/11, /*edge_factor=*/6.5, rng);
+  }
+  if (name == "orkut") {
+    // Dense social network (avg deg ~76): strong community structure plus a
+    // hub overlay for the heavy-tailed degree distribution. ~3M vertices
+    // originally.
+    const VertexId n = scaled(3072);
+    const VertexId comm_size = 128;
+    const VertexId num_comms = std::max<VertexId>(2, n / comm_size);
+    Graph base = GenerateCommunityGraph(num_comms, comm_size, /*p_in=*/0.42,
+                                        /*inter_edges=*/static_cast<uint64_t>(n) * 4, rng);
+    GraphBuilder builder(base.num_vertices());
+    for (VertexId v = 0; v < base.num_vertices(); ++v) {
+      for (const VertexId u : base.neighbors(v)) {
+        if (u > v) {
+          builder.AddEdge(v, u);
+        }
+      }
+    }
+    for (int h = 0; h < 40; ++h) {  // hubs: heavy tail
+      const VertexId hub = rng.NextUint32(base.num_vertices());
+      for (int e = 0; e < 220; ++e) {
+        builder.AddEdge(hub, rng.NextUint32(base.num_vertices()));
+      }
+    }
+    return builder.Build();
+  }
+  if (name == "btc") {
+    // Semantic graph: very sparse (avg deg ~4.7), many components, giant hub.
+    return GenerateMultiComponent(scaled(2048), /*component_size=*/80, /*intra_p=*/0.03, rng);
+  }
+  if (name == "friendster") {
+    // The largest graph (avg deg ~55): community structure + hub overlay.
+    // ~65M vertices originally.
+    const VertexId n = scaled(8192);
+    const VertexId comm_size = 96;
+    const VertexId num_comms = std::max<VertexId>(2, n / comm_size);
+    Graph base = GenerateCommunityGraph(num_comms, comm_size, /*p_in=*/0.38,
+                                        /*inter_edges=*/static_cast<uint64_t>(n) * 4, rng);
+    GraphBuilder builder(base.num_vertices());
+    for (VertexId v = 0; v < base.num_vertices(); ++v) {
+      for (const VertexId u : base.neighbors(v)) {
+        if (u > v) {
+          builder.AddEdge(v, u);
+        }
+      }
+    }
+    for (int h = 0; h < 80; ++h) {
+      const VertexId hub = rng.NextUint32(base.num_vertices());
+      for (int e = 0; e < 180; ++e) {
+        builder.AddEdge(hub, rng.NextUint32(base.num_vertices()));
+      }
+    }
+    return builder.Build();
+  }
+  if (name == "tencent") {
+    // Attributed microblog graph with a huge hub and high-dimensional tags.
+    Graph base = GenerateRMat(/*scale=*/11, /*edge_factor=*/27.0, rng);
+    return WithPlantedAttributeGroups(base, /*num_groups=*/32, /*dims=*/8,
+                                      /*values_per_dim=*/16, /*fidelity=*/0.8, rng);
+  }
+  if (name == "dblp") {
+    // Sparse co-authorship graph: strong community structure (research
+    // groups) with venue attributes aligned to the communities.
+    const VertexId num_comms = std::max<VertexId>(8, scaled(1806) / 75);
+    Graph base = GenerateCommunityGraph(num_comms, /*community_size=*/75, /*p_in=*/0.12,
+                                        /*inter_edges=*/num_comms * 20ull, rng);
+    return WithPlantedAttributeGroups(base, /*num_groups=*/static_cast<int>(num_comms),
+                                      /*dims=*/5, /*values_per_dim=*/10, /*fidelity=*/0.85,
+                                      rng);
+  }
+  GM_CHECK(false) << "unknown dataset: " << name;
+  return Graph();
+}
+
+}  // namespace
+
+DatasetStats ComputeStats(const Graph& g) {
+  DatasetStats stats;
+  stats.num_vertices = g.num_vertices();
+  stats.num_edges = g.num_edges();
+  stats.max_degree = g.max_degree();
+  stats.avg_degree = g.avg_degree();
+  stats.labeled = g.has_labels();
+  stats.attributed = g.has_attributes();
+  return stats;
+}
+
+}  // namespace gminer

@@ -1,0 +1,85 @@
+// Synthetic graph generators. These produce the scaled-down stand-ins for the
+// paper's datasets (Table 2): power-law social graphs for Orkut / Friendster,
+// a sparse internet-topology-like graph for Skitter, a many-component semantic
+// graph with an extreme hub for BTC, and attributed graphs for Tencent / DBLP.
+#ifndef GMINER_GRAPH_GENERATORS_H_
+#define GMINER_GRAPH_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace gminer {
+
+// G(n, p)-style uniform random graph with the given expected average degree.
+Graph GenerateErdosRenyi(VertexId n, double avg_degree, Rng& rng);
+
+// Preferential-attachment graph: each new vertex attaches to `m` existing
+// vertices chosen proportionally to degree. Produces a power-law degree
+// distribution with a connected core.
+Graph GenerateBarabasiAlbert(VertexId n, int m, Rng& rng);
+
+// Recursive-matrix (R-MAT) generator; n = 2^scale vertices and roughly
+// n * edge_factor undirected edges. Defaults follow the Graph500 parameters,
+// producing heavy skew (a few very high-degree hubs).
+Graph GenerateRMat(int scale, double edge_factor, Rng& rng, double a = 0.57, double b = 0.19,
+                   double c = 0.19);
+
+// Many small connected components plus one giant hub vertex connected widely —
+// mimics the shape of the BTC semantic graph (huge max degree, tiny average).
+Graph GenerateMultiComponent(VertexId num_components, VertexId component_size, double intra_p,
+                             Rng& rng);
+
+// Planted-partition (community) graph: `num_communities` contiguous-id blocks
+// of `community_size` vertices, dense inside (edge probability p_in, plus a
+// spanning path for connectivity) and sparse across (`inter_edges` uniform
+// random edges). Co-authorship and social graphs have this shape; community
+// detection and focused clustering have real structure to find here.
+Graph GenerateCommunityGraph(VertexId num_communities, VertexId community_size, double p_in,
+                             uint64_t inter_edges, Rng& rng);
+
+// Returns a copy of `g` with uniform-random labels from {0, ..., num_labels-1}
+// (the paper's GM experiment assigns labels {a..g} uniformly).
+Graph WithUniformLabels(const Graph& g, int num_labels, Rng& rng);
+
+// Returns a copy of `g` where each vertex gets `dims` attributes; attribute d
+// takes a value in [d * values_per_dim, (d+1) * values_per_dim). This mirrors
+// the paper's footnote 7 ("5-dimension [A-E] uniform distribution from
+// [1-10]", e.g. {A1, B5, C10, D6, E4}").
+Graph WithUniformAttributes(const Graph& g, int dims, int values_per_dim, Rng& rng);
+
+// Returns a copy with community-correlated attributes: vertices are assigned
+// to planted groups (by contiguous id range) and members of a group share a
+// biased attribute distribution. Used by CD / GC workloads so that attribute
+// filtering has structure to find.
+Graph WithPlantedAttributeGroups(const Graph& g, int num_groups, int dims, int values_per_dim,
+                                 double fidelity, Rng& rng);
+
+// Returns a copy of g with vertex ids randomly permuted (labels/attributes
+// follow their vertices). Real-world graph files carry no structure in their
+// id assignment; synthetic generators do (contiguous communities), and
+// shuffling removes that artifact. Every MakeDataset() graph is shuffled.
+Graph ShuffleVertexIds(const Graph& g, Rng& rng);
+
+// Named scaled-down stand-ins for the paper's Table 2 datasets. `scale_factor`
+// of 1.0 yields the default (~1000x smaller than the original); larger values
+// grow the graph proportionally. Valid names: "skitter", "orkut", "btc",
+// "friendster", "tencent", "dblp".
+Graph MakeDataset(const std::string& name, double scale_factor, uint64_t seed);
+
+struct DatasetStats {
+  VertexId num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint32_t max_degree = 0;
+  double avg_degree = 0.0;
+  bool labeled = false;
+  bool attributed = false;
+};
+
+DatasetStats ComputeStats(const Graph& g);
+
+}  // namespace gminer
+
+#endif  // GMINER_GRAPH_GENERATORS_H_

@@ -1,0 +1,26 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace gminer {
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  const auto adj = neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+uint32_t Graph::max_degree() const {
+  uint32_t max_deg = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    max_deg = std::max(max_deg, degree(v));
+  }
+  return max_deg;
+}
+
+uint64_t Graph::ByteSize() const {
+  return offsets_.size() * sizeof(uint64_t) + neighbors_.size() * sizeof(VertexId) +
+         labels_.size() * sizeof(Label) + attr_offsets_.size() * sizeof(uint64_t) +
+         attrs_.size() * sizeof(AttrValue);
+}
+
+}  // namespace gminer

@@ -1,0 +1,71 @@
+// Immutable in-memory graph in compressed sparse row (CSR) form, with optional
+// per-vertex labels (graph matching) and attribute lists (community detection,
+// graph clustering). Matches the paper's data model in §4: each vertex v has
+// id(v), an adjacency list Γ(v), and an optional attribute list a(v).
+#ifndef GMINER_GRAPH_GRAPH_H_
+#define GMINER_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gminer {
+
+class GraphBuilder;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  VertexId num_vertices() const { return static_cast<VertexId>(offsets_.size()) - 1; }
+  uint64_t num_edges() const { return neighbors_.size() / 2; }      // undirected edge count
+  uint64_t num_directed_edges() const { return neighbors_.size(); }
+
+  uint32_t degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  // Sorted, deduplicated neighbor list of v.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v], neighbors_.data() + offsets_[v + 1]};
+  }
+
+  // Binary search over the sorted adjacency list.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  bool has_labels() const { return !labels_.empty(); }
+  Label label(VertexId v) const { return has_labels() ? labels_[v] : kNoLabel; }
+
+  bool has_attributes() const { return !attr_offsets_.empty(); }
+  std::span<const AttrValue> attributes(VertexId v) const {
+    if (!has_attributes()) {
+      return {};
+    }
+    return {attrs_.data() + attr_offsets_[v], attrs_.data() + attr_offsets_[v + 1]};
+  }
+
+  uint32_t max_degree() const;
+  double avg_degree() const {
+    return num_vertices() == 0
+               ? 0.0
+               : static_cast<double>(num_directed_edges()) / num_vertices();
+  }
+
+  // Approximate resident size, used for dataset reporting.
+  uint64_t ByteSize() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint64_t> offsets_ = {0};
+  std::vector<VertexId> neighbors_;
+  std::vector<Label> labels_;            // empty when unlabeled
+  std::vector<uint64_t> attr_offsets_;   // empty when unattributed
+  std::vector<AttrValue> attrs_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_GRAPH_GRAPH_H_

@@ -1,0 +1,133 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/builder.h"
+
+namespace gminer {
+
+Graph LoadEdgeList(const std::string& path, VertexId num_vertices_hint) {
+  std::ifstream in(path);
+  GM_CHECK(in.good()) << "cannot open " << path;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  VertexId max_vertex = num_vertices_hint > 0 ? num_vertices_hint - 1 : 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ss(line);
+    VertexId u = 0;
+    VertexId v = 0;
+    if (!(ss >> u >> v)) {
+      continue;
+    }
+    edges.emplace_back(u, v);
+    max_vertex = std::max({max_vertex, u, v});
+  }
+  GraphBuilder builder(max_vertex + 1);
+  for (const auto& [u, v] : edges) {
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+void SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  GM_CHECK(out.good()) << "cannot open " << path;
+  out << "# vertices " << g.num_vertices() << "\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (u > v) {
+        out << v << ' ' << u << '\n';
+      }
+    }
+  }
+}
+
+void SaveAdjacency(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  GM_CHECK(out.good()) << "cannot open " << path;
+  out << "V " << g.num_vertices() << ' ' << (g.has_labels() ? 1 : 0) << ' '
+      << (g.has_attributes() ? 1 : 0) << '\n';
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out << v;
+    if (g.has_labels()) {
+      out << ' ' << g.label(v);
+    }
+    if (g.has_attributes()) {
+      const auto attrs = g.attributes(v);
+      out << ' ' << attrs.size();
+      for (const AttrValue a : attrs) {
+        out << ' ' << a;
+      }
+    }
+    out << " :";
+    for (const VertexId u : g.neighbors(v)) {
+      out << ' ' << u;
+    }
+    out << '\n';
+  }
+}
+
+Graph LoadAdjacency(const std::string& path) {
+  std::ifstream in(path);
+  GM_CHECK(in.good()) << "cannot open " << path;
+  std::string header;
+  VertexId n = 0;
+  int has_labels = 0;
+  int has_attrs = 0;
+  in >> header >> n >> has_labels >> has_attrs;
+  GM_CHECK(header == "V") << "bad adjacency header in " << path;
+  GraphBuilder builder(n);
+  std::vector<Label> labels;
+  std::vector<std::vector<AttrValue>> attrs;
+  if (has_labels != 0) {
+    labels.resize(n);
+  }
+  if (has_attrs != 0) {
+    attrs.resize(n);
+  }
+  for (VertexId i = 0; i < n; ++i) {
+    VertexId v = 0;
+    in >> v;
+    GM_CHECK(v < n) << "vertex id out of range in " << path;
+    if (has_labels != 0) {
+      in >> labels[v];
+    }
+    if (has_attrs != 0) {
+      size_t k = 0;
+      in >> k;
+      attrs[v].resize(k);
+      for (size_t j = 0; j < k; ++j) {
+        in >> attrs[v][j];
+      }
+    }
+    std::string colon;
+    in >> colon;
+    GM_CHECK(colon == ":") << "bad adjacency row in " << path;
+    // Neighbors run until end of line.
+    std::string rest;
+    std::getline(in, rest);
+    std::istringstream ss(rest);
+    VertexId u = 0;
+    while (ss >> u) {
+      if (u > v) {
+        builder.AddEdge(v, u);
+      }
+    }
+  }
+  if (has_labels != 0) {
+    builder.SetLabels(std::move(labels));
+  }
+  if (has_attrs != 0) {
+    builder.SetAttributes(std::move(attrs));
+  }
+  return builder.Build();
+}
+
+}  // namespace gminer

@@ -1,0 +1,24 @@
+// Text serialization for graphs. The original system loads adjacency data
+// from HDFS; here the persistent store is the local filesystem. Two formats:
+//
+//   * edge list:  "u v" per line, '#' comments, undirected;
+//   * adjacency:  "v [label] [k a1..ak] : n1 n2 ..." per line, which carries
+//     labels and attribute lists and round-trips everything a Graph holds.
+#ifndef GMINER_GRAPH_IO_H_
+#define GMINER_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace gminer {
+
+Graph LoadEdgeList(const std::string& path, VertexId num_vertices_hint = 0);
+void SaveEdgeList(const Graph& g, const std::string& path);
+
+Graph LoadAdjacency(const std::string& path);
+void SaveAdjacency(const Graph& g, const std::string& path);
+
+}  // namespace gminer
+
+#endif  // GMINER_GRAPH_IO_H_

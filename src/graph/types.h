@@ -1,0 +1,22 @@
+// Fundamental graph identifiers shared by every module.
+#ifndef GMINER_GRAPH_TYPES_H_
+#define GMINER_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace gminer {
+
+using VertexId = uint32_t;
+using Label = uint32_t;
+using AttrValue = uint32_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr Label kNoLabel = std::numeric_limits<Label>::max();
+
+using WorkerId = int32_t;
+inline constexpr WorkerId kInvalidWorker = -1;
+
+}  // namespace gminer
+
+#endif  // GMINER_GRAPH_TYPES_H_

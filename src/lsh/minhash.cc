@@ -1,0 +1,85 @@
+#include "lsh/minhash.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace gminer {
+
+namespace {
+
+// Final avalanche of MurmurHash3; good dispersion for multiply-shift inputs.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+MinHasher::MinHasher(int num_hashes, int num_bands, uint64_t seed)
+    : num_hashes_(num_hashes), num_bands_(num_bands) {
+  GM_CHECK(num_hashes >= 1 && num_bands >= 1 && num_hashes % num_bands == 0)
+      << "num_hashes must be a positive multiple of num_bands";
+  Rng rng(seed);
+  mults_.resize(static_cast<size_t>(num_hashes));
+  adds_.resize(static_cast<size_t>(num_hashes));
+  for (int i = 0; i < num_hashes; ++i) {
+    mults_[i] = rng.engine()() | 1;  // odd multiplier
+    adds_[i] = rng.engine()();
+  }
+}
+
+uint64_t MinHasher::HashOne(VertexId id, size_t which) const {
+  return Mix64(static_cast<uint64_t>(id) * mults_[which] + adds_[which]);
+}
+
+std::vector<uint64_t> MinHasher::Signature(std::span<const VertexId> ids) const {
+  std::vector<uint64_t> sig(static_cast<size_t>(num_hashes_),
+                            std::numeric_limits<uint64_t>::max());
+  for (const VertexId id : ids) {
+    for (size_t h = 0; h < sig.size(); ++h) {
+      const uint64_t value = HashOne(id, h);
+      if (value < sig[h]) {
+        sig[h] = value;
+      }
+    }
+  }
+  return sig;
+}
+
+uint64_t MinHasher::Key(std::span<const VertexId> ids) const {
+  if (ids.empty()) {
+    return 0;
+  }
+  const std::vector<uint64_t> sig = Signature(ids);
+  const int rows = num_hashes_ / num_bands_;
+  const int bits_per_band = 64 / num_bands_;
+  uint64_t key = 0;
+  for (int band = 0; band < num_bands_; ++band) {
+    uint64_t band_hash = 0x9e3779b97f4a7c15ULL;
+    for (int r = 0; r < rows; ++r) {
+      band_hash = Mix64(band_hash ^ sig[static_cast<size_t>(band * rows + r)]);
+    }
+    key = (key << bits_per_band) | (band_hash >> (64 - bits_per_band));
+  }
+  return key;
+}
+
+double MinHasher::EstimateJaccard(std::span<const uint64_t> sig_a,
+                                  std::span<const uint64_t> sig_b) {
+  GM_CHECK(sig_a.size() == sig_b.size() && !sig_a.empty());
+  size_t equal = 0;
+  for (size_t i = 0; i < sig_a.size(); ++i) {
+    if (sig_a[i] == sig_b[i]) {
+      ++equal;
+    }
+  }
+  return static_cast<double>(equal) / static_cast<double>(sig_a.size());
+}
+
+}  // namespace gminer

@@ -1,0 +1,51 @@
+// Locality-sensitive hashing over remote-candidate ID sets (§7, "Task
+// Priority Queue"). The paper reduces each high-dimension to_pull set to a
+// low-dimension key with LSH so that tasks sharing remote candidates sort next
+// to each other in the priority queue, raising the RCV cache hit rate.
+//
+// We use classic MinHash: `num_hashes` independent permutations approximated
+// by multiply-shift hashing; the signature is folded band-wise into a single
+// 64-bit ordering key. Tasks with similar to_pull sets collide on the leading
+// bands and therefore dequeue consecutively.
+#ifndef GMINER_LSH_MINHASH_H_
+#define GMINER_LSH_MINHASH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gminer {
+
+class MinHasher {
+ public:
+  MinHasher(int num_hashes, int num_bands, uint64_t seed);
+
+  // Full MinHash signature of the ID set.
+  std::vector<uint64_t> Signature(std::span<const VertexId> ids) const;
+
+  // 64-bit ordering key: bands of the signature are hashed and concatenated
+  // most-significant-band first, so keys equal on a prefix of bands indicate
+  // high Jaccard similarity. Empty sets map to key 0.
+  uint64_t Key(std::span<const VertexId> ids) const;
+
+  // Estimated Jaccard similarity between two sets from their signatures.
+  static double EstimateJaccard(std::span<const uint64_t> sig_a,
+                                std::span<const uint64_t> sig_b);
+
+  int num_hashes() const { return num_hashes_; }
+  int num_bands() const { return num_bands_; }
+
+ private:
+  uint64_t HashOne(VertexId id, size_t which) const;
+
+  int num_hashes_;
+  int num_bands_;
+  std::vector<uint64_t> mults_;
+  std::vector<uint64_t> adds_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_LSH_MINHASH_H_

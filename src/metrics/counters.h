@@ -1,0 +1,101 @@
+// Runtime counters collected per worker and aggregated per job. These back
+// the evaluation columns of Tables 1, 3, 4 and 5 (CPU utilization, memory,
+// network traffic) and the utilization timelines of Figures 5 and 6.
+#ifndef GMINER_METRICS_COUNTERS_H_
+#define GMINER_METRICS_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gminer {
+
+// All counters are monotonically increasing and updated lock-free from the
+// pipeline threads; the utilization sampler reads them periodically.
+struct WorkerCounters {
+  std::atomic<int64_t> net_bytes_sent{0};
+  std::atomic<int64_t> net_bytes_received{0};
+  std::atomic<int64_t> net_messages{0};
+  std::atomic<int64_t> pull_requests{0};      // remote vertices requested
+  std::atomic<int64_t> pull_responses{0};     // remote vertices received
+  std::atomic<int64_t> cache_hits{0};
+  std::atomic<int64_t> cache_misses{0};
+  std::atomic<int64_t> disk_bytes_written{0};
+  std::atomic<int64_t> disk_bytes_read{0};
+  std::atomic<int64_t> tasks_created{0};
+  std::atomic<int64_t> tasks_completed{0};
+  std::atomic<int64_t> tasks_stolen_in{0};
+  std::atomic<int64_t> tasks_stolen_out{0};
+  std::atomic<int64_t> update_rounds{0};      // update() invocations
+  std::atomic<int64_t> compute_busy_ns{0};    // time computing threads spent in update()
+
+  WorkerCounters() = default;
+  WorkerCounters(const WorkerCounters&) = delete;
+  WorkerCounters& operator=(const WorkerCounters&) = delete;
+};
+
+// Plain-value snapshot of WorkerCounters, summable across workers.
+struct CountersSnapshot {
+  int64_t net_bytes_sent = 0;
+  int64_t net_bytes_received = 0;
+  int64_t net_messages = 0;
+  int64_t pull_requests = 0;
+  int64_t pull_responses = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t disk_bytes_written = 0;
+  int64_t disk_bytes_read = 0;
+  int64_t tasks_created = 0;
+  int64_t tasks_completed = 0;
+  int64_t tasks_stolen_in = 0;
+  int64_t tasks_stolen_out = 0;
+  int64_t update_rounds = 0;
+  int64_t compute_busy_ns = 0;
+
+  CountersSnapshot& operator+=(const CountersSnapshot& o) {
+    net_bytes_sent += o.net_bytes_sent;
+    net_bytes_received += o.net_bytes_received;
+    net_messages += o.net_messages;
+    pull_requests += o.pull_requests;
+    pull_responses += o.pull_responses;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    disk_bytes_written += o.disk_bytes_written;
+    disk_bytes_read += o.disk_bytes_read;
+    tasks_created += o.tasks_created;
+    tasks_completed += o.tasks_completed;
+    tasks_stolen_in += o.tasks_stolen_in;
+    tasks_stolen_out += o.tasks_stolen_out;
+    update_rounds += o.update_rounds;
+    compute_busy_ns += o.compute_busy_ns;
+    return *this;
+  }
+
+  double CacheHitRate() const {
+    const int64_t total = cache_hits + cache_misses;
+    return total > 0 ? static_cast<double>(cache_hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+inline CountersSnapshot Snapshot(const WorkerCounters& c) {
+  CountersSnapshot s;
+  s.net_bytes_sent = c.net_bytes_sent.load(std::memory_order_relaxed);
+  s.net_bytes_received = c.net_bytes_received.load(std::memory_order_relaxed);
+  s.net_messages = c.net_messages.load(std::memory_order_relaxed);
+  s.pull_requests = c.pull_requests.load(std::memory_order_relaxed);
+  s.pull_responses = c.pull_responses.load(std::memory_order_relaxed);
+  s.cache_hits = c.cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = c.cache_misses.load(std::memory_order_relaxed);
+  s.disk_bytes_written = c.disk_bytes_written.load(std::memory_order_relaxed);
+  s.disk_bytes_read = c.disk_bytes_read.load(std::memory_order_relaxed);
+  s.tasks_created = c.tasks_created.load(std::memory_order_relaxed);
+  s.tasks_completed = c.tasks_completed.load(std::memory_order_relaxed);
+  s.tasks_stolen_in = c.tasks_stolen_in.load(std::memory_order_relaxed);
+  s.tasks_stolen_out = c.tasks_stolen_out.load(std::memory_order_relaxed);
+  s.update_rounds = c.update_rounds.load(std::memory_order_relaxed);
+  s.compute_busy_ns = c.compute_busy_ns.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace gminer
+
+#endif  // GMINER_METRICS_COUNTERS_H_

@@ -1,0 +1,68 @@
+// Explicit memory accounting. The pipeline's bulky structures (task subgraphs,
+// candidate lists, the RCV cache, baseline engines' frontiers and message
+// queues) register their footprint here, so the memory columns of the paper's
+// tables — and the OOM verdicts of the baseline systems — are measured
+// deterministically instead of scraped from the OS.
+#ifndef GMINER_METRICS_MEMORY_TRACKER_H_
+#define GMINER_METRICS_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gminer {
+
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  void Add(int64_t bytes) {
+    const int64_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    // Lock-free peak update; benign race resolved by the CAS loop.
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  void Sub(int64_t bytes) { current_.fetch_sub(bytes, std::memory_order_relaxed); }
+
+  int64_t current() const { return current_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  // True when a budget is set and current usage exceeds it. Engines poll this
+  // to reproduce the paper's out-of-memory failures.
+  bool OverBudget(int64_t budget_bytes) const {
+    return budget_bytes > 0 && current() > budget_bytes;
+  }
+
+ private:
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+// RAII registration of a block of accounted memory.
+class ScopedMemory {
+ public:
+  ScopedMemory(MemoryTracker& tracker, int64_t bytes) : tracker_(&tracker), bytes_(bytes) {
+    tracker_->Add(bytes_);
+  }
+  ~ScopedMemory() {
+    if (tracker_ != nullptr) {
+      tracker_->Sub(bytes_);
+    }
+  }
+  ScopedMemory(const ScopedMemory&) = delete;
+  ScopedMemory& operator=(const ScopedMemory&) = delete;
+  ScopedMemory(ScopedMemory&& o) noexcept : tracker_(o.tracker_), bytes_(o.bytes_) {
+    o.tracker_ = nullptr;
+  }
+
+ private:
+  MemoryTracker* tracker_;
+  int64_t bytes_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_METRICS_MEMORY_TRACKER_H_

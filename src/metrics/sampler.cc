@@ -1,0 +1,89 @@
+#include "metrics/sampler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/timer.h"
+
+namespace gminer {
+
+UtilizationSampler::UtilizationSampler(std::function<CountersSnapshot()> snapshot_fn,
+                                       int total_cores, double net_bandwidth_gbps,
+                                       int interval_ms, double disk_throughput_mbps)
+    : snapshot_fn_(std::move(snapshot_fn)),
+      total_cores_(total_cores),
+      net_bytes_per_sec_(net_bandwidth_gbps * 1e9 / 8.0),
+      disk_bytes_per_sec_(disk_throughput_mbps * 1e6),
+      interval_ms_(interval_ms) {}
+
+UtilizationSampler::~UtilizationSampler() { Stop(); }
+
+void UtilizationSampler::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) {
+    return;
+  }
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { RunLoop(); });
+}
+
+void UtilizationSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) {
+      return;
+    }
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+std::vector<UtilizationSample> UtilizationSampler::TakeSamples() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::move(samples_);
+}
+
+void UtilizationSampler::RunLoop() {
+  WallTimer timer;
+  CountersSnapshot prev = snapshot_fn_();
+  double prev_t = 0.0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) {
+      break;
+    }
+    lock.unlock();
+    const double now_t = timer.ElapsedSeconds();
+    const CountersSnapshot now = snapshot_fn_();
+    const double dt = std::max(now_t - prev_t, 1e-6);
+
+    UtilizationSample sample;
+    sample.t_seconds = now_t;
+    const double busy_s =
+        static_cast<double>(now.compute_busy_ns - prev.compute_busy_ns) / 1e9;
+    sample.cpu_pct = std::min(100.0, 100.0 * busy_s / (dt * total_cores_));
+    const double net_bytes =
+        static_cast<double>((now.net_bytes_sent - prev.net_bytes_sent) +
+                            (now.net_bytes_received - prev.net_bytes_received));
+    sample.net_pct = std::min(100.0, 100.0 * net_bytes / (dt * net_bytes_per_sec_));
+    const double disk_bytes =
+        static_cast<double>((now.disk_bytes_written - prev.disk_bytes_written) +
+                            (now.disk_bytes_read - prev.disk_bytes_read));
+    sample.disk_pct = std::min(100.0, 100.0 * disk_bytes / (dt * disk_bytes_per_sec_));
+
+    prev = now;
+    prev_t = now_t;
+    lock.lock();
+    samples_.push_back(sample);
+  }
+}
+
+}  // namespace gminer

@@ -1,0 +1,40 @@
+// Wire messages exchanged between workers and the master. Everything crossing
+// a worker boundary is serialized into a payload so the network layer can
+// account exact byte counts (Tables 1, 3, 4: "Net. (GB)").
+#ifndef GMINER_NET_MESSAGE_H_
+#define GMINER_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gminer {
+
+enum class MessageType : uint8_t {
+  kPullRequest = 0,    // worker → worker: vertex ids to fetch
+  kPullResponse = 1,   // worker → worker: serialized VertexRecords
+  kProgressReport = 2, // worker → master: pipeline queue depths
+  kStealRequest = 3,   // worker → master: REQ, "I am idle"
+  kMigrateCommand = 4, // master → worker: MIGRATE Tnum tasks to worker X
+  kMigrateTasks = 5,   // worker → worker: serialized task batch
+  kNoTask = 6,         // worker → worker: migration declined
+  kAggPartial = 7,     // worker → master: serialized aggregator partial
+  kAggGlobal = 8,      // master → worker: serialized global aggregate
+  kSeedDone = 9,       // worker → master: seed generation finished
+  kShutdown = 10,      // master → worker: job complete, stop threads
+};
+
+struct NetMessage {
+  MessageType type = MessageType::kShutdown;
+  WorkerId from = kInvalidWorker;
+  std::vector<uint8_t> payload;
+};
+
+// Fixed per-message framing overhead charged by the network accounting,
+// standing in for Ethernet/IP/TCP headers.
+inline constexpr int64_t kMessageHeaderBytes = 64;
+
+}  // namespace gminer
+
+#endif  // GMINER_NET_MESSAGE_H_

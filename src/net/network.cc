@@ -1,0 +1,121 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace gminer {
+
+Network::Network(int num_endpoints, std::vector<WorkerCounters*> counters, bool simulate_time,
+                 double bandwidth_gbps, int64_t latency_us)
+    : counters_(std::move(counters)),
+      simulate_time_(simulate_time),
+      bytes_per_ns_(bandwidth_gbps * 1e9 / 8.0 / 1e9),
+      latency_ns_(latency_us * 1000) {
+  GM_CHECK(num_endpoints >= 1);
+  GM_CHECK(counters_.size() == static_cast<size_t>(num_endpoints));
+  mailboxes_.reserve(static_cast<size_t>(num_endpoints));
+  for (int i = 0; i < num_endpoints; ++i) {
+    mailboxes_.push_back(std::make_unique<BlockingQueue<NetMessage>>());
+  }
+  if (simulate_time_) {
+    delivery_thread_ = std::thread([this] { DeliveryLoop(); });
+  }
+}
+
+Network::~Network() {
+  Close();
+  if (delivery_thread_.joinable()) {
+    delivery_thread_.join();
+  }
+}
+
+void Network::Send(WorkerId from, WorkerId to, MessageType type,
+                   std::vector<uint8_t> payload) {
+  GM_CHECK(to >= 0 && to < static_cast<WorkerId>(mailboxes_.size()))
+      << "bad destination " << to;
+  const int64_t bytes = static_cast<int64_t>(payload.size()) + kMessageHeaderBytes;
+  // Loopback messages (e.g. a worker pulling from its own listener) are free:
+  // the paper's workers resolve local vertices without the network.
+  const bool remote = from != to;
+  if (remote) {
+    if (from >= 0 && from < static_cast<WorkerId>(counters_.size()) &&
+        counters_[static_cast<size_t>(from)] != nullptr) {
+      auto& c = *counters_[static_cast<size_t>(from)];
+      c.net_bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+      c.net_messages.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (counters_[static_cast<size_t>(to)] != nullptr) {
+      counters_[static_cast<size_t>(to)]->net_bytes_received.fetch_add(
+          bytes, std::memory_order_relaxed);
+    }
+  }
+
+  NetMessage msg{type, from, std::move(payload)};
+  if (!simulate_time_ || !remote) {
+    mailboxes_[static_cast<size_t>(to)]->Push(std::move(msg));
+    return;
+  }
+
+  const int64_t now = MonotonicNanos();
+  const int64_t transmit_ns =
+      bytes_per_ns_ > 0 ? static_cast<int64_t>(static_cast<double>(bytes) / bytes_per_ns_) : 0;
+  {
+    std::lock_guard<std::mutex> lock(delivery_mutex_);
+    // The shared link serializes transmissions: a message starts after the
+    // link frees up, finishes transmit_ns later, and arrives latency_ns after
+    // that.
+    const int64_t start = std::max(now, link_free_at_ns_);
+    link_free_at_ns_ = start + transmit_ns;
+    pending_.push(PendingDelivery{link_free_at_ns_ + latency_ns_, next_sequence_++, to,
+                                  std::move(msg)});
+  }
+  delivery_cv_.notify_one();
+}
+
+std::optional<NetMessage> Network::Receive(WorkerId me) {
+  return mailboxes_[static_cast<size_t>(me)]->Pop();
+}
+
+std::optional<NetMessage> Network::TryReceive(WorkerId me) {
+  return mailboxes_[static_cast<size_t>(me)]->TryPop();
+}
+
+void Network::Close() {
+  {
+    std::lock_guard<std::mutex> lock(delivery_mutex_);
+    stop_delivery_ = true;
+  }
+  delivery_cv_.notify_all();
+  for (auto& mailbox : mailboxes_) {
+    mailbox->Close();
+  }
+}
+
+void Network::DeliveryLoop() {
+  std::unique_lock<std::mutex> lock(delivery_mutex_);
+  while (true) {
+    if (stop_delivery_) {
+      return;
+    }
+    if (pending_.empty()) {
+      delivery_cv_.wait(lock, [this] { return stop_delivery_ || !pending_.empty(); });
+      continue;
+    }
+    const int64_t now = MonotonicNanos();
+    const int64_t due = pending_.top().deliver_at_ns;
+    if (due > now) {
+      delivery_cv_.wait_for(lock, std::chrono::nanoseconds(due - now));
+      continue;
+    }
+    PendingDelivery d = std::move(const_cast<PendingDelivery&>(pending_.top()));
+    pending_.pop();
+    lock.unlock();
+    mailboxes_[static_cast<size_t>(d.to)]->Push(std::move(d.message));
+    lock.lock();
+  }
+}
+
+}  // namespace gminer

@@ -1,0 +1,81 @@
+// Simulated cluster interconnect. Endpoints 0..num_workers-1 are workers; the
+// extra endpoint with id num_workers is the master. Every Send() charges the
+// payload (plus framing) to the sender's and receiver's byte counters. When
+// transmission simulation is enabled, messages additionally traverse a shared
+// serial link of the configured bandwidth/latency via a delivery thread, so
+// network transfers take real wall time and contend with each other — this is
+// what lets the task pipeline (Fig. 6) visibly hide communication that stalls
+// the batch-synchronous baseline (Fig. 5).
+#ifndef GMINER_NET_NETWORK_H_
+#define GMINER_NET_NETWORK_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "metrics/counters.h"
+#include "net/message.h"
+
+namespace gminer {
+
+class Network {
+ public:
+  // counters[i] may be nullptr (no accounting for that endpoint, e.g. master).
+  Network(int num_endpoints, std::vector<WorkerCounters*> counters,
+          bool simulate_time = false, double bandwidth_gbps = 1.0, int64_t latency_us = 0);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Enqueues a message for endpoint `to`. Thread safe.
+  void Send(WorkerId from, WorkerId to, MessageType type, std::vector<uint8_t> payload);
+
+  // Blocking receive; returns nullopt after Close().
+  std::optional<NetMessage> Receive(WorkerId me);
+  std::optional<NetMessage> TryReceive(WorkerId me);
+
+  // Closes every mailbox, waking all receivers.
+  void Close();
+
+  int num_endpoints() const { return static_cast<int>(mailboxes_.size()); }
+
+ private:
+  struct PendingDelivery {
+    int64_t deliver_at_ns;
+    uint64_t sequence;  // FIFO tie-break
+    WorkerId to;
+    NetMessage message;
+    bool operator>(const PendingDelivery& o) const {
+      if (deliver_at_ns != o.deliver_at_ns) {
+        return deliver_at_ns > o.deliver_at_ns;
+      }
+      return sequence > o.sequence;
+    }
+  };
+
+  void DeliveryLoop();
+
+  std::vector<std::unique_ptr<BlockingQueue<NetMessage>>> mailboxes_;
+  std::vector<WorkerCounters*> counters_;
+
+  const bool simulate_time_;
+  const double bytes_per_ns_;
+  const int64_t latency_ns_;
+
+  std::mutex delivery_mutex_;
+  std::condition_variable delivery_cv_;
+  std::priority_queue<PendingDelivery, std::vector<PendingDelivery>, std::greater<>> pending_;
+  uint64_t next_sequence_ = 0;
+  int64_t link_free_at_ns_ = 0;  // shared-link serialization point
+  bool stop_delivery_ = false;
+  std::thread delivery_thread_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_NET_NETWORK_H_

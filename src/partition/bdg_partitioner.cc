@@ -1,0 +1,175 @@
+#include "partition/bdg_partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace gminer {
+
+namespace {
+
+constexpr uint32_t kUncolored = 0xffffffffu;
+
+}  // namespace
+
+std::vector<uint32_t> BdgPartitioner::ComputeBlocks(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<uint32_t> color(n, kUncolored);
+  Rng rng(seed_);
+  uint32_t next_color = 0;
+  VertexId colored = 0;
+
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> next_frontier;
+  for (int round = 0; round < max_rounds_ && colored < n; ++round) {
+    // Sample sources from the uncolored vertices.
+    frontier.clear();
+    for (int s = 0; s < num_sources_ && colored < n; ++s) {
+      // Rejection sampling; bounded retries keep the round cheap when few
+      // vertices remain, the CC fallback handles stragglers.
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        const VertexId v = rng.NextUint32(n);
+        if (color[v] == kUncolored) {
+          color[v] = next_color++;
+          ++colored;
+          frontier.push_back(v);
+          break;
+        }
+      }
+    }
+    // Propagate colors bfs_depth steps.
+    for (int depth = 0; depth < bfs_depth_ && !frontier.empty(); ++depth) {
+      next_frontier.clear();
+      for (const VertexId v : frontier) {
+        for (const VertexId u : g.neighbors(v)) {
+          if (color[u] == kUncolored) {
+            color[u] = color[v];
+            ++colored;
+            next_frontier.push_back(u);
+          }
+        }
+      }
+      frontier.swap(next_frontier);
+    }
+  }
+
+  if (colored < n) {
+    // Hash-Min connected components over the uncolored residue: every vertex
+    // repeatedly adopts the minimum component id among itself and its
+    // uncolored neighbors until a fixed point; each residual CC is one block.
+    std::vector<VertexId> comp(n, kInvalidVertex);
+    for (VertexId v = 0; v < n; ++v) {
+      if (color[v] == kUncolored) {
+        comp[v] = v;
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId v = 0; v < n; ++v) {
+        if (comp[v] == kInvalidVertex) {
+          continue;
+        }
+        VertexId best = comp[v];
+        for (const VertexId u : g.neighbors(v)) {
+          if (comp[u] != kInvalidVertex && comp[u] < best) {
+            best = comp[u];
+          }
+        }
+        if (best < comp[v]) {
+          comp[v] = best;
+          changed = true;
+        }
+      }
+    }
+    std::unordered_map<VertexId, uint32_t> cc_color;
+    for (VertexId v = 0; v < n; ++v) {
+      if (comp[v] == kInvalidVertex) {
+        continue;
+      }
+      auto [it, inserted] = cc_color.try_emplace(comp[v], next_color);
+      if (inserted) {
+        ++next_color;
+      }
+      color[v] = it->second;
+    }
+  }
+  return color;
+}
+
+std::vector<WorkerId> BdgPartitioner::Partition(const Graph& g, int k) {
+  GM_CHECK(k >= 1);
+  const VertexId n = g.num_vertices();
+  if (k == 1) {
+    return std::vector<WorkerId>(n, 0);
+  }
+  const std::vector<uint32_t> color = ComputeBlocks(g);
+
+  // Gather block membership.
+  uint32_t num_blocks = 0;
+  for (const uint32_t c : color) {
+    num_blocks = std::max(num_blocks, c + 1);
+  }
+  std::vector<std::vector<VertexId>> block_vertices(num_blocks);
+  for (VertexId v = 0; v < n; ++v) {
+    block_vertices[color[v]].push_back(v);
+  }
+
+  // Assign blocks in descending size order (the paper sorts largest-first so
+  // the greedy choice is best informed for the heavy blocks).
+  std::vector<uint32_t> order(num_blocks);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (block_vertices[a].size() != block_vertices[b].size()) {
+      return block_vertices[a].size() > block_vertices[b].size();
+    }
+    return a < b;
+  });
+
+  std::vector<WorkerId> owner(n, kInvalidWorker);
+  std::vector<uint64_t> part_size(static_cast<size_t>(k), 0);
+  const double capacity = static_cast<double>(n) / k;
+
+  std::vector<uint64_t> overlap(static_cast<size_t>(k), 0);
+  for (const uint32_t b : order) {
+    const auto& members = block_vertices[b];
+    if (members.empty()) {
+      continue;
+    }
+    // |P(i) ∩ Γ(B)|: count already-placed neighbors per worker.
+    std::fill(overlap.begin(), overlap.end(), 0);
+    for (const VertexId v : members) {
+      for (const VertexId u : g.neighbors(v)) {
+        if (owner[u] != kInvalidWorker && color[u] != b) {
+          ++overlap[static_cast<size_t>(owner[u])];
+        }
+      }
+    }
+    int best = 0;
+    double best_score = -1.0;
+    for (int i = 0; i < k; ++i) {
+      const double free_frac =
+          1.0 - static_cast<double>(part_size[static_cast<size_t>(i)]) / capacity;
+      // Eq. 1 with +1 smoothing on the overlap so that blocks with no placed
+      // neighbors still prefer the emptiest worker; negative free capacity
+      // disqualifies overstuffed workers.
+      const double score = (static_cast<double>(overlap[static_cast<size_t>(i)]) + 1.0) *
+                           std::max(free_frac, 1e-9);
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    for (const VertexId v : members) {
+      owner[v] = best;
+    }
+    part_size[static_cast<size_t>(best)] += members.size();
+  }
+  return owner;
+}
+
+}  // namespace gminer

@@ -1,0 +1,42 @@
+// Block-based Deterministic Greedy (BDG) partitioning (§6.1).
+//
+// Phase 1 — blocking: a multi-source BFS colors the graph. Each round samples
+// `num_sources` uncolored source vertices, assigns each a fresh color, and
+// propagates colors breadth-first for `bfs_depth` steps (an uncolored vertex
+// adopts one of the colors it receives). Rounds repeat until everything is
+// colored; after `max_rounds`, remaining uncolored vertices fall back to a
+// Hash-Min connected-components pass and each residual CC becomes one block.
+//
+// Phase 2 — greedy assignment: blocks are sorted by descending size and each
+// block B goes to the worker maximizing |P(i) ∩ Γ(B)| * (1 - |P(i)|/C)  (Eq. 1),
+// where Γ(B) is the 1-hop neighborhood of B, P(i) the vertices already placed
+// on worker i, and C = |V|/k the capacity.
+#ifndef GMINER_PARTITION_BDG_PARTITIONER_H_
+#define GMINER_PARTITION_BDG_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace gminer {
+
+class BdgPartitioner : public Partitioner {
+ public:
+  BdgPartitioner(int num_sources, int bfs_depth, int max_rounds, uint64_t seed)
+      : num_sources_(num_sources), bfs_depth_(bfs_depth), max_rounds_(max_rounds), seed_(seed) {}
+
+  std::vector<WorkerId> Partition(const Graph& g, int k) override;
+
+  // Exposed for testing: block id per vertex after phase 1.
+  std::vector<uint32_t> ComputeBlocks(const Graph& g);
+
+ private:
+  int num_sources_;
+  int bfs_depth_;
+  int max_rounds_;
+  uint64_t seed_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_PARTITION_BDG_PARTITIONER_H_

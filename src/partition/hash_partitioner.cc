@@ -1,0 +1,56 @@
+#include "partition/hash_partitioner.h"
+
+#include "common/logging.h"
+
+namespace gminer {
+
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::vector<WorkerId> HashPartitioner::Partition(const Graph& g, int k) {
+  GM_CHECK(k >= 1);
+  std::vector<WorkerId> owner(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    owner[v] = static_cast<WorkerId>(Mix64(v) % static_cast<uint64_t>(k));
+  }
+  return owner;
+}
+
+PartitionQuality EvaluatePartition(const Graph& g, const std::vector<WorkerId>& owner, int k) {
+  PartitionQuality q;
+  uint64_t cut = 0;
+  uint64_t total = 0;
+  std::vector<uint64_t> sizes(static_cast<size_t>(k), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ++sizes[static_cast<size_t>(owner[v])];
+    for (const VertexId u : g.neighbors(v)) {
+      if (u > v) {
+        ++total;
+        if (owner[u] != owner[v]) {
+          ++cut;
+        }
+      }
+    }
+  }
+  q.edge_cut_fraction = total > 0 ? static_cast<double>(cut) / static_cast<double>(total) : 0.0;
+  q.locality = 1.0 - q.edge_cut_fraction;
+  uint64_t max_size = 0;
+  for (const uint64_t s : sizes) {
+    max_size = std::max(max_size, s);
+  }
+  const double ideal = static_cast<double>(g.num_vertices()) / k;
+  q.imbalance = ideal > 0 ? static_cast<double>(max_size) / ideal - 1.0 : 0.0;
+  return q;
+}
+
+}  // namespace gminer

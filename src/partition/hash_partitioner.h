@@ -1,0 +1,17 @@
+// Default partitioning of most existing graph systems: vertex-id hashing.
+// Destroys locality — the comparison point for BDG in Figure 11.
+#ifndef GMINER_PARTITION_HASH_PARTITIONER_H_
+#define GMINER_PARTITION_HASH_PARTITIONER_H_
+
+#include "partition/partitioner.h"
+
+namespace gminer {
+
+class HashPartitioner : public Partitioner {
+ public:
+  std::vector<WorkerId> Partition(const Graph& g, int k) override;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_PARTITION_HASH_PARTITIONER_H_

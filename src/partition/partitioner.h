@@ -1,0 +1,33 @@
+// Static load balancing by graph partitioning (§6.1). A partitioner assigns
+// each vertex to one of k workers. The quality metrics here quantify what the
+// paper's Figure 11 measures indirectly: edge cut drives remote-candidate
+// pulling (network bytes) and cache pressure (memory).
+#ifndef GMINER_PARTITION_PARTITIONER_H_
+#define GMINER_PARTITION_PARTITIONER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gminer {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  // Returns owner[v] in [0, k) for every vertex of g.
+  virtual std::vector<WorkerId> Partition(const Graph& g, int k) = 0;
+};
+
+struct PartitionQuality {
+  double edge_cut_fraction = 0.0;  // fraction of edges crossing workers
+  double locality = 0.0;           // 1 - edge_cut_fraction
+  double imbalance = 0.0;          // max partition size / ideal size - 1
+};
+
+PartitionQuality EvaluatePartition(const Graph& g, const std::vector<WorkerId>& owner, int k);
+
+}  // namespace gminer
+
+#endif  // GMINER_PARTITION_PARTITIONER_H_

@@ -1,0 +1,75 @@
+#include "storage/spill_file.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace gminer {
+
+int64_t WriteSpillBlock(const std::string& path,
+                        const std::vector<std::vector<uint8_t>>& blobs) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  GM_CHECK(out.good()) << "cannot open spill file " << path;
+  const uint64_t count = blobs.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  int64_t bytes = static_cast<int64_t>(sizeof(count));
+  for (const auto& blob : blobs) {
+    const uint64_t size = blob.size();
+    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    out.write(reinterpret_cast<const char*>(blob.data()), static_cast<std::streamsize>(size));
+    bytes += static_cast<int64_t>(sizeof(size) + size);
+  }
+  GM_CHECK(out.good()) << "spill write failed for " << path;
+  return bytes;
+}
+
+std::vector<std::vector<uint8_t>> ReadSpillBlock(const std::string& path, int64_t* bytes_read) {
+  std::ifstream in(path, std::ios::binary);
+  GM_CHECK(in.good()) << "cannot open spill file " << path;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  int64_t bytes = static_cast<int64_t>(sizeof(count));
+  std::vector<std::vector<uint8_t>> blobs;
+  blobs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t size = 0;
+    in.read(reinterpret_cast<char*>(&size), sizeof(size));
+    std::vector<uint8_t> blob(size);
+    in.read(reinterpret_cast<char*>(blob.data()), static_cast<std::streamsize>(size));
+    GM_CHECK(in.good()) << "spill read failed for " << path;
+    bytes += static_cast<int64_t>(sizeof(size) + size);
+    blobs.push_back(std::move(blob));
+  }
+  in.close();
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (bytes_read != nullptr) {
+    *bytes_read = bytes;
+  }
+  return blobs;
+}
+
+std::string MakeSpillDir(const std::string& base, int worker_id) {
+  static std::atomic<uint64_t> counter{0};
+  namespace fs = std::filesystem;
+  const fs::path root = base.empty() ? fs::temp_directory_path() : fs::path(base);
+  const fs::path dir = root / ("gminer_spill_w" + std::to_string(worker_id) + "_" +
+                               std::to_string(counter.fetch_add(1)) + "_" +
+                               std::to_string(::getpid()));
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  GM_CHECK(!ec) << "cannot create spill dir " << dir.string();
+  return dir.string();
+}
+
+void RemoveSpillDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace gminer

@@ -1,0 +1,30 @@
+// Disk spill primitives for the task store (§7, "Task Priority Queue"):
+// batches of serialized blobs written as one block file, read back whole.
+// Real file I/O is performed so the pipeline genuinely overlaps disk work
+// with computation; byte counts feed the disk-utilization timeline (Fig. 6).
+#ifndef GMINER_STORAGE_SPILL_FILE_H_
+#define GMINER_STORAGE_SPILL_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gminer {
+
+// Writes blobs to `path`, returns the number of bytes written on disk.
+int64_t WriteSpillBlock(const std::string& path, const std::vector<std::vector<uint8_t>>& blobs);
+
+// Reads the blobs back and deletes the file. bytes_read receives the on-disk
+// size. The returned order matches the written order.
+std::vector<std::vector<uint8_t>> ReadSpillBlock(const std::string& path, int64_t* bytes_read);
+
+// Creates a unique fresh subdirectory for a worker's spill files beneath
+// `base` (or the system temp directory when base is empty).
+std::string MakeSpillDir(const std::string& base, int worker_id);
+
+// Recursively removes a spill directory; best-effort.
+void RemoveSpillDir(const std::string& dir);
+
+}  // namespace gminer
+
+#endif  // GMINER_STORAGE_SPILL_FILE_H_

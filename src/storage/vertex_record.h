@@ -1,0 +1,47 @@
+// The unit of graph data a worker stores and ships: id(v), Γ(v), and the
+// optional label / attribute list a(v). Pull responses, the RCV cache and the
+// per-worker vertex table all hold VertexRecords.
+#ifndef GMINER_STORAGE_VERTEX_RECORD_H_
+#define GMINER_STORAGE_VERTEX_RECORD_H_
+
+#include <vector>
+
+#include "common/serialize.h"
+#include "graph/types.h"
+
+namespace gminer {
+
+struct VertexRecord {
+  VertexId id = kInvalidVertex;
+  std::vector<VertexId> adj;
+  Label label = kNoLabel;
+  std::vector<AttrValue> attrs;
+
+  void Serialize(OutArchive& out) const {
+    out.Write(id);
+    out.Write(label);
+    out.WriteVector(adj);
+    out.WriteVector(attrs);
+  }
+
+  static VertexRecord Deserialize(InArchive& in) {
+    VertexRecord r;
+    r.id = in.Read<VertexId>();
+    r.label = in.Read<Label>();
+    r.adj = in.ReadVector<VertexId>();
+    r.attrs = in.ReadVector<AttrValue>();
+    return r;
+  }
+
+  // Approximate resident footprint; used by the memory tracker and the RCV
+  // cache capacity accounting.
+  int64_t ByteSize() const {
+    return static_cast<int64_t>(sizeof(VertexRecord)) +
+           static_cast<int64_t>(adj.capacity() * sizeof(VertexId)) +
+           static_cast<int64_t>(attrs.capacity() * sizeof(AttrValue));
+  }
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_STORAGE_VERTEX_RECORD_H_

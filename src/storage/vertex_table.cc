@@ -1,0 +1,28 @@
+#include "storage/vertex_table.h"
+
+#include "common/logging.h"
+
+namespace gminer {
+
+void VertexTable::LoadPartition(const Graph& g, const std::vector<WorkerId>& owner,
+                                WorkerId me) {
+  GM_CHECK(owner.size() == g.num_vertices());
+  records_.clear();
+  byte_size_ = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (owner[v] != me) {
+      continue;
+    }
+    VertexRecord r;
+    r.id = v;
+    const auto adj = g.neighbors(v);
+    r.adj.assign(adj.begin(), adj.end());
+    r.label = g.label(v);
+    const auto attrs = g.attributes(v);
+    r.attrs.assign(attrs.begin(), attrs.end());
+    byte_size_ += r.ByteSize();
+    records_.emplace(v, std::move(r));
+  }
+}
+
+}  // namespace gminer

@@ -1,0 +1,43 @@
+// Per-worker vertex table (§5.1): the worker's slice of the input graph,
+// loaded once at job start by the graph loader and queried by the task
+// executor (local candidates) and the request listener (serving pulls from
+// other workers).
+#ifndef GMINER_STORAGE_VERTEX_TABLE_H_
+#define GMINER_STORAGE_VERTEX_TABLE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "storage/vertex_record.h"
+
+namespace gminer {
+
+class VertexTable {
+ public:
+  VertexTable() = default;
+
+  // Loads every vertex of g owned by `me` according to the partition map.
+  void LoadPartition(const Graph& g, const std::vector<WorkerId>& owner, WorkerId me);
+
+  // Returns nullptr when v is not local.
+  const VertexRecord* Find(VertexId v) const {
+    auto it = records_.find(v);
+    return it == records_.end() ? nullptr : &it->second;
+  }
+
+  bool Contains(VertexId v) const { return records_.count(v) > 0; }
+
+  size_t size() const { return records_.size(); }
+  int64_t byte_size() const { return byte_size_; }
+
+  const std::unordered_map<VertexId, VertexRecord>& records() const { return records_; }
+
+ private:
+  std::unordered_map<VertexId, VertexRecord> records_;
+  int64_t byte_size_ = 0;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_STORAGE_VERTEX_TABLE_H_

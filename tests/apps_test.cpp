@@ -1,0 +1,322 @@
+// Correctness of the five mining applications on the G-Miner runtime,
+// compared against the independent serial oracles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/cd.h"
+#include "apps/dsg.h"
+#include "apps/gc.h"
+#include "apps/gm.h"
+#include "apps/kclique.h"
+#include "apps/mcf.h"
+#include "apps/quasi_clique.h"
+#include "apps/mcf_split.h"
+#include "apps/tc.h"
+#include "baselines/serial.h"
+#include "core/cluster.h"
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace gminer {
+namespace {
+
+TEST(McfTest, SmallGraphFindsThe4Clique) {
+  const Graph g = SmallTestGraph();
+  MaxCliqueJob job;
+  Cluster cluster(FastTestConfig());
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(MaxCliqueJob::MaxCliqueSize(result.final_aggregate), 4u);
+  EXPECT_EQ(SerialMaxClique(g), 4u);
+}
+
+class McfRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(McfRandomTest, MatchesSerialOracle) {
+  Rng rng(GetParam());
+  const Graph g = GenerateBarabasiAlbert(250, 8, rng);
+  const uint64_t expected = SerialMaxClique(g);
+  MaxCliqueJob job;
+  Cluster cluster(FastTestConfig());
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(MaxCliqueJob::MaxCliqueSize(result.final_aggregate), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McfRandomTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(GmTest, Fig1PatternOnHandBuiltGraph) {
+  // Data graph mirroring Fig. 1: labels a=0,...,g=6.
+  GraphBuilder b(10);
+  b.AddEdge(3, 4);
+  b.AddEdge(3, 5);
+  b.AddEdge(4, 5);
+  b.AddEdge(5, 6);
+  b.AddEdge(5, 7);
+  b.AddEdge(5, 8);
+  b.AddEdge(5, 9);
+  b.AddEdge(3, 1);
+  b.AddEdge(3, 2);
+  b.AddEdge(0, 1);
+  //            0    1    2    3    4    5    6    7    8    9
+  b.SetLabels({1, 4, 3, 0, 1, 2, 3, 4, 3, 5});
+  const Graph g = b.Build();
+  const TreePattern pattern = Fig1Pattern();
+  const uint64_t expected = SerialGraphMatch(g, pattern);
+  GraphMatchJob job(pattern);
+  Cluster cluster(FastTestConfig());
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(GraphMatchJob::MatchCount(result.final_aggregate), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+struct GmCase {
+  uint64_t seed;
+  int labels;
+};
+
+class GmRandomTest : public ::testing::TestWithParam<GmCase> {};
+
+TEST_P(GmRandomTest, MatchesSerialOracle) {
+  Rng rng(GetParam().seed);
+  Graph g = GenerateErdosRenyi(400, 8.0, rng);
+  g = WithUniformLabels(g, GetParam().labels, rng);
+  const TreePattern pattern = Fig1Pattern();
+  const uint64_t expected = SerialGraphMatch(g, pattern);
+  GraphMatchJob job(pattern);
+  Cluster cluster(FastTestConfig());
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(GraphMatchJob::MatchCount(result.final_aggregate), expected);
+}
+
+TEST_P(GmRandomTest, PerSeedBaselineAgreesWithDp) {
+  Rng rng(GetParam().seed);
+  Graph g = GenerateErdosRenyi(300, 8.0, rng);
+  g = WithUniformLabels(g, GetParam().labels, rng);
+  const TreePattern pattern = Fig1Pattern();
+  EXPECT_EQ(SerialGraphMatchPerSeed(g, pattern), SerialGraphMatch(g, pattern));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GmRandomTest,
+                         ::testing::Values(GmCase{1, 7}, GmCase{2, 7}, GmCase{3, 4},
+                                           GmCase{4, 3}, GmCase{5, 7}));
+
+TEST(GmTest, DeepPatternMultiRound) {
+  // A 4-level path pattern exercises several pull rounds per task.
+  Rng rng(11);
+  Graph g = WithUniformLabels(GenerateErdosRenyi(300, 6.0, rng), 4, rng);
+  const TreePattern pattern =
+      TreePattern::Build({{0, -1}, {1, 0}, {2, 1}, {3, 2}});
+  const uint64_t expected = SerialGraphMatch(g, pattern);
+  GraphMatchJob job(pattern);
+  Cluster cluster(FastTestConfig(4, 2));
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(GraphMatchJob::MatchCount(result.final_aggregate), expected);
+}
+
+class CdRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CdRandomTest, MatchesSerialOracle) {
+  Rng rng(GetParam());
+  Graph g = GenerateBarabasiAlbert(300, 6, rng);
+  g = WithPlantedAttributeGroups(g, 6, 5, 8, 0.8, rng);
+  CdParams params;
+  params.min_similarity = 0.4;
+  params.min_size = 3;
+  const uint64_t expected = SerialCommunityCount(g, params);
+  CommunityJob job(params);
+  Cluster cluster(FastTestConfig());
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(CommunityJob::CommunityCount(result.final_aggregate), expected);
+  EXPECT_GT(expected, 0u) << "test graph should contain communities";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdRandomTest, ::testing::Values(1, 2, 3));
+
+class GcRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GcRandomTest, MatchesSerialOracleClusters) {
+  Rng rng(GetParam());
+  // Community topology with aligned attribute groups: focused clusters have
+  // real structure to find (BA graphs are expanders — nothing to cluster).
+  Graph g = GenerateCommunityGraph(8, 50, 0.25, /*inter_edges=*/200, rng);
+  g = WithPlantedAttributeGroups(g, 8, 5, 8, 0.9, rng);
+  g = ShuffleVertexIds(g, rng);  // ids must carry no community information
+  GcParams params = MakeGcParams(g, 6, GetParam());
+  params.emit_outputs = true;
+  const auto expected = SerialFocusedClusters(g, params);
+  EXPECT_FALSE(expected.empty()) << "workload should produce focused clusters";
+  FocusedClusteringJob job(params);
+  Cluster cluster(FastTestConfig());
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(FocusedClusteringJob::ClusterCount(result.final_aggregate), expected.size());
+  // Each reported cluster must match the oracle exactly (same members).
+  std::vector<std::vector<VertexId>> reported;
+  for (const auto& line : result.outputs) {
+    const auto pos = line.find("members=");
+    ASSERT_NE(pos, std::string::npos);
+    std::vector<VertexId> members;
+    VertexId current = 0;
+    bool in_number = false;
+    for (const char c : line.substr(pos + 8)) {
+      if (c == ',') {
+        members.push_back(current);
+        current = 0;
+        in_number = false;
+      } else {
+        current = current * 10 + static_cast<VertexId>(c - '0');
+        in_number = true;
+      }
+    }
+    if (in_number) {
+      members.push_back(current);
+    }
+    std::sort(members.begin(), members.end());
+    reported.push_back(std::move(members));
+  }
+  std::sort(reported.begin(), reported.end());
+  auto sorted_expected = expected;
+  std::sort(sorted_expected.begin(), sorted_expected.end());
+  EXPECT_EQ(reported, sorted_expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcRandomTest, ::testing::Values(1, 2, 3));
+
+// Recursive task splitting (the paper's future-work extension): big
+// candidate sets split into independent child tasks via ctx.Spawn(); the
+// result must still match the oracle and children must actually be created.
+class McfSplitTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(McfSplitTest, SplittingMatchesSerialOracle) {
+  Rng rng(GetParam());
+  const Graph g = GenerateBarabasiAlbert(400, 12, rng);
+  const uint64_t expected = SerialMaxClique(g);
+  McfSplitParams params;
+  params.split_threshold = 16;  // force splitting on this graph
+  params.max_split_depth = 2;
+  SplittingCliqueJob job(params);
+  Cluster cluster(FastTestConfig(3, 2));
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(SplittingCliqueJob::MaxCliqueSize(result.final_aggregate), expected);
+  EXPECT_GT(result.totals.tasks_created, static_cast<int64_t>(g.num_vertices()))
+      << "no child tasks were spawned";
+  EXPECT_EQ(result.totals.tasks_created, result.totals.tasks_completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McfSplitTest, ::testing::Values(1, 2, 3));
+
+// k-clique counting (enumeration category of §4.1): distributed counts must
+// match the serial oracle for several k; k=3 must equal the triangle count.
+struct KCliqueCase {
+  uint32_t k;
+  uint64_t seed;
+};
+
+class KCliqueTestP : public ::testing::TestWithParam<KCliqueCase> {};
+
+TEST_P(KCliqueTestP, MatchesSerialOracle) {
+  Rng rng(GetParam().seed);
+  const Graph g = GenerateBarabasiAlbert(300, 7, rng);
+  const uint64_t expected = SerialKCliqueCount(g, GetParam().k);
+  KCliqueJob job(GetParam().k);
+  Cluster cluster(FastTestConfig());
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(KCliqueJob::Count(result.final_aggregate), expected);
+  if (GetParam().k == 3) {
+    EXPECT_EQ(expected, SerialTriangleCount(g)) << "3-cliques are triangles";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KCliqueTestP,
+                         ::testing::Values(KCliqueCase{3, 1}, KCliqueCase{4, 1},
+                                           KCliqueCase{5, 1}, KCliqueCase{4, 2},
+                                           KCliqueCase{6, 3}));
+
+// Densest-neighborhood subgraph (subgraph-finding category of §4.1): the
+// distributed peel must match the serial oracle, and on a graph with a
+// planted clique the best density must reach the clique's density.
+class DsgTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DsgTest, MatchesSerialOracle) {
+  Rng rng(GetParam());
+  Graph g = GenerateErdosRenyi(400, 6.0, rng);
+  const DsgParams params;
+  const double expected = SerialDensestNeighborhood(g, params);
+  DensestSubgraphJob job(params);
+  Cluster cluster(FastTestConfig());
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_DOUBLE_EQ(DensestSubgraphJob::BestDensity(result.final_aggregate), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DsgTest, ::testing::Values(1, 2, 3));
+
+TEST(DsgTest, FindsPlantedClique) {
+  // A 10-clique inside a sparse graph: density (45 edges / 10 vertices) = 4.5.
+  GraphBuilder b(200);
+  Rng rng(5);
+  for (VertexId i = 0; i < 10; ++i) {
+    for (VertexId j = i + 1; j < 10; ++j) {
+      b.AddEdge(i, j);
+    }
+  }
+  for (int e = 0; e < 300; ++e) {
+    b.AddEdge(rng.NextUint32(200), rng.NextUint32(200));
+  }
+  const Graph g = b.Build();
+  DensestSubgraphJob job;
+  Cluster cluster(FastTestConfig());
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_GE(DensestSubgraphJob::BestDensity(result.final_aggregate), 4.5);
+}
+
+// γ-quasi-clique detection (enumeration category of §4.1): distributed count
+// equals the oracle; γ = 1 degenerates to "the neighborhood is a clique".
+struct QcCase {
+  double gamma;
+  uint64_t seed;
+};
+
+class QuasiCliqueTestP : public ::testing::TestWithParam<QcCase> {};
+
+TEST_P(QuasiCliqueTestP, MatchesSerialOracle) {
+  Rng rng(GetParam().seed);
+  const Graph g = GenerateCommunityGraph(10, 40, 0.5, 400, rng);
+  QuasiCliqueParams params;
+  params.gamma = GetParam().gamma;
+  params.min_size = 5;
+  const uint64_t expected = SerialQuasiCliqueCount(g, params);
+  QuasiCliqueJob job(params);
+  Cluster cluster(FastTestConfig());
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(QuasiCliqueJob::Count(result.final_aggregate), expected);
+  EXPECT_GT(expected, 0u) << "dense communities should contain quasi-cliques";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuasiCliqueTestP,
+                         ::testing::Values(QcCase{0.6, 1}, QcCase{0.7, 1}, QcCase{0.8, 2},
+                                           QcCase{0.7, 3}));
+
+TEST(TreePatternTest, BuildComputesLevelsAndChildren) {
+  const TreePattern p = Fig1Pattern();
+  EXPECT_EQ(p.nodes.size(), 5u);
+  EXPECT_EQ(p.max_depth(), 2);
+  EXPECT_EQ(p.levels[0], (std::vector<int>{0}));
+  EXPECT_EQ(p.levels[1], (std::vector<int>{1, 2}));
+  EXPECT_EQ(p.levels[2], (std::vector<int>{3, 4}));
+  EXPECT_EQ(p.nodes[2].children, (std::vector<int>{3, 4}));
+  EXPECT_EQ(p.parent[3], 2);
+}
+
+}  // namespace
+}  // namespace gminer

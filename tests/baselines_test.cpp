@@ -1,0 +1,169 @@
+// Correctness and failure-mode tests for the comparator engines: the
+// vertex-centric BSP engine (Giraph model), the embedding-exploration engine
+// (Arabesque model) and the batch-synchronous subgraph engine (G-thinker
+// model). Each must agree with the serial oracle when resources allow, and
+// fail with the paper's verdicts (OOM / timeout) when budgeted.
+#include <gtest/gtest.h>
+
+#include "apps/gm.h"
+#include "apps/mcf.h"
+#include "apps/tc.h"
+#include "baselines/batch_engine.h"
+#include "baselines/bsp_engine.h"
+#include "baselines/embed_engine.h"
+#include "baselines/serial.h"
+#include "core/cluster.h"
+#include "tests/test_util.h"
+
+namespace gminer {
+namespace {
+
+class EngineAgreementTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Graph MakeGraph() const { return RandomTestGraph(300, 8.0, GetParam()); }
+};
+
+TEST_P(EngineAgreementTest, BspTriangleCountMatchesSerial) {
+  const Graph g = MakeGraph();
+  const JobConfig config = FastTestConfig();
+  auto app = MakeBspTriangleCount();
+  const BspResult r = RunBsp(g, *app, config);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(r.result, SerialTriangleCount(g));
+  EXPECT_EQ(r.supersteps, 2);
+}
+
+TEST_P(EngineAgreementTest, BspMaxCliqueMatchesSerial) {
+  const Graph g = MakeGraph();
+  const JobConfig config = FastTestConfig();
+  auto app = MakeBspMaxClique();
+  const BspResult r = RunBsp(g, *app, config);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(r.result, SerialMaxClique(g));
+}
+
+TEST_P(EngineAgreementTest, EmbedTriangleCountMatchesSerial) {
+  const Graph g = MakeGraph();
+  const JobConfig config = FastTestConfig();
+  auto app = MakeEmbedTriangleCount();
+  const EmbedResult r = RunEmbed(g, *app, config);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(r.result, SerialTriangleCount(g));
+}
+
+TEST_P(EngineAgreementTest, EmbedMaxCliqueMatchesSerial) {
+  const Graph g = MakeGraph();
+  const JobConfig config = FastTestConfig();
+  auto app = MakeEmbedMaxClique();
+  const EmbedResult r = RunEmbed(g, *app, config);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(std::max<uint64_t>(r.result, 1), SerialMaxClique(g));
+}
+
+TEST_P(EngineAgreementTest, BatchEngineTriangleCountMatchesSerial) {
+  const Graph g = MakeGraph();
+  const JobConfig config = FastTestConfig();
+  TriangleCountJob job;
+  const JobResult r = RunBatch(g, job, config);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(r.final_aggregate), SerialTriangleCount(g));
+}
+
+TEST_P(EngineAgreementTest, BatchEngineMaxCliqueMatchesSerial) {
+  const Graph g = MakeGraph();
+  const JobConfig config = FastTestConfig();
+  MaxCliqueJob job;
+  const JobResult r = RunBatch(g, job, config);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(MaxCliqueJob::MaxCliqueSize(r.final_aggregate), SerialMaxClique(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreementTest, ::testing::Values(1, 2, 3));
+
+TEST(BatchEngineTest, GraphMatchMatchesSerial) {
+  Rng rng(9);
+  Graph g = WithUniformLabels(GenerateErdosRenyi(300, 8.0, rng), 7, rng);
+  const TreePattern pattern = Fig1Pattern();
+  GraphMatchJob job(pattern);
+  const JobResult r = RunBatch(g, job, FastTestConfig());
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(GraphMatchJob::MatchCount(r.final_aggregate), SerialGraphMatch(g, pattern));
+}
+
+TEST(BatchEngineTest, RepullsAfterLruEviction) {
+  // A tiny LRU cache forces re-pulls the RCV cache would avoid.
+  const Graph g = RandomTestGraph(400, 10.0, 5);
+  JobConfig config = FastTestConfig();
+  config.rcv_cache_capacity = 48;  // forces cross-task evictions and re-pulls
+  TriangleCountJob job;
+  const JobResult r = RunBatch(g, job, config);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(r.final_aggregate), SerialTriangleCount(g));
+}
+
+// --- Failure-mode reproduction: the paper's "x" (OOM) and "-" (>24h)
+// verdicts under resource budgets. ---
+
+TEST(FailureModeTest, BspMaxCliqueOomOnDenseGraphWithBudget) {
+  Rng rng(3);
+  const Graph g = GenerateBarabasiAlbert(1000, 24, rng);  // dense: heavy messages
+  JobConfig config = FastTestConfig();
+  config.memory_budget_bytes = 2 * 1024 * 1024;
+  auto app = MakeBspMaxClique();
+  const BspResult r = RunBsp(g, *app, config);
+  EXPECT_EQ(r.status, JobStatus::kOutOfMemory);
+  EXPECT_GT(r.peak_memory_bytes, static_cast<int64_t>(config.memory_budget_bytes));
+}
+
+TEST(FailureModeTest, EmbedMaxCliqueOomOnDenseGraphWithBudget) {
+  Rng rng(3);
+  const Graph g = GenerateBarabasiAlbert(800, 20, rng);
+  JobConfig config = FastTestConfig();
+  config.memory_budget_bytes = 2 * 1024 * 1024;
+  auto app = MakeEmbedMaxClique();
+  const EmbedResult r = RunEmbed(g, *app, config);
+  EXPECT_EQ(r.status, JobStatus::kOutOfMemory);
+}
+
+TEST(FailureModeTest, EmbedTimesOutWithTinyTimeBudget) {
+  Rng rng(4);
+  const Graph g = GenerateBarabasiAlbert(2000, 16, rng);
+  JobConfig config = FastTestConfig();
+  config.time_budget_seconds = 0.001;
+  auto app = MakeEmbedMaxClique();
+  const EmbedResult r = RunEmbed(g, *app, config);
+  EXPECT_EQ(r.status, JobStatus::kTimeout);
+}
+
+TEST(FailureModeTest, GminerStaysWithinBudgetWhereBspOoms) {
+  // The headline claim: on the same graph and the same memory budget that
+  // kills the BSP engine, G-Miner completes (bounded memory by design).
+  Rng rng(3);
+  const Graph g = GenerateBarabasiAlbert(1000, 24, rng);
+  JobConfig config = FastTestConfig();
+  config.memory_budget_bytes = 2 * 1024 * 1024;
+
+  auto bsp = MakeBspMaxClique();
+  const BspResult bsp_result = RunBsp(g, *bsp, config);
+  EXPECT_EQ(bsp_result.status, JobStatus::kOutOfMemory);
+
+  config.rcv_cache_capacity = 2048;
+  config.task_block_capacity = 256;
+  MaxCliqueJob job;
+  Cluster cluster(config);
+  const JobResult r = cluster.Run(g, job);
+  ASSERT_EQ(r.status, JobStatus::kOk) << "G-Miner should finish within the same budget";
+  EXPECT_EQ(MaxCliqueJob::MaxCliqueSize(r.final_aggregate), SerialMaxClique(g));
+}
+
+TEST(SerialBaselineTest, MaxCliqueTimeoutReportsBound) {
+  Rng rng(6);
+  const Graph g = GenerateBarabasiAlbert(3000, 20, rng);
+  bool timed_out = false;
+  const uint64_t bound = SerialMaxClique(g, /*budget_seconds=*/0.001, &timed_out);
+  EXPECT_TRUE(timed_out);
+  EXPECT_GE(bound, 1u);
+}
+
+}  // namespace
+}  // namespace gminer

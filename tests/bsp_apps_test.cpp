@@ -1,0 +1,115 @@
+// Tests for the classic vertex-centric programs on the BSP engine: PageRank
+// against a serial power-iteration oracle and Hash-Min connected components
+// against a union-find oracle.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/bsp_apps.h"
+#include "tests/test_util.h"
+
+namespace gminer {
+namespace {
+
+// Serial power iteration with exactly the engine's update rule.
+std::vector<double> OraclePageRank(const Graph& g, int iterations) {
+  const double n = static_cast<double>(g.num_vertices());
+  constexpr double kDamping = 0.85;
+  std::vector<double> rank(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    rank[v] = g.degree(v) == 0 ? (1.0 - kDamping) / n : 1.0 / n;
+  }
+  for (int it = 1; it <= iterations; ++it) {
+    std::vector<double> next(g.num_vertices(), 0.0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (g.degree(v) == 0) {
+        next[v] = rank[v];
+        continue;
+      }
+      double sum = 0.0;
+      for (const VertexId u : g.neighbors(v)) {
+        if (g.degree(u) > 0) {
+          sum += rank[u] / static_cast<double>(g.degree(u));
+        }
+      }
+      next[v] = (1.0 - kDamping) / n + kDamping * sum;
+    }
+    rank = std::move(next);
+  }
+  return rank;
+}
+
+std::vector<VertexId> OracleComponents(const Graph& g) {
+  std::vector<VertexId> parent(g.num_vertices());
+  std::iota(parent.begin(), parent.end(), 0);
+  const std::function<VertexId(VertexId)> find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      const VertexId a = find(v);
+      const VertexId b = find(u);
+      if (a != b) {
+        parent[std::max(a, b)] = std::min(a, b);
+      }
+    }
+  }
+  std::vector<VertexId> comp(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    comp[v] = find(v);
+  }
+  // Normalize: representative = minimum member, which is what Hash-Min
+  // converges to as well.
+  return comp;
+}
+
+class BspClassicTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BspClassicTest, PageRankMatchesPowerIteration) {
+  const Graph g = RandomTestGraph(400, 6.0, GetParam());
+  constexpr int kIterations = 12;
+  auto app = MakeBspPageRank(g.num_vertices(), kIterations);
+  const BspResult r = RunBsp(g, *app, FastTestConfig());
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  const auto oracle = OraclePageRank(g, kIterations);
+  double total = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(app->ranks()[v], oracle[v], 1e-9) << "vertex " << v;
+    total += app->ranks()[v];
+  }
+  EXPECT_GT(total, 0.5);  // most mass retained (dangling mass dropped)
+  EXPECT_LE(total, 1.0 + 1e-9);
+}
+
+TEST_P(BspClassicTest, ConnectedComponentsMatchUnionFind) {
+  Rng rng(GetParam());
+  // Disconnected graph: several communities with no inter edges.
+  const Graph g = GenerateCommunityGraph(8, 40, 0.05, /*inter_edges=*/0, rng);
+  auto app = MakeBspConnectedComponents(g.num_vertices());
+  const BspResult r = RunBsp(g, *app, FastTestConfig());
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  const auto oracle = OracleComponents(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(app->components()[v], oracle[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(BspClassicTest, ConnectedComponentsOnConnectedGraph) {
+  Rng rng(GetParam());
+  const Graph g = GenerateBarabasiAlbert(500, 3, rng);  // connected by construction
+  auto app = MakeBspConnectedComponents(g.num_vertices());
+  const BspResult r = RunBsp(g, *app, FastTestConfig());
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(app->components()[v], 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BspClassicTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace gminer

@@ -1,0 +1,144 @@
+// Edge cases and robustness: degenerate graphs, zero-seed jobs, cluster
+// object reuse, unusual configurations. A distributed runtime earns trust on
+// its boundaries, not its happy path.
+#include <gtest/gtest.h>
+
+#include "apps/gm.h"
+#include "apps/kclique.h"
+#include "apps/mcf.h"
+#include "apps/tc.h"
+#include "baselines/serial.h"
+#include "core/cluster.h"
+#include "graph/builder.h"
+#include "tests/test_util.h"
+
+namespace gminer {
+namespace {
+
+TEST(EdgeCaseTest, StarGraphHasNoTriangles) {
+  GraphBuilder b(10);
+  for (VertexId v = 1; v < 10; ++v) {
+    b.AddEdge(0, v);
+  }
+  const Graph g = b.Build();
+  TriangleCountJob job;
+  const JobResult r = Cluster(FastTestConfig()).Run(g, job);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(r.final_aggregate), 0u);
+  EXPECT_EQ(SerialMaxClique(g), 2u);
+}
+
+TEST(EdgeCaseTest, EdgelessGraphTerminates) {
+  GraphBuilder b(20);
+  const Graph g = b.Build();  // 20 isolated vertices
+  TriangleCountJob tc;
+  const JobResult r1 = Cluster(FastTestConfig()).Run(g, tc);
+  ASSERT_EQ(r1.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(r1.final_aggregate), 0u);
+  MaxCliqueJob mcf;
+  const JobResult r2 = Cluster(FastTestConfig()).Run(g, mcf);
+  ASSERT_EQ(r2.status, JobStatus::kOk);
+  EXPECT_EQ(MaxCliqueJob::MaxCliqueSize(r2.final_aggregate), 1u);
+}
+
+TEST(EdgeCaseTest, ZeroSeedJobTerminates) {
+  // A GM pattern whose root label occurs nowhere: no task is ever created,
+  // and the job must still complete cleanly (termination detection handles
+  // "all seeded, zero live tasks").
+  Rng rng(3);
+  Graph g = WithUniformLabels(RandomTestGraph(100, 4.0, 3), 3, rng);  // labels 0..2
+  const TreePattern pattern = TreePattern::Build({{9, -1}, {1, 0}});  // label 9 absent
+  GraphMatchJob job(pattern);
+  const JobResult r = Cluster(FastTestConfig()).Run(g, job);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(GraphMatchJob::MatchCount(r.final_aggregate), 0u);
+  EXPECT_EQ(r.totals.tasks_created, 0);
+}
+
+TEST(EdgeCaseTest, TinyGraphManyWorkers) {
+  // More workers than vertices: some partitions are empty.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  const Graph g = b.Build();
+  JobConfig config = FastTestConfig(8, 1);
+  TriangleCountJob job;
+  const JobResult r = Cluster(config).Run(g, job);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(r.final_aggregate), 1u);
+}
+
+TEST(EdgeCaseTest, KLargerThanAnyClique) {
+  const Graph g = SmallTestGraph();  // max clique 4
+  KCliqueJob job(7);
+  const JobResult r = Cluster(FastTestConfig()).Run(g, job);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(KCliqueJob::Count(r.final_aggregate), 0u);
+}
+
+TEST(EdgeCaseTest, ClusterObjectIsReusable) {
+  const Graph g = RandomTestGraph(200, 8.0, 4);
+  const uint64_t expected = SerialTriangleCount(g);
+  Cluster cluster(FastTestConfig());
+  for (int run = 0; run < 3; ++run) {
+    TriangleCountJob job;
+    const JobResult r = cluster.Run(g, job);
+    ASSERT_EQ(r.status, JobStatus::kOk);
+    EXPECT_EQ(TriangleCountJob::Count(r.final_aggregate), expected) << "run " << run;
+  }
+}
+
+TEST(EdgeCaseTest, MultipleHeadBlocksInTaskStore) {
+  const Graph g = RandomTestGraph(600, 8.0, 5);
+  JobConfig config = FastTestConfig(2, 2);
+  config.task_block_capacity = 32;
+  config.task_store_memory_blocks = 4;
+  TriangleCountJob job;
+  const JobResult r = Cluster(config).Run(g, job);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(r.final_aggregate), SerialTriangleCount(g));
+}
+
+TEST(EdgeCaseTest, SingleThreadSingleWorker) {
+  const Graph g = RandomTestGraph(300, 8.0, 6);
+  JobConfig config = FastTestConfig(1, 1);
+  MaxCliqueJob job;
+  const JobResult r = Cluster(config).Run(g, job);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(MaxCliqueJob::MaxCliqueSize(r.final_aggregate), SerialMaxClique(g));
+  // Control-plane traffic to the master still flows; data pulls must not.
+  EXPECT_EQ(r.totals.pull_requests, 0) << "one worker should never pull remotely";
+  EXPECT_EQ(r.totals.pull_responses, 0);
+}
+
+TEST(EdgeCaseTest, TinyCacheStillCorrect) {
+  // Cache smaller than most candidate sets: heavy backpressure and transient
+  // overshoot, but results must hold.
+  const Graph g = RandomTestGraph(400, 12.0, 7);
+  JobConfig config = FastTestConfig(4, 1);
+  config.rcv_cache_capacity = 4;
+  TriangleCountJob job;
+  const JobResult r = Cluster(config).Run(g, job);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(r.final_aggregate), SerialTriangleCount(g));
+}
+
+TEST(EdgeCaseTest, RepeatedRunsAreDeterministicInResult) {
+  const Graph g = RandomTestGraph(300, 9.0, 8);
+  uint64_t first = 0;
+  for (int i = 0; i < 5; ++i) {
+    TriangleCountJob job;
+    const JobResult r = Cluster(FastTestConfig()).Run(g, job);
+    ASSERT_EQ(r.status, JobStatus::kOk);
+    const uint64_t count = TriangleCountJob::Count(r.final_aggregate);
+    if (i == 0) {
+      first = count;
+    } else {
+      EXPECT_EQ(count, first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gminer

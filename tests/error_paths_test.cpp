@@ -1,0 +1,73 @@
+// Error-path coverage: the runtime's invariant checks must fire loudly on
+// misuse rather than corrupt state silently.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/serialize.h"
+#include "graph/builder.h"
+#include "graph/io.h"
+#include "lsh/minhash.h"
+#include "tests/test_util.h"
+
+namespace gminer {
+namespace {
+
+TEST(ErrorPathDeathTest, ArchiveUnderflowAborts) {
+  OutArchive out;
+  out.Write<uint32_t>(7);
+  InArchive in(out.TakeBuffer());
+  in.Read<uint32_t>();
+  EXPECT_DEATH(in.Read<uint64_t>(), "underflow");
+}
+
+TEST(ErrorPathDeathTest, ArchiveVectorUnderflowAborts) {
+  OutArchive out;
+  out.Write<uint64_t>(1000);  // claims 1000 elements, provides none
+  InArchive in(out.TakeBuffer());
+  EXPECT_DEATH(in.ReadVector<uint32_t>(), "underflow");
+}
+
+TEST(ErrorPathDeathTest, MissingGraphFileAborts) {
+  EXPECT_DEATH(LoadEdgeList("/nonexistent/path/graph.el"), "cannot open");
+}
+
+TEST(ErrorPathDeathTest, CorruptAdjacencyHeaderAborts) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gminer_bad_header.adj").string();
+  {
+    std::ofstream out(path);
+    out << "NOT_A_HEADER 5 0 0\n";
+  }
+  EXPECT_DEATH(LoadAdjacency(path), "bad adjacency header");
+  std::filesystem::remove(path);
+}
+
+TEST(ErrorPathTest, BuilderIgnoresOutOfRangeEdges) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 99);  // silently dropped: out of range
+  b.AddEdge(99, 0);
+  b.AddEdge(1, 2);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(ErrorPathTest, EdgeListLoaderSkipsCommentsAndGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gminer_messy.el").string();
+  {
+    std::ofstream out(path);
+    out << "# comment line\n"
+        << "0 1\n"
+        << "\n"
+        << "not numbers\n"
+        << "1 2\n";
+  }
+  const Graph g = LoadEdgeList(path);
+  EXPECT_EQ(g.num_edges(), 2u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace gminer

@@ -1,0 +1,234 @@
+// Tests for the graph substrate: builder invariants, CSR queries, text I/O
+// round trips, and property-style checks over every synthetic generator.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "tests/test_util.h"
+
+namespace gminer {
+namespace {
+
+TEST(GraphBuilderTest, DedupesAndSymmetrizes) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // duplicate, reversed
+  b.AddEdge(0, 1);  // duplicate
+  b.AddEdge(2, 2);  // self loop dropped
+  b.AddEdge(1, 3);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+}
+
+TEST(GraphBuilderTest, AdjacencyIsSorted) {
+  GraphBuilder b(6);
+  b.AddEdge(3, 5);
+  b.AddEdge(3, 1);
+  b.AddEdge(3, 4);
+  b.AddEdge(3, 0);
+  const Graph g = b.Build();
+  const auto adj = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(adj.begin(), adj.end()));
+  EXPECT_EQ(adj.size(), 4u);
+}
+
+TEST(GraphBuilderTest, LabelsAndAttributesAttached) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.SetLabels({5, 6, 7});
+  b.SetAttributes({{1, 2}, {3}, {}});
+  const Graph g = b.Build();
+  ASSERT_TRUE(g.has_labels());
+  ASSERT_TRUE(g.has_attributes());
+  EXPECT_EQ(g.label(1), 6u);
+  EXPECT_EQ(g.attributes(0).size(), 2u);
+  EXPECT_EQ(g.attributes(0)[1], 2u);
+  EXPECT_TRUE(g.attributes(2).empty());
+}
+
+TEST(GraphIoTest, EdgeListRoundTrip) {
+  const Graph g = SmallTestGraph();
+  const std::string path = std::filesystem::temp_directory_path() / "gminer_io_test.el";
+  SaveEdgeList(g, path);
+  const Graph loaded = LoadEdgeList(path);
+  ASSERT_EQ(loaded.num_vertices(), g.num_vertices());
+  ASSERT_EQ(loaded.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = loaded.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIoTest, AdjacencyRoundTripWithLabelsAndAttributes) {
+  Rng rng(3);
+  Graph g = WithUniformLabels(SmallTestGraph(), 7, rng);
+  g = WithUniformAttributes(g, 5, 10, rng);  // note: labels dropped by rebuild
+  const std::string path = std::filesystem::temp_directory_path() / "gminer_io_test.adj";
+  SaveAdjacency(g, path);
+  const Graph loaded = LoadAdjacency(path);
+  ASSERT_EQ(loaded.num_vertices(), g.num_vertices());
+  ASSERT_EQ(loaded.num_edges(), g.num_edges());
+  ASSERT_EQ(loaded.has_attributes(), g.has_attributes());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.attributes(v);
+    const auto b = loaded.attributes(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+  std::filesystem::remove(path);
+}
+
+// ---- Generator properties ----
+
+struct GeneratorCase {
+  const char* name;
+  uint64_t seed;
+};
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<GeneratorCase> {
+ protected:
+  Graph Generate() const {
+    Rng rng(GetParam().seed);
+    const std::string name = GetParam().name;
+    if (name == "er") {
+      return GenerateErdosRenyi(400, 8.0, rng);
+    }
+    if (name == "ba") {
+      return GenerateBarabasiAlbert(400, 4, rng);
+    }
+    if (name == "rmat") {
+      return GenerateRMat(9, 6.0, rng);
+    }
+    return GenerateMultiComponent(16, 20, 0.05, rng);
+  }
+};
+
+TEST_P(GeneratorPropertyTest, ValidStructure) {
+  const Graph g = Generate();
+  EXPECT_GT(g.num_vertices(), 0u);
+  EXPECT_GT(g.num_edges(), 0u);
+  uint64_t directed = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto adj = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(adj.begin(), adj.end()));
+    EXPECT_TRUE(std::adjacent_find(adj.begin(), adj.end()) == adj.end()) << "dup neighbor";
+    for (const VertexId u : adj) {
+      EXPECT_NE(u, v) << "self loop";
+      EXPECT_LT(u, g.num_vertices());
+      // Symmetry.
+      EXPECT_TRUE(g.HasEdge(u, v));
+    }
+    directed += adj.size();
+  }
+  EXPECT_EQ(directed, g.num_directed_edges());
+}
+
+TEST_P(GeneratorPropertyTest, DeterministicBySeed) {
+  const Graph a = Generate();
+  const Graph b = Generate();
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, GeneratorPropertyTest,
+                         ::testing::Values(GeneratorCase{"er", 1}, GeneratorCase{"er", 2},
+                                           GeneratorCase{"ba", 1}, GeneratorCase{"ba", 2},
+                                           GeneratorCase{"rmat", 1}, GeneratorCase{"rmat", 2},
+                                           GeneratorCase{"mc", 1}, GeneratorCase{"mc", 2}),
+                         [](const auto& info) {
+                           return std::string(info.param.name) + "_" +
+                                  std::to_string(info.param.seed);
+                         });
+
+TEST(GeneratorTest, LabelsUniform) {
+  Rng rng(5);
+  const Graph g = WithUniformLabels(RandomTestGraph(1000, 6.0, 4), 7, rng);
+  ASSERT_TRUE(g.has_labels());
+  std::set<Label> seen;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LT(g.label(v), 7u);
+    seen.insert(g.label(v));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(GeneratorTest, PlantedAttributeGroupsShareValues) {
+  Rng rng(6);
+  const Graph base = RandomTestGraph(512, 6.0, 7);
+  const Graph g = WithPlantedAttributeGroups(base, 8, 5, 10, 0.95, rng);
+  ASSERT_TRUE(g.has_attributes());
+  // Within one planted group, attribute agreement should be far above the
+  // uniform baseline of 1/values_per_dim.
+  const auto a0 = g.attributes(0);
+  int agreements = 0;
+  int comparisons = 0;
+  for (VertexId v = 1; v < 60; ++v) {  // same group: ids 0..63
+    const auto av = g.attributes(v);
+    for (size_t d = 0; d < av.size(); ++d) {
+      ++comparisons;
+      if (av[d] == a0[d]) {
+        ++agreements;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(agreements) / comparisons, 0.5);
+}
+
+TEST(GeneratorTest, ShufflePreservesStructure) {
+  Rng rng(9);
+  Graph g = GenerateCommunityGraph(6, 30, 0.2, 100, rng);
+  g = WithUniformLabels(g, 5, rng);
+  Rng shuffle_rng(10);
+  const Graph s = ShuffleVertexIds(g, shuffle_rng);
+  ASSERT_EQ(s.num_vertices(), g.num_vertices());
+  EXPECT_EQ(s.num_edges(), g.num_edges());
+  // Degree multiset and label histogram are invariants of relabeling.
+  std::multiset<uint32_t> deg_g, deg_s;
+  std::map<Label, int> lab_g, lab_s;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    deg_g.insert(g.degree(v));
+    deg_s.insert(s.degree(v));
+    ++lab_g[g.label(v)];
+    ++lab_s[s.label(v)];
+  }
+  EXPECT_EQ(deg_g, deg_s);
+  EXPECT_EQ(lab_g, lab_s);
+  // Ids must no longer be community-contiguous: neighbors of vertex 0 in the
+  // shuffled graph should span a wide id range.
+  const auto adj = s.neighbors(0);
+  if (adj.size() >= 4) {
+    EXPECT_GT(adj.back() - adj.front(), s.num_vertices() / 8);
+  }
+}
+
+TEST(GeneratorTest, DatasetFactoryShapes) {
+  const Graph skitter = MakeDataset("skitter", 1.0, 42);
+  const Graph orkut = MakeDataset("orkut", 1.0, 42);
+  const Graph btc = MakeDataset("btc", 1.0, 42);
+  const Graph tencent = MakeDataset("tencent", 1.0, 42);
+  EXPECT_GT(orkut.avg_degree(), skitter.avg_degree());  // Orkut is the dense one
+  EXPECT_LT(btc.avg_degree(), 8.0);                     // BTC is very sparse...
+  EXPECT_GT(btc.max_degree(), 200u);                    // ...with an extreme hub
+  EXPECT_TRUE(tencent.has_attributes());
+}
+
+}  // namespace
+}  // namespace gminer

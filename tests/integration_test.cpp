@@ -1,0 +1,335 @@
+// Cross-module integration tests: task stealing under skew, disk spill under
+// memory pressure, LSH cache-hit benefit, checkpoint/recovery (fault
+// tolerance), budget enforcement in the G-Miner runtime, and utilization
+// sampling of a live job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <thread>
+
+#include "apps/gm.h"
+#include "apps/mcf.h"
+#include "apps/tc.h"
+#include "baselines/serial.h"
+#include "core/cluster.h"
+#include "graph/builder.h"
+#include "tests/test_util.h"
+
+namespace gminer {
+namespace {
+
+// A graph whose heavy region lands on few workers: one dense cluster in a
+// contiguous id range plus a sparse remainder. With BDG partitioning the
+// dense block stays together, so other workers idle and must steal.
+Graph SkewedGraph(uint64_t seed) {
+  GraphBuilder b(1200);
+  Rng rng(seed);
+  for (int e = 0; e < 2500; ++e) {  // dense core on ids 0..99
+    b.AddEdge(rng.NextUint32(100), rng.NextUint32(100));
+  }
+  for (int e = 0; e < 2000; ++e) {  // sparse remainder
+    b.AddEdge(100 + rng.NextUint32(1100), 100 + rng.NextUint32(1100));
+  }
+  for (VertexId v = 0; v < 1199; v += 97) {  // weak connectivity
+    b.AddEdge(v, v + 1);
+  }
+  return b.Build();
+}
+
+// Seed-placement skew for the migration test: every seed of a deep graph-
+// matching job lives in one contiguous id block (one worker under BDG), while
+// the frontier candidates are spread across the whole graph. The seed-owning
+// worker accumulates a queue of low-locality multi-round tasks; everyone else
+// idles and must steal.
+TEST(StealingIntegrationTest, TasksMigrateUnderSkew) {
+  // Seeds (pattern-root labels) live only in a dense connected core (ids
+  // 0..99) that BDG keeps on one worker; the matching frontier spreads over
+  // the whole graph, so the queued tasks have low locality and are eligible
+  // for migration while every other worker idles.
+  Rng rng(31);
+  GraphBuilder b(2000);
+  for (int e = 0; e < 1500; ++e) {  // connected dense core
+    b.AddEdge(rng.NextUint32(100), rng.NextUint32(100));
+  }
+  for (VertexId v = 0; v < 100; ++v) {  // spokes into the sparse remainder
+    for (int k = 0; k < 8; ++k) {
+      b.AddEdge(v, 100 + rng.NextUint32(1900));
+    }
+  }
+  for (int e = 0; e < 6000; ++e) {  // sparse remainder
+    b.AddEdge(100 + rng.NextUint32(1900), 100 + rng.NextUint32(1900));
+  }
+  std::vector<Label> labels(2000);
+  for (VertexId v = 0; v < 2000; ++v) {
+    labels[v] = v < 100 ? 0 : 1 + rng.NextUint32(3);
+  }
+  b.SetLabels(std::move(labels));
+  const Graph g = b.Build();
+  const TreePattern pattern = TreePattern::Build({{0, -1}, {1, 0}, {2, 1}, {3, 2}});
+  const uint64_t expected = SerialGraphMatch(g, pattern);
+
+  JobConfig config = FastTestConfig(4, 2);
+  config.enable_stealing = true;
+  config.steal_batch = 4;
+  config.pipeline_depth = 8;  // inactive tasks accumulate in the (stealable) store
+  config.progress_interval_ms = 1;
+  config.partition = PartitionStrategy::kBdg;
+  GraphMatchJob job(pattern);
+  Cluster cluster(config);
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(GraphMatchJob::MatchCount(result.final_aggregate), expected);
+  EXPECT_GT(result.totals.tasks_stolen_in, 0) << "no task migration under skew";
+  EXPECT_EQ(result.totals.tasks_stolen_in, result.totals.tasks_stolen_out);
+}
+
+TEST(StealingIntegrationTest, DisabledStealingStillCorrect) {
+  const Graph g = SkewedGraph(3);
+  JobConfig config = FastTestConfig(4, 2);
+  config.enable_stealing = false;
+  MaxCliqueJob job;
+  Cluster cluster(config);
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(result.totals.tasks_stolen_in, 0);
+  EXPECT_EQ(MaxCliqueJob::MaxCliqueSize(result.final_aggregate), SerialMaxClique(g));
+}
+
+TEST(StealingIntegrationTest, CostThresholdBlocksMigration) {
+  // With Tc = 0 no task is cheap enough to migrate: the master issues
+  // MIGRATE commands but victims answer No_Task, and nothing moves.
+  const Graph g = SkewedGraph(3);
+  JobConfig config = FastTestConfig(4, 2);
+  config.enable_stealing = true;
+  config.steal_cost_threshold = 0;  // Tc: nothing qualifies
+  config.pipeline_depth = 8;
+  MaxCliqueJob job;
+  Cluster cluster(config);
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(result.totals.tasks_stolen_in, 0);
+  EXPECT_EQ(MaxCliqueJob::MaxCliqueSize(result.final_aggregate), SerialMaxClique(g));
+}
+
+TEST(SpillIntegrationTest, TaskStoreSpillsAndResultStaysCorrect) {
+  const Graph g = RandomTestGraph(2000, 8.0, 9);
+  JobConfig config = FastTestConfig(2, 2);
+  config.task_block_capacity = 16;  // tiny head block forces spilling
+  config.task_buffer_batch = 64;
+  TriangleCountJob job;
+  Cluster cluster(config);
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_GT(result.totals.disk_bytes_written, 0) << "expected task-store spill";
+  EXPECT_GT(result.totals.disk_bytes_read, 0);
+  EXPECT_EQ(TriangleCountJob::Count(result.final_aggregate), SerialTriangleCount(g));
+}
+
+TEST(LshIntegrationTest, LshImprovesCacheHitRate) {
+  // Fig. 3 / Fig. 12's mechanism: tasks with common remote candidates should
+  // dequeue near each other so pulled vertices are reused before eviction.
+  // Workload with strong candidate sharing: many cliques whose member ids are
+  // shuffled across the id space (so neither hash partitioning nor arrival
+  // order has any clique locality, while same-clique tasks share most of
+  // their candidate sets).
+  Rng rng(13);
+  constexpr VertexId kN = 1200;
+  constexpr int kCliqueSize = 24;
+  std::vector<VertexId> shuffled(kN);
+  for (VertexId v = 0; v < kN; ++v) {
+    shuffled[v] = v;
+  }
+  std::shuffle(shuffled.begin(), shuffled.end(), rng.engine());
+  GraphBuilder builder(kN);
+  for (VertexId base = 0; base + kCliqueSize <= kN; base += kCliqueSize) {
+    for (int i = 0; i < kCliqueSize; ++i) {
+      for (int j = i + 1; j < kCliqueSize; ++j) {
+        builder.AddEdge(shuffled[base + i], shuffled[base + j]);
+      }
+    }
+  }
+  const Graph g = builder.Build();
+  JobConfig config = FastTestConfig(4, 2);
+  config.partition = PartitionStrategy::kHash;
+  config.enable_stealing = false;  // migrations would confound the ablation
+  config.rcv_cache_capacity = 64;  // small cache: ordering matters
+  config.pipeline_depth = 4;       // keep tasks queued so ordering governs pops
+  config.task_buffer_batch = 256;
+  config.task_block_capacity = 512;
+  config.lsh_bands = 8;  // 2-row bands: collisions at moderate similarity
+
+  config.enable_lsh = true;
+  TriangleCountJob job_on;
+  const JobResult with_lsh = Cluster(config).Run(g, job_on);
+  ASSERT_EQ(with_lsh.status, JobStatus::kOk);
+
+  config.enable_lsh = false;
+  TriangleCountJob job_off;
+  const JobResult without_lsh = Cluster(config).Run(g, job_off);
+  ASSERT_EQ(without_lsh.status, JobStatus::kOk);
+
+  EXPECT_EQ(TriangleCountJob::Count(with_lsh.final_aggregate),
+            TriangleCountJob::Count(without_lsh.final_aggregate));
+  // The point of the LSH priority queue: fewer distinct remote fetches for
+  // the same work (higher reuse of in-cache / in-flight vertices).
+  EXPECT_LE(with_lsh.totals.pull_responses, without_lsh.totals.pull_responses)
+      << "LSH ordering should not increase vertex pulling";
+}
+
+TEST(CheckpointTest, RecoveryReproducesResults) {
+  const Graph g = RandomTestGraph(500, 10.0, 21);
+  const uint64_t expected = SerialTriangleCount(g);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gminer_ckpt_test").string();
+  std::filesystem::remove_all(dir);
+
+  JobConfig config = FastTestConfig(3, 2);
+  RunOptions checkpoint;
+  checkpoint.checkpoint_dir = dir;
+  TriangleCountJob job;
+  const JobResult original = Cluster(config).Run(g, job, checkpoint);
+  ASSERT_EQ(original.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(original.final_aggregate), expected);
+  for (int w = 0; w < 3; ++w) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/worker_" + std::to_string(w) + ".tasks"));
+  }
+
+  // Recovery: re-run every worker's tasks from the checkpoint (the paper's
+  // §7 recovery semantics) instead of regenerating seeds.
+  RunOptions recover;
+  recover.recover_dir = dir;
+  TriangleCountJob job2;
+  const JobResult recovered = Cluster(config).Run(g, job2, recover);
+  ASSERT_EQ(recovered.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(recovered.final_aggregate), expected);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointTest, DeadWorkerTasksRerunElsewhere) {
+  // Task independence (§4.2) lets any worker re-run a failed worker's
+  // checkpointed tasks: here worker 0 adopts dead worker 2's task file while
+  // also keeping its own.
+  const Graph g = RandomTestGraph(500, 10.0, 22);
+  const uint64_t expected = SerialTriangleCount(g);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gminer_ckpt_failover").string();
+  std::filesystem::remove_all(dir);
+
+  JobConfig config = FastTestConfig(3, 2);
+  RunOptions checkpoint;
+  checkpoint.checkpoint_dir = dir;
+  TriangleCountJob job;
+  ASSERT_EQ(Cluster(config).Run(g, job, checkpoint).status, JobStatus::kOk);
+
+  // Simulate the failure of worker 2: a 2-worker cluster recovers, with
+  // worker 0 running files {0, 2} merged... here we remap: new worker 0 gets
+  // old file 0, new worker 1 gets old file 1, and a third logical recovery
+  // pass handles file 2 on worker 0 via the assignment map.
+  JobConfig recover_config = FastTestConfig(3, 2);
+  RunOptions recover;
+  recover.recover_dir = dir;
+  recover.recover_assignment = {2, 1, 0};  // workers swap task files
+  TriangleCountJob job2;
+  const JobResult recovered = Cluster(recover_config).Run(g, job2, recover);
+  ASSERT_EQ(recovered.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(recovered.final_aggregate), expected);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BudgetTest, GminerTimeoutCancelsCleanly) {
+  Rng rng(5);
+  const Graph g = GenerateBarabasiAlbert(3000, 24, rng);
+  JobConfig config = FastTestConfig(2, 2);
+  config.time_budget_seconds = 0.02;
+  MaxCliqueJob job;
+  Cluster cluster(config);
+  const JobResult result = cluster.Run(g, job);
+  EXPECT_EQ(result.status, JobStatus::kTimeout);
+}
+
+TEST(SimulatedNetworkTest, PipelineCorrectUnderTransmissionDelay) {
+  // With the shared-link simulation on, pulls take wall time; the pipeline
+  // must still complete and stay correct (results identical to instant-net).
+  const Graph g = RandomTestGraph(600, 10.0, 33);
+  const uint64_t expected = SerialTriangleCount(g);
+  JobConfig config = FastTestConfig(3, 2);
+  config.net_latency_us = 100;
+  config.net_bandwidth_gbps = 0.2;
+  TriangleCountJob job;
+  Cluster cluster(config);
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(result.final_aggregate), expected);
+}
+
+TEST(SamplerIntegrationTest, UtilizationTimelineCollected) {
+  const Graph g = RandomTestGraph(1500, 25.0, 17);
+  JobConfig config = FastTestConfig(3, 2);
+  config.sample_utilization = true;
+  config.sample_interval_ms = 5;
+  MaxCliqueJob job;
+  Cluster cluster(config);
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_FALSE(result.utilization.empty()) << "no samples collected";
+}
+
+TEST(OutputTest, WorkerOutputsAreCollected) {
+  Rng rng(8);
+  Graph g = GenerateBarabasiAlbert(200, 6, rng);
+  g = WithPlantedAttributeGroups(g, 4, 5, 8, 0.85, rng);
+  CdParams params;
+  params.emit_outputs = true;
+  CommunityJob job(params);
+  Cluster cluster(FastTestConfig());
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  if (CommunityJob::CommunityCount(result.final_aggregate) > 0) {
+    EXPECT_FALSE(result.outputs.empty());
+  }
+}
+
+TEST(IsolationTest, ConcurrentClustersDoNotInterfere) {
+  // Two independent clusters running different jobs simultaneously: no
+  // shared state, no cross-talk, both exact. Catches accidental globals.
+  const Graph g1 = RandomTestGraph(400, 8.0, 41);
+  const Graph g2 = RandomTestGraph(500, 10.0, 42);
+  const uint64_t expected1 = SerialTriangleCount(g1);
+  const uint64_t expected2 = SerialMaxClique(g2);
+  uint64_t got1 = 0;
+  uint64_t got2 = 0;
+  std::thread t1([&] {
+    TriangleCountJob job;
+    const JobResult r = Cluster(FastTestConfig(2, 2)).Run(g1, job);
+    ASSERT_EQ(r.status, JobStatus::kOk);
+    got1 = TriangleCountJob::Count(r.final_aggregate);
+  });
+  std::thread t2([&] {
+    MaxCliqueJob job;
+    const JobResult r = Cluster(FastTestConfig(3, 1)).Run(g2, job);
+    ASSERT_EQ(r.status, JobStatus::kOk);
+    got2 = MaxCliqueJob::MaxCliqueSize(r.final_aggregate);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(got1, expected1);
+  EXPECT_EQ(got2, expected2);
+}
+
+TEST(AggregatorIntegrationTest, GlobalPruningPropagates) {
+  // With a global max aggregator, at least some pruning information crosses
+  // workers: total update rounds should stay bounded and the result exact.
+  Rng rng(10);
+  const Graph g = GenerateBarabasiAlbert(600, 14, rng);
+  JobConfig config = FastTestConfig(4, 2);
+  config.aggregator_interval_ms = 1;
+  MaxCliqueJob job;
+  Cluster cluster(config);
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(MaxCliqueJob::MaxCliqueSize(result.final_aggregate), SerialMaxClique(g));
+}
+
+}  // namespace
+}  // namespace gminer

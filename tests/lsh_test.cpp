@@ -1,0 +1,115 @@
+// Tests for the MinHash LSH used by the task priority queue: determinism,
+// Jaccard estimation quality, and the ordering property that similar
+// candidate sets receive nearby keys.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "lsh/minhash.h"
+
+namespace gminer {
+namespace {
+
+std::vector<VertexId> MakeSet(std::initializer_list<VertexId> ids) { return ids; }
+
+TEST(MinHashTest, DeterministicForSameSeed) {
+  MinHasher a(16, 4, 99);
+  MinHasher b(16, 4, 99);
+  const auto set = MakeSet({1, 5, 9, 200, 77});
+  EXPECT_EQ(a.Signature(set), b.Signature(set));
+  EXPECT_EQ(a.Key(set), b.Key(set));
+}
+
+TEST(MinHashTest, OrderInvariant) {
+  MinHasher h(16, 4, 1);
+  const auto a = MakeSet({3, 1, 2});
+  const auto b = MakeSet({2, 3, 1});
+  EXPECT_EQ(h.Key(a), h.Key(b));
+}
+
+TEST(MinHashTest, EmptySetKeyIsZero) {
+  MinHasher h(16, 4, 1);
+  EXPECT_EQ(h.Key({}), 0u);
+}
+
+TEST(MinHashTest, IdenticalSetsShareKey) {
+  MinHasher h(16, 4, 7);
+  const auto set = MakeSet({10, 20, 30, 40});
+  EXPECT_EQ(h.Key(set), h.Key(set));
+}
+
+TEST(MinHashTest, JaccardEstimateTracksTruth) {
+  MinHasher h(128, 8, 5);
+  Rng rng(17);
+  double total_error = 0.0;
+  int trials = 0;
+  for (int t = 0; t < 20; ++t) {
+    std::vector<VertexId> a;
+    std::vector<VertexId> b;
+    for (VertexId v = 0; v < 200; ++v) {
+      const bool in_a = rng.NextBool(0.5);
+      const bool in_b = rng.NextBool(0.5) || (in_a && rng.NextBool(0.6));
+      if (in_a) {
+        a.push_back(v);
+      }
+      if (in_b) {
+        b.push_back(v);
+      }
+    }
+    if (a.empty() || b.empty()) {
+      continue;
+    }
+    std::vector<VertexId> inter;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(inter));
+    std::vector<VertexId> uni;
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(uni));
+    const double truth = static_cast<double>(inter.size()) / uni.size();
+    const double est = MinHasher::EstimateJaccard(h.Signature(a), h.Signature(b));
+    total_error += std::abs(truth - est);
+    ++trials;
+  }
+  ASSERT_GT(trials, 10);
+  EXPECT_LT(total_error / trials, 0.12);  // 128 hashes: stderr ≈ 0.04
+}
+
+// The property the task priority queue relies on: tasks with highly similar
+// remote-candidate sets should receive closer keys than dissimilar ones, so
+// they dequeue near each other.
+TEST(MinHashTest, SimilarSetsClusterInKeySpace) {
+  MinHasher h(16, 4, 3);
+  Rng rng(23);
+  int similar_share_prefix = 0;
+  int dissimilar_share_prefix = 0;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<VertexId> base;
+    for (int i = 0; i < 40; ++i) {
+      base.push_back(rng.NextUint32(100000));
+    }
+    std::vector<VertexId> similar = base;   // ~95% overlap
+    similar[0] = rng.NextUint32(100000);
+    similar[1] = rng.NextUint32(100000);
+    std::vector<VertexId> dissimilar;
+    for (int i = 0; i < 40; ++i) {
+      dissimilar.push_back(rng.NextUint32(100000));
+    }
+    // Compare the top band (leading 16 bits of the key).
+    const uint64_t kb = h.Key(base) >> 48;
+    if ((h.Key(similar) >> 48) == kb) {
+      ++similar_share_prefix;
+    }
+    if ((h.Key(dissimilar) >> 48) == kb) {
+      ++dissimilar_share_prefix;
+    }
+  }
+  EXPECT_GT(similar_share_prefix, dissimilar_share_prefix + kTrials / 4)
+      << "similar=" << similar_share_prefix << " dissimilar=" << dissimilar_share_prefix;
+}
+
+TEST(MinHashTest, RejectsBadBandConfig) {
+  EXPECT_DEATH(MinHasher(10, 3, 1), "multiple");
+}
+
+}  // namespace
+}  // namespace gminer

@@ -1,0 +1,184 @@
+// Protocol-level tests of the master (Fig. 4): steal scheduling
+// (REQ → MIGRATE / No_Task), aggregator folding and broadcast, termination
+// detection, and budget cancellation — driven by hand-crafted messages over
+// a real Network, with the test playing the workers.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "apps/tc.h"
+#include "common/config.h"
+#include "core/master.h"
+#include "tests/test_util.h"
+
+namespace gminer {
+namespace {
+
+class MasterProtocolTest : public ::testing::Test {
+ protected:
+  static constexpr int kWorkers = 2;
+  static constexpr WorkerId kMaster = kWorkers;
+
+  MasterProtocolTest()
+      : config_(MakeConfig()),
+        net_(kWorkers + 1, {&c0_, &c1_, nullptr}),
+        master_(config_, &net_, &state_, &job_) {}
+
+  static JobConfig MakeConfig() {
+    JobConfig config = FastTestConfig(kWorkers, 1);
+    config.steal_batch = 8;
+    return config;
+  }
+
+  void StartMaster() {
+    master_thread_ = std::thread([this] { final_ = master_.Run(); });
+  }
+
+  // Plays both workers' shutdown handshake and joins the master. Each worker
+  // reports `final_values[w]` as its final aggregator partial.
+  void FinishMaster(std::vector<uint64_t> final_values = {0, 0}) {
+    state_.live_tasks.store(0);
+    // A progress tick makes the master re-evaluate completion.
+    SendProgress(0, 0, 0, 0);
+    for (WorkerId w = 0; w < kWorkers; ++w) {
+      // Consume messages until the shutdown arrives, then send the final
+      // partial as a worker's listener would.
+      while (true) {
+        auto msg = net_.Receive(w);
+        ASSERT_TRUE(msg.has_value());
+        if (msg->type == MessageType::kShutdown) {
+          break;
+        }
+      }
+      OutArchive final_report;
+      final_report.Write<uint8_t>(1);
+      final_report.Write<uint64_t>(final_values[static_cast<size_t>(w)]);
+      net_.Send(w, kMaster, MessageType::kAggPartial, final_report.TakeBuffer());
+    }
+    master_thread_.join();
+  }
+
+  void SendProgress(WorkerId from, uint64_t inactive, uint64_t ready, int64_t local) {
+    OutArchive out;
+    out.Write<uint64_t>(inactive);
+    out.Write<uint64_t>(ready);
+    out.Write<int64_t>(local);
+    net_.Send(from, kMaster, MessageType::kProgressReport, out.TakeBuffer());
+  }
+
+  void SendSeedDone(WorkerId from) { net_.Send(from, kMaster, MessageType::kSeedDone, {}); }
+
+  JobConfig config_;
+  WorkerCounters c0_;
+  WorkerCounters c1_;
+  Network net_;
+  ClusterState state_;
+  TriangleCountJob job_;
+  Master master_;
+  std::thread master_thread_;
+  std::vector<uint8_t> final_;
+};
+
+TEST_F(MasterProtocolTest, StealRequestRoutedToMostLoadedWorker) {
+  state_.live_tasks.store(100);
+  StartMaster();
+  SendSeedDone(0);
+  SendSeedDone(1);
+  SendProgress(0, /*inactive=*/200, 0, 200);  // worker 0 is heavily loaded
+  SendProgress(1, /*inactive=*/0, 0, 0);
+  net_.Send(1, kMaster, MessageType::kStealRequest, {});
+
+  // Worker 0 must receive a MIGRATE command naming worker 1 as destination.
+  while (true) {
+    auto msg = net_.Receive(0);
+    ASSERT_TRUE(msg.has_value());
+    if (msg->type == MessageType::kMigrateCommand) {
+      InArchive in(std::move(msg->payload));
+      EXPECT_EQ(in.Read<WorkerId>(), 1);
+      EXPECT_EQ(in.Read<int32_t>(), config_.steal_batch);
+      break;
+    }
+  }
+  FinishMaster();
+}
+
+TEST_F(MasterProtocolTest, StealRequestDeclinedWhenNobodyLoaded) {
+  state_.live_tasks.store(10);
+  StartMaster();
+  SendSeedDone(0);
+  SendSeedDone(1);
+  SendProgress(0, /*inactive=*/2, 0, 2);  // below the steal batch: not worth it
+  SendProgress(1, 0, 0, 0);
+  net_.Send(1, kMaster, MessageType::kStealRequest, {});
+
+  while (true) {
+    auto msg = net_.Receive(1);
+    ASSERT_TRUE(msg.has_value());
+    if (msg->type == MessageType::kNoTask) {
+      break;
+    }
+  }
+  FinishMaster();
+}
+
+TEST_F(MasterProtocolTest, AggregatorPartialsFoldAndBroadcast) {
+  state_.live_tasks.store(5);
+  StartMaster();
+  SendSeedDone(0);
+  SendSeedDone(1);
+  // Worker 0 reports a partial sum of 7, worker 1 a partial sum of 35.
+  for (const auto& [w, value] : {std::pair<WorkerId, uint64_t>{0, 7}, {1, 35}}) {
+    OutArchive out;
+    out.Write<uint8_t>(0);
+    out.Write<uint64_t>(value);
+    net_.Send(w, kMaster, MessageType::kAggPartial, out.TakeBuffer());
+  }
+  // Eventually worker 0 observes a folded global value of 42 broadcast back.
+  bool saw_42 = false;
+  for (int i = 0; i < 20 && !saw_42; ++i) {
+    auto msg = net_.Receive(0);
+    ASSERT_TRUE(msg.has_value());
+    if (msg->type == MessageType::kAggGlobal) {
+      InArchive raw(msg->payload.data(), msg->payload.size());
+      saw_42 = raw.Read<uint64_t>() == 42;
+    }
+  }
+  EXPECT_TRUE(saw_42) << "folded global (7 + 35) never broadcast";
+  // Cumulative partials are replaced, not added: the final fold must combine
+  // exactly the last partial of each worker.
+  FinishMaster({7, 35});
+  EXPECT_EQ(SumAggregator::DecodeFinal(final_), 42u);
+}
+
+TEST_F(MasterProtocolTest, TimeBudgetCancelsJob) {
+  config_.time_budget_seconds = 0.02;
+  Master master(config_, &net_, &state_, &job_);
+  state_.live_tasks.store(1);  // never completes on its own
+  std::thread t([&master, this] { final_ = master.Run(); });
+  // Keep ticking so the master re-checks its budget.
+  for (int i = 0; i < 50 && !state_.cancelled.load(); ++i) {
+    SendProgress(0, 1, 0, 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(state_.cancelled.load());
+  EXPECT_EQ(state_.final_status(), JobStatus::kTimeout);
+  // Complete the shutdown handshake.
+  for (WorkerId w = 0; w < kWorkers; ++w) {
+    while (true) {
+      auto msg = net_.Receive(w);
+      ASSERT_TRUE(msg.has_value());
+      if (msg->type == MessageType::kShutdown) {
+        break;
+      }
+    }
+    OutArchive final_report;
+    final_report.Write<uint8_t>(1);
+    SumAggregator agg;
+    agg.SerializePartial(final_report);
+    net_.Send(w, kMaster, MessageType::kAggPartial, final_report.TakeBuffer());
+  }
+  t.join();
+}
+
+}  // namespace
+}  // namespace gminer

@@ -1,0 +1,142 @@
+// Tests for counters, the memory tracker and the utilization sampler.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "core/report.h"
+#include "metrics/counters.h"
+#include "metrics/memory_tracker.h"
+#include "metrics/sampler.h"
+
+namespace gminer {
+namespace {
+
+TEST(MemoryTrackerTest, TracksCurrentAndPeak) {
+  MemoryTracker t;
+  t.Add(100);
+  t.Add(50);
+  EXPECT_EQ(t.current(), 150);
+  EXPECT_EQ(t.peak(), 150);
+  t.Sub(120);
+  EXPECT_EQ(t.current(), 30);
+  EXPECT_EQ(t.peak(), 150);
+  t.Add(10);
+  EXPECT_EQ(t.peak(), 150);
+}
+
+TEST(MemoryTrackerTest, OverBudget) {
+  MemoryTracker t;
+  t.Add(1000);
+  EXPECT_FALSE(t.OverBudget(0));  // 0 = unlimited
+  EXPECT_FALSE(t.OverBudget(1000));
+  EXPECT_TRUE(t.OverBudget(999));
+}
+
+TEST(MemoryTrackerTest, ConcurrentPeakIsMonotone) {
+  MemoryTracker t;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&t] {
+      for (int j = 0; j < 10000; ++j) {
+        t.Add(7);
+        t.Sub(7);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(t.current(), 0);
+  EXPECT_GE(t.peak(), 7);
+}
+
+TEST(ScopedMemoryTest, ReleasesOnDestruction) {
+  MemoryTracker t;
+  {
+    ScopedMemory m(t, 64);
+    EXPECT_EQ(t.current(), 64);
+  }
+  EXPECT_EQ(t.current(), 0);
+}
+
+TEST(CountersTest, SnapshotSums) {
+  WorkerCounters a;
+  a.net_bytes_sent.store(10);
+  a.cache_hits.store(3);
+  a.cache_misses.store(1);
+  WorkerCounters b;
+  b.net_bytes_sent.store(5);
+  CountersSnapshot total = Snapshot(a);
+  total += Snapshot(b);
+  EXPECT_EQ(total.net_bytes_sent, 15);
+  EXPECT_DOUBLE_EQ(total.CacheHitRate(), 0.75);
+}
+
+TEST(SamplerTest, ProducesSamplesWithBusyCpu) {
+  WorkerCounters counters;
+  std::atomic<bool> stop{false};
+  // Simulate a busy core: continuously bump busy time.
+  std::thread busy([&] {
+    while (!stop) {
+      counters.compute_busy_ns.fetch_add(5'000'000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  UtilizationSampler sampler([&counters] { return Snapshot(counters); }, /*total_cores=*/1,
+                             /*net_bandwidth_gbps=*/1.0, /*interval_ms=*/10);
+  sampler.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  sampler.Stop();
+  stop = true;
+  busy.join();
+  const auto samples = sampler.TakeSamples();
+  ASSERT_GE(samples.size(), 5u);
+  double max_cpu = 0;
+  for (const auto& s : samples) {
+    EXPECT_GE(s.cpu_pct, 0.0);
+    EXPECT_LE(s.cpu_pct, 100.0);
+    max_cpu = std::max(max_cpu, s.cpu_pct);
+  }
+  EXPECT_GT(max_cpu, 30.0) << "busy loop should register high CPU utilization";
+}
+
+TEST(ReportTest, JobResultJsonContainsKeyFields) {
+  JobResult r;
+  r.status = JobStatus::kOk;
+  r.elapsed_seconds = 1.5;
+  r.peak_memory_bytes = 1024;
+  r.totals.net_bytes_sent = 77;
+  r.per_worker.resize(2);
+  r.utilization.push_back({0.1, 50.0, 10.0, 0.0});
+  const std::string json = JobResultToJson(r);
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"elapsed_seconds\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"net_bytes_sent\":77"), std::string::npos);
+  EXPECT_NE(json.find("\"cpu\":50"), std::string::npos);
+  // Two per-worker objects.
+  size_t count = 0;
+  for (size_t pos = 0; (pos = json.find("\"tasks_created\"", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);  // totals + 2 workers
+}
+
+TEST(ReportTest, WritesToFile) {
+  JobResult r;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gminer_report_test.json").string();
+  WriteJobResultJson(r, path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_FALSE(line.empty());
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace gminer

@@ -1,0 +1,94 @@
+// Tests for the simulated network: delivery, byte accounting, loopback
+// exemption, close semantics, and the shared-link transmission timing.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/timer.h"
+#include "net/network.h"
+
+namespace gminer {
+namespace {
+
+TEST(NetworkTest, DeliversInOrder) {
+  WorkerCounters c0;
+  WorkerCounters c1;
+  Network net(2, {&c0, &c1});
+  net.Send(0, 1, MessageType::kPullRequest, {1, 2, 3});
+  net.Send(0, 1, MessageType::kPullResponse, {4});
+  auto m1 = net.Receive(1);
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_EQ(m1->type, MessageType::kPullRequest);
+  EXPECT_EQ(m1->from, 0);
+  EXPECT_EQ(m1->payload, (std::vector<uint8_t>{1, 2, 3}));
+  auto m2 = net.Receive(1);
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m2->type, MessageType::kPullResponse);
+}
+
+TEST(NetworkTest, AccountsBytesBothSides) {
+  WorkerCounters c0;
+  WorkerCounters c1;
+  Network net(2, {&c0, &c1});
+  net.Send(0, 1, MessageType::kPullRequest, std::vector<uint8_t>(100));
+  EXPECT_EQ(c0.net_bytes_sent.load(), 100 + kMessageHeaderBytes);
+  EXPECT_EQ(c1.net_bytes_received.load(), 100 + kMessageHeaderBytes);
+  EXPECT_EQ(c0.net_messages.load(), 1);
+}
+
+TEST(NetworkTest, LoopbackIsFree) {
+  WorkerCounters c0;
+  Network net(1, {&c0});
+  net.Send(0, 0, MessageType::kProgressReport, std::vector<uint8_t>(50));
+  EXPECT_EQ(c0.net_bytes_sent.load(), 0);
+  EXPECT_EQ(c0.net_bytes_received.load(), 0);
+  EXPECT_TRUE(net.Receive(0).has_value());
+}
+
+TEST(NetworkTest, CloseWakesReceivers) {
+  WorkerCounters c0;
+  Network net(1, {&c0});
+  std::thread receiver([&net] { EXPECT_FALSE(net.Receive(0).has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  net.Close();
+  receiver.join();
+}
+
+TEST(NetworkTest, NullCounterEndpointAllowed) {
+  WorkerCounters c0;
+  Network net(2, {&c0, nullptr});  // master endpoint has no accounting
+  net.Send(0, 1, MessageType::kProgressReport, {1});
+  EXPECT_TRUE(net.Receive(1).has_value());
+}
+
+TEST(NetworkTest, SimulatedTransmissionDelays) {
+  WorkerCounters c0;
+  WorkerCounters c1;
+  // 1 Mbps link: a 10 KB payload takes ~80 ms on the wire.
+  Network net(2, {&c0, &c1}, /*simulate_time=*/true, /*bandwidth_gbps=*/0.001,
+              /*latency_us=*/1000);
+  WallTimer timer;
+  net.Send(0, 1, MessageType::kPullResponse, std::vector<uint8_t>(10000));
+  const auto msg = net.Receive(1);
+  const double elapsed = timer.ElapsedSeconds();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_GT(elapsed, 0.05) << "transmission time not simulated";
+}
+
+TEST(NetworkTest, SimulatedLinkSerializesTransfers) {
+  WorkerCounters c0;
+  WorkerCounters c1;
+  Network net(2, {&c0, &c1}, true, 0.001, 0);
+  WallTimer timer;
+  for (int i = 0; i < 4; ++i) {
+    net.Send(0, 1, MessageType::kPullResponse, std::vector<uint8_t>(5000));
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(net.Receive(1).has_value());
+  }
+  // Four 5 KB messages over a shared 1 Mbps link: ≥ 4 * 40 ms.
+  EXPECT_GT(timer.ElapsedSeconds(), 0.12);
+}
+
+}  // namespace
+}  // namespace gminer

@@ -1,0 +1,143 @@
+// Tests for static load balancing: hash and BDG partitioning. The key
+// properties: every vertex assigned exactly once, bounded imbalance, and the
+// locality advantage of BDG over hashing that Figure 11 builds on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "partition/bdg_partitioner.h"
+#include "partition/hash_partitioner.h"
+#include "tests/test_util.h"
+
+namespace gminer {
+namespace {
+
+struct PartitionCase {
+  int k;
+  uint64_t seed;
+  VertexId n;
+  double avg_deg;
+};
+
+class PartitionPropertyTest : public ::testing::TestWithParam<PartitionCase> {};
+
+TEST_P(PartitionPropertyTest, HashCoversAllVertices) {
+  const auto& c = GetParam();
+  const Graph g = RandomTestGraph(c.n, c.avg_deg, c.seed);
+  HashPartitioner p;
+  const auto owner = p.Partition(g, c.k);
+  ASSERT_EQ(owner.size(), g.num_vertices());
+  for (const WorkerId w : owner) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, c.k);
+  }
+}
+
+TEST_P(PartitionPropertyTest, BdgCoversAllVertices) {
+  const auto& c = GetParam();
+  const Graph g = RandomTestGraph(c.n, c.avg_deg, c.seed);
+  BdgPartitioner p(/*num_sources=*/16, /*bfs_depth=*/3, /*max_rounds=*/8, c.seed);
+  const auto owner = p.Partition(g, c.k);
+  ASSERT_EQ(owner.size(), g.num_vertices());
+  for (const WorkerId w : owner) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, c.k);
+  }
+}
+
+TEST_P(PartitionPropertyTest, BdgBlocksCoverEveryVertexOnce) {
+  const auto& c = GetParam();
+  const Graph g = RandomTestGraph(c.n, c.avg_deg, c.seed);
+  BdgPartitioner p(16, 3, 8, c.seed);
+  const auto blocks = p.ComputeBlocks(g);
+  ASSERT_EQ(blocks.size(), g.num_vertices());
+  for (const uint32_t b : blocks) {
+    EXPECT_NE(b, 0xffffffffu) << "uncolored vertex escaped the CC fallback";
+  }
+}
+
+TEST_P(PartitionPropertyTest, BdgImbalanceBounded) {
+  const auto& c = GetParam();
+  const Graph g = RandomTestGraph(c.n, c.avg_deg, c.seed);
+  BdgPartitioner p(16, 2, 8, c.seed);
+  const auto owner = p.Partition(g, c.k);
+  const PartitionQuality q = EvaluatePartition(g, owner, c.k);
+  // Blocks are small relative to |V|/k, so the greedy capacity term keeps
+  // partitions near balanced.
+  EXPECT_LT(q.imbalance, 1.0) << "worst partition more than 2x ideal size";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionPropertyTest,
+                         ::testing::Values(PartitionCase{2, 1, 300, 6},
+                                           PartitionCase{4, 2, 500, 8},
+                                           PartitionCase{4, 3, 1000, 4},
+                                           PartitionCase{8, 4, 1000, 10},
+                                           PartitionCase{3, 5, 64, 3}));
+
+TEST(BdgPartitionerTest, PreservesLocalityVsHash) {
+  // Community-structured graph: BDG should cut far fewer edges than hashing.
+  GraphBuilder b(400);
+  Rng rng(13);
+  for (int comm = 0; comm < 8; ++comm) {
+    const VertexId base = static_cast<VertexId>(comm * 50);
+    for (int e = 0; e < 300; ++e) {
+      b.AddEdge(base + rng.NextUint32(50), base + rng.NextUint32(50));
+    }
+  }
+  for (int e = 0; e < 60; ++e) {  // sparse inter-community edges
+    b.AddEdge(rng.NextUint32(400), rng.NextUint32(400));
+  }
+  const Graph g = b.Build();
+
+  HashPartitioner hash;
+  BdgPartitioner bdg(16, 3, 8, 7);
+  const auto hq = EvaluatePartition(g, hash.Partition(g, 4), 4);
+  const auto bq = EvaluatePartition(g, bdg.Partition(g, 4), 4);
+  EXPECT_GT(bq.locality, hq.locality)
+      << "BDG locality " << bq.locality << " vs hash " << hq.locality;
+  EXPECT_GT(bq.locality, 0.5);
+}
+
+TEST(BdgPartitionerTest, SingleWorkerTrivial) {
+  const Graph g = SmallTestGraph();
+  BdgPartitioner p(4, 2, 4, 1);
+  const auto owner = p.Partition(g, 1);
+  for (const WorkerId w : owner) {
+    EXPECT_EQ(w, 0);
+  }
+}
+
+TEST(BdgPartitionerTest, ManyTinyComponentsHandledByCcFallback) {
+  // 64 disconnected pairs: random source sampling cannot reach them all in
+  // one round; the Hash-Min fallback must color the rest.
+  GraphBuilder b(128);
+  for (VertexId v = 0; v < 128; v += 2) {
+    b.AddEdge(v, v + 1);
+  }
+  const Graph g = b.Build();
+  BdgPartitioner p(/*num_sources=*/2, /*bfs_depth=*/1, /*max_rounds=*/2, 3);
+  const auto blocks = p.ComputeBlocks(g);
+  for (const uint32_t c : blocks) {
+    EXPECT_NE(c, 0xffffffffu);
+  }
+  // Components must not be split across blocks: both endpoints share a color.
+  for (VertexId v = 0; v < 128; v += 2) {
+    EXPECT_EQ(blocks[v], blocks[v + 1]);
+  }
+}
+
+TEST(PartitionQualityTest, EdgeCutComputation) {
+  const Graph g = SmallTestGraph();
+  std::vector<WorkerId> owner(g.num_vertices(), 0);
+  const auto all_local = EvaluatePartition(g, owner, 2);
+  EXPECT_DOUBLE_EQ(all_local.edge_cut_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(all_local.locality, 1.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    owner[v] = static_cast<WorkerId>(v % 2);
+  }
+  const auto split = EvaluatePartition(g, owner, 2);
+  EXPECT_GT(split.edge_cut_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace gminer

@@ -1,0 +1,129 @@
+// Tests for the Reference Counting Vertex Cache (§7): hit/miss accounting,
+// the lazy zero-ref reclaim model, eviction safety, and retriever
+// backpressure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/rcv_cache.h"
+
+namespace gminer {
+namespace {
+
+VertexRecord MakeRecord(VertexId id) {
+  VertexRecord r;
+  r.id = id;
+  r.adj = {id + 1, id + 2};
+  return r;
+}
+
+TEST(RcvCacheTest, MissThenHit) {
+  WorkerCounters counters;
+  RcvCache cache(8, &counters, nullptr);
+  // Misses are classified by the candidate retriever (it alone knows whether
+  // a pull is already in flight); the cache only records hits.
+  EXPECT_FALSE(cache.AddRefIfPresent(1));
+  EXPECT_EQ(counters.cache_hits.load(), 0);
+  cache.Insert(MakeRecord(1), 1);
+  EXPECT_TRUE(cache.AddRefIfPresent(1));
+  EXPECT_EQ(counters.cache_hits.load(), 1);
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(1)->id, 1u);
+}
+
+TEST(RcvCacheTest, ReferencedEntriesSurviveEvictionPressure) {
+  RcvCache cache(4, nullptr, nullptr);
+  cache.Insert(MakeRecord(1), 1);  // referenced
+  cache.Insert(MakeRecord(2), 0);  // reclaimable
+  cache.Insert(MakeRecord(3), 0);
+  cache.Insert(MakeRecord(4), 0);
+  // Over capacity: must evict zero-ref entries, never vertex 1.
+  cache.Insert(MakeRecord(5), 1);
+  cache.Insert(MakeRecord(6), 1);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(5), nullptr);
+  EXPECT_NE(cache.Get(6), nullptr);
+  // At least one of the reclaimables was evicted to make room.
+  const int survivors = (cache.Get(2) != nullptr) + (cache.Get(3) != nullptr) +
+                        (cache.Get(4) != nullptr);
+  EXPECT_LT(survivors, 3);
+}
+
+TEST(RcvCacheTest, LazyModelKeepsZeroRefUntilPressure) {
+  RcvCache cache(8, nullptr, nullptr);
+  cache.Insert(MakeRecord(1), 1);
+  cache.Release(1);  // refs -> 0, but the lazy model keeps it resident
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_TRUE(cache.AddRefIfPresent(1)) << "zero-ref entry should be revivable";
+}
+
+TEST(RcvCacheTest, DuplicateInsertMergesReferences) {
+  RcvCache cache(8, nullptr, nullptr);
+  cache.Insert(MakeRecord(1), 1);
+  cache.Insert(MakeRecord(1), 2);  // duplicate response path
+  cache.Release(1);
+  cache.Release(1);
+  cache.Release(1);  // all three refs released without underflow
+  EXPECT_NE(cache.Get(1), nullptr);
+}
+
+TEST(RcvCacheTest, EvictionOrderIsOldestReclaimedFirst) {
+  RcvCache cache(2, nullptr, nullptr);
+  cache.Insert(MakeRecord(1), 0);
+  cache.Insert(MakeRecord(2), 0);
+  cache.Insert(MakeRecord(3), 0);  // evicts 1 (oldest reclaimable)
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+}
+
+TEST(RcvCacheTest, MemoryAccounting) {
+  MemoryTracker memory;
+  {
+    RcvCache cache(4, nullptr, &memory);
+    cache.Insert(MakeRecord(1), 0);
+    cache.Insert(MakeRecord(2), 0);
+    EXPECT_GT(memory.current(), 0);
+    cache.Insert(MakeRecord(3), 0);
+    cache.Insert(MakeRecord(4), 0);
+    cache.Insert(MakeRecord(5), 0);  // eviction must release bytes
+    EXPECT_EQ(cache.size(), 4u);
+  }
+  EXPECT_EQ(memory.current(), 0) << "cache destructor must release accounted bytes";
+}
+
+TEST(RcvCacheTest, WaitBelowCapacityBlocksUntilRelease) {
+  RcvCache cache(2, nullptr, nullptr);
+  cache.Insert(MakeRecord(1), 1);
+  cache.Insert(MakeRecord(2), 1);  // full, everything referenced
+  std::atomic<bool> proceeded{false};
+  std::thread retriever([&] {
+    EXPECT_TRUE(cache.WaitBelowCapacity());
+    proceeded = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(proceeded.load()) << "retriever should sleep while cache is full & referenced";
+  cache.Release(1);  // a task finished its round
+  retriever.join();
+  EXPECT_TRUE(proceeded.load());
+}
+
+TEST(RcvCacheTest, ShutdownWakesWaiters) {
+  RcvCache cache(1, nullptr, nullptr);
+  cache.Insert(MakeRecord(1), 1);
+  std::thread retriever([&] { EXPECT_FALSE(cache.WaitBelowCapacity()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cache.Shutdown();
+  retriever.join();
+}
+
+TEST(RcvCacheDeathTest, ReleaseWithoutRefAborts) {
+  RcvCache cache(4, nullptr, nullptr);
+  cache.Insert(MakeRecord(1), 1);
+  cache.Release(1);
+  EXPECT_DEATH(cache.Release(1), "double release");
+}
+
+}  // namespace
+}  // namespace gminer

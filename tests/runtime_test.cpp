@@ -1,0 +1,73 @@
+// End-to-end tests of the G-Miner runtime: full jobs on the in-process
+// cluster, results compared against the serial oracles, across worker counts,
+// partitioners, LSH on/off, and stealing on/off.
+#include <gtest/gtest.h>
+
+#include "apps/tc.h"
+#include "baselines/serial.h"
+#include "core/cluster.h"
+#include "tests/test_util.h"
+
+namespace gminer {
+namespace {
+
+TEST(RuntimeTest, TriangleCountSmallGraph) {
+  const Graph g = SmallTestGraph();
+  TriangleCountJob job;
+  Cluster cluster(FastTestConfig());
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(result.final_aggregate), SerialTriangleCount(g));
+  EXPECT_EQ(SerialTriangleCount(g), 5u);  // C(4,3)=4 in the clique + {3,4,5}
+}
+
+TEST(RuntimeTest, TriangleCountRandomGraphMatchesSerial) {
+  const Graph g = RandomTestGraph(500, 12.0, 11);
+  const uint64_t expected = SerialTriangleCount(g);
+  TriangleCountJob job;
+  Cluster cluster(FastTestConfig());
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(result.final_aggregate), expected);
+}
+
+// Every combination of worker count / partitioner / LSH / stealing must
+// produce the same answer.
+struct RuntimeConfigCase {
+  int workers;
+  int threads;
+  PartitionStrategy partition;
+  bool lsh;
+  bool stealing;
+};
+
+class RuntimeConfigTest : public ::testing::TestWithParam<RuntimeConfigCase> {};
+
+TEST_P(RuntimeConfigTest, TriangleCountInvariant) {
+  const RuntimeConfigCase& c = GetParam();
+  const Graph g = RandomTestGraph(300, 10.0, 23);
+  const uint64_t expected = SerialTriangleCount(g);
+  JobConfig config = FastTestConfig(c.workers, c.threads);
+  config.partition = c.partition;
+  config.enable_lsh = c.lsh;
+  config.enable_stealing = c.stealing;
+  TriangleCountJob job;
+  Cluster cluster(config);
+  const JobResult result = cluster.Run(g, job);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(result.final_aggregate), expected);
+  EXPECT_EQ(result.totals.tasks_created, result.totals.tasks_completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RuntimeConfigTest,
+    ::testing::Values(RuntimeConfigCase{1, 1, PartitionStrategy::kHash, true, false},
+                      RuntimeConfigCase{1, 4, PartitionStrategy::kBdg, true, true},
+                      RuntimeConfigCase{2, 2, PartitionStrategy::kHash, false, false},
+                      RuntimeConfigCase{3, 2, PartitionStrategy::kBdg, true, true},
+                      RuntimeConfigCase{4, 1, PartitionStrategy::kHash, true, true},
+                      RuntimeConfigCase{4, 3, PartitionStrategy::kBdg, false, true},
+                      RuntimeConfigCase{7, 2, PartitionStrategy::kHash, true, false}));
+
+}  // namespace
+}  // namespace gminer

@@ -1,0 +1,129 @@
+// Property-style serialization tests: randomized round trips for every
+// serializable structure that crosses a worker boundary (tasks of each app,
+// vertex records, subgraphs). A task that survives serialize → deserialize →
+// serialize with identical bytes is safe to migrate, spill and checkpoint.
+#include <gtest/gtest.h>
+
+#include "apps/cd.h"
+#include "apps/gc.h"
+#include "apps/gm.h"
+#include "apps/mcf.h"
+#include "apps/mcf_split.h"
+#include "apps/tc.h"
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace gminer {
+namespace {
+
+std::vector<VertexId> RandomIds(Rng& rng, size_t max_count) {
+  std::vector<VertexId> ids(rng.NextUint64(max_count + 1));
+  for (auto& id : ids) {
+    id = rng.NextUint32(100000);
+  }
+  return ids;
+}
+
+void FillRandomTaskFields(TaskBase& task, Rng& rng) {
+  for (int i = 0; i < 5; ++i) {
+    task.subgraph().AddVertex(rng.NextUint32(1000));
+  }
+  task.subgraph().AddEdge(rng.NextUint32(1000), rng.NextUint32(1000));
+  task.set_candidates(RandomIds(rng, 20));
+  task.set_to_pull(RandomIds(rng, 10));
+  for (uint64_t r = rng.NextUint64(4); r > 0; --r) {
+    task.advance_round();
+  }
+}
+
+// Round trip: serialize, deserialize into a fresh instance from the job
+// factory, re-serialize, and require byte equality.
+void ExpectStableRoundTrip(const TaskBase& original, JobBase& job) {
+  OutArchive first;
+  original.Serialize(first);
+  std::unique_ptr<TaskBase> copy = job.MakeTask();
+  InArchive in(first.buffer().data(), first.buffer().size());
+  copy->Deserialize(in);
+  EXPECT_TRUE(in.AtEnd()) << "trailing bytes after deserialization";
+  OutArchive second;
+  copy->Serialize(second);
+  EXPECT_EQ(first.buffer(), second.buffer());
+}
+
+class TaskRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TaskRoundTripTest, TriangleCountTask) {
+  Rng rng(GetParam());
+  TriangleCountJob job;
+  TriangleCountTask task;
+  task.context() = rng.NextUint32(5000);
+  FillRandomTaskFields(task, rng);
+  ExpectStableRoundTrip(task, job);
+}
+
+TEST_P(TaskRoundTripTest, MaxCliqueTask) {
+  Rng rng(GetParam());
+  MaxCliqueJob job;
+  MaxCliqueTask task;
+  task.context() = rng.NextUint32(5000);
+  FillRandomTaskFields(task, rng);
+  ExpectStableRoundTrip(task, job);
+}
+
+TEST_P(TaskRoundTripTest, SplittingCliqueTask) {
+  Rng rng(GetParam());
+  SplittingCliqueJob job;
+  SplittingCliqueTask task;
+  task.clique_size = rng.NextUint32(10) + 1;
+  task.depth = static_cast<int32_t>(rng.NextUint32(4));
+  FillRandomTaskFields(task, rng);
+  ExpectStableRoundTrip(task, job);
+}
+
+TEST_P(TaskRoundTripTest, GraphMatchTask) {
+  Rng rng(GetParam());
+  GraphMatchJob job(Fig1Pattern());
+  GraphMatchTask task;
+  for (uint64_t i = rng.NextUint64(8); i > 0; --i) {
+    task.frontier().push_back({static_cast<int32_t>(rng.NextUint32(5)),
+                               rng.NextUint32(1000), rng.NextUint32(1000)});
+  }
+  FillRandomTaskFields(task, rng);
+  ExpectStableRoundTrip(task, job);
+}
+
+TEST_P(TaskRoundTripTest, CommunityTask) {
+  Rng rng(GetParam());
+  CommunityJob job;
+  CommunityTask task;
+  task.seed = rng.NextUint32(5000);
+  task.seed_attrs = {rng.NextUint32(10), rng.NextUint32(10), rng.NextUint32(10)};
+  FillRandomTaskFields(task, rng);
+  ExpectStableRoundTrip(task, job);
+}
+
+TEST_P(TaskRoundTripTest, FocusedClusterTask) {
+  Rng rng(GetParam());
+  GcParams params;
+  params.exemplars = {1, 2};
+  params.weights = {0.5, 0.5};
+  FocusedClusteringJob job(params);
+  FocusedClusterTask task;
+  task.seed = rng.NextUint32(5000);
+  for (uint64_t i = rng.NextUint64(4) + 1; i > 0; --i) {
+    FocusedClusterTask::Member m;
+    m.id = rng.NextUint32(5000);
+    m.attrs = {rng.NextUint32(10), rng.NextUint32(10)};
+    m.adj = RandomIds(rng, 12);
+    task.members.push_back(std::move(m));
+  }
+  task.banned = RandomIds(rng, 6);
+  FillRandomTaskFields(task, rng);
+  ExpectStableRoundTrip(task, job);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaskRoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace gminer

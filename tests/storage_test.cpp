@@ -1,0 +1,92 @@
+// Tests for the storage substrate: vertex records/tables and the spill-file
+// primitives that back the task store and checkpoints.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "partition/hash_partitioner.h"
+#include "storage/spill_file.h"
+#include "storage/vertex_record.h"
+#include "storage/vertex_table.h"
+#include "tests/test_util.h"
+
+namespace gminer {
+namespace {
+
+TEST(VertexRecordTest, SerializeRoundTrip) {
+  VertexRecord r;
+  r.id = 42;
+  r.adj = {1, 5, 9};
+  r.label = 3;
+  r.attrs = {10, 20, 30, 40};
+  OutArchive out;
+  r.Serialize(out);
+  InArchive in(out.TakeBuffer());
+  const VertexRecord back = VertexRecord::Deserialize(in);
+  EXPECT_EQ(back.id, r.id);
+  EXPECT_EQ(back.adj, r.adj);
+  EXPECT_EQ(back.label, r.label);
+  EXPECT_EQ(back.attrs, r.attrs);
+  EXPECT_TRUE(in.AtEnd());
+}
+
+TEST(VertexTableTest, LoadsExactlyOwnedPartition) {
+  const Graph g = RandomTestGraph(200, 5.0, 1);
+  HashPartitioner p;
+  const auto owner = p.Partition(g, 3);
+  size_t total = 0;
+  for (WorkerId w = 0; w < 3; ++w) {
+    VertexTable table;
+    table.LoadPartition(g, owner, w);
+    total += table.size();
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (owner[v] == w) {
+        const VertexRecord* r = table.Find(v);
+        ASSERT_NE(r, nullptr);
+        EXPECT_EQ(r->id, v);
+        const auto adj = g.neighbors(v);
+        EXPECT_TRUE(std::equal(r->adj.begin(), r->adj.end(), adj.begin(), adj.end()));
+      } else {
+        EXPECT_EQ(table.Find(v), nullptr);
+      }
+    }
+    EXPECT_GT(table.byte_size(), 0);
+  }
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(SpillFileTest, RoundTripAndDeletion) {
+  const std::string dir = MakeSpillDir("", 0);
+  const std::string path = dir + "/test_block.bin";
+  std::vector<std::vector<uint8_t>> blobs = {{1, 2, 3}, {}, {255, 0, 128, 7}};
+  const int64_t written = WriteSpillBlock(path, blobs);
+  EXPECT_GT(written, 0);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  int64_t read = 0;
+  const auto back = ReadSpillBlock(path, &read);
+  EXPECT_EQ(read, written);
+  EXPECT_EQ(back, blobs);
+  EXPECT_FALSE(std::filesystem::exists(path)) << "spill blocks are consumed on read";
+  RemoveSpillDir(dir);
+  EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+TEST(SpillFileTest, DistinctDirsPerWorker) {
+  const std::string a = MakeSpillDir("", 1);
+  const std::string b = MakeSpillDir("", 1);
+  EXPECT_NE(a, b);
+  RemoveSpillDir(a);
+  RemoveSpillDir(b);
+}
+
+TEST(SpillFileTest, EmptyBlockRoundTrip) {
+  const std::string dir = MakeSpillDir("", 2);
+  const std::string path = dir + "/empty.bin";
+  WriteSpillBlock(path, {});
+  int64_t read = 0;
+  EXPECT_TRUE(ReadSpillBlock(path, &read).empty());
+  RemoveSpillDir(dir);
+}
+
+}  // namespace
+}  // namespace gminer

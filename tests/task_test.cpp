@@ -1,0 +1,297 @@
+// Tests for the task model and the LSH-keyed, disk-spilling task store.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "core/task.h"
+#include "core/task_store.h"
+#include "storage/spill_file.h"
+#include "tests/test_util.h"
+
+namespace gminer {
+namespace {
+
+// Minimal concrete task for store tests.
+class TestTask : public Task<uint32_t> {
+ public:
+  void Update(UpdateContext& ctx) override {
+    (void)ctx;
+    MarkDead();
+  }
+};
+
+std::unique_ptr<TestTask> MakeTestTask(uint32_t id, std::vector<VertexId> to_pull) {
+  auto t = std::make_unique<TestTask>();
+  t->context() = id;
+  t->subgraph().AddVertex(id);
+  t->set_candidates(to_pull);
+  t->set_to_pull(std::move(to_pull));
+  return t;
+}
+
+TEST(SubgraphTest, AddAndQuery) {
+  Subgraph s;
+  s.AddEdge(1, 2);
+  s.AddEdge(2, 3);
+  s.AddVertex(2);  // duplicate ignored
+  EXPECT_EQ(s.num_vertices(), 3u);
+  EXPECT_EQ(s.num_edges(), 2u);
+  EXPECT_TRUE(s.HasVertex(3));
+  EXPECT_FALSE(s.HasVertex(4));
+}
+
+TEST(SubgraphTest, SerializeRoundTrip) {
+  Subgraph s;
+  s.AddEdge(7, 9);
+  s.AddVertex(11);
+  OutArchive out;
+  s.Serialize(out);
+  Subgraph back;
+  InArchive in(out.TakeBuffer());
+  back.Deserialize(in);
+  EXPECT_EQ(back.vertices(), s.vertices());
+  EXPECT_EQ(back.edges(), s.edges());
+}
+
+TEST(TaskTest, SerializeRoundTripPreservesAllFields) {
+  auto t = MakeTestTask(5, {100, 200});
+  t->advance_round();
+  t->advance_round();
+  OutArchive out;
+  t->Serialize(out);
+  TestTask back;
+  InArchive in(out.TakeBuffer());
+  back.Deserialize(in);
+  EXPECT_EQ(back.context(), 5u);
+  EXPECT_EQ(back.round(), 2);
+  EXPECT_EQ(back.candidates(), t->candidates());
+  EXPECT_EQ(back.to_pull(), t->to_pull());
+  EXPECT_FALSE(back.dead());
+}
+
+TEST(TaskTest, MigrationCostAndLocalRate) {
+  TestTask t;
+  t.subgraph().AddEdge(1, 2);  // 2 vertices
+  t.set_candidates({3, 4, 5, 6});
+  t.set_to_pull({5, 6});
+  EXPECT_EQ(t.MigrationCost(), 6u);           // |subG| + |cand| (Eq. 2)
+  EXPECT_DOUBLE_EQ(t.LocalRate(), 0.5);       // (4-2)/4 (Eq. 3)
+  t.set_to_pull({});
+  EXPECT_DOUBLE_EQ(t.LocalRate(), 1.0);
+  t.set_candidates({});
+  EXPECT_DOUBLE_EQ(t.LocalRate(), 0.0);
+}
+
+class TaskStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override { spill_dir_ = MakeSpillDir("", 77); }
+  void TearDown() override { RemoveSpillDir(spill_dir_); }
+
+  TaskStore::Options MakeOptions(size_t block_capacity, bool lsh) {
+    TaskStore::Options o;
+    o.block_capacity = block_capacity;
+    o.memory_blocks = 1;
+    o.enable_lsh = lsh;
+    o.spill_dir = spill_dir_;
+    return o;
+  }
+
+  static TaskStore::TaskFactory Factory() {
+    return [] { return std::make_unique<TestTask>(); };
+  }
+
+  std::string spill_dir_;
+};
+
+TEST_F(TaskStoreTest, InsertPopPreservesAllTasks) {
+  TaskStore store(MakeOptions(8, true), Factory(), nullptr, nullptr);
+  std::vector<std::unique_ptr<TaskBase>> batch;
+  for (uint32_t i = 0; i < 100; ++i) {
+    batch.push_back(MakeTestTask(i, {i % 10, 1000 + i % 10}));
+    if (batch.size() == 10) {
+      store.InsertBatch(std::move(batch));
+      batch.clear();
+    }
+  }
+  EXPECT_EQ(store.ApproxSize(), 100u);
+  std::set<uint32_t> seen;
+  while (auto task = store.TryPop()) {
+    seen.insert(static_cast<TestTask*>(task.get())->context());
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(store.ApproxSize(), 0u);
+}
+
+TEST_F(TaskStoreTest, SpillsToDiskWhenOverCapacity) {
+  WorkerCounters counters;
+  TaskStore store(MakeOptions(4, true), Factory(), &counters, nullptr);
+  std::vector<std::unique_ptr<TaskBase>> batch;
+  for (uint32_t i = 0; i < 64; ++i) {
+    batch.push_back(MakeTestTask(i, {i}));
+  }
+  store.InsertBatch(std::move(batch));
+  EXPECT_GT(counters.disk_bytes_written.load(), 0) << "no spill happened";
+  EXPECT_LE(store.InMemorySize(), 4u);
+  size_t popped = 0;
+  while (store.TryPop()) {
+    ++popped;
+  }
+  EXPECT_EQ(popped, 64u);
+  EXPECT_GT(counters.disk_bytes_read.load(), 0);
+}
+
+TEST_F(TaskStoreTest, LshGroupsSimilarPullSets) {
+  TaskStore store(MakeOptions(256, true), Factory(), nullptr, nullptr);
+  // Two families of tasks with disjoint remote-candidate sets, interleaved on
+  // insertion. After LSH ordering, pops should come out family-clustered.
+  std::vector<std::unique_ptr<TaskBase>> batch;
+  const std::vector<VertexId> family_a = {10, 11, 12, 13, 14, 15};
+  const std::vector<VertexId> family_b = {900, 901, 902, 903, 904, 905};
+  for (uint32_t i = 0; i < 40; ++i) {
+    auto set = (i % 2 == 0) ? family_a : family_b;
+    set.push_back(2000 + i);  // small per-task variation
+    batch.push_back(MakeTestTask(i, std::move(set)));
+  }
+  store.InsertBatch(std::move(batch));
+  std::vector<int> family_sequence;
+  while (auto task = store.TryPop()) {
+    family_sequence.push_back(static_cast<TestTask*>(task.get())->context() % 2);
+  }
+  // Count family switches along the pop order; random interleaving would give
+  // ~20, perfect clustering gives 1.
+  int switches = 0;
+  for (size_t i = 1; i < family_sequence.size(); ++i) {
+    if (family_sequence[i] != family_sequence[i - 1]) {
+      ++switches;
+    }
+  }
+  EXPECT_LE(switches, 8) << "LSH ordering did not cluster similar tasks";
+}
+
+TEST_F(TaskStoreTest, FifoModeWhenLshDisabled) {
+  TaskStore store(MakeOptions(256, false), Factory(), nullptr, nullptr);
+  std::vector<std::unique_ptr<TaskBase>> batch;
+  for (uint32_t i = 0; i < 10; ++i) {
+    batch.push_back(MakeTestTask(i, {1000 - i}));
+  }
+  store.InsertBatch(std::move(batch));
+  for (uint32_t i = 0; i < 10; ++i) {
+    auto task = store.TryPop();
+    ASSERT_NE(task, nullptr);
+    EXPECT_EQ(static_cast<TestTask*>(task.get())->context(), i) << "not FIFO";
+  }
+}
+
+TEST_F(TaskStoreTest, StealBatchHonorsEligibility) {
+  TaskStore store(MakeOptions(256, true), Factory(), nullptr, nullptr);
+  std::vector<std::unique_ptr<TaskBase>> batch;
+  for (uint32_t i = 0; i < 20; ++i) {
+    batch.push_back(MakeTestTask(i, {i}));
+  }
+  store.InsertBatch(std::move(batch));
+  // Only even-context tasks are eligible.
+  auto stolen = store.StealBatch(5, [](const TaskBase& t) {
+    return static_cast<const TestTask&>(t).context() % 2 == 0;
+  });
+  EXPECT_EQ(stolen.size(), 5u);
+  for (const auto& t : stolen) {
+    EXPECT_EQ(static_cast<TestTask*>(t.get())->context() % 2, 0u);
+  }
+  EXPECT_EQ(store.ApproxSize(), 15u);
+}
+
+TEST_F(TaskStoreTest, RankedStealPrefersLowLocalityCheapTasks) {
+  TaskStore store(MakeOptions(256, true), Factory(), nullptr, nullptr);
+  std::vector<std::unique_ptr<TaskBase>> batch;
+  // Tasks 0..9: fully remote candidates (lr = 0). Tasks 10..19: half local
+  // (lr = 0.5). Ranked stealing must take the fully remote ones first.
+  for (uint32_t i = 0; i < 10; ++i) {
+    auto t = std::make_unique<TestTask>();
+    t->context() = i;
+    t->set_candidates({100 + i, 200 + i});
+    t->set_to_pull({100 + i, 200 + i});  // all remote
+    batch.push_back(std::move(t));
+  }
+  for (uint32_t i = 10; i < 20; ++i) {
+    auto t = std::make_unique<TestTask>();
+    t->context() = i;
+    t->set_candidates({100 + i, 200 + i});
+    t->set_to_pull({100 + i});  // half local
+    batch.push_back(std::move(t));
+  }
+  store.InsertBatch(std::move(batch));
+  auto stolen = store.StealBatch(10, [](const TaskBase&) { return true; }, /*ranked=*/true);
+  ASSERT_EQ(stolen.size(), 10u);
+  for (const auto& t : stolen) {
+    EXPECT_LT(static_cast<TestTask*>(t.get())->context(), 10u)
+        << "ranked selection should migrate the zero-locality tasks first";
+  }
+}
+
+TEST_F(TaskStoreTest, RankedStealBreaksTiesByMigrationCost) {
+  TaskStore store(MakeOptions(256, true), Factory(), nullptr, nullptr);
+  std::vector<std::unique_ptr<TaskBase>> batch;
+  // Same locality (all remote), different sizes: cheap ones migrate first.
+  for (uint32_t i = 0; i < 6; ++i) {
+    auto t = std::make_unique<TestTask>();
+    t->context() = i;
+    std::vector<VertexId> cand;
+    for (uint32_t j = 0; j <= i * 5; ++j) {
+      cand.push_back(1000 + i * 100 + j);
+    }
+    t->set_candidates(cand);
+    t->set_to_pull(std::move(cand));
+    batch.push_back(std::move(t));
+  }
+  store.InsertBatch(std::move(batch));
+  auto stolen = store.StealBatch(3, [](const TaskBase&) { return true; }, true);
+  ASSERT_EQ(stolen.size(), 3u);
+  for (const auto& t : stolen) {
+    EXPECT_LT(static_cast<TestTask*>(t.get())->context(), 3u)
+        << "ties on locality should break toward the cheapest tasks";
+  }
+}
+
+TEST_F(TaskStoreTest, DrainSerializedCapturesEverythingIncludingSpilled) {
+  TaskStore store(MakeOptions(4, true), Factory(), nullptr, nullptr);
+  std::vector<std::unique_ptr<TaskBase>> batch;
+  for (uint32_t i = 0; i < 32; ++i) {
+    batch.push_back(MakeTestTask(i, {i}));
+  }
+  store.InsertBatch(std::move(batch));
+  const auto blobs = store.DrainSerialized();
+  EXPECT_EQ(blobs.size(), 32u);
+  EXPECT_EQ(store.ApproxSize(), 0u);
+  std::set<uint32_t> ids;
+  for (const auto& blob : blobs) {
+    TestTask t;
+    InArchive in(blob.data(), blob.size());
+    t.Deserialize(in);
+    ids.insert(t.context());
+  }
+  EXPECT_EQ(ids.size(), 32u);
+}
+
+TEST_F(TaskStoreTest, MemoryAccountingBalances) {
+  MemoryTracker memory;
+  {
+    TaskStore store(MakeOptions(4, true), Factory(), nullptr, &memory);
+    std::vector<std::unique_ptr<TaskBase>> batch;
+    for (uint32_t i = 0; i < 32; ++i) {
+      auto t = MakeTestTask(i, {i});
+      t->accounted_bytes = t->ByteSize();
+      memory.Add(t->accounted_bytes);
+      batch.push_back(std::move(t));
+    }
+    store.InsertBatch(std::move(batch));
+    while (auto task = store.TryPop()) {
+      memory.Sub(task->accounted_bytes);
+      task->accounted_bytes = 0;
+    }
+  }
+  EXPECT_EQ(memory.current(), 0) << "leaked accounted bytes";
+}
+
+}  // namespace
+}  // namespace gminer

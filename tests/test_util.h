@@ -1,0 +1,55 @@
+// Shared fixtures for the test suite: small deterministic graphs and a
+// JobConfig tuned for fast in-test cluster runs.
+#ifndef GMINER_TESTS_TEST_UTIL_H_
+#define GMINER_TESTS_TEST_UTIL_H_
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace gminer {
+
+// A hand-built 8-vertex graph with 4 triangles and a 4-clique {0,1,2,3}.
+inline Graph SmallTestGraph() {
+  GraphBuilder b(8);
+  // 4-clique.
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  // Tail: triangle {3,4,5} and a path 5-6-7.
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(3, 5);
+  b.AddEdge(5, 6);
+  b.AddEdge(6, 7);
+  return b.Build();
+}
+
+inline Graph RandomTestGraph(VertexId n, double avg_degree, uint64_t seed) {
+  Rng rng(seed);
+  return GenerateErdosRenyi(n, avg_degree, rng);
+}
+
+// Fast-turnaround config for in-test cluster runs: small queues and caches so
+// spill/backpressure paths are actually exercised.
+inline JobConfig FastTestConfig(int workers = 3, int threads = 2) {
+  JobConfig config;
+  config.num_workers = workers;
+  config.threads_per_worker = threads;
+  config.rcv_cache_capacity = 256;
+  config.task_block_capacity = 64;
+  config.task_buffer_batch = 16;
+  config.progress_interval_ms = 2;
+  config.aggregator_interval_ms = 1;
+  config.seed = 7;
+  return config;
+}
+
+}  // namespace gminer
+
+#endif  // GMINER_TESTS_TEST_UTIL_H_
