@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_bdg.cpp" "bench/CMakeFiles/bench_fig11_bdg.dir/bench_fig11_bdg.cpp.o" "gcc" "bench/CMakeFiles/bench_fig11_bdg.dir/bench_fig11_bdg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gminer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/gminer_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gminer_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/gminer_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gminer_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gminer_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gminer_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gminer_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gminer_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gminer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

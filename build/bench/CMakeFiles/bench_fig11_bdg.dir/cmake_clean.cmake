@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_bdg.dir/bench_fig11_bdg.cpp.o"
+  "CMakeFiles/bench_fig11_bdg.dir/bench_fig11_bdg.cpp.o.d"
+  "bench_fig11_bdg"
+  "bench_fig11_bdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_bdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

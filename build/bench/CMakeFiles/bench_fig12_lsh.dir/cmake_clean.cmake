@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_lsh.dir/bench_fig12_lsh.cpp.o"
+  "CMakeFiles/bench_fig12_lsh.dir/bench_fig12_lsh.cpp.o.d"
+  "bench_fig12_lsh"
+  "bench_fig12_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_stealing.dir/bench_fig13_stealing.cpp.o"
+  "CMakeFiles/bench_fig13_stealing.dir/bench_fig13_stealing.cpp.o.d"
+  "bench_fig13_stealing"
+  "bench_fig13_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

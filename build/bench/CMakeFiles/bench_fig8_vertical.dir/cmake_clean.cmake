@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_vertical.dir/bench_fig8_vertical.cpp.o"
+  "CMakeFiles/bench_fig8_vertical.dir/bench_fig8_vertical.cpp.o.d"
+  "bench_fig8_vertical"
+  "bench_fig8_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_gm.dir/bench_table4_gm.cpp.o"
+  "CMakeFiles/bench_table4_gm.dir/bench_table4_gm.cpp.o.d"
+  "bench_table4_gm"
+  "bench_table4_gm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_gm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

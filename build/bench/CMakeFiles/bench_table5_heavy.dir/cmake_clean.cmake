@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_heavy.dir/bench_table5_heavy.cpp.o"
+  "CMakeFiles/bench_table5_heavy.dir/bench_table5_heavy.cpp.o.d"
+  "bench_table5_heavy"
+  "bench_table5_heavy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_heavy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focused_clustering.dir/focused_clustering.cpp.o"
+  "CMakeFiles/focused_clustering.dir/focused_clustering.cpp.o.d"
+  "focused_clustering"
+  "focused_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focused_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

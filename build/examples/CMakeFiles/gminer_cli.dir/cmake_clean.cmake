@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gminer_cli.dir/gminer_cli.cpp.o"
+  "CMakeFiles/gminer_cli.dir/gminer_cli.cpp.o.d"
+  "gminer_cli"
+  "gminer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gminer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/max_clique.dir/max_clique.cpp.o"
+  "CMakeFiles/max_clique.dir/max_clique.cpp.o.d"
+  "max_clique"
+  "max_clique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/max_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cd.cc" "src/apps/CMakeFiles/gminer_apps.dir/cd.cc.o" "gcc" "src/apps/CMakeFiles/gminer_apps.dir/cd.cc.o.d"
+  "/root/repo/src/apps/dsg.cc" "src/apps/CMakeFiles/gminer_apps.dir/dsg.cc.o" "gcc" "src/apps/CMakeFiles/gminer_apps.dir/dsg.cc.o.d"
+  "/root/repo/src/apps/gc.cc" "src/apps/CMakeFiles/gminer_apps.dir/gc.cc.o" "gcc" "src/apps/CMakeFiles/gminer_apps.dir/gc.cc.o.d"
+  "/root/repo/src/apps/gm.cc" "src/apps/CMakeFiles/gminer_apps.dir/gm.cc.o" "gcc" "src/apps/CMakeFiles/gminer_apps.dir/gm.cc.o.d"
+  "/root/repo/src/apps/kclique.cc" "src/apps/CMakeFiles/gminer_apps.dir/kclique.cc.o" "gcc" "src/apps/CMakeFiles/gminer_apps.dir/kclique.cc.o.d"
+  "/root/repo/src/apps/mcf.cc" "src/apps/CMakeFiles/gminer_apps.dir/mcf.cc.o" "gcc" "src/apps/CMakeFiles/gminer_apps.dir/mcf.cc.o.d"
+  "/root/repo/src/apps/mcf_split.cc" "src/apps/CMakeFiles/gminer_apps.dir/mcf_split.cc.o" "gcc" "src/apps/CMakeFiles/gminer_apps.dir/mcf_split.cc.o.d"
+  "/root/repo/src/apps/quasi_clique.cc" "src/apps/CMakeFiles/gminer_apps.dir/quasi_clique.cc.o" "gcc" "src/apps/CMakeFiles/gminer_apps.dir/quasi_clique.cc.o.d"
+  "/root/repo/src/apps/similarity.cc" "src/apps/CMakeFiles/gminer_apps.dir/similarity.cc.o" "gcc" "src/apps/CMakeFiles/gminer_apps.dir/similarity.cc.o.d"
+  "/root/repo/src/apps/tc.cc" "src/apps/CMakeFiles/gminer_apps.dir/tc.cc.o" "gcc" "src/apps/CMakeFiles/gminer_apps.dir/tc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gminer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/gminer_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gminer_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gminer_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gminer_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gminer_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gminer_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gminer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

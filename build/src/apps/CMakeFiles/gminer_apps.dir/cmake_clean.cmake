@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gminer_apps.dir/cd.cc.o"
+  "CMakeFiles/gminer_apps.dir/cd.cc.o.d"
+  "CMakeFiles/gminer_apps.dir/dsg.cc.o"
+  "CMakeFiles/gminer_apps.dir/dsg.cc.o.d"
+  "CMakeFiles/gminer_apps.dir/gc.cc.o"
+  "CMakeFiles/gminer_apps.dir/gc.cc.o.d"
+  "CMakeFiles/gminer_apps.dir/gm.cc.o"
+  "CMakeFiles/gminer_apps.dir/gm.cc.o.d"
+  "CMakeFiles/gminer_apps.dir/kclique.cc.o"
+  "CMakeFiles/gminer_apps.dir/kclique.cc.o.d"
+  "CMakeFiles/gminer_apps.dir/mcf.cc.o"
+  "CMakeFiles/gminer_apps.dir/mcf.cc.o.d"
+  "CMakeFiles/gminer_apps.dir/mcf_split.cc.o"
+  "CMakeFiles/gminer_apps.dir/mcf_split.cc.o.d"
+  "CMakeFiles/gminer_apps.dir/quasi_clique.cc.o"
+  "CMakeFiles/gminer_apps.dir/quasi_clique.cc.o.d"
+  "CMakeFiles/gminer_apps.dir/similarity.cc.o"
+  "CMakeFiles/gminer_apps.dir/similarity.cc.o.d"
+  "CMakeFiles/gminer_apps.dir/tc.cc.o"
+  "CMakeFiles/gminer_apps.dir/tc.cc.o.d"
+  "libgminer_apps.a"
+  "libgminer_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gminer_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

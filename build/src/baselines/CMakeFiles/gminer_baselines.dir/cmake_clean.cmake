@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gminer_baselines.dir/batch_engine.cc.o"
+  "CMakeFiles/gminer_baselines.dir/batch_engine.cc.o.d"
+  "CMakeFiles/gminer_baselines.dir/bsp_apps.cc.o"
+  "CMakeFiles/gminer_baselines.dir/bsp_apps.cc.o.d"
+  "CMakeFiles/gminer_baselines.dir/bsp_engine.cc.o"
+  "CMakeFiles/gminer_baselines.dir/bsp_engine.cc.o.d"
+  "CMakeFiles/gminer_baselines.dir/embed_engine.cc.o"
+  "CMakeFiles/gminer_baselines.dir/embed_engine.cc.o.d"
+  "CMakeFiles/gminer_baselines.dir/serial.cc.o"
+  "CMakeFiles/gminer_baselines.dir/serial.cc.o.d"
+  "libgminer_baselines.a"
+  "libgminer_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gminer_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

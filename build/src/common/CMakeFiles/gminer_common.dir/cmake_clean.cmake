@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gminer_common.dir/logging.cc.o"
+  "CMakeFiles/gminer_common.dir/logging.cc.o.d"
+  "CMakeFiles/gminer_common.dir/thread_pool.cc.o"
+  "CMakeFiles/gminer_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/gminer_common.dir/timer.cc.o"
+  "CMakeFiles/gminer_common.dir/timer.cc.o.d"
+  "libgminer_common.a"
+  "libgminer_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gminer_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/gminer_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/gminer_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/master.cc" "src/core/CMakeFiles/gminer_core.dir/master.cc.o" "gcc" "src/core/CMakeFiles/gminer_core.dir/master.cc.o.d"
+  "/root/repo/src/core/rcv_cache.cc" "src/core/CMakeFiles/gminer_core.dir/rcv_cache.cc.o" "gcc" "src/core/CMakeFiles/gminer_core.dir/rcv_cache.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/gminer_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/gminer_core.dir/report.cc.o.d"
+  "/root/repo/src/core/task_store.cc" "src/core/CMakeFiles/gminer_core.dir/task_store.cc.o" "gcc" "src/core/CMakeFiles/gminer_core.dir/task_store.cc.o.d"
+  "/root/repo/src/core/worker.cc" "src/core/CMakeFiles/gminer_core.dir/worker.cc.o" "gcc" "src/core/CMakeFiles/gminer_core.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gminer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gminer_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/gminer_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gminer_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gminer_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gminer_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gminer_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gminer_core.dir/cluster.cc.o"
+  "CMakeFiles/gminer_core.dir/cluster.cc.o.d"
+  "CMakeFiles/gminer_core.dir/master.cc.o"
+  "CMakeFiles/gminer_core.dir/master.cc.o.d"
+  "CMakeFiles/gminer_core.dir/rcv_cache.cc.o"
+  "CMakeFiles/gminer_core.dir/rcv_cache.cc.o.d"
+  "CMakeFiles/gminer_core.dir/report.cc.o"
+  "CMakeFiles/gminer_core.dir/report.cc.o.d"
+  "CMakeFiles/gminer_core.dir/task_store.cc.o"
+  "CMakeFiles/gminer_core.dir/task_store.cc.o.d"
+  "CMakeFiles/gminer_core.dir/worker.cc.o"
+  "CMakeFiles/gminer_core.dir/worker.cc.o.d"
+  "libgminer_core.a"
+  "libgminer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gminer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gminer_graph.dir/builder.cc.o"
+  "CMakeFiles/gminer_graph.dir/builder.cc.o.d"
+  "CMakeFiles/gminer_graph.dir/generators.cc.o"
+  "CMakeFiles/gminer_graph.dir/generators.cc.o.d"
+  "CMakeFiles/gminer_graph.dir/graph.cc.o"
+  "CMakeFiles/gminer_graph.dir/graph.cc.o.d"
+  "CMakeFiles/gminer_graph.dir/io.cc.o"
+  "CMakeFiles/gminer_graph.dir/io.cc.o.d"
+  "libgminer_graph.a"
+  "libgminer_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gminer_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgminer_graph.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gminer_lsh.dir/minhash.cc.o"
+  "CMakeFiles/gminer_lsh.dir/minhash.cc.o.d"
+  "libgminer_lsh.a"
+  "libgminer_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gminer_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gminer_metrics.dir/sampler.cc.o"
+  "CMakeFiles/gminer_metrics.dir/sampler.cc.o.d"
+  "libgminer_metrics.a"
+  "libgminer_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gminer_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gminer_metrics.
+# This may be replaced when dependencies are built.

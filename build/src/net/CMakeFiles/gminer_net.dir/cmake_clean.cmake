@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gminer_net.dir/network.cc.o"
+  "CMakeFiles/gminer_net.dir/network.cc.o.d"
+  "libgminer_net.a"
+  "libgminer_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gminer_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gminer_partition.dir/bdg_partitioner.cc.o"
+  "CMakeFiles/gminer_partition.dir/bdg_partitioner.cc.o.d"
+  "CMakeFiles/gminer_partition.dir/hash_partitioner.cc.o"
+  "CMakeFiles/gminer_partition.dir/hash_partitioner.cc.o.d"
+  "libgminer_partition.a"
+  "libgminer_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gminer_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gminer_storage.dir/spill_file.cc.o"
+  "CMakeFiles/gminer_storage.dir/spill_file.cc.o.d"
+  "CMakeFiles/gminer_storage.dir/vertex_table.cc.o"
+  "CMakeFiles/gminer_storage.dir/vertex_table.cc.o.d"
+  "libgminer_storage.a"
+  "libgminer_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gminer_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

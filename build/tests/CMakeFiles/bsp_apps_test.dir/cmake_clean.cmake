@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_apps_test.dir/bsp_apps_test.cpp.o"
+  "CMakeFiles/bsp_apps_test.dir/bsp_apps_test.cpp.o.d"
+  "bsp_apps_test"
+  "bsp_apps_test.pdb"
+  "bsp_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/master_test.dir/master_test.cpp.o"
+  "CMakeFiles/master_test.dir/master_test.cpp.o.d"
+  "master_test"
+  "master_test.pdb"
+  "master_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/master_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcv_cache_test.dir/rcv_cache_test.cpp.o"
+  "CMakeFiles/rcv_cache_test.dir/rcv_cache_test.cpp.o.d"
+  "rcv_cache_test"
+  "rcv_cache_test.pdb"
+  "rcv_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcv_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
