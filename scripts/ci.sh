@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI driver: normal build + full test suite, then optional sanitizer passes.
+#
+#   scripts/ci.sh                 # RelWithDebInfo build + ctest
+#   scripts/ci.sh address         # additionally run the suite under ASan
+#   scripts/ci.sh address thread  # ... ASan then TSan
+#
+# Each sanitizer gets its own build directory (build-asan, build-tsan,
+# build-ubsan) so incremental rebuilds stay warm across runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "${build_dir}" -S . "$@"
+  cmake --build "${build_dir}" -j "$(nproc)"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+}
+
+echo "=== plain build + tests ==="
+run_suite build
+
+for sanitizer in "$@"; do
+  case "${sanitizer}" in
+    address) dir=build-asan ;;
+    thread) dir=build-tsan ;;
+    undefined) dir=build-ubsan ;;
+    *)
+      echo "unknown sanitizer '${sanitizer}' (expected address|thread|undefined)" >&2
+      exit 2
+      ;;
+  esac
+  echo "=== ${sanitizer} sanitizer build + tests ==="
+  run_suite "${dir}" "-DGMINER_SANITIZE=${sanitizer}"
+done

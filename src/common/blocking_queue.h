@@ -4,6 +4,7 @@
 #ifndef GMINER_COMMON_BLOCKING_QUEUE_H_
 #define GMINER_COMMON_BLOCKING_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -39,6 +40,20 @@ class BlockingQueue {
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Blocks up to `timeout` for an item; returns nullopt on timeout or once
+  // the queue is closed and drained.
+  template <typename Rep, typename Period>
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, timeout, [this] { return !items_.empty() || closed_; });
     if (items_.empty()) {
       return std::nullopt;
     }

@@ -57,6 +57,20 @@ struct JobConfig {
   int64_t net_latency_us = 0;
   double net_bandwidth_gbps = 1.0;  // used to express network utilization in %
 
+  // Fault tolerance (§7, DESIGN.md "Fault model & recovery protocol").
+  // Pull reliability is always on: every pull request carries a request id and
+  // is re-sent (with exponential backoff) if no response arrives in time, so
+  // dropped or duplicated messages never wedge the CMQ. The knobs below size
+  // that retry loop; `enable_fault_tolerance` additionally arms the master's
+  // heartbeat-based failure detector and the kAdoptTasks online recovery path
+  // (requires a checkpoint_dir and, with the current seed-level checkpoint
+  // granularity, stealing disabled — Cluster::Run validates this).
+  bool enable_fault_tolerance = false;
+  int heartbeat_timeout_ms = 200;  // silence window before a worker is declared dead
+  int pull_timeout_ms = 200;       // first retry after this; backoff doubles, capped x8
+  int max_pull_retries = 12;       // then the job fails with kNetworkError
+  int adoption_retry_ms = 500;     // master re-issues kAdoptTasks if unacknowledged
+
   // Disk spill location for the task store. Empty = std::filesystem::temp_directory_path().
   std::string spill_dir;
 

@@ -1,6 +1,10 @@
 #include "core/cluster.h"
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
+#include <fstream>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -16,14 +20,107 @@ namespace gminer {
 
 namespace {
 
-std::string CheckpointFile(const std::string& dir, int index) {
-  return dir + "/worker_" + std::to_string(index) + ".tasks";
+bool ProbabilityValid(double p) { return p >= 0.0 && p <= 1.0; }
+
+// Satellite: reject malformed configurations before deploying anything, so a
+// bad job submission fails fast with kConfigError instead of wedging threads
+// or crashing mid-run.
+std::string ValidateRun(const JobConfig& config, const RunOptions& options) {
+  if (config.num_workers <= 0) {
+    return "num_workers must be positive";
+  }
+  if (config.threads_per_worker <= 0) {
+    return "threads_per_worker must be positive";
+  }
+  if (config.task_block_capacity == 0 || config.task_buffer_batch == 0 ||
+      config.pipeline_depth == 0 || config.rcv_cache_capacity == 0) {
+    return "pipeline capacities (task_block_capacity, task_buffer_batch, "
+           "pipeline_depth, rcv_cache_capacity) must be positive";
+  }
+  if (config.progress_interval_ms <= 0 || config.aggregator_interval_ms <= 0) {
+    return "progress_interval_ms and aggregator_interval_ms must be positive";
+  }
+  if (config.pull_timeout_ms <= 0 || config.max_pull_retries < 0) {
+    return "pull_timeout_ms must be positive and max_pull_retries non-negative";
+  }
+  if (config.enable_fault_tolerance) {
+    if (config.heartbeat_timeout_ms < 2 * config.progress_interval_ms) {
+      return "heartbeat_timeout_ms must be at least twice progress_interval_ms "
+             "(one missed report is not a failure)";
+    }
+    if (config.adoption_retry_ms <= 0) {
+      return "adoption_retry_ms must be positive";
+    }
+    if (config.enable_stealing) {
+      return "fault tolerance requires enable_stealing=false: checkpoints are "
+             "seed-granular, so migrated tasks would be lost or double-run on "
+             "failover";
+    }
+  }
+  if (!ProbabilityValid(options.faults.drop_probability) ||
+      !ProbabilityValid(options.faults.duplicate_probability) ||
+      !ProbabilityValid(options.faults.delay_probability)) {
+    return "fault probabilities must lie in [0, 1]";
+  }
+  if (options.faults.delay_min_us < 0 ||
+      options.faults.delay_max_us < options.faults.delay_min_us) {
+    return "fault delay range must satisfy 0 <= delay_min_us <= delay_max_us";
+  }
+  for (const auto& kill : options.faults.kills) {
+    if (kill.worker < 0 || kill.worker >= config.num_workers) {
+      return "fault kill names a worker outside [0, num_workers)";
+    }
+    if (kill.after_messages < 0 && kill.after_seconds < 0.0) {
+      return "fault kill needs a trigger (after_messages or after_seconds)";
+    }
+  }
+  if (!options.faults.kills.empty()) {
+    if (!config.enable_fault_tolerance) {
+      return "fault kills require enable_fault_tolerance=true (nobody would "
+             "detect the death)";
+    }
+    if (options.checkpoint_dir.empty()) {
+      return "fault kills require a checkpoint_dir to recover the dead "
+             "worker's tasks from";
+    }
+  }
+  if (!options.faults.blackouts.empty() && config.enable_stealing) {
+    return "blackouts require enable_stealing=false: a migrated task batch "
+           "swallowed by a blackout window is unrecoverable";
+  }
+  if (!options.recover_assignment.empty() &&
+      options.recover_assignment.size() != static_cast<size_t>(config.num_workers)) {
+    return "recover_assignment size must equal num_workers";
+  }
+  for (const int source : options.recover_assignment) {
+    if (source < 0 || source >= config.num_workers) {
+      return "recover_assignment entry outside [0, num_workers)";
+    }
+  }
+  if (!options.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    const std::string probe = options.checkpoint_dir + "/.probe";
+    std::ofstream out(probe, std::ios::trunc);
+    if (ec || !out.good()) {
+      return "checkpoint_dir is not writable: " + options.checkpoint_dir;
+    }
+    out.close();
+    std::filesystem::remove(probe, ec);
+  }
+  return {};
 }
 
 }  // namespace
 
 JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) {
   JobResult result;
+
+  if (std::string error = ValidateRun(config_, options); !error.empty()) {
+    GM_LOG_ERROR << "invalid job submission: " << error;
+    result.status = JobStatus::kConfigError;
+    return result;
+  }
 
   // --- Partitioning phase (Fig. 11 reports it separately) ---
   WallTimer partition_timer;
@@ -41,6 +138,7 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
 
   // --- Deployment ---
   ClusterState state;
+  state.InitRedirect(config_.num_workers);
   std::vector<std::unique_ptr<WorkerCounters>> counters;
   std::vector<WorkerCounters*> counter_ptrs;
   counters.reserve(static_cast<size_t>(config_.num_workers));
@@ -49,8 +147,12 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
     counter_ptrs.push_back(counters.back().get());
   }
   counter_ptrs.push_back(nullptr);  // master endpoint: no accounting
+  std::unique_ptr<FaultInjector> injector;
+  if (!options.faults.Empty()) {
+    injector = std::make_unique<FaultInjector>(options.faults);
+  }
   Network net(config_.num_workers + 1, counter_ptrs, config_.net_latency_us > 0,
-              config_.net_bandwidth_gbps, config_.net_latency_us);
+              config_.net_bandwidth_gbps, config_.net_latency_us, injector.get());
 
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(static_cast<size_t>(config_.num_workers));
@@ -59,10 +161,43 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
         std::make_unique<Worker>(i, config_, &net, &state, counters[i].get(), &job));
     workers.back()->LoadPartition(g, owner);
     if (!options.checkpoint_dir.empty()) {
-      std::filesystem::create_directories(options.checkpoint_dir);
-      workers.back()->set_checkpoint_path(CheckpointFile(options.checkpoint_dir, i));
+      workers.back()->set_checkpoint_path(CheckpointTaskFile(options.checkpoint_dir, i));
     }
   }
+
+  // Kill infrastructure: one idempotent handler shared by the injector's
+  // message-count trigger, the timer threads below, and the master's failure
+  // detector. Fencing is synchronous (a zombie must not send or receive
+  // another message); reaping joins the dead worker's threads and rolls its
+  // residual tasks out of the live count, which can block, so it runs async.
+  std::vector<std::atomic<bool>> kill_claimed(static_cast<size_t>(config_.num_workers));
+  std::atomic<bool> accepting_kills{true};
+  std::mutex reaper_mutex;
+  std::vector<std::thread> reapers;
+  const auto kill_worker = [&](WorkerId w) {
+    if (w < 0 || w >= config_.num_workers ||
+        !accepting_kills.load(std::memory_order_acquire) ||
+        kill_claimed[static_cast<size_t>(w)].exchange(true, std::memory_order_acq_rel)) {
+      return;
+    }
+    // Order matters: the failover must be pending before the reaper can pull
+    // the dead worker's residual out of live_tasks, or the master could see
+    // "no work left" mid-failover and finish the job without the adoption.
+    state.pending_failovers.fetch_add(1, std::memory_order_acq_rel);
+    state.MarkKilled(w);
+    net.MarkDead(w);
+    Worker* worker = workers[static_cast<size_t>(w)].get();
+    worker->Kill();
+    std::lock_guard<std::mutex> lock(reaper_mutex);
+    reapers.emplace_back([worker] {
+      worker->Join();
+      const int64_t residual = worker->ReapAccounting();
+      GM_LOG_INFO << "worker " << worker->id() << " reaped, " << residual
+                  << " residual task(s) returned to the checkpoint";
+    });
+  };
+  state.kill_worker = kill_worker;
+  net.SetKillHandler(kill_worker);
 
   // Recovery: load checkpointed seed batches instead of generating seeds.
   std::vector<std::vector<std::vector<uint8_t>>> recovered(
@@ -73,15 +208,27 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
       const int source = options.recover_assignment.empty()
                              ? i
                              : options.recover_assignment[static_cast<size_t>(i)];
-      const std::string path = CheckpointFile(options.recover_dir, source);
-      if (std::filesystem::exists(path)) {
-        // Checkpoint files must survive recovery (a second failure may need
-        // them), so read a copy rather than consuming the file.
-        const std::string scratch = path + ".recover";
-        std::filesystem::copy_file(path, scratch,
-                                   std::filesystem::copy_options::overwrite_existing);
-        int64_t bytes = 0;
-        recovered[static_cast<size_t>(i)] = ReadSpillBlock(scratch, &bytes);
+      const std::string path = CheckpointTaskFile(options.recover_dir, source);
+      if (!std::filesystem::exists(path)) {
+        // Silently seeding a worker with nothing would drop that partition's
+        // results: a missing checkpoint is data loss, not an empty worker.
+        GM_LOG_ERROR << "recovery failed: missing checkpoint " << path;
+        result.status = JobStatus::kCheckpointError;
+        return result;
+      }
+      // Checkpoint files must survive recovery (a second failure may need
+      // them), so read a copy rather than consuming the file.
+      const std::string scratch = path + ".recover";
+      std::filesystem::copy_file(path, scratch,
+                                 std::filesystem::copy_options::overwrite_existing);
+      std::string error;
+      if (!TryReadSpillBlock(scratch, &recovered[static_cast<size_t>(i)], nullptr,
+                             &error)) {
+        GM_LOG_ERROR << "recovery failed: " << error;
+        std::error_code ec;
+        std::filesystem::remove(scratch, ec);
+        result.status = JobStatus::kCheckpointError;
+        return result;
       }
     }
   }
@@ -108,10 +255,66 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
     workers[static_cast<size_t>(i)]->Start(
         recovering ? &recovered[static_cast<size_t>(i)] : nullptr);
   }
-  Master master(config_, &net, &state, &job);
+
+  // Timer threads for wall-clock kill triggers.
+  std::atomic<bool> job_done{false};
+  std::vector<std::thread> kill_timers;
+  for (const auto& kill : options.faults.kills) {
+    if (kill.after_seconds <= 0.0) {
+      continue;
+    }
+    kill_timers.emplace_back([&, kill] {
+      // With after_seeding, the countdown starts once the victim's seed
+      // checkpoint is durable — a kill must never race the checkpoint the
+      // adopter recovers from.
+      if (kill.after_seeding) {
+        while (!workers[static_cast<size_t>(kill.worker)]->seeding_done() &&
+               !job_done.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+      const int64_t target_ns =
+          MonotonicNanos() + static_cast<int64_t>(kill.after_seconds * 1e9);
+      while (MonotonicNanos() < target_ns && !job_done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (!job_done.load(std::memory_order_acquire)) {
+        kill_worker(kill.worker);
+      }
+    });
+  }
+
+  Master master(config_, &net, &state, &job, options.checkpoint_dir,
+                /*bounded_shutdown=*/injector != nullptr || config_.enable_fault_tolerance);
   result.final_aggregate = master.Run();
-  for (auto& worker : workers) {
-    worker->Join();
+  job_done.store(true, std::memory_order_release);
+  for (auto& t : kill_timers) {
+    t.join();
+  }
+  // Late kill triggers (a worker's last sends racing shutdown) are ignored
+  // from here on; every remaining worker joins normally below.
+  accepting_kills.store(false, std::memory_order_release);
+  // Closing the network unblocks every listener (they outlive the shutdown
+  // handshake so they can re-ack re-sent kShutdowns) and counts any messages
+  // still in flight as dropped, keeping the accounting balanced.
+  net.Close();
+  while (true) {
+    std::vector<std::thread> batch;
+    {
+      std::lock_guard<std::mutex> lock(reaper_mutex);
+      batch.swap(reapers);
+    }
+    if (batch.empty()) {
+      break;
+    }
+    for (auto& t : batch) {
+      t.join();
+    }
+  }
+  for (int i = 0; i < config_.num_workers; ++i) {
+    if (!kill_claimed[static_cast<size_t>(i)].load(std::memory_order_acquire)) {
+      workers[static_cast<size_t>(i)]->Join();
+    }
   }
   result.elapsed_seconds = job_timer.ElapsedSeconds();
 

@@ -12,6 +12,7 @@
 #include "core/job.h"
 #include "core/job_result.h"
 #include "graph/graph.h"
+#include "net/fault.h"
 
 namespace gminer {
 
@@ -30,6 +31,11 @@ struct RunOptions {
   // independent, so any worker can re-run any checkpointed task). Empty =
   // identity mapping.
   std::vector<int> recover_assignment;
+
+  // Deterministic fault injection on the simulated network (net/fault.h):
+  // message drops / duplicates / delays, endpoint blackouts, worker kills.
+  // Empty() = no injector is installed.
+  FaultPlan faults;
 };
 
 class Cluster {

@@ -7,8 +7,11 @@
 #define GMINER_CORE_CLUSTER_STATE_H_
 
 #include <atomic>
+#include <functional>
+#include <memory>
 
 #include "core/job_result.h"
+#include "graph/types.h"
 #include "metrics/memory_tracker.h"
 
 namespace gminer {
@@ -28,6 +31,66 @@ struct ClusterState {
 
   MemoryTracker memory;
 
+  // Failover routing: pulls for vertices owned by worker w are sent to
+  // Redirect(w). Identity until the master reassigns a dead worker's
+  // ownership to its adopter. Uninitialized (standalone worker/master tests)
+  // behaves as identity.
+  void InitRedirect(int num_workers) {
+    redirect_size_ = num_workers;
+    redirect_ = std::make_unique<std::atomic<WorkerId>[]>(static_cast<size_t>(num_workers));
+    killed_ = std::make_unique<std::atomic<bool>[]>(static_cast<size_t>(num_workers));
+    for (int w = 0; w < num_workers; ++w) {
+      redirect_[w].store(w, std::memory_order_relaxed);
+      killed_[w].store(false, std::memory_order_relaxed);
+    }
+  }
+
+  // Kill visibility for the master's fast-path failure detection: the kill
+  // handler marks the worker the instant it is fenced, so the master need not
+  // wait out the heartbeat window for injector- or timer-triggered kills.
+  void MarkKilled(WorkerId w) {
+    if (killed_ != nullptr && w >= 0 && w < redirect_size_) {
+      killed_[w].store(true, std::memory_order_release);
+    }
+  }
+  bool WasKilled(WorkerId w) const {
+    return killed_ != nullptr && w >= 0 && w < redirect_size_ &&
+           killed_[w].load(std::memory_order_acquire);
+  }
+
+  // Deaths observed (by the kill handler) but not yet recovered (kAdoptDone).
+  // JobComplete must see zero here: when a worker dies, its residual tasks
+  // are reaped out of live_tasks before the master has issued the adoption,
+  // so live_tasks alone can transiently read "all work done" mid-failover.
+  std::atomic<int> pending_failovers{0};
+
+  WorkerId Redirect(WorkerId w) const {
+    if (redirect_ == nullptr || w < 0 || w >= redirect_size_) {
+      return w;
+    }
+    // Follow chains (an adopter that itself died), bounded by the table size.
+    for (int hop = 0; hop < redirect_size_; ++hop) {
+      const WorkerId next = redirect_[w].load(std::memory_order_acquire);
+      if (next == w) {
+        return w;
+      }
+      w = next;
+    }
+    return w;
+  }
+
+  void SetRedirect(WorkerId dead, WorkerId adopter) {
+    if (redirect_ != nullptr && dead >= 0 && dead < redirect_size_) {
+      redirect_[dead].store(adopter, std::memory_order_release);
+    }
+  }
+
+  // Installed by the deployment (Cluster::Run): fences the endpoint in the
+  // network, halts the worker's pipeline, and reaps its residual task
+  // accounting. Invoked by the fault injector's kill trigger and by the
+  // master's failure detector; must be idempotent.
+  std::function<void(WorkerId)> kill_worker;
+
   void Cancel(JobStatus reason) {
     int expected = static_cast<int>(JobStatus::kOk);
     status.compare_exchange_strong(expected, static_cast<int>(reason));
@@ -35,6 +98,11 @@ struct ClusterState {
   }
 
   JobStatus final_status() const { return static_cast<JobStatus>(status.load()); }
+
+ private:
+  std::unique_ptr<std::atomic<WorkerId>[]> redirect_;
+  std::unique_ptr<std::atomic<bool>[]> killed_;
+  int redirect_size_ = 0;
 };
 
 }  // namespace gminer

@@ -14,8 +14,12 @@ namespace gminer {
 
 enum class JobStatus {
   kOk = 0,
-  kOutOfMemory = 1,  // the "x" entries of Tables 1 and 3
-  kTimeout = 2,      // the "-" (>24h) entries, scaled to the configured budget
+  kOutOfMemory = 1,     // the "x" entries of Tables 1 and 3
+  kTimeout = 2,         // the "-" (>24h) entries, scaled to the configured budget
+  kConfigError = 3,     // invalid JobConfig / RunOptions, rejected before deployment
+  kCheckpointError = 4, // corrupted or truncated checkpoint during recovery
+  kNetworkError = 5,    // a pull exhausted its retries (partition never healed)
+  kWorkerLost = 6,      // worker died with no checkpoint to recover from
 };
 
 inline const char* JobStatusName(JobStatus s) {
@@ -26,6 +30,14 @@ inline const char* JobStatusName(JobStatus s) {
       return "OOM";
     case JobStatus::kTimeout:
       return "TIMEOUT";
+    case JobStatus::kConfigError:
+      return "CONFIG_ERROR";
+    case JobStatus::kCheckpointError:
+      return "CHECKPOINT_ERROR";
+    case JobStatus::kNetworkError:
+      return "NETWORK_ERROR";
+    case JobStatus::kWorkerLost:
+      return "WORKER_LOST";
   }
   return "?";
 }

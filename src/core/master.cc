@@ -1,25 +1,52 @@
 #include "core/master.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "common/serialize.h"
 #include "common/timer.h"
+#include "storage/spill_file.h"
 
 namespace gminer {
 
-Master::Master(const JobConfig& config, Network* net, ClusterState* state, JobBase* job)
+namespace {
+
+// Shutdown commands lost to injected faults are re-broadcast at this period.
+constexpr int64_t kShutdownResendNs = 200'000'000;
+
+}  // namespace
+
+Master::Master(const JobConfig& config, Network* net, ClusterState* state, JobBase* job,
+               std::string checkpoint_dir, bool bounded_shutdown)
     : config_(config),
       net_(net),
       state_(state),
       job_(job),
       master_id_(config.num_workers),
+      checkpoint_dir_(std::move(checkpoint_dir)),
+      bounded_shutdown_(bounded_shutdown),
       progress_(static_cast<size_t>(config.num_workers)),
+      health_(static_cast<size_t>(config.num_workers)),
+      adopter_of_(static_cast<size_t>(config.num_workers), kInvalidWorker),
       latest_partials_(static_cast<size_t>(config.num_workers)) {}
 
 bool Master::JobComplete() const {
+  // pending_adoptions_ keeps the job alive between a worker's death and the
+  // adopter's ack: live_tasks can legitimately touch zero in that window even
+  // though the dead worker's checkpointed tasks are still owed a re-run.
   return seeded_workers_ == config_.num_workers &&
-         state_->live_tasks.load(std::memory_order_relaxed) == 0;
+         state_->live_tasks.load(std::memory_order_relaxed) == 0 &&
+         pending_adoptions_.empty() &&
+         state_->pending_failovers.load(std::memory_order_acquire) == 0;
+}
+
+int Master::LiveWorkers() const {
+  int live = 0;
+  for (const auto& h : health_) {
+    live += h.dead ? 0 : 1;
+  }
+  return live;
 }
 
 void Master::CheckBudgets() {
@@ -46,6 +73,11 @@ void Master::HandleProgress(WorkerId from, InArchive in) {
   p.inactive = in.Read<uint64_t>();
   p.ready = in.Read<uint64_t>();
   p.local_tasks = in.Read<int64_t>();
+  const uint8_t seeded = in.Read<uint8_t>();  // piggybacked seeding status
+  if (seeded != 0 && IsWorker(from) && !health_[static_cast<size_t>(from)].seeded) {
+    health_[static_cast<size_t>(from)].seeded = true;
+    ++seeded_workers_;
+  }
 }
 
 void Master::HandleStealRequest(WorkerId requester) {
@@ -54,7 +86,7 @@ void Master::HandleStealRequest(WorkerId requester) {
   WorkerId victim = kInvalidWorker;
   uint64_t victim_load = static_cast<uint64_t>(config_.steal_batch);
   for (int w = 0; w < config_.num_workers; ++w) {
-    if (w == requester) {
+    if (w == requester || health_[static_cast<size_t>(w)].dead) {
       continue;
     }
     if (progress_[static_cast<size_t>(w)].inactive > victim_load) {
@@ -98,52 +130,240 @@ void Master::BroadcastGlobal() {
   OutArchive global;
   fold->SerializeGlobal(global);
   for (int w = 0; w < config_.num_workers; ++w) {
-    net_->Send(master_id_, w, MessageType::kAggGlobal, global.buffer());
+    if (!health_[static_cast<size_t>(w)].dead) {
+      net_->Send(master_id_, w, MessageType::kAggGlobal, global.buffer());
+    }
+  }
+}
+
+void Master::CheckFailures(int64_t now_ns) {
+  const int64_t timeout_ns = static_cast<int64_t>(config_.heartbeat_timeout_ms) * 1'000'000;
+  for (int w = 0; w < config_.num_workers; ++w) {
+    auto& h = health_[static_cast<size_t>(w)];
+    if (h.dead) {
+      continue;
+    }
+    // Fast path: the kill handler already fenced the worker (injector or
+    // timer trigger) — no need to wait out the heartbeat window. The timeout
+    // path remains for failures nobody announces (e.g. a blacked-out worker).
+    if (state_->WasKilled(w) || now_ns - h.last_seen_ns > timeout_ns) {
+      DeclareDead(w, now_ns);
+    }
+  }
+}
+
+void Master::DeclareDead(WorkerId w, int64_t now_ns) {
+  auto& h = health_[static_cast<size_t>(w)];
+  const int64_t silent_ns = now_ns - h.last_seen_ns;
+  GM_LOG_WARN << "master: worker " << w << " silent for " << silent_ns / 1'000'000
+              << " ms, declaring dead";
+  h.dead = true;
+  if (!h.seeded) {
+    // Its seeds (if any were generated before the crash) come back through
+    // the checkpoint, not through a kSeedDone that will never arrive.
+    h.seeded = true;
+    ++seeded_workers_;
+  }
+  if (WorkerCounters* c = net_->counter(w)) {
+    const int64_t interval_ns =
+        static_cast<int64_t>(std::max(1, config_.progress_interval_ms)) * 1'000'000;
+    c->heartbeat_misses.fetch_add(std::max<int64_t>(1, silent_ns / interval_ns),
+                                  std::memory_order_relaxed);
+  }
+  if (state_->kill_worker) {
+    state_->kill_worker(w);  // fence the endpoint, halt the pipeline, reap
+  }
+  latest_partials_[static_cast<size_t>(w)].clear();  // the adopter re-derives it
+  if (checkpoint_dir_.empty()) {
+    GM_LOG_ERROR << "master: no checkpoint dir, cannot recover worker " << w;
+    state_->Cancel(JobStatus::kWorkerLost);
+    return;
+  }
+  IssueAdoption(w, now_ns);
+  // Re-home any earlier casualty whose adopter just died: its checkpoint file
+  // is still on disk, so a fresh adopter can take over from scratch.
+  for (int d = 0; d < config_.num_workers; ++d) {
+    if (d != w && health_[static_cast<size_t>(d)].dead &&
+        adopter_of_[static_cast<size_t>(d)] == w) {
+      IssueAdoption(d, now_ns);
+    }
+  }
+}
+
+WorkerId Master::PickAdopter() const {
+  // Least-loaded survivor by last reported resident-task count.
+  WorkerId best = kInvalidWorker;
+  int64_t best_load = 0;
+  for (int w = 0; w < config_.num_workers; ++w) {
+    if (health_[static_cast<size_t>(w)].dead) {
+      continue;
+    }
+    const int64_t load = progress_[static_cast<size_t>(w)].local_tasks;
+    if (best == kInvalidWorker || load < best_load) {
+      best = w;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+void Master::IssueAdoption(WorkerId dead, int64_t now_ns) {
+  const WorkerId adopter = PickAdopter();
+  if (adopter == kInvalidWorker) {
+    GM_LOG_ERROR << "master: no surviving worker to adopt worker " << dead;
+    state_->Cancel(JobStatus::kWorkerLost);
+    return;
+  }
+  adopter_of_[static_cast<size_t>(dead)] = adopter;
+  pending_adoptions_.erase(
+      std::remove_if(pending_adoptions_.begin(), pending_adoptions_.end(),
+                     [dead](const PendingAdoption& p) { return p.dead == dead; }),
+      pending_adoptions_.end());
+  pending_adoptions_.push_back(
+      {dead, adopter,
+       now_ns + static_cast<int64_t>(config_.adoption_retry_ms) * 1'000'000});
+  GM_LOG_INFO << "master: worker " << adopter << " adopts dead worker " << dead;
+  OutArchive out;
+  out.Write<WorkerId>(dead);
+  out.WriteString(CheckpointTaskFile(checkpoint_dir_, dead));
+  net_->Send(master_id_, adopter, MessageType::kAdoptTasks, out.TakeBuffer());
+}
+
+void Master::RetryAdoptions(int64_t now_ns) {
+  for (auto& p : pending_adoptions_) {
+    if (p.deadline_ns > now_ns || health_[static_cast<size_t>(p.adopter)].dead) {
+      continue;  // a dead adopter's wards were re-homed by DeclareDead
+    }
+    p.deadline_ns = now_ns + static_cast<int64_t>(config_.adoption_retry_ms) * 1'000'000;
+    GM_LOG_WARN << "master: re-sending kAdoptTasks for worker " << p.dead << " to worker "
+                << p.adopter;
+    OutArchive out;
+    out.Write<WorkerId>(p.dead);
+    out.WriteString(CheckpointTaskFile(checkpoint_dir_, p.dead));
+    net_->Send(master_id_, p.adopter, MessageType::kAdoptTasks, out.TakeBuffer());
+  }
+}
+
+void Master::HandleAdoptDone(InArchive in) {
+  const WorkerId dead = in.Read<WorkerId>();
+  in.Read<uint64_t>();  // adopted-task count, informational
+  pending_adoptions_.erase(
+      std::remove_if(pending_adoptions_.begin(), pending_adoptions_.end(),
+                     [dead](const PendingAdoption& p) { return p.dead == dead; }),
+      pending_adoptions_.end());
+  if (IsWorker(dead) && !health_[static_cast<size_t>(dead)].recovered) {
+    health_[static_cast<size_t>(dead)].recovered = true;
+    // Balance the kill handler's increment — only if it ran for this worker
+    // (a heartbeat-detected death with no kill handler never incremented).
+    if (state_->WasKilled(dead)) {
+      state_->pending_failovers.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+void Master::Dispatch(NetMessage& msg) {
+  switch (msg.type) {
+    case MessageType::kProgressReport:
+      HandleProgress(msg.from, InArchive(std::move(msg.payload)));
+      break;
+    case MessageType::kSeedDone:
+      if (IsWorker(msg.from) && !health_[static_cast<size_t>(msg.from)].seeded) {
+        health_[static_cast<size_t>(msg.from)].seeded = true;
+        ++seeded_workers_;
+      }
+      break;
+    case MessageType::kStealRequest:
+      HandleStealRequest(msg.from);
+      break;
+    case MessageType::kAggPartial:
+      HandleAggPartial(msg.from, InArchive(std::move(msg.payload)));
+      break;
+    case MessageType::kAdoptDone:
+      HandleAdoptDone(InArchive(std::move(msg.payload)));
+      break;
+    default:
+      break;
   }
 }
 
 std::vector<uint8_t> Master::Run() {
   start_ns_ = MonotonicNanos();
+  for (auto& h : health_) {
+    h.last_seen_ns = start_ns_;  // grace period measured from job start
+  }
+  const auto tick = std::chrono::milliseconds(std::max(1, config_.progress_interval_ms));
   // Main control loop. Progress reports arrive every few milliseconds from
-  // every worker, so blocking receives double as budget-check ticks.
+  // every worker and double as heartbeats; the timed receive keeps failure
+  // detection and budget checks ticking even when the cluster goes silent.
   while (!JobComplete() && !state_->cancelled.load(std::memory_order_relaxed)) {
-    std::optional<NetMessage> msg = net_->Receive(master_id_);
-    if (!msg.has_value()) {
+    std::optional<NetMessage> msg = net_->ReceiveFor(master_id_, tick);
+    const int64_t now = MonotonicNanos();
+    if (msg.has_value()) {
+      const bool from_worker = IsWorker(msg->from);
+      if (!from_worker || !health_[static_cast<size_t>(msg->from)].dead) {
+        if (from_worker) {
+          health_[static_cast<size_t>(msg->from)].last_seen_ns = now;
+        }
+        Dispatch(*msg);
+      }
+      // Zombie traffic (sent before the fence) is dropped on the floor.
+    } else if (net_->IsClosed(master_id_)) {
       break;  // network closed externally
     }
-    switch (msg->type) {
-      case MessageType::kProgressReport:
-        HandleProgress(msg->from, InArchive(std::move(msg->payload)));
-        break;
-      case MessageType::kSeedDone:
-        ++seeded_workers_;
-        break;
-      case MessageType::kStealRequest:
-        HandleStealRequest(msg->from);
-        break;
-      case MessageType::kAggPartial:
-        HandleAggPartial(msg->from, InArchive(std::move(msg->payload)));
-        break;
-      default:
-        break;
+    if (config_.enable_fault_tolerance) {
+      CheckFailures(now);
+      RetryAdoptions(now);
     }
     CheckBudgets();
   }
 
-  // Shutdown: each worker acknowledges with a final aggregator partial.
-  for (int w = 0; w < config_.num_workers; ++w) {
-    net_->Send(master_id_, w, MessageType::kShutdown, {});
-  }
+  // Shutdown: each surviving worker acknowledges with a final aggregator
+  // partial. Under fault injection the command or the ack can be lost, so
+  // un-acked workers are re-prodded and (when bounded) the wait has a grace
+  // deadline rather than hanging the job.
+  std::vector<bool> acked(static_cast<size_t>(config_.num_workers), false);
+  const auto broadcast_shutdown = [&] {
+    for (int w = 0; w < config_.num_workers; ++w) {
+      if (!health_[static_cast<size_t>(w)].dead && !acked[static_cast<size_t>(w)]) {
+        net_->Send(master_id_, w, MessageType::kShutdown, {});
+      }
+    }
+  };
+  broadcast_shutdown();
+  const int64_t shutdown_start_ns = MonotonicNanos();
+  const int64_t grace_ns =
+      bounded_shutdown_
+          ? std::max<int64_t>(2 * config_.heartbeat_timeout_ms, 2000) * 1'000'000
+          : 0;
+  int64_t resend_at_ns = shutdown_start_ns + kShutdownResendNs;
   int finals = 0;
-  while (finals < config_.num_workers) {
-    std::optional<NetMessage> msg = net_->Receive(master_id_);
+  while (finals < LiveWorkers()) {
+    std::optional<NetMessage> msg = net_->ReceiveFor(master_id_, tick);
+    const int64_t now = MonotonicNanos();
     if (!msg.has_value()) {
-      break;
+      if (net_->IsClosed(master_id_)) {
+        break;
+      }
+      if (grace_ns > 0 && now - shutdown_start_ns > grace_ns) {
+        GM_LOG_WARN << "master: shutdown grace elapsed with " << LiveWorkers() - finals
+                    << " final report(s) missing";
+        break;
+      }
+      if (now >= resend_at_ns) {
+        broadcast_shutdown();
+        resend_at_ns = now + kShutdownResendNs;
+      }
+      continue;
+    }
+    if (IsWorker(msg->from) && health_[static_cast<size_t>(msg->from)].dead) {
+      continue;
     }
     if (msg->type == MessageType::kAggPartial) {
       const uint8_t final_flag = msg->payload.empty() ? 0 : msg->payload[0];
-      HandleAggPartial(msg->from, InArchive(std::move(msg->payload)));
-      if (final_flag != 0) {
+      const WorkerId from = msg->from;
+      HandleAggPartial(from, InArchive(std::move(msg->payload)));
+      if (final_flag != 0 && IsWorker(from) && !acked[static_cast<size_t>(from)]) {
+        acked[static_cast<size_t>(from)] = true;
         ++finals;
       }
     }

@@ -2,10 +2,20 @@
 // progress reports, schedules task stealing (REQ → MIGRATE → tasks / No_Task),
 // folds aggregator partials into the global value it broadcasts back, detects
 // termination, and enforces the time / memory budgets.
+//
+// With fault tolerance enabled it is also the failure detector: every message
+// from a worker doubles as a heartbeat, and a worker silent for longer than
+// heartbeat_timeout_ms is declared dead — fenced via ClusterState::kill_worker
+// and, when a checkpoint directory exists, recovered online by sending
+// kAdoptTasks to a surviving worker (DESIGN.md "Fault model & recovery
+// protocol"). The job is not considered complete while an adoption is still
+// in flight, so live_tasks hitting zero between a death and its recovery
+// cannot end the job early.
 #ifndef GMINER_CORE_MASTER_H_
 #define GMINER_CORE_MASTER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.h"
@@ -17,7 +27,12 @@ namespace gminer {
 
 class Master {
  public:
-  Master(const JobConfig& config, Network* net, ClusterState* state, JobBase* job);
+  // `checkpoint_dir` names the seed-checkpoint directory used for online
+  // task adoption (empty = a dead worker fails the job with kWorkerLost).
+  // `bounded_shutdown` bounds the final-partial wait, for runs where faults
+  // may have eaten shutdown traffic.
+  Master(const JobConfig& config, Network* net, ClusterState* state, JobBase* job,
+         std::string checkpoint_dir = {}, bool bounded_shutdown = false);
 
   // Runs the control loop until the job completes or a budget trips, then
   // shuts the workers down and collects their final aggregator partials.
@@ -25,25 +40,55 @@ class Master {
   std::vector<uint8_t> Run();
 
  private:
+  void Dispatch(NetMessage& msg);
   void HandleProgress(WorkerId from, InArchive in);
   void HandleStealRequest(WorkerId requester);
   void HandleAggPartial(WorkerId from, InArchive in);
+  void HandleAdoptDone(InArchive in);
   void BroadcastGlobal();
   bool JobComplete() const;
   void CheckBudgets();
+
+  // Failure detection and recovery.
+  bool IsWorker(WorkerId w) const { return w >= 0 && w < config_.num_workers; }
+  void CheckFailures(int64_t now_ns);
+  void DeclareDead(WorkerId w, int64_t now_ns);
+  void IssueAdoption(WorkerId dead, int64_t now_ns);
+  void RetryAdoptions(int64_t now_ns);
+  WorkerId PickAdopter() const;
+  int LiveWorkers() const;
 
   const JobConfig& config_;
   Network* net_;
   ClusterState* state_;
   JobBase* job_;
   const WorkerId master_id_;
+  const std::string checkpoint_dir_;
+  const bool bounded_shutdown_;
 
   struct WorkerProgress {
     uint64_t inactive = 0;
     uint64_t ready = 0;
     int64_t local_tasks = 0;
   };
+  struct WorkerHealth {
+    int64_t last_seen_ns = 0;
+    bool dead = false;
+    bool seeded = false;
+    bool recovered = false;  // first kAdoptDone for this worker processed
+  };
+  // An issued kAdoptTasks awaiting its kAdoptDone ack; re-sent after
+  // adoption_retry_ms (the adopter handles duplicates idempotently).
+  struct PendingAdoption {
+    WorkerId dead = kInvalidWorker;
+    WorkerId adopter = kInvalidWorker;
+    int64_t deadline_ns = 0;
+  };
+
   std::vector<WorkerProgress> progress_;
+  std::vector<WorkerHealth> health_;
+  std::vector<WorkerId> adopter_of_;  // dead worker → its current adopter
+  std::vector<PendingAdoption> pending_adoptions_;
   std::vector<std::vector<uint8_t>> latest_partials_;  // per worker, cumulative
   int seeded_workers_ = 0;
   int64_t start_ns_ = 0;

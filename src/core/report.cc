@@ -13,6 +13,12 @@ void AppendCounters(std::ostringstream& out, const CountersSnapshot& c) {
   out << "{\"net_bytes_sent\":" << c.net_bytes_sent
       << ",\"net_bytes_received\":" << c.net_bytes_received
       << ",\"net_messages\":" << c.net_messages
+      << ",\"net_messages_delivered\":" << c.net_messages_delivered
+      << ",\"net_messages_dropped\":" << c.net_messages_dropped
+      << ",\"net_bytes_dropped\":" << c.net_bytes_dropped
+      << ",\"net_messages_duplicated\":" << c.net_messages_duplicated
+      << ",\"net_bytes_duplicated\":" << c.net_bytes_duplicated
+      << ",\"net_messages_delayed\":" << c.net_messages_delayed
       << ",\"pull_requests\":" << c.pull_requests
       << ",\"pull_responses\":" << c.pull_responses << ",\"cache_hits\":" << c.cache_hits
       << ",\"cache_misses\":" << c.cache_misses
@@ -23,7 +29,13 @@ void AppendCounters(std::ostringstream& out, const CountersSnapshot& c) {
       << ",\"tasks_stolen_in\":" << c.tasks_stolen_in
       << ",\"tasks_stolen_out\":" << c.tasks_stolen_out
       << ",\"update_rounds\":" << c.update_rounds
-      << ",\"compute_busy_ns\":" << c.compute_busy_ns << "}";
+      << ",\"compute_busy_ns\":" << c.compute_busy_ns
+      << ",\"pull_retries\":" << c.pull_retries
+      << ",\"duplicate_pull_responses\":" << c.duplicate_pull_responses
+      << ",\"heartbeat_misses\":" << c.heartbeat_misses
+      << ",\"failovers\":" << c.failovers
+      << ",\"tasks_adopted\":" << c.tasks_adopted
+      << ",\"recovery_wall_ns\":" << c.recovery_wall_ns << "}";
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -29,14 +30,14 @@ class WorkerUpdateContext : public UpdateContext {
   WorkerUpdateContext(Worker* worker, Rng rng) : worker_(worker), rng_(std::move(rng)) {}
 
   const VertexRecord* GetVertex(VertexId v) override {
-    const VertexRecord* local = worker_->table_.Find(v);
+    const VertexRecord* local = worker_->FindVertex(v);
     if (local != nullptr) {
       return local;
     }
     return worker_->cache_.Get(v);
   }
 
-  bool IsLocal(VertexId v) const override { return worker_->table_.Contains(v); }
+  bool IsLocal(VertexId v) const override { return worker_->VertexIsLocal(v); }
 
   void Spawn(std::unique_ptr<TaskBase> task) override {
     worker_->state_->live_tasks.fetch_add(1, std::memory_order_relaxed);
@@ -127,11 +128,12 @@ Worker::Worker(WorkerId id, const JobConfig& config, Network* net, ClusterState*
 Worker::~Worker() {
   store_.reset();
   RemoveSpillDir(spill_dir_);
-  state_->memory.Sub(table_.byte_size());
+  state_->memory.Sub(table_.byte_size() + adopted_bytes_);
 }
 
 void Worker::LoadPartition(const Graph& g, std::shared_ptr<const std::vector<WorkerId>> owner) {
   owner_ = std::move(owner);
+  graph_ = &g;
   table_.LoadPartition(g, *owner_, id_);
   state_->memory.Add(table_.byte_size());
 }
@@ -168,6 +170,30 @@ void Worker::Join() {
   }
 }
 
+void Worker::Kill() {
+  if (killed_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  GM_LOG_WARN << "worker " << id_ << ": killed";
+  running_.store(false, std::memory_order_release);
+  cache_.Shutdown();
+  cpq_.Close();
+  // The listener exits once the (fenced) mailbox is closed and drained; the
+  // seeder runs to completion with its sends dropped by the network fence.
+}
+
+int64_t Worker::ReapAccounting() {
+  const int64_t residual = local_tasks_.exchange(0, std::memory_order_acq_rel);
+  if (residual > 0) {
+    state_->live_tasks.fetch_sub(residual, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(output_mutex_);
+    outputs_.clear();  // partial outputs die with the node; the adopter re-runs
+  }
+  return residual;
+}
+
 std::vector<std::string> Worker::TakeOutputs() {
   std::lock_guard<std::mutex> lock(output_mutex_);
   return std::move(outputs_);
@@ -183,10 +209,19 @@ void Worker::UnaccountTask(TaskBase& task) {
   task.accounted_bytes = 0;
 }
 
+const VertexRecord* Worker::FindVertex(VertexId v) {
+  const VertexRecord* record = table_.Find(v);
+  if (record != nullptr || !has_adopted_.load(std::memory_order_acquire)) {
+    return record;
+  }
+  std::lock_guard<std::mutex> lock(adopted_mutex_);
+  return adopted_table_.Find(v);
+}
+
 void Worker::PrepareInactive(TaskBase& task) {
   std::vector<VertexId> to_pull;
   for (const VertexId v : task.candidates()) {
-    if (!table_.Contains(v)) {
+    if (!VertexIsLocal(v)) {
       to_pull.push_back(v);
     }
   }
@@ -278,10 +313,12 @@ void Worker::RetrieverLoop() {
 void Worker::AdmitTask(std::unique_ptr<TaskBase> task) {
   in_pipeline_.fetch_add(1, std::memory_order_relaxed);
   auto entry = std::make_shared<PendingTask>();
-  std::unordered_map<WorkerId, std::vector<VertexId>> requests;
+  // owner → (request id, vertices) for every new pull this task triggers.
+  std::vector<std::tuple<WorkerId, uint64_t, std::vector<VertexId>>> requests;
   bool ready = false;
   {
     std::lock_guard<std::mutex> lock(pull_mutex_);
+    std::unordered_map<WorkerId, std::vector<VertexId>> by_owner;
     for (const VertexId v : task->to_pull()) {
       entry->cache_refs.push_back(v);
       if (cache_.AddRefIfPresent(v)) {
@@ -292,7 +329,7 @@ void Worker::AdmitTask(std::unique_ptr<TaskBase> task) {
       ++entry->pending;
       if (!pending.requested) {
         pending.requested = true;
-        requests[(*owner_)[v]].push_back(v);
+        by_owner[(*owner_)[v]].push_back(v);
         counters_->cache_misses.fetch_add(1, std::memory_order_relaxed);
       } else {
         // Pull already in flight (a nearby task in the priority queue needs
@@ -307,44 +344,113 @@ void Worker::AdmitTask(std::unique_ptr<TaskBase> task) {
       entry->task = std::move(task);
       ++pending_task_count_;
     }
+    const int64_t deadline =
+        MonotonicNanos() + static_cast<int64_t>(config_.pull_timeout_ms) * 1'000'000;
+    for (auto& [target, ids] : by_owner) {
+      const uint64_t rid = next_request_id_++;
+      outstanding_pulls_.emplace(rid, OutstandingPull{ids, target, 0, deadline});
+      requests.emplace_back(target, rid, std::move(ids));
+    }
   }
   if (ready) {
     cpq_.Push(RunnableTask{std::move(task), std::move(entry->cache_refs)});
     return;
   }
-  for (auto& [target, ids] : requests) {
+  for (auto& [target, rid, ids] : requests) {
     counters_->pull_requests.fetch_add(static_cast<int64_t>(ids.size()),
                                        std::memory_order_relaxed);
     OutArchive out;
+    out.Write<uint64_t>(rid);
     out.WriteVector(ids);
-    net_->Send(id_, target, MessageType::kPullRequest, out.TakeBuffer());
+    net_->Send(id_, state_->Redirect(target), MessageType::kPullRequest, out.TakeBuffer());
+  }
+}
+
+void Worker::CheckPullRetries() {
+  const int64_t now = MonotonicNanos();
+  const int64_t timeout_ns = static_cast<int64_t>(config_.pull_timeout_ms) * 1'000'000;
+  std::vector<std::tuple<WorkerId, uint64_t, std::vector<VertexId>>> resend;
+  bool exhausted = false;
+  {
+    std::lock_guard<std::mutex> lock(pull_mutex_);
+    for (auto& [rid, pull] : outstanding_pulls_) {
+      if (pull.deadline_ns > now) {
+        continue;
+      }
+      if (pull.attempts >= config_.max_pull_retries) {
+        exhausted = true;
+        break;
+      }
+      ++pull.attempts;
+      // Exponential backoff, capped at 8x the base timeout.
+      const int64_t backoff = std::min<int64_t>(int64_t{1} << pull.attempts, 8);
+      pull.deadline_ns = now + timeout_ns * backoff;
+      resend.emplace_back(pull.owner, rid, pull.remaining);
+    }
+  }
+  if (exhausted) {
+    GM_LOG_ERROR << "worker " << id_ << ": pull exhausted " << config_.max_pull_retries
+                 << " retries, cancelling job";
+    state_->Cancel(JobStatus::kNetworkError);
+    return;
+  }
+  for (auto& [target, rid, ids] : resend) {
+    counters_->pull_retries.fetch_add(1, std::memory_order_relaxed);
+    OutArchive out;
+    out.Write<uint64_t>(rid);
+    out.WriteVector(ids);
+    // Re-route through the redirect table: the original owner may have died
+    // and its partition moved to an adopter since the first attempt.
+    net_->Send(id_, state_->Redirect(target), MessageType::kPullRequest, out.TakeBuffer());
   }
 }
 
 void Worker::HandlePullRequest(WorkerId from, InArchive in) {
+  const uint64_t rid = in.Read<uint64_t>();
   const std::vector<VertexId> ids = in.ReadVector<VertexId>();
   OutArchive out;
-  out.Write<uint64_t>(ids.size());
+  out.Write<uint64_t>(rid);
+  std::vector<const VertexRecord*> found;
+  found.reserve(ids.size());
   for (const VertexId v : ids) {
-    const VertexRecord* record = table_.Find(v);
-    GM_CHECK(record != nullptr) << "pull request for non-local vertex " << v << " at worker "
-                                << id_;
+    const VertexRecord* record = FindVertex(v);
+    if (record != nullptr) {
+      found.push_back(record);
+    }
+    // else: transient miss — e.g. a redirected pull raced the adoption of the
+    // dead owner's partition. Serve what is here; the requester's retry loop
+    // re-fetches the remainder.
+  }
+  out.Write<uint64_t>(found.size());
+  for (const VertexRecord* record : found) {
     record->Serialize(out);
   }
   net_->Send(id_, from, MessageType::kPullResponse, out.TakeBuffer());
 }
 
 void Worker::HandlePullResponse(InArchive in) {
+  const uint64_t rid = in.Read<uint64_t>();
   const uint64_t count = in.Read<uint64_t>();
   std::vector<std::shared_ptr<PendingTask>> ready;
   {
     std::lock_guard<std::mutex> lock(pull_mutex_);
+    auto req = outstanding_pulls_.find(rid);
+    if (req == outstanding_pulls_.end()) {
+      // A duplicated or retried-then-answered-twice response. The records it
+      // carries are processed idempotently below.
+      counters_->duplicate_pull_responses.fetch_add(1, std::memory_order_relaxed);
+    }
     for (uint64_t i = 0; i < count; ++i) {
       VertexRecord record = VertexRecord::Deserialize(in);
       counters_->pull_responses.fetch_add(1, std::memory_order_relaxed);
+      if (req != outstanding_pulls_.end()) {
+        auto& remaining = req->second.remaining;
+        remaining.erase(std::remove(remaining.begin(), remaining.end(), record.id),
+                        remaining.end());
+      }
       auto it = pending_pulls_.find(record.id);
       if (it == pending_pulls_.end()) {
-        // Duplicate response; keep the record cached with no references.
+        // Duplicate record; keep it cached with no references.
         cache_.Insert(std::move(record), 0);
         continue;
       }
@@ -358,10 +464,78 @@ void Worker::HandlePullResponse(InArchive in) {
         }
       }
     }
+    if (req != outstanding_pulls_.end() && req->second.remaining.empty()) {
+      outstanding_pulls_.erase(req);
+    }
   }
   for (auto& waiter : ready) {
     cpq_.Push(RunnableTask{std::move(waiter->task), std::move(waiter->cache_refs)});
   }
+}
+
+void Worker::HandleAdoptTasks(InArchive in) {
+  const WorkerId dead = in.Read<WorkerId>();
+  const std::string path = in.ReadString();
+  const auto ack = [this, dead](uint64_t adopted) {
+    OutArchive out;
+    out.Write<WorkerId>(dead);
+    out.Write<uint64_t>(adopted);
+    net_->Send(id_, master_id_, MessageType::kAdoptDone, out.TakeBuffer());
+  };
+  if (adopted_workers_.count(dead) != 0) {
+    ack(0);  // duplicate command (master retry after a lost ack): re-acknowledge
+    return;
+  }
+  GM_LOG_WARN << "worker " << id_ << ": adopting dead worker " << dead;
+  WallTimer timer;
+  // 1. Take over the dead worker's partition so redirected pulls resolve here.
+  {
+    std::lock_guard<std::mutex> lock(adopted_mutex_);
+    adopted_table_.AdoptPartition(*graph_, *owner_, dead);
+    const int64_t bytes = adopted_table_.byte_size();
+    state_->memory.Add(bytes - adopted_bytes_);
+    adopted_bytes_ = bytes;
+  }
+  has_adopted_.store(true, std::memory_order_release);
+  state_->SetRedirect(dead, id_);
+  // 2. Re-run its checkpointed seed tasks. The checkpoint is read from a
+  //    scratch copy so the original survives for a possible second failover.
+  const std::string scratch = path + ".adopt" + std::to_string(id_);
+  std::error_code ec;
+  std::filesystem::copy_file(path, scratch,
+                             std::filesystem::copy_options::overwrite_existing, ec);
+  std::vector<std::vector<uint8_t>> blobs;
+  std::string error = ec ? "cannot copy checkpoint: " + ec.message() : "";
+  if (error.empty() && !TryReadSpillBlock(scratch, &blobs, nullptr, &error)) {
+    std::filesystem::remove(scratch, ec);
+  }
+  if (!error.empty()) {
+    GM_LOG_ERROR << "worker " << id_ << ": adoption of worker " << dead
+                 << " failed: " << error;
+    state_->Cancel(JobStatus::kCheckpointError);
+    ack(0);
+    return;
+  }
+  std::vector<std::unique_ptr<TaskBase>> tasks;
+  tasks.reserve(blobs.size());
+  for (const auto& blob : blobs) {
+    InArchive task_in(blob.data(), blob.size());
+    std::unique_ptr<TaskBase> task = job_->MakeTask();
+    task->Deserialize(task_in);
+    PrepareInactive(*task);  // remoteness differs on the adopting worker
+    AccountTask(*task);
+    tasks.push_back(std::move(task));
+  }
+  const int64_t n = static_cast<int64_t>(tasks.size());
+  state_->live_tasks.fetch_add(n, std::memory_order_relaxed);
+  local_tasks_.fetch_add(n, std::memory_order_relaxed);
+  counters_->tasks_created.fetch_add(n, std::memory_order_relaxed);
+  counters_->tasks_adopted.fetch_add(n, std::memory_order_relaxed);
+  counters_->failovers.fetch_add(1, std::memory_order_relaxed);
+  store_->InsertBatch(std::move(tasks));
+  adopted_workers_.insert(dead);
+  counters_->recovery_wall_ns.fetch_add(timer.ElapsedNanos(), std::memory_order_relaxed);
+  ack(static_cast<uint64_t>(n));
 }
 
 void Worker::ComputeLoop(int thread_index) {
@@ -482,10 +656,14 @@ void Worker::ReporterLoop() {
     if (ShuttingDown()) {
       break;
     }
+    CheckPullRetries();
     OutArchive progress;
     progress.Write<uint64_t>(store_->ApproxSize());
     progress.Write<uint64_t>(cpq_.Size());
     progress.Write<int64_t>(local_tasks_.load(std::memory_order_relaxed));
+    // Seeding status piggybacks on every report: a kSeedDone lost to a fault
+    // (e.g. a blackout window) heals on the next progress tick.
+    progress.Write<uint8_t>(seeding_done_.load(std::memory_order_acquire) ? 1 : 0);
     net_->Send(id_, master_id_, MessageType::kProgressReport, progress.TakeBuffer());
 
     const int64_t now = MonotonicNanos();
@@ -522,6 +700,9 @@ void Worker::ListenerLoop() {
       case MessageType::kNoTask:
         steal_pending_.store(false, std::memory_order_release);
         break;
+      case MessageType::kAdoptTasks:
+        HandleAdoptTasks(InArchive(std::move(msg->payload)));
+        break;
       case MessageType::kAggGlobal:
         if (aggregator_ != nullptr) {
           InArchive in(std::move(msg->payload));
@@ -538,7 +719,10 @@ void Worker::ListenerLoop() {
           aggregator_->SerializePartial(final_report);
         }
         net_->Send(id_, master_id_, MessageType::kAggPartial, final_report.TakeBuffer());
-        return;
+        // Keep listening: if this ack is lost (e.g. to a blackout window) the
+        // master re-sends kShutdown, and each copy gets a fresh ack. The loop
+        // exits when the deployment closes the network.
+        break;
       }
       default:
         GM_LOG_WARN << "worker " << id_ << ": unexpected message type "

@@ -13,6 +13,12 @@
 // communication thread), N computing threads, 1 progress/aggregator reporter,
 // plus a transient seeding thread at job start. There is no barrier anywhere:
 // each thread blocks only on its own queue.
+//
+// Fault tolerance (DESIGN.md "Fault model & recovery protocol"): every pull
+// request carries a request id and is retried with exponential backoff until
+// answered, so dropped/duplicated/delayed messages never wedge the CMQ. On a
+// kAdoptTasks command the worker adopts a dead peer's vertex ownership and
+// re-runs its checkpointed seed tasks.
 #ifndef GMINER_CORE_WORKER_H_
 #define GMINER_CORE_WORKER_H_
 
@@ -21,6 +27,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/blocking_queue.h"
@@ -47,7 +54,8 @@ class Worker {
   Worker& operator=(const Worker&) = delete;
 
   // Loads this worker's partition of g (the graph loader + vertex table of
-  // Fig. 4). Must be called before Start().
+  // Fig. 4). Must be called before Start(). The graph reference is retained
+  // so a dead peer's partition can be adopted later (kAdoptTasks).
   void LoadPartition(const Graph& g, std::shared_ptr<const std::vector<WorkerId>> owner);
 
   // Spawns all pipeline threads and begins seeding. When `seed_blobs` is
@@ -59,9 +67,25 @@ class Worker {
   // threads exited.
   void Join();
 
+  // Simulates a node crash: halts the pipeline without the shutdown
+  // handshake. Idempotent; callable from any thread (including this worker's
+  // own threads, via the network kill trigger). The caller must fence the
+  // endpoint in the Network first, then Join() and ReapAccounting().
+  void Kill();
+
+  // After Join() on a killed worker: removes its residual resident tasks from
+  // the cluster-wide live count (they will be re-created by the adopter from
+  // the checkpoint) and discards its partial outputs. Returns the residual.
+  int64_t ReapAccounting();
+
   WorkerId id() const { return id_; }
   std::vector<std::string> TakeOutputs();
   AggregatorBase* aggregator() { return aggregator_.get(); }
+
+  // True once seeding (and therefore the seed checkpoint, if configured) has
+  // completed. Wall-clock kill timers wait on this when `after_seeding` is
+  // set, so a kill never races the checkpoint it recovers from.
+  bool seeding_done() const { return seeding_done_.load(std::memory_order_acquire); }
 
   // Seed checkpointing: when set, every seed task is also appended to this
   // file (spill-block format) before entering the pipeline.
@@ -90,6 +114,16 @@ class Worker {
     std::vector<std::shared_ptr<PendingTask>> waiters;
   };
 
+  // One in-flight pull request (guarded by pull_mutex_). `remaining` shrinks
+  // as records arrive; the entry is dropped once it is empty. Retries go to
+  // Redirect(owner) so they follow a failover to the adopter.
+  struct OutstandingPull {
+    std::vector<VertexId> remaining;
+    WorkerId owner = kInvalidWorker;
+    int attempts = 0;
+    int64_t deadline_ns = 0;
+  };
+
   void ListenerLoop();
   void RetrieverLoop();
   void ComputeLoop(int thread_index);
@@ -102,11 +136,17 @@ class Worker {
   void HandlePullResponse(InArchive in);                // listener
   void HandleMigrateCommand(InArchive in);              // listener
   void HandleMigrateTasks(InArchive in);                // listener
+  void HandleAdoptTasks(InArchive in);                  // listener (failover)
   void FinishTask(std::unique_ptr<TaskBase> task);      // executor: task death
   void BufferInactive(std::unique_ptr<TaskBase> task);  // executor → task buffer
   bool FlushBuffer(bool force);
   void PrepareInactive(TaskBase& task);  // compute to_pull from candidates
   void MaybeRequestSteal();
+  void CheckPullRetries();  // reporter: re-send timed-out pulls
+
+  // Resolves a vertex against the home partition, then any adopted partitions.
+  const VertexRecord* FindVertex(VertexId v);
+  bool VertexIsLocal(VertexId v) { return FindVertex(v) != nullptr; }
 
   void AccountTask(TaskBase& task);
   void UnaccountTask(TaskBase& task);
@@ -123,6 +163,16 @@ class Worker {
 
   VertexTable table_;
   std::shared_ptr<const std::vector<WorkerId>> owner_;
+  const Graph* graph_ = nullptr;
+
+  // Partitions adopted from dead peers. Grows only (on the listener thread);
+  // readers take adopted_mutex_ for the lookup, but the returned record
+  // pointer stays valid — unordered_map never moves elements.
+  std::mutex adopted_mutex_;
+  VertexTable adopted_table_;
+  int64_t adopted_bytes_ = 0;
+  std::atomic<bool> has_adopted_{false};
+  std::unordered_set<WorkerId> adopted_workers_;  // listener thread only
 
   std::string spill_dir_;
   std::unique_ptr<TaskStore> store_;
@@ -134,6 +184,8 @@ class Worker {
 
   std::mutex pull_mutex_;
   std::unordered_map<VertexId, PendingVertex> pending_pulls_;
+  std::unordered_map<uint64_t, OutstandingPull> outstanding_pulls_;
+  uint64_t next_request_id_ = 1;
   size_t pending_task_count_ = 0;  // tasks parked in the CMQ
 
   std::unique_ptr<AggregatorBase> aggregator_;
@@ -145,6 +197,7 @@ class Worker {
   std::atomic<bool> seeding_done_{false};
   std::atomic<bool> steal_pending_{false};
   std::atomic<bool> running_{false};
+  std::atomic<bool> killed_{false};
 
   std::string checkpoint_path_;
 

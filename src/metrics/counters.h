@@ -15,6 +15,22 @@ struct WorkerCounters {
   std::atomic<int64_t> net_bytes_sent{0};
   std::atomic<int64_t> net_bytes_received{0};
   std::atomic<int64_t> net_messages{0};
+  // Fault accounting (net/fault.h): per quiescent network,
+  //   net_messages == net_messages_delivered + net_messages_dropped
+  //                   - net_messages_duplicated   (dups deliver an extra copy)
+  std::atomic<int64_t> net_messages_delivered{0};
+  std::atomic<int64_t> net_messages_dropped{0};
+  std::atomic<int64_t> net_bytes_dropped{0};
+  std::atomic<int64_t> net_messages_duplicated{0};
+  std::atomic<int64_t> net_bytes_duplicated{0};
+  std::atomic<int64_t> net_messages_delayed{0};
+  std::atomic<int64_t> pull_retries{0};           // pull requests re-sent on timeout
+  std::atomic<int64_t> duplicate_pull_responses{0};
+  std::atomic<int64_t> heartbeat_misses{0};       // master-observed silent intervals
+  std::atomic<int64_t> failovers{0};              // dead-worker adoptions performed
+  std::atomic<int64_t> tasks_adopted{0};          // tasks re-loaded from a dead
+                                                  // worker's checkpoint
+  std::atomic<int64_t> recovery_wall_ns{0};       // adoption wall time
   std::atomic<int64_t> pull_requests{0};      // remote vertices requested
   std::atomic<int64_t> pull_responses{0};     // remote vertices received
   std::atomic<int64_t> cache_hits{0};
@@ -38,6 +54,18 @@ struct CountersSnapshot {
   int64_t net_bytes_sent = 0;
   int64_t net_bytes_received = 0;
   int64_t net_messages = 0;
+  int64_t net_messages_delivered = 0;
+  int64_t net_messages_dropped = 0;
+  int64_t net_bytes_dropped = 0;
+  int64_t net_messages_duplicated = 0;
+  int64_t net_bytes_duplicated = 0;
+  int64_t net_messages_delayed = 0;
+  int64_t pull_retries = 0;
+  int64_t duplicate_pull_responses = 0;
+  int64_t heartbeat_misses = 0;
+  int64_t failovers = 0;
+  int64_t tasks_adopted = 0;
+  int64_t recovery_wall_ns = 0;
   int64_t pull_requests = 0;
   int64_t pull_responses = 0;
   int64_t cache_hits = 0;
@@ -55,6 +83,18 @@ struct CountersSnapshot {
     net_bytes_sent += o.net_bytes_sent;
     net_bytes_received += o.net_bytes_received;
     net_messages += o.net_messages;
+    net_messages_delivered += o.net_messages_delivered;
+    net_messages_dropped += o.net_messages_dropped;
+    net_bytes_dropped += o.net_bytes_dropped;
+    net_messages_duplicated += o.net_messages_duplicated;
+    net_bytes_duplicated += o.net_bytes_duplicated;
+    net_messages_delayed += o.net_messages_delayed;
+    pull_retries += o.pull_retries;
+    duplicate_pull_responses += o.duplicate_pull_responses;
+    heartbeat_misses += o.heartbeat_misses;
+    failovers += o.failovers;
+    tasks_adopted += o.tasks_adopted;
+    recovery_wall_ns += o.recovery_wall_ns;
     pull_requests += o.pull_requests;
     pull_responses += o.pull_responses;
     cache_hits += o.cache_hits;
@@ -81,6 +121,18 @@ inline CountersSnapshot Snapshot(const WorkerCounters& c) {
   s.net_bytes_sent = c.net_bytes_sent.load(std::memory_order_relaxed);
   s.net_bytes_received = c.net_bytes_received.load(std::memory_order_relaxed);
   s.net_messages = c.net_messages.load(std::memory_order_relaxed);
+  s.net_messages_delivered = c.net_messages_delivered.load(std::memory_order_relaxed);
+  s.net_messages_dropped = c.net_messages_dropped.load(std::memory_order_relaxed);
+  s.net_bytes_dropped = c.net_bytes_dropped.load(std::memory_order_relaxed);
+  s.net_messages_duplicated = c.net_messages_duplicated.load(std::memory_order_relaxed);
+  s.net_bytes_duplicated = c.net_bytes_duplicated.load(std::memory_order_relaxed);
+  s.net_messages_delayed = c.net_messages_delayed.load(std::memory_order_relaxed);
+  s.pull_retries = c.pull_retries.load(std::memory_order_relaxed);
+  s.duplicate_pull_responses = c.duplicate_pull_responses.load(std::memory_order_relaxed);
+  s.heartbeat_misses = c.heartbeat_misses.load(std::memory_order_relaxed);
+  s.failovers = c.failovers.load(std::memory_order_relaxed);
+  s.tasks_adopted = c.tasks_adopted.load(std::memory_order_relaxed);
+  s.recovery_wall_ns = c.recovery_wall_ns.load(std::memory_order_relaxed);
   s.pull_requests = c.pull_requests.load(std::memory_order_relaxed);
   s.pull_responses = c.pull_responses.load(std::memory_order_relaxed);
   s.cache_hits = c.cache_hits.load(std::memory_order_relaxed);

@@ -1,0 +1,95 @@
+#include "net/fault.h"
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace gminer {
+
+namespace {
+
+inline uint64_t SplitMix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline bool DataPlane(MessageType type) {
+  return type == MessageType::kPullRequest || type == MessageType::kPullResponse ||
+         type == MessageType::kProgressReport;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), start_ns_(MonotonicNanos()) {
+  for (const auto& kill : plan_.kills) {
+    KillState state;
+    state.spec = kill;
+    state.armed = !kill.after_seeding;
+    kills_.push_back(state);
+  }
+}
+
+double FaultInjector::LinkUniform(uint64_t link_key, uint64_t ordinal, uint64_t salt) const {
+  const uint64_t mixed = SplitMix64(plan_.seed ^ SplitMix64(link_key ^ salt) ^
+                                    ordinal * 0x9e3779b97f4a7c15ULL);
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+FaultInjector::Decision FaultInjector::OnSend(WorkerId from, WorkerId to, MessageType type) {
+  Decision decision;
+  const int64_t now_ms = (MonotonicNanos() - start_ns_) / 1'000'000;
+  for (const auto& b : plan_.blackouts) {
+    if ((b.endpoint == from || b.endpoint == to) && now_ms >= b.start_ms &&
+        now_ms < b.start_ms + b.duration_ms) {
+      decision.drop = true;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& kill : kills_) {
+    if (kill.spec.worker != from || kill.spec.after_messages < 0) {
+      continue;
+    }
+    if (!kill.armed) {
+      kill.armed = type == MessageType::kSeedDone;
+      continue;
+    }
+    if (!kill.triggered && ++kill.sent >= kill.spec.after_messages) {
+      kill.triggered = true;
+      decision.kill = kill.spec.worker;
+      decision.drop = true;  // the triggering message dies with the worker
+    }
+  }
+  if (decision.drop) {
+    return decision;
+  }
+
+  if (!DataPlane(type)) {
+    return decision;
+  }
+  const uint64_t link_key = static_cast<uint64_t>(from) * 0x10001ULL + static_cast<uint64_t>(to);
+  const uint64_t ordinal = link_ordinals_[link_key]++;
+  if (plan_.drop_probability > 0.0 &&
+      LinkUniform(link_key, ordinal, 0xd409) < plan_.drop_probability) {
+    decision.drop = true;
+    return decision;
+  }
+  if (plan_.duplicate_probability > 0.0 &&
+      LinkUniform(link_key, ordinal, 0xd7b1) < plan_.duplicate_probability) {
+    decision.duplicate = true;
+  }
+  if (plan_.delay_probability > 0.0 &&
+      LinkUniform(link_key, ordinal, 0x5e1a) < plan_.delay_probability) {
+    const int64_t span_us = plan_.delay_max_us - plan_.delay_min_us;
+    const int64_t extra_us =
+        span_us > 0 ? static_cast<int64_t>(LinkUniform(link_key, ordinal, 0x71e5) *
+                                           static_cast<double>(span_us + 1))
+                    : 0;
+    decision.delay_ns = (plan_.delay_min_us + extra_us) * 1000;
+  }
+  return decision;
+}
+
+}  // namespace gminer

@@ -1,0 +1,112 @@
+// Deterministic, seed-driven fault injection for the simulated interconnect.
+// A FaultPlan describes which faults to inject (message drop / duplication /
+// delay-reorder, endpoint blackout windows, worker kills); the FaultInjector
+// turns the plan into per-message decisions that Network::Send consults before
+// enqueuing a message. Decisions for a given (from, to) link are a pure
+// function of the plan seed and the link's message ordinal, so a fixed seed
+// injects the same fault sequence per link regardless of how threads
+// interleave across links.
+//
+// Fault classes and the recovery mechanism expected to absorb them:
+//   drop/duplicate/delay — pull retries + idempotent responses (worker)
+//   blackout             — bounded pull retries with backoff ride it out
+//   kill                 — heartbeat-miss detection + kAdoptTasks failover
+//                          (master), see DESIGN.md "Fault model & recovery"
+#ifndef GMINER_NET_FAULT_H_
+#define GMINER_NET_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "net/message.h"
+
+namespace gminer {
+
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  // Probabilistic per-message faults. These apply only to data-plane traffic
+  // (kPullRequest, kPullResponse, kProgressReport): the pull path retries and
+  // the heartbeat window tolerates lost progress reports, while control
+  // messages (shutdown, migration batches, adoption commands) carry task
+  // state the protocol recovers through its own acknowledgement/retry logic
+  // rather than random re-sends.
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double delay_probability = 0.0;
+  int64_t delay_min_us = 0;  // uniform delay drawn from [min, max]
+  int64_t delay_max_us = 0;
+
+  // Blackout: every message to or from `endpoint` (any type) is dropped
+  // during [start_ms, start_ms + duration_ms) measured from injector
+  // creation, i.e. job deployment.
+  struct Blackout {
+    WorkerId endpoint = kInvalidWorker;
+    int64_t start_ms = 0;
+    int64_t duration_ms = 0;
+  };
+  std::vector<Blackout> blackouts;
+
+  // Kill: the worker is declared failed once it has sent `after_messages`
+  // messages (counted from its kSeedDone when `after_seeding`, matching the
+  // checkpoint-then-fail scenario of §7), or after `after_seconds` wall time
+  // (driven by a timer in Cluster::Run). Exactly one trigger should be set.
+  struct Kill {
+    WorkerId worker = kInvalidWorker;
+    int64_t after_messages = -1;
+    double after_seconds = -1.0;
+    bool after_seeding = true;
+  };
+  std::vector<Kill> kills;
+
+  bool Empty() const {
+    return drop_probability <= 0.0 && duplicate_probability <= 0.0 &&
+           delay_probability <= 0.0 && blackouts.empty() && kills.empty();
+  }
+};
+
+class FaultInjector {
+ public:
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;   // deliver a second copy of the message
+    int64_t delay_ns = 0;     // >0: hold the message back (reorders traffic)
+    WorkerId kill = kInvalidWorker;  // trigger the kill handler for this worker
+  };
+
+  explicit FaultInjector(FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Called by Network::Send for every remote message before enqueuing.
+  // Thread safe.
+  Decision OnSend(WorkerId from, WorkerId to, MessageType type);
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct KillState {
+    FaultPlan::Kill spec;
+    bool armed = false;      // false until kSeedDone seen when after_seeding
+    int64_t sent = 0;        // messages counted toward the trigger
+    bool triggered = false;  // latched: a kill fires exactly once
+  };
+
+  // Deterministic U[0,1) draw for the n-th decision of a link.
+  double LinkUniform(uint64_t link_key, uint64_t ordinal, uint64_t salt) const;
+
+  const FaultPlan plan_;
+  const int64_t start_ns_;
+
+  std::mutex mutex_;
+  std::unordered_map<uint64_t, uint64_t> link_ordinals_;
+  std::vector<KillState> kills_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_NET_FAULT_H_

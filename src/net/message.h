@@ -23,6 +23,8 @@ enum class MessageType : uint8_t {
   kAggGlobal = 8,      // master → worker: serialized global aggregate
   kSeedDone = 9,       // worker → master: seed generation finished
   kShutdown = 10,      // master → worker: job complete, stop threads
+  kAdoptTasks = 11,    // master → worker: adopt a dead worker's checkpoint + vertices
+  kAdoptDone = 12,     // worker → master: adoption finished (count of tasks loaded)
 };
 
 struct NetMessage {

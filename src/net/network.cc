@@ -1,7 +1,6 @@
 #include "net/network.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -9,18 +8,20 @@
 namespace gminer {
 
 Network::Network(int num_endpoints, std::vector<WorkerCounters*> counters, bool simulate_time,
-                 double bandwidth_gbps, int64_t latency_us)
+                 double bandwidth_gbps, int64_t latency_us, FaultInjector* injector)
     : counters_(std::move(counters)),
+      dead_(static_cast<size_t>(num_endpoints)),
       simulate_time_(simulate_time),
       bytes_per_ns_(bandwidth_gbps * 1e9 / 8.0 / 1e9),
-      latency_ns_(latency_us * 1000) {
+      latency_ns_(latency_us * 1000),
+      injector_(injector) {
   GM_CHECK(num_endpoints >= 1);
   GM_CHECK(counters_.size() == static_cast<size_t>(num_endpoints));
   mailboxes_.reserve(static_cast<size_t>(num_endpoints));
   for (int i = 0; i < num_endpoints; ++i) {
     mailboxes_.push_back(std::make_unique<BlockingQueue<NetMessage>>());
   }
-  if (simulate_time_) {
+  if (simulate_time_ || injector_ != nullptr) {
     delivery_thread_ = std::thread([this] { DeliveryLoop(); });
   }
 }
@@ -32,47 +33,113 @@ Network::~Network() {
   }
 }
 
+void Network::CountDropped(WorkerId to, int64_t bytes) {
+  WorkerCounters* c = counters_[static_cast<size_t>(to)];
+  if (c != nullptr) {
+    c->net_messages_dropped.fetch_add(1, std::memory_order_relaxed);
+    c->net_bytes_dropped.fetch_add(bytes, std::memory_order_relaxed);
+  }
+}
+
+void Network::Deliver(WorkerId to, NetMessage message) {
+  const int64_t bytes = static_cast<int64_t>(message.payload.size()) + kMessageHeaderBytes;
+  if (IsDead(to) || !mailboxes_[static_cast<size_t>(to)]->Push(std::move(message))) {
+    CountDropped(to, bytes);
+    return;
+  }
+  WorkerCounters* c = counters_[static_cast<size_t>(to)];
+  if (c != nullptr) {
+    c->net_bytes_received.fetch_add(bytes, std::memory_order_relaxed);
+    c->net_messages_delivered.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Network::Schedule(WorkerId to, NetMessage message, int64_t deliver_at_ns) {
+  const int64_t bytes = static_cast<int64_t>(message.payload.size()) + kMessageHeaderBytes;
+  bool scheduled = false;
+  {
+    std::lock_guard<std::mutex> lock(delivery_mutex_);
+    if (!stop_delivery_) {
+      pending_.push(PendingDelivery{deliver_at_ns, next_sequence_++, to, std::move(message)});
+      scheduled = true;
+    }
+  }
+  if (!scheduled) {
+    CountDropped(to, bytes);
+    return;
+  }
+  delivery_cv_.notify_one();
+}
+
 void Network::Send(WorkerId from, WorkerId to, MessageType type,
                    std::vector<uint8_t> payload) {
   GM_CHECK(to >= 0 && to < static_cast<WorkerId>(mailboxes_.size()))
       << "bad destination " << to;
   const int64_t bytes = static_cast<int64_t>(payload.size()) + kMessageHeaderBytes;
-  // Loopback messages (e.g. a worker pulling from its own listener) are free:
-  // the paper's workers resolve local vertices without the network.
+  // Loopback messages (e.g. a worker pulling from its own listener) are free
+  // and fault-exempt: the paper's workers resolve local state off the network.
   const bool remote = from != to;
-  if (remote) {
-    if (from >= 0 && from < static_cast<WorkerId>(counters_.size()) &&
-        counters_[static_cast<size_t>(from)] != nullptr) {
-      auto& c = *counters_[static_cast<size_t>(from)];
-      c.net_bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
-      c.net_messages.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (counters_[static_cast<size_t>(to)] != nullptr) {
-      counters_[static_cast<size_t>(to)]->net_bytes_received.fetch_add(
-          bytes, std::memory_order_relaxed);
-    }
-  }
-
   NetMessage msg{type, from, std::move(payload)};
-  if (!simulate_time_ || !remote) {
+  if (!remote) {
     mailboxes_[static_cast<size_t>(to)]->Push(std::move(msg));
     return;
   }
 
-  const int64_t now = MonotonicNanos();
-  const int64_t transmit_ns =
-      bytes_per_ns_ > 0 ? static_cast<int64_t>(static_cast<double>(bytes) / bytes_per_ns_) : 0;
-  {
+  // A fenced (dead) worker can no longer inject anything into the network.
+  if (from >= 0 && from < static_cast<WorkerId>(dead_.size()) && IsDead(from)) {
+    return;
+  }
+  if (from >= 0 && from < static_cast<WorkerId>(counters_.size()) &&
+      counters_[static_cast<size_t>(from)] != nullptr) {
+    auto& c = *counters_[static_cast<size_t>(from)];
+    c.net_bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+    c.net_messages.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  FaultInjector::Decision decision;
+  if (injector_ != nullptr) {
+    decision = injector_->OnSend(from, to, type);
+    if (decision.kill != kInvalidWorker && kill_handler_) {
+      kill_handler_(decision.kill);
+    }
+  }
+  if (decision.drop || IsDead(to)) {
+    CountDropped(to, bytes);
+    return;
+  }
+  WorkerCounters* receiver = counters_[static_cast<size_t>(to)];
+  if (decision.duplicate && receiver != nullptr) {
+    receiver->net_messages_duplicated.fetch_add(1, std::memory_order_relaxed);
+    receiver->net_bytes_duplicated.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  if (decision.delay_ns > 0 && receiver != nullptr) {
+    receiver->net_messages_delayed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (!simulate_time_ && decision.delay_ns == 0) {
+    if (decision.duplicate) {
+      Deliver(to, NetMessage{msg.type, msg.from, msg.payload});
+    }
+    Deliver(to, std::move(msg));
+    return;
+  }
+
+  int64_t deliver_at = MonotonicNanos() + decision.delay_ns;
+  if (simulate_time_) {
+    const int64_t transmit_ns =
+        bytes_per_ns_ > 0 ? static_cast<int64_t>(static_cast<double>(bytes) / bytes_per_ns_) : 0;
     std::lock_guard<std::mutex> lock(delivery_mutex_);
     // The shared link serializes transmissions: a message starts after the
     // link frees up, finishes transmit_ns later, and arrives latency_ns after
-    // that.
-    const int64_t start = std::max(now, link_free_at_ns_);
+    // that (plus any injected delay).
+    const int64_t start = std::max(MonotonicNanos(), link_free_at_ns_);
     link_free_at_ns_ = start + transmit_ns;
-    pending_.push(PendingDelivery{link_free_at_ns_ + latency_ns_, next_sequence_++, to,
-                                  std::move(msg)});
+    deliver_at = link_free_at_ns_ + latency_ns_ + decision.delay_ns;
   }
-  delivery_cv_.notify_one();
+  if (decision.duplicate) {
+    Schedule(to, NetMessage{msg.type, msg.from, msg.payload}, deliver_at);
+  }
+  Schedule(to, std::move(msg), deliver_at);
 }
 
 std::optional<NetMessage> Network::Receive(WorkerId me) {
@@ -83,10 +150,30 @@ std::optional<NetMessage> Network::TryReceive(WorkerId me) {
   return mailboxes_[static_cast<size_t>(me)]->TryPop();
 }
 
+std::optional<NetMessage> Network::ReceiveFor(WorkerId me, std::chrono::nanoseconds timeout) {
+  return mailboxes_[static_cast<size_t>(me)]->PopFor(timeout);
+}
+
+void Network::MarkDead(WorkerId endpoint) {
+  GM_CHECK(endpoint >= 0 && endpoint < static_cast<WorkerId>(dead_.size()));
+  dead_[static_cast<size_t>(endpoint)].store(true, std::memory_order_release);
+  mailboxes_[static_cast<size_t>(endpoint)]->Close();
+}
+
 void Network::Close() {
+  std::vector<PendingDelivery> undelivered;
   {
     std::lock_guard<std::mutex> lock(delivery_mutex_);
     stop_delivery_ = true;
+    // Drain in-flight sends explicitly: each is accounted as dropped so the
+    // sent == delivered + dropped (+ duplicated) balance survives shutdown.
+    while (!pending_.empty()) {
+      undelivered.push_back(std::move(const_cast<PendingDelivery&>(pending_.top())));
+      pending_.pop();
+    }
+  }
+  for (const PendingDelivery& d : undelivered) {
+    CountDropped(d.to, static_cast<int64_t>(d.message.payload.size()) + kMessageHeaderBytes);
   }
   delivery_cv_.notify_all();
   for (auto& mailbox : mailboxes_) {
@@ -113,7 +200,7 @@ void Network::DeliveryLoop() {
     PendingDelivery d = std::move(const_cast<PendingDelivery&>(pending_.top()));
     pending_.pop();
     lock.unlock();
-    mailboxes_[static_cast<size_t>(d.to)]->Push(std::move(d.message));
+    Deliver(d.to, std::move(d.message));
     lock.lock();
   }
 }

@@ -1,15 +1,26 @@
 // Simulated cluster interconnect. Endpoints 0..num_workers-1 are workers; the
 // extra endpoint with id num_workers is the master. Every Send() charges the
-// payload (plus framing) to the sender's and receiver's byte counters. When
-// transmission simulation is enabled, messages additionally traverse a shared
-// serial link of the configured bandwidth/latency via a delivery thread, so
-// network transfers take real wall time and contend with each other — this is
-// what lets the task pipeline (Fig. 6) visibly hide communication that stalls
-// the batch-synchronous baseline (Fig. 5).
+// payload (plus framing) to the sender's byte counters; receiver bytes are
+// charged on delivery, so sent == received + dropped (+ duplicated copies)
+// holds at every quiescent point. When transmission simulation is enabled,
+// messages additionally traverse a shared serial link of the configured
+// bandwidth/latency via a delivery thread, so network transfers take real
+// wall time and contend with each other — this is what lets the task pipeline
+// (Fig. 6) visibly hide communication that stalls the batch-synchronous
+// baseline (Fig. 5).
+//
+// An optional FaultInjector (see net/fault.h) is consulted on every remote
+// send: it may drop, duplicate, or delay the message, blackout an endpoint's
+// traffic for a window, or declare the sending worker killed — in which case
+// the registered kill handler fences the endpoint (MarkDead) so a zombie
+// worker can neither send nor receive anything further.
 #ifndef GMINER_NET_NETWORK_H_
 #define GMINER_NET_NETWORK_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -18,6 +29,7 @@
 
 #include "common/blocking_queue.h"
 #include "metrics/counters.h"
+#include "net/fault.h"
 #include "net/message.h"
 
 namespace gminer {
@@ -25,8 +37,10 @@ namespace gminer {
 class Network {
  public:
   // counters[i] may be nullptr (no accounting for that endpoint, e.g. master).
+  // `injector` (optional, unowned) injects faults on remote sends.
   Network(int num_endpoints, std::vector<WorkerCounters*> counters,
-          bool simulate_time = false, double bandwidth_gbps = 1.0, int64_t latency_us = 0);
+          bool simulate_time = false, double bandwidth_gbps = 1.0, int64_t latency_us = 0,
+          FaultInjector* injector = nullptr);
   ~Network();
 
   Network(const Network&) = delete;
@@ -38,11 +52,36 @@ class Network {
   // Blocking receive; returns nullopt after Close().
   std::optional<NetMessage> Receive(WorkerId me);
   std::optional<NetMessage> TryReceive(WorkerId me);
+  // Blocks up to `timeout`; nullopt on timeout or close. Lets the master tick
+  // its heartbeat/budget checks even when every worker has gone silent.
+  std::optional<NetMessage> ReceiveFor(WorkerId me, std::chrono::nanoseconds timeout);
 
-  // Closes every mailbox, waking all receivers.
+  // Closes every mailbox, waking all receivers. Messages still sitting in the
+  // delivery thread's pending queue are counted as dropped, never silently
+  // discarded — the delivered/dropped counters stay balanced across shutdown.
   void Close();
 
+  // True once this endpoint's mailbox has been closed (network Close() or a
+  // MarkDead fence). Lets a ReceiveFor loop tell teardown from a quiet tick.
+  bool IsClosed(WorkerId me) const { return mailboxes_[static_cast<size_t>(me)]->closed(); }
+
+  // Fences a failed endpoint: subsequent messages from or to it are dropped
+  // (and counted), and its mailbox closes so its listener unblocks. Idempotent.
+  void MarkDead(WorkerId endpoint);
+  bool IsDead(WorkerId endpoint) const {
+    return dead_[static_cast<size_t>(endpoint)].load(std::memory_order_acquire);
+  }
+
+  // Invoked (once per worker, from whichever Send trips the injector's kill
+  // trigger) so the deployment can fence and reap the worker.
+  void SetKillHandler(std::function<void(WorkerId)> handler) {
+    kill_handler_ = std::move(handler);
+  }
+
   int num_endpoints() const { return static_cast<int>(mailboxes_.size()); }
+  WorkerCounters* counter(WorkerId endpoint) {
+    return counters_[static_cast<size_t>(endpoint)];
+  }
 
  private:
   struct PendingDelivery {
@@ -59,13 +98,21 @@ class Network {
   };
 
   void DeliveryLoop();
+  // Accounts receiver bytes and pushes into the mailbox, or counts the
+  // message as dropped when the destination is dead.
+  void Deliver(WorkerId to, NetMessage message);
+  void CountDropped(WorkerId to, int64_t bytes);
+  void Schedule(WorkerId to, NetMessage message, int64_t deliver_at_ns);
 
   std::vector<std::unique_ptr<BlockingQueue<NetMessage>>> mailboxes_;
   std::vector<WorkerCounters*> counters_;
+  std::vector<std::atomic<bool>> dead_;
 
   const bool simulate_time_;
   const double bytes_per_ns_;
   const int64_t latency_ns_;
+  FaultInjector* const injector_;
+  std::function<void(WorkerId)> kill_handler_;
 
   std::mutex delivery_mutex_;
   std::condition_variable delivery_cv_;

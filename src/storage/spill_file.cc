@@ -11,6 +11,25 @@
 
 namespace gminer {
 
+namespace {
+
+// Rolling FNV-1a over the block's sizes and payload bytes.
+class Fnv1a {
+ public:
+  void Mix(const void* data, size_t size) {
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash_ = (hash_ ^ bytes[i]) * 0x100000001b3ULL;
+    }
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace
+
 int64_t WriteSpillBlock(const std::string& path,
                         const std::vector<std::vector<uint8_t>>& blobs) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -18,40 +37,104 @@ int64_t WriteSpillBlock(const std::string& path,
   const uint64_t count = blobs.size();
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
   int64_t bytes = static_cast<int64_t>(sizeof(count));
+  Fnv1a checksum;
+  checksum.Mix(&count, sizeof(count));
   for (const auto& blob : blobs) {
     const uint64_t size = blob.size();
     out.write(reinterpret_cast<const char*>(&size), sizeof(size));
     out.write(reinterpret_cast<const char*>(blob.data()), static_cast<std::streamsize>(size));
+    checksum.Mix(&size, sizeof(size));
+    checksum.Mix(blob.data(), size);
     bytes += static_cast<int64_t>(sizeof(size) + size);
   }
+  const uint64_t digest = checksum.value();
+  out.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+  bytes += static_cast<int64_t>(sizeof(digest));
   GM_CHECK(out.good()) << "spill write failed for " << path;
   return bytes;
 }
 
-std::vector<std::vector<uint8_t>> ReadSpillBlock(const std::string& path, int64_t* bytes_read) {
+bool TryReadSpillBlock(const std::string& path, std::vector<std::vector<uint8_t>>* blobs,
+                       int64_t* bytes_read, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "spill block " + path + ": " + why;
+    }
+    return false;
+  };
+  std::error_code size_ec;
+  const uint64_t file_size = std::filesystem::file_size(path, size_ec);
+  if (size_ec) {
+    return fail("cannot stat");
+  }
   std::ifstream in(path, std::ios::binary);
-  GM_CHECK(in.good()) << "cannot open spill file " << path;
+  if (!in.good()) {
+    return fail("cannot open");
+  }
   uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in.good()) {
+    return fail("truncated header");
+  }
+  // A corrupted header can decode as an absurd blob count/size; bound both by
+  // the file size so corruption fails cleanly instead of attempting a
+  // multi-exabyte allocation.
+  if (count > file_size / sizeof(uint64_t)) {
+    return fail("corrupt header (blob count exceeds file size)");
+  }
   int64_t bytes = static_cast<int64_t>(sizeof(count));
-  std::vector<std::vector<uint8_t>> blobs;
-  blobs.reserve(count);
+  Fnv1a checksum;
+  checksum.Mix(&count, sizeof(count));
+  std::vector<std::vector<uint8_t>> out;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t size = 0;
     in.read(reinterpret_cast<char*>(&size), sizeof(size));
+    if (!in.good()) {
+      return fail("truncated at blob " + std::to_string(i) + " of " + std::to_string(count));
+    }
+    if (size > file_size) {
+      return fail("corrupt blob size at blob " + std::to_string(i));
+    }
     std::vector<uint8_t> blob(size);
     in.read(reinterpret_cast<char*>(blob.data()), static_cast<std::streamsize>(size));
-    GM_CHECK(in.good()) << "spill read failed for " << path;
+    if (!in.good()) {
+      return fail("truncated payload at blob " + std::to_string(i) + " of " +
+                  std::to_string(count));
+    }
+    checksum.Mix(&size, sizeof(size));
+    checksum.Mix(blob.data(), size);
     bytes += static_cast<int64_t>(sizeof(size) + size);
-    blobs.push_back(std::move(blob));
+    out.push_back(std::move(blob));
   }
+  uint64_t digest = 0;
+  in.read(reinterpret_cast<char*>(&digest), sizeof(digest));
+  if (!in.good()) {
+    return fail("missing checksum trailer");
+  }
+  if (digest != checksum.value()) {
+    return fail("checksum mismatch (corrupted block)");
+  }
+  bytes += static_cast<int64_t>(sizeof(digest));
   in.close();
   std::error_code ec;
   std::filesystem::remove(path, ec);
   if (bytes_read != nullptr) {
     *bytes_read = bytes;
   }
+  *blobs = std::move(out);
+  return true;
+}
+
+std::vector<std::vector<uint8_t>> ReadSpillBlock(const std::string& path, int64_t* bytes_read) {
+  std::vector<std::vector<uint8_t>> blobs;
+  std::string error;
+  GM_CHECK(TryReadSpillBlock(path, &blobs, bytes_read, &error))
+      << "spill read failed: " << error;
   return blobs;
+}
+
+std::string CheckpointTaskFile(const std::string& dir, int worker) {
+  return dir + "/worker_" + std::to_string(worker) + ".tasks";
 }
 
 std::string MakeSpillDir(const std::string& base, int worker_id) {

@@ -11,12 +11,27 @@
 
 namespace gminer {
 
-// Writes blobs to `path`, returns the number of bytes written on disk.
+// Writes blobs to `path`, returns the number of bytes written on disk. The
+// block ends with an FNV-1a checksum of its contents so a torn or corrupted
+// write is detected on read instead of resurrecting garbage tasks.
 int64_t WriteSpillBlock(const std::string& path, const std::vector<std::vector<uint8_t>>& blobs);
 
 // Reads the blobs back and deletes the file. bytes_read receives the on-disk
-// size. The returned order matches the written order.
+// size. The returned order matches the written order. Aborts on a corrupt
+// block (task-store spills are same-process, so corruption means a bug).
 std::vector<std::vector<uint8_t>> ReadSpillBlock(const std::string& path, int64_t* bytes_read);
+
+// Non-aborting variant for recovery paths, where a checkpoint file may be
+// truncated or corrupted by the failure being recovered from. Returns false
+// (with a diagnostic in *error) on a missing, truncated, or
+// checksum-mismatched block; the file is deleted only on success.
+bool TryReadSpillBlock(const std::string& path, std::vector<std::vector<uint8_t>>* blobs,
+                       int64_t* bytes_read, std::string* error);
+
+// Canonical per-worker seed-checkpoint file name beneath a checkpoint
+// directory. Shared by the deployment (writing / offline recovery) and the
+// master (naming the file an adopter should load on failover).
+std::string CheckpointTaskFile(const std::string& dir, int worker);
 
 // Creates a unique fresh subdirectory for a worker's spill files beneath
 // `base` (or the system temp directory when base is empty).

@@ -6,11 +6,16 @@ namespace gminer {
 
 void VertexTable::LoadPartition(const Graph& g, const std::vector<WorkerId>& owner,
                                 WorkerId me) {
-  GM_CHECK(owner.size() == g.num_vertices());
   records_.clear();
   byte_size_ = 0;
+  AdoptPartition(g, owner, me);
+}
+
+void VertexTable::AdoptPartition(const Graph& g, const std::vector<WorkerId>& owner,
+                                 WorkerId victim) {
+  GM_CHECK(owner.size() == g.num_vertices());
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (owner[v] != me) {
+    if (owner[v] != victim || records_.count(v) != 0) {
       continue;
     }
     VertexRecord r;

@@ -17,8 +17,14 @@ class VertexTable {
  public:
   VertexTable() = default;
 
-  // Loads every vertex of g owned by `me` according to the partition map.
+  // Loads every vertex of g owned by `me` according to the partition map,
+  // replacing any previous contents.
   void LoadPartition(const Graph& g, const std::vector<WorkerId>& owner, WorkerId me);
+
+  // Failover (kAdoptTasks): additionally loads the partition of `victim`
+  // without discarding what is already resident, so an adopter can accumulate
+  // the partitions of several dead peers. Existing entries are kept as-is.
+  void AdoptPartition(const Graph& g, const std::vector<WorkerId>& owner, WorkerId victim);
 
   // Returns nullptr when v is not local.
   const VertexRecord* Find(VertexId v) const {

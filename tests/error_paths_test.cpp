@@ -5,7 +5,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "apps/tc.h"
 #include "common/serialize.h"
+#include "core/cluster.h"
 #include "graph/builder.h"
 #include "graph/io.h"
 #include "lsh/minhash.h"
@@ -51,6 +53,147 @@ TEST(ErrorPathTest, BuilderIgnoresOutOfRangeEdges) {
   b.AddEdge(1, 2);
   const Graph g = b.Build();
   EXPECT_EQ(g.num_edges(), 1u);
+}
+
+// --- Job-submission validation: malformed configs must be rejected before
+// anything is deployed (kConfigError), not wedge or crash mid-run. ---
+
+JobStatus SubmitWith(JobConfig config, const RunOptions& options = {}) {
+  const Graph g = SmallTestGraph();
+  TriangleCountJob job;
+  return Cluster(std::move(config)).Run(g, job, options).status;
+}
+
+TEST(ConfigValidationTest, RejectsNonPositiveClusterShape) {
+  JobConfig config = FastTestConfig();
+  config.num_workers = 0;
+  EXPECT_EQ(SubmitWith(config), JobStatus::kConfigError);
+  config = FastTestConfig();
+  config.threads_per_worker = -1;
+  EXPECT_EQ(SubmitWith(config), JobStatus::kConfigError);
+  config = FastTestConfig();
+  config.pipeline_depth = 0;
+  EXPECT_EQ(SubmitWith(config), JobStatus::kConfigError);
+}
+
+TEST(ConfigValidationTest, RejectsFaultToleranceWithStealing) {
+  JobConfig config = FastTestConfig();
+  config.enable_fault_tolerance = true;
+  config.enable_stealing = true;  // checkpoints are seed-granular
+  config.heartbeat_timeout_ms = 100;
+  EXPECT_EQ(SubmitWith(config), JobStatus::kConfigError);
+}
+
+TEST(ConfigValidationTest, RejectsTightHeartbeatWindow) {
+  JobConfig config = FastTestConfig();
+  config.enable_fault_tolerance = true;
+  config.enable_stealing = false;
+  config.progress_interval_ms = 50;
+  config.heartbeat_timeout_ms = 60;  // < 2 reports: one hiccup = false positive
+  EXPECT_EQ(SubmitWith(config), JobStatus::kConfigError);
+}
+
+TEST(ConfigValidationTest, RejectsOutOfRangeFaultPlan) {
+  JobConfig config = FastTestConfig();
+  RunOptions options;
+  options.faults.drop_probability = 1.5;
+  EXPECT_EQ(SubmitWith(config, options), JobStatus::kConfigError);
+
+  options = {};
+  options.faults.delay_probability = 0.5;
+  options.faults.delay_min_us = 100;
+  options.faults.delay_max_us = 10;  // inverted range
+  EXPECT_EQ(SubmitWith(config, options), JobStatus::kConfigError);
+}
+
+TEST(ConfigValidationTest, RejectsKillsWithoutRecoveryPath) {
+  FaultPlan::Kill kill;
+  kill.worker = 0;
+  kill.after_messages = 1;
+
+  // No fault tolerance: nobody would detect the death.
+  JobConfig config = FastTestConfig();
+  RunOptions options;
+  options.faults.kills.push_back(kill);
+  EXPECT_EQ(SubmitWith(config, options), JobStatus::kConfigError);
+
+  // Fault tolerance but no checkpoint: nothing to adopt from.
+  config.enable_fault_tolerance = true;
+  config.enable_stealing = false;
+  config.heartbeat_timeout_ms = 100;
+  EXPECT_EQ(SubmitWith(config, options), JobStatus::kConfigError);
+
+  // Kill naming a worker outside the cluster.
+  options.checkpoint_dir =
+      (std::filesystem::temp_directory_path() / "gminer_val_ckpt").string();
+  options.faults.kills[0].worker = 99;
+  EXPECT_EQ(SubmitWith(config, options), JobStatus::kConfigError);
+  std::filesystem::remove_all(options.checkpoint_dir);
+}
+
+TEST(ConfigValidationTest, RejectsBadRecoverAssignment) {
+  JobConfig config = FastTestConfig(3, 1);
+  RunOptions options;
+  options.recover_assignment = {0, 1};  // wrong size for 3 workers
+  EXPECT_EQ(SubmitWith(config, options), JobStatus::kConfigError);
+  options.recover_assignment = {0, 1, 7};  // out of range
+  EXPECT_EQ(SubmitWith(config, options), JobStatus::kConfigError);
+}
+
+// --- Corrupted / truncated checkpoints must fail the run gracefully with
+// kCheckpointError, never crash or silently return partial results. ---
+
+class CheckpointCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "gminer_corrupt_ckpt").string();
+    std::filesystem::remove_all(dir_);
+    graph_ = RandomTestGraph(200, 6.0, 5);
+    JobConfig config = FastTestConfig(2, 1);
+    RunOptions options;
+    options.checkpoint_dir = dir_;
+    TriangleCountJob job;
+    ASSERT_EQ(Cluster(config).Run(graph_, job, options).status, JobStatus::kOk);
+    checkpoint_ = dir_ + "/worker_1.tasks";
+    ASSERT_TRUE(std::filesystem::exists(checkpoint_));
+    ASSERT_GT(std::filesystem::file_size(checkpoint_), 0u);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  JobStatus Recover() {
+    JobConfig config = FastTestConfig(2, 1);
+    RunOptions options;
+    options.recover_dir = dir_;
+    TriangleCountJob job;
+    return Cluster(config).Run(graph_, job, options).status;
+  }
+
+  std::string dir_;
+  std::string checkpoint_;
+  Graph graph_;
+};
+
+TEST_F(CheckpointCorruptionTest, TruncatedCheckpointFailsGracefully) {
+  std::filesystem::resize_file(checkpoint_, std::filesystem::file_size(checkpoint_) / 2);
+  EXPECT_EQ(Recover(), JobStatus::kCheckpointError);
+}
+
+TEST_F(CheckpointCorruptionTest, EmptyCheckpointFailsGracefully) {
+  std::filesystem::resize_file(checkpoint_, 0);
+  EXPECT_EQ(Recover(), JobStatus::kCheckpointError);
+}
+
+TEST_F(CheckpointCorruptionTest, GarbageHeaderFailsGracefully) {
+  std::ofstream out(checkpoint_, std::ios::binary | std::ios::trunc);
+  out << "this is not a spill block";
+  out.close();
+  EXPECT_EQ(Recover(), JobStatus::kCheckpointError);
+}
+
+TEST_F(CheckpointCorruptionTest, MissingCheckpointFailsGracefully) {
+  std::filesystem::remove(checkpoint_);
+  EXPECT_EQ(Recover(), JobStatus::kCheckpointError);
 }
 
 TEST(ErrorPathTest, EdgeListLoaderSkipsCommentsAndGarbage) {

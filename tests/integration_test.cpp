@@ -206,34 +206,37 @@ TEST(CheckpointTest, RecoveryReproducesResults) {
   std::filesystem::remove_all(dir);
 }
 
-TEST(CheckpointTest, DeadWorkerTasksRerunElsewhere) {
-  // Task independence (§4.2) lets any worker re-run a failed worker's
-  // checkpointed tasks: here worker 0 adopts dead worker 2's task file while
-  // also keeping its own.
+TEST(CheckpointTest, DeadWorkerTasksAdoptedOnline) {
+  // Online failover (kAdoptTasks): kill 1 of 4 workers mid-job; the master's
+  // failure detector fences it, a survivor adopts its partition and re-runs
+  // its checkpointed tasks, and the job completes with the exact result — no
+  // restart, no manual checkpoint shuffling (task independence, §4.2/§7).
   const Graph g = RandomTestGraph(500, 10.0, 22);
   const uint64_t expected = SerialTriangleCount(g);
   const std::string dir =
       (std::filesystem::temp_directory_path() / "gminer_ckpt_failover").string();
   std::filesystem::remove_all(dir);
 
-  JobConfig config = FastTestConfig(3, 2);
-  RunOptions checkpoint;
-  checkpoint.checkpoint_dir = dir;
+  JobConfig config = FastTestConfig(4, 1);
+  config.enable_stealing = false;  // required by fault tolerance
+  config.enable_fault_tolerance = true;
+  config.heartbeat_timeout_ms = 100;
+  config.pipeline_depth = 16;      // throttle: the job must outlast the kill
+  config.rcv_cache_capacity = 64;  // steady pull traffic feeds the trigger
+  RunOptions options;
+  options.checkpoint_dir = dir;
+  options.faults.seed = 77;
+  FaultPlan::Kill kill;
+  kill.worker = 2;
+  kill.after_messages = 5;  // shortly after its seed checkpoint is written
+  options.faults.kills.push_back(kill);
   TriangleCountJob job;
-  ASSERT_EQ(Cluster(config).Run(g, job, checkpoint).status, JobStatus::kOk);
-
-  // Simulate the failure of worker 2: a 2-worker cluster recovers, with
-  // worker 0 running files {0, 2} merged... here we remap: new worker 0 gets
-  // old file 0, new worker 1 gets old file 1, and a third logical recovery
-  // pass handles file 2 on worker 0 via the assignment map.
-  JobConfig recover_config = FastTestConfig(3, 2);
-  RunOptions recover;
-  recover.recover_dir = dir;
-  recover.recover_assignment = {2, 1, 0};  // workers swap task files
-  TriangleCountJob job2;
-  const JobResult recovered = Cluster(recover_config).Run(g, job2, recover);
-  ASSERT_EQ(recovered.status, JobStatus::kOk);
-  EXPECT_EQ(TriangleCountJob::Count(recovered.final_aggregate), expected);
+  const JobResult result = Cluster(config).Run(g, job, options);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(result.final_aggregate), expected);
+  EXPECT_GE(result.totals.failovers, 1) << "a survivor must have adopted worker 2";
+  EXPECT_GT(result.totals.tasks_adopted, 0) << "worker 2's checkpoint must be re-run";
+  EXPECT_GT(result.totals.heartbeat_misses, 0);
   std::filesystem::remove_all(dir);
 }
 

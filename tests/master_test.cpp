@@ -58,11 +58,13 @@ class MasterProtocolTest : public ::testing::Test {
     master_thread_.join();
   }
 
-  void SendProgress(WorkerId from, uint64_t inactive, uint64_t ready, int64_t local) {
+  void SendProgress(WorkerId from, uint64_t inactive, uint64_t ready, int64_t local,
+                    bool seeded = true) {
     OutArchive out;
     out.Write<uint64_t>(inactive);
     out.Write<uint64_t>(ready);
     out.Write<int64_t>(local);
+    out.Write<uint8_t>(seeded ? 1 : 0);  // piggybacked seeding status
     net_.Send(from, kMaster, MessageType::kProgressReport, out.TakeBuffer());
   }
 

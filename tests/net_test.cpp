@@ -90,5 +90,149 @@ TEST(NetworkTest, SimulatedLinkSerializesTransfers) {
   EXPECT_GT(timer.ElapsedSeconds(), 0.12);
 }
 
+// Helper: the accounting identity that must hold at every quiescent point,
+// per messages and per bytes: everything sent (plus injected duplicates) is
+// either delivered or counted as dropped — nothing vanishes silently.
+void ExpectBalanced(const std::vector<WorkerCounters*>& counters) {
+  int64_t sent_msgs = 0, delivered = 0, dropped = 0, duplicated = 0;
+  int64_t sent_bytes = 0, recv_bytes = 0, dropped_bytes = 0, dup_bytes = 0;
+  for (const WorkerCounters* c : counters) {
+    if (c == nullptr) {
+      continue;
+    }
+    sent_msgs += c->net_messages.load();
+    delivered += c->net_messages_delivered.load();
+    dropped += c->net_messages_dropped.load();
+    duplicated += c->net_messages_duplicated.load();
+    sent_bytes += c->net_bytes_sent.load();
+    recv_bytes += c->net_bytes_received.load();
+    dropped_bytes += c->net_bytes_dropped.load();
+    dup_bytes += c->net_bytes_duplicated.load();
+  }
+  EXPECT_EQ(delivered + dropped, sent_msgs + duplicated) << "message count imbalance";
+  EXPECT_EQ(recv_bytes + dropped_bytes, sent_bytes + dup_bytes) << "byte count imbalance";
+}
+
+TEST(NetworkTest, CloseDrainsPendingAsDropped) {
+  WorkerCounters c0;
+  WorkerCounters c1;
+  // Slow simulated link so messages are still pending when Close() hits.
+  Network net(2, {&c0, &c1}, /*simulate_time=*/true, /*bandwidth_gbps=*/0.0001,
+              /*latency_us=*/50'000);
+  for (int i = 0; i < 8; ++i) {
+    net.Send(0, 1, MessageType::kPullResponse, std::vector<uint8_t>(2000));
+  }
+  net.Close();
+  EXPECT_GT(c1.net_messages_dropped.load(), 0) << "pending deliveries must count as dropped";
+  ExpectBalanced({&c0, &c1});
+}
+
+TEST(NetworkTest, MarkDeadFencesBothDirections) {
+  WorkerCounters c0;
+  WorkerCounters c1;
+  WorkerCounters c2;
+  Network net(3, {&c0, &c1, &c2});
+  net.MarkDead(1);
+  EXPECT_TRUE(net.IsDead(1));
+  // To the dead endpoint: sender pays, receiver never sees it.
+  net.Send(0, 1, MessageType::kPullRequest, {1, 2, 3});
+  EXPECT_FALSE(net.TryReceive(1).has_value());
+  EXPECT_GT(c1.net_messages_dropped.load(), 0);
+  // From the dead endpoint: silently swallowed, not even accounted as sent.
+  const int64_t sent_before = c1.net_messages.load();
+  net.Send(1, 2, MessageType::kPullResponse, {4});
+  EXPECT_FALSE(net.TryReceive(2).has_value());
+  EXPECT_EQ(c1.net_messages.load(), sent_before);
+  ExpectBalanced({&c0, &c1, &c2});
+  // MarkDead closed the mailbox so a blocked listener unblocks.
+  EXPECT_FALSE(net.Receive(1).has_value());
+}
+
+TEST(NetworkTest, FaultInjectorDropsAreAccounted) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop_probability = 0.5;
+  FaultInjector injector(plan);
+  WorkerCounters c0;
+  WorkerCounters c1;
+  {
+    Network net(2, {&c0, &c1}, false, 1.0, 0, &injector);
+    for (int i = 0; i < 200; ++i) {
+      net.Send(0, 1, MessageType::kPullRequest, {1});
+    }
+    while (net.TryReceive(1).has_value()) {
+    }
+    net.Close();
+  }
+  EXPECT_GT(c1.net_messages_dropped.load(), 30);
+  EXPECT_GT(c1.net_messages_delivered.load(), 30);
+  ExpectBalanced({&c0, &c1});
+}
+
+TEST(FaultInjectorTest, DecisionsAreDeterministicPerSeed) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.drop_probability = 0.3;
+  plan.duplicate_probability = 0.2;
+  plan.delay_probability = 0.1;
+  plan.delay_min_us = 10;
+  plan.delay_max_us = 50;
+  const auto trace = [&plan] {
+    FaultInjector injector(plan);
+    std::vector<int> decisions;
+    for (int i = 0; i < 100; ++i) {
+      const auto d = injector.OnSend(0, 1, MessageType::kPullRequest);
+      decisions.push_back((d.drop ? 1 : 0) | (d.duplicate ? 2 : 0) |
+                          (d.delay_ns > 0 ? 4 : 0));
+    }
+    return decisions;
+  };
+  const auto a = trace();
+  const auto b = trace();
+  EXPECT_EQ(a, b) << "same seed must inject the same fault sequence";
+  plan.seed = 4321;
+  EXPECT_NE(a, trace()) << "different seed should differ";
+}
+
+TEST(FaultInjectorTest, ControlPlaneMessagesAreExempt) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_probability = 1.0;
+  FaultInjector injector(plan);
+  // Shutdown / migration / adoption traffic must never be randomly faulted.
+  for (const MessageType type :
+       {MessageType::kShutdown, MessageType::kMigrateTasks, MessageType::kAdoptTasks,
+        MessageType::kAdoptDone, MessageType::kSeedDone}) {
+    const auto d = injector.OnSend(0, 1, type);
+    EXPECT_FALSE(d.drop) << "control message type " << static_cast<int>(type) << " dropped";
+  }
+  EXPECT_TRUE(injector.OnSend(0, 1, MessageType::kPullRequest).drop);
+}
+
+TEST(FaultInjectorTest, MessageCountKillTriggersOnce) {
+  FaultPlan plan;
+  plan.seed = 5;
+  FaultPlan::Kill kill;
+  kill.worker = 0;
+  kill.after_messages = 3;
+  kill.after_seeding = false;
+  plan.kills.push_back(kill);
+  FaultInjector injector(plan);
+  int kills = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto d = injector.OnSend(0, 1, MessageType::kPullRequest);
+    if (d.kill == 0) {
+      ++kills;
+      EXPECT_EQ(i, 2) << "kill must fire on the configured message ordinal";
+    }
+  }
+  EXPECT_EQ(kills, 1) << "a kill fires exactly once";
+  // Messages from other workers never trip worker 0's trigger.
+  FaultInjector other(plan);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(other.OnSend(1, 2, MessageType::kPullRequest).kill, kInvalidWorker);
+  }
+}
+
 }  // namespace
 }  // namespace gminer

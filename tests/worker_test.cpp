@@ -50,8 +50,10 @@ class WorkerProtocolTest : public ::testing::Test {
 
   void Shutdown(Worker& worker) {
     net_.Send(kMaster, 0, MessageType::kShutdown, {});
-    // The worker acknowledges with its final aggregator partial.
+    // The worker acknowledges with its final aggregator partial, then keeps
+    // listening (for re-sent shutdowns) until the network closes.
     AwaitMessage(kMaster, MessageType::kAggPartial);
+    net_.Close();
     worker.Join();
   }
 
@@ -78,12 +80,15 @@ TEST_F(WorkerProtocolTest, ServesPullRequestsFromItsPartition) {
     }
   }
   ASSERT_FALSE(owned.empty());
+  constexpr uint64_t kRequestId = 7;
   OutArchive request;
+  request.Write<uint64_t>(kRequestId);
   request.WriteVector(owned);
   net_.Send(1, 0, MessageType::kPullRequest, request.TakeBuffer());
 
   NetMessage response = AwaitMessage(1, MessageType::kPullResponse);
   InArchive in(std::move(response.payload));
+  EXPECT_EQ(in.Read<uint64_t>(), kRequestId) << "response must echo the request id";
   const uint64_t count = in.Read<uint64_t>();
   ASSERT_EQ(count, owned.size());
   for (uint64_t i = 0; i < count; ++i) {
@@ -92,6 +97,34 @@ TEST_F(WorkerProtocolTest, ServesPullRequestsFromItsPartition) {
     const auto adj = graph_.neighbors(record.id);
     EXPECT_TRUE(std::equal(record.adj.begin(), record.adj.end(), adj.begin(), adj.end()));
   }
+  Shutdown(*worker);
+}
+
+TEST_F(WorkerProtocolTest, PullRequestForNonLocalVerticesServesPartially) {
+  auto worker = MakeWorkerZero();
+  worker->Start();
+  AwaitMessage(kMaster, MessageType::kSeedDone);
+
+  // Mix one owned vertex with vertices worker 0 does not own: the worker must
+  // serve what it has and skip the rest (a redirected pull can race an
+  // adoption), never crash.
+  std::vector<VertexId> mixed;
+  size_t local = 0;
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    mixed.push_back(v);
+    local += (*owner_)[v] == 0 ? 1 : 0;
+  }
+  ASSERT_GT(local, 0u);
+  ASSERT_LT(local, mixed.size());
+  OutArchive request;
+  request.Write<uint64_t>(11);
+  request.WriteVector(mixed);
+  net_.Send(1, 0, MessageType::kPullRequest, request.TakeBuffer());
+
+  NetMessage response = AwaitMessage(1, MessageType::kPullResponse);
+  InArchive in(std::move(response.payload));
+  EXPECT_EQ(in.Read<uint64_t>(), 11u);
+  EXPECT_EQ(in.Read<uint64_t>(), local) << "only locally-owned vertices are served";
   Shutdown(*worker);
 }
 
@@ -126,6 +159,7 @@ TEST_F(WorkerProtocolTest, ReportsProgressPeriodically) {
     in.Read<uint64_t>();  // inactive
     in.Read<uint64_t>();  // ready
     in.Read<int64_t>();   // local tasks
+    in.Read<uint8_t>();   // piggybacked seeding status
     EXPECT_TRUE(in.AtEnd());
   }
   Shutdown(*worker);
@@ -141,6 +175,7 @@ TEST_F(WorkerProtocolTest, FinalReportCarriesAggregatorPartial) {
   EXPECT_EQ(in.Read<uint8_t>(), 1) << "shutdown acknowledgement must be flagged final";
   in.Read<uint64_t>();  // the SumAggregator partial
   EXPECT_TRUE(in.AtEnd());
+  net_.Close();
   worker->Join();
 }
 
