@@ -1,15 +1,48 @@
 #!/usr/bin/env bash
-# CI driver: normal build + full test suite, then optional sanitizer passes.
+# CI driver: normal build + full test suite, then optional sanitizer passes,
+# plus the static-analysis entry points.
 #
 #   scripts/ci.sh                 # RelWithDebInfo build + ctest
 #   scripts/ci.sh address         # additionally run the suite under ASan
 #   scripts/ci.sh address thread  # ... ASan then TSan
+#   scripts/ci.sh lint            # repo lint (serialize symmetry, naked
+#                                 # threads, include layering)
+#   scripts/ci.sh tidy            # clang-tidy over src/ (needs clang-tidy +
+#                                 # a compile_commands.json)
+#   scripts/ci.sh threadsafety    # Clang -Wthread-safety build (needs clang++)
 #
 # Each sanitizer gets its own build directory (build-asan, build-tsan,
 # build-ubsan) so incremental rebuilds stay warm across runs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+run_lint() {
+  python3 scripts/lint.py
+}
+
+run_tidy() {
+  command -v clang-tidy >/dev/null || { echo "clang-tidy not installed" >&2; exit 2; }
+  # clang-tidy needs a compilation database; any build dir works, a dedicated
+  # one keeps the flags independent of local sanitizer configs.
+  cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  # Headers are covered through the .cc files that include them
+  # (HeaderFilterRegex in .clang-tidy).
+  find src -name '*.cc' -print0 |
+    xargs -0 -P "$(nproc)" -n 8 clang-tidy -p build-tidy --quiet
+}
+
+run_threadsafety() {
+  command -v clang++ >/dev/null || { echo "clang++ not installed" >&2; exit 2; }
+  CC=clang CXX=clang++ cmake -B build-threadsafety -S . -DGMINER_THREAD_SAFETY=ON
+  cmake --build build-threadsafety -j "$(nproc)"
+}
+
+case "${1:-}" in
+  lint) run_lint; exit ;;
+  tidy) run_tidy; exit ;;
+  threadsafety) run_threadsafety; exit ;;
+esac
 
 run_suite() {
   local build_dir="$1"

@@ -1,0 +1,355 @@
+#!/usr/bin/env python3
+"""Repo-specific static lint for the G-Miner tree.
+
+Three checks, all cheap enough for a pre-commit hook and run in CI
+(scripts/ci.sh lint):
+
+1. serialize-symmetry: every type that defines a Serialize(OutArchive&) /
+   Deserialize(InArchive&) pair (or SerializeBody/DeserializeBody) must
+   read fields back in exactly the order and shape it wrote them. The
+   archives are raw byte streams with no tags, so a mismatch silently
+   corrupts every message that crosses the (simulated) wire.
+
+2. naked-thread: std::thread may only be constructed in the files that own
+   thread lifetime (common/thread_pool, core/worker). Everything else goes
+   through ThreadPool so Wait()/Shutdown() semantics stay in one place.
+   Deliberate exceptions carry a `lint:allow(naked-thread)` comment.
+   Companion check raw-sync: raw std::mutex / condition_variable /
+   lock_guard are banned outside common/thread_annotations.h — the
+   annotated wrappers are the only primitives the Clang thread-safety
+   analysis can reason about.
+
+3. include-layering: src/ subdirectories form a DAG (apps -> core ->
+   {net,storage,partition,lsh} -> {graph,metrics} -> common, mirroring the
+   CMake link graph). A back-edge include compiles fine today and produces
+   a dependency cycle six months from now; reject it here.
+
+Exit status 0 = clean, 1 = findings (printed one per line as
+path:line: [check] message).
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+findings = []
+
+
+def finding(path, line, check, msg):
+    rel = os.path.relpath(path, REPO)
+    findings.append(f"{rel}:{line}: [{check}] {msg}")
+
+
+def source_files():
+    out = []
+    for root, _dirs, files in os.walk(SRC):
+        for f in sorted(files):
+            if f.endswith((".h", ".cc")):
+                out.append(os.path.join(root, f))
+    return sorted(out)
+
+
+def strip_comments(text):
+    """Remove // and /* */ comments, preserving line structure."""
+    text = re.sub(r"/\*.*?\*/", lambda m: re.sub(r"[^\n]", " ", m.group(0)), text, flags=re.S)
+    text = re.sub(r"//[^\n]*", "", text)
+    return text
+
+
+# --------------------------------------------------------------------------
+# Check 1: serialize/deserialize symmetry
+# --------------------------------------------------------------------------
+
+SER_DEF = re.compile(
+    r"\b(?:void\s+)?((?:\w+::)*)(Serialize|SerializeBody)\s*\(\s*(?:gminer::)?OutArchive\s*&\s*(\w+)\s*\)\s*(?:const)?\s*(?:override)?\s*\{"
+)
+DES_DEF = re.compile(
+    r"\b(?:static\s+)?(?:[\w:]+\s+)??((?:\w+::)*)(Deserialize|DeserializeBody)\s*\(\s*(?:gminer::)?InArchive\s*&\s*(\w+)\s*\)\s*(?:override)?\s*\{"
+)
+
+
+def extract_body(text, open_brace_idx):
+    """Return the text between the brace at open_brace_idx and its match."""
+    depth = 0
+    for i in range(open_brace_idx, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_brace_idx + 1 : i]
+    return text[open_brace_idx + 1 :]
+
+
+def field_name(expr):
+    """Normalize `r.id`, `members[i].adj`, `round_` to a bare field name.
+
+    Returns None for anything that is not a plain lvalue chain (calls,
+    arithmetic, casts) — those carry no comparable name.
+    """
+    expr = expr.strip()
+    if not re.fullmatch(r"[\w\.\[\]>\-]+", expr) or "(" in expr:
+        return None
+    idents = re.findall(r"\w+", expr)
+    return idents[-1].rstrip("_") if idents else None
+
+
+def matched_paren(text, open_idx):
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text)
+
+
+def write_ops(body, arch):
+    """Flatten a Serialize body into (kind, type|None, field|None) tuples."""
+    ops = []
+    token = re.compile(
+        rf"\b{arch}\s*\.\s*(WriteVector|WriteString|WriteBytes|Write)\s*(?:<\s*([^>]+?)\s*>)?\s*\("
+        rf"|\b(\w+)\s*\.\s*Serialize\s*\(\s*{arch}\s*\)"
+        rf"|\bSerializeBody\s*\(\s*{arch}\s*\)"
+    )
+    for m in token.finditer(body):
+        if m.group(1):
+            kind = {"Write": "scalar", "WriteVector": "vector",
+                    "WriteString": "string", "WriteBytes": "bytes"}[m.group(1)]
+            arg = body[m.end() : matched_paren(body, m.end() - 1)]
+            ops.append((kind, m.group(2), field_name(arg)))
+        elif m.group(3):
+            ops.append(("nested", None, field_name(m.group(3))))
+        else:
+            ops.append(("body", None, None))
+    return ops
+
+
+def read_ops(body, arch):
+    """Flatten a Deserialize body into (kind, type|None, field|None) tuples."""
+    ops = []
+    token = re.compile(
+        rf"\b{arch}\s*\.\s*(ReadVector|ReadString|ReadBytes|Read)\s*(?:<\s*([^>]+?)\s*>)?\s*\("
+        rf"|\b([\w:]*)\.?Deserialize\s*\(\s*{arch}\s*\)"
+        rf"|\bDeserializeBody\s*\(\s*{arch}\s*\)"
+    )
+    # The assignment target preceding a Read call, e.g. `r.id = in.Read<...>`.
+    # Declarations (`const uint64_t n = ...`) yield the local's name, which
+    # only matters when the write side also produced a comparable name.
+    target = re.compile(r"([\w\.\[\]>\-]+)\s*=\s*$")
+    for m in token.finditer(body):
+        if m.group(1):
+            kind = {"Read": "scalar", "ReadVector": "vector",
+                    "ReadString": "string", "ReadBytes": "bytes"}[m.group(1)]
+            prefix = body[: m.start()].rsplit(";", 1)[-1].rsplit("{", 1)[-1]
+            t = target.search(prefix)
+            ops.append((kind, m.group(2), field_name(t.group(1)) if t else None))
+        elif "DeserializeBody" in m.group(0):
+            ops.append(("body", None, None))
+        else:
+            recv = m.group(3) or ""
+            ops.append(("nested", None, field_name(recv) if recv else None))
+    return ops
+
+
+def check_serialize_symmetry(path, text):
+    clean = strip_comments(text)
+
+    def collect(pattern, op_fn):
+        out = []
+        for m in pattern.finditer(clean):
+            body = extract_body(clean, m.end() - 1)
+            line = clean[: m.start()].count("\n") + 1
+            name = (m.group(1) or "") + m.group(2)
+            out.append((name, line, op_fn(body, m.group(3))))
+        return out
+
+    writers = collect(SER_DEF, write_ops)
+    readers = collect(DES_DEF, read_ops)
+    if not writers and not readers:
+        return
+
+    def base(name):
+        # "VertexRecord::Serialize" -> "VertexRecord"; bare "Serialize" -> ""
+        short = name.split("::")[-1]
+        scope = name[: -len(short)].rstrip(":")
+        return scope, short.replace("Serialize", "").replace("Deserialize", "")
+
+    # Pair writer i with reader i after grouping by (scope, Body-suffix).
+    by_key_w, by_key_r = {}, {}
+    for name, line, ops in writers:
+        by_key_w.setdefault(base(name), []).append((name, line, ops))
+    for name, line, ops in readers:
+        by_key_r.setdefault(base(name), []).append((name, line, ops))
+
+    for key, ws in by_key_w.items():
+        rs = by_key_r.get(key, [])
+        if len(ws) != len(rs):
+            name, line, _ = ws[0]
+            finding(path, line, "serialize-symmetry",
+                    f"{name} has no matching Deserialize in this file")
+            continue
+        for (wname, wline, wops), (rname, rline, rops) in zip(ws, rs):
+            if len(wops) != len(rops):
+                finding(path, wline, "serialize-symmetry",
+                        f"{wname} writes {len(wops)} fields but {rname} (line {rline}) "
+                        f"reads {len(rops)}")
+                continue
+            rnames = {rf for _, _, rf in rops if rf}
+            for i, ((wk, wt, wf), (rk, rt, rf)) in enumerate(zip(wops, rops)):
+                if wk != rk:
+                    finding(path, wline, "serialize-symmetry",
+                            f"{wname} field #{i + 1} is a {wk} write but {rname} "
+                            f"(line {rline}) reads a {rk}")
+                elif wt is not None and rt is not None and wt != rt:
+                    finding(path, wline, "serialize-symmetry",
+                            f"{wname} field #{i + 1} written as <{wt}> but read as <{rt}>")
+                elif (wf and rf and wf != rf and wf in rnames):
+                    # The written field IS read back, just at a different
+                    # position — an order swap, not a renamed local.
+                    finding(path, wline, "serialize-symmetry",
+                            f"{wname} field #{i + 1} writes '{wf}' but {rname} "
+                            f"(line {rline}) reads '{rf}' here — field order differs")
+    for key, rs in by_key_r.items():
+        if key not in by_key_w:
+            name, line, _ = rs[0]
+            finding(path, line, "serialize-symmetry",
+                    f"{name} has no matching Serialize in this file")
+
+
+# --------------------------------------------------------------------------
+# Check 2: naked std::thread
+# --------------------------------------------------------------------------
+
+# Files that own thread lifetime: the pool itself and the worker pipeline
+# (whose threads live exactly as long as the worker; see worker.h).
+THREAD_ALLOWLIST = {
+    "src/common/thread_pool.h",
+    "src/common/thread_pool.cc",
+    "src/core/worker.h",
+    "src/core/worker.cc",
+}
+
+THREAD_USE = re.compile(r"\bstd::thread\b(?!\s*::)")
+ALLOW_COMMENT = "lint:allow(naked-thread)"
+
+
+def check_naked_thread(path, text):
+    rel = os.path.relpath(path, REPO)
+    if rel in THREAD_ALLOWLIST:
+        return
+    lines = text.split("\n")
+    for i, line in enumerate(lines):
+        code = line.split("//")[0]
+        if not THREAD_USE.search(code):
+            continue
+        if "#include" in code:
+            continue
+        prev = lines[i - 1] if i > 0 else ""
+        if ALLOW_COMMENT in line or ALLOW_COMMENT in prev:
+            continue
+        finding(path, i + 1, "naked-thread",
+                "std::thread outside thread_pool/worker; use ThreadPool or add "
+                "a `lint:allow(naked-thread)` comment with a lifetime rationale")
+
+
+# --------------------------------------------------------------------------
+# Check 2b: raw synchronization primitives
+# --------------------------------------------------------------------------
+
+# Everything synchronizes through the annotated wrappers in
+# common/thread_annotations.h so Clang's -Wthread-safety (and the GUARDED_BY
+# contract documented in DESIGN.md) can see it. Raw primitives are invisible
+# to the analysis and therefore banned outside the wrapper itself.
+RAW_SYNC = re.compile(
+    r"\bstd::(mutex|condition_variable|lock_guard|unique_lock|scoped_lock|shared_mutex)\b"
+)
+SYNC_ALLOWLIST = {"src/common/thread_annotations.h"}
+
+
+def check_raw_sync(path, text):
+    rel = os.path.relpath(path, REPO)
+    if rel in SYNC_ALLOWLIST:
+        return
+    for i, line in enumerate(text.split("\n")):
+        code = line.split("//")[0]
+        if RAW_SYNC.search(code) and "#include" not in code:
+            finding(path, i + 1, "raw-sync",
+                    "raw std synchronization primitive; use Mutex/MutexLock/CondVar "
+                    "from common/thread_annotations.h so the thread-safety analysis "
+                    "sees it")
+
+
+# --------------------------------------------------------------------------
+# Check 3: include layering
+# --------------------------------------------------------------------------
+
+# Mirrors target_link_libraries in src/*/CMakeLists.txt. A directory may
+# include its own headers plus these.
+ALLOWED_DEPS = {
+    "common": set(),
+    "graph": {"common"},
+    "metrics": {"common"},
+    "lsh": {"common", "graph"},
+    "partition": {"common", "graph"},
+    "storage": {"common", "graph"},
+    "net": {"common", "graph", "metrics"},
+    "core": {"common", "graph", "metrics", "lsh", "partition", "storage", "net"},
+    "apps": {"common", "graph", "metrics", "lsh", "partition", "storage", "net", "core"},
+    "baselines": {"common", "graph", "metrics", "lsh", "partition", "storage", "net",
+                  "core", "apps"},
+}
+
+INCLUDE = re.compile(r'^\s*#include\s+"([a-z_]+)/')
+
+
+def check_include_layering(path, text):
+    rel_dir = os.path.relpath(path, SRC).split(os.sep)[0]
+    allowed = ALLOWED_DEPS.get(rel_dir)
+    if allowed is None:
+        finding(path, 1, "include-layering",
+                f"unknown src/ subdirectory '{rel_dir}'; add it to ALLOWED_DEPS "
+                "with its place in the layer DAG")
+        return
+    for i, line in enumerate(text.split("\n")):
+        m = INCLUDE.match(line)
+        if not m:
+            continue
+        dep = m.group(1)
+        if dep == rel_dir or dep in allowed or dep not in ALLOWED_DEPS:
+            continue
+        finding(path, i + 1, "include-layering",
+                f"src/{rel_dir} must not include src/{dep} "
+                f"(layering: apps -> core -> net/storage/partition/lsh -> "
+                f"graph/metrics -> common)")
+
+
+def main():
+    files = source_files()
+    if not files:
+        print("lint.py: no sources found under src/", file=sys.stderr)
+        return 2
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        check_serialize_symmetry(path, text)
+        check_naked_thread(path, text)
+        check_raw_sync(path, text)
+        check_include_layering(path, text)
+    for line in sorted(findings):
+        print(line)
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint.py: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

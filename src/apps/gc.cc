@@ -43,7 +43,7 @@ std::vector<VertexId> FocusedClusterTask::ComputeBoundary() const {
   std::set<VertexId> boundary;
   for (const Member& m : members) {
     for (const VertexId u : m.adj) {
-      if (member_ids.count(u) == 0 && banned_ids.count(u) == 0) {
+      if (!member_ids.contains(u) && !banned_ids.contains(u)) {
         boundary.insert(u);
       }
     }

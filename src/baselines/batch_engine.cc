@@ -4,11 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <list>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "metrics/memory_tracker.h"
@@ -46,7 +46,7 @@ class LruCache {
   }
 
   void Insert(VertexRecord record) {
-    if (entries_.count(record.id) > 0) {
+    if (entries_.contains(record.id)) {
       return;
     }
     while (entries_.size() >= capacity_ && !order_.empty()) {
@@ -94,7 +94,7 @@ struct BatchWorker {
   std::vector<BatchTask> ready;    // stash filled, runnable
   std::vector<BatchTask> waiting;  // need remote vertices
   std::unique_ptr<AggregatorBase> aggregator;
-  std::mutex mutex;  // guards `waiting` during the parallel compute phase
+  Mutex mutex;  // guards `waiting` during the parallel compute phase
 };
 
 class BatchSeedSink : public SeedSink {
@@ -122,7 +122,7 @@ class BatchUpdateContext : public UpdateContext {
   BatchUpdateContext(BatchWorker* worker, const JobConfig* config, WorkerId id,
                      MemoryTracker* memory, std::atomic<int64_t>* created,
                      std::atomic<bool>* cancelled, std::vector<std::string>* outputs,
-                     std::mutex* output_mutex, Rng rng)
+                     Mutex* output_mutex, Rng rng)
       : worker_(worker),
         config_(config),
         id_(id),
@@ -157,12 +157,12 @@ class BatchUpdateContext : public UpdateContext {
     created_->fetch_add(1, std::memory_order_relaxed);
     BatchTask bt;
     bt.task = std::move(task);
-    std::lock_guard<std::mutex> lock(worker_->mutex);
+    MutexLock lock(worker_->mutex);
     worker_->waiting.push_back(std::move(bt));
   }
 
   void Output(const std::string& line) override {
-    std::lock_guard<std::mutex> lock(*output_mutex_);
+    MutexLock lock(*output_mutex_);
     outputs_->push_back(line);
   }
 
@@ -180,7 +180,7 @@ class BatchUpdateContext : public UpdateContext {
   std::atomic<int64_t>* created_;
   std::atomic<bool>* cancelled_;
   std::vector<std::string>* outputs_;
-  std::mutex* output_mutex_;
+  Mutex* output_mutex_;
   Rng rng_;
   BatchTask* current_ = nullptr;
 };
@@ -221,7 +221,7 @@ JobResult RunBatch(const Graph& g, JobBase& job, const JobConfig& config) {
   std::atomic<int64_t> completed{0};
   std::atomic<bool> cancelled{false};
   std::vector<std::string> outputs;
-  std::mutex output_mutex;
+  Mutex output_mutex;
 
   for (int w = 0; w < num_workers; ++w) {
     auto worker = std::make_unique<BatchWorker>();
@@ -272,7 +272,7 @@ JobResult RunBatch(const Graph& g, JobBase& job, const JobConfig& config) {
       for (size_t i = 0; i < admit; ++i) {
         auto& bt = worker.waiting[i];
         for (const VertexId v : bt.task->to_pull()) {
-          if (bt.stash.count(v) > 0) {
+          if (bt.stash.contains(v)) {
             continue;
           }
           VertexRecord record;
@@ -358,7 +358,7 @@ JobResult RunBatch(const Graph& g, JobBase& job, const JobConfig& config) {
             const std::vector<VertexId> to_pull = RemoteCandidates(worker, *bt.task);
             bool missing = false;
             for (const VertexId v : to_pull) {
-              if (bt.stash.count(v) == 0) {
+              if (!bt.stash.contains(v)) {
                 missing = true;
                 break;
               }
@@ -368,7 +368,7 @@ JobResult RunBatch(const Graph& g, JobBase& job, const JobConfig& config) {
               memory.Sub(bt.task->accounted_bytes);
               bt.task->accounted_bytes = bt.task->ByteSize();
               memory.Add(bt.task->accounted_bytes);
-              std::lock_guard<std::mutex> lock(worker.mutex);
+              MutexLock lock(worker.mutex);
               worker.waiting.push_back(std::move(bt));
               break;
             }

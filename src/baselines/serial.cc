@@ -417,7 +417,7 @@ std::vector<std::vector<VertexId>> SerialFocusedClusters(const Graph& g,
       std::set<VertexId> boundary;
       for (const Member& m : members) {
         for (const VertexId u : m.adj) {
-          if (ids.count(u) == 0 && banned.count(u) == 0) {
+          if (!ids.contains(u) && !banned.contains(u)) {
             boundary.insert(u);
           }
         }

@@ -5,11 +5,11 @@
 #define GMINER_COMMON_BLOCKING_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace gminer {
 
@@ -23,23 +23,25 @@ class BlockingQueue {
 
   // Enqueues an item. Returns false when the queue has been closed (the item
   // is dropped in that case).
-  bool Push(T item) {
+  bool Push(T item) EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) {
         return false;
       }
       items_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
 
   // Blocks until an item is available or the queue is closed and drained.
   // Returns nullopt only after Close() once all items are consumed.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+  std::optional<T> Pop() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (items_.empty() && !closed_) {
+      cv_.Wait(mutex_);
+    }
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -51,9 +53,14 @@ class BlockingQueue {
   // Blocks up to `timeout` for an item; returns nullopt on timeout or once
   // the queue is closed and drained.
   template <typename Rep, typename Period>
-  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait_for(lock, timeout, [this] { return !items_.empty() || closed_; });
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) EXCLUDES(mutex_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mutex_);
+    while (items_.empty() && !closed_) {
+      if (!cv_.WaitUntil(mutex_, deadline)) {
+        break;  // timed out; fall through to a final state check
+      }
+    }
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -63,8 +70,8 @@ class BlockingQueue {
   }
 
   // Non-blocking pop.
-  std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<T> TryPop() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -75,31 +82,31 @@ class BlockingQueue {
 
   // Wakes all waiters; subsequent Pop() calls drain remaining items then
   // return nullopt. Pushing after Close() is a no-op.
-  void Close() {
+  void Close() EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  size_t Size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t Size() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   bool Empty() const { return Size() == 0; }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<T> items_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gminer

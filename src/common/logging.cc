@@ -4,7 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace gminer {
 
@@ -12,8 +13,8 @@ namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
 
-std::mutex& LogMutex() {
-  static std::mutex mutex;
+Mutex& LogMutex() {
+  static Mutex mutex;
   return mutex;
 }
 
@@ -46,7 +47,7 @@ void LogMessage(LogLevel level, const char* file, int line, const std::string& m
       base = p + 1;
     }
   }
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(LogMutex());
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, message.c_str());
 }
 

@@ -1,0 +1,137 @@
+// Compile-time thread-safety annotation layer (Clang -Wthread-safety).
+//
+// Every mutex-guarded member in the concurrent subsystems is declared with
+// GUARDED_BY(mu), every function that must run under a lock with REQUIRES(mu),
+// and locking itself goes through the annotated Mutex / MutexLock / CondVar
+// wrappers below. Under Clang with -DGMINER_THREAD_SAFETY=ON (see the
+// top-level CMakeLists.txt) a missing lock is a build error, not a heisenbug;
+// under GCC the attributes expand to nothing and the wrappers are zero-cost
+// veneers over the standard primitives.
+//
+// Conventions (see DESIGN.md "Locking discipline"):
+//  - condition-variable predicates are evaluated by the *caller* in a
+//    `while (!pred) cv.Wait(mu);` loop, so the guarded reads in the predicate
+//    sit in a function the analysis can see holds the lock. CondVar::Wait
+//    deliberately takes no predicate.
+//  - private helpers that assume the lock carry a `Locked` suffix and a
+//    REQUIRES(mutex_) annotation.
+//  - the annotations describe the *rule*; NO_THREAD_SAFETY_ANALYSIS is the
+//    narrow escape hatch for patterns the analysis cannot express (hand-off
+//    locking) and must carry a comment justifying it.
+#ifndef GMINER_COMMON_THREAD_ANNOTATIONS_H_
+#define GMINER_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define GMINER_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GMINER_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) GMINER_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY GMINER_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) GMINER_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) GMINER_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) GMINER_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) GMINER_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) GMINER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) GMINER_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) GMINER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) GMINER_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) GMINER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) GMINER_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) GMINER_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) GMINER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) GMINER_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) GMINER_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS GMINER_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace gminer {
+
+// std::mutex with the capability attribute the analysis keys on. libstdc++
+// ships no thread-safety annotations, so the wrapper is what makes
+// GUARDED_BY(mutex_) checkable.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Documents (and under Clang, tells the analysis) that the current thread
+  // already holds this mutex — for call paths the analysis cannot follow.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock with scope-shaped capability tracking: the analysis knows the
+// mutex is held from construction to the end of the enclosing scope.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to the annotated Mutex. Wait/WaitUntil REQUIRE the
+// mutex and atomically release/reacquire it around the block, exactly like
+// std::condition_variable — the capability is held again by the time the call
+// returns, which is what REQUIRES expresses. There is deliberately no
+// predicate overload: callers loop
+//
+//     MutexLock lock(mutex_);
+//     while (!ready_) cv_.Wait(mutex_);
+//
+// so the predicate's guarded reads live in the analyzed, lock-holding caller
+// instead of an opaque lambda.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  // Returns false on timeout (the mutex is re-held either way).
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status != std::cv_status::timeout;
+  }
+
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout) REQUIRES(mu) {
+    return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_COMMON_THREAD_ANNOTATIONS_H_

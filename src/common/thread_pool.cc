@@ -16,21 +16,35 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(wait_mutex_);
-    GM_CHECK(!shutdown_) << "Submit after Shutdown";
+    MutexLock lock(wait_mutex_);
+    if (shutdown_) {
+      // Racing Shutdown(): the closure is dropped without ever being
+      // accounted, same outcome as losing the race below.
+      return;
+    }
     ++pending_;
   }
-  queue_.Push(std::move(fn));
+  if (!queue_.Push(std::move(fn))) {
+    // Shutdown() closed the queue between the check above and the push: the
+    // closure will never run, so roll the pending count back — otherwise a
+    // concurrent Wait() blocks forever on work that was silently dropped.
+    MutexLock lock(wait_mutex_);
+    if (--pending_ == 0) {
+      wait_cv_.NotifyAll();
+    }
+  }
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(wait_mutex_);
-  wait_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(wait_mutex_);
+  while (pending_ != 0) {
+    wait_cv_.Wait(wait_mutex_);
+  }
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(wait_mutex_);
+    MutexLock lock(wait_mutex_);
     if (shutdown_) {
       return;
     }
@@ -52,10 +66,10 @@ void ThreadPool::RunLoop() {
     }
     (*fn)();
     {
-      std::lock_guard<std::mutex> lock(wait_mutex_);
+      MutexLock lock(wait_mutex_);
       --pending_;
       if (pending_ == 0) {
-        wait_cv_.notify_all();
+        wait_cv_.NotifyAll();
       }
     }
   }

@@ -5,14 +5,12 @@
 #ifndef GMINER_COMMON_THREAD_POOL_H_
 #define GMINER_COMMON_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/blocking_queue.h"
+#include "common/thread_annotations.h"
 
 namespace gminer {
 
@@ -24,15 +22,18 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Schedules a closure. Must not be called after Shutdown().
-  void Submit(std::function<void()> fn);
+  // Schedules a closure. Must not be called after Shutdown() completed; a
+  // Submit that races Shutdown() is dropped (never executed) but leaves the
+  // pending count balanced, so Wait() cannot hang on a closure that will
+  // never run.
+  void Submit(std::function<void()> fn) EXCLUDES(wait_mutex_);
 
   // Blocks until every submitted closure has finished executing.
-  void Wait();
+  void Wait() EXCLUDES(wait_mutex_);
 
   // Drains outstanding work and joins all threads. Idempotent; also called by
   // the destructor.
-  void Shutdown();
+  void Shutdown() EXCLUDES(wait_mutex_);
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
@@ -41,10 +42,10 @@ class ThreadPool {
 
   BlockingQueue<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
-  std::mutex wait_mutex_;
-  std::condition_variable wait_cv_;
-  int pending_ = 0;
-  bool shutdown_ = false;
+  Mutex wait_mutex_;
+  CondVar wait_cv_;
+  int pending_ GUARDED_BY(wait_mutex_) = 0;
+  bool shutdown_ GUARDED_BY(wait_mutex_) = false;
 };
 
 // Runs fn(i) for i in [0, n) across the pool and waits for completion.

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "core/master.h"
 #include "core/worker.h"
@@ -172,8 +173,8 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
   // residual tasks out of the live count, which can block, so it runs async.
   std::vector<std::atomic<bool>> kill_claimed(static_cast<size_t>(config_.num_workers));
   std::atomic<bool> accepting_kills{true};
-  std::mutex reaper_mutex;
-  std::vector<std::thread> reapers;
+  Mutex reaper_mutex;
+  std::vector<std::thread> reapers;  // lint:allow(naked-thread) reaped below
   const auto kill_worker = [&](WorkerId w) {
     if (w < 0 || w >= config_.num_workers ||
         !accepting_kills.load(std::memory_order_acquire) ||
@@ -188,7 +189,7 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
     net.MarkDead(w);
     Worker* worker = workers[static_cast<size_t>(w)].get();
     worker->Kill();
-    std::lock_guard<std::mutex> lock(reaper_mutex);
+    MutexLock lock(reaper_mutex);
     reapers.emplace_back([worker] {
       worker->Join();
       const int64_t residual = worker->ReapAccounting();
@@ -258,7 +259,7 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
 
   // Timer threads for wall-clock kill triggers.
   std::atomic<bool> job_done{false};
-  std::vector<std::thread> kill_timers;
+  std::vector<std::thread> kill_timers;  // lint:allow(naked-thread) joined below
   for (const auto& kill : options.faults.kills) {
     if (kill.after_seconds <= 0.0) {
       continue;
@@ -299,9 +300,9 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
   // still in flight as dropped, keeping the accounting balanced.
   net.Close();
   while (true) {
-    std::vector<std::thread> batch;
+    std::vector<std::thread> batch;  // lint:allow(naked-thread) joined below
     {
-      std::lock_guard<std::mutex> lock(reaper_mutex);
+      MutexLock lock(reaper_mutex);
       batch.swap(reapers);
     }
     if (batch.empty()) {

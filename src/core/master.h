@@ -11,6 +11,11 @@
 // protocol"). The job is not considered complete while an adoption is still
 // in flight, so live_tasks hitting zero between a death and its recovery
 // cannot end the job early.
+//
+// Threading: the master runs entirely on its own single thread (Run()); it
+// owns no locks and holds none of the annotated mutexes in DESIGN.md's lock
+// hierarchy. Everything it shares with workers goes through the Network's
+// mailboxes or the atomics in ClusterState.
 #ifndef GMINER_CORE_MASTER_H_
 #define GMINER_CORE_MASTER_H_
 

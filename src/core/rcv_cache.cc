@@ -11,7 +11,7 @@ RcvCache::RcvCache(size_t capacity, WorkerCounters* counters, MemoryTracker* mem
 
 RcvCache::~RcvCache() {
   if (memory_ != nullptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& [v, entry] : entries_) {
       memory_->Sub(entry.record.ByteSize());
     }
@@ -19,7 +19,7 @@ RcvCache::~RcvCache() {
 }
 
 bool RcvCache::AddRefIfPresent(VertexId v) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(v);
   if (it == entries_.end()) {
     // Miss/coalesce classification happens in the caller (the candidate
@@ -40,7 +40,7 @@ bool RcvCache::AddRefIfPresent(VertexId v) {
 
 void RcvCache::Insert(VertexRecord record, int initial_refs) {
   GM_CHECK(initial_refs >= 0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(record.id);
   if (it != entries_.end()) {
     // Duplicate response (e.g. a re-pull raced with a migration); just add
@@ -73,7 +73,7 @@ void RcvCache::Insert(VertexRecord record, int initial_refs) {
 }
 
 const VertexRecord* RcvCache::Get(VertexId v) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(v);
   return it == entries_.end() ? nullptr : &it->second.record;
 }
@@ -81,7 +81,7 @@ const VertexRecord* RcvCache::Get(VertexId v) const {
 void RcvCache::Release(VertexId v) {
   bool freed = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(v);
     GM_CHECK(it != entries_.end()) << "Release of non-resident vertex " << v;
     Entry& entry = it->second;
@@ -96,28 +96,28 @@ void RcvCache::Release(VertexId v) {
     }
   }
   if (freed) {
-    space_cv_.notify_all();
+    space_cv_.NotifyAll();
   }
 }
 
 bool RcvCache::WaitBelowCapacity() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  space_cv_.wait(lock, [this] {
-    return shutdown_ || entries_.size() < capacity_ || !reclaim_.empty();
-  });
+  MutexLock lock(mutex_);
+  while (!shutdown_ && entries_.size() >= capacity_ && reclaim_.empty()) {
+    space_cv_.Wait(mutex_);
+  }
   return !shutdown_;
 }
 
 void RcvCache::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  space_cv_.notify_all();
+  space_cv_.NotifyAll();
 }
 
 size_t RcvCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 

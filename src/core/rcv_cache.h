@@ -9,12 +9,11 @@
 #ifndef GMINER_CORE_RCV_CACHE_H_
 #define GMINER_CORE_RCV_CACHE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "metrics/counters.h"
 #include "metrics/memory_tracker.h"
 #include "storage/vertex_record.h"
@@ -31,29 +30,31 @@ class RcvCache {
 
   // Retriever path: if v is resident, takes a reference and returns true
   // (cache hit); otherwise records a miss and returns false.
-  bool AddRefIfPresent(VertexId v);
+  bool AddRefIfPresent(VertexId v) EXCLUDES(mutex_);
 
   // Listener path: installs a pulled vertex with `initial_refs` references
   // (one per task waiting on it). Evicts zero-referenced entries if needed;
   // the cache may transiently exceed capacity when everything is referenced —
   // WaitBelowCapacity() provides the backpressure that bounds this overshoot.
-  void Insert(VertexRecord record, int initial_refs);
+  void Insert(VertexRecord record, int initial_refs) EXCLUDES(mutex_);
 
   // Executor path: returns the record for a resident vertex (no ref change);
-  // nullptr when absent.
-  const VertexRecord* Get(VertexId v) const;
+  // nullptr when absent. The pointer stays valid only while the caller holds
+  // a reference on v (referenced entries are never evicted and unordered_map
+  // never relocates nodes) — see DESIGN.md "Locking discipline".
+  const VertexRecord* Get(VertexId v) const EXCLUDES(mutex_);
 
   // Executor path: releases one reference taken by AddRefIfPresent/Insert.
-  void Release(VertexId v);
+  void Release(VertexId v) EXCLUDES(mutex_);
 
   // Retriever backpressure: blocks while the cache is at/over capacity and
   // nothing is evictable. Returns false if Shutdown() was called.
-  bool WaitBelowCapacity();
+  bool WaitBelowCapacity() EXCLUDES(mutex_);
 
   // Wakes all waiters permanently (job end).
-  void Shutdown();
+  void Shutdown() EXCLUDES(mutex_);
 
-  size_t size() const;
+  size_t size() const EXCLUDES(mutex_);
   size_t capacity() const { return capacity_; }
 
  private:
@@ -65,18 +66,19 @@ class RcvCache {
     bool in_reclaim = false;
   };
 
-  // Evicts up to `want` zero-referenced entries. Caller holds mutex_.
-  size_t EvictLocked(size_t want);
+  // Evicts up to `want` zero-referenced entries.
+  size_t EvictLocked(size_t want) REQUIRES(mutex_);
 
   const size_t capacity_;
   WorkerCounters* counters_;
   MemoryTracker* memory_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable space_cv_;
-  std::unordered_map<VertexId, Entry> entries_;
-  std::list<VertexId> reclaim_;  // zero-ref entries, oldest first
-  bool shutdown_ = false;
+  mutable Mutex mutex_;
+  CondVar space_cv_;
+  std::unordered_map<VertexId, Entry> entries_ GUARDED_BY(mutex_);
+  // Zero-ref entries, oldest first.
+  std::list<VertexId> reclaim_ GUARDED_BY(mutex_);
+  bool shutdown_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gminer

@@ -20,7 +20,7 @@ TaskStore::TaskStore(Options options, TaskFactory factory, WorkerCounters* count
 
 TaskStore::~TaskStore() {
   if (memory_ != nullptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& [key, task] : head_) {
       memory_->Sub(task->accounted_bytes);
     }
@@ -40,7 +40,7 @@ void TaskStore::InsertBatch(std::vector<std::unique_ptr<TaskBase>> tasks) {
   }
   std::vector<std::pair<uint64_t, std::unique_ptr<TaskBase>>> keyed;
   keyed.reserve(tasks.size());
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& task : tasks) {
     keyed.emplace_back(KeyFor(*task), std::move(task));
   }
@@ -118,7 +118,7 @@ void TaskStore::LoadBestBlockLocked() {
 }
 
 std::unique_ptr<TaskBase> TaskStore::TryPop() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (head_.empty()) {
     LoadBestBlockLocked();
   }
@@ -134,7 +134,7 @@ std::unique_ptr<TaskBase> TaskStore::TryPop() {
 std::vector<std::unique_ptr<TaskBase>> TaskStore::StealBatch(
     size_t max_tasks, const std::function<bool(const TaskBase&)>& eligible, bool ranked) {
   std::vector<std::unique_ptr<TaskBase>> stolen;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!ranked) {
     // Threshold-only model (the paper's §6.2): steal from the back (highest
     // keys) — the front is about to be consumed locally and its remote
@@ -177,7 +177,7 @@ std::vector<std::unique_ptr<TaskBase>> TaskStore::StealBatch(
 }
 
 std::vector<std::vector<uint8_t>> TaskStore::DrainSerialized() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::vector<uint8_t>> out;
   while (!blocks_.empty() || !head_.empty()) {
     for (auto& [key, task] : head_) {
@@ -196,12 +196,12 @@ std::vector<std::vector<uint8_t>> TaskStore::DrainSerialized() {
 }
 
 size_t TaskStore::ApproxSize() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return head_.size() + spilled_count_;
 }
 
 size_t TaskStore::InMemorySize() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return head_.size();
 }
 

@@ -15,11 +15,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/task.h"
 #include "lsh/minhash.h"
 #include "metrics/counters.h"
@@ -50,11 +50,11 @@ class TaskStore {
 
   // Inserts a batch of inactive tasks (the task buffer flushes in batches so
   // tasks with common remote candidates are gathered together, §4.3).
-  void InsertBatch(std::vector<std::unique_ptr<TaskBase>> tasks);
+  void InsertBatch(std::vector<std::unique_ptr<TaskBase>> tasks) EXCLUDES(mutex_);
 
   // Pops the lowest-key task; loads a spill block first if the in-memory head
   // is empty. Returns nullopt when the store is empty.
-  std::unique_ptr<TaskBase> TryPop();
+  std::unique_ptr<TaskBase> TryPop() EXCLUDES(mutex_);
 
   // Removes up to `max_tasks` in-memory tasks satisfying `eligible` for
   // migration to another worker (task stealing §6.2). Never touches spilled
@@ -65,14 +65,14 @@ class TaskStore {
   // queue.
   std::vector<std::unique_ptr<TaskBase>> StealBatch(
       size_t max_tasks, const std::function<bool(const TaskBase&)>& eligible,
-      bool ranked = false);
+      bool ranked = false) EXCLUDES(mutex_);
 
   // Serializes every task (memory + disk) for checkpointing; the store is
   // drained afterwards.
-  std::vector<std::vector<uint8_t>> DrainSerialized();
+  std::vector<std::vector<uint8_t>> DrainSerialized() EXCLUDES(mutex_);
 
-  size_t ApproxSize() const;
-  size_t InMemorySize() const;
+  size_t ApproxSize() const EXCLUDES(mutex_);
+  size_t InMemorySize() const EXCLUDES(mutex_);
 
  private:
   struct SpillBlock {
@@ -82,9 +82,10 @@ class TaskStore {
     std::string path;
   };
 
-  uint64_t KeyFor(const TaskBase& task);
-  void SpillLocked(std::vector<std::pair<uint64_t, std::unique_ptr<TaskBase>>> batch);
-  void LoadBestBlockLocked();
+  uint64_t KeyFor(const TaskBase& task) REQUIRES(mutex_);
+  void SpillLocked(std::vector<std::pair<uint64_t, std::unique_ptr<TaskBase>>> batch)
+      REQUIRES(mutex_);
+  void LoadBestBlockLocked() REQUIRES(mutex_);
 
   Options options_;
   TaskFactory factory_;
@@ -92,12 +93,13 @@ class TaskStore {
   MemoryTracker* memory_;
   MinHasher hasher_;
 
-  mutable std::mutex mutex_;
-  std::multimap<uint64_t, std::unique_ptr<TaskBase>> head_;
-  std::vector<SpillBlock> blocks_;
-  uint64_t fifo_sequence_ = 0;  // key source when LSH is disabled
-  uint64_t next_block_id_ = 0;
-  size_t spilled_count_ = 0;
+  mutable Mutex mutex_;
+  std::multimap<uint64_t, std::unique_ptr<TaskBase>> head_ GUARDED_BY(mutex_);
+  std::vector<SpillBlock> blocks_ GUARDED_BY(mutex_);
+  // Key source when LSH is disabled.
+  uint64_t fifo_sequence_ GUARDED_BY(mutex_) = 0;
+  uint64_t next_block_id_ GUARDED_BY(mutex_) = 0;
+  size_t spilled_count_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace gminer

@@ -49,7 +49,7 @@ class WorkerUpdateContext : public UpdateContext {
   }
 
   void Output(const std::string& line) override {
-    std::lock_guard<std::mutex> lock(worker_->output_mutex_);
+    MutexLock lock(worker_->output_mutex_);
     worker_->outputs_.push_back(line);
   }
 
@@ -128,7 +128,15 @@ Worker::Worker(WorkerId id, const JobConfig& config, Network* net, ClusterState*
 Worker::~Worker() {
   store_.reset();
   RemoveSpillDir(spill_dir_);
-  state_->memory.Sub(table_.byte_size() + adopted_bytes_);
+  int64_t adopted_bytes = 0;
+  {
+    // All pipeline threads are joined by now, but the annotation contract
+    // (adopted_bytes_ is GUARDED_BY adopted_mutex_) holds everywhere — the
+    // uncontended lock is cheaper than a suppression.
+    MutexLock lock(adopted_mutex_);
+    adopted_bytes = adopted_bytes_;
+  }
+  state_->memory.Sub(table_.byte_size() + adopted_bytes);
 }
 
 void Worker::LoadPartition(const Graph& g, std::shared_ptr<const std::vector<WorkerId>> owner) {
@@ -145,7 +153,12 @@ void Worker::Start(const std::vector<std::vector<uint8_t>>* seed_blobs) {
   reporter_thread_ = std::thread([this] { ReporterLoop(); });
   compute_threads_.reserve(static_cast<size_t>(config_.threads_per_worker));
   for (int i = 0; i < config_.threads_per_worker; ++i) {
-    compute_threads_.emplace_back([this, i] { ComputeLoop(i); });
+    // Fork each compute thread's Rng here on the spawning thread: Fork()
+    // advances the parent engine, so forking lazily inside ComputeLoop would
+    // race the sibling threads (and made the per-thread streams depend on
+    // startup order).
+    compute_threads_.emplace_back(
+        [this, i, rng = rng_.Fork()]() mutable { ComputeLoop(i, std::move(rng)); });
   }
   seeder_thread_ = std::thread([this, seed_blobs] { SeedLoop(seed_blobs); });
 }
@@ -188,14 +201,14 @@ int64_t Worker::ReapAccounting() {
     state_->live_tasks.fetch_sub(residual, std::memory_order_relaxed);
   }
   {
-    std::lock_guard<std::mutex> lock(output_mutex_);
+    MutexLock lock(output_mutex_);
     outputs_.clear();  // partial outputs die with the node; the adopter re-runs
   }
   return residual;
 }
 
 std::vector<std::string> Worker::TakeOutputs() {
-  std::lock_guard<std::mutex> lock(output_mutex_);
+  MutexLock lock(output_mutex_);
   return std::move(outputs_);
 }
 
@@ -214,7 +227,7 @@ const VertexRecord* Worker::FindVertex(VertexId v) {
   if (record != nullptr || !has_adopted_.load(std::memory_order_acquire)) {
     return record;
   }
-  std::lock_guard<std::mutex> lock(adopted_mutex_);
+  MutexLock lock(adopted_mutex_);
   return adopted_table_.Find(v);
 }
 
@@ -261,7 +274,7 @@ void Worker::BufferInactive(std::unique_ptr<TaskBase> task) {
   state_->memory.Add(task->accounted_bytes);
   bool flush = false;
   {
-    std::lock_guard<std::mutex> lock(buffer_mutex_);
+    MutexLock lock(buffer_mutex_);
     task_buffer_.push_back(std::move(task));
     flush = task_buffer_.size() >= config_.task_buffer_batch;
   }
@@ -273,7 +286,7 @@ void Worker::BufferInactive(std::unique_ptr<TaskBase> task) {
 bool Worker::FlushBuffer(bool force) {
   std::vector<std::unique_ptr<TaskBase>> batch;
   {
-    std::lock_guard<std::mutex> lock(buffer_mutex_);
+    MutexLock lock(buffer_mutex_);
     if (task_buffer_.empty() || (!force && task_buffer_.size() < config_.task_buffer_batch)) {
       return false;
     }
@@ -317,7 +330,7 @@ void Worker::AdmitTask(std::unique_ptr<TaskBase> task) {
   std::vector<std::tuple<WorkerId, uint64_t, std::vector<VertexId>>> requests;
   bool ready = false;
   {
-    std::lock_guard<std::mutex> lock(pull_mutex_);
+    MutexLock lock(pull_mutex_);
     std::unordered_map<WorkerId, std::vector<VertexId>> by_owner;
     for (const VertexId v : task->to_pull()) {
       entry->cache_refs.push_back(v);
@@ -372,7 +385,7 @@ void Worker::CheckPullRetries() {
   std::vector<std::tuple<WorkerId, uint64_t, std::vector<VertexId>>> resend;
   bool exhausted = false;
   {
-    std::lock_guard<std::mutex> lock(pull_mutex_);
+    MutexLock lock(pull_mutex_);
     for (auto& [rid, pull] : outstanding_pulls_) {
       if (pull.deadline_ns > now) {
         continue;
@@ -433,7 +446,7 @@ void Worker::HandlePullResponse(InArchive in) {
   const uint64_t count = in.Read<uint64_t>();
   std::vector<std::shared_ptr<PendingTask>> ready;
   {
-    std::lock_guard<std::mutex> lock(pull_mutex_);
+    MutexLock lock(pull_mutex_);
     auto req = outstanding_pulls_.find(rid);
     if (req == outstanding_pulls_.end()) {
       // A duplicated or retried-then-answered-twice response. The records it
@@ -482,7 +495,7 @@ void Worker::HandleAdoptTasks(InArchive in) {
     out.Write<uint64_t>(adopted);
     net_->Send(id_, master_id_, MessageType::kAdoptDone, out.TakeBuffer());
   };
-  if (adopted_workers_.count(dead) != 0) {
+  if (adopted_workers_.contains(dead)) {
     ack(0);  // duplicate command (master retry after a lost ack): re-acknowledge
     return;
   }
@@ -490,7 +503,7 @@ void Worker::HandleAdoptTasks(InArchive in) {
   WallTimer timer;
   // 1. Take over the dead worker's partition so redirected pulls resolve here.
   {
-    std::lock_guard<std::mutex> lock(adopted_mutex_);
+    MutexLock lock(adopted_mutex_);
     adopted_table_.AdoptPartition(*graph_, *owner_, dead);
     const int64_t bytes = adopted_table_.byte_size();
     state_->memory.Add(bytes - adopted_bytes_);
@@ -538,8 +551,8 @@ void Worker::HandleAdoptTasks(InArchive in) {
   ack(static_cast<uint64_t>(n));
 }
 
-void Worker::ComputeLoop(int thread_index) {
-  WorkerUpdateContext ctx(this, rng_.Fork());
+void Worker::ComputeLoop(int thread_index, Rng rng) {
+  WorkerUpdateContext ctx(this, std::move(rng));
   (void)thread_index;
   while (true) {
     std::optional<RunnableTask> item = cpq_.Pop();

@@ -23,7 +23,6 @@
 #define GMINER_CORE_WORKER_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -33,6 +32,7 @@
 #include "common/blocking_queue.h"
 #include "common/config.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "core/cluster_state.h"
 #include "core/job.h"
 #include "core/rcv_cache.h"
@@ -126,23 +126,26 @@ class Worker {
 
   void ListenerLoop();
   void RetrieverLoop();
-  void ComputeLoop(int thread_index);
+  void ComputeLoop(int thread_index, Rng rng);
   void ReporterLoop();
   void SeedLoop(const std::vector<std::vector<uint8_t>>* seed_blobs);
 
   // Pipeline steps.
-  void AdmitTask(std::unique_ptr<TaskBase> task);       // retriever: cache check + pulls
+  // Retriever: cache check + pulls. Takes pull_mutex_, then cache_'s mutex
+  // (lock order: pull_mutex_ → cache).
+  void AdmitTask(std::unique_ptr<TaskBase> task) EXCLUDES(pull_mutex_);
   void HandlePullRequest(WorkerId from, InArchive in);  // listener
-  void HandlePullResponse(InArchive in);                // listener
+  void HandlePullResponse(InArchive in) EXCLUDES(pull_mutex_);    // listener
   void HandleMigrateCommand(InArchive in);              // listener
   void HandleMigrateTasks(InArchive in);                // listener
-  void HandleAdoptTasks(InArchive in);                  // listener (failover)
+  void HandleAdoptTasks(InArchive in) EXCLUDES(adopted_mutex_);  // listener (failover)
   void FinishTask(std::unique_ptr<TaskBase> task);      // executor: task death
-  void BufferInactive(std::unique_ptr<TaskBase> task);  // executor → task buffer
-  bool FlushBuffer(bool force);
+  void BufferInactive(std::unique_ptr<TaskBase> task) EXCLUDES(buffer_mutex_);
+  bool FlushBuffer(bool force) EXCLUDES(buffer_mutex_);
   void PrepareInactive(TaskBase& task);  // compute to_pull from candidates
   void MaybeRequestSteal();
-  void CheckPullRetries();  // reporter: re-send timed-out pulls
+  // Reporter: re-send timed-out pulls.
+  void CheckPullRetries() EXCLUDES(pull_mutex_);
 
   // Resolves a vertex against the home partition, then any adopted partitions.
   const VertexRecord* FindVertex(VertexId v);
@@ -168,9 +171,9 @@ class Worker {
   // Partitions adopted from dead peers. Grows only (on the listener thread);
   // readers take adopted_mutex_ for the lookup, but the returned record
   // pointer stays valid — unordered_map never moves elements.
-  std::mutex adopted_mutex_;
-  VertexTable adopted_table_;
-  int64_t adopted_bytes_ = 0;
+  Mutex adopted_mutex_;
+  VertexTable adopted_table_ GUARDED_BY(adopted_mutex_);
+  int64_t adopted_bytes_ GUARDED_BY(adopted_mutex_) = 0;
   std::atomic<bool> has_adopted_{false};
   std::unordered_set<WorkerId> adopted_workers_;  // listener thread only
 
@@ -179,18 +182,19 @@ class Worker {
   RcvCache cache_;
   BlockingQueue<RunnableTask> cpq_;
 
-  std::mutex buffer_mutex_;
-  std::vector<std::unique_ptr<TaskBase>> task_buffer_;
+  Mutex buffer_mutex_;
+  std::vector<std::unique_ptr<TaskBase>> task_buffer_ GUARDED_BY(buffer_mutex_);
 
-  std::mutex pull_mutex_;
-  std::unordered_map<VertexId, PendingVertex> pending_pulls_;
-  std::unordered_map<uint64_t, OutstandingPull> outstanding_pulls_;
-  uint64_t next_request_id_ = 1;
-  size_t pending_task_count_ = 0;  // tasks parked in the CMQ
+  Mutex pull_mutex_;
+  std::unordered_map<VertexId, PendingVertex> pending_pulls_ GUARDED_BY(pull_mutex_);
+  std::unordered_map<uint64_t, OutstandingPull> outstanding_pulls_ GUARDED_BY(pull_mutex_);
+  uint64_t next_request_id_ GUARDED_BY(pull_mutex_) = 1;
+  // Tasks parked in the CMQ.
+  size_t pending_task_count_ GUARDED_BY(pull_mutex_) = 0;
 
   std::unique_ptr<AggregatorBase> aggregator_;
-  std::mutex output_mutex_;
-  std::vector<std::string> outputs_;
+  Mutex output_mutex_;
+  std::vector<std::string> outputs_ GUARDED_BY(output_mutex_);
 
   std::atomic<int64_t> local_tasks_{0};  // tasks resident on this worker
   std::atomic<int64_t> in_pipeline_{0};  // tasks currently in CMQ or CPQ
@@ -202,6 +206,8 @@ class Worker {
   std::string checkpoint_path_;
 
   Rng rng_;
+  // The pipeline threads' lifetime is tied to the worker itself, not to
+  // individual closures, so they are owned directly (see thread_pool.h).
   std::thread listener_thread_;
   std::thread retriever_thread_;
   std::thread reporter_thread_;

@@ -19,33 +19,34 @@ UtilizationSampler::UtilizationSampler(std::function<CountersSnapshot()> snapsho
 UtilizationSampler::~UtilizationSampler() { Stop(); }
 
 void UtilizationSampler::Start() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (running_) {
     return;
   }
   stop_requested_ = false;
   running_ = true;
+  // Lifetime is bounded by Start/Stop, not a closure. lint:allow(naked-thread)
   thread_ = std::thread([this] { RunLoop(); });
 }
 
 void UtilizationSampler::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!running_) {
       return;
     }
     stop_requested_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) {
     thread_.join();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   running_ = false;
 }
 
 std::vector<UtilizationSample> UtilizationSampler::TakeSamples() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return std::move(samples_);
 }
 
@@ -53,14 +54,18 @@ void UtilizationSampler::RunLoop() {
   WallTimer timer;
   CountersSnapshot prev = snapshot_fn_();
   double prev_t = 0.0;
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   while (!stop_requested_) {
-    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
-                 [this] { return stop_requested_; });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(interval_ms_);
+    // Sleep out the interval, but let Stop() interrupt it immediately.
+    while (!stop_requested_ && cv_.WaitUntil(mutex_, deadline)) {
+    }
     if (stop_requested_) {
       break;
     }
-    lock.unlock();
+    // Snapshot outside the lock: snapshot_fn_ sums every worker's counters.
+    mutex_.Unlock();
     const double now_t = timer.ElapsedSeconds();
     const CountersSnapshot now = snapshot_fn_();
     const double dt = std::max(now_t - prev_t, 1e-6);
@@ -81,9 +86,10 @@ void UtilizationSampler::RunLoop() {
 
     prev = now;
     prev_t = now_t;
-    lock.lock();
+    mutex_.Lock();
     samples_.push_back(sample);
   }
+  mutex_.Unlock();
 }
 
 }  // namespace gminer

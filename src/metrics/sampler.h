@@ -7,13 +7,11 @@
 #ifndef GMINER_METRICS_SAMPLER_H_
 #define GMINER_METRICS_SAMPLER_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "metrics/counters.h"
 
 namespace gminer {
@@ -39,13 +37,13 @@ class UtilizationSampler {
   UtilizationSampler(const UtilizationSampler&) = delete;
   UtilizationSampler& operator=(const UtilizationSampler&) = delete;
 
-  void Start();
-  void Stop();
+  void Start() EXCLUDES(mutex_);
+  void Stop() EXCLUDES(mutex_);
 
-  std::vector<UtilizationSample> TakeSamples();
+  std::vector<UtilizationSample> TakeSamples() EXCLUDES(mutex_);
 
  private:
-  void RunLoop();
+  void RunLoop() EXCLUDES(mutex_);
 
   std::function<CountersSnapshot()> snapshot_fn_;
   int total_cores_;
@@ -53,12 +51,13 @@ class UtilizationSampler {
   double disk_bytes_per_sec_;
   int interval_ms_;
 
-  std::thread thread_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_requested_ = false;
-  bool running_ = false;
-  std::vector<UtilizationSample> samples_;
+  // Owned background sampling thread (lifetime == Start..Stop).
+  std::thread thread_;  // lint:allow(naked-thread)
+  Mutex mutex_;
+  CondVar cv_;
+  bool stop_requested_ GUARDED_BY(mutex_) = false;
+  bool running_ GUARDED_BY(mutex_) = false;
+  std::vector<UtilizationSample> samples_ GUARDED_BY(mutex_);
 };
 
 }  // namespace gminer

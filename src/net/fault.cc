@@ -47,7 +47,7 @@ FaultInjector::Decision FaultInjector::OnSend(WorkerId from, WorkerId to, Messag
     }
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& kill : kills_) {
     if (kill.spec.worker != from || kill.spec.after_messages < 0) {
       continue;

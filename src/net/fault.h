@@ -16,10 +16,10 @@
 #define GMINER_NET_FAULT_H_
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "graph/types.h"
 #include "net/message.h"
 
@@ -84,7 +84,7 @@ class FaultInjector {
 
   // Called by Network::Send for every remote message before enqueuing.
   // Thread safe.
-  Decision OnSend(WorkerId from, WorkerId to, MessageType type);
+  Decision OnSend(WorkerId from, WorkerId to, MessageType type) EXCLUDES(mutex_);
 
   const FaultPlan& plan() const { return plan_; }
 
@@ -102,9 +102,9 @@ class FaultInjector {
   const FaultPlan plan_;
   const int64_t start_ns_;
 
-  std::mutex mutex_;
-  std::unordered_map<uint64_t, uint64_t> link_ordinals_;
-  std::vector<KillState> kills_;
+  Mutex mutex_;
+  std::unordered_map<uint64_t, uint64_t> link_ordinals_ GUARDED_BY(mutex_);
+  std::vector<KillState> kills_ GUARDED_BY(mutex_);
 };
 
 }  // namespace gminer

@@ -22,6 +22,7 @@ Network::Network(int num_endpoints, std::vector<WorkerCounters*> counters, bool 
     mailboxes_.push_back(std::make_unique<BlockingQueue<NetMessage>>());
   }
   if (simulate_time_ || injector_ != nullptr) {
+    // Joined in Close(); outlives any pool. lint:allow(naked-thread)
     delivery_thread_ = std::thread([this] { DeliveryLoop(); });
   }
 }
@@ -58,7 +59,7 @@ void Network::Schedule(WorkerId to, NetMessage message, int64_t deliver_at_ns) {
   const int64_t bytes = static_cast<int64_t>(message.payload.size()) + kMessageHeaderBytes;
   bool scheduled = false;
   {
-    std::lock_guard<std::mutex> lock(delivery_mutex_);
+    MutexLock lock(delivery_mutex_);
     if (!stop_delivery_) {
       pending_.push(PendingDelivery{deliver_at_ns, next_sequence_++, to, std::move(message)});
       scheduled = true;
@@ -68,7 +69,7 @@ void Network::Schedule(WorkerId to, NetMessage message, int64_t deliver_at_ns) {
     CountDropped(to, bytes);
     return;
   }
-  delivery_cv_.notify_one();
+  delivery_cv_.NotifyOne();
 }
 
 void Network::Send(WorkerId from, WorkerId to, MessageType type,
@@ -128,7 +129,7 @@ void Network::Send(WorkerId from, WorkerId to, MessageType type,
   if (simulate_time_) {
     const int64_t transmit_ns =
         bytes_per_ns_ > 0 ? static_cast<int64_t>(static_cast<double>(bytes) / bytes_per_ns_) : 0;
-    std::lock_guard<std::mutex> lock(delivery_mutex_);
+    MutexLock lock(delivery_mutex_);
     // The shared link serializes transmissions: a message starts after the
     // link frees up, finishes transmit_ns later, and arrives latency_ns after
     // that (plus any injected delay).
@@ -163,7 +164,7 @@ void Network::MarkDead(WorkerId endpoint) {
 void Network::Close() {
   std::vector<PendingDelivery> undelivered;
   {
-    std::lock_guard<std::mutex> lock(delivery_mutex_);
+    MutexLock lock(delivery_mutex_);
     stop_delivery_ = true;
     // Drain in-flight sends explicitly: each is accounted as dropped so the
     // sent == delivered + dropped (+ duplicated) balance survives shutdown.
@@ -175,34 +176,35 @@ void Network::Close() {
   for (const PendingDelivery& d : undelivered) {
     CountDropped(d.to, static_cast<int64_t>(d.message.payload.size()) + kMessageHeaderBytes);
   }
-  delivery_cv_.notify_all();
+  delivery_cv_.NotifyAll();
   for (auto& mailbox : mailboxes_) {
     mailbox->Close();
   }
 }
 
 void Network::DeliveryLoop() {
-  std::unique_lock<std::mutex> lock(delivery_mutex_);
-  while (true) {
-    if (stop_delivery_) {
-      return;
-    }
+  delivery_mutex_.Lock();
+  while (!stop_delivery_) {
     if (pending_.empty()) {
-      delivery_cv_.wait(lock, [this] { return stop_delivery_ || !pending_.empty(); });
+      delivery_cv_.Wait(delivery_mutex_);
       continue;
     }
     const int64_t now = MonotonicNanos();
     const int64_t due = pending_.top().deliver_at_ns;
     if (due > now) {
-      delivery_cv_.wait_for(lock, std::chrono::nanoseconds(due - now));
+      delivery_cv_.WaitUntil(delivery_mutex_, std::chrono::steady_clock::now() +
+                                                  std::chrono::nanoseconds(due - now));
       continue;
     }
     PendingDelivery d = std::move(const_cast<PendingDelivery&>(pending_.top()));
     pending_.pop();
-    lock.unlock();
+    // Deliver outside the lock: a mailbox push may contend with receivers and
+    // must not hold up the link clock or Close().
+    delivery_mutex_.Unlock();
     Deliver(d.to, std::move(d.message));
-    lock.lock();
+    delivery_mutex_.Lock();
   }
+  delivery_mutex_.Unlock();
 }
 
 }  // namespace gminer

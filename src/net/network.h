@@ -19,15 +19,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "common/blocking_queue.h"
+#include "common/thread_annotations.h"
 #include "metrics/counters.h"
 #include "net/fault.h"
 #include "net/message.h"
@@ -97,12 +96,14 @@ class Network {
     }
   };
 
-  void DeliveryLoop();
+  void DeliveryLoop() EXCLUDES(delivery_mutex_);
   // Accounts receiver bytes and pushes into the mailbox, or counts the
-  // message as dropped when the destination is dead.
-  void Deliver(WorkerId to, NetMessage message);
+  // message as dropped when the destination is dead. Called without
+  // delivery_mutex_ so a blocked mailbox push cannot stall the link clock.
+  void Deliver(WorkerId to, NetMessage message) EXCLUDES(delivery_mutex_);
   void CountDropped(WorkerId to, int64_t bytes);
-  void Schedule(WorkerId to, NetMessage message, int64_t deliver_at_ns);
+  void Schedule(WorkerId to, NetMessage message, int64_t deliver_at_ns)
+      EXCLUDES(delivery_mutex_);
 
   std::vector<std::unique_ptr<BlockingQueue<NetMessage>>> mailboxes_;
   std::vector<WorkerCounters*> counters_;
@@ -114,13 +115,17 @@ class Network {
   FaultInjector* const injector_;
   std::function<void(WorkerId)> kill_handler_;
 
-  std::mutex delivery_mutex_;
-  std::condition_variable delivery_cv_;
-  std::priority_queue<PendingDelivery, std::vector<PendingDelivery>, std::greater<>> pending_;
-  uint64_t next_sequence_ = 0;
-  int64_t link_free_at_ns_ = 0;  // shared-link serialization point
-  bool stop_delivery_ = false;
-  std::thread delivery_thread_;
+  Mutex delivery_mutex_;
+  CondVar delivery_cv_;
+  std::priority_queue<PendingDelivery, std::vector<PendingDelivery>, std::greater<>>
+      pending_ GUARDED_BY(delivery_mutex_);
+  uint64_t next_sequence_ GUARDED_BY(delivery_mutex_) = 0;
+  // Shared-link serialization point.
+  int64_t link_free_at_ns_ GUARDED_BY(delivery_mutex_) = 0;
+  bool stop_delivery_ GUARDED_BY(delivery_mutex_) = false;
+  // Background delivery thread; the network owns its lifetime end-to-end, so
+  // it stays a plain std::thread rather than a pool closure.
+  std::thread delivery_thread_;  // lint:allow(naked-thread)
 };
 
 }  // namespace gminer

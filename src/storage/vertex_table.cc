@@ -15,7 +15,7 @@ void VertexTable::AdoptPartition(const Graph& g, const std::vector<WorkerId>& ow
                                  WorkerId victim) {
   GM_CHECK(owner.size() == g.num_vertices());
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (owner[v] != victim || records_.count(v) != 0) {
+    if (owner[v] != victim || records_.contains(v)) {
       continue;
     }
     VertexRecord r;

@@ -32,7 +32,7 @@ class VertexTable {
     return it == records_.end() ? nullptr : &it->second;
   }
 
-  bool Contains(VertexId v) const { return records_.count(v) > 0; }
+  bool Contains(VertexId v) const { return records_.contains(v); }
 
   size_t size() const { return records_.size(); }
   int64_t byte_size() const { return byte_size_; }

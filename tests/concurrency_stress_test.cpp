@@ -1,0 +1,364 @@
+// Concurrency stress tests for the shared pipeline primitives. These are
+// written to run under TSan (scripts/ci.sh, GMINER_SANITIZE=thread): the
+// hammers are short enough for the regular suite but create the real
+// multi-producer/multi-consumer interleavings the pipeline sees, so a data
+// race or a lost wakeup shows up as a sanitizer report or a ctest TIMEOUT
+// rather than a once-a-month CI flake.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/rcv_cache.h"
+#include "core/task.h"
+#include "core/task_store.h"
+#include "storage/spill_file.h"
+#include "tests/test_util.h"
+
+namespace gminer {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BlockingQueue: the CMQ/CPQ/mailbox backbone.
+// ---------------------------------------------------------------------------
+
+TEST(BlockingQueueStress, MpmcHammerDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+
+  BlockingQueue<int> q;
+  std::atomic<int64_t> popped_sum{0};
+  std::atomic<int64_t> popped_count{0};
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = q.Pop()) {
+        popped_sum.fetch_add(*item, std::memory_order_relaxed);
+        popped_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  q.Close();  // consumers drain the backlog, then see nullopt
+  for (auto& t : consumers) {
+    t.join();
+  }
+
+  const int64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(popped_count.load(), n);
+  EXPECT_EQ(popped_sum.load(), n * (n - 1) / 2);
+}
+
+TEST(BlockingQueueStress, CloseWakesEveryBlockedConsumer) {
+  BlockingQueue<int> q;
+  constexpr int kConsumers = 8;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      EXPECT_FALSE(q.Pop().has_value());  // queue stays empty; must not hang
+      woke.fetch_add(1);
+    });
+  }
+  // Give the consumers a moment to actually block inside Pop() so Close()
+  // exercises the notify path, not just the closed_ fast path.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+  EXPECT_EQ(woke.load(), kConsumers);
+}
+
+TEST(BlockingQueueStress, PushRacingCloseNeverLosesAcceptedItems) {
+  // Items for which Push() returned true must all be popped before nullopt;
+  // items rejected after Close() must never appear.
+  for (int round = 0; round < 20; ++round) {
+    BlockingQueue<int> q;
+    std::atomic<int> accepted{0};
+    std::thread producer([&] {
+      for (int i = 0; i < 10000; ++i) {
+        if (q.Push(i)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          break;  // closed; everything after would be rejected too
+        }
+      }
+    });
+    std::thread closer([&] { q.Close(); });
+    int got = 0;
+    while (q.Pop().has_value()) {
+      ++got;
+    }
+    producer.join();
+    closer.join();
+    EXPECT_EQ(got, accepted.load());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool: Submit / Shutdown / Wait.
+// ---------------------------------------------------------------------------
+
+// Regression test: Submit() used to ignore the Push() result, so a closure
+// dropped by a racing Shutdown() leaked its pending count and a later Wait()
+// blocked forever on work that would never run. On the broken code this test
+// wedges and fails via the ctest TIMEOUT.
+TEST(ThreadPoolStress, WaitReturnsAfterSubmitShutdownRace) {
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool pool(4);
+    std::atomic<bool> go{false};
+    std::vector<std::thread> submitters;
+    submitters.reserve(4);
+    for (int s = 0; s < 4; ++s) {
+      submitters.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        for (int i = 0; i < 200; ++i) {
+          pool.Submit([] {});
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    pool.Shutdown();  // races the submitters
+    for (auto& t : submitters) {
+      t.join();
+    }
+    // Every submitted closure either ran before the queue closed or was
+    // rolled back; either way the pending count is balanced and Wait()
+    // returns immediately instead of hanging.
+    pool.Wait();
+  }
+}
+
+TEST(ThreadPoolStress, ConcurrentSubmittersAllExecute) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 2500;
+  std::atomic<int> executed{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        pool.Submit([&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : submitters) {
+    t.join();
+  }
+  pool.Wait();
+  EXPECT_EQ(executed.load(), kSubmitters * kPerSubmitter);
+  pool.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// RcvCache: retriever (AddRef/Insert), executor (Get/Release) and eviction.
+// ---------------------------------------------------------------------------
+
+TEST(RcvCacheStress, ConcurrentInsertGetReleaseEvict) {
+  constexpr size_t kCapacity = 64;
+  constexpr int kListeners = 3;
+  constexpr int kRetrievers = 3;
+  constexpr int kPerThread = 4000;
+  constexpr VertexId kUniverse = 512;  // far above capacity: constant eviction
+
+  RcvCache cache(kCapacity, nullptr, nullptr);
+  std::atomic<int64_t> hits{0};
+
+  // Listener role: install a vertex with one reference held on our behalf,
+  // read it back while referenced (the pointer-validity protocol), release.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kListeners; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        VertexRecord r;
+        r.id = static_cast<VertexId>(rng.NextUint64(kUniverse));
+        r.adj = {1, 2, 3};
+        const VertexId v = r.id;
+        cache.Insert(std::move(r), /*initial_refs=*/1);
+        const VertexRecord* rec = cache.Get(v);
+        ASSERT_NE(rec, nullptr);  // referenced entries are never evicted
+        ASSERT_EQ(rec->id, v);
+        cache.Release(v);
+      }
+    });
+  }
+  // Retriever role: opportunistic hits on whatever is resident.
+  for (int t = 0; t < kRetrievers; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(2000 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        const VertexId v = static_cast<VertexId>(rng.NextUint64(kUniverse));
+        if (cache.AddRefIfPresent(v)) {
+          const VertexRecord* rec = cache.Get(v);
+          ASSERT_NE(rec, nullptr);
+          ASSERT_EQ(rec->id, v);
+          cache.Release(v);
+          hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // All references are released, so nothing can pin the cache above the
+  // transient overshoot bound: resident ≤ capacity + in-flight inserters.
+  EXPECT_LE(cache.size(), kCapacity + kListeners + kRetrievers);
+  EXPECT_GT(hits.load(), 0);
+  cache.Shutdown();
+}
+
+TEST(RcvCacheStress, BackpressureWakesWhenReferencesDrain) {
+  // Fill the cache with referenced entries, park a waiter on
+  // WaitBelowCapacity(), then release everything: the waiter must wake via
+  // the eviction path, not time out.
+  constexpr size_t kCapacity = 16;
+  RcvCache cache(kCapacity, nullptr, nullptr);
+  for (VertexId v = 0; v < static_cast<VertexId>(kCapacity); ++v) {
+    VertexRecord r;
+    r.id = v;
+    cache.Insert(std::move(r), /*initial_refs=*/1);
+  }
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    EXPECT_TRUE(cache.WaitBelowCapacity());
+    woke.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(woke.load(std::memory_order_acquire));  // everything referenced
+  for (VertexId v = 0; v < static_cast<VertexId>(kCapacity); ++v) {
+    cache.Release(v);
+  }
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+  cache.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// TaskStore: insert / pop / steal under spill pressure.
+// ---------------------------------------------------------------------------
+
+class StressTask : public Task<uint32_t> {
+ public:
+  void Update(UpdateContext& ctx) override {
+    (void)ctx;
+    MarkDead();
+  }
+};
+
+std::unique_ptr<StressTask> MakeStressTask(uint32_t id) {
+  auto t = std::make_unique<StressTask>();
+  t->context() = id;
+  t->subgraph().AddVertex(id);
+  t->set_candidates({id, id + 1, id + 2});
+  t->set_to_pull({id + 1, id + 2});
+  return t;
+}
+
+TEST(TaskStoreStress, StealVsSpillVsPopConservesTasks) {
+  const std::string spill_dir = MakeSpillDir("", 991);
+  {
+    TaskStore::Options options;
+    options.block_capacity = 16;  // tiny: inserts constantly spill
+    options.memory_blocks = 1;
+    options.enable_lsh = true;
+    options.spill_dir = spill_dir;
+    TaskStore store(options, [] { return std::make_unique<StressTask>(); }, nullptr, nullptr);
+
+    constexpr int kInserters = 2;
+    constexpr int kBatches = 60;
+    constexpr int kBatchSize = 24;  // > block_capacity: every batch spills
+    constexpr int kTotal = kInserters * kBatches * kBatchSize;
+
+    std::atomic<int> inserted{0};
+    std::atomic<int> removed{0};
+    std::atomic<bool> producers_done{false};
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kInserters; ++t) {
+      threads.emplace_back([&, t] {
+        for (int b = 0; b < kBatches; ++b) {
+          std::vector<std::unique_ptr<TaskBase>> batch;
+          batch.reserve(kBatchSize);
+          for (int i = 0; i < kBatchSize; ++i) {
+            batch.push_back(
+                MakeStressTask(static_cast<uint32_t>((t * kBatches + b) * kBatchSize + i)));
+          }
+          store.InsertBatch(std::move(batch));
+          inserted.fetch_add(kBatchSize, std::memory_order_relaxed);
+        }
+      });
+    }
+    // Popper: drains like the candidate retriever.
+    threads.emplace_back([&] {
+      while (removed.load(std::memory_order_relaxed) < kTotal) {
+        if (auto task = store.TryPop()) {
+          removed.fetch_add(1, std::memory_order_relaxed);
+        } else if (producers_done.load(std::memory_order_acquire) &&
+                   store.ApproxSize() == 0) {
+          break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+    // Stealer: periodically takes in-memory batches like a MigrateTasks
+    // command, then reinserts them (a migration round-trip).
+    threads.emplace_back([&] {
+      Rng rng(5);
+      while (removed.load(std::memory_order_relaxed) < kTotal &&
+             !(producers_done.load(std::memory_order_acquire) && store.ApproxSize() == 0)) {
+        auto stolen =
+            store.StealBatch(8, [](const TaskBase&) { return true; }, rng.NextUint64(2) == 0);
+        if (!stolen.empty()) {
+          store.InsertBatch(std::move(stolen));
+        }
+        std::this_thread::yield();
+      }
+    });
+
+    for (int t = 0; t < kInserters; ++t) {
+      threads[static_cast<size_t>(t)].join();
+    }
+    producers_done.store(true, std::memory_order_release);
+    for (size_t t = kInserters; t < threads.size(); ++t) {
+      threads[t].join();
+    }
+
+    EXPECT_EQ(inserted.load(), kTotal);
+    // Steal round-trips move tasks but never destroy them: everything
+    // inserted is eventually popped exactly once.
+    EXPECT_EQ(removed.load() + static_cast<int>(store.ApproxSize()), kTotal);
+  }
+  RemoveSpillDir(spill_dir);
+}
+
+}  // namespace
+}  // namespace gminer
