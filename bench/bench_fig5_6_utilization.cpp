@@ -6,6 +6,7 @@
 // phases, while the pipeline overlaps them. Each series is printed as
 // "FIG5 ..." / "FIG6 ..." lines after the corresponding benchmark.
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "apps/gm.h"
@@ -59,14 +60,24 @@ BENCHMARK(BM_Fig5_GthinkerUtilization)->Iterations(1)->Unit(benchmark::kMillisec
 
 void BM_Fig6_GMinerUtilization(benchmark::State& state) {
   const Graph& g = BenchLabeledDataset("friendster");
+  // The pipeline run doubles as the tracing demo: the merged Chrome trace
+  // lands next to bench_output.txt (override with GMINER_TRACE_FILE) so
+  // scripts/plot_results.py and scripts/trace_summary.py can pick it up.
+  RunOptions options;
+  options.enable_tracing = true;
+  const char* trace_file = std::getenv("GMINER_TRACE_FILE");
+  options.trace_json_path = trace_file != nullptr ? trace_file : "fig6_trace.json";
   for (auto _ : state) {
     GraphMatchJob job(Fig1Pattern());
     Cluster cluster(UtilizationConfig());
-    const JobResult r = cluster.Run(g, job);
+    const JobResult r = cluster.Run(g, job, options);
     ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
                       r.peak_memory_bytes, r.totals.net_bytes_sent);
     state.counters["avg_cpu_series"] = AvgCpu(r.utilization);
+    state.counters["trace_events"] = static_cast<double>(r.trace_events);
     PrintSeries("FIG6", r.utilization);
+    std::printf("TRACE file=%s events=%ld dropped=%ld\n", r.trace_file.c_str(),
+                static_cast<long>(r.trace_events), static_cast<long>(r.trace_events_dropped));
   }
 }
 BENCHMARK(BM_Fig6_GMinerUtilization)->Iterations(1)->Unit(benchmark::kMillisecond);

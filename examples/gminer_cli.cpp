@@ -38,7 +38,8 @@ void Usage() {
                "                  [--graph edges.el | --adjacency graph.adj]\n"
                "                  [--scale F] [--workers N] [--threads N] [--k K]\n"
                "                  [--labels L] [--partition bdg|hash] [--no-lsh]\n"
-               "                  [--no-steal] [--outputs] [--json out.json] [--verbose] [--seed S]\n");
+               "                  [--no-steal] [--outputs] [--json out.json] [--trace out.json]\n"
+               "                  [--verbose] [--seed S]\n");
 }
 
 }  // namespace
@@ -50,6 +51,7 @@ int main(int argc, char** argv) {
   std::string graph_path;
   std::string adjacency_path;
   std::string json_path;
+  std::string trace_path;
   double scale = 1.0;
   uint32_t k = 4;
   int labels = 7;
@@ -91,6 +93,8 @@ int main(int argc, char** argv) {
       config.enable_stealing = false;
     } else if (arg == "--json") {
       json_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
     } else if (arg == "--outputs") {
       print_outputs = true;
     } else if (arg == "--verbose") {
@@ -130,51 +134,56 @@ int main(int argc, char** argv) {
 
   // --- Run the job ---
   Cluster cluster(config);
+  RunOptions options;
+  if (!trace_path.empty()) {
+    options.enable_tracing = true;
+    options.trace_json_path = trace_path;
+  }
   JobResult result;
   std::string headline;
   if (app == "tc") {
     TriangleCountJob job;
-    result = cluster.Run(graph, job);
+    result = cluster.Run(graph, job, options);
     headline = "triangles = " + std::to_string(TriangleCountJob::Count(result.final_aggregate));
   } else if (app == "mcf") {
     MaxCliqueJob job;
-    result = cluster.Run(graph, job);
+    result = cluster.Run(graph, job, options);
     headline =
         "max clique = " + std::to_string(MaxCliqueJob::MaxCliqueSize(result.final_aggregate));
   } else if (app == "mcf-split") {
     SplittingCliqueJob job;
-    result = cluster.Run(graph, job);
+    result = cluster.Run(graph, job, options);
     headline = "max clique = " +
                std::to_string(SplittingCliqueJob::MaxCliqueSize(result.final_aggregate));
   } else if (app == "kclique") {
     KCliqueJob job(k);
-    result = cluster.Run(graph, job);
+    result = cluster.Run(graph, job, options);
     headline = std::to_string(k) +
                "-cliques = " + std::to_string(KCliqueJob::Count(result.final_aggregate));
   } else if (app == "dsg") {
     DensestSubgraphJob job;
-    result = cluster.Run(graph, job);
+    result = cluster.Run(graph, job, options);
     char buf[64];
     std::snprintf(buf, sizeof(buf), "densest neighborhood density = %.3f",
                   DensestSubgraphJob::BestDensity(result.final_aggregate));
     headline = buf;
   } else if (app == "gm") {
     GraphMatchJob job(Fig1Pattern());
-    result = cluster.Run(graph, job);
+    result = cluster.Run(graph, job, options);
     headline =
         "matches = " + std::to_string(GraphMatchJob::MatchCount(result.final_aggregate));
   } else if (app == "cd") {
     CdParams params;
     params.emit_outputs = print_outputs;
     CommunityJob job(params);
-    result = cluster.Run(graph, job);
+    result = cluster.Run(graph, job, options);
     headline = "communities = " +
                std::to_string(CommunityJob::CommunityCount(result.final_aggregate));
   } else if (app == "gc") {
     GcParams params = MakeGcParams(graph, 12, seed);
     params.emit_outputs = print_outputs;
     FocusedClusteringJob job(params);
-    result = cluster.Run(graph, job);
+    result = cluster.Run(graph, job, options);
     headline = "clusters = " +
                std::to_string(FocusedClusteringJob::ClusterCount(result.final_aggregate));
   } else {
@@ -200,6 +209,21 @@ int main(int argc, char** argv) {
   std::printf("memory:   %.2f MB peak (tracked)\n",
               static_cast<double>(result.peak_memory_bytes) / 1e6);
   std::printf("cpu:      %.1f%% average utilization\n", 100.0 * result.avg_cpu_utilization);
+  if (result.trace_enabled) {
+    std::printf("trace:    %ld events (%ld dropped)%s%s\n",
+                static_cast<long>(result.trace_events),
+                static_cast<long>(result.trace_events_dropped),
+                result.trace_file.empty() ? "" : ", written to ",
+                result.trace_file.c_str());
+    if (!result.stage_latencies.empty()) {
+      std::printf("  %-14s %10s %12s %12s %12s\n", "stage", "count", "p50", "p95", "p99");
+      for (const auto& stage : result.stage_latencies) {
+        std::printf("  %-14s %10ld %10.3fms %10.3fms %10.3fms\n", stage.stage.c_str(),
+                    static_cast<long>(stage.count), stage.p50_ns / 1e6, stage.p95_ns / 1e6,
+                    stage.p99_ns / 1e6);
+      }
+    }
+  }
   if (print_outputs) {
     for (const auto& line : result.outputs) {
       std::printf("  %s\n", line.c_str());

@@ -17,7 +17,11 @@ Three checks, all cheap enough for a pre-commit hook and run in CI
    Companion check raw-sync: raw std::mutex / condition_variable /
    lock_guard are banned outside common/thread_annotations.h — the
    annotated wrappers are the only primitives the Clang thread-safety
-   analysis can reason about.
+   analysis can reason about. Companion check raw-clock: direct
+   std::chrono::*_clock::now() is banned outside common/timer,
+   common/trace and metrics/, so all timing flows through the
+   instrumented clocks; sync deadlines escape with
+   `lint:allow(raw-clock)`.
 
 3. include-layering: src/ subdirectories form a DAG (apps -> core ->
    {net,storage,partition,lsh} -> {graph,metrics} -> common, mirroring the
@@ -287,6 +291,46 @@ def check_raw_sync(path, text):
 
 
 # --------------------------------------------------------------------------
+# Check 2c: raw clock reads
+# --------------------------------------------------------------------------
+
+# All timing flows through the instrumented clocks (common/timer.h's
+# WallTimer/MonotonicNanos, the trace helpers in common/trace.h, and the
+# metrics layer built on them). A direct steady_clock::now() elsewhere is a
+# measurement the tracing subsystem cannot see — and under system_clock it is
+# not even monotonic. Synchronization deadlines that must feed a wait_until
+# (not measurements) carry a `lint:allow(raw-clock)` comment.
+RAW_CLOCK = re.compile(
+    r"\bstd::chrono::(steady_clock|system_clock|high_resolution_clock)::now\s*\("
+)
+CLOCK_ALLOWLIST = {
+    "src/common/timer.h",
+    "src/common/timer.cc",
+    "src/common/trace.h",
+    "src/common/trace.cc",
+}
+CLOCK_ALLOW_COMMENT = "lint:allow(raw-clock)"
+
+
+def check_raw_clock(path, text):
+    rel = os.path.relpath(path, REPO)
+    if rel in CLOCK_ALLOWLIST or rel.startswith("src/metrics/"):
+        return
+    lines = text.split("\n")
+    for i, line in enumerate(lines):
+        code = line.split("//")[0]
+        if not RAW_CLOCK.search(code) or "#include" in code:
+            continue
+        prev = lines[i - 1] if i > 0 else ""
+        if CLOCK_ALLOW_COMMENT in line or CLOCK_ALLOW_COMMENT in prev:
+            continue
+        finding(path, i + 1, "raw-clock",
+                "direct std::chrono clock read outside common/timer, common/trace "
+                "and metrics/; use MonotonicNanos()/WallTimer (or add a "
+                "`lint:allow(raw-clock)` comment for a pure sync deadline)")
+
+
+# --------------------------------------------------------------------------
 # Check 3: include layering
 # --------------------------------------------------------------------------
 
@@ -341,6 +385,7 @@ def main():
         check_serialize_symmetry(path, text)
         check_naked_thread(path, text)
         check_raw_sync(path, text)
+        check_raw_clock(path, text)
         check_include_layering(path, text)
     for line in sorted(findings):
         print(line)

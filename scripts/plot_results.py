@@ -3,16 +3,20 @@
 available, PNG plots for the utilization timelines of Figs. 5-6).
 
 Usage:
-    python3 scripts/plot_results.py [bench_output.txt] [out_dir]
+    python3 scripts/plot_results.py [bench_output.txt] [out_dir] [--trace trace.json]
 
 The benchmark rows look like:
     Table3/TC/orkut/GMiner/iterations:1   412 ms  14.7 ms  1  cpu_util_pct=25.3 ... time_s=0.406
     FIG6 t=0.125 cpu=83.0 net=4.1 disk=0.0
+    TRACE file=fig6_trace.json events=8123 dropped=0
 This script groups rows by experiment prefix (Table1, Table3, ..., Fig13,
-Ablation) and writes one CSV per experiment with the parsed counters.
+Ablation) and writes one CSV per experiment with the parsed counters. A Chrome
+trace file (named via --trace, or discovered from a TRACE line as written by
+bench_fig5_6_utilization) is folded into a per-stage latency CSV.
 """
 
 import csv
+import json
 import os
 import re
 import sys
@@ -21,6 +25,7 @@ import sys
 ROW_RE = re.compile(r"^((?:BM_)?(?:Table|Fig|Ablation|COST)\S*)\s")
 COUNTER_RE = re.compile(r"(\w+)=([-\d.eku]+)")
 SERIES_RE = re.compile(r"^(FIG\d)\s+t=([\d.]+)\s+cpu=([\d.]+)\s+net=([\d.]+)\s+disk=([\d.]+)")
+TRACE_RE = re.compile(r"^TRACE\s+file=(\S+)\s+events=(\d+)\s+dropped=(\d+)")
 
 SUFFIX = {"k": 1e3, "m": 1e-3, "u": 1e-6}
 
@@ -36,15 +41,61 @@ def experiment_of(name: str) -> str:
     return name.split("/")[0].split("_")[0]
 
 
+def percentile(sorted_values: list, p: float) -> float:
+    """Nearest-rank percentile over an ascending list (p in [0, 100])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(round(p / 100.0 * len(sorted_values))) - 1))
+    return sorted_values[rank]
+
+
+def summarize_trace(trace_path: str, out_dir: str) -> None:
+    """Fold a Chrome trace file's complete ("X") events into a per-stage CSV."""
+    with open(trace_path) as f:
+        trace = json.load(f)
+    durations: dict[str, list[float]] = {}
+    for event in trace.get("traceEvents", []):
+        if event.get("ph") == "X":
+            durations.setdefault(event["name"], []).append(float(event.get("dur", 0.0)))
+    out_path = os.path.join(out_dir, "trace_stages.csv")
+    with open(out_path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["stage", "count", "total_us", "p50_us", "p95_us", "p99_us", "max_us"])
+        for stage in sorted(durations):
+            values = sorted(durations[stage])
+            writer.writerow([
+                stage, len(values), round(sum(values), 3),
+                percentile(values, 50), percentile(values, 95), percentile(values, 99),
+                values[-1],
+            ])
+    print(f"wrote {out_path} ({len(durations)} stages from {trace_path})")
+
+
 def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
-    out_dir = sys.argv[2] if len(sys.argv) > 2 else "bench_csv"
+    args = list(sys.argv[1:])
+    trace_path = ""
+    if "--trace" in args:
+        at = args.index("--trace")
+        trace_path = args[at + 1]
+        del args[at:at + 2]
+    path = args[0] if len(args) > 0 else "bench_output.txt"
+    out_dir = args[1] if len(args) > 1 else "bench_csv"
     os.makedirs(out_dir, exist_ok=True)
 
     rows: dict[str, list[dict]] = {}
     series: dict[str, list[tuple]] = {}
     with open(path) as f:
         for line in f:
+            m = TRACE_RE.match(line)
+            if m and not trace_path:
+                # bench_fig5_6_utilization names the trace it wrote; resolve it
+                # relative to the bench output so a later --trace still wins.
+                candidate = m.group(1)
+                if not os.path.isabs(candidate):
+                    candidate = os.path.join(os.path.dirname(os.path.abspath(path)), candidate)
+                if os.path.exists(candidate):
+                    trace_path = candidate
+                continue
             m = SERIES_RE.match(line)
             if m:
                 series.setdefault(m.group(1), []).append(tuple(map(float, m.groups()[1:])))
@@ -107,6 +158,9 @@ def main() -> int:
                 print(f"wrote {png}")
         except ImportError:
             print("matplotlib not available; CSVs written, plots skipped")
+
+    if trace_path:
+        summarize_trace(trace_path, out_dir)
     return 0
 
 

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Print a per-stage latency table from a G-Miner trace artifact.
+
+Accepts either of the two JSON files a traced run produces:
+
+  * the Chrome trace-event file written via RunOptions::trace_json_path
+    (percentiles are recomputed exactly from the individual span durations), or
+  * the job report written by WriteJobResultJson, whose "trace" object carries
+    the pre-folded per-stage histograms (p50/p95/p99 from log buckets).
+
+Usage:
+    python3 scripts/trace_summary.py trace.json
+    python3 scripts/trace_summary.py report.json
+
+Exits 1 when the file holds no stage data (tracing disabled or empty run), so
+CI can use it as a smoke check.
+"""
+
+import json
+import sys
+
+
+def percentile(sorted_values, p):
+    """Nearest-rank percentile over an ascending list (p in [0, 100])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(round(p / 100.0 * len(sorted_values))) - 1))
+    return sorted_values[rank]
+
+
+def stages_from_chrome_trace(doc):
+    """Group complete ("X") events by name; durations arrive in microseconds."""
+    durations = {}
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") == "X":
+            durations.setdefault(event["name"], []).append(float(event.get("dur", 0.0)) * 1e3)
+    stages = []
+    for name in sorted(durations):
+        values = sorted(durations[name])
+        stages.append({
+            "stage": name,
+            "count": len(values),
+            "total_ns": sum(values),
+            "p50_ns": percentile(values, 50),
+            "p95_ns": percentile(values, 95),
+            "p99_ns": percentile(values, 99),
+        })
+    return stages
+
+
+def stages_from_report(doc):
+    trace = doc.get("trace", {})
+    return [
+        {
+            "stage": s["stage"],
+            "count": s["count"],
+            "total_ns": s["total_ns"],
+            "p50_ns": s["p50_ns"],
+            "p95_ns": s["p95_ns"],
+            "p99_ns": s["p99_ns"],
+        }
+        for s in trace.get("stages", [])
+    ]
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    if "traceEvents" in doc:
+        stages = stages_from_chrome_trace(doc)
+        source = "chrome trace"
+        dropped = None
+    else:
+        stages = stages_from_report(doc)
+        source = "job report"
+        dropped = doc.get("trace", {}).get("trace_events_dropped")
+
+    if not stages:
+        print(f"no stage data in {sys.argv[1]} ({source}) -- was tracing enabled?",
+              file=sys.stderr)
+        return 1
+
+    grand_total = sum(s["total_ns"] for s in stages) or 1.0
+    header = f"{'stage':<14} {'count':>10} {'p50':>12} {'p95':>12} {'p99':>12} " \
+             f"{'total':>12} {'share':>7}"
+    print(header)
+    print("-" * len(header))
+    for s in stages:
+        print(f"{s['stage']:<14} {s['count']:>10} "
+              f"{s['p50_ns'] / 1e6:>10.3f}ms {s['p95_ns'] / 1e6:>10.3f}ms "
+              f"{s['p99_ns'] / 1e6:>10.3f}ms {s['total_ns'] / 1e6:>10.3f}ms "
+              f"{100.0 * s['total_ns'] / grand_total:>6.1f}%")
+    if dropped:
+        print(f"warning: {dropped} events dropped (raise RunOptions::trace_ring_capacity)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,7 @@ class BlockingQueue {
   // the queue is closed and drained.
   template <typename Rep, typename Period>
   std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) EXCLUDES(mutex_) {
+    // Sync deadline for wait_until, not a measurement. lint:allow(raw-clock)
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     MutexLock lock(mutex_);
     while (items_.empty() && !closed_) {

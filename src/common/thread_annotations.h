@@ -122,6 +122,7 @@ class CondVar {
 
   template <typename Rep, typename Period>
   bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout) REQUIRES(mu) {
+    // Sync deadline for wait_until, not a measurement. lint:allow(raw-clock)
     return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
   }
 

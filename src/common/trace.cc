@@ -1,0 +1,206 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace gminer {
+
+namespace trace_internal {
+thread_local TraceRing* g_ring = nullptr;
+}  // namespace trace_internal
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kTaskCreated:
+      return "task_created";
+    case TraceEventType::kTaskQueueWait:
+      return "queue_wait";
+    case TraceEventType::kTaskPullWait:
+      return "pull_wait";
+    case TraceEventType::kTaskReadyWait:
+      return "ready_wait";
+    case TraceEventType::kTaskCompute:
+      return "compute";
+    case TraceEventType::kTaskCompleted:
+      return "task_completed";
+    case TraceEventType::kTaskStolenOut:
+      return "steal_out";
+    case TraceEventType::kTaskStolenIn:
+      return "steal_in";
+    case TraceEventType::kSpillWrite:
+      return "spill_write";
+    case TraceEventType::kSpillRead:
+      return "spill_read";
+    case TraceEventType::kNetSend:
+      return "net_send";
+    case TraceEventType::kNetRecv:
+      return "net_recv";
+    case TraceEventType::kPullRoundTrip:
+      return "pull_rtt";
+    case TraceEventType::kPullRetry:
+      return "pull_retry";
+    case TraceEventType::kCacheHit:
+      return "cache_hit";
+    case TraceEventType::kCacheMiss:
+      return "cache_miss";
+    case TraceEventType::kCacheEvict:
+      return "cache_evict";
+    case TraceEventType::kFaultDrop:
+      return "fault_drop";
+    case TraceEventType::kFaultDuplicate:
+      return "fault_duplicate";
+    case TraceEventType::kFaultDelay:
+      return "fault_delay";
+    case TraceEventType::kFaultKill:
+      return "fault_kill";
+    case TraceEventType::kHeartbeatMiss:
+      return "heartbeat_miss";
+    case TraceEventType::kWorkerDead:
+      return "worker_dead";
+    case TraceEventType::kAdoptIssued:
+      return "adopt_issued";
+    case TraceEventType::kAdoption:
+      return "adoption";
+    case TraceEventType::kAdoptDone:
+      return "adopt_done";
+    case TraceEventType::kSeedingDone:
+      return "seeding_done";
+    case TraceEventType::kEventTypeCount:
+      break;
+  }
+  return "unknown";
+}
+
+bool TraceEventIsSpan(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kTaskQueueWait:
+    case TraceEventType::kTaskPullWait:
+    case TraceEventType::kTaskReadyWait:
+    case TraceEventType::kTaskCompute:
+    case TraceEventType::kSpillWrite:
+    case TraceEventType::kSpillRead:
+    case TraceEventType::kPullRoundTrip:
+    case TraceEventType::kAdoption:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TraceRing* Tracer::RegisterThread(int pid, std::string name) {
+  MutexLock lock(mutex_);
+  rings_.push_back(std::make_unique<TraceRing>(ring_capacity_, pid, std::move(name)));
+  return rings_.back().get();
+}
+
+void Tracer::SetProcessName(int pid, std::string name) {
+  MutexLock lock(mutex_);
+  process_names_[pid] = std::move(name);
+}
+
+Tracer::MergedTrace Tracer::Merge() const {
+  MergedTrace out;
+  out.start_ns = start_ns_;
+  MutexLock lock(mutex_);
+  out.process_names = process_names_;
+  for (const auto& ring : rings_) {
+    const size_t n = ring->size();  // acquire: events [0, n) are published
+    TrackSlice track;
+    track.pid = ring->pid();
+    track.name = ring->name();
+    track.begin = out.events.size();
+    for (size_t i = 0; i < n; ++i) out.events.push_back(ring->event(i));
+    track.end = out.events.size();
+    out.tracks.push_back(std::move(track));
+    out.dropped += ring->dropped();
+  }
+  return out;
+}
+
+TraceThreadScope::TraceThreadScope(Tracer* tracer, int pid, const std::string& name) {
+  if (tracer == nullptr) return;
+  prev_ = trace_internal::g_ring;
+  trace_internal::g_ring = tracer->RegisterThread(pid, name);
+  installed_ = true;
+}
+
+TraceThreadScope::~TraceThreadScope() {
+  if (installed_) trace_internal::g_ring = prev_;
+}
+
+uint64_t NextTraceTaskId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Microseconds with sub-µs precision, relative to the job start — what the
+// Chrome trace-event format expects in "ts"/"dur".
+void AppendMicros(std::string& out, int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  out += buf;
+}
+
+}  // namespace
+
+bool WriteChromeTrace(const Tracer::MergedTrace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+
+  std::string body;
+  body.reserve(trace.events.size() * 96 + 4096);
+  body += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) body += ',';
+    first = false;
+  };
+
+  for (const auto& [pid, name] : trace.process_names) {
+    comma();
+    body += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + std::to_string(pid) +
+            ",\"tid\":0,\"args\":{\"name\":\"" + name + "\"}}";
+  }
+  // tid 0 is the metadata row; tracks are numbered from 1 in merge order so
+  // two same-named threads (e.g. restarted scopes) stay distinct.
+  for (size_t t = 0; t < trace.tracks.size(); ++t) {
+    const Tracer::TrackSlice& track = trace.tracks[t];
+    comma();
+    body += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + std::to_string(track.pid) +
+            ",\"tid\":" + std::to_string(t + 1) + ",\"args\":{\"name\":\"" + track.name + "\"}}";
+  }
+  for (size_t t = 0; t < trace.tracks.size(); ++t) {
+    const Tracer::TrackSlice& track = trace.tracks[t];
+    const std::string ids = ",\"pid\":" + std::to_string(track.pid) +
+                            ",\"tid\":" + std::to_string(t + 1);
+    for (size_t i = track.begin; i < track.end; ++i) {
+      const TraceEvent& e = trace.events[i];
+      comma();
+      body += "{\"name\":\"";
+      body += TraceEventTypeName(e.type);
+      body += "\",\"ph\":\"";
+      body += TraceEventIsSpan(e.type) ? 'X' : 'i';
+      body += '"';
+      body += ids;
+      body += ",\"ts\":";
+      AppendMicros(body, e.t_ns - trace.start_ns);
+      if (TraceEventIsSpan(e.type)) {
+        body += ",\"dur\":";
+        AppendMicros(body, e.dur_ns);
+      } else {
+        body += ",\"s\":\"t\"";  // thread-scoped instant
+      }
+      body += ",\"args\":{\"id\":" + std::to_string(e.id) +
+              ",\"arg\":" + std::to_string(e.arg) + "}}";
+    }
+  }
+  body += "]}";
+  out << body;
+  out.close();
+  return out.good();
+}
+
+}  // namespace gminer

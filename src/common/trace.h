@@ -1,0 +1,255 @@
+// Task-pipeline event tracing (DESIGN.md "Observability").
+//
+// Each runtime thread registers a private ring buffer (TraceRing) with the
+// job's Tracer and stamps typed events into it through the thread-local
+// current-ring pointer installed by TraceThreadScope — no locks, no sharing
+// on the hot path. Two event shapes exist:
+//
+//   - instants: a point in time (cache hit, retry, worker death, ...);
+//   - spans: a duration with a begin timestamp captured by the caller
+//     (queue wait, pull round-trip, compute, spill I/O, adoption, ...).
+//
+// Rings are fixed-capacity and drop the NEWEST events on overflow, counting
+// the drops, so the surviving prefix is a coherent timeline rather than a
+// random sample. At job end Tracer::Merge() snapshots every ring (safe even
+// while late threads are still emitting — see TraceRing) into one sorted
+// event list that feeds the per-stage latency histograms in the job report
+// and the optional Chrome trace-event JSON export (WriteChromeTrace).
+//
+// Building with -DGMINER_TRACE=OFF defines GMINER_TRACE_DISABLED and turns
+// every emit helper into a constant-folded no-op.
+#ifndef GMINER_COMMON_TRACE_H_
+#define GMINER_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/timer.h"
+
+namespace gminer {
+
+// One value per traced occurrence in the pipeline. Span types carry a
+// duration (TraceEventIsSpan); the rest are instants.
+enum class TraceEventType : uint8_t {
+  // Task lifecycle. `id` is the task's process-unique trace id.
+  kTaskCreated = 0,
+  kTaskQueueWait,  // span: task-store insert → pop by the retriever
+  kTaskPullWait,   // span: parked in the CMQ → last pull response arrived
+  kTaskReadyWait,  // span: pushed to the CPQ → popped by a compute thread
+  kTaskCompute,    // span: one Update() call; arg = round
+  kTaskCompleted,
+  kTaskStolenOut,  // instant: arg = batch size migrated away
+  kTaskStolenIn,   // instant: arg = batch size received
+  // Task-store disk spill. `id` is the spill block id, arg = task count.
+  kSpillWrite,  // span
+  kSpillRead,   // span
+  // Network. `id` is the message type, arg = payload bytes.
+  kNetSend,
+  kNetRecv,
+  kPullRoundTrip,  // span: pull request sent → last response; id = request id
+  kPullRetry,      // instant: a pull request was re-sent; id = request id
+  // RCV cache. `id` is the vertex id.
+  kCacheHit,
+  kCacheMiss,
+  kCacheEvict,  // instant: arg = entries evicted in one sweep
+  // Fault injection (net/fault.h). Emitted by the sender-side interceptor.
+  kFaultDrop,       // id = destination worker
+  kFaultDuplicate,  // id = destination worker
+  kFaultDelay,      // id = destination worker, arg = delay in microseconds
+  kFaultKill,       // id = killed worker
+  // Failure detection and recovery (master + adopter).
+  kHeartbeatMiss,  // id = silent worker, arg = silence in ms
+  kWorkerDead,     // id = dead worker
+  kAdoptIssued,    // id = dead worker, arg = adopter
+  kAdoption,       // span: adopter-side recovery; id = dead worker, arg = tasks
+  kAdoptDone,      // id = dead worker
+  kSeedingDone,    // instant: a worker finished seeding its partition
+  kEventTypeCount,
+};
+
+// Stable lowercase names used in the Chrome trace and the report histograms.
+const char* TraceEventTypeName(TraceEventType type);
+
+// True for the duration-carrying types listed above.
+bool TraceEventIsSpan(TraceEventType type);
+
+// 32-byte POD stamped into the rings. For spans t_ns is the BEGIN time and
+// dur_ns the length; for instants dur_ns is 0.
+struct TraceEvent {
+  int64_t t_ns = 0;
+  int64_t dur_ns = 0;
+  uint64_t id = 0;
+  int32_t arg = 0;
+  TraceEventType type = TraceEventType::kTaskCreated;
+};
+
+// Fixed-capacity single-writer event buffer. Exactly one thread calls Emit;
+// Merge() on another thread reads up to the released size, so the atomic
+// store-release / load-acquire pair is the only synchronization needed even
+// when a late thread (e.g. the network delivery loop, which outlives
+// Network::Close) is still emitting during the merge.
+class TraceRing {
+ public:
+  TraceRing(size_t capacity, int pid, std::string name)
+      : capacity_(capacity), pid_(pid), name_(std::move(name)), events_(capacity) {}
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  // Owner thread only. Drops (and counts) the event once the ring is full:
+  // keeping the oldest events preserves a coherent prefix of the timeline.
+  void Emit(const TraceEvent& e) {
+    const size_t n = size_.load(std::memory_order_relaxed);
+    if (n >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events_[n] = e;
+    size_.store(n + 1, std::memory_order_release);
+  }
+
+  // Safe from any thread; pairs with the release store in Emit.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Valid for i < a size() read by the same thread.
+  const TraceEvent& event(size_t i) const { return events_[i]; }
+
+  int pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  const size_t capacity_;
+  const int pid_;
+  const std::string name_;
+  std::vector<TraceEvent> events_;
+  std::atomic<size_t> size_{0};
+  std::atomic<int64_t> dropped_{0};
+};
+
+// Owns the per-thread rings for one job run. Created by Cluster::Run when
+// RunOptions::enable_tracing is set and handed (as a raw pointer) to the
+// subsystems that register threads.
+class Tracer {
+ public:
+  // One Chrome-trace track: the events [begin, end) of the merged list that
+  // came from the ring `name` on process `pid`.
+  struct TrackSlice {
+    int pid = 0;
+    std::string name;
+    size_t begin = 0;
+    size_t end = 0;
+  };
+
+  struct MergedTrace {
+    std::vector<TraceEvent> events;  // grouped by track, in emit order
+    std::vector<TrackSlice> tracks;
+    std::map<int, std::string> process_names;
+    int64_t start_ns = 0;   // job start; Chrome timestamps are relative to it
+    int64_t dropped = 0;    // total events lost to ring overflow
+  };
+
+  explicit Tracer(size_t ring_capacity)
+      : ring_capacity_(ring_capacity), start_ns_(MonotonicNanos()) {}
+
+  // Registers a ring for the calling thread under Chrome process `pid`.
+  // The returned ring stays valid for the Tracer's lifetime. Normally called
+  // through TraceThreadScope, not directly.
+  TraceRing* RegisterThread(int pid, std::string name) EXCLUDES(mutex_);
+
+  // Names a Chrome-trace process row ("worker 0", "master", "network").
+  void SetProcessName(int pid, std::string name) EXCLUDES(mutex_);
+
+  // Snapshots every ring. Tolerates writers that are still emitting: each
+  // ring contributes the prefix published by its last release store.
+  MergedTrace Merge() const EXCLUDES(mutex_);
+
+  int64_t start_ns() const { return start_ns_; }
+
+ private:
+  const size_t ring_capacity_;
+  const int64_t start_ns_;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<TraceRing>> rings_ GUARDED_BY(mutex_);
+  std::map<int, std::string> process_names_ GUARDED_BY(mutex_);
+};
+
+namespace trace_internal {
+// The calling thread's current ring; null when tracing is off or the thread
+// never entered a TraceThreadScope. Emit helpers below no-op on null.
+extern thread_local TraceRing* g_ring;
+}  // namespace trace_internal
+
+// RAII: registers a ring for this thread (null tracer = leave the current
+// ring alone, so scopes nest harmlessly in untraced runs) and restores the
+// previous ring on destruction.
+class TraceThreadScope {
+ public:
+  TraceThreadScope(Tracer* tracer, int pid, const std::string& name);
+  ~TraceThreadScope();
+
+  TraceThreadScope(const TraceThreadScope&) = delete;
+  TraceThreadScope& operator=(const TraceThreadScope&) = delete;
+
+ private:
+  TraceRing* prev_ = nullptr;
+  bool installed_ = false;
+};
+
+// True when this thread can emit events right now. Instrumentation sites use
+// it to skip timestamp capture entirely in untraced runs; under
+// GMINER_TRACE_DISABLED it is a compile-time false and every emit folds away.
+inline bool TraceEnabled() {
+#ifdef GMINER_TRACE_DISABLED
+  return false;
+#else
+  return trace_internal::g_ring != nullptr;
+#endif
+}
+
+// Timestamp for a span begin; 0 when tracing is off so untraced runs never
+// touch the clock.
+inline int64_t TraceNowNs() { return TraceEnabled() ? MonotonicNanos() : 0; }
+
+// Point event at the current time.
+inline void TraceInstant(TraceEventType type, uint64_t id = 0, int32_t arg = 0) {
+#ifndef GMINER_TRACE_DISABLED
+  if (TraceRing* ring = trace_internal::g_ring) {
+    ring->Emit({MonotonicNanos(), 0, id, arg, type});
+  }
+#else
+  (void)type, (void)id, (void)arg;
+#endif
+}
+
+// Duration event: begin_ns was captured earlier via TraceNowNs(). A zero
+// begin (captured while tracing was off, or an unstamped task) is skipped.
+inline void TraceSpan(TraceEventType type, uint64_t id, int64_t begin_ns, int32_t arg = 0) {
+#ifndef GMINER_TRACE_DISABLED
+  if (begin_ns == 0) return;
+  if (TraceRing* ring = trace_internal::g_ring) {
+    const int64_t now = MonotonicNanos();
+    ring->Emit({begin_ns, now > begin_ns ? now - begin_ns : 0, id, arg, type});
+  }
+#else
+  (void)type, (void)id, (void)begin_ns, (void)arg;
+#endif
+}
+
+// Process-unique id for task lifecycle events (0 is reserved = untraced).
+// A migrated, spilled-and-reloaded or recovered task gets a fresh id on its
+// new home — lifecycle spans describe residency, not the task's whole life.
+uint64_t NextTraceTaskId();
+
+// Writes the merged trace as Chrome trace-event JSON (chrome://tracing and
+// Perfetto both load it). Returns false if the file cannot be written.
+bool WriteChromeTrace(const Tracer::MergedTrace& trace, const std::string& path);
+
+}  // namespace gminer
+
+#endif  // GMINER_COMMON_TRACE_H_

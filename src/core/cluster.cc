@@ -9,9 +9,11 @@
 #include "common/logging.h"
 #include "common/thread_annotations.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/master.h"
 #include "core/worker.h"
 #include "metrics/sampler.h"
+#include "metrics/trace_stats.h"
 #include "net/network.h"
 #include "partition/bdg_partitioner.h"
 #include "partition/hash_partitioner.h"
@@ -89,6 +91,9 @@ std::string ValidateRun(const JobConfig& config, const RunOptions& options) {
     return "blackouts require enable_stealing=false: a migrated task batch "
            "swallowed by a blackout window is unrecoverable";
   }
+  if (options.trace_ring_capacity == 0) {
+    return "trace_ring_capacity must be positive";
+  }
   if (!options.recover_assignment.empty() &&
       options.recover_assignment.size() != static_cast<size_t>(config.num_workers)) {
     return "recover_assignment size must equal num_workers";
@@ -152,14 +157,34 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
   if (!options.faults.Empty()) {
     injector = std::make_unique<FaultInjector>(options.faults);
   }
+
+  // Tracing: one ring per runtime thread, registered lazily as each thread
+  // enters its TraceThreadScope. The tracer must outlive the Network (its
+  // delivery thread emits into a ring until ~Network joins it).
+  std::unique_ptr<Tracer> tracer;
+  if (options.enable_tracing || !options.trace_json_path.empty()) {
+#ifdef GMINER_TRACE_DISABLED
+    GM_LOG_WARN << "tracing requested but this build has GMINER_TRACE=OFF; "
+                   "the trace will be empty";
+#endif
+    tracer = std::make_unique<Tracer>(options.trace_ring_capacity);
+    for (int i = 0; i < config_.num_workers; ++i) {
+      tracer->SetProcessName(i, "worker " + std::to_string(i));
+    }
+    tracer->SetProcessName(config_.num_workers, "master");
+    tracer->SetProcessName(config_.num_workers + 1, "network");
+  }
+
   Network net(config_.num_workers + 1, counter_ptrs, config_.net_latency_us > 0,
-              config_.net_bandwidth_gbps, config_.net_latency_us, injector.get());
+              config_.net_bandwidth_gbps, config_.net_latency_us, injector.get(),
+              tracer.get());
 
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(static_cast<size_t>(config_.num_workers));
   for (int i = 0; i < config_.num_workers; ++i) {
     workers.push_back(
         std::make_unique<Worker>(i, config_, &net, &state, counters[i].get(), &job));
+    workers.back()->set_tracer(tracer.get());
     workers.back()->LoadPartition(g, owner);
     if (!options.checkpoint_dir.empty()) {
       workers.back()->set_checkpoint_path(CheckpointTaskFile(options.checkpoint_dir, i));
@@ -287,7 +312,11 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
 
   Master master(config_, &net, &state, &job, options.checkpoint_dir,
                 /*bounded_shutdown=*/injector != nullptr || config_.enable_fault_tolerance);
-  result.final_aggregate = master.Run();
+  {
+    // The master runs on this (caller) thread; give it a trace track.
+    TraceThreadScope master_scope(tracer.get(), config_.num_workers, "master");
+    result.final_aggregate = master.Run();
+  }
   job_done.store(true, std::memory_order_release);
   for (auto& t : kill_timers) {
     t.join();
@@ -341,6 +370,27 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
       result.outputs.push_back(std::move(line));
     }
   }
+
+  // --- Trace merge & export ---
+  if (tracer != nullptr) {
+    const Tracer::MergedTrace merged = tracer->Merge();
+    result.trace_enabled = true;
+    result.trace_events = static_cast<int64_t>(merged.events.size());
+    result.trace_events_dropped = merged.dropped;
+    result.stage_latencies = BuildStageLatencies(merged.events);
+    if (merged.dropped > 0) {
+      GM_LOG_WARN << "trace rings overflowed: " << merged.dropped
+                  << " event(s) dropped (raise RunOptions::trace_ring_capacity)";
+    }
+    if (!options.trace_json_path.empty()) {
+      if (WriteChromeTrace(merged, options.trace_json_path)) {
+        result.trace_file = options.trace_json_path;
+      } else {
+        GM_LOG_ERROR << "failed to write trace file " << options.trace_json_path;
+      }
+    }
+  }
+
   workers.clear();  // tear down before the network
   return result;
 }

@@ -36,6 +36,19 @@ struct RunOptions {
   // message drops / duplicates / delays, endpoint blackouts, worker kills.
   // Empty() = no injector is installed.
   FaultPlan faults;
+
+  // --- Task-pipeline event tracing (common/trace.h) ---
+  // Records per-thread typed events (task lifecycle spans, pulls, cache
+  // hits, recovery) and folds per-stage latency histograms into the result.
+  bool enable_tracing = false;
+
+  // When non-empty, also writes the merged trace as Chrome trace-event JSON
+  // (chrome://tracing / Perfetto loadable). Implies enable_tracing.
+  std::string trace_json_path;
+
+  // Events each thread's ring can hold before dropping (drop-newest, counted
+  // in JobResult::trace_events_dropped). Default 32K events ≈ 1 MiB/thread.
+  size_t trace_ring_capacity = size_t{1} << 15;
 };
 
 class Cluster {

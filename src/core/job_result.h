@@ -9,6 +9,7 @@
 
 #include "metrics/counters.h"
 #include "metrics/sampler.h"
+#include "metrics/trace_stats.h"
 
 namespace gminer {
 
@@ -53,6 +54,13 @@ struct JobResult {
   std::vector<UtilizationSample> utilization;  // when sampling was enabled
   std::vector<std::string> outputs;
   std::vector<uint8_t> final_aggregate;  // serialized global aggregator value
+
+  // Tracing (RunOptions::enable_tracing; common/trace.h).
+  bool trace_enabled = false;
+  int64_t trace_events = 0;          // events captured across all rings
+  int64_t trace_events_dropped = 0;  // events lost to ring overflow
+  std::string trace_file;            // Chrome trace path, when one was written
+  std::vector<StageLatency> stage_latencies;  // per-stage p50/p95/p99
 };
 
 }  // namespace gminer

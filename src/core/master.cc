@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/serialize.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "storage/spill_file.h"
 
 namespace gminer {
@@ -157,6 +158,9 @@ void Master::DeclareDead(WorkerId w, int64_t now_ns) {
   const int64_t silent_ns = now_ns - h.last_seen_ns;
   GM_LOG_WARN << "master: worker " << w << " silent for " << silent_ns / 1'000'000
               << " ms, declaring dead";
+  TraceInstant(TraceEventType::kHeartbeatMiss, static_cast<uint64_t>(w),
+               static_cast<int32_t>(silent_ns / 1'000'000));
+  TraceInstant(TraceEventType::kWorkerDead, static_cast<uint64_t>(w));
   h.dead = true;
   if (!h.seeded) {
     // Its seeds (if any were generated before the crash) come back through
@@ -223,6 +227,7 @@ void Master::IssueAdoption(WorkerId dead, int64_t now_ns) {
       {dead, adopter,
        now_ns + static_cast<int64_t>(config_.adoption_retry_ms) * 1'000'000});
   GM_LOG_INFO << "master: worker " << adopter << " adopts dead worker " << dead;
+  TraceInstant(TraceEventType::kAdoptIssued, static_cast<uint64_t>(dead), adopter);
   OutArchive out;
   out.Write<WorkerId>(dead);
   out.WriteString(CheckpointTaskFile(checkpoint_dir_, dead));
@@ -246,6 +251,7 @@ void Master::RetryAdoptions(int64_t now_ns) {
 
 void Master::HandleAdoptDone(InArchive in) {
   const WorkerId dead = in.Read<WorkerId>();
+  TraceInstant(TraceEventType::kAdoptDone, static_cast<uint64_t>(dead));
   in.Read<uint64_t>();  // adopted-task count, informational
   pending_adoptions_.erase(
       std::remove_if(pending_adoptions_.begin(), pending_adoptions_.end(),

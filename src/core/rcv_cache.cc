@@ -1,6 +1,7 @@
 #include "core/rcv_cache.h"
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace gminer {
 
@@ -35,6 +36,7 @@ bool RcvCache::AddRefIfPresent(VertexId v) {
   if (counters_ != nullptr) {
     counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
   }
+  TraceInstant(TraceEventType::kCacheHit, static_cast<uint64_t>(v));
   return true;
 }
 
@@ -133,6 +135,9 @@ size_t RcvCache::EvictLocked(size_t want) {
     }
     entries_.erase(it);
     ++evicted;
+  }
+  if (evicted > 0) {
+    TraceInstant(TraceEventType::kCacheEvict, 0, static_cast<int32_t>(evicted));
   }
   return evicted;
 }

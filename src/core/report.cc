@@ -1,5 +1,6 @@
 #include "core/report.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -40,9 +41,49 @@ void AppendCounters(std::ostringstream& out, const CountersSnapshot& c) {
 
 }  // namespace
 
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
 std::string JobResultToJson(const JobResult& result) {
   std::ostringstream out;
-  out << "{\"status\":\"" << JobStatusName(result.status) << "\""
+  out << "{\"schema_version\":" << kReportSchemaVersion
+      << ",\"status\":\"" << JsonEscape(JobStatusName(result.status)) << "\""
       << ",\"elapsed_seconds\":" << result.elapsed_seconds
       << ",\"partition_seconds\":" << result.partition_seconds
       << ",\"peak_memory_bytes\":" << result.peak_memory_bytes
@@ -64,7 +105,21 @@ std::string JobResultToJson(const JobResult& result) {
     out << "{\"t\":" << s.t_seconds << ",\"cpu\":" << s.cpu_pct << ",\"net\":" << s.net_pct
         << ",\"disk\":" << s.disk_pct << "}";
   }
-  out << "],\"num_outputs\":" << result.outputs.size() << "}";
+  out << "],\"trace\":{\"enabled\":" << (result.trace_enabled ? "true" : "false")
+      << ",\"events\":" << result.trace_events
+      << ",\"trace_events_dropped\":" << result.trace_events_dropped
+      << ",\"file\":\"" << JsonEscape(result.trace_file) << "\",\"stages\":[";
+  for (size_t i = 0; i < result.stage_latencies.size(); ++i) {
+    const StageLatency& s = result.stage_latencies[i];
+    if (i > 0) {
+      out << ',';
+    }
+    out << "{\"stage\":\"" << JsonEscape(s.stage) << "\",\"count\":" << s.count
+        << ",\"total_ns\":" << s.total_ns << ",\"max_ns\":" << s.max_ns
+        << ",\"p50_ns\":" << s.p50_ns << ",\"p95_ns\":" << s.p95_ns
+        << ",\"p99_ns\":" << s.p99_ns << "}";
+  }
+  out << "]},\"num_outputs\":" << result.outputs.size() << "}";
   return out.str();
 }
 

@@ -4,13 +4,24 @@
 #define GMINER_CORE_REPORT_H_
 
 #include <string>
+#include <string_view>
 
 #include "core/job_result.h"
 
 namespace gminer {
 
+// Version of the report layout. Bump on any breaking change to the JSON
+// shape; consumers (scripts/trace_summary.py, dashboards) check it first.
+//   1: original flat report (implicit — reports without the field).
+//   2: adds schema_version, string escaping, and the "trace" object.
+constexpr int kReportSchemaVersion = 2;
+
+// Escapes a string for embedding in a JSON double-quoted literal: quotes,
+// backslashes, and control characters (\b \f \n \r \t, \u00XX otherwise).
+std::string JsonEscape(std::string_view s);
+
 // Serializes the result (status, timings, totals, per-worker counters,
-// utilization samples) as a single JSON object.
+// utilization samples, trace stage latencies) as a single JSON object.
 std::string JobResultToJson(const JobResult& result);
 
 // Convenience: writes JobResultToJson to a file (overwrites).

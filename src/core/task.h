@@ -141,6 +141,13 @@ class TaskBase {
   // Managed by the runtime (worker / task store); not serialized.
   int64_t accounted_bytes = 0;
 
+  // Tracing runtime state (common/trace.h): process-unique span id for the
+  // lifecycle events and the timestamp of the last queue/CPQ admission. Not
+  // serialized — a migrated, spilled or recovered task starts a fresh span
+  // on its new home, so residency is what the timeline shows.
+  uint64_t trace_id = 0;
+  int64_t trace_enqueue_ns = 0;
+
  private:
   Subgraph subgraph_;
   std::vector<VertexId> candidates_;

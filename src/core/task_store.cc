@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "storage/spill_file.h"
 
 namespace gminer {
@@ -40,8 +41,10 @@ void TaskStore::InsertBatch(std::vector<std::unique_ptr<TaskBase>> tasks) {
   }
   std::vector<std::pair<uint64_t, std::unique_ptr<TaskBase>>> keyed;
   keyed.reserve(tasks.size());
+  const int64_t enqueue_ns = TraceNowNs();
   MutexLock lock(mutex_);
   for (auto& task : tasks) {
+    task->trace_enqueue_ns = enqueue_ns;
     keyed.emplace_back(KeyFor(*task), std::move(task));
   }
   const size_t memory_capacity = options_.block_capacity * options_.memory_blocks;
@@ -79,7 +82,10 @@ void TaskStore::SpillLocked(std::vector<std::pair<uint64_t, std::unique_ptr<Task
         batch[i].second->accounted_bytes = 0;
       }
     }
+    const int64_t write_begin = TraceNowNs();
     const int64_t bytes = WriteSpillBlock(block.path, blobs);
+    TraceSpan(TraceEventType::kSpillWrite, next_block_id_ - 1, write_begin,
+              static_cast<int32_t>(block.count));
     if (counters_ != nullptr) {
       counters_->disk_bytes_written.fetch_add(bytes, std::memory_order_relaxed);
     }
@@ -97,8 +103,11 @@ void TaskStore::LoadBestBlockLocked() {
                                [](const SpillBlock& a, const SpillBlock& b) {
                                  return a.min_key < b.min_key;
                                });
+  const int64_t read_begin = TraceNowNs();
   int64_t bytes = 0;
   std::vector<std::vector<uint8_t>> blobs = ReadSpillBlock(best->path, &bytes);
+  TraceSpan(TraceEventType::kSpillRead, static_cast<uint64_t>(best->count), read_begin,
+            static_cast<int32_t>(best->count));
   if (counters_ != nullptr) {
     counters_->disk_bytes_read.fetch_add(bytes, std::memory_order_relaxed);
   }
@@ -128,6 +137,10 @@ std::unique_ptr<TaskBase> TaskStore::TryPop() {
   auto it = head_.begin();
   std::unique_ptr<TaskBase> task = std::move(it->second);
   head_.erase(it);
+  if (task->trace_enqueue_ns != 0) {
+    TraceSpan(TraceEventType::kTaskQueueWait, task->trace_id, task->trace_enqueue_ns);
+    task->trace_enqueue_ns = 0;
+  }
   return task;
 }
 

@@ -43,6 +43,10 @@ class WorkerUpdateContext : public UpdateContext {
     worker_->state_->live_tasks.fetch_add(1, std::memory_order_relaxed);
     worker_->local_tasks_.fetch_add(1, std::memory_order_relaxed);
     worker_->counters_->tasks_created.fetch_add(1, std::memory_order_relaxed);
+    if (TraceEnabled()) {
+      task->trace_id = NextTraceTaskId();
+      TraceInstant(TraceEventType::kTaskCreated, task->trace_id);
+    }
     worker_->PrepareInactive(*task);
     worker_->AccountTask(*task);
     worker_->BufferInactive(std::move(task));
@@ -79,6 +83,10 @@ class WorkerSeedSink : public SeedSink {
     worker_->state_->live_tasks.fetch_add(1, std::memory_order_relaxed);
     worker_->local_tasks_.fetch_add(1, std::memory_order_relaxed);
     worker_->counters_->tasks_created.fetch_add(1, std::memory_order_relaxed);
+    if (TraceEnabled()) {
+      task->trace_id = NextTraceTaskId();
+      TraceInstant(TraceEventType::kTaskCreated, task->trace_id);
+    }
     worker_->PrepareInactive(*task);
     if (!worker_->checkpoint_path_.empty()) {
       OutArchive out;
@@ -244,6 +252,7 @@ void Worker::PrepareInactive(TaskBase& task) {
 }
 
 void Worker::SeedLoop(const std::vector<std::vector<uint8_t>>* seed_blobs) {
+  TraceThreadScope trace_scope(tracer_, id_, "seeder");
   if (seed_blobs != nullptr) {
     for (const auto& blob : *seed_blobs) {
       InArchive in(blob.data(), blob.size());
@@ -252,6 +261,10 @@ void Worker::SeedLoop(const std::vector<std::vector<uint8_t>>* seed_blobs) {
       state_->live_tasks.fetch_add(1, std::memory_order_relaxed);
       local_tasks_.fetch_add(1, std::memory_order_relaxed);
       counters_->tasks_created.fetch_add(1, std::memory_order_relaxed);
+      if (TraceEnabled()) {
+        task->trace_id = NextTraceTaskId();
+        TraceInstant(TraceEventType::kTaskCreated, task->trace_id);
+      }
       PrepareInactive(*task);  // recompute remoteness for this worker
       AccountTask(*task);
       BufferInactive(std::move(task));
@@ -264,6 +277,7 @@ void Worker::SeedLoop(const std::vector<std::vector<uint8_t>>* seed_blobs) {
   FlushBuffer(/*force=*/true);
   seeding_done_.store(true, std::memory_order_release);
   state_->workers_seeded.fetch_add(1, std::memory_order_relaxed);
+  TraceInstant(TraceEventType::kSeedingDone);
   net_->Send(id_, master_id_, MessageType::kSeedDone, {});
 }
 
@@ -298,6 +312,7 @@ bool Worker::FlushBuffer(bool force) {
 }
 
 void Worker::RetrieverLoop() {
+  TraceThreadScope trace_scope(tracer_, id_, "retriever");
   while (!ShuttingDown()) {
     if (!cache_.WaitBelowCapacity()) {
       return;  // cache shut down => job over
@@ -344,28 +359,32 @@ void Worker::AdmitTask(std::unique_ptr<TaskBase> task) {
         pending.requested = true;
         by_owner[(*owner_)[v]].push_back(v);
         counters_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+        TraceInstant(TraceEventType::kCacheMiss, static_cast<uint64_t>(v));
       } else {
         // Pull already in flight (a nearby task in the priority queue needs
         // the same vertex): coalesced, no extra network fetch — a hit for
         // cache-efficiency purposes.
         counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+        TraceInstant(TraceEventType::kCacheHit, static_cast<uint64_t>(v));
       }
     }
     if (entry->pending == 0) {
       ready = true;
     } else {
       entry->task = std::move(task);
+      entry->admit_ns = TraceNowNs();
       ++pending_task_count_;
     }
     const int64_t deadline =
         MonotonicNanos() + static_cast<int64_t>(config_.pull_timeout_ms) * 1'000'000;
     for (auto& [target, ids] : by_owner) {
       const uint64_t rid = next_request_id_++;
-      outstanding_pulls_.emplace(rid, OutstandingPull{ids, target, 0, deadline});
+      outstanding_pulls_.emplace(rid, OutstandingPull{ids, target, 0, deadline, TraceNowNs()});
       requests.emplace_back(target, rid, std::move(ids));
     }
   }
   if (ready) {
+    task->trace_enqueue_ns = TraceNowNs();
     cpq_.Push(RunnableTask{std::move(task), std::move(entry->cache_refs)});
     return;
   }
@@ -409,6 +428,7 @@ void Worker::CheckPullRetries() {
   }
   for (auto& [target, rid, ids] : resend) {
     counters_->pull_retries.fetch_add(1, std::memory_order_relaxed);
+    TraceInstant(TraceEventType::kPullRetry, rid);
     OutArchive out;
     out.Write<uint64_t>(rid);
     out.WriteVector(ids);
@@ -478,10 +498,14 @@ void Worker::HandlePullResponse(InArchive in) {
       }
     }
     if (req != outstanding_pulls_.end() && req->second.remaining.empty()) {
+      TraceSpan(TraceEventType::kPullRoundTrip, rid, req->second.sent_ns,
+                req->second.attempts);
       outstanding_pulls_.erase(req);
     }
   }
   for (auto& waiter : ready) {
+    TraceSpan(TraceEventType::kTaskPullWait, waiter->task->trace_id, waiter->admit_ns);
+    waiter->task->trace_enqueue_ns = TraceNowNs();
     cpq_.Push(RunnableTask{std::move(waiter->task), std::move(waiter->cache_refs)});
   }
 }
@@ -501,6 +525,7 @@ void Worker::HandleAdoptTasks(InArchive in) {
   }
   GM_LOG_WARN << "worker " << id_ << ": adopting dead worker " << dead;
   WallTimer timer;
+  const int64_t adopt_begin = TraceNowNs();
   // 1. Take over the dead worker's partition so redirected pulls resolve here.
   {
     MutexLock lock(adopted_mutex_);
@@ -535,6 +560,9 @@ void Worker::HandleAdoptTasks(InArchive in) {
     InArchive task_in(blob.data(), blob.size());
     std::unique_ptr<TaskBase> task = job_->MakeTask();
     task->Deserialize(task_in);
+    if (TraceEnabled()) {
+      task->trace_id = NextTraceTaskId();  // recovered tasks get fresh spans
+    }
     PrepareInactive(*task);  // remoteness differs on the adopting worker
     AccountTask(*task);
     tasks.push_back(std::move(task));
@@ -548,24 +576,33 @@ void Worker::HandleAdoptTasks(InArchive in) {
   store_->InsertBatch(std::move(tasks));
   adopted_workers_.insert(dead);
   counters_->recovery_wall_ns.fetch_add(timer.ElapsedNanos(), std::memory_order_relaxed);
+  TraceSpan(TraceEventType::kAdoption, static_cast<uint64_t>(dead), adopt_begin,
+            static_cast<int32_t>(n));
   ack(static_cast<uint64_t>(n));
 }
 
 void Worker::ComputeLoop(int thread_index, Rng rng) {
+  TraceThreadScope trace_scope(tracer_, id_, "compute-" + std::to_string(thread_index));
   WorkerUpdateContext ctx(this, std::move(rng));
-  (void)thread_index;
   while (true) {
     std::optional<RunnableTask> item = cpq_.Pop();
     if (!item.has_value()) {
       return;
     }
     RunnableTask rt = std::move(*item);
+    if (rt.task->trace_enqueue_ns != 0) {
+      TraceSpan(TraceEventType::kTaskReadyWait, rt.task->trace_id, rt.task->trace_enqueue_ns);
+      rt.task->trace_enqueue_ns = 0;
+    }
     while (true) {
       if (ctx.cancelled()) {
         rt.task->MarkDead();
       } else {
         ThreadCpuTimer timer;
+        const int64_t trace_begin = TraceNowNs();
         rt.task->Update(ctx);
+        TraceSpan(TraceEventType::kTaskCompute, rt.task->trace_id, trace_begin,
+                  rt.task->round());
         counters_->compute_busy_ns.fetch_add(timer.ElapsedNanos(), std::memory_order_relaxed);
         counters_->update_rounds.fetch_add(1, std::memory_order_relaxed);
       }
@@ -593,6 +630,7 @@ void Worker::ComputeLoop(int thread_index, Rng rng) {
 }
 
 void Worker::FinishTask(std::unique_ptr<TaskBase> task) {
+  TraceInstant(TraceEventType::kTaskCompleted, task->trace_id);
   UnaccountTask(*task);
   local_tasks_.fetch_sub(1, std::memory_order_relaxed);
   counters_->tasks_completed.fetch_add(1, std::memory_order_relaxed);
@@ -642,6 +680,7 @@ void Worker::HandleMigrateCommand(InArchive in) {
   local_tasks_.fetch_sub(static_cast<int64_t>(stolen.size()), std::memory_order_relaxed);
   counters_->tasks_stolen_out.fetch_add(static_cast<int64_t>(stolen.size()),
                                         std::memory_order_relaxed);
+  TraceInstant(TraceEventType::kTaskStolenOut, 0, static_cast<int32_t>(stolen.size()));
   net_->Send(id_, dest, MessageType::kMigrateTasks, out.TakeBuffer());
 }
 
@@ -652,17 +691,22 @@ void Worker::HandleMigrateTasks(InArchive in) {
   for (uint64_t i = 0; i < count; ++i) {
     std::unique_ptr<TaskBase> task = job_->MakeTask();
     task->Deserialize(in);
+    if (TraceEnabled()) {
+      task->trace_id = NextTraceTaskId();  // lifecycle spans track residency
+    }
     PrepareInactive(*task);  // remoteness differs on the new home worker
     AccountTask(*task);
     tasks.push_back(std::move(task));
   }
   local_tasks_.fetch_add(static_cast<int64_t>(count), std::memory_order_relaxed);
   counters_->tasks_stolen_in.fetch_add(static_cast<int64_t>(count), std::memory_order_relaxed);
+  TraceInstant(TraceEventType::kTaskStolenIn, 0, static_cast<int32_t>(count));
   store_->InsertBatch(std::move(tasks));
   steal_pending_.store(false, std::memory_order_release);
 }
 
 void Worker::ReporterLoop() {
+  TraceThreadScope trace_scope(tracer_, id_, "reporter");
   int64_t last_agg_ns = 0;
   while (!ShuttingDown()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(config_.progress_interval_ms));
@@ -692,6 +736,7 @@ void Worker::ReporterLoop() {
 }
 
 void Worker::ListenerLoop() {
+  TraceThreadScope trace_scope(tracer_, id_, "listener");
   while (true) {
     std::optional<NetMessage> msg = net_->Receive(id_);
     if (!msg.has_value()) {

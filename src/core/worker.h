@@ -33,6 +33,7 @@
 #include "common/config.h"
 #include "common/rng.h"
 #include "common/thread_annotations.h"
+#include "common/trace.h"
 #include "core/cluster_state.h"
 #include "core/job.h"
 #include "core/rcv_cache.h"
@@ -91,6 +92,10 @@ class Worker {
   // file (spill-block format) before entering the pipeline.
   void set_checkpoint_path(std::string path) { checkpoint_path_ = std::move(path); }
 
+  // Optional tracing (common/trace.h). Must be set before Start(); the tracer
+  // must outlive the worker's threads. Null = no tracing.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   friend class WorkerSeedSink;
   friend class WorkerUpdateContext;
@@ -107,6 +112,7 @@ class Worker {
     std::unique_ptr<TaskBase> task;
     std::vector<VertexId> cache_refs;
     int pending = 0;
+    int64_t admit_ns = 0;  // trace: when the task parked (pull_wait span)
   };
 
   struct PendingVertex {
@@ -122,6 +128,7 @@ class Worker {
     WorkerId owner = kInvalidWorker;
     int attempts = 0;
     int64_t deadline_ns = 0;
+    int64_t sent_ns = 0;  // trace: first send (pull_rtt span)
   };
 
   void ListenerLoop();
@@ -204,6 +211,7 @@ class Worker {
   std::atomic<bool> killed_{false};
 
   std::string checkpoint_path_;
+  Tracer* tracer_ = nullptr;
 
   Rng rng_;
   // The pipeline threads' lifetime is tied to the worker itself, not to

@@ -1,0 +1,68 @@
+// Log-bucketed latency histogram for the per-stage trace breakdowns.
+//
+// Bucket b holds durations in [2^(b-1), 2^b) nanoseconds (bucket 0 holds
+// <= 0). 64 buckets cover the full int64 range in 64 * 8 bytes, so a
+// histogram per stage per job costs nothing; percentiles interpolate
+// linearly inside the winning bucket and are clamped to the observed max,
+// which keeps them honest for single-sample stages.
+#ifndef GMINER_METRICS_HISTOGRAM_H_
+#define GMINER_METRICS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace gminer {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  static int Bucket(int64_t ns) {
+    return ns <= 0 ? 0 : std::bit_width(static_cast<uint64_t>(ns));
+  }
+
+  void Add(int64_t ns) {
+    buckets_[std::min(Bucket(ns), kBuckets - 1)] += 1;
+    count_ += 1;
+    sum_ += ns;
+    max_ = std::max(max_, ns);
+  }
+
+  int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t max() const { return max_; }
+
+  // p in [0, 1]. Linear interpolation within the bucket that contains the
+  // p*count-th sample, clamped to the observed maximum.
+  int64_t Percentile(double p) const {
+    if (count_ == 0) return 0;
+    const double target = p * static_cast<double>(count_);
+    int64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      const int64_t next = seen + buckets_[b];
+      if (static_cast<double>(next) >= target) {
+        const int64_t lo = b == 0 ? 0 : int64_t{1} << (b - 1);
+        const int64_t hi = b == 0 ? 0 : int64_t{1} << std::min(b, 62);
+        const double frac =
+            (target - static_cast<double>(seen)) / static_cast<double>(buckets_[b]);
+        const int64_t value = lo + static_cast<int64_t>(frac * static_cast<double>(hi - lo));
+        return std::min(value, max_);
+      }
+      seen = next;
+    }
+    return max_;
+  }
+
+ private:
+  std::array<int64_t, kBuckets> buckets_{};
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_METRICS_HISTOGRAM_H_

@@ -54,10 +54,18 @@ void UtilizationSampler::RunLoop() {
   WallTimer timer;
   CountersSnapshot prev = snapshot_fn_();
   double prev_t = 0.0;
+  const int64_t start_ns = MonotonicNanos();
+  const int64_t interval_ns = static_cast<int64_t>(interval_ms_) * 1'000'000;
   mutex_.Lock();
   while (!stop_requested_) {
-    const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::milliseconds(interval_ms_);
+    // Absolute next-deadline anchored to start_ns (see NextDeadlineNs): the
+    // per-iteration snapshot cost no longer drifts t_seconds on long jobs.
+    // MonotonicNanos() measures steady_clock since epoch, so the deadline
+    // converts back to the time_point WaitUntil expects.
+    const int64_t deadline_ns = NextDeadlineNs(start_ns, interval_ns, MonotonicNanos());
+    const std::chrono::steady_clock::time_point deadline{
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::nanoseconds(deadline_ns))};
     // Sleep out the interval, but let Stop() interrupt it immediately.
     while (!stop_requested_ && cv_.WaitUntil(mutex_, deadline)) {
     }

@@ -7,6 +7,7 @@
 #ifndef GMINER_METRICS_SAMPLER_H_
 #define GMINER_METRICS_SAMPLER_H_
 
+#include <cstdint>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -41,6 +42,17 @@ class UtilizationSampler {
   void Stop() EXCLUDES(mutex_);
 
   std::vector<UtilizationSample> TakeSamples() EXCLUDES(mutex_);
+
+  // Next absolute sampling deadline: the smallest start_ns + k * interval_ns
+  // (k >= 1) that lies strictly after now_ns. Anchoring every deadline to the
+  // fixed start keeps the series drift-free — per-iteration snapshot overhead
+  // cannot accumulate into t_seconds, and an iteration that overruns its slot
+  // skips ahead instead of firing a burst of catch-up samples. Pure function,
+  // exposed for testing.
+  static int64_t NextDeadlineNs(int64_t start_ns, int64_t interval_ns, int64_t now_ns) {
+    const int64_t k = now_ns > start_ns ? (now_ns - start_ns) / interval_ns : 0;
+    return start_ns + (k + 1) * interval_ns;
+  }
 
  private:
   void RunLoop() EXCLUDES(mutex_);

@@ -1,0 +1,41 @@
+#include "metrics/trace_stats.h"
+
+#include <array>
+
+#include "metrics/histogram.h"
+
+namespace gminer {
+
+std::vector<StageLatency> BuildStageLatencies(const std::vector<TraceEvent>& events) {
+  std::array<LatencyHistogram, static_cast<size_t>(TraceEventType::kEventTypeCount)> hists;
+  for (const TraceEvent& e : events) {
+    if (!TraceEventIsSpan(e.type)) continue;
+    hists[static_cast<size_t>(e.type)].Add(e.dur_ns);
+  }
+
+  // Pipeline order: the report reads top-to-bottom as a task's journey.
+  static constexpr TraceEventType kOrder[] = {
+      TraceEventType::kTaskQueueWait, TraceEventType::kTaskPullWait,
+      TraceEventType::kTaskReadyWait, TraceEventType::kPullRoundTrip,
+      TraceEventType::kTaskCompute,   TraceEventType::kSpillWrite,
+      TraceEventType::kSpillRead,     TraceEventType::kAdoption,
+  };
+
+  std::vector<StageLatency> out;
+  for (TraceEventType type : kOrder) {
+    const LatencyHistogram& h = hists[static_cast<size_t>(type)];
+    if (h.count() == 0) continue;
+    StageLatency s;
+    s.stage = TraceEventTypeName(type);
+    s.count = h.count();
+    s.total_ns = h.sum();
+    s.max_ns = h.max();
+    s.p50_ns = h.Percentile(0.50);
+    s.p95_ns = h.Percentile(0.95);
+    s.p99_ns = h.Percentile(0.99);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace gminer

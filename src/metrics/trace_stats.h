@@ -1,0 +1,34 @@
+// Per-stage latency summaries computed from a merged trace at job end and
+// folded into the JSON report (core/report.cc).
+#ifndef GMINER_METRICS_TRACE_STATS_H_
+#define GMINER_METRICS_TRACE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace gminer {
+
+// Summary of one span type across all threads of a run. Percentiles come
+// from a log-bucketed histogram (metrics/histogram.h), so they are exact to
+// within one power-of-two bucket and clamped to the observed max.
+struct StageLatency {
+  std::string stage;
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  int64_t max_ns = 0;
+  int64_t p50_ns = 0;
+  int64_t p95_ns = 0;
+  int64_t p99_ns = 0;
+};
+
+// Buckets every span event by type and summarizes each. Stages with no
+// samples are omitted; the rest appear in pipeline order (queue wait →
+// pull wait → ready wait → pull rtt → compute → spill → adoption).
+std::vector<StageLatency> BuildStageLatencies(const std::vector<TraceEvent>& events);
+
+}  // namespace gminer
+
+#endif  // GMINER_METRICS_TRACE_STATS_H_

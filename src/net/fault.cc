@@ -2,10 +2,30 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "common/trace.h"
 
 namespace gminer {
 
 namespace {
+
+// Stamps the injected fault(s) into the sending thread's trace ring, so a
+// Perfetto timeline shows exactly which messages were tampered with.
+FaultInjector::Decision Traced(const FaultInjector::Decision& decision, WorkerId to) {
+  if (decision.kill != kInvalidWorker) {
+    TraceInstant(TraceEventType::kFaultKill, static_cast<uint64_t>(decision.kill));
+  }
+  if (decision.drop) {
+    TraceInstant(TraceEventType::kFaultDrop, static_cast<uint64_t>(to));
+  }
+  if (decision.duplicate) {
+    TraceInstant(TraceEventType::kFaultDuplicate, static_cast<uint64_t>(to));
+  }
+  if (decision.delay_ns > 0) {
+    TraceInstant(TraceEventType::kFaultDelay, static_cast<uint64_t>(to),
+                 static_cast<int32_t>(decision.delay_ns / 1000));
+  }
+  return decision;
+}
 
 inline uint64_t SplitMix64(uint64_t z) {
   z += 0x9e3779b97f4a7c15ULL;
@@ -63,18 +83,18 @@ FaultInjector::Decision FaultInjector::OnSend(WorkerId from, WorkerId to, Messag
     }
   }
   if (decision.drop) {
-    return decision;
+    return Traced(decision, to);
   }
 
   if (!DataPlane(type)) {
-    return decision;
+    return decision;  // untouched: nothing to trace
   }
   const uint64_t link_key = static_cast<uint64_t>(from) * 0x10001ULL + static_cast<uint64_t>(to);
   const uint64_t ordinal = link_ordinals_[link_key]++;
   if (plan_.drop_probability > 0.0 &&
       LinkUniform(link_key, ordinal, 0xd409) < plan_.drop_probability) {
     decision.drop = true;
-    return decision;
+    return Traced(decision, to);
   }
   if (plan_.duplicate_probability > 0.0 &&
       LinkUniform(link_key, ordinal, 0xd7b1) < plan_.duplicate_probability) {
@@ -89,7 +109,7 @@ FaultInjector::Decision FaultInjector::OnSend(WorkerId from, WorkerId to, Messag
                     : 0;
     decision.delay_ns = (plan_.delay_min_us + extra_us) * 1000;
   }
-  return decision;
+  return Traced(decision, to);
 }
 
 }  // namespace gminer

@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -8,13 +9,15 @@
 namespace gminer {
 
 Network::Network(int num_endpoints, std::vector<WorkerCounters*> counters, bool simulate_time,
-                 double bandwidth_gbps, int64_t latency_us, FaultInjector* injector)
+                 double bandwidth_gbps, int64_t latency_us, FaultInjector* injector,
+                 Tracer* tracer)
     : counters_(std::move(counters)),
       dead_(static_cast<size_t>(num_endpoints)),
       simulate_time_(simulate_time),
       bytes_per_ns_(bandwidth_gbps * 1e9 / 8.0 / 1e9),
       latency_ns_(latency_us * 1000),
-      injector_(injector) {
+      injector_(injector),
+      tracer_(tracer) {
   GM_CHECK(num_endpoints >= 1);
   GM_CHECK(counters_.size() == static_cast<size_t>(num_endpoints));
   mailboxes_.reserve(static_cast<size_t>(num_endpoints));
@@ -44,6 +47,7 @@ void Network::CountDropped(WorkerId to, int64_t bytes) {
 
 void Network::Deliver(WorkerId to, NetMessage message) {
   const int64_t bytes = static_cast<int64_t>(message.payload.size()) + kMessageHeaderBytes;
+  const MessageType type = message.type;
   if (IsDead(to) || !mailboxes_[static_cast<size_t>(to)]->Push(std::move(message))) {
     CountDropped(to, bytes);
     return;
@@ -53,6 +57,8 @@ void Network::Deliver(WorkerId to, NetMessage message) {
     c->net_bytes_received.fetch_add(bytes, std::memory_order_relaxed);
     c->net_messages_delivered.fetch_add(1, std::memory_order_relaxed);
   }
+  TraceInstant(TraceEventType::kNetRecv, static_cast<uint64_t>(type),
+               static_cast<int32_t>(std::min<int64_t>(bytes, INT32_MAX)));
 }
 
 void Network::Schedule(WorkerId to, NetMessage message, int64_t deliver_at_ns) {
@@ -96,6 +102,8 @@ void Network::Send(WorkerId from, WorkerId to, MessageType type,
     c.net_bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
     c.net_messages.fetch_add(1, std::memory_order_relaxed);
   }
+  TraceInstant(TraceEventType::kNetSend, static_cast<uint64_t>(type),
+               static_cast<int32_t>(std::min<int64_t>(bytes, INT32_MAX)));
 
   FaultInjector::Decision decision;
   if (injector_ != nullptr) {
@@ -183,6 +191,10 @@ void Network::Close() {
 }
 
 void Network::DeliveryLoop() {
+  // The delivery thread outlives Network::Close() (only ~Network joins it),
+  // so its ring may still take events while the cluster merges the trace —
+  // TraceRing's release/acquire publication makes that safe.
+  TraceThreadScope trace_scope(tracer_, num_endpoints(), "net-delivery");
   delivery_mutex_.Lock();
   while (!stop_delivery_) {
     if (pending_.empty()) {
@@ -192,8 +204,7 @@ void Network::DeliveryLoop() {
     const int64_t now = MonotonicNanos();
     const int64_t due = pending_.top().deliver_at_ns;
     if (due > now) {
-      delivery_cv_.WaitUntil(delivery_mutex_, std::chrono::steady_clock::now() +
-                                                  std::chrono::nanoseconds(due - now));
+      delivery_cv_.WaitFor(delivery_mutex_, std::chrono::nanoseconds(due - now));
       continue;
     }
     PendingDelivery d = std::move(const_cast<PendingDelivery&>(pending_.top()));

@@ -27,6 +27,7 @@
 
 #include "common/blocking_queue.h"
 #include "common/thread_annotations.h"
+#include "common/trace.h"
 #include "metrics/counters.h"
 #include "net/fault.h"
 #include "net/message.h"
@@ -37,9 +38,11 @@ class Network {
  public:
   // counters[i] may be nullptr (no accounting for that endpoint, e.g. master).
   // `injector` (optional, unowned) injects faults on remote sends.
+  // `tracer` (optional, unowned, must outlive the network) gives the delivery
+  // thread a trace track; senders emit net events via their own rings.
   Network(int num_endpoints, std::vector<WorkerCounters*> counters,
           bool simulate_time = false, double bandwidth_gbps = 1.0, int64_t latency_us = 0,
-          FaultInjector* injector = nullptr);
+          FaultInjector* injector = nullptr, Tracer* tracer = nullptr);
   ~Network();
 
   Network(const Network&) = delete;
@@ -113,6 +116,7 @@ class Network {
   const double bytes_per_ns_;
   const int64_t latency_ns_;
   FaultInjector* const injector_;
+  Tracer* const tracer_;
   std::function<void(WorkerId)> kill_handler_;
 
   Mutex delivery_mutex_;

@@ -16,6 +16,7 @@
 #include "common/blocking_queue.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/rcv_cache.h"
 #include "core/task.h"
 #include "core/task_store.h"
@@ -358,6 +359,60 @@ TEST(TaskStoreStress, StealVsSpillVsPopConservesTasks) {
     EXPECT_EQ(removed.load() + static_cast<int>(store.ApproxSize()), kTotal);
   }
   RemoveSpillDir(spill_dir);
+}
+
+// The tracing merge intentionally races still-running writers (the network
+// delivery thread outlives Network::Close): writers publish with a release
+// store, Merge reads with an acquire load and copies only the published
+// prefix. TSan must see no race, and every merged prefix must be coherent.
+TEST(TraceRingStress, MergeRacesLiveWritersWithoutTearing) {
+  constexpr int kWriters = 4;
+  constexpr int kEvents = 20'000;
+  Tracer tracer(/*ring_capacity=*/kEvents);
+  std::atomic<bool> go{false};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&tracer, &go, w] {
+      TraceThreadScope scope(&tracer, w, "writer-" + std::to_string(w));
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (int i = 0; i < kEvents; ++i) {
+        // Monotone payloads so a torn or re-ordered read is detectable.
+        TraceInstant(TraceEventType::kNetSend, static_cast<uint64_t>(i), i);
+      }
+    });
+  }
+
+  std::thread merger([&tracer, &go, &done] {
+    while (!go.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    while (!done.load(std::memory_order_acquire)) {
+      const Tracer::MergedTrace merged = tracer.Merge();
+      for (const auto& track : merged.tracks) {
+        // Each track's published prefix counts 0..n-1 without gaps.
+        for (size_t i = track.begin; i < track.end; ++i) {
+          ASSERT_EQ(merged.events[i].arg, static_cast<int32_t>(i - track.begin));
+        }
+      }
+    }
+  });
+
+  go.store(true, std::memory_order_release);
+  for (auto& th : writers) {
+    th.join();
+  }
+  done.store(true, std::memory_order_release);
+  merger.join();
+
+  const Tracer::MergedTrace final_merge = tracer.Merge();
+#ifndef GMINER_TRACE_DISABLED
+  EXPECT_EQ(final_merge.events.size(), static_cast<size_t>(kWriters * kEvents));
+#endif
+  EXPECT_EQ(final_merge.dropped, 0);
 }
 
 }  // namespace

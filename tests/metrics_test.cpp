@@ -1,9 +1,14 @@
 // Tests for counters, the memory tracker and the utilization sampler.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/report.h"
 #include "metrics/counters.h"
@@ -100,6 +105,237 @@ TEST(SamplerTest, ProducesSamplesWithBusyCpu) {
     max_cpu = std::max(max_cpu, s.cpu_pct);
   }
   EXPECT_GT(max_cpu, 30.0) << "busy loop should register high CPU utilization";
+}
+
+TEST(SamplerTest, NextDeadlineNsAnchorsToStart) {
+  const int64_t start = 1'000'000;
+  const int64_t interval = 10'000;
+  // Before the first tick fires, the deadline is start + interval.
+  EXPECT_EQ(UtilizationSampler::NextDeadlineNs(start, interval, start), start + interval);
+  EXPECT_EQ(UtilizationSampler::NextDeadlineNs(start, interval, start + 5'000),
+            start + interval);
+  // Exactly on a tick: the next deadline is strictly after now.
+  EXPECT_EQ(UtilizationSampler::NextDeadlineNs(start, interval, start + interval),
+            start + 2 * interval);
+  // A clock that reads before start (cannot happen in practice) still yields
+  // the first deadline rather than something in the past.
+  EXPECT_EQ(UtilizationSampler::NextDeadlineNs(start, interval, start - 1),
+            start + interval);
+}
+
+TEST(SamplerTest, NextDeadlineNsDoesNotDrift) {
+  // Simulate per-iteration overhead: waking late by eps each tick must not
+  // push deadlines off the start + k*interval grid (the bug this replaced:
+  // `now + interval` accumulated the overhead into the series).
+  const int64_t start = 500;
+  const int64_t interval = 1'000;
+  int64_t now = start;
+  for (int64_t k = 1; k <= 100; ++k) {
+    const int64_t deadline = UtilizationSampler::NextDeadlineNs(start, interval, now);
+    EXPECT_EQ(deadline, start + k * interval);
+    now = deadline + 37;  // woke 37ns late, then snapshot overhead
+  }
+}
+
+TEST(SamplerTest, NextDeadlineNsSkipsAheadAfterOverrun) {
+  const int64_t start = 0;
+  const int64_t interval = 1'000;
+  // An iteration that overran by 3.5 intervals resumes on the grid without
+  // firing a burst of catch-up samples.
+  EXPECT_EQ(UtilizationSampler::NextDeadlineNs(start, interval, 4'500), 5'000);
+}
+
+TEST(SamplerTest, AbsoluteDeadlinesKeepTheSampleRate) {
+  WorkerCounters counters;
+  UtilizationSampler sampler([&counters] { return Snapshot(counters); }, /*total_cores=*/1,
+                             /*net_bandwidth_gbps=*/1.0, /*interval_ms=*/10);
+  sampler.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  sampler.Stop();
+  const auto samples = sampler.TakeSamples();
+  // 500ms / 10ms = 50 expected ticks. Loose lower bound: scheduling jitter
+  // can swallow a few, but drift-free deadlines cannot halve the rate.
+  EXPECT_GE(samples.size(), 38u);
+  EXPECT_LE(samples.size(), 55u);
+}
+
+// --- Minimal JSON parser: just enough to round-trip JobResultToJson. ---
+// Validates structure and records the decoded value of every string field.
+
+struct MiniJsonParser {
+  std::string_view s;
+  size_t i = 0;
+  std::vector<std::pair<std::string, std::string>> strings;  // key -> decoded value
+
+  void SkipWs() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) ++i;
+  }
+
+  bool ParseString(std::string* out) {
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') {
+        ++i;
+        if (i >= s.size()) return false;
+        switch (s[i]) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (i + 4 >= s.size()) return false;
+            *out += static_cast<char>(std::stoi(std::string(s.substr(i + 1, 4)), nullptr, 16));
+            i += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+        ++i;
+      } else if (static_cast<unsigned char>(s[i]) < 0x20) {
+        return false;  // raw control character = escaping bug
+      } else {
+        *out += s[i++];
+      }
+    }
+    if (i >= s.size()) return false;
+    ++i;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber() {
+    const size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' ||
+                            s[i] == 'e' || s[i] == 'E' || s[i] == '-' || s[i] == '+')) {
+      ++i;
+    }
+    return i > start;
+  }
+
+  bool ParseValue() {
+    SkipWs();
+    if (i >= s.size()) return false;
+    if (s[i] == '{') return ParseObject();
+    if (s[i] == '[') return ParseArray();
+    if (s[i] == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (s.compare(i, 4, "true") == 0) { i += 4; return true; }
+    if (s.compare(i, 5, "false") == 0) { i += 5; return true; }
+    if (s.compare(i, 4, "null") == 0) { i += 4; return true; }
+    return ParseNumber();
+  }
+
+  bool ParseMember() {
+    SkipWs();
+    std::string key;
+    if (!ParseString(&key)) return false;
+    SkipWs();
+    if (i >= s.size() || s[i] != ':') return false;
+    ++i;
+    SkipWs();
+    if (i < s.size() && s[i] == '"') {
+      std::string value;
+      if (!ParseString(&value)) return false;
+      strings.emplace_back(key, value);
+      return true;
+    }
+    return ParseValue();
+  }
+
+  bool ParseObject() {
+    if (s[i] != '{') return false;
+    ++i;
+    SkipWs();
+    if (i < s.size() && s[i] == '}') { ++i; return true; }
+    while (true) {
+      if (!ParseMember()) return false;
+      SkipWs();
+      if (i < s.size() && s[i] == ',') { ++i; continue; }
+      break;
+    }
+    SkipWs();
+    if (i >= s.size() || s[i] != '}') return false;
+    ++i;
+    return true;
+  }
+
+  bool ParseArray() {
+    if (s[i] != '[') return false;
+    ++i;
+    SkipWs();
+    if (i < s.size() && s[i] == ']') { ++i; return true; }
+    while (true) {
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (i < s.size() && s[i] == ',') { ++i; continue; }
+      break;
+    }
+    SkipWs();
+    if (i >= s.size() || s[i] != ']') return false;
+    ++i;
+    return true;
+  }
+
+  bool Parse() {
+    SkipWs();
+    if (!ParseValue()) return false;
+    SkipWs();
+    return i == s.size();
+  }
+
+  std::string StringValue(const std::string& key) const {
+    for (const auto& [k, v] : strings) {
+      if (k == key) return v;
+    }
+    return {};
+  }
+};
+
+TEST(ReportTest, JsonEscapeCoversSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(ReportTest, JsonRoundTripsWithHostileStrings) {
+  JobResult r;
+  r.status = JobStatus::kOk;
+  r.per_worker.resize(2);
+  r.utilization.push_back({0.1, 50.0, 10.0, 0.0});
+  r.trace_enabled = true;
+  r.trace_events = 12;
+  // A path an adversarial shell could produce: quotes, backslashes, newline.
+  r.trace_file = "out\\dir/\"quoted\"\nname.json";
+  StageLatency stage;
+  stage.stage = "compute";
+  stage.count = 3;
+  stage.total_ns = 300;
+  stage.max_ns = 200;
+  stage.p50_ns = 100;
+  stage.p95_ns = 150;
+  stage.p99_ns = 180;
+  r.stage_latencies.push_back(stage);
+
+  const std::string json = JobResultToJson(r);
+  MiniJsonParser parser{json, 0, {}};
+  ASSERT_TRUE(parser.Parse()) << "not well-formed near offset " << parser.i << ":\n" << json;
+  // Decoded strings match the originals exactly (escaping round-trips).
+  EXPECT_EQ(parser.StringValue("file"), r.trace_file);
+  EXPECT_EQ(parser.StringValue("status"), "ok");
+  EXPECT_EQ(parser.StringValue("stage"), "compute");
+  // Schema version is declared up front.
+  EXPECT_NE(json.find("{\"schema_version\":2,"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_events_dropped\":0"), std::string::npos);
 }
 
 TEST(ReportTest, JobResultJsonContainsKeyFields) {

@@ -1,0 +1,362 @@
+// Tests for the task-pipeline event tracing subsystem: ring overflow
+// accounting, thread-scope install/restore, cross-thread merge, the latency
+// histogram, stage summaries, the Chrome trace export, and an end-to-end
+// traced run.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "apps/tc.h"
+#include "common/trace.h"
+#include "core/cluster.h"
+#include "graph/generators.h"
+#include "metrics/histogram.h"
+#include "metrics/trace_stats.h"
+
+namespace gminer {
+namespace {
+
+TraceEvent MakeEvent(TraceEventType type, int64_t t_ns, int64_t dur_ns = 0, uint64_t id = 0,
+                     int32_t arg = 0) {
+  TraceEvent e;
+  e.t_ns = t_ns;
+  e.dur_ns = dur_ns;
+  e.id = id;
+  e.arg = arg;
+  e.type = type;
+  return e;
+}
+
+TEST(TraceRingTest, KeepsOldestDropsNewestAndCounts) {
+  TraceRing ring(/*capacity=*/8, /*pid=*/0, "test");
+  for (int i = 0; i < 20; ++i) {
+    ring.Emit(MakeEvent(TraceEventType::kCacheHit, /*t_ns=*/i + 1));
+  }
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.dropped(), 12);
+  // Drop-newest: the surviving prefix is the first 8 events, in order.
+  for (size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.event(i).t_ns, static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST(TraceRingTest, MetadataAccessors) {
+  TraceRing ring(4, 3, "compute-1");
+  EXPECT_EQ(ring.pid(), 3);
+  EXPECT_EQ(ring.name(), "compute-1");
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0);
+}
+
+#ifndef GMINER_TRACE_DISABLED
+
+TEST(TraceThreadScopeTest, NullTracerIsANoOp) {
+  EXPECT_FALSE(TraceEnabled());
+  EXPECT_EQ(TraceNowNs(), 0);
+  {
+    TraceThreadScope scope(nullptr, 0, "ignored");
+    EXPECT_FALSE(TraceEnabled());
+    TraceInstant(TraceEventType::kCacheHit);                       // must not crash
+    TraceSpan(TraceEventType::kTaskCompute, 1, TraceNowNs());      // begin=0 -> skipped
+  }
+  EXPECT_FALSE(TraceEnabled());
+}
+
+TEST(TraceThreadScopeTest, InstallsAndRestoresNestedRings) {
+  Tracer tracer(/*ring_capacity=*/16);
+  {
+    TraceThreadScope outer(&tracer, 0, "outer");
+    EXPECT_TRUE(TraceEnabled());
+    EXPECT_GT(TraceNowNs(), 0);
+    TraceInstant(TraceEventType::kCacheHit, /*id=*/7);
+    {
+      TraceThreadScope inner(&tracer, 1, "inner");
+      TraceInstant(TraceEventType::kCacheMiss, /*id=*/9);
+    }
+    // Back on the outer ring after the inner scope unwinds.
+    TraceInstant(TraceEventType::kCacheEvict, /*id=*/0, /*arg=*/3);
+  }
+  EXPECT_FALSE(TraceEnabled());
+
+  const Tracer::MergedTrace merged = tracer.Merge();
+  ASSERT_EQ(merged.tracks.size(), 2u);
+  ASSERT_EQ(merged.events.size(), 3u);
+  EXPECT_EQ(merged.tracks[0].name, "outer");
+  EXPECT_EQ(merged.tracks[0].end - merged.tracks[0].begin, 2u);
+  EXPECT_EQ(merged.tracks[1].name, "inner");
+  EXPECT_EQ(merged.tracks[1].end - merged.tracks[1].begin, 1u);
+  EXPECT_EQ(merged.events[merged.tracks[1].begin].type, TraceEventType::kCacheMiss);
+}
+
+TEST(TracerTest, MergesRingsFromMultipleThreads) {
+  Tracer tracer(/*ring_capacity=*/64);
+  tracer.SetProcessName(0, "worker 0");
+  constexpr int kThreads = 4;
+  constexpr int kEventsPerThread = 10;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      TraceThreadScope scope(&tracer, 0, "thread-" + std::to_string(t));
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        TraceInstant(TraceEventType::kNetSend, static_cast<uint64_t>(t), i);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  const Tracer::MergedTrace merged = tracer.Merge();
+  EXPECT_EQ(merged.tracks.size(), static_cast<size_t>(kThreads));
+  EXPECT_EQ(merged.events.size(), static_cast<size_t>(kThreads * kEventsPerThread));
+  EXPECT_EQ(merged.dropped, 0);
+  EXPECT_EQ(merged.process_names.at(0), "worker 0");
+  for (const auto& track : merged.tracks) {
+    EXPECT_EQ(track.end - track.begin, static_cast<size_t>(kEventsPerThread));
+  }
+}
+
+TEST(TracerTest, MergeSurfacesDroppedEvents) {
+  Tracer tracer(/*ring_capacity=*/4);
+  {
+    TraceThreadScope scope(&tracer, 0, "noisy");
+    for (int i = 0; i < 10; ++i) {
+      TraceInstant(TraceEventType::kCacheHit);
+    }
+  }
+  const Tracer::MergedTrace merged = tracer.Merge();
+  EXPECT_EQ(merged.events.size(), 4u);
+  EXPECT_EQ(merged.dropped, 6);
+}
+
+#endif  // GMINER_TRACE_DISABLED
+
+TEST(LatencyHistogramTest, PercentilesAreBoundedAndMonotone) {
+  LatencyHistogram h;
+  for (int64_t v = 1; v <= 1000; ++v) {
+    h.Add(v * 1000);  // 1us .. 1ms
+  }
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_EQ(h.max(), 1'000'000);
+  const int64_t p50 = h.Percentile(0.50);
+  const int64_t p95 = h.Percentile(0.95);
+  const int64_t p99 = h.Percentile(0.99);
+  EXPECT_GT(p50, 0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  // Log buckets are exact to within one power of two: the true p50 is 500us,
+  // so the estimate must land in the surrounding [256us, 1024us) bucket span.
+  EXPECT_GE(p50, 256'000);
+  EXPECT_LT(p50, 1'024'000);
+}
+
+TEST(LatencyHistogramTest, SingleSampleClampsToMax) {
+  LatencyHistogram h;
+  h.Add(777);
+  // 777 lands in the [512, 1024) bucket: any percentile interpolates inside
+  // it and high percentiles clamp to the observed max instead of the bucket
+  // upper bound.
+  EXPECT_GE(h.Percentile(0.50), 512);
+  EXPECT_LE(h.Percentile(0.50), 777);
+  EXPECT_EQ(h.Percentile(0.99), 777);
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.Percentile(0.99), 0);
+}
+
+TEST(TraceStatsTest, BuildsStagesInPipelineOrderAndSkipsEmpty) {
+  std::vector<TraceEvent> events;
+  // Two compute spans, one queue-wait span, one instant (must be ignored).
+  events.push_back(MakeEvent(TraceEventType::kTaskCompute, 100, 2000, 1));
+  events.push_back(MakeEvent(TraceEventType::kTaskCompute, 200, 4000, 2));
+  events.push_back(MakeEvent(TraceEventType::kTaskQueueWait, 50, 1000, 1));
+  events.push_back(MakeEvent(TraceEventType::kCacheHit, 60));
+  const std::vector<StageLatency> stages = BuildStageLatencies(events);
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].stage, "queue_wait");
+  EXPECT_EQ(stages[0].count, 1);
+  EXPECT_EQ(stages[0].total_ns, 1000);
+  EXPECT_EQ(stages[0].max_ns, 1000);
+  EXPECT_EQ(stages[1].stage, "compute");
+  EXPECT_EQ(stages[1].count, 2);
+  EXPECT_EQ(stages[1].total_ns, 6000);
+  EXPECT_EQ(stages[1].max_ns, 4000);
+  EXPECT_LE(stages[1].p50_ns, stages[1].p99_ns);
+  EXPECT_LE(stages[1].p99_ns, stages[1].max_ns);
+}
+
+TEST(TraceStatsTest, EmptyEventsYieldNoStages) {
+  EXPECT_TRUE(BuildStageLatencies({}).empty());
+}
+
+TEST(ChromeTraceTest, WritesWellFormedEventFile) {
+  Tracer::MergedTrace trace;
+  trace.start_ns = 1'000'000;
+  trace.process_names[0] = "worker 0";
+  trace.events.push_back(MakeEvent(TraceEventType::kTaskCompute, 1'500'000, 250'000, 42, 1));
+  trace.events.push_back(MakeEvent(TraceEventType::kCacheHit, 1'600'000, 0, 7));
+  trace.tracks.push_back({0, "compute-0", 0, 2});
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gminer_trace_test.json").string();
+  ASSERT_TRUE(WriteChromeTrace(trace, path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Metadata rows name the process and the track.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"compute-0\""), std::string::npos);
+  // The span: complete event at ts = (1.5ms - 1.0ms) = 500us, dur = 250us.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":500.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250.000"), std::string::npos);
+  // The instant.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ChromeTraceTest, FailsOnUnwritablePath) {
+  Tracer::MergedTrace trace;
+  EXPECT_FALSE(WriteChromeTrace(trace, "/nonexistent-dir/trace.json"));
+}
+
+TEST(TraceEventTypeTest, EveryTypeHasAName) {
+  for (int i = 0; i < static_cast<int>(TraceEventType::kEventTypeCount); ++i) {
+    const char* name = TraceEventTypeName(static_cast<TraceEventType>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u) << "type " << i;
+  }
+}
+
+TEST(TraceTaskIdTest, IdsAreUniqueAndNonZero) {
+  const uint64_t a = NextTraceTaskId();
+  const uint64_t b = NextTraceTaskId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+#ifndef GMINER_TRACE_DISABLED
+
+TEST(TraceEndToEndTest, TracedRunProducesEventsAndChromeFile) {
+  const Graph g = MakeDataset("dblp", /*scale=*/0.2, /*seed=*/7);
+  JobConfig config;
+  config.num_workers = 3;
+  config.threads_per_worker = 2;
+  Cluster cluster(config);
+  TriangleCountJob job;
+
+  RunOptions options;
+  options.enable_tracing = true;
+  options.trace_json_path =
+      (std::filesystem::temp_directory_path() / "gminer_e2e_trace.json").string();
+  const JobResult traced = cluster.Run(g, job, options);
+  ASSERT_EQ(traced.status, JobStatus::kOk);
+  EXPECT_TRUE(traced.trace_enabled);
+  EXPECT_GT(traced.trace_events, 0);
+  EXPECT_EQ(traced.trace_file, options.trace_json_path);
+
+  // The compute stage must be present with sane percentiles.
+  bool saw_compute = false;
+  for (const auto& stage : traced.stage_latencies) {
+    EXPECT_GT(stage.count, 0);
+    EXPECT_LE(stage.p50_ns, stage.p95_ns);
+    EXPECT_LE(stage.p95_ns, stage.p99_ns);
+    EXPECT_LE(stage.p99_ns, stage.max_ns);
+    if (stage.stage == "compute") {
+      saw_compute = true;
+      EXPECT_GT(stage.total_ns, 0);
+    }
+  }
+  EXPECT_TRUE(saw_compute);
+
+  // The Chrome file exists, is an object, and holds span events.
+  std::ifstream in(options.trace_json_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  std::filesystem::remove(options.trace_json_path);
+
+  // Same job untraced: identical answer, no trace payload in the result.
+  TriangleCountJob job2;
+  const JobResult plain = cluster.Run(g, job2);
+  ASSERT_EQ(plain.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(plain.final_aggregate),
+            TriangleCountJob::Count(traced.final_aggregate));
+  EXPECT_FALSE(plain.trace_enabled);
+  EXPECT_EQ(plain.trace_events, 0);
+  EXPECT_TRUE(plain.stage_latencies.empty());
+}
+
+TEST(TraceEndToEndTest, TinyRingSurfacesDrops) {
+  const Graph g = MakeDataset("dblp", /*scale=*/0.2, /*seed=*/7);
+  JobConfig config;
+  config.num_workers = 2;
+  config.threads_per_worker = 1;
+  Cluster cluster(config);
+  TriangleCountJob job;
+  RunOptions options;
+  options.enable_tracing = true;
+  options.trace_ring_capacity = 16;  // far too small on purpose
+  const JobResult r = cluster.Run(g, job, options);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_GT(r.trace_events_dropped, 0);
+  EXPECT_LE(r.trace_events, static_cast<int64_t>(16 * 32));  // bounded by rings
+}
+
+#endif  // GMINER_TRACE_DISABLED
+
+TEST(TraceOptionsTest, ZeroRingCapacityIsRejected) {
+  const Graph g = MakeDataset("dblp", /*scale=*/0.1, /*seed=*/7);
+  JobConfig config;
+  config.num_workers = 2;
+  Cluster cluster(config);
+  TriangleCountJob job;
+  RunOptions options;
+  options.enable_tracing = true;
+  options.trace_ring_capacity = 0;
+  const JobResult r = cluster.Run(g, job, options);
+  EXPECT_EQ(r.status, JobStatus::kConfigError);
+}
+
+}  // namespace
+}  // namespace gminer
