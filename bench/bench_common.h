@@ -9,14 +9,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/config.h"
 #include "core/job_result.h"
 #include "graph/generators.h"
+#include "graph/orientation.h"
+#include "metrics/trace_stats.h"
 
 namespace gminer {
 
@@ -85,6 +91,21 @@ inline JobConfig BenchConfig(int workers = 4, int threads = 2) {
   return config;
 }
 
+// Degree-reordered variant: the same dataset after the orientation
+// preprocessing pass (graph/orientation.h). Used by the kernel-sensitive
+// benches (Table 3) so every engine sees the identical relabeled graph —
+// apples-to-apples, with the `u > v` extension order equal to degree order.
+inline const Graph& BenchOrientedDataset(const std::string& name, double scale = 1.0) {
+  static std::map<std::string, std::unique_ptr<Graph>> cache;
+  const std::string key = name + "@" + std::to_string(scale);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<Graph>(ReorderByDegree(
+                                BenchDataset(name, scale)))).first;
+  }
+  return *it->second;
+}
+
 // Attaches the standard result counters to a benchmark row.
 inline void ReportJobCounters(benchmark::State& state, JobStatus status, double elapsed,
                               double cpu_util, int64_t peak_mem, int64_t net_bytes) {
@@ -98,6 +119,223 @@ inline void ReportJobCounters(benchmark::State& state, JobStatus status, double 
     state.SetLabel("TIMEOUT(-)");
   }
 }
+
+namespace bench {
+
+// ---------------------------------------------------------------------------
+// BENCH_<name>.json snapshots: every bench binary writes a machine-readable
+// record of the run (bench name, per-row wall ms + counters, optional
+// app/graph annotations and per-stage latency percentiles from the trace
+// layer, git SHA from $GMINER_GIT_SHA). scripts/check_bench.py diffs these
+// against the committed bench/baseline/ snapshots in the CI bench-gate job,
+// so the perf trajectory accumulates per commit and cannot silently regress.
+// ---------------------------------------------------------------------------
+
+struct SnapshotRow {
+  std::string name;
+  double wall_ms = 0.0;
+  int64_t iterations = 0;
+  std::string label;
+  std::map<std::string, double> counters;
+};
+
+struct SnapshotState {
+  std::vector<SnapshotRow> rows;
+  // Registration-time annotations and run-time stage percentiles, keyed by
+  // full row name (as reported by the benchmark library).
+  std::map<std::string, std::pair<std::string, std::string>> app_graph;
+  std::map<std::string, std::vector<StageLatency>> stages;
+};
+
+inline SnapshotState& Snapshot() {
+  static SnapshotState state;
+  return state;
+}
+
+// Tags a row with its app/graph for the snapshot (call at registration time
+// with the same name handed to RegisterBenchmark; the library appends
+// modifiers like "/iterations:1", so matching is by prefix at write time).
+inline void AnnotateRow(const std::string& row_name, const std::string& app,
+                        const std::string& graph) {
+  Snapshot().app_graph[row_name] = {app, graph};
+}
+
+// Attaches per-stage p50/p95/p99 (from a traced run's JobResult) to a row.
+inline void RecordStages(const std::string& row_name,
+                         const std::vector<StageLatency>& stages) {
+  if (!stages.empty()) {
+    Snapshot().stages[row_name] = stages;
+  }
+}
+
+// Console reporter that also captures every run for the snapshot.
+class SnapshotReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) {
+        continue;
+      }
+      SnapshotRow row;
+      row.name = run.benchmark_name();
+      row.iterations = run.iterations;
+      row.wall_ms = run.iterations > 0
+                        ? run.real_accumulated_time / static_cast<double>(run.iterations) * 1e3
+                        : 0.0;
+      row.label = run.report_label;
+      for (const auto& [key, counter] : run.counters) {
+        row.counters[key] = counter.value;
+      }
+      Snapshot().rows.push_back(std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+inline void JsonEscapeTo(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+}
+
+// Writes BENCH_<bench_name>.json into $GMINER_BENCH_OUT (default: cwd).
+// Returns false (and complains on stderr) if the file cannot be written.
+inline bool WriteSnapshotFile(const std::string& bench_name) {
+  const SnapshotState& snap = Snapshot();
+  const char* out_dir = std::getenv("GMINER_BENCH_OUT");
+  const char* git_sha = std::getenv("GMINER_GIT_SHA");
+  const std::string path = std::string(out_dir != nullptr ? out_dir : ".") +
+                           "/BENCH_" + bench_name + ".json";
+
+  // Row names as captured carry run modifiers ("/iterations:1"); annotations
+  // were keyed by the registration name — match by longest prefix.
+  const auto annotation_for = [&snap](const std::string& row_name)
+      -> const std::pair<std::string, std::string>* {
+    const std::pair<std::string, std::string>* best = nullptr;
+    size_t best_len = 0;
+    for (const auto& [key, value] : snap.app_graph) {
+      if (row_name.compare(0, key.size(), key) == 0 && key.size() >= best_len) {
+        best = &value;
+        best_len = key.size();
+      }
+    }
+    return best;
+  };
+  const auto stages_for = [&snap](const std::string& row_name)
+      -> const std::vector<StageLatency>* {
+    const std::vector<StageLatency>* best = nullptr;
+    size_t best_len = 0;
+    for (const auto& [key, value] : snap.stages) {
+      if (row_name.compare(0, key.size(), key) == 0 && key.size() >= best_len) {
+        best = &value;
+        best_len = key.size();
+      }
+    }
+    return best;
+  };
+
+  std::string json;
+  json += "{\n  \"schema_version\": 1,\n  \"bench\": \"";
+  JsonEscapeTo(json, bench_name);
+  json += "\",\n  \"git_sha\": \"";
+  JsonEscapeTo(json, git_sha != nullptr ? git_sha : "unknown");
+  json += "\",\n  \"rows\": [";
+  bool first_row = true;
+  char buf[64];
+  for (const SnapshotRow& row : snap.rows) {
+    json += first_row ? "\n" : ",\n";
+    first_row = false;
+    json += "    {\"name\": \"";
+    JsonEscapeTo(json, row.name);
+    std::snprintf(buf, sizeof(buf), "\", \"wall_ms\": %.6g", row.wall_ms);
+    json += buf;
+    std::snprintf(buf, sizeof(buf), ", \"iterations\": %lld",
+                  static_cast<long long>(row.iterations));
+    json += buf;
+    if (const auto* ag = annotation_for(row.name)) {
+      json += ", \"app\": \"";
+      JsonEscapeTo(json, ag->first);
+      json += "\", \"graph\": \"";
+      JsonEscapeTo(json, ag->second);
+      json += "\"";
+    }
+    if (!row.label.empty()) {
+      json += ", \"label\": \"";
+      JsonEscapeTo(json, row.label);
+      json += "\"";
+    }
+    if (!row.counters.empty()) {
+      json += ", \"counters\": {";
+      bool first_counter = true;
+      for (const auto& [key, value] : row.counters) {
+        json += first_counter ? "" : ", ";
+        first_counter = false;
+        json += "\"";
+        JsonEscapeTo(json, key);
+        std::snprintf(buf, sizeof(buf), "\": %.6g", value);
+        json += buf;
+      }
+      json += "}";
+    }
+    if (const auto* stages = stages_for(row.name)) {
+      json += ", \"stages\": [";
+      bool first_stage = true;
+      for (const StageLatency& s : *stages) {
+        json += first_stage ? "" : ", ";
+        first_stage = false;
+        json += "{\"stage\": \"";
+        JsonEscapeTo(json, s.stage);
+        std::snprintf(buf, sizeof(buf), "\", \"count\": %lld",
+                      static_cast<long long>(s.count));
+        json += buf;
+        std::snprintf(buf, sizeof(buf), ", \"p50_ns\": %lld",
+                      static_cast<long long>(s.p50_ns));
+        json += buf;
+        std::snprintf(buf, sizeof(buf), ", \"p95_ns\": %lld",
+                      static_cast<long long>(s.p95_ns));
+        json += buf;
+        std::snprintf(buf, sizeof(buf), ", \"p99_ns\": %lld",
+                      static_cast<long long>(s.p99_ns));
+        json += buf;
+        std::snprintf(buf, sizeof(buf), ", \"max_ns\": %lld",
+                      static_cast<long long>(s.max_ns));
+        json += buf;
+        json += "}";
+      }
+      json += "]";
+    }
+    json += "}";
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench snapshot: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("bench snapshot: %s (%zu rows)\n", path.c_str(), snap.rows.size());
+  return true;
+}
+
+// Drop-in main body for every bench binary: run the registered benchmarks
+// with the capturing reporter, then write the BENCH_<name>.json snapshot.
+inline int RunBenchSuite(int argc, char** argv, const std::string& bench_name) {
+  benchmark::Initialize(&argc, argv);
+  SnapshotReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const bool ok = WriteSnapshotFile(bench_name);
+  benchmark::Shutdown();
+  return ok ? 0 : 1;
+}
+
+}  // namespace bench
 
 }  // namespace gminer
 

@@ -65,8 +65,5 @@ void RegisterCells() {
 
 int main(int argc, char** argv) {
   gminer::RegisterCells();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return gminer::bench::RunBenchSuite(argc, argv, "fig11_bdg");
 }

@@ -85,4 +85,6 @@ BENCHMARK(BM_Fig6_GMinerUtilization)->Iterations(1)->Unit(benchmark::kMillisecon
 }  // namespace
 }  // namespace gminer
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return gminer::bench::RunBenchSuite(argc, argv, "fig5_6_utilization");
+}

@@ -116,8 +116,10 @@ void PrintCost() {
 int main(int argc, char** argv) {
   gminer::RegisterCells();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  gminer::bench::SnapshotReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   gminer::PrintCost();
+  const bool ok = gminer::bench::WriteSnapshotFile("fig7_cost");
   benchmark::Shutdown();
-  return 0;
+  return ok ? 0 : 1;
 }

@@ -1,0 +1,191 @@
+// Set-intersection kernel microbench + TC/k-clique kernel-level wall time.
+//
+// Two groups of rows:
+//   Intersect/<shape>/<kernel>  — the raw kernels (scalar merge, galloping,
+//       AVX2, auto dispatch) over synthetic sorted lists: balanced, skewed
+//       (the 10000:1 hub case galloping exists for) and short lists (the
+//       deep-search-tree case).
+//   SerialTC|SerialKClique/<dataset>/<mode> — the end-to-end serial kernels
+//       on a bench dataset, with the dispatcher forced to scalar vs. left on
+//       auto, plus the pre-orientation id-ordered TC loop as the historical
+//       baseline. These rows are the PR-over-PR perf trajectory the CI
+//       bench-gate guards (scripts/check_bench.py vs bench/baseline/).
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/kclique.h"
+#include "baselines/serial.h"
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "graph/intersect.h"
+
+namespace gminer {
+namespace {
+
+// Sorted duplicate-free list of `n` values drawn from [0, universe).
+std::vector<VertexId> MakeSortedList(size_t n, VertexId universe, Rng& rng) {
+  std::vector<VertexId> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(rng.NextUint32(universe));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+using KernelFn = size_t (*)(std::span<const VertexId>, std::span<const VertexId>);
+
+void RunKernelRow(benchmark::State& state, size_t na, size_t nb, KernelFn fn) {
+  Rng rng(42);
+  // Shared universe sized for ~25% overlap of the smaller list.
+  const VertexId universe = static_cast<VertexId>(4 * std::min(na, nb) +
+                                                  2 * std::max(na, nb));
+  const auto a = MakeSortedList(na, universe, rng);
+  const auto b = MakeSortedList(nb, universe, rng);
+  uint64_t matches = 0;
+  uint64_t calls = 0;
+  for (auto _ : state) {
+    matches += fn(a, b);
+    ++calls;
+  }
+  benchmark::DoNotOptimize(matches);
+  state.counters["matches_per_call"] =
+      calls > 0 ? static_cast<double>(matches) / static_cast<double>(calls) : 0.0;
+  state.SetItemsProcessed(static_cast<int64_t>(calls * (na + nb)));
+}
+
+// The pre-orientation TC loop (id-ordered, two-pointer), kept here as the
+// historical baseline row so the orientation + SIMD win stays measured.
+uint64_t IdOrderedScalarTriangleCount(const Graph& g) {
+  uint64_t triangles = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto adj = g.neighbors(v);
+    for (const VertexId u : adj) {
+      if (u <= v) {
+        continue;
+      }
+      const auto adj_u = g.neighbors(u);
+      auto it_v = std::upper_bound(adj.begin(), adj.end(), u);
+      auto it_u = adj_u.begin();
+      while (it_v != adj.end() && it_u != adj_u.end()) {
+        if (*it_v < *it_u) {
+          ++it_v;
+        } else if (*it_u < *it_v) {
+          ++it_u;
+        } else {
+          ++triangles;
+          ++it_v;
+          ++it_u;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+void RunSerialTc(benchmark::State& state, const std::string& dataset,
+                 IntersectKernel mode, bool oriented) {
+  const Graph& g = BenchDataset(dataset);
+  SetIntersectModeForTest(mode);
+  uint64_t result = 0;
+  for (auto _ : state) {
+    result = oriented ? SerialTriangleCount(g) : IdOrderedScalarTriangleCount(g);
+  }
+  SetIntersectModeForTest(IntersectKernel::kAuto);
+  state.counters["result"] = static_cast<double>(result);
+}
+
+void RunSerialKClique(benchmark::State& state, const std::string& dataset, uint32_t k,
+                      IntersectKernel mode) {
+  const Graph& g = BenchDataset(dataset);
+  SetIntersectModeForTest(mode);
+  uint64_t result = 0;
+  for (auto _ : state) {
+    result = SerialKCliqueCount(g, k);
+  }
+  SetIntersectModeForTest(IntersectKernel::kAuto);
+  state.counters["result"] = static_cast<double>(result);
+}
+
+void RegisterCells() {
+  struct Shape {
+    const char* name;
+    size_t na;
+    size_t nb;
+  };
+  const Shape shapes[] = {
+      {"short64x64", 64, 64},
+      {"balanced4Kx4K", 4096, 4096},
+      {"skew64x64K", 64, 65536},
+      {"skew16x160K", 16, 160000},
+  };
+  struct Kernel {
+    const char* name;
+    KernelFn fn;
+  };
+  const Kernel kernels[] = {
+      {"scalar", &IntersectCountScalar},
+      {"galloping", &IntersectCountGalloping},
+      {"avx2", &IntersectCountAvx2},
+      {"auto", &IntersectCount},
+  };
+  for (const Shape& shape : shapes) {
+    for (const Kernel& kernel : kernels) {
+      const std::string name =
+          std::string("Intersect/") + shape.name + "/" + kernel.name;
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [na = shape.na, nb = shape.nb,
+                                    fn = kernel.fn](benchmark::State& s) {
+                                     RunKernelRow(s, na, nb, fn);
+                                   })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+
+  struct TcRow {
+    const char* name;
+    IntersectKernel mode;
+    bool oriented;
+  };
+  const TcRow tc_rows[] = {
+      {"unoriented-scalar", IntersectKernel::kScalar, false},
+      {"scalar", IntersectKernel::kScalar, true},
+      {"auto", IntersectKernel::kAuto, true},
+  };
+  for (const char* dataset : {"orkut", "btc"}) {
+    for (const TcRow& row : tc_rows) {
+      const std::string name =
+          std::string("SerialTC/") + dataset + "/" + row.name;
+      bench::AnnotateRow(name, "TC", dataset);
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [dataset = std::string(dataset), mode = row.mode,
+                                    oriented = row.oriented](benchmark::State& s) {
+                                     RunSerialTc(s, dataset, mode, oriented);
+                                   })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  for (const IntersectKernel mode :
+       {IntersectKernel::kScalar, IntersectKernel::kAuto}) {
+    const std::string name =
+        std::string("SerialKClique4/orkut/") + IntersectKernelName(mode);
+    bench::AnnotateRow(name, "KClique4", "orkut");
+    benchmark::RegisterBenchmark(
+        name.c_str(), [mode](benchmark::State& s) { RunSerialKClique(s, "orkut", 4, mode); })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace gminer
+
+int main(int argc, char** argv) {
+  gminer::RegisterCells();
+  std::printf("intersect kernels: avx2 %s, mode %s\n",
+              gminer::IntersectAvx2Available() ? "available" : "unavailable",
+              gminer::IntersectKernelName(gminer::IntersectMode()));
+  return gminer::bench::RunBenchSuite(argc, argv, "intersect");
+}

@@ -98,4 +98,6 @@ BENCHMARK(BM_Table1_GMiner)->Iterations(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace gminer
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return gminer::bench::RunBenchSuite(argc, argv, "table1_motivation");
+}

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_*.json snapshots.
+
+Compares freshly produced benchmark snapshots (bench/bench_common.h's
+WriteSnapshotFile schema) against the committed baselines in bench/baseline/
+and fails if any row's wall time regressed beyond the tolerance.
+
+Matching is by (bench, row name): a current snapshot BENCH_<name>.json is
+compared against bench/baseline/BENCH_<name>.json row by row. Rows present in
+only one side are reported but never fail the gate — benches grow rows over
+time and CI may run a narrower --benchmark_filter than the baseline capture.
+
+Wall time on shared runners is one-sided noise: a run can only be slowed by
+interference, never sped up. Both sides of the gate therefore use
+min-of-N: pass --current several times (one directory per bench run) and
+rows are merged by minimum wall_ms before comparison; the committed
+baselines are captured the same way (`make update-baseline` runs the gated
+benches three times and writes the row-wise minimum via --write-min).
+
+Rows faster than --floor-ms in the baseline are informational only: at
+sub-millisecond scale the shared CI runners cannot hold a 15% band.
+
+Typical use:
+
+    python3 scripts/check_bench.py --current run1 --current run2 --current run3
+
+After an intentional perf change, refresh the committed snapshots with
+`make update-baseline` (see bench/CMakeLists.txt) and commit the result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_TOLERANCE = 0.15  # fail when wall_ms > baseline * (1 + tolerance)
+DEFAULT_FLOOR_MS = 1.0  # baseline rows faster than this are advisory only
+
+
+def load_snapshots(directory: pathlib.Path) -> dict[str, dict]:
+    """Maps bench name -> parsed snapshot for every BENCH_*.json in directory."""
+    snapshots = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"error: unreadable snapshot {path}: {err}", file=sys.stderr)
+            sys.exit(2)
+        bench = data.get("bench")
+        if not bench or not isinstance(data.get("rows"), list):
+            print(f"error: {path} is not a bench snapshot (missing bench/rows)",
+                  file=sys.stderr)
+            sys.exit(2)
+        snapshots[bench] = data
+    return snapshots
+
+
+def rows_by_name(snapshot: dict) -> dict[str, dict]:
+    return {row["name"]: row for row in snapshot["rows"] if "name" in row}
+
+
+def merge_min(snapshot_sets: list[dict[str, dict]]) -> dict[str, dict]:
+    """Merges per-run snapshot maps, keeping each row's fastest observation."""
+    merged: dict[str, dict] = {}
+    for snapshots in snapshot_sets:
+        for bench, snap in snapshots.items():
+            if bench not in merged:
+                # Copy so row replacement below never mutates the input.
+                merged[bench] = {**snap, "rows": list(snap["rows"])}
+                continue
+            best = rows_by_name(merged[bench])
+            for row in snap["rows"]:
+                name = row.get("name")
+                prev = best.get(name)
+                if prev is None:
+                    merged[bench]["rows"].append(row)
+                    best[name] = row
+                elif isinstance(row.get("wall_ms"), (int, float)) and \
+                        isinstance(prev.get("wall_ms"), (int, float)) and \
+                        row["wall_ms"] < prev["wall_ms"]:
+                    idx = merged[bench]["rows"].index(prev)
+                    merged[bench]["rows"][idx] = row
+                    best[name] = row
+    return merged
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--current", type=pathlib.Path, action="append", required=True,
+                        help="directory of freshly generated BENCH_*.json files; "
+                             "repeat for min-of-N across runs")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=pathlib.Path("bench/baseline"),
+                        help="directory holding the committed baseline snapshots")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional wall-time regression (default 0.15)")
+    parser.add_argument("--floor-ms", type=float, default=DEFAULT_FLOOR_MS,
+                        help="baseline rows below this wall_ms are advisory only")
+    parser.add_argument("--write-min", type=pathlib.Path, default=None,
+                        help="instead of gating, write the min-merged snapshots to this "
+                             "directory (used by `make update-baseline`)")
+    args = parser.parse_args()
+
+    snapshot_sets = []
+    for directory in args.current:
+        if not directory.is_dir():
+            print(f"error: --current {directory} is not a directory", file=sys.stderr)
+            return 2
+        snapshots = load_snapshots(directory)
+        if not snapshots:
+            print(f"error: no BENCH_*.json found under {directory}", file=sys.stderr)
+            return 2
+        snapshot_sets.append(snapshots)
+    current = merge_min(snapshot_sets)
+
+    if args.write_min is not None:
+        args.write_min.mkdir(parents=True, exist_ok=True)
+        for bench, snap in sorted(current.items()):
+            out = args.write_min / f"BENCH_{bench}.json"
+            out.write_text(json.dumps(snap, indent=1) + "\n")
+            print(f"wrote {out} ({len(snap['rows'])} rows, "
+                  f"min over {len(snapshot_sets)} run(s))")
+        return 0
+    if not args.baseline.is_dir():
+        print(f"note: no baseline directory {args.baseline}; nothing to gate "
+              f"(run `make update-baseline` to create one)")
+        return 0
+    baseline = load_snapshots(args.baseline)
+
+    regressions = []
+    compared = 0
+    for bench, cur_snap in sorted(current.items()):
+        base_snap = baseline.get(bench)
+        if base_snap is None:
+            print(f"note: bench '{bench}' has no committed baseline; skipping")
+            continue
+        base_rows = rows_by_name(base_snap)
+        cur_rows = rows_by_name(cur_snap)
+        for name in sorted(base_rows.keys() - cur_rows.keys()):
+            print(f"note: {bench}: baseline row '{name}' not in current run "
+                  f"(narrower filter?)")
+        for name in sorted(cur_rows.keys() - base_rows.keys()):
+            print(f"note: {bench}: new row '{name}' has no baseline yet")
+        for name in sorted(base_rows.keys() & cur_rows.keys()):
+            base_ms = base_rows[name].get("wall_ms")
+            cur_ms = cur_rows[name].get("wall_ms")
+            if not isinstance(base_ms, (int, float)) or not isinstance(cur_ms, (int, float)):
+                continue
+            compared += 1
+            if base_ms <= 0:
+                continue
+            ratio = cur_ms / base_ms
+            delta_pct = (ratio - 1.0) * 100.0
+            advisory = base_ms < args.floor_ms
+            over = ratio > 1.0 + args.tolerance
+            tag = "OK"
+            if over:
+                tag = "ADVISORY" if advisory else "REGRESSION"
+            elif ratio < 1.0 - args.tolerance:
+                tag = "IMPROVED"
+            print(f"{tag:>10}  {bench}: {name}: {base_ms:.3f} ms -> {cur_ms:.3f} ms "
+                  f"({delta_pct:+.1f}%)")
+            if over and not advisory:
+                regressions.append((bench, name, base_ms, cur_ms, delta_pct))
+
+    print(f"\ncompared {compared} rows, {len(regressions)} regression(s) "
+          f"beyond {args.tolerance * 100:.0f}%")
+    if regressions:
+        print("\nwall-time regressions beyond tolerance:", file=sys.stderr)
+        for bench, name, base_ms, cur_ms, delta_pct in regressions:
+            print(f"  {bench}: {name}: {base_ms:.3f} ms -> {cur_ms:.3f} ms "
+                  f"({delta_pct:+.1f}%)", file=sys.stderr)
+        print("\nIf this slowdown is intended, refresh the snapshots with "
+              "`make update-baseline` and commit bench/baseline/.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,8 @@
 #   scripts/ci.sh tidy            # clang-tidy over src/ (needs clang-tidy +
 #                                 # a compile_commands.json)
 #   scripts/ci.sh threadsafety    # Clang -Wthread-safety build (needs clang++)
+#   scripts/ci.sh bench-gate      # gated benches + perf-regression check
+#                                 # against bench/baseline/ (check_bench.py)
 #
 # Each sanitizer gets its own build directory (build-asan, build-tsan,
 # build-ubsan) so incremental rebuilds stay warm across runs.
@@ -38,10 +40,32 @@ run_threadsafety() {
   cmake --build build-threadsafety -j "$(nproc)"
 }
 
+run_bench_gate() {
+  # Mirrors the bench-gate CI job: same filter as the update-baseline target,
+  # min-of-3 runs against the min-of-3 committed baseline (wall-clock noise
+  # is one-sided, so minima compare like with like).
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-bench -j "$(nproc)" --target bench_table3_overall bench_intersect
+  local sha root current_args=()
+  sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+  root="$(mktemp -d)"
+  for run in 1 2 3; do
+    mkdir -p "${root}/run${run}"
+    GMINER_GIT_SHA="${sha}" GMINER_BENCH_OUT="${root}/run${run}" \
+      build-bench/bench/bench_table3_overall \
+        --benchmark_filter='Table3/TC/(skitter|btc)/(GthinkerModel|GMiner)'
+    GMINER_GIT_SHA="${sha}" GMINER_BENCH_OUT="${root}/run${run}" \
+      build-bench/bench/bench_intersect
+    current_args+=(--current "${root}/run${run}")
+  done
+  python3 scripts/check_bench.py "${current_args[@]}" --baseline bench/baseline
+}
+
 case "${1:-}" in
   lint) run_lint; exit ;;
   tidy) run_tidy; exit ;;
   threadsafety) run_threadsafety; exit ;;
+  bench-gate) run_bench_gate; exit ;;
 esac
 
 run_suite() {

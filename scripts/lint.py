@@ -28,6 +28,13 @@ Three checks, all cheap enough for a pre-commit hook and run in CI
    CMake link graph). A back-edge include compiles fine today and produces
    a dependency cycle six months from now; reject it here.
 
+4. raw-intersect: hand-rolled sorted-set intersections (std::set_intersection
+   or a two-pointer merge ladder) are banned in src/apps/ — mining apps must
+   go through the shared kernels in graph/intersect.h so every app picks up
+   the galloping/AVX2 dispatch and the kernels stay the single place where
+   intersection correctness is proven. Deliberate exceptions carry a
+   `lint:allow(raw-intersect)` comment.
+
 Exit status 0 = clean, 1 = findings (printed one per line as
 path:line: [check] message).
 """
@@ -331,6 +338,71 @@ def check_raw_clock(path, text):
 
 
 # --------------------------------------------------------------------------
+# Check 4: hand-rolled set intersections in apps
+# --------------------------------------------------------------------------
+
+# The shared kernels (graph/intersect.h) are the only sanctioned way for a
+# mining app to intersect sorted adjacency lists: they carry the
+# galloping/AVX2 dispatch, the stats counters, and the fuzz-tested
+# correctness proof. A private two-pointer loop in an app silently opts out
+# of all three. Detected shape: a `while` loop whose condition joins two
+# cursor end-checks with `&&` and whose body advances two of the condition's
+# cursors with `++` inside an if/else ladder.
+RAW_SET_INTERSECTION = re.compile(r"\bstd::set_intersection\s*\(")
+WHILE_LOOP = re.compile(r"\bwhile\s*\(")
+INTERSECT_ALLOW_COMMENT = "lint:allow(raw-intersect)"
+
+
+def allow_raw_intersect(lines, line_no):
+    cur = lines[line_no - 1] if 0 < line_no <= len(lines) else ""
+    prev = lines[line_no - 2] if line_no >= 2 else ""
+    return INTERSECT_ALLOW_COMMENT in cur or INTERSECT_ALLOW_COMMENT in prev
+
+
+def check_raw_intersect(path, text):
+    rel = os.path.relpath(path, REPO)
+    if not rel.startswith("src/apps/"):
+        return
+    lines = text.split("\n")
+    clean = strip_comments(text)
+
+    for m in RAW_SET_INTERSECTION.finditer(clean):
+        line = clean[: m.start()].count("\n") + 1
+        if allow_raw_intersect(lines, line):
+            continue
+        finding(path, line, "raw-intersect",
+                "std::set_intersection in a mining app; call Intersect*/"
+                "IntersectCount* from graph/intersect.h so the app picks up "
+                "the galloping/AVX2 dispatch (or add a "
+                "`lint:allow(raw-intersect)` comment)")
+
+    for m in WHILE_LOOP.finditer(clean):
+        open_paren = m.end() - 1
+        close_paren = matched_paren(clean, open_paren)
+        cond = clean[open_paren + 1 : close_paren]
+        if "&&" not in cond:
+            continue
+        brace = clean.find("{", close_paren)
+        if brace == -1 or clean[close_paren + 1 : brace].strip():
+            continue  # single-statement while, or something between ) and {
+        body = extract_body(clean, brace)
+        if "else" not in body:
+            continue
+        cond_vars = set(re.findall(r"\w+", cond))
+        inc_vars = {a or b for a, b in re.findall(r"\+\+\s*(\w+)|(\w+)\s*\+\+", body)}
+        if len(inc_vars & cond_vars) < 2:
+            continue
+        line = clean[: m.start()].count("\n") + 1
+        if allow_raw_intersect(lines, line):
+            continue
+        finding(path, line, "raw-intersect",
+                "hand-rolled two-pointer intersection in a mining app; call "
+                "Intersect*/IntersectCount* from graph/intersect.h so the app "
+                "picks up the galloping/AVX2 dispatch (or add a "
+                "`lint:allow(raw-intersect)` comment)")
+
+
+# --------------------------------------------------------------------------
 # Check 3: include layering
 # --------------------------------------------------------------------------
 
@@ -386,6 +458,7 @@ def main():
         check_naked_thread(path, text)
         check_raw_sync(path, text)
         check_raw_clock(path, text)
+        check_raw_intersect(path, text)
         check_include_layering(path, text)
     for line in sorted(findings):
         print(line)

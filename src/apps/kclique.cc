@@ -1,10 +1,11 @@
 #include "apps/kclique.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/logging.h"
 #include "graph/graph.h"
+#include "graph/intersect.h"
+#include "graph/orientation.h"
 
 namespace gminer {
 
@@ -21,14 +22,11 @@ uint64_t KCliqueTask::CountFrom(const std::vector<std::vector<uint32_t>>& adj,
     return cand.size();
   }
   uint64_t total = 0;
+  std::vector<uint32_t> next;
   for (const uint32_t v : cand) {
     // Only extend upward (indices above v) so each clique is counted once.
-    std::vector<uint32_t> next;
-    for (const uint32_t u : cand) {
-      if (u > v && std::binary_search(adj[v].begin(), adj[v].end(), u)) {
-        next.push_back(u);
-      }
-    }
+    next.clear();
+    IntersectAbove(cand, adj[v], v, next);
     total += CountFrom(adj, next, depth_left - 1, ctx);
   }
   return total;
@@ -39,23 +37,23 @@ void KCliqueTask::Update(UpdateContext& ctx) {
   const auto& cand = candidates();
   // Build the candidate-induced adjacency and count the (k-1)-cliques inside
   // it; together with the seed each one forms a k-clique whose minimum-id
-  // member is the seed.
-  std::unordered_map<VertexId, uint32_t> index;
-  index.reserve(cand.size());
-  for (uint32_t i = 0; i < cand.size(); ++i) {
-    index.emplace(cand[i], i);
-  }
+  // member is the seed. `cand` is sorted, so the kernel intersection comes
+  // back ascending and maps to ascending indices with a resumable search.
   std::vector<std::vector<uint32_t>> adj(cand.size());
+  std::vector<VertexId> common;
   for (uint32_t i = 0; i < cand.size(); ++i) {
     const VertexRecord* record = ctx.GetVertex(cand[i]);
     GM_CHECK(record != nullptr) << "candidate " << cand[i] << " unavailable";
-    for (const VertexId u : record->adj) {
-      auto it = index.find(u);
-      if (it != index.end()) {
-        adj[i].push_back(it->second);
-      }
+    common.clear();
+    Intersect(cand, record->adj, common);
+    size_t pos = 0;
+    for (const VertexId w : common) {
+      pos = static_cast<size_t>(
+          std::lower_bound(cand.begin() + static_cast<int64_t>(pos), cand.end(), w) -
+          cand.begin());
+      adj[i].push_back(static_cast<uint32_t>(pos));
+      ++pos;
     }
-    std::sort(adj[i].begin(), adj[i].end());
   }
   std::vector<uint32_t> all(cand.size());
   for (uint32_t i = 0; i < all.size(); ++i) {
@@ -98,9 +96,14 @@ std::unique_ptr<AggregatorBase> KCliqueJob::MakeAggregator() const {
 
 uint64_t SerialKCliqueCount(const Graph& g, uint32_t k) {
   GM_CHECK(k >= 2);
-  // Recursive ordered extension over higher-id neighborhoods.
+  // Recursive ordered extension over the degree-oriented DAG: every forward
+  // neighborhood is bounded by the degeneracy instead of a hub's degree, and
+  // each clique is still counted exactly once (from its minimum-rank
+  // member). Extension sets shrink by kernel intersection — dag.neighbors(v)
+  // holds only ranks above v, so plain IntersectCount/Intersect applies.
+  const Graph dag = BuildOrientedDag(g);
   struct Counter {
-    const Graph& g;
+    const Graph& dag;
     uint64_t Count(const std::vector<VertexId>& cand, uint32_t depth_left) {
       if (depth_left == 0) {
         return 1;
@@ -112,23 +115,19 @@ uint64_t SerialKCliqueCount(const Graph& g, uint32_t k) {
         return cand.size();
       }
       uint64_t total = 0;
+      std::vector<VertexId> next;
       for (const VertexId v : cand) {
-        const auto adj = g.neighbors(v);
-        std::vector<VertexId> next;
-        for (const VertexId u : cand) {
-          if (u > v && std::binary_search(adj.begin(), adj.end(), u)) {
-            next.push_back(u);
-          }
-        }
+        next.clear();
+        Intersect(cand, dag.neighbors(v), next);
         total += Count(next, depth_left - 1);
       }
       return total;
     }
-  } counter{g};
+  } counter{dag};
   uint64_t total = 0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    const auto adj = g.neighbors(v);
-    std::vector<VertexId> cand(std::upper_bound(adj.begin(), adj.end(), v), adj.end());
+  for (VertexId v = 0; v < dag.num_vertices(); ++v) {
+    const auto adj = dag.neighbors(v);
+    std::vector<VertexId> cand(adj.begin(), adj.end());
     if (cand.size() + 1 >= k) {
       total += counter.Count(cand, k - 1);
     }

@@ -1,10 +1,10 @@
 #include "apps/quasi_clique.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/logging.h"
 #include "graph/graph.h"
+#include "graph/intersect.h"
 
 namespace gminer {
 
@@ -56,6 +56,22 @@ std::vector<uint32_t> PeelToQuasiClique(const std::vector<std::vector<uint32_t>>
   return survivors;
 }
 
+// Maps the kernel-intersected common neighbors (ascending VertexIds, a
+// subsequence of the sorted candidate list) back to 1-based candidate
+// indices. A resumable lower_bound keeps the whole mapping O(c log n).
+void AppendCandidateIndices(const std::vector<VertexId>& cand,
+                            const std::vector<VertexId>& common,
+                            std::vector<uint32_t>& out) {
+  size_t pos = 0;
+  for (const VertexId w : common) {
+    pos = static_cast<size_t>(
+        std::lower_bound(cand.begin() + static_cast<int64_t>(pos), cand.end(), w) -
+        cand.begin());
+    out.push_back(static_cast<uint32_t>(pos) + 1);
+    ++pos;
+  }
+}
+
 }  // namespace
 
 void QuasiCliqueTask::Update(UpdateContext& ctx) {
@@ -63,27 +79,16 @@ void QuasiCliqueTask::Update(UpdateContext& ctx) {
   auto* agg = static_cast<SumAggregator*>(ctx.aggregator());
   const auto& cand = candidates();
   // Index 0 = seed, 1..k = candidates (seed adjacent to all by construction).
-  std::unordered_map<VertexId, uint32_t> index;
-  index.reserve(cand.size());
-  for (uint32_t i = 0; i < cand.size(); ++i) {
-    index.emplace(cand[i], i + 1);
-  }
   std::vector<std::vector<uint32_t>> adj(cand.size() + 1);
+  std::vector<VertexId> common;
   for (uint32_t i = 0; i < cand.size(); ++i) {
     adj[0].push_back(i + 1);
     adj[i + 1].push_back(0);
     const VertexRecord* record = ctx.GetVertex(cand[i]);
     GM_CHECK(record != nullptr) << "candidate " << cand[i] << " unavailable";
-    for (const VertexId u : record->adj) {
-      auto it = index.find(u);
-      if (it != index.end()) {
-        adj[i + 1].push_back(it->second);
-      }
-    }
-  }
-  for (auto& a : adj) {
-    std::sort(a.begin(), a.end());
-    a.erase(std::unique(a.begin(), a.end()), a.end());
+    common.clear();
+    Intersect(cand, record->adj, common);
+    AppendCandidateIndices(cand, common, adj[i + 1]);
   }
   const auto survivors = PeelToQuasiClique(adj, params->gamma);
   const bool has_seed =
@@ -132,24 +137,14 @@ uint64_t SerialQuasiCliqueCount(const Graph& g, const QuasiCliqueParams& params)
     if (cand.size() + 1 < params.min_size) {
       continue;
     }
-    std::unordered_map<VertexId, uint32_t> index;
-    for (uint32_t i = 0; i < cand.size(); ++i) {
-      index.emplace(cand[i], i + 1);
-    }
     std::vector<std::vector<uint32_t>> adj(cand.size() + 1);
+    std::vector<VertexId> common;
     for (uint32_t i = 0; i < cand.size(); ++i) {
       adj[0].push_back(i + 1);
       adj[i + 1].push_back(0);
-      for (const VertexId u : g.neighbors(cand[i])) {
-        auto it = index.find(u);
-        if (it != index.end()) {
-          adj[i + 1].push_back(it->second);
-        }
-      }
-    }
-    for (auto& a : adj) {
-      std::sort(a.begin(), a.end());
-      a.erase(std::unique(a.begin(), a.end()), a.end());
+      common.clear();
+      Intersect(cand, g.neighbors(cand[i]), common);
+      AppendCandidateIndices(cand, common, adj[i + 1]);
     }
     const auto survivors = PeelToQuasiClique(adj, params.gamma);
     const bool has_seed =

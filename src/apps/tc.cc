@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "graph/intersect.h"
 
 namespace gminer {
 
@@ -16,20 +17,7 @@ void TriangleCountTask::Update(UpdateContext& ctx) {
   for (const VertexId u : cand) {
     const VertexRecord* record = ctx.GetVertex(u);
     GM_CHECK(record != nullptr) << "candidate " << u << " unavailable";
-    // Both lists are sorted: advance two cursors, counting matches above u.
-    auto cit = std::upper_bound(cand.begin(), cand.end(), u);
-    auto ait = record->adj.begin();
-    while (cit != cand.end() && ait != record->adj.end()) {
-      if (*cit < *ait) {
-        ++cit;
-      } else if (*ait < *cit) {
-        ++ait;
-      } else {
-        ++triangles;
-        ++cit;
-        ++ait;
-      }
-    }
+    triangles += IntersectCountAbove(cand, record->adj, u);
   }
   agg->Add(triangles);
   MarkDead();

@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "graph/intersect.h"
 #include "metrics/memory_tracker.h"
 #include "net/message.h"
 
@@ -151,11 +152,9 @@ class BspTriangleCount : public BspApp {
     const auto adj = g.neighbors(v);
     uint64_t triangles = 0;
     for (const BspMessage* m : inbox) {
-      for (const VertexId w : m->payload) {
-        if (std::binary_search(adj.begin(), adj.end(), w)) {
-          ++triangles;
-        }
-      }
+      // payload = the sender's higher-id neighbors above v, sorted; count the
+      // ones adjacent to v with the shared kernel.
+      triangles += IntersectCount(m->payload, adj);
     }
     result.fetch_add(triangles, std::memory_order_relaxed);
   }
@@ -256,11 +255,7 @@ class BspMaxClique : public BspApp {
       const uint32_t u = cand.back();
       cand.pop_back();
       std::vector<uint32_t> next;
-      for (const uint32_t w : cand) {
-        if (std::binary_search(adj[u].begin(), adj[u].end(), w)) {
-          next.push_back(w);
-        }
-      }
+      Intersect(cand, adj[u], next);
       Expand(adj, next, r_size + 1, best);
     }
   }

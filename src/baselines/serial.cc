@@ -9,33 +9,22 @@
 #include "apps/similarity.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "graph/intersect.h"
+#include "graph/orientation.h"
 
 namespace gminer {
 
 uint64_t SerialTriangleCount(const Graph& g) {
+  // Degree-oriented counting: each triangle has a unique minimum-rank vertex
+  // a with forward edges to the other two, so it is counted exactly once at
+  // the edge (a, b) as a common forward neighbor. Forward lists are bounded
+  // by the degeneracy, which keeps the intersections short even at hubs.
+  const Graph dag = BuildOrientedDag(g);
   uint64_t triangles = 0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    const auto adj = g.neighbors(v);
-    for (size_t i = 0; i < adj.size(); ++i) {
-      const VertexId u = adj[i];
-      if (u <= v) {
-        continue;
-      }
-      const auto adj_u = g.neighbors(u);
-      // Count w > u adjacent to both v and u.
-      auto it_v = std::upper_bound(adj.begin(), adj.end(), u);
-      auto it_u = adj_u.begin();
-      while (it_v != adj.end() && it_u != adj_u.end()) {
-        if (*it_v < *it_u) {
-          ++it_v;
-        } else if (*it_u < *it_v) {
-          ++it_u;
-        } else {
-          ++triangles;
-          ++it_v;
-          ++it_u;
-        }
-      }
+  for (VertexId v = 0; v < dag.num_vertices(); ++v) {
+    const auto fwd = dag.neighbors(v);
+    for (const VertexId u : fwd) {
+      triangles += IntersectCount(fwd, dag.neighbors(u));
     }
   }
   return triangles;
@@ -368,19 +357,23 @@ uint64_t SerialCommunityCount(const Graph& g, const CdParams& params) {
     if (filtered.size() + 1 < params.min_size) {
       continue;
     }
-    std::unordered_map<VertexId, uint32_t> index;
-    for (uint32_t i = 0; i < filtered.size(); ++i) {
-      index.emplace(filtered[i], i);
-    }
+    // Induced adjacency over the filtered candidates via the shared
+    // intersection kernels; `filtered` is sorted, so the intersection comes
+    // back ascending and maps to ascending 0-based indices directly.
     std::vector<std::vector<uint32_t>> iadj(filtered.size());
+    std::vector<VertexId> common;
     for (uint32_t i = 0; i < filtered.size(); ++i) {
-      for (const VertexId u : g.neighbors(filtered[i])) {
-        auto it = index.find(u);
-        if (it != index.end()) {
-          iadj[i].push_back(it->second);
-        }
+      common.clear();
+      Intersect(filtered, g.neighbors(filtered[i]), common);
+      size_t pos = 0;
+      for (const VertexId w : common) {
+        pos = static_cast<size_t>(
+            std::lower_bound(filtered.begin() + static_cast<int64_t>(pos),
+                             filtered.end(), w) -
+            filtered.begin());
+        iadj[i].push_back(static_cast<uint32_t>(pos));
+        ++pos;
       }
-      std::sort(iadj[i].begin(), iadj[i].end());
     }
     std::vector<uint32_t> p(filtered.size());
     for (uint32_t i = 0; i < p.size(); ++i) {

@@ -1,8 +1,55 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
 
 namespace gminer {
+
+Graph Graph::FromCsr(std::vector<uint64_t> offsets, std::vector<VertexId> neighbors) {
+  GM_CHECK(!offsets.empty() && offsets.front() == 0);
+  GM_CHECK(offsets.back() == neighbors.size());
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.neighbors_ = std::move(neighbors);
+#ifndef NDEBUG
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    GM_CHECK(g.offsets_[v] <= g.offsets_[v + 1]);
+    const auto adj = g.neighbors(v);
+    for (size_t i = 1; i < adj.size(); ++i) {
+      GM_CHECK(adj[i - 1] < adj[i]) << "adjacency of " << v << " not sorted/unique";
+    }
+  }
+#endif
+  return g;
+}
+
+void Graph::SetLabelColumn(std::vector<Label> labels) {
+  GM_CHECK(labels.empty() || labels.size() == num_vertices());
+  labels_ = std::move(labels);
+}
+
+void Graph::SetAttributeColumns(const std::vector<std::vector<AttrValue>>& attrs) {
+  if (attrs.empty()) {
+    attr_offsets_.clear();
+    attrs_.clear();
+    return;
+  }
+  GM_CHECK(attrs.size() == num_vertices());
+  attr_offsets_.assign(static_cast<size_t>(num_vertices()) + 1, 0);
+  uint64_t total = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    attr_offsets_[v] = total;
+    total += attrs[v].size();
+  }
+  attr_offsets_[num_vertices()] = total;
+  attrs_.clear();
+  attrs_.reserve(total);
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    attrs_.insert(attrs_.end(), attrs[v].begin(), attrs[v].end());
+  }
+}
 
 bool Graph::HasEdge(VertexId u, VertexId v) const {
   const auto adj = neighbors(u);

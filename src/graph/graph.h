@@ -19,6 +19,14 @@ class Graph {
  public:
   Graph() = default;
 
+  // Wraps prebuilt CSR columns. `offsets` must be non-decreasing with
+  // offsets[0] == 0 and offsets.back() == neighbors.size(); each adjacency
+  // list must be sorted and duplicate-free (checked in debug builds only).
+  // Used by the orientation preprocessing pass (graph/orientation.h), which
+  // produces relabeled — and possibly directed — CSR directly; GraphBuilder
+  // remains the entry point for edge-list construction.
+  static Graph FromCsr(std::vector<uint64_t> offsets, std::vector<VertexId> neighbors);
+
   VertexId num_vertices() const { return static_cast<VertexId>(offsets_.size()) - 1; }
   uint64_t num_edges() const { return neighbors_.size() / 2; }      // undirected edge count
   uint64_t num_directed_edges() const { return neighbors_.size(); }
@@ -55,6 +63,11 @@ class Graph {
 
   // Approximate resident size, used for dataset reporting.
   uint64_t ByteSize() const;
+
+  // Column setters for FromCsr-built graphs (orientation pass): empty input
+  // clears the column. Sizes must match num_vertices() when non-empty.
+  void SetLabelColumn(std::vector<Label> labels);
+  void SetAttributeColumns(const std::vector<std::vector<AttrValue>>& attrs);
 
  private:
   friend class GraphBuilder;

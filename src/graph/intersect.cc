@@ -1,0 +1,295 @@
+#include "graph/intersect.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace gminer {
+
+namespace intersect_internal {
+
+thread_local IntersectStats g_stats;
+
+// Implemented in intersect_avx2.cc (stubbed to scalar when the build or
+// architecture lacks AVX2).
+size_t CountAvx2Impl(const VertexId* a, size_t na, const VertexId* b, size_t nb);
+size_t WriteAvx2Impl(const VertexId* a, size_t na, const VertexId* b, size_t nb,
+                     std::vector<VertexId>& out);
+bool Avx2CompiledAndSupported();
+
+}  // namespace intersect_internal
+
+using intersect_internal::g_stats;
+
+const char* IntersectKernelName(IntersectKernel k) {
+  switch (k) {
+    case IntersectKernel::kAuto:
+      return "auto";
+    case IntersectKernel::kScalar:
+      return "scalar";
+    case IntersectKernel::kGalloping:
+      return "galloping";
+    case IntersectKernel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool IntersectAvx2Available() { return intersect_internal::Avx2CompiledAndSupported(); }
+
+namespace {
+
+IntersectKernel ModeFromEnv() {
+  const char* env = std::getenv("GMINER_SIMD");
+  if (env == nullptr) {
+    return IntersectKernel::kAuto;
+  }
+  std::string v(env);
+  for (char& c : v) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (v == "off" || v == "0" || v == "scalar" || v == "false") {
+    return IntersectKernel::kScalar;
+  }
+  if (v == "gallop" || v == "galloping") {
+    return IntersectKernel::kGalloping;
+  }
+  if (v == "avx2" || v == "simd") {
+    return IntersectKernel::kAvx2;
+  }
+  return IntersectKernel::kAuto;  // "auto", "on", "1", unrecognized
+}
+
+// kAuto here means "no override": fall through to the env-resolved mode.
+IntersectKernel g_mode_override = IntersectKernel::kAuto;
+bool g_mode_overridden = false;
+
+}  // namespace
+
+IntersectKernel IntersectMode() {
+  if (g_mode_overridden) {
+    return g_mode_override;
+  }
+  static const IntersectKernel mode = ModeFromEnv();
+  return mode;
+}
+
+void SetIntersectModeForTest(IntersectKernel mode) {
+  g_mode_overridden = mode != IntersectKernel::kAuto;
+  g_mode_override = mode;
+}
+
+const IntersectStats& IntersectStatsThisThread() { return g_stats; }
+void ResetIntersectStatsThisThread() { g_stats = IntersectStats{}; }
+
+// ---------------------------------------------------------------------------
+// Scalar merge
+// ---------------------------------------------------------------------------
+
+size_t IntersectCountScalar(std::span<const VertexId> a, std::span<const VertexId> b) {
+  ++g_stats.scalar_calls;
+  const VertexId* pa = a.data();
+  const VertexId* ea = pa + a.size();
+  const VertexId* pb = b.data();
+  const VertexId* eb = pb + b.size();
+  size_t count = 0;
+  while (pa != ea && pb != eb) {
+    const VertexId va = *pa;
+    const VertexId vb = *pb;
+    count += va == vb;
+    pa += va <= vb;
+    pb += vb <= va;
+  }
+  return count;
+}
+
+size_t IntersectScalar(std::span<const VertexId> a, std::span<const VertexId> b,
+                       std::vector<VertexId>& out) {
+  ++g_stats.scalar_calls;
+  const VertexId* pa = a.data();
+  const VertexId* ea = pa + a.size();
+  const VertexId* pb = b.data();
+  const VertexId* eb = pb + b.size();
+  size_t count = 0;
+  while (pa != ea && pb != eb) {
+    const VertexId va = *pa;
+    const VertexId vb = *pb;
+    if (va == vb) {
+      out.push_back(va);
+      ++count;
+    }
+    pa += va <= vb;
+    pb += vb <= va;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Galloping (exponential probe into the larger list)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// First index i in [lo, n) with hay[i] >= needle, found by doubling steps
+// from lo then a binary search inside the bracketed window. O(log distance),
+// so a full pass over the small list costs O(|small| * log |large|).
+size_t GallopLowerBound(const VertexId* hay, size_t n, size_t lo, VertexId needle) {
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < n && hay[hi] < needle) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  if (hi > n) {
+    hi = n;
+  }
+  return static_cast<size_t>(
+      std::lower_bound(hay + lo, hay + hi, needle) - hay);
+}
+
+template <typename OnMatch>
+size_t GallopImpl(std::span<const VertexId> a, std::span<const VertexId> b,
+                  OnMatch&& on_match) {
+  // Probe with the smaller list into the larger one.
+  std::span<const VertexId> small = a.size() <= b.size() ? a : b;
+  std::span<const VertexId> large = a.size() <= b.size() ? b : a;
+  const VertexId* hay = large.data();
+  const size_t n = large.size();
+  size_t cursor = 0;
+  size_t count = 0;
+  for (const VertexId v : small) {
+    cursor = GallopLowerBound(hay, n, cursor, v);
+    if (cursor == n) {
+      break;
+    }
+    if (hay[cursor] == v) {
+      on_match(v);
+      ++count;
+      ++cursor;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+size_t IntersectCountGalloping(std::span<const VertexId> a, std::span<const VertexId> b) {
+  ++g_stats.galloping_calls;
+  return GallopImpl(a, b, [](VertexId) {});
+}
+
+size_t IntersectGalloping(std::span<const VertexId> a, std::span<const VertexId> b,
+                          std::vector<VertexId>& out) {
+  ++g_stats.galloping_calls;
+  return GallopImpl(a, b, [&out](VertexId v) { out.push_back(v); });
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 wrappers (fall back to scalar when unavailable)
+// ---------------------------------------------------------------------------
+
+size_t IntersectCountAvx2(std::span<const VertexId> a, std::span<const VertexId> b) {
+  if (!IntersectAvx2Available()) {
+    return IntersectCountScalar(a, b);
+  }
+  ++g_stats.avx2_calls;
+  return intersect_internal::CountAvx2Impl(a.data(), a.size(), b.data(), b.size());
+}
+
+size_t IntersectAvx2(std::span<const VertexId> a, std::span<const VertexId> b,
+                     std::vector<VertexId>& out) {
+  if (!IntersectAvx2Available()) {
+    return IntersectScalar(a, b, out);
+  }
+  ++g_stats.avx2_calls;
+  return intersect_internal::WriteAvx2Impl(a.data(), a.size(), b.data(), b.size(), out);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Size-ratio threshold above which galloping beats a linear merge: probing
+// |small| * log |large| comparisons against |small| + |large|. The crossover
+// constant is empirical (bench_intersect); 32 is conservative enough that
+// near-balanced lists stay on the merge/SIMD path.
+constexpr size_t kGallopRatio = 32;
+
+bool PreferGalloping(size_t na, size_t nb) {
+  const size_t small = std::min(na, nb);
+  const size_t large = std::max(na, nb);
+  return small * kGallopRatio < large;
+}
+
+// Empty-input and disjoint-range rejection shared by both entry points.
+bool TriviallyEmpty(std::span<const VertexId> a, std::span<const VertexId> b) {
+  return a.empty() || b.empty() || a.front() > b.back() || b.front() > a.back();
+}
+
+}  // namespace
+
+size_t IntersectCount(std::span<const VertexId> a, std::span<const VertexId> b) {
+  if (TriviallyEmpty(a, b)) {
+    return 0;
+  }
+  switch (IntersectMode()) {
+    case IntersectKernel::kScalar:
+      return IntersectCountScalar(a, b);
+    case IntersectKernel::kGalloping:
+      return IntersectCountGalloping(a, b);
+    case IntersectKernel::kAvx2:
+      return IntersectCountAvx2(a, b);
+    case IntersectKernel::kAuto:
+      break;
+  }
+  if (PreferGalloping(a.size(), b.size())) {
+    return IntersectCountGalloping(a, b);
+  }
+  return IntersectCountAvx2(a, b);  // scalar when AVX2 is unavailable
+}
+
+size_t Intersect(std::span<const VertexId> a, std::span<const VertexId> b,
+                 std::vector<VertexId>& out) {
+  if (TriviallyEmpty(a, b)) {
+    return 0;
+  }
+  switch (IntersectMode()) {
+    case IntersectKernel::kScalar:
+      return IntersectScalar(a, b, out);
+    case IntersectKernel::kGalloping:
+      return IntersectGalloping(a, b, out);
+    case IntersectKernel::kAvx2:
+      return IntersectAvx2(a, b, out);
+    case IntersectKernel::kAuto:
+      break;
+  }
+  if (PreferGalloping(a.size(), b.size())) {
+    return IntersectGalloping(a, b, out);
+  }
+  return IntersectAvx2(a, b, out);
+}
+
+namespace {
+
+std::span<const VertexId> TrimAbove(std::span<const VertexId> s, VertexId floor) {
+  const VertexId* first = std::upper_bound(s.data(), s.data() + s.size(), floor);
+  return {first, s.data() + s.size()};
+}
+
+}  // namespace
+
+size_t IntersectCountAbove(std::span<const VertexId> a, std::span<const VertexId> b,
+                           VertexId floor) {
+  return IntersectCount(TrimAbove(a, floor), TrimAbove(b, floor));
+}
+
+size_t IntersectAbove(std::span<const VertexId> a, std::span<const VertexId> b,
+                      VertexId floor, std::vector<VertexId>& out) {
+  return Intersect(TrimAbove(a, floor), TrimAbove(b, floor), out);
+}
+
+}  // namespace gminer

@@ -1,0 +1,111 @@
+// Shared set-intersection kernels for the mining inner loops (DESIGN.md
+// "Mining kernels"). Every candidate-set ∩ adjacency-list operation in
+// src/apps/ and the serial/BSP baselines goes through this header — the
+// repo lint (scripts/lint.py, raw-intersect) rejects hand-rolled two-pointer
+// loops in apps so new workloads stay on the kernel path.
+//
+// Three kernel families, all over sorted, duplicate-free uint32 lists (the
+// invariant GraphBuilder establishes for every adjacency list):
+//
+//   - scalar:    branchy two-pointer merge; best when |a| ≈ |b| and both are
+//                short (the common case deep in a clique search tree);
+//   - galloping: binary-probe the larger list for each element of the
+//                smaller; wins when the size ratio is skewed (hub adjacency
+//                vs. a shrinking candidate set — power-law graphs live here);
+//   - AVX2:      8-lane _mm256_cmpeq_epi32 all-pairs block compare with a
+//                shuffle-table compaction for the materializing variant;
+//                compiled via a target("avx2") attribute so the build needs
+//                no special flags, selected only when the CPU reports AVX2.
+//
+// IntersectCount / Intersect are the dispatched entry points: an explicit
+// runtime mode (env GMINER_SIMD, see below) picks a family, and kAuto applies
+// the size-ratio heuristic per call. The *Scalar/*Galloping/*Avx2 functions
+// are exposed directly for the equivalence fuzz tests and the microbench.
+//
+// Environment control (read once, cached):
+//   GMINER_SIMD=off|0|scalar   force the scalar merge everywhere
+//   GMINER_SIMD=galloping      force galloping
+//   GMINER_SIMD=avx2           force AVX2 (falls back to scalar if the CPU
+//                              or build lacks it)
+//   GMINER_SIMD=auto|on|unset  heuristic dispatch (default)
+//
+// Building with -DGMINER_SIMD=OFF compiles the AVX2 translation unit out
+// entirely; dispatch then never selects it.
+#ifndef GMINER_GRAPH_INTERSECT_H_
+#define GMINER_GRAPH_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gminer {
+
+enum class IntersectKernel : uint8_t { kAuto = 0, kScalar, kGalloping, kAvx2 };
+
+const char* IntersectKernelName(IntersectKernel k);
+
+// True when the AVX2 path is compiled in AND the CPU reports AVX2 support.
+bool IntersectAvx2Available();
+
+// The mode selected by GMINER_SIMD (resolved once per process).
+IntersectKernel IntersectMode();
+
+// Test hook: overrides the mode for the calling process. Not thread-safe;
+// call only from single-threaded test setup. kAuto restores env behavior.
+void SetIntersectModeForTest(IntersectKernel mode);
+
+// Per-thread dispatch counters, used by tests to assert which family ran and
+// by the microbench to report the dispatch mix. Plain thread-locals: no
+// cross-thread aggregation, no hot-path synchronization.
+struct IntersectStats {
+  uint64_t scalar_calls = 0;
+  uint64_t galloping_calls = 0;
+  uint64_t avx2_calls = 0;
+  uint64_t Total() const { return scalar_calls + galloping_calls + avx2_calls; }
+};
+const IntersectStats& IntersectStatsThisThread();
+void ResetIntersectStatsThisThread();
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points. Preconditions: a and b sorted ascending, no
+// duplicates. The materializing variants append matches to out in ascending
+// order and return the number appended.
+// ---------------------------------------------------------------------------
+
+size_t IntersectCount(std::span<const VertexId> a, std::span<const VertexId> b);
+size_t Intersect(std::span<const VertexId> a, std::span<const VertexId> b,
+                 std::vector<VertexId>& out);
+
+// Intersection restricted to elements strictly greater than `floor`: the
+// ordered-extension idiom (candidates above the branch vertex). Both lists
+// are trimmed with a binary search before the kernel runs, so galloping and
+// AVX2 benefit from the shrunken inputs.
+size_t IntersectCountAbove(std::span<const VertexId> a, std::span<const VertexId> b,
+                           VertexId floor);
+size_t IntersectAbove(std::span<const VertexId> a, std::span<const VertexId> b,
+                      VertexId floor, std::vector<VertexId>& out);
+
+// ---------------------------------------------------------------------------
+// Direct kernel entry points (tests, microbench). Same preconditions.
+// ---------------------------------------------------------------------------
+
+size_t IntersectCountScalar(std::span<const VertexId> a, std::span<const VertexId> b);
+size_t IntersectScalar(std::span<const VertexId> a, std::span<const VertexId> b,
+                       std::vector<VertexId>& out);
+
+size_t IntersectCountGalloping(std::span<const VertexId> a, std::span<const VertexId> b);
+size_t IntersectGalloping(std::span<const VertexId> a, std::span<const VertexId> b,
+                          std::vector<VertexId>& out);
+
+// AVX2 variants fall back to scalar when IntersectAvx2Available() is false,
+// so they are always safe to call.
+size_t IntersectCountAvx2(std::span<const VertexId> a, std::span<const VertexId> b);
+size_t IntersectAvx2(std::span<const VertexId> a, std::span<const VertexId> b,
+                     std::vector<VertexId>& out);
+
+}  // namespace gminer
+
+#endif  // GMINER_GRAPH_INTERSECT_H_

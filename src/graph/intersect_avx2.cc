@@ -1,0 +1,183 @@
+// AVX2 set-intersection kernels. Kept in their own translation unit so the
+// vector code can be compiled via __attribute__((target("avx2"))) without
+// passing -mavx2 to the whole build: only these functions may execute AVX2
+// instructions, and the dispatcher in intersect.cc calls them only after
+// Avx2CompiledAndSupported() confirms the CPU at runtime.
+//
+// Algorithm: block the A list 8-at-a-time. For each A block, sweep B in
+// blocks of 8 and compare the A vector against all 8 lane rotations of the
+// B vector with _mm256_cmpeq_epi32 (the all-pairs trick from Lemire et al.'s
+// SIMD set-intersection work and G²Miner's GPU kernels, re-idiomized for
+// AVX2). The accumulated per-lane match mask drives either a popcount
+// (count variant) or a shuffle-table compaction (materialize variant), which
+// keeps the output in ascending order. Tails shorter than a block fall back
+// to the scalar merge.
+//
+// -DGMINER_SIMD=OFF (or a non-x86 target, or a compiler without the target
+// attribute) compiles the stub versions at the bottom instead; dispatch then
+// reports AVX2 as unavailable and never routes here.
+#include "graph/intersect.h"
+
+#include <algorithm>
+
+#define GMINER_HAVE_AVX2_TU 0
+#if !defined(GMINER_SIMD_DISABLED) && (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#undef GMINER_HAVE_AVX2_TU
+#define GMINER_HAVE_AVX2_TU 1
+#endif
+
+#if GMINER_HAVE_AVX2_TU
+#include <immintrin.h>
+#endif
+
+namespace gminer {
+namespace intersect_internal {
+
+namespace {
+
+// Scalar merge used for the <8-element tails; must match the dispatched
+// scalar kernel bit-for-bit (ascending output, one hit per common element).
+size_t ScalarTailCount(const VertexId* a, const VertexId* ea, const VertexId* b,
+                       const VertexId* eb) {
+  size_t count = 0;
+  while (a != ea && b != eb) {
+    const VertexId va = *a;
+    const VertexId vb = *b;
+    count += va == vb;
+    a += va <= vb;
+    b += vb <= va;
+  }
+  return count;
+}
+
+size_t ScalarTailWrite(const VertexId* a, const VertexId* ea, const VertexId* b,
+                       const VertexId* eb, std::vector<VertexId>& out) {
+  size_t count = 0;
+  while (a != ea && b != eb) {
+    const VertexId va = *a;
+    const VertexId vb = *b;
+    if (va == vb) {
+      out.push_back(va);
+      ++count;
+    }
+    a += va <= vb;
+    b += vb <= va;
+  }
+  return count;
+}
+
+}  // namespace
+
+#if GMINER_HAVE_AVX2_TU
+
+namespace {
+
+// compaction_table[mask] lists the set-bit positions of the 8-bit mask in
+// ascending order — the permutevar8x32 index vector that packs matched lanes
+// to the front while preserving order.
+struct CompactionTable {
+  alignas(32) uint32_t idx[256][8];
+  CompactionTable() {
+    for (int mask = 0; mask < 256; ++mask) {
+      int n = 0;
+      for (int bit = 0; bit < 8; ++bit) {
+        if (mask & (1 << bit)) {
+          idx[mask][n++] = static_cast<uint32_t>(bit);
+        }
+      }
+      for (; n < 8; ++n) {
+        idx[mask][n] = 0;
+      }
+    }
+  }
+};
+const CompactionTable kCompact;
+
+// Match mask for one 8x8 block: bit i set iff va lane i equals some lane of
+// vb. Eight rotations of vb cover all 64 lane pairs.
+__attribute__((target("avx2"))) inline int BlockMatchMask(__m256i va, __m256i vb) {
+  const __m256i rot1 = _mm256_set_epi32(0, 7, 6, 5, 4, 3, 2, 1);
+  __m256i eq = _mm256_cmpeq_epi32(va, vb);
+  __m256i r = vb;
+  for (int i = 1; i < 8; ++i) {
+    r = _mm256_permutevar8x32_epi32(r, rot1);
+    eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, r));
+  }
+  return _mm256_movemask_ps(_mm256_castsi256_ps(eq));
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) size_t CountAvx2Impl(const VertexId* a, size_t na,
+                                                     const VertexId* b, size_t nb) {
+  size_t count = 0;
+  size_t ia = 0;
+  size_t ib = 0;
+  while (ia + 8 <= na && ib + 8 <= nb) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + ia));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + ib));
+    count += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(BlockMatchMask(va, vb))));
+    // Advance the block whose maximum is smaller; on ties both advance
+    // (every element of each block has been compared against the other).
+    const VertexId amax = a[ia + 7];
+    const VertexId bmax = b[ib + 7];
+    ia += amax <= bmax ? 8 : 0;
+    ib += bmax <= amax ? 8 : 0;
+  }
+  return count + ScalarTailCount(a + ia, a + na, b + ib, b + nb);
+}
+
+__attribute__((target("avx2"))) size_t WriteAvx2Impl(const VertexId* a, size_t na,
+                                                     const VertexId* b, size_t nb,
+                                                     std::vector<VertexId>& out) {
+  size_t count = 0;
+  size_t ia = 0;
+  size_t ib = 0;
+  while (ia + 8 <= na && ib + 8 <= nb) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + ia));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + ib));
+    const int mask = BlockMatchMask(va, vb);
+    if (mask != 0) {
+      const __m256i perm = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kCompact.idx[static_cast<unsigned>(mask)]));
+      const __m256i packed = _mm256_permutevar8x32_epi32(va, perm);
+      const size_t hits = static_cast<size_t>(
+          __builtin_popcount(static_cast<unsigned>(mask)));
+      const size_t old = out.size();
+      out.resize(old + 8);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out.data() + old), packed);
+      out.resize(old + hits);  // drop the compaction padding
+      count += hits;
+    }
+    const VertexId amax = a[ia + 7];
+    const VertexId bmax = b[ib + 7];
+    ia += amax <= bmax ? 8 : 0;
+    ib += bmax <= amax ? 8 : 0;
+  }
+  return count + ScalarTailWrite(a + ia, a + na, b + ib, b + nb, out);
+}
+
+bool Avx2CompiledAndSupported() {
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+}
+
+#else  // !GMINER_HAVE_AVX2_TU — scalar stubs so the symbols always link.
+
+size_t CountAvx2Impl(const VertexId* a, size_t na, const VertexId* b, size_t nb) {
+  return ScalarTailCount(a, a + na, b, b + nb);
+}
+
+size_t WriteAvx2Impl(const VertexId* a, size_t na, const VertexId* b, size_t nb,
+                     std::vector<VertexId>& out) {
+  return ScalarTailWrite(a, a + na, b, b + nb, out);
+}
+
+bool Avx2CompiledAndSupported() { return false; }
+
+#endif  // GMINER_HAVE_AVX2_TU
+
+}  // namespace intersect_internal
+}  // namespace gminer

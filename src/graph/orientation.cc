@@ -1,0 +1,111 @@
+#include "graph/orientation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gminer {
+
+DegreeOrdering ComputeDegreeOrdering(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  DegreeOrdering out;
+  out.order.resize(n);
+  std::iota(out.order.begin(), out.order.end(), 0);
+  // Counting sort by degree keeps this O(V + max_degree) and, because the
+  // iota input is id-sorted and std::stable_sort-equivalent bucketing is
+  // used, ties break by id.
+  const uint32_t max_deg = g.max_degree();
+  std::vector<uint32_t> bucket_start(static_cast<size_t>(max_deg) + 2, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    ++bucket_start[g.degree(v) + 1];
+  }
+  for (size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<VertexId> sorted(n);
+  std::vector<uint32_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {  // ascending id within each bucket
+    sorted[cursor[g.degree(v)]++] = v;
+  }
+  out.order = std::move(sorted);
+  out.rank.resize(n);
+  for (VertexId new_id = 0; new_id < n; ++new_id) {
+    out.rank[out.order[new_id]] = new_id;
+  }
+  return out;
+}
+
+Graph ReorderByDegree(const Graph& g, DegreeOrdering* ordering) {
+  DegreeOrdering ord = ComputeDegreeOrdering(g);
+  const VertexId n = g.num_vertices();
+  std::vector<uint64_t> offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId new_v = 0; new_v < n; ++new_v) {
+    offsets[new_v + 1] = offsets[new_v] + g.degree(ord.order[new_v]);
+  }
+  std::vector<VertexId> neighbors(offsets.back());
+  for (VertexId new_v = 0; new_v < n; ++new_v) {
+    uint64_t at = offsets[new_v];
+    for (const VertexId u : g.neighbors(ord.order[new_v])) {
+      neighbors[at++] = ord.rank[u];
+    }
+    std::sort(neighbors.begin() + static_cast<int64_t>(offsets[new_v]),
+              neighbors.begin() + static_cast<int64_t>(at));
+  }
+
+  std::vector<Label> labels;
+  if (g.has_labels()) {
+    labels.resize(n);
+    for (VertexId new_v = 0; new_v < n; ++new_v) {
+      labels[new_v] = g.label(ord.order[new_v]);
+    }
+  }
+  std::vector<std::vector<AttrValue>> attrs;
+  if (g.has_attributes()) {
+    attrs.resize(n);
+    for (VertexId new_v = 0; new_v < n; ++new_v) {
+      const auto a = g.attributes(ord.order[new_v]);
+      attrs[new_v].assign(a.begin(), a.end());
+    }
+  }
+
+  Graph out = Graph::FromCsr(std::move(offsets), std::move(neighbors));
+  out.SetLabelColumn(std::move(labels));
+  out.SetAttributeColumns(attrs);
+  if (ordering != nullptr) {
+    *ordering = std::move(ord);
+  }
+  return out;
+}
+
+Graph BuildOrientedDag(const Graph& g, DegreeOrdering* ordering) {
+  DegreeOrdering ord = ComputeDegreeOrdering(g);
+  const VertexId n = g.num_vertices();
+  std::vector<uint64_t> offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId new_v = 0; new_v < n; ++new_v) {
+    uint64_t forward = 0;
+    for (const VertexId u : g.neighbors(ord.order[new_v])) {
+      forward += ord.rank[u] > new_v;
+    }
+    offsets[new_v + 1] = offsets[new_v] + forward;
+  }
+  std::vector<VertexId> neighbors(offsets.back());
+  for (VertexId new_v = 0; new_v < n; ++new_v) {
+    uint64_t at = offsets[new_v];
+    for (const VertexId u : g.neighbors(ord.order[new_v])) {
+      if (ord.rank[u] > new_v) {
+        neighbors[at++] = ord.rank[u];
+      }
+    }
+    std::sort(neighbors.begin() + static_cast<int64_t>(offsets[new_v]),
+              neighbors.begin() + static_cast<int64_t>(at));
+  }
+  Graph out = Graph::FromCsr(std::move(offsets), std::move(neighbors));
+  if (ordering != nullptr) {
+    *ordering = std::move(ord);
+  }
+  return out;
+}
+
+}  // namespace gminer

@@ -1,0 +1,51 @@
+// Degree-ordered orientation preprocessing (DESIGN.md "Mining kernels").
+//
+// Clique-class searches that extend "upward" (candidates greater than the
+// branch vertex) do work proportional to the out-degree of each vertex under
+// the chosen order. Vertex ids carry no structure, so ordering by id leaves
+// hubs with huge forward neighborhoods. Ranking vertices by ascending degree
+// (ties by id) and relabeling bounds every forward neighborhood by the graph
+// degeneracy — the G²Miner/Kaleido orientation trick — which shrinks the
+// TC / k-clique / quasi-clique search tree without changing the counts for
+// order-invariant patterns (every triangle / k-clique is still enumerated
+// exactly once, from its minimum-rank vertex).
+//
+// Two forms:
+//   - ReorderByDegree: relabeled *undirected* Graph. Drop-in for the whole
+//     pipeline (partitioning, tasks, baselines): the existing `u > v`
+//     candidate generation becomes degree-ordered orientation for free.
+//   - BuildOrientedDag: relabeled *directed* CSR keeping only forward edges
+//     (rank(u) < rank(v)), for tight serial kernels: neighbors(v) is N+(v).
+#ifndef GMINER_GRAPH_ORIENTATION_H_
+#define GMINER_GRAPH_ORIENTATION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gminer {
+
+struct DegreeOrdering {
+  // rank[old_id] = position in the ascending (degree, id) order = new id.
+  std::vector<VertexId> rank;
+  // order[new_id] = old id (the inverse permutation).
+  std::vector<VertexId> order;
+};
+
+DegreeOrdering ComputeDegreeOrdering(const Graph& g);
+
+// Relabeled copy of g: new id = degree rank. Labels and attributes follow
+// their vertices. Adjacency lists stay sorted (by new id). When `ordering`
+// is non-null the permutation used is stored there for mapping results back.
+Graph ReorderByDegree(const Graph& g, DegreeOrdering* ordering = nullptr);
+
+// Directed forward-edge CSR in rank space: neighbors(v) holds exactly the
+// neighbors with rank greater than v, sorted ascending. The returned Graph
+// is a DAG view — num_edges() (which assumes symmetric storage) is not
+// meaningful on it; use num_directed_edges().
+Graph BuildOrientedDag(const Graph& g, DegreeOrdering* ordering = nullptr);
+
+}  // namespace gminer
+
+#endif  // GMINER_GRAPH_ORIENTATION_H_

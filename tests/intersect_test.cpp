@@ -1,0 +1,323 @@
+// Equivalence and invariant tests for the shared intersection kernels
+// (graph/intersect.h) and the degree-orientation pass (graph/orientation.h).
+//
+// The kernels are drop-in replacements for each other: every test that
+// produces a count or an output list runs all three implementations (scalar
+// merge, galloping, AVX2) and demands bit-for-bit agreement, on both
+// adversarial shapes and randomized fuzz inputs. AVX2 tests run everywhere:
+// on machines without AVX2 the direct AVX2 entry points fall back to scalar,
+// so the assertions still hold (they just stop being independent evidence).
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/kclique.h"
+#include "baselines/serial.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/intersect.h"
+#include "graph/orientation.h"
+
+namespace gminer {
+namespace {
+
+std::vector<VertexId> MakeSortedList(size_t n, VertexId universe, Rng& rng) {
+  std::vector<VertexId> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(universe == 0 ? 0 : rng.NextUint32(universe));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<VertexId> ReferenceIntersect(const std::vector<VertexId>& a,
+                                         const std::vector<VertexId>& b) {
+  std::vector<VertexId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+// Runs every kernel (count + materialize, both argument orders) against the
+// std::set_intersection reference and demands exact agreement.
+void ExpectAllKernelsAgree(const std::vector<VertexId>& a, const std::vector<VertexId>& b) {
+  const std::vector<VertexId> expected = ReferenceIntersect(a, b);
+
+  EXPECT_EQ(IntersectCountScalar(a, b), expected.size());
+  EXPECT_EQ(IntersectCountScalar(b, a), expected.size());
+  EXPECT_EQ(IntersectCountGalloping(a, b), expected.size());
+  EXPECT_EQ(IntersectCountGalloping(b, a), expected.size());
+  EXPECT_EQ(IntersectCountAvx2(a, b), expected.size());
+  EXPECT_EQ(IntersectCountAvx2(b, a), expected.size());
+  EXPECT_EQ(IntersectCount(a, b), expected.size());
+
+  std::vector<VertexId> out;
+  IntersectScalar(a, b, out);
+  EXPECT_EQ(out, expected);
+  out.clear();
+  IntersectGalloping(a, b, out);
+  EXPECT_EQ(out, expected);
+  out.clear();
+  IntersectGalloping(b, a, out);
+  EXPECT_EQ(out, expected);
+  out.clear();
+  IntersectAvx2(a, b, out);
+  EXPECT_EQ(out, expected);
+  out.clear();
+  Intersect(a, b, out);
+  EXPECT_EQ(out, expected);
+}
+
+TEST(IntersectKernels, AdversarialShapes) {
+  Rng rng(7);
+  const std::vector<VertexId> empty;
+  const std::vector<VertexId> one = {5};
+  const std::vector<VertexId> evens = {0, 2, 4, 6, 8, 10, 12, 14, 16, 18};
+  const std::vector<VertexId> odds = {1, 3, 5, 7, 9, 11, 13, 15, 17, 19};
+  const std::vector<VertexId> dense = [] {
+    std::vector<VertexId> v(100);
+    std::iota(v.begin(), v.end(), 0u);
+    return v;
+  }();
+
+  ExpectAllKernelsAgree(empty, empty);
+  ExpectAllKernelsAgree(empty, dense);
+  ExpectAllKernelsAgree(one, empty);
+  ExpectAllKernelsAgree(one, one);
+  ExpectAllKernelsAgree(one, dense);
+  ExpectAllKernelsAgree(evens, odds);    // interleaved, zero matches
+  ExpectAllKernelsAgree(dense, dense);   // identical, all match
+  ExpectAllKernelsAgree(evens, dense);   // strict subset
+
+  // Disjoint ranges: b entirely above a (exercises the trivially-empty
+  // dispatch path) and adjacent at the boundary.
+  const std::vector<VertexId> low = {1, 2, 3, 4};
+  const std::vector<VertexId> high = {100, 200, 300};
+  ExpectAllKernelsAgree(low, high);
+  const std::vector<VertexId> touching = {4, 100};
+  ExpectAllKernelsAgree(low, touching);
+
+  // 10000:1 skew — the shape galloping exists for.
+  const auto small = MakeSortedList(12, 500000, rng);
+  const auto huge = MakeSortedList(120000, 500000, rng);
+  ExpectAllKernelsAgree(small, huge);
+}
+
+TEST(IntersectKernels, RandomizedFuzzEquivalence) {
+  Rng rng(1234);
+  const size_t sizes[] = {0, 1, 2, 7, 8, 9, 15, 16, 17, 31, 63, 64, 100, 1000};
+  for (int round = 0; round < 40; ++round) {
+    const size_t na = sizes[rng.NextUint32(static_cast<uint32_t>(std::size(sizes)))];
+    const size_t nb = sizes[rng.NextUint32(static_cast<uint32_t>(std::size(sizes)))];
+    // Universe sweep: tiny universes force dense overlap (many 8-lane AVX2
+    // hits per block), huge ones force sparse overlap.
+    const VertexId universes[] = {16, 256, 4096, 1u << 20};
+    const VertexId universe = universes[rng.NextUint32(4)];
+    const auto a = MakeSortedList(na, universe, rng);
+    const auto b = MakeSortedList(nb, universe, rng);
+    ExpectAllKernelsAgree(a, b);
+  }
+}
+
+TEST(IntersectKernels, AboveVariantsMatchSuffixReference) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    const auto a = MakeSortedList(rng.NextUint32(200), 1024, rng);
+    const auto b = MakeSortedList(rng.NextUint32(200), 1024, rng);
+    const VertexId floor = rng.NextUint32(1100);  // sometimes above every value
+    std::vector<VertexId> expected;
+    for (const VertexId v : ReferenceIntersect(a, b)) {
+      if (v > floor) {
+        expected.push_back(v);
+      }
+    }
+    EXPECT_EQ(IntersectCountAbove(a, b, floor), expected.size());
+    std::vector<VertexId> out;
+    IntersectAbove(a, b, floor, out);
+    EXPECT_EQ(out, expected);
+  }
+}
+
+TEST(IntersectKernels, MaterializeAppendsWithoutClearing) {
+  const std::vector<VertexId> a = {1, 2, 3};
+  const std::vector<VertexId> b = {2, 3, 4};
+  std::vector<VertexId> out = {77};
+  Intersect(a, b, out);
+  EXPECT_EQ(out, (std::vector<VertexId>{77, 2, 3}));
+}
+
+TEST(IntersectKernels, ForcedModeRoutesToRequestedKernel) {
+  Rng rng(5);
+  const auto a = MakeSortedList(300, 4096, rng);
+  const auto b = MakeSortedList(300000, 1u << 20, rng);
+
+  SetIntersectModeForTest(IntersectKernel::kScalar);
+  ResetIntersectStatsThisThread();
+  (void)IntersectCount(a, b);
+  EXPECT_EQ(IntersectStatsThisThread().scalar_calls, 1u);
+
+  SetIntersectModeForTest(IntersectKernel::kGalloping);
+  ResetIntersectStatsThisThread();
+  (void)IntersectCount(a, b);
+  EXPECT_EQ(IntersectStatsThisThread().galloping_calls, 1u);
+
+  if (IntersectAvx2Available()) {
+    SetIntersectModeForTest(IntersectKernel::kAvx2);
+    ResetIntersectStatsThisThread();
+    (void)IntersectCount(a, a);
+    EXPECT_EQ(IntersectStatsThisThread().avx2_calls, 1u);
+  }
+
+  // Auto mode on a heavily skewed pair should pick galloping — unless the
+  // GMINER_SIMD env var pins the dispatcher (the CI scalar leg), in which
+  // case restoring kAuto resumes the env-selected kernel instead.
+  SetIntersectModeForTest(IntersectKernel::kAuto);
+  if (IntersectMode() == IntersectKernel::kAuto) {
+    ResetIntersectStatsThisThread();
+    (void)IntersectCount(a, b);
+    EXPECT_EQ(IntersectStatsThisThread().galloping_calls, 1u);
+  }
+  ResetIntersectStatsThisThread();
+}
+
+// ---------------------------------------------------------------------------
+// Orientation pass
+// ---------------------------------------------------------------------------
+
+// Naive reference count over the original graph: for every edge (v, u) with
+// v < u, count common neighbors above u.
+uint64_t NaiveTriangleCount(const Graph& g) {
+  uint64_t triangles = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (u <= v) {
+        continue;
+      }
+      for (const VertexId w : g.neighbors(u)) {
+        if (w > u && g.HasEdge(v, w)) {
+          ++triangles;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+Graph TestGraph(uint64_t seed, double avg_degree = 8.0) {
+  Rng rng(seed);
+  return GenerateBarabasiAlbert(400, static_cast<int>(avg_degree / 2), rng);
+}
+
+TEST(Orientation, DegreeOrderingIsAPermutationSortedByDegree) {
+  const Graph g = TestGraph(11);
+  const DegreeOrdering ord = ComputeDegreeOrdering(g);
+  ASSERT_EQ(ord.rank.size(), g.num_vertices());
+  ASSERT_EQ(ord.order.size(), g.num_vertices());
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(ord.order[ord.rank[v]], v);
+    EXPECT_FALSE(seen[ord.rank[v]]);
+    seen[ord.rank[v]] = true;
+  }
+  for (VertexId r = 1; r < g.num_vertices(); ++r) {
+    const VertexId prev = ord.order[r - 1];
+    const VertexId cur = ord.order[r];
+    EXPECT_LE(g.degree(prev), g.degree(cur));
+    if (g.degree(prev) == g.degree(cur)) {
+      EXPECT_LT(prev, cur);  // ties break by ascending id
+    }
+  }
+}
+
+TEST(Orientation, ReorderPreservesStructureAndMetadata) {
+  Rng rng(21);
+  Graph g = GenerateCommunityGraph(8, 40, 0.3, 200, rng);
+  g = WithUniformLabels(g, 5, rng);
+  g = WithUniformAttributes(g, 3, 10, rng);
+
+  DegreeOrdering ord;
+  const Graph r = ReorderByDegree(g, &ord);
+  ASSERT_EQ(r.num_vertices(), g.num_vertices());
+  EXPECT_EQ(r.num_directed_edges(), g.num_directed_edges());
+
+  // Degree multiset is preserved vertex-by-vertex under the relabeling, and
+  // every edge maps across.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId rv = ord.rank[v];
+    EXPECT_EQ(r.degree(rv), g.degree(v));
+    EXPECT_EQ(r.label(rv), g.label(v));
+    const auto attrs_old = g.attributes(v);
+    const auto attrs_new = r.attributes(rv);
+    ASSERT_EQ(attrs_new.size(), attrs_old.size());
+    EXPECT_TRUE(std::equal(attrs_old.begin(), attrs_old.end(), attrs_new.begin()));
+    for (const VertexId u : g.neighbors(v)) {
+      EXPECT_TRUE(r.HasEdge(ord.rank[v], ord.rank[u]));
+    }
+  }
+  // New ids are degree-sorted: neighborhoods stay sorted CSR (checked by
+  // FromCsr in debug), and degree is non-decreasing in vertex id.
+  for (VertexId v = 1; v < r.num_vertices(); ++v) {
+    EXPECT_LE(r.degree(v - 1), r.degree(v));
+  }
+}
+
+TEST(Orientation, OrientedDagHasForwardEdgesOnlyAndHalvesEdgeCount) {
+  const Graph g = TestGraph(31);
+  DegreeOrdering ord;
+  const Graph dag = BuildOrientedDag(g, &ord);
+  ASSERT_EQ(dag.num_vertices(), g.num_vertices());
+  EXPECT_EQ(dag.num_directed_edges(), g.num_directed_edges() / 2);
+  uint64_t forward_edges = 0;
+  for (VertexId v = 0; v < dag.num_vertices(); ++v) {
+    for (const VertexId u : dag.neighbors(v)) {
+      EXPECT_LT(v, u);  // strictly forward in rank space
+      ++forward_edges;
+      // Every DAG edge is a real edge of the input graph.
+      EXPECT_TRUE(g.HasEdge(ord.order[v], ord.order[u]));
+    }
+  }
+  EXPECT_EQ(forward_edges, g.num_edges());
+}
+
+TEST(Orientation, TriangleCountInvariantUnderOrientation) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    const Graph g = TestGraph(seed);
+    const uint64_t expected = NaiveTriangleCount(g);
+    // SerialTriangleCount orients internally; the reorder must not change it.
+    EXPECT_EQ(SerialTriangleCount(g), expected);
+    EXPECT_EQ(SerialTriangleCount(ReorderByDegree(g)), expected);
+  }
+}
+
+TEST(Orientation, KCliqueCountInvariantUnderOrientation) {
+  const Graph g = TestGraph(41, 10.0);
+  for (const uint32_t k : {3u, 4u, 5u}) {
+    EXPECT_EQ(SerialKCliqueCount(ReorderByDegree(g), k), SerialKCliqueCount(g, k));
+  }
+  // k = 3 cliques are triangles.
+  EXPECT_EQ(SerialKCliqueCount(g, 3), NaiveTriangleCount(g));
+}
+
+// Every forced kernel mode must produce identical app-level results — the
+// bit-for-bit scalar/AVX2 agreement the CI scalar leg relies on.
+TEST(Orientation, AppResultsIdenticalUnderEveryKernelMode) {
+  const Graph g = MakeDataset("orkut", 0.3, 77);
+  const uint64_t tc_ref = SerialTriangleCount(g);
+  const uint64_t kc_ref = SerialKCliqueCount(g, 4);
+  for (const IntersectKernel mode :
+       {IntersectKernel::kScalar, IntersectKernel::kGalloping, IntersectKernel::kAvx2}) {
+    SetIntersectModeForTest(mode);
+    EXPECT_EQ(SerialTriangleCount(g), tc_ref) << IntersectKernelName(mode);
+    EXPECT_EQ(SerialKCliqueCount(g, 4), kc_ref) << IntersectKernelName(mode);
+  }
+  SetIntersectModeForTest(IntersectKernel::kAuto);
+}
+
+}  // namespace
+}  // namespace gminer
