@@ -7,9 +7,11 @@
 // "FIG5 ..." / "FIG6 ..." lines after the corresponding benchmark.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "apps/gm.h"
+#include "apps/tc.h"
 #include "baselines/batch_engine.h"
 #include "bench/bench_common.h"
 #include "core/cluster.h"
@@ -82,9 +84,68 @@ void BM_Fig6_GMinerUtilization(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig6_GMinerUtilization)->Iterations(1)->Unit(benchmark::kMillisecond);
 
+// --------------------------------------------------------------------------
+// Pull-batching rows (network-utilization companion, gated in CI): the same
+// Table-3-style TC run with simulated transmission, batched versus unbatched
+// (enable_pull_batching = false reproduces the one-message-per-pull runtime).
+// The counters record what coalescing buys on the wire — kPullRequest
+// messages, ids per message, dedup hits — and tracing folds the pull_rtt
+// stage percentiles into the snapshot, so a regression in either the batch
+// sizes or the round-trip latency shows up in the bench gate.
+// --------------------------------------------------------------------------
+
+JobConfig PullBatchingConfig(bool batched) {
+  JobConfig config = BenchConfig(8, 2);
+  config.enable_stealing = false;    // keep the data plane pull-only
+  config.rcv_cache_capacity = 1024;  // small cache keeps pull traffic flowing
+  config.enable_pull_batching = batched;
+  return config;
+}
+
+void RunPullBatchingRow(benchmark::State& state, bool batched, const std::string& row_name) {
+  const Graph& g = BenchDataset("skitter");
+  for (auto _ : state) {
+    TriangleCountJob job;
+    Cluster cluster(PullBatchingConfig(batched));
+    RunOptions options;
+    options.enable_tracing = true;  // records pull_rtt stage percentiles
+    const JobResult r = cluster.Run(g, job, options);
+    ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                      r.peak_memory_bytes, r.totals.net_bytes_sent);
+    state.counters["result"] =
+        static_cast<double>(TriangleCountJob::Count(r.final_aggregate));
+    const double msgs = static_cast<double>(r.totals.pull_batches_sent);
+    state.counters["pull_msgs"] = msgs;
+    state.counters["pull_ids"] = static_cast<double>(r.totals.pull_requests);
+    state.counters["ids_per_msg"] =
+        msgs > 0 ? static_cast<double>(r.totals.pull_requests) / msgs : 0.0;
+    state.counters["batch_p50"] =
+        static_cast<double>(r.totals.PullBatchSizePercentile(0.50));
+    state.counters["batch_p95"] =
+        static_cast<double>(r.totals.PullBatchSizePercentile(0.95));
+    state.counters["dedup_hits"] = static_cast<double>(r.totals.dedup_hits);
+    bench::RecordStages(row_name, r.stage_latencies);
+  }
+}
+
+void RegisterPullBatchingRows() {
+  for (const bool batched : {true, false}) {
+    const std::string name =
+        std::string("PullBatching/TC/skitter/") + (batched ? "Batched" : "Unbatched");
+    bench::AnnotateRow(name, "TC", "skitter");
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [batched, name](benchmark::State& s) {
+                                   RunPullBatchingRow(s, batched, name);
+                                 })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
 }  // namespace
 }  // namespace gminer
 
 int main(int argc, char** argv) {
+  gminer::RegisterPullBatchingRows();
   return gminer::bench::RunBenchSuite(argc, argv, "fig5_6_utilization");
 }

@@ -45,7 +45,8 @@ run_bench_gate() {
   # min-of-3 runs against the min-of-3 committed baseline (wall-clock noise
   # is one-sided, so minima compare like with like).
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-  cmake --build build-bench -j "$(nproc)" --target bench_table3_overall bench_intersect
+  cmake --build build-bench -j "$(nproc)" \
+    --target bench_table3_overall bench_intersect bench_fig5_6_utilization
   local sha root current_args=()
   sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
   root="$(mktemp -d)"
@@ -56,6 +57,10 @@ run_bench_gate() {
         --benchmark_filter='Table3/TC/(skitter|btc)/(GthinkerModel|GMiner)'
     GMINER_GIT_SHA="${sha}" GMINER_BENCH_OUT="${root}/run${run}" \
       build-bench/bench/bench_intersect
+    # Only the pull-batching rows: the Fig5/Fig6 utilization timelines are too
+    # long for the gate (friendster, 120 s budget).
+    GMINER_GIT_SHA="${sha}" GMINER_BENCH_OUT="${root}/run${run}" \
+      build-bench/bench/bench_fig5_6_utilization --benchmark_filter='PullBatching'
     current_args+=(--current "${root}/run${run}")
   done
   python3 scripts/check_bench.py "${current_args[@]}" --baseline bench/baseline

@@ -35,6 +35,12 @@ Three checks, all cheap enough for a pre-commit hook and run in CI
    intersection correctness is proven. Deliberate exceptions carry a
    `lint:allow(raw-intersect)` comment.
 
+5. raw-pull-send: sending MessageType::kPullRequest anywhere outside
+   src/net/coalescer.{h,cc} is banned — the coalescer owns the pull wire
+   format, the request-id space, and the batching/backpressure counters, so a
+   raw Send would bypass batching and skew every pull metric. Deliberate
+   exceptions carry a `lint:allow(raw-pull-send)` comment.
+
 Exit status 0 = clean, 1 = findings (printed one per line as
 path:line: [check] message).
 """
@@ -403,6 +409,48 @@ def check_raw_intersect(path, text):
 
 
 # --------------------------------------------------------------------------
+# Check 5: raw kPullRequest sends outside the coalescer
+# --------------------------------------------------------------------------
+
+# The PullCoalescer (src/net/coalescer.h) is the single owner of the
+# kPullRequest wire frame: it assigns request ids, batches vertex ids per
+# endpoint, applies backpressure, and feeds the pull_batches_sent /
+# batch-size-histogram counters. A direct Send(..., kPullRequest, ...)
+# anywhere else reintroduces unbatched pulls with ids the dedup table never
+# registered — it compiles fine and silently corrupts the retry bookkeeping.
+# Tests drive the protocol directly and are not linted (only src/ is walked).
+RAW_PULL_SEND = re.compile(r"\bSend\s*\(")
+PULL_REQUEST_TYPE = re.compile(r"\bMessageType::kPullRequest\b")
+PULL_SEND_ALLOWLIST = {
+    "src/net/coalescer.h",
+    "src/net/coalescer.cc",
+}
+PULL_SEND_ALLOW_COMMENT = "lint:allow(raw-pull-send)"
+
+
+def check_raw_pull_send(path, text):
+    rel = os.path.relpath(path, REPO)
+    if rel in PULL_SEND_ALLOWLIST:
+        return
+    lines = text.split("\n")
+    clean = strip_comments(text)
+    for m in RAW_PULL_SEND.finditer(clean):
+        close = matched_paren(clean, m.end() - 1)
+        args = clean[m.end() : close]
+        if not PULL_REQUEST_TYPE.search(args):
+            continue
+        line = clean[: m.start()].count("\n") + 1
+        cur = lines[line - 1] if 0 < line <= len(lines) else ""
+        prev = lines[line - 2] if line >= 2 else ""
+        if PULL_SEND_ALLOW_COMMENT in cur or PULL_SEND_ALLOW_COMMENT in prev:
+            continue
+        finding(path, line, "raw-pull-send",
+                "direct kPullRequest send outside src/net/coalescer; route the "
+                "pull through PullCoalescer::Enqueue so it is batched, deduped "
+                "and counted (or add a `lint:allow(raw-pull-send)` comment)")
+
+
+# --------------------------------------------------------------------------
 # Check 3: include layering
 # --------------------------------------------------------------------------
 
@@ -459,6 +507,7 @@ def main():
         check_raw_sync(path, text)
         check_raw_clock(path, text)
         check_raw_intersect(path, text)
+        check_raw_pull_send(path, text)
         check_include_layering(path, text)
     for line in sorted(findings):
         print(line)

@@ -74,10 +74,12 @@ def main():
         stages = stages_from_chrome_trace(doc)
         source = "chrome trace"
         dropped = None
+        totals = {}
     else:
         stages = stages_from_report(doc)
         source = "job report"
         dropped = doc.get("trace", {}).get("trace_events_dropped")
+        totals = doc.get("totals", {})
 
     if not stages:
         print(f"no stage data in {sys.argv[1]} ({source}) -- was tracing enabled?",
@@ -96,6 +98,15 @@ def main():
               f"{100.0 * s['total_ns'] / grand_total:>6.1f}%")
     if dropped:
         print(f"warning: {dropped} events dropped (raise RunOptions::trace_ring_capacity)")
+    if totals.get("pull_batches_sent"):
+        batches = totals["pull_batches_sent"]
+        requests = totals.get("pull_requests", 0)
+        per_batch = requests / batches if batches else 0.0
+        print(f"pull batching: {batches} batches, {requests} vertex requests "
+              f"({per_batch:.1f} ids/batch avg, "
+              f"p50={totals.get('pull_batch_size_p50', 0)} "
+              f"p95={totals.get('pull_batch_size_p95', 0)}), "
+              f"{totals.get('dedup_hits', 0)} dedup hits")
     return 0
 
 

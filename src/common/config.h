@@ -57,6 +57,17 @@ struct JobConfig {
   int64_t net_latency_us = 0;
   double net_bandwidth_gbps = 1.0;  // used to express network utilization in %
 
+  // Batched pull runtime (net/coalescer.h). Pull requests are buffered per
+  // destination and flushed as one wire message when the buffered vertex ids
+  // reach pull_batch_bytes or the oldest buffered id turns pull_flush_us old.
+  // pull_queue_bytes bounds each destination's buffered + in-flight bytes;
+  // enqueues block (backpressure) at the bound. The GMINER_PULL_BATCH env var
+  // ("off"/"on") pins enable_pull_batching at runtime, overriding the config.
+  bool enable_pull_batching = true;
+  size_t pull_batch_bytes = 4096;   // ≈1024 vertex ids per wire message
+  int64_t pull_flush_us = 100;      // deadline flush for half-empty batches
+  size_t pull_queue_bytes = 1 << 16;
+
   // Fault tolerance (§7, DESIGN.md "Fault model & recovery protocol").
   // Pull reliability is always on: every pull request carries a request id and
   // is re-sent (with exponential backoff) if no response arrives in time, so

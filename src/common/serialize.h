@@ -48,6 +48,32 @@ class OutArchive {
     buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
   }
 
+  // Appends `count` elements as raw bytes with NO length prefix — the flat
+  // wire format carries counts and block lengths explicitly, so the responder
+  // can serialize straight into the send buffer in one pass.
+  template <typename T>
+  void WriteSpan(const T* data, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "WriteSpan requires trivially copyable elements");
+    if (count > 0) {
+      const auto* bytes = reinterpret_cast<const uint8_t*>(data);
+      buffer_.insert(buffer_.end(), bytes, bytes + count * sizeof(T));
+    }
+  }
+
+  // Reserves an 8-byte slot (e.g. a length or count not known until the rest
+  // of the frame is written) and returns its offset for a later PatchU64.
+  size_t ReserveU64() {
+    const size_t at = buffer_.size();
+    buffer_.resize(at + sizeof(uint64_t));
+    return at;
+  }
+
+  void PatchU64(size_t offset, uint64_t value) {
+    GM_CHECK(offset + sizeof(uint64_t) <= buffer_.size()) << "patch past end of archive";
+    std::memcpy(buffer_.data() + offset, &value, sizeof(uint64_t));
+  }
+
   const std::vector<uint8_t>& buffer() const { return buffer_; }
   std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
   size_t size() const { return buffer_.size(); }
@@ -56,26 +82,46 @@ class OutArchive {
   std::vector<uint8_t> buffer_;
 };
 
-// Sequential reader over a byte buffer produced by OutArchive.
+// Sequential reader over a byte buffer produced by OutArchive. Owns its
+// backing storage when constructed from a vector or a (data, size) copy; the
+// View() factory wraps caller-owned bytes without copying (the caller keeps
+// the bytes alive for the archive's lifetime). Move-only: a copy of an owning
+// archive would dangle its data pointer.
 class InArchive {
  public:
-  explicit InArchive(std::vector<uint8_t> buffer) : buffer_(std::move(buffer)) {}
-  InArchive(const uint8_t* data, size_t size) : buffer_(data, data + size) {}
+  explicit InArchive(std::vector<uint8_t> buffer)
+      : owned_(std::move(buffer)), data_(owned_.data()), size_(owned_.size()) {}
+  InArchive(const uint8_t* data, size_t size)
+      : owned_(data, data + size), data_(owned_.data()), size_(owned_.size()) {}
+
+  // Non-owning view: reads straight from `data` with zero copies.
+  static InArchive View(const uint8_t* data, size_t size) {
+    InArchive in;
+    in.data_ = data;
+    in.size_ = size;
+    return in;
+  }
+
+  InArchive(const InArchive&) = delete;
+  InArchive& operator=(const InArchive&) = delete;
+  // Moving a std::vector transfers its heap allocation, so data_ stays valid.
+  InArchive(InArchive&&) = default;
+  InArchive& operator=(InArchive&&) = default;
 
   template <typename T>
   T Read() {
     static_assert(std::is_trivially_copyable_v<T>, "Read requires a trivially copyable type");
-    GM_CHECK(pos_ + sizeof(T) <= buffer_.size()) << "archive underflow";
+    GM_CHECK(pos_ + sizeof(T) <= size_) << "archive underflow";
     T value;
-    std::memcpy(&value, buffer_.data() + pos_, sizeof(T));
+    std::memcpy(&value, data_ + pos_, sizeof(T));
     pos_ += sizeof(T);
     return value;
   }
 
   std::string ReadString() {
     const uint64_t n = Read<uint64_t>();
-    GM_CHECK(pos_ + n <= buffer_.size()) << "archive underflow";
-    std::string s(reinterpret_cast<const char*>(buffer_.data() + pos_), n);
+    GM_CHECK(pos_ + n <= size_) << "archive underflow";
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;
   }
@@ -85,22 +131,57 @@ class InArchive {
     static_assert(std::is_trivially_copyable_v<T>,
                   "ReadVector requires trivially copyable elements");
     const uint64_t n = Read<uint64_t>();
-    GM_CHECK(pos_ + n * sizeof(T) <= buffer_.size()) << "archive underflow";
-    std::vector<T> v(n);
-    if (n > 0) {
-      std::memcpy(v.data(), buffer_.data() + pos_, n * sizeof(T));
-      pos_ += n * sizeof(T);
-    }
+    std::vector<T> v;
+    ReadSpanInto(v, n);
     return v;
   }
 
-  std::vector<uint8_t> ReadBytes() { return ReadVector<uint8_t>(); }
+  std::vector<uint8_t> ReadBytes() {
+    const uint64_t n = Read<uint64_t>();
+    std::vector<uint8_t> v;
+    ReadSpanInto(v, n);
+    return v;
+  }
 
-  bool AtEnd() const { return pos_ == buffer_.size(); }
-  size_t remaining() const { return buffer_.size() - pos_; }
+  // Reads `count` elements (written via WriteSpan, no length prefix) straight
+  // into `out` — one memcpy into the final destination, no temporary.
+  template <typename T>
+  void ReadSpanInto(std::vector<T>& out, uint64_t count) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ReadSpanInto requires trivially copyable elements");
+    GM_CHECK(pos_ + count * sizeof(T) <= size_) << "archive underflow";
+    out.resize(count);
+    if (count > 0) {
+      std::memcpy(out.data(), data_ + pos_, count * sizeof(T));
+      pos_ += count * sizeof(T);
+    }
+  }
+
+  // Pointer to the next `bytes` raw bytes (valid while the archive's backing
+  // storage lives); advances the cursor. For alignment-safe element access go
+  // through ReadSpanInto instead.
+  const uint8_t* RawSpan(size_t bytes) {
+    GM_CHECK(pos_ + bytes <= size_) << "archive underflow";
+    const uint8_t* p = data_ + pos_;
+    pos_ += bytes;
+    return p;
+  }
+
+  void Skip(size_t bytes) {
+    GM_CHECK(pos_ + bytes <= size_) << "archive underflow";
+    pos_ += bytes;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
 
  private:
-  std::vector<uint8_t> buffer_;
+  InArchive() = default;
+
+  std::vector<uint8_t> owned_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
   size_t pos_ = 0;
 };
 

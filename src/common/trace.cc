@@ -40,6 +40,10 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "pull_rtt";
     case TraceEventType::kPullRetry:
       return "pull_retry";
+    case TraceEventType::kPullFlush:
+      return "pull_flush";
+    case TraceEventType::kPullStall:
+      return "pull_stall";
     case TraceEventType::kCacheHit:
       return "cache_hit";
     case TraceEventType::kCacheMiss:
@@ -81,6 +85,8 @@ bool TraceEventIsSpan(TraceEventType type) {
     case TraceEventType::kSpillWrite:
     case TraceEventType::kSpillRead:
     case TraceEventType::kPullRoundTrip:
+    case TraceEventType::kPullFlush:
+    case TraceEventType::kPullStall:
     case TraceEventType::kAdoption:
       return true;
     default:

@@ -51,8 +51,15 @@ enum class TraceEventType : uint8_t {
   // Network. `id` is the message type, arg = payload bytes.
   kNetSend,
   kNetRecv,
-  kPullRoundTrip,  // span: pull request sent → last response; id = request id
-  kPullRetry,      // instant: a pull request was re-sent; id = request id
+  kPullRoundTrip,  // span: batch sent → first response; id = request id,
+                   // arg = vertex ids in the batch
+  kPullRetry,      // instant: timed-out pulls re-enqueued; id = destination
+                   // endpoint, arg = vertices retried
+  // Pull batching (net/coalescer.h).
+  kPullFlush,  // span: batch opened (first buffered id) → flushed to the
+               // wire; id = destination endpoint, arg = vertex ids in batch
+  kPullStall,  // span: Enqueue blocked on the bounded queue (backpressure);
+               // id = destination endpoint, arg = vertex ids being enqueued
   // RCV cache. `id` is the vertex id.
   kCacheHit,
   kCacheMiss,

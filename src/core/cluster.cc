@@ -46,6 +46,13 @@ std::string ValidateRun(const JobConfig& config, const RunOptions& options) {
   if (config.pull_timeout_ms <= 0 || config.max_pull_retries < 0) {
     return "pull_timeout_ms must be positive and max_pull_retries non-negative";
   }
+  if (config.pull_batch_bytes == 0 || config.pull_flush_us <= 0) {
+    return "pull_batch_bytes and pull_flush_us must be positive";
+  }
+  if (config.pull_queue_bytes < config.pull_batch_bytes) {
+    return "pull_queue_bytes must be at least pull_batch_bytes (the queue "
+           "bound must admit one full batch)";
+  }
   if (config.enable_fault_tolerance) {
     if (config.heartbeat_timeout_ms < 2 * config.progress_interval_ms) {
       return "heartbeat_timeout_ms must be at least twice progress_interval_ms "

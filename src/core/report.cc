@@ -21,7 +21,12 @@ void AppendCounters(std::ostringstream& out, const CountersSnapshot& c) {
       << ",\"net_bytes_duplicated\":" << c.net_bytes_duplicated
       << ",\"net_messages_delayed\":" << c.net_messages_delayed
       << ",\"pull_requests\":" << c.pull_requests
-      << ",\"pull_responses\":" << c.pull_responses << ",\"cache_hits\":" << c.cache_hits
+      << ",\"pull_responses\":" << c.pull_responses
+      << ",\"pull_batches_sent\":" << c.pull_batches_sent
+      << ",\"dedup_hits\":" << c.dedup_hits
+      << ",\"pull_batch_size_p50\":" << c.PullBatchSizePercentile(0.50)
+      << ",\"pull_batch_size_p95\":" << c.PullBatchSizePercentile(0.95)
+      << ",\"cache_hits\":" << c.cache_hits
       << ",\"cache_misses\":" << c.cache_misses
       << ",\"disk_bytes_written\":" << c.disk_bytes_written
       << ",\"disk_bytes_read\":" << c.disk_bytes_read

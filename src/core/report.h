@@ -14,7 +14,9 @@ namespace gminer {
 // shape; consumers (scripts/trace_summary.py, dashboards) check it first.
 //   1: original flat report (implicit — reports without the field).
 //   2: adds schema_version, string escaping, and the "trace" object.
-constexpr int kReportSchemaVersion = 2;
+//   3: adds the pull-batching counters (pull_batches_sent, dedup_hits,
+//      pull_batch_size_p50/p95) to every counters object.
+constexpr int kReportSchemaVersion = 3;
 
 // Escapes a string for embedding in a JSON double-quoted literal: quotes,
 // backslashes, and control characters (\b \f \n \r \t, \u00XX otherwise).

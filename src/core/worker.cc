@@ -156,6 +156,17 @@ void Worker::LoadPartition(const Graph& g, std::shared_ptr<const std::vector<Wor
 
 void Worker::Start(const std::vector<std::vector<uint8_t>>* seed_blobs) {
   running_.store(true, std::memory_order_release);
+  PullCoalescerOptions copts;
+  copts.enabled = PullBatchingEnabled(config_.enable_pull_batching);
+  copts.batch_bytes = config_.pull_batch_bytes;
+  copts.flush_us = config_.pull_flush_us;
+  copts.queue_bytes = config_.pull_queue_bytes;
+  coalescer_ = std::make_unique<PullCoalescer>(
+      id_, net_->num_endpoints(), copts, net_, counters_,
+      [this](WorkerId /*to*/, uint64_t rid, const std::vector<VertexId>& ids) {
+        OnPullBatch(rid, ids);
+      },
+      tracer_);
   listener_thread_ = std::thread([this] { ListenerLoop(); });
   retriever_thread_ = std::thread([this] { RetrieverLoop(); });
   reporter_thread_ = std::thread([this] { ReporterLoop(); });
@@ -199,6 +210,12 @@ void Worker::Kill() {
   running_.store(false, std::memory_order_release);
   cache_.Shutdown();
   cpq_.Close();
+  if (coalescer_ != nullptr) {
+    // Close (drain + refuse further enqueues) without joining the flusher:
+    // the kill trigger can fire from the flusher's own send path. The
+    // destructor joins.
+    coalescer_->Close();
+  }
   // The listener exits once the (fenced) mailbox is closed and drained; the
   // seeder runs to completion with its sends dropped by the network fence.
 }
@@ -330,6 +347,10 @@ void Worker::RetrieverLoop() {
       task = store_->TryPop();
     }
     if (task == nullptr) {
+      // Going idle: no further admissions will top up the pull buffers, so
+      // push anything half-batched to the wire now instead of waiting out
+      // the deadline flush.
+      coalescer_->FlushAll();
       MaybeRequestSteal();
       std::this_thread::sleep_for(kIdlePoll);
       continue;
@@ -341,29 +362,33 @@ void Worker::RetrieverLoop() {
 void Worker::AdmitTask(std::unique_ptr<TaskBase> task) {
   in_pipeline_.fetch_add(1, std::memory_order_relaxed);
   auto entry = std::make_shared<PendingTask>();
-  // owner → (request id, vertices) for every new pull this task triggers.
-  std::vector<std::tuple<WorkerId, uint64_t, std::vector<VertexId>>> requests;
+  // owner → vertices for every first-time pull this task triggers. Handed to
+  // the coalescer after the lock drops; it owns rids and the wire send.
+  std::unordered_map<WorkerId, std::vector<VertexId>> by_owner;
   bool ready = false;
+  const int64_t deadline =
+      MonotonicNanos() + static_cast<int64_t>(config_.pull_timeout_ms) * 1'000'000;
   {
     MutexLock lock(pull_mutex_);
-    std::unordered_map<WorkerId, std::vector<VertexId>> by_owner;
     for (const VertexId v : task->to_pull()) {
       entry->cache_refs.push_back(v);
       if (cache_.AddRefIfPresent(v)) {
         continue;  // hit: reference taken, nothing to pull
       }
-      PendingVertex& pending = pending_pulls_[v];
-      pending.waiters.push_back(entry);
+      auto [it, inserted] = pending_pulls_.try_emplace(v);
+      it->second.waiters.push_back(entry);
       ++entry->pending;
-      if (!pending.requested) {
-        pending.requested = true;
-        by_owner[(*owner_)[v]].push_back(v);
+      if (inserted) {
+        it->second.owner = (*owner_)[v];
+        it->second.deadline_ns = deadline;
+        by_owner[it->second.owner].push_back(v);
         counters_->cache_misses.fetch_add(1, std::memory_order_relaxed);
         TraceInstant(TraceEventType::kCacheMiss, static_cast<uint64_t>(v));
       } else {
-        // Pull already in flight (a nearby task in the priority queue needs
-        // the same vertex): coalesced, no extra network fetch — a hit for
-        // cache-efficiency purposes.
+        // In-flight dedup: the vertex is already on the wire for an earlier
+        // task, so this task subscribes to the outstanding pull instead of
+        // re-requesting. Also a hit for cache-efficiency purposes.
+        counters_->dedup_hits.fetch_add(1, std::memory_order_relaxed);
         counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
         TraceInstant(TraceEventType::kCacheHit, static_cast<uint64_t>(v));
       }
@@ -375,37 +400,35 @@ void Worker::AdmitTask(std::unique_ptr<TaskBase> task) {
       entry->admit_ns = TraceNowNs();
       ++pending_task_count_;
     }
-    const int64_t deadline =
-        MonotonicNanos() + static_cast<int64_t>(config_.pull_timeout_ms) * 1'000'000;
-    for (auto& [target, ids] : by_owner) {
-      const uint64_t rid = next_request_id_++;
-      outstanding_pulls_.emplace(rid, OutstandingPull{ids, target, 0, deadline, TraceNowNs()});
-      requests.emplace_back(target, rid, std::move(ids));
-    }
   }
   if (ready) {
     task->trace_enqueue_ns = TraceNowNs();
     cpq_.Push(RunnableTask{std::move(task), std::move(entry->cache_refs)});
     return;
   }
-  for (auto& [target, rid, ids] : requests) {
+  for (auto& [target, ids] : by_owner) {
     counters_->pull_requests.fetch_add(static_cast<int64_t>(ids.size()),
                                        std::memory_order_relaxed);
-    OutArchive out;
-    out.Write<uint64_t>(rid);
-    out.WriteVector(ids);
-    net_->Send(id_, state_->Redirect(target), MessageType::kPullRequest, out.TakeBuffer());
+    coalescer_->Enqueue(state_->Redirect(target), std::move(ids));
   }
+}
+
+void Worker::OnPullBatch(uint64_t rid, const std::vector<VertexId>& ids) {
+  MutexLock lock(pull_mutex_);
+  outstanding_batches_.emplace(
+      rid, OutstandingBatch{MonotonicNanos(), static_cast<uint32_t>(ids.size())});
 }
 
 void Worker::CheckPullRetries() {
   const int64_t now = MonotonicNanos();
   const int64_t timeout_ns = static_cast<int64_t>(config_.pull_timeout_ms) * 1'000'000;
-  std::vector<std::tuple<WorkerId, uint64_t, std::vector<VertexId>>> resend;
+  // owner → vertices to retry. Everything traced below is captured here,
+  // under the lock — no unlocked `attempts` reads.
+  std::unordered_map<WorkerId, std::vector<VertexId>> resend;
   bool exhausted = false;
   {
     MutexLock lock(pull_mutex_);
-    for (auto& [rid, pull] : outstanding_pulls_) {
+    for (auto& [v, pull] : pending_pulls_) {
       if (pull.deadline_ns > now) {
         continue;
       }
@@ -417,7 +440,16 @@ void Worker::CheckPullRetries() {
       // Exponential backoff, capped at 8x the base timeout.
       const int64_t backoff = std::min<int64_t>(int64_t{1} << pull.attempts, 8);
       pull.deadline_ns = now + timeout_ns * backoff;
-      resend.emplace_back(pull.owner, rid, pull.remaining);
+      resend[pull.owner].push_back(v);
+    }
+    // A dropped request never produces a response, so its batch entry would
+    // outlive every per-vertex retry; prune entries past any retry window.
+    for (auto it = outstanding_batches_.begin(); it != outstanding_batches_.end();) {
+      if (now - it->second.sent_ns > timeout_ns * 16) {
+        it = outstanding_batches_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   if (exhausted) {
@@ -426,38 +458,38 @@ void Worker::CheckPullRetries() {
     state_->Cancel(JobStatus::kNetworkError);
     return;
   }
-  for (auto& [target, rid, ids] : resend) {
+  for (auto& [target, ids] : resend) {
     counters_->pull_retries.fetch_add(1, std::memory_order_relaxed);
-    TraceInstant(TraceEventType::kPullRetry, rid);
-    OutArchive out;
-    out.Write<uint64_t>(rid);
-    out.WriteVector(ids);
-    // Re-route through the redirect table: the original owner may have died
-    // and its partition moved to an adopter since the first attempt.
-    net_->Send(id_, state_->Redirect(target), MessageType::kPullRequest, out.TakeBuffer());
+    TraceInstant(TraceEventType::kPullRetry, static_cast<uint64_t>(target),
+                 static_cast<int32_t>(ids.size()));
+    // Re-route through the redirect table (the owner may have died and its
+    // partition moved to an adopter) and flush immediately: a retry has
+    // already waited a full timeout, it must not also wait out a batch.
+    coalescer_->Enqueue(state_->Redirect(target), std::move(ids), /*urgent=*/true);
   }
 }
 
 void Worker::HandlePullRequest(WorkerId from, InArchive in) {
   const uint64_t rid = in.Read<uint64_t>();
   const std::vector<VertexId> ids = in.ReadVector<VertexId>();
+  // Flat response, serialized straight into the send buffer in one pass:
+  // [rid][count][length-prefixed block per record]. The count is patched in
+  // at the end because transient misses are skipped as they are discovered.
   OutArchive out;
   out.Write<uint64_t>(rid);
-  std::vector<const VertexRecord*> found;
-  found.reserve(ids.size());
+  const size_t count_at = out.ReserveU64();
+  uint64_t found = 0;
   for (const VertexId v : ids) {
     const VertexRecord* record = FindVertex(v);
     if (record != nullptr) {
-      found.push_back(record);
+      record->WriteFlat(out);
+      ++found;
     }
     // else: transient miss — e.g. a redirected pull raced the adoption of the
-    // dead owner's partition. Serve what is here; the requester's retry loop
-    // re-fetches the remainder.
+    // dead owner's partition. Serve what is here; the requester's per-vertex
+    // retry loop re-fetches the remainder.
   }
-  out.Write<uint64_t>(found.size());
-  for (const VertexRecord* record : found) {
-    record->Serialize(out);
-  }
+  out.PatchU64(count_at, found);
   net_->Send(id_, from, MessageType::kPullResponse, out.TakeBuffer());
 }
 
@@ -467,26 +499,28 @@ void Worker::HandlePullResponse(InArchive in) {
   std::vector<std::shared_ptr<PendingTask>> ready;
   {
     MutexLock lock(pull_mutex_);
-    auto req = outstanding_pulls_.find(rid);
-    if (req == outstanding_pulls_.end()) {
+    auto batch = outstanding_batches_.find(rid);
+    if (batch == outstanding_batches_.end()) {
       // A duplicated or retried-then-answered-twice response. The records it
-      // carries are processed idempotently below.
+      // carries are processed idempotently below: a vertex that already
+      // arrived has no pending_pulls_ entry, so nothing is re-sent for it.
       counters_->duplicate_pull_responses.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      TraceSpan(TraceEventType::kPullRoundTrip, rid, batch->second.sent_ns,
+                static_cast<int32_t>(batch->second.size));
+      outstanding_batches_.erase(batch);
     }
     for (uint64_t i = 0; i < count; ++i) {
-      VertexRecord record = VertexRecord::Deserialize(in);
+      VertexRecord record = VertexRecord::ReadFlat(in);
       counters_->pull_responses.fetch_add(1, std::memory_order_relaxed);
-      if (req != outstanding_pulls_.end()) {
-        auto& remaining = req->second.remaining;
-        remaining.erase(std::remove(remaining.begin(), remaining.end(), record.id),
-                        remaining.end());
-      }
       auto it = pending_pulls_.find(record.id);
       if (it == pending_pulls_.end()) {
         // Duplicate record; keep it cached with no references.
         cache_.Insert(std::move(record), 0);
         continue;
       }
+      // Arrival settles the vertex no matter which batch answered — the
+      // retry sweep only ever re-sends vertices still in this table.
       std::vector<std::shared_ptr<PendingTask>> waiters = std::move(it->second.waiters);
       pending_pulls_.erase(it);
       cache_.Insert(std::move(record), static_cast<int>(waiters.size()));
@@ -496,11 +530,6 @@ void Worker::HandlePullResponse(InArchive in) {
           --pending_task_count_;
         }
       }
-    }
-    if (req != outstanding_pulls_.end() && req->second.remaining.empty()) {
-      TraceSpan(TraceEventType::kPullRoundTrip, rid, req->second.sent_ns,
-                req->second.attempts);
-      outstanding_pulls_.erase(req);
     }
   }
   for (auto& waiter : ready) {
@@ -771,6 +800,7 @@ void Worker::ListenerLoop() {
         running_.store(false, std::memory_order_release);
         cache_.Shutdown();
         cpq_.Close();
+        coalescer_->Close();
         OutArchive final_report;
         final_report.Write<uint8_t>(1);  // final
         if (aggregator_ != nullptr) {

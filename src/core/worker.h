@@ -14,9 +14,16 @@
 // plus a transient seeding thread at job start. There is no barrier anywhere:
 // each thread blocks only on its own queue.
 //
+// Remote fetches go through the batched pull runtime (net/coalescer.h):
+// vertex ids headed for the same owner are coalesced into one wire message,
+// and a per-vertex in-flight table deduplicates requests across tasks — a
+// second task needing a vertex already on the wire subscribes to the
+// outstanding pull instead of re-sending it.
+//
 // Fault tolerance (DESIGN.md "Fault model & recovery protocol"): every pull
-// request carries a request id and is retried with exponential backoff until
-// answered, so dropped/duplicated/delayed messages never wedge the CMQ. On a
+// is retried per *vertex* with exponential backoff until its record arrives,
+// so dropped/duplicated/delayed messages never wedge the CMQ and a partial
+// or duplicated response never triggers a redundant re-send. On a
 // kAdoptTasks command the worker adopts a dead peer's vertex ownership and
 // re-runs its checkpointed seed tasks.
 #ifndef GMINER_CORE_WORKER_H_
@@ -40,6 +47,7 @@
 #include "core/task_store.h"
 #include "graph/graph.h"
 #include "metrics/counters.h"
+#include "net/coalescer.h"
 #include "net/network.h"
 #include "storage/vertex_table.h"
 
@@ -115,20 +123,27 @@ class Worker {
     int64_t admit_ns = 0;  // trace: when the task parked (pull_wait span)
   };
 
-  struct PendingVertex {
-    bool requested = false;
-    std::vector<std::shared_ptr<PendingTask>> waiters;
-  };
-
-  // One in-flight pull request (guarded by pull_mutex_). `remaining` shrinks
-  // as records arrive; the entry is dropped once it is empty. Retries go to
-  // Redirect(owner) so they follow a failover to the adopter.
-  struct OutstandingPull {
-    std::vector<VertexId> remaining;
+  // One vertex with a pull in flight (guarded by pull_mutex_). The entry's
+  // existence IS the in-flight marker: a later task needing the same vertex
+  // subscribes to `waiters` (in-flight dedup) instead of re-requesting, and
+  // the response that carries the record — whichever batch answers first —
+  // erases the entry, so duplicated responses never leave a vertex marked
+  // missing. Retries are per vertex: the reporter re-enqueues only the
+  // vertices still pending, with backoff, to Redirect(owner) so they follow
+  // a failover to the adopter.
+  struct PendingPull {
     WorkerId owner = kInvalidWorker;
     int attempts = 0;
     int64_t deadline_ns = 0;
-    int64_t sent_ns = 0;  // trace: first send (pull_rtt span)
+    std::vector<std::shared_ptr<PendingTask>> waiters;
+  };
+
+  // Light bookkeeping for one flushed wire batch: the pull_rtt trace span
+  // and duplicate-response detection. All per-vertex state (waiters, retry
+  // deadlines) lives in pending_pulls_.
+  struct OutstandingBatch {
+    int64_t sent_ns = 0;
+    uint32_t size = 0;  // vertex ids in the batch
   };
 
   void ListenerLoop();
@@ -151,8 +166,11 @@ class Worker {
   bool FlushBuffer(bool force) EXCLUDES(buffer_mutex_);
   void PrepareInactive(TaskBase& task);  // compute to_pull from candidates
   void MaybeRequestSteal();
-  // Reporter: re-send timed-out pulls.
+  // Reporter: re-enqueue timed-out pulls (per vertex, urgent flush).
   void CheckPullRetries() EXCLUDES(pull_mutex_);
+  // Coalescer flush callback: records the batch for RTT tracing and
+  // duplicate detection, before the batch hits the wire.
+  void OnPullBatch(uint64_t rid, const std::vector<VertexId>& ids) EXCLUDES(pull_mutex_);
 
   // Resolves a vertex against the home partition, then any adopted partitions.
   const VertexRecord* FindVertex(VertexId v);
@@ -193,9 +211,8 @@ class Worker {
   std::vector<std::unique_ptr<TaskBase>> task_buffer_ GUARDED_BY(buffer_mutex_);
 
   Mutex pull_mutex_;
-  std::unordered_map<VertexId, PendingVertex> pending_pulls_ GUARDED_BY(pull_mutex_);
-  std::unordered_map<uint64_t, OutstandingPull> outstanding_pulls_ GUARDED_BY(pull_mutex_);
-  uint64_t next_request_id_ GUARDED_BY(pull_mutex_) = 1;
+  std::unordered_map<VertexId, PendingPull> pending_pulls_ GUARDED_BY(pull_mutex_);
+  std::unordered_map<uint64_t, OutstandingBatch> outstanding_batches_ GUARDED_BY(pull_mutex_);
   // Tasks parked in the CMQ.
   size_t pending_task_count_ GUARDED_BY(pull_mutex_) = 0;
 
@@ -221,6 +238,11 @@ class Worker {
   std::thread reporter_thread_;
   std::thread seeder_thread_;
   std::vector<std::thread> compute_threads_;
+
+  // Created in Start() (after the tracer is set); declared last so it is
+  // destroyed first — its destructor joins the flusher thread, which may
+  // still touch the worker's pull bookkeeping via OnPullBatch.
+  std::unique_ptr<PullCoalescer> coalescer_;
 };
 
 }  // namespace gminer

@@ -5,9 +5,16 @@
 #define GMINER_METRICS_COUNTERS_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 namespace gminer {
+
+// Log2 buckets for the pull batch-size distribution: bucket b counts wire
+// batches carrying [2^b, 2^(b+1)) vertex ids, the last bucket absorbs the
+// tail. Atomic buckets (unlike metrics/histogram.h) because every pipeline
+// thread that triggers a coalescer flush records into the same histogram.
+inline constexpr int kPullBatchBuckets = 16;
 
 // All counters are monotonically increasing and updated lock-free from the
 // pipeline threads; the utilization sampler reads them periodically.
@@ -33,6 +40,12 @@ struct WorkerCounters {
   std::atomic<int64_t> recovery_wall_ns{0};       // adoption wall time
   std::atomic<int64_t> pull_requests{0};      // remote vertices requested
   std::atomic<int64_t> pull_responses{0};     // remote vertices received
+  // Pull batching (net/coalescer.h): kPullRequest wire messages sent, their
+  // batch-size distribution, and vertices whose fetch subscribed to an
+  // already-in-flight pull instead of re-sending (in-flight dedup).
+  std::atomic<int64_t> pull_batches_sent{0};
+  std::atomic<int64_t> dedup_hits{0};
+  std::atomic<int64_t> pull_batch_size_buckets[kPullBatchBuckets] = {};
   std::atomic<int64_t> cache_hits{0};
   std::atomic<int64_t> cache_misses{0};
   std::atomic<int64_t> disk_bytes_written{0};
@@ -48,6 +61,16 @@ struct WorkerCounters {
   WorkerCounters(const WorkerCounters&) = delete;
   WorkerCounters& operator=(const WorkerCounters&) = delete;
 };
+
+// Records one flushed pull batch of `ids` vertex ids.
+inline void RecordPullBatch(WorkerCounters& c, size_t ids) {
+  c.pull_batches_sent.fetch_add(1, std::memory_order_relaxed);
+  int bucket = 0;
+  while ((ids >> (bucket + 1)) != 0 && bucket < kPullBatchBuckets - 1) {
+    ++bucket;
+  }
+  c.pull_batch_size_buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+}
 
 // Plain-value snapshot of WorkerCounters, summable across workers.
 struct CountersSnapshot {
@@ -68,6 +91,9 @@ struct CountersSnapshot {
   int64_t recovery_wall_ns = 0;
   int64_t pull_requests = 0;
   int64_t pull_responses = 0;
+  int64_t pull_batches_sent = 0;
+  int64_t dedup_hits = 0;
+  int64_t pull_batch_size_buckets[kPullBatchBuckets] = {};
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t disk_bytes_written = 0;
@@ -97,6 +123,11 @@ struct CountersSnapshot {
     recovery_wall_ns += o.recovery_wall_ns;
     pull_requests += o.pull_requests;
     pull_responses += o.pull_responses;
+    pull_batches_sent += o.pull_batches_sent;
+    dedup_hits += o.dedup_hits;
+    for (int b = 0; b < kPullBatchBuckets; ++b) {
+      pull_batch_size_buckets[b] += o.pull_batch_size_buckets[b];
+    }
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
     disk_bytes_written += o.disk_bytes_written;
@@ -113,6 +144,33 @@ struct CountersSnapshot {
   double CacheHitRate() const {
     const int64_t total = cache_hits + cache_misses;
     return total > 0 ? static_cast<double>(cache_hits) / static_cast<double>(total) : 0.0;
+  }
+
+  // Nearest-rank percentile (p in (0, 1]) over the batch-size log buckets,
+  // linearly interpolated inside the selected bucket. 0 when no batch flushed.
+  int64_t PullBatchSizePercentile(double p) const {
+    int64_t total = 0;
+    for (const int64_t n : pull_batch_size_buckets) {
+      total += n;
+    }
+    if (total <= 0) {
+      return 0;
+    }
+    int64_t rank = static_cast<int64_t>(p * static_cast<double>(total) + 0.5);
+    rank = rank < 1 ? 1 : (rank > total ? total : rank);
+    int64_t seen = 0;
+    for (int b = 0; b < kPullBatchBuckets; ++b) {
+      const int64_t n = pull_batch_size_buckets[b];
+      if (seen + n < rank) {
+        seen += n;
+        continue;
+      }
+      const int64_t lo = int64_t{1} << b;
+      const int64_t hi = int64_t{1} << (b + 1);
+      const double frac = n > 0 ? static_cast<double>(rank - seen) / static_cast<double>(n) : 0.0;
+      return lo + static_cast<int64_t>(static_cast<double>(hi - lo) * frac);
+    }
+    return int64_t{1} << kPullBatchBuckets;
   }
 };
 
@@ -135,6 +193,11 @@ inline CountersSnapshot Snapshot(const WorkerCounters& c) {
   s.recovery_wall_ns = c.recovery_wall_ns.load(std::memory_order_relaxed);
   s.pull_requests = c.pull_requests.load(std::memory_order_relaxed);
   s.pull_responses = c.pull_responses.load(std::memory_order_relaxed);
+  s.pull_batches_sent = c.pull_batches_sent.load(std::memory_order_relaxed);
+  s.dedup_hits = c.dedup_hits.load(std::memory_order_relaxed);
+  for (int b = 0; b < kPullBatchBuckets; ++b) {
+    s.pull_batch_size_buckets[b] = c.pull_batch_size_buckets[b].load(std::memory_order_relaxed);
+  }
   s.cache_hits = c.cache_hits.load(std::memory_order_relaxed);
   s.cache_misses = c.cache_misses.load(std::memory_order_relaxed);
   s.disk_bytes_written = c.disk_bytes_written.load(std::memory_order_relaxed);

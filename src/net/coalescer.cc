@@ -1,0 +1,193 @@
+#include "net/coalescer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/serialize.h"
+#include "common/timer.h"
+
+namespace gminer {
+
+bool PullBatchingEnabled(bool config_default) {
+  const char* env = std::getenv("GMINER_PULL_BATCH");
+  if (env == nullptr || *env == '\0') {
+    return config_default;
+  }
+  const std::string v(env);
+  if (v == "off" || v == "0" || v == "false") {
+    return false;
+  }
+  if (v == "on" || v == "1" || v == "true") {
+    return true;
+  }
+  return config_default;
+}
+
+PullCoalescer::PullCoalescer(WorkerId self, int num_endpoints,
+                             const PullCoalescerOptions& options, Network* net,
+                             WorkerCounters* counters, BatchCallback on_batch, Tracer* tracer)
+    : self_(self),
+      options_(options),
+      net_(net),
+      counters_(counters),
+      on_batch_(std::move(on_batch)),
+      tracer_(tracer),
+      endpoints_(static_cast<size_t>(num_endpoints)) {
+  if (options_.enabled) {
+    // Joined in the destructor; see the member declaration for the lifetime
+    // contract. lint:allow(naked-thread)
+    flusher_thread_ = std::thread([this] { FlusherLoop(); });
+  }
+}
+
+PullCoalescer::~PullCoalescer() {
+  Close();
+  if (flusher_thread_.joinable()) {
+    flusher_thread_.join();
+  }
+}
+
+bool PullCoalescer::Enqueue(WorkerId to, std::vector<VertexId> ids, bool urgent) {
+  if (ids.empty()) {
+    return true;
+  }
+  const size_t bytes = ids.size() * sizeof(VertexId);
+  MutexLock lock(mutex_);
+  Endpoint& ep = endpoints_[static_cast<size_t>(to)];
+  // Backpressure: wait for the destination's buffered + in-flight bytes to
+  // fall under the bound. Close() breaks the wait so shutdown never hangs on
+  // a stalled link.
+  int64_t stall_begin = 0;
+  // An enqueue bigger than the bound against an empty endpoint is admitted
+  // as one oversized batch — waiting would never make room.
+  while (!closed_ &&
+         ep.ids.size() * sizeof(VertexId) + ep.inflight_bytes + bytes > options_.queue_bytes &&
+         (!ep.ids.empty() || ep.inflight_bytes > 0)) {
+    if (stall_begin == 0) {
+      stall_begin = TraceNowNs();
+    }
+    space_cv_.Wait(mutex_);
+  }
+  if (stall_begin != 0) {
+    TraceSpan(TraceEventType::kPullStall, static_cast<uint64_t>(to), stall_begin,
+              static_cast<int32_t>(ids.size()));
+  }
+  if (closed_) {
+    dropped_ids_.fetch_add(static_cast<int64_t>(ids.size()), std::memory_order_relaxed);
+    return false;
+  }
+  if (ep.ids.empty()) {
+    ep.open_ns = MonotonicNanos();
+    ep.open_trace_ns = TraceNowNs();
+    flusher_cv_.NotifyOne();  // new deadline for the flusher to track
+  }
+  ep.ids.insert(ep.ids.end(), ids.begin(), ids.end());
+  if (!options_.enabled || urgent || ep.ids.size() * sizeof(VertexId) >= options_.batch_bytes) {
+    FlushLocked(to);
+  }
+  return true;
+}
+
+void PullCoalescer::Flush(WorkerId to) {
+  MutexLock lock(mutex_);
+  FlushLocked(to);
+}
+
+void PullCoalescer::FlushAll() {
+  MutexLock lock(mutex_);
+  for (WorkerId to = 0; to < static_cast<WorkerId>(endpoints_.size()); ++to) {
+    FlushLocked(to);
+  }
+}
+
+void PullCoalescer::Close() {
+  MutexLock lock(mutex_);
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+  // Wake backpressure waiters (they observe closed_ and bail) and the flusher
+  // (it exits its loop; the destructor joins it).
+  space_cv_.NotifyAll();
+  flusher_cv_.NotifyAll();
+  // Drain: everything buffered still goes to the wire so no waiter starves.
+  for (WorkerId to = 0; to < static_cast<WorkerId>(endpoints_.size()); ++to) {
+    FlushLocked(to);
+  }
+}
+
+// Hand-off locking: the lock is dropped around the callback + wire send and
+// re-acquired to release the in-flight bytes, which the static analysis
+// cannot express on a REQUIRES function.
+void PullCoalescer::FlushLocked(WorkerId to) NO_THREAD_SAFETY_ANALYSIS {
+  Endpoint& ep = endpoints_[static_cast<size_t>(to)];
+  if (ep.ids.empty()) {
+    return;
+  }
+  std::vector<VertexId> ids = std::move(ep.ids);
+  ep.ids.clear();
+  const size_t bytes = ids.size() * sizeof(VertexId);
+  const int64_t open_trace_ns = ep.open_trace_ns;
+  ep.inflight_bytes += bytes;
+  ep.open_ns = 0;
+  ep.open_trace_ns = 0;
+  const uint64_t rid = next_rid_++;
+  mutex_.Unlock();
+
+  TraceSpan(TraceEventType::kPullFlush, static_cast<uint64_t>(to), open_trace_ns,
+            static_cast<int32_t>(ids.size()));
+  if (on_batch_) {
+    on_batch_(to, rid, ids);
+  }
+  if (counters_ != nullptr) {
+    RecordPullBatch(*counters_, ids.size());
+  }
+  batches_flushed_.fetch_add(1, std::memory_order_relaxed);
+  OutArchive out;
+  out.Write<uint64_t>(rid);
+  out.WriteVector(ids);
+  net_->Send(self_, to, MessageType::kPullRequest, out.TakeBuffer());
+
+  mutex_.Lock();
+  endpoints_[static_cast<size_t>(to)].inflight_bytes -= bytes;
+  space_cv_.NotifyAll();
+}
+
+void PullCoalescer::FlusherLoop() {
+  TraceThreadScope trace_scope(tracer_, static_cast<int>(self_), "pull-coalescer");
+  const int64_t flush_ns = options_.flush_us * 1'000;
+  MutexLock lock(mutex_);
+  while (!closed_) {
+    // Earliest deadline across the non-empty destination buffers.
+    int64_t earliest = 0;
+    for (const Endpoint& ep : endpoints_) {
+      if (!ep.ids.empty() && (earliest == 0 || ep.open_ns < earliest)) {
+        earliest = ep.open_ns;
+      }
+    }
+    if (earliest == 0) {
+      flusher_cv_.Wait(mutex_);
+      continue;
+    }
+    const int64_t now = MonotonicNanos();
+    const int64_t deadline = earliest + flush_ns;
+    if (now < deadline) {
+      flusher_cv_.WaitFor(mutex_, std::chrono::nanoseconds(deadline - now));
+      continue;
+    }
+    for (WorkerId to = 0; to < static_cast<WorkerId>(endpoints_.size()); ++to) {
+      const Endpoint& ep = endpoints_[static_cast<size_t>(to)];
+      if (!ep.ids.empty() && ep.open_ns + flush_ns <= now) {
+        // Drops and re-takes the lock around the send; the re-scan above
+        // re-derives the next deadline from fresh state afterwards.
+        FlushLocked(to);
+      }
+    }
+  }
+}
+
+}  // namespace gminer

@@ -1,0 +1,124 @@
+// Per-endpoint pull-request coalescing (DESIGN.md "Batched pull wire
+// protocol"). Workers no longer put a kPullRequest on the wire per
+// (task, owner) pair: they enqueue vertex ids here, and the coalescer
+// aggregates everything headed for the same destination into one wire
+// message, flushed when the buffered ids reach `batch_bytes` or when the
+// oldest buffered id turns `flush_us` old (a dedicated flusher thread owns
+// the deadline). Each destination's buffer is bounded by `queue_bytes`
+// (buffered + handed-to-the-network bytes); Enqueue blocks at the bound, so
+// a stalled link back-pressures the retriever instead of growing an
+// unbounded queue.
+//
+// The coalescer owns the kPullRequest wire frame:
+//
+//   [u64 rid][u64 n][VertexId × n]
+//
+// `rid` is unique per flushed batch; the on-batch callback hands (to, rid,
+// ids) to the worker *before* the send so its response bookkeeping can never
+// race the reply. scripts/lint.py bans kPullRequest sends anywhere else
+// (check raw-pull-send), so batching cannot be bypassed by future code.
+#ifndef GMINER_NET_COALESCER_H_
+#define GMINER_NET_COALESCER_H_
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/trace.h"
+#include "graph/types.h"
+#include "metrics/counters.h"
+#include "net/network.h"
+
+namespace gminer {
+
+struct PullCoalescerOptions {
+  bool enabled = true;       // false: every Enqueue flushes its own message
+  size_t batch_bytes = 4096;  // flush a destination at this many buffered id-bytes
+  int64_t flush_us = 100;     // deadline flush for a non-empty buffer
+  size_t queue_bytes = 1 << 16;  // per-destination bound; Enqueue blocks at it
+};
+
+// Resolves the GMINER_PULL_BATCH escape hatch: "off"/"0"/"false" pins
+// batching off, "on"/"1" pins it on, anything else (or unset) keeps
+// `config_default` (JobConfig::enable_pull_batching).
+bool PullBatchingEnabled(bool config_default);
+
+class PullCoalescer {
+ public:
+  // Invoked once per flushed batch, before the wire send, outside the
+  // coalescer's lock (it may take the caller's own locks).
+  using BatchCallback = std::function<void(WorkerId to, uint64_t rid,
+                                           const std::vector<VertexId>& ids)>;
+
+  // `net` must outlive the coalescer. `counters` may be null (no batch-size
+  // accounting); `tracer` may be null (flusher thread runs untraced).
+  PullCoalescer(WorkerId self, int num_endpoints, const PullCoalescerOptions& options,
+                Network* net, WorkerCounters* counters, BatchCallback on_batch,
+                Tracer* tracer = nullptr);
+  ~PullCoalescer();
+
+  PullCoalescer(const PullCoalescer&) = delete;
+  PullCoalescer& operator=(const PullCoalescer&) = delete;
+
+  // Buffers `ids` for destination `to`; blocks while the destination is at
+  // its queue bound (backpressure). `urgent` (retries) flushes the
+  // destination immediately instead of waiting for size or deadline.
+  // Returns false (and counts the ids as dropped) once Close() ran.
+  bool Enqueue(WorkerId to, std::vector<VertexId> ids, bool urgent = false)
+      EXCLUDES(mutex_);
+
+  // Force-flushes one destination / every destination (e.g. when the
+  // retriever goes idle and nothing else would hit the size trigger soon).
+  void Flush(WorkerId to) EXCLUDES(mutex_);
+  void FlushAll() EXCLUDES(mutex_);
+
+  // Drains every buffered id to the wire, then refuses further enqueues
+  // (counted in dropped_ids). Safe to call from any thread, including a
+  // flush callback; idempotent. Does NOT join the flusher thread — the
+  // destructor does, so a kill triggered from inside a send cannot deadlock.
+  void Close() EXCLUDES(mutex_);
+
+  int64_t dropped_ids() const { return dropped_ids_.load(std::memory_order_relaxed); }
+  int64_t batches_flushed() const { return batches_flushed_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Endpoint {
+    std::vector<VertexId> ids;     // buffered, not yet handed to the network
+    size_t inflight_bytes = 0;     // moved out by a flush still in its send
+    int64_t open_ns = 0;           // MonotonicNanos of the first buffered id
+    int64_t open_trace_ns = 0;     // TraceNowNs twin for the kPullFlush span
+  };
+
+  // Moves out `to`'s buffer and sends it as one wire message. Called with
+  // mutex_ held; drops the lock around the callback + send and re-acquires
+  // it to release the in-flight bytes, so a slow network back-pressures
+  // enqueuers without ever holding the coalescer lock across a send.
+  void FlushLocked(WorkerId to) REQUIRES(mutex_);
+  void FlusherLoop() EXCLUDES(mutex_);
+
+  const WorkerId self_;
+  const PullCoalescerOptions options_;
+  Network* const net_;
+  WorkerCounters* const counters_;
+  const BatchCallback on_batch_;
+  Tracer* const tracer_;
+
+  Mutex mutex_;
+  CondVar space_cv_;     // signaled when a destination's bytes drop
+  CondVar flusher_cv_;   // signaled on new deadlines and on Close
+  std::vector<Endpoint> endpoints_ GUARDED_BY(mutex_);
+  uint64_t next_rid_ GUARDED_BY(mutex_) = 1;
+  bool closed_ GUARDED_BY(mutex_) = false;
+
+  std::atomic<int64_t> dropped_ids_{0};
+  std::atomic<int64_t> batches_flushed_{0};
+  // Deadline flusher; the coalescer owns its lifetime end-to-end (join in the
+  // destructor), mirroring the network delivery thread.
+  std::thread flusher_thread_;  // lint:allow(naked-thread)
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_NET_COALESCER_H_

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "common/logging.h"
 #include "common/serialize.h"
 #include "graph/types.h"
 
@@ -30,6 +31,38 @@ struct VertexRecord {
     r.label = in.Read<Label>();
     r.adj = in.ReadVector<VertexId>();
     r.attrs = in.ReadVector<AttrValue>();
+    return r;
+  }
+
+  // Flat wire block used by batched pull responses (DESIGN.md "Batched pull
+  // wire protocol"):
+  //
+  //   [u64 len][VertexId id][Label][u64 |adj|][adj…][u64 |attrs|][attrs…]
+  //
+  // `len` counts the bytes after itself, so a receiver can skip a block
+  // without parsing it. The responder writes through ReserveU64/WriteSpan
+  // straight into the send buffer; the receiver reads each span with one
+  // memcpy into the record's own vectors (no intermediate archive copies).
+  void WriteFlat(OutArchive& out) const {
+    const size_t len_at = out.ReserveU64();
+    out.Write(id);
+    out.Write(label);
+    out.Write<uint64_t>(adj.size());
+    out.WriteSpan(adj.data(), adj.size());
+    out.Write<uint64_t>(attrs.size());
+    out.WriteSpan(attrs.data(), attrs.size());
+    out.PatchU64(len_at, out.size() - len_at - sizeof(uint64_t));
+  }
+
+  static VertexRecord ReadFlat(InArchive& in) {
+    const uint64_t len = in.Read<uint64_t>();
+    const size_t end = in.position() + len;
+    VertexRecord r;
+    r.id = in.Read<VertexId>();
+    r.label = in.Read<Label>();
+    in.ReadSpanInto(r.adj, in.Read<uint64_t>());
+    in.ReadSpanInto(r.attrs, in.Read<uint64_t>());
+    GM_CHECK(in.position() == end) << "flat vertex block length mismatch";
     return r;
   }
 

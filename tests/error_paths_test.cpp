@@ -76,6 +76,18 @@ TEST(ConfigValidationTest, RejectsNonPositiveClusterShape) {
   EXPECT_EQ(SubmitWith(config), JobStatus::kConfigError);
 }
 
+TEST(ConfigValidationTest, RejectsDegeneratePullBatchingKnobs) {
+  JobConfig config = FastTestConfig();
+  config.pull_batch_bytes = 0;  // size trigger could never fire
+  EXPECT_EQ(SubmitWith(config), JobStatus::kConfigError);
+  config = FastTestConfig();
+  config.pull_flush_us = 0;  // deadline trigger could never fire
+  EXPECT_EQ(SubmitWith(config), JobStatus::kConfigError);
+  config = FastTestConfig();
+  config.pull_queue_bytes = config.pull_batch_bytes - 1;  // bound < one batch
+  EXPECT_EQ(SubmitWith(config), JobStatus::kConfigError);
+}
+
 TEST(ConfigValidationTest, RejectsFaultToleranceWithStealing) {
   JobConfig config = FastTestConfig();
   config.enable_fault_tolerance = true;

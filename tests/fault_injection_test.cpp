@@ -4,7 +4,9 @@
 // fired and were absorbed — never silently skipped.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
+#include <string>
 
 #include "apps/tc.h"
 #include "baselines/serial.h"
@@ -22,8 +24,38 @@ JobConfig FaultConfig() {
   config.enable_stealing = false;
   config.rcv_cache_capacity = 64;
   config.pull_timeout_ms = 30;  // quick retries keep the test fast
+  // Small wire batches: coalescing collapses the pull traffic into a handful
+  // of messages otherwise, starving the data-plane fault classes of targets.
+  config.pull_batch_bytes = 256;
   return config;
 }
+
+// Pins GMINER_PULL_BATCH for a scope. The batched-vs-unbatched A/B tests must
+// control both sides themselves; without this, a CI leg that exports
+// GMINER_PULL_BATCH=off would silently collapse the comparison to
+// unbatched-vs-unbatched.
+class ScopedPullBatchEnv {
+ public:
+  explicit ScopedPullBatchEnv(const char* value) {
+    const char* old = std::getenv("GMINER_PULL_BATCH");
+    had_old_ = old != nullptr;
+    if (had_old_) {
+      old_ = old;
+    }
+    setenv("GMINER_PULL_BATCH", value, 1);
+  }
+  ~ScopedPullBatchEnv() {
+    if (had_old_) {
+      setenv("GMINER_PULL_BATCH", old_.c_str(), 1);
+    } else {
+      unsetenv("GMINER_PULL_BATCH");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
 
 class FaultInjectionTest : public ::testing::Test {
  protected:
@@ -44,7 +76,7 @@ class FaultInjectionTest : public ::testing::Test {
 TEST_F(FaultInjectionTest, DroppedMessagesAreRetriedAndResultExact) {
   RunOptions options;
   options.faults.seed = 11;
-  options.faults.drop_probability = 0.05;
+  options.faults.drop_probability = 0.1;
   const JobResult result = Run(FaultConfig(), options);
   ASSERT_EQ(result.status, JobStatus::kOk);
   EXPECT_EQ(TriangleCountJob::Count(result.final_aggregate), expected_);
@@ -92,9 +124,11 @@ TEST_F(FaultInjectionTest, BlackoutWindowIsRiddenOutByRetries) {
 TEST_F(FaultInjectionTest, CombinedFaultSoakStaysExact) {
   RunOptions options;
   options.faults.seed = 15;
-  options.faults.drop_probability = 0.03;
-  options.faults.duplicate_probability = 0.1;
-  options.faults.delay_probability = 0.15;
+  // Batched pulls mean far fewer data-plane messages than the unbatched
+  // runtime sent; higher rates keep every fault class firing.
+  options.faults.drop_probability = 0.1;
+  options.faults.duplicate_probability = 0.2;
+  options.faults.delay_probability = 0.25;
   options.faults.delay_min_us = 50;
   options.faults.delay_max_us = 1000;
   const JobResult result = Run(FaultConfig(), options);
@@ -108,7 +142,7 @@ TEST_F(FaultInjectionTest, CombinedFaultSoakStaysExact) {
 TEST_F(FaultInjectionTest, SameSeedReproducesIdenticalFaultCounts) {
   RunOptions options;
   options.faults.seed = 16;
-  options.faults.drop_probability = 0.05;
+  options.faults.drop_probability = 0.15;
   JobConfig config = FaultConfig();
   config.threads_per_worker = 1;  // fixed thread interleaving per link ordinal
   const JobResult a = Run(config, options);
@@ -121,6 +155,98 @@ TEST_F(FaultInjectionTest, SameSeedReproducesIdenticalFaultCounts) {
   // (unit-tested in net_test), here we check the end-to-end plumbing.
   EXPECT_GT(a.totals.net_messages_dropped, 0);
   EXPECT_GT(b.totals.net_messages_dropped, 0);
+}
+
+TEST_F(FaultInjectionTest, BatchedPullsMatchUnbatchedUnderDropsAndDuplicates) {
+  // The coalescer must be invisible to application results: the same faulty
+  // run, batched and unbatched, produces bit-identical triangle counts.
+  RunOptions options;
+  options.faults.seed = 21;
+  options.faults.drop_probability = 0.1;
+  options.faults.duplicate_probability = 0.2;
+  JobConfig batched = FaultConfig();
+  JobConfig unbatched = FaultConfig();
+  unbatched.enable_pull_batching = false;
+  JobResult with, without;
+  {
+    ScopedPullBatchEnv env("on");
+    with = Run(batched, options);
+  }
+  {
+    ScopedPullBatchEnv env("off");
+    without = Run(unbatched, options);
+  }
+  ASSERT_EQ(with.status, JobStatus::kOk);
+  ASSERT_EQ(without.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(with.final_aggregate), expected_);
+  EXPECT_EQ(TriangleCountJob::Count(without.final_aggregate), expected_);
+  // Both modes saw faults. (Vertex-level request counts are NOT compared:
+  // they depend on cache-eviction timing, which legitimately differs.)
+  EXPECT_GT(with.totals.net_messages_dropped, 0);
+  EXPECT_GT(without.totals.net_messages_dropped, 0);
+}
+
+TEST_F(FaultInjectionTest, DuplicateResponsesNeverResendArrivedVertices) {
+  // Regression for the retry path: delays longer than the pull timeout force
+  // a retry of every in-flight vertex, then BOTH responses arrive. The
+  // duplicate response must settle per-vertex bookkeeping idempotently, and
+  // the next retry sweep must re-send only vertices still missing — the job
+  // finishes exact instead of thrashing re-sends of already-arrived records.
+  RunOptions options;
+  options.faults.seed = 22;
+  options.faults.duplicate_probability = 0.3;
+  options.faults.delay_probability = 0.3;
+  options.faults.delay_min_us = 12'000;  // > pull_timeout_ms below
+  options.faults.delay_max_us = 25'000;
+  JobConfig config = FaultConfig();
+  config.pull_timeout_ms = 10;  // tight: delayed responses race retries
+  const JobResult result = Run(config, options);
+  ASSERT_EQ(result.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(result.final_aggregate), expected_);
+  EXPECT_GT(result.totals.net_messages_duplicated, 0) << "no duplicates injected";
+  EXPECT_GT(result.totals.pull_retries, 0) << "delays never forced a retry";
+  EXPECT_GT(result.totals.duplicate_pull_responses, 0)
+      << "retries racing delayed responses must produce duplicate responses";
+}
+
+TEST_F(FaultInjectionTest, BatchingCutsPullRequestMessagesAtLeast4x) {
+  // Table-3-style run: multi-worker, simulated transmission. Batching must
+  // collapse the kPullRequest wire-message count by >= 4x while leaving the
+  // application result bit-identical.
+  const Graph g = RandomTestGraph(1500, 8.0, 29);
+  const uint64_t expected = SerialTriangleCount(g);
+  JobConfig batched = FastTestConfig(4, 2);
+  batched.enable_stealing = false;
+  batched.rcv_cache_capacity = 256;
+  batched.net_latency_us = 50;  // enables the shared-link transmission sim
+  JobConfig unbatched = batched;
+  unbatched.enable_pull_batching = false;
+  TriangleCountJob job;
+  JobResult with, without;
+  {
+    ScopedPullBatchEnv env("on");
+    Cluster cluster_batched(batched);
+    with = cluster_batched.Run(g, job, {});
+  }
+  {
+    ScopedPullBatchEnv env("off");
+    Cluster cluster_unbatched(unbatched);
+    without = cluster_unbatched.Run(g, job, {});
+  }
+  ASSERT_EQ(with.status, JobStatus::kOk);
+  ASSERT_EQ(without.status, JobStatus::kOk);
+  EXPECT_EQ(TriangleCountJob::Count(with.final_aggregate), expected);
+  EXPECT_EQ(TriangleCountJob::Count(without.final_aggregate), expected);
+  // pull_batches_sent counts kPullRequest wire messages in both modes (the
+  // disabled coalescer flushes one message per enqueue, like the old runtime).
+  ASSERT_GT(with.totals.pull_batches_sent, 0);
+  ASSERT_GT(without.totals.pull_batches_sent, 0);
+  EXPECT_GE(without.totals.pull_batches_sent, 4 * with.totals.pull_batches_sent)
+      << "coalescing should cut wire messages by >= 4x (batched="
+      << with.totals.pull_batches_sent << ", unbatched=" << without.totals.pull_batches_sent
+      << ")";
+  // The batched run actually aggregated: its median batch carries several ids.
+  EXPECT_GT(with.totals.PullBatchSizePercentile(0.50), 1);
 }
 
 TEST_F(FaultInjectionTest, WallClockKillRecoversViaAdoption) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -77,6 +78,42 @@ TEST(CountersTest, SnapshotSums) {
   total += Snapshot(b);
   EXPECT_EQ(total.net_bytes_sent, 15);
   EXPECT_DOUBLE_EQ(total.CacheHitRate(), 0.75);
+}
+
+TEST(CountersTest, PullBatchHistogramRecordsAndMerges) {
+  WorkerCounters a;
+  RecordPullBatch(a, 1);    // bucket 0: [1, 2)
+  RecordPullBatch(a, 3);    // bucket 1: [2, 4)
+  RecordPullBatch(a, 100);  // bucket 6: [64, 128)
+  WorkerCounters b;
+  RecordPullBatch(b, 100);
+  CountersSnapshot total = Snapshot(a);
+  total += Snapshot(b);
+  EXPECT_EQ(total.pull_batches_sent, 4);
+  EXPECT_EQ(total.pull_batch_size_buckets[0], 1);
+  EXPECT_EQ(total.pull_batch_size_buckets[1], 1);
+  EXPECT_EQ(total.pull_batch_size_buckets[6], 2);
+}
+
+TEST(CountersTest, PullBatchPercentiles) {
+  WorkerCounters c;
+  EXPECT_EQ(Snapshot(c).PullBatchSizePercentile(0.5), 0) << "no batches yet";
+  // 90 single-id batches and 10 large ones: the p50 sits in the first bucket,
+  // the p95 in the large one.
+  for (int i = 0; i < 90; ++i) {
+    RecordPullBatch(c, 1);
+  }
+  for (int i = 0; i < 10; ++i) {
+    RecordPullBatch(c, 1000);  // bucket 9: [512, 1024)
+  }
+  const CountersSnapshot s = Snapshot(c);
+  EXPECT_LE(s.PullBatchSizePercentile(0.50), 2);
+  EXPECT_GE(s.PullBatchSizePercentile(0.95), 512);
+  EXPECT_LE(s.PullBatchSizePercentile(0.95), 1024);
+  // Oversized batches land in (and never overflow) the last bucket.
+  WorkerCounters huge;
+  RecordPullBatch(huge, size_t{1} << 40);
+  EXPECT_EQ(Snapshot(huge).pull_batch_size_buckets[kPullBatchBuckets - 1], 1);
 }
 
 TEST(SamplerTest, ProducesSamplesWithBusyCpu) {
@@ -334,7 +371,7 @@ TEST(ReportTest, JsonRoundTripsWithHostileStrings) {
   EXPECT_EQ(parser.StringValue("status"), "ok");
   EXPECT_EQ(parser.StringValue("stage"), "compute");
   // Schema version is declared up front.
-  EXPECT_NE(json.find("{\"schema_version\":2,"), std::string::npos);
+  EXPECT_NE(json.find("{\"schema_version\":3,"), std::string::npos);
   EXPECT_NE(json.find("\"trace_events_dropped\":0"), std::string::npos);
 }
 
@@ -344,6 +381,9 @@ TEST(ReportTest, JobResultJsonContainsKeyFields) {
   r.elapsed_seconds = 1.5;
   r.peak_memory_bytes = 1024;
   r.totals.net_bytes_sent = 77;
+  r.totals.pull_batches_sent = 4;
+  r.totals.dedup_hits = 9;
+  r.totals.pull_batch_size_buckets[5] = 4;  // four batches of [32, 64) ids
   r.per_worker.resize(2);
   r.utilization.push_back({0.1, 50.0, 10.0, 0.0});
   const std::string json = JobResultToJson(r);
@@ -351,6 +391,17 @@ TEST(ReportTest, JobResultJsonContainsKeyFields) {
   EXPECT_NE(json.find("\"elapsed_seconds\":1.5"), std::string::npos);
   EXPECT_NE(json.find("\"net_bytes_sent\":77"), std::string::npos);
   EXPECT_NE(json.find("\"cpu\":50"), std::string::npos);
+  // Schema v3: the pull-batching counters appear with derived percentiles.
+  EXPECT_NE(json.find("\"pull_batches_sent\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"dedup_hits\":9"), std::string::npos);
+  const size_t p50_at = json.find("\"pull_batch_size_p50\":");
+  const size_t p95_at = json.find("\"pull_batch_size_p95\":");
+  ASSERT_NE(p50_at, std::string::npos);
+  ASSERT_NE(p95_at, std::string::npos);
+  const long p50 = std::strtol(json.c_str() + p50_at + 22, nullptr, 10);
+  const long p95 = std::strtol(json.c_str() + p95_at + 22, nullptr, 10);
+  EXPECT_GE(p50, 32);
+  EXPECT_LE(p95, 64);
   // Two per-worker objects.
   size_t count = 0;
   for (size_t pos = 0; (pos = json.find("\"tasks_created\"", pos)) != std::string::npos;

@@ -2,9 +2,14 @@
 // exemption, close semantics, and the shared-link transmission timing.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <thread>
+#include <utility>
 
+#include "common/serialize.h"
 #include "common/timer.h"
+#include "net/coalescer.h"
 #include "net/network.h"
 
 namespace gminer {
@@ -231,6 +236,164 @@ TEST(FaultInjectorTest, MessageCountKillTriggersOnce) {
   FaultInjector other(plan);
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(other.OnSend(1, 2, MessageType::kPullRequest).kill, kInvalidWorker);
+  }
+}
+
+// --- PullCoalescer -----------------------------------------------------------
+
+// Decodes one kPullRequest wire frame: [u64 rid][u64 n][VertexId × n].
+std::pair<uint64_t, std::vector<VertexId>> DecodePullRequest(NetMessage msg) {
+  EXPECT_EQ(msg.type, MessageType::kPullRequest);
+  InArchive in(std::move(msg.payload));
+  const uint64_t rid = in.Read<uint64_t>();
+  std::vector<VertexId> ids = in.ReadVector<VertexId>();
+  EXPECT_TRUE(in.AtEnd());
+  return {rid, std::move(ids)};
+}
+
+std::vector<VertexId> Ids(size_t n, VertexId start = 0) {
+  std::vector<VertexId> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = start + static_cast<VertexId>(i);
+  }
+  return v;
+}
+
+TEST(PullCoalescerTest, AggregatesAndFlushesOnSizeThreshold) {
+  WorkerCounters c0;
+  WorkerCounters c1;
+  Network net(2, {&c0, &c1});
+  PullCoalescerOptions opts;
+  opts.batch_bytes = 8 * sizeof(VertexId);  // flush at 8 buffered ids
+  opts.flush_us = 1'000'000;                // deadline effectively off
+  std::vector<std::pair<uint64_t, size_t>> batches;
+  PullCoalescer coalescer(0, 2, opts, &net, &c0,
+                          [&](WorkerId to, uint64_t rid, const std::vector<VertexId>& ids) {
+                            EXPECT_EQ(to, 1);
+                            batches.emplace_back(rid, ids.size());
+                          });
+  // Three tasks' worth of pulls, 3 + 3 + 2 ids: nothing flushes until the
+  // eighth id lands — then exactly one wire message carries all eight.
+  EXPECT_TRUE(coalescer.Enqueue(1, Ids(3, 0)));
+  EXPECT_TRUE(coalescer.Enqueue(1, Ids(3, 3)));
+  EXPECT_FALSE(net.TryReceive(1).has_value()) << "below threshold, nothing on the wire";
+  EXPECT_TRUE(coalescer.Enqueue(1, Ids(2, 6)));
+  auto msg = net.TryReceive(1);
+  ASSERT_TRUE(msg.has_value());
+  auto [rid, ids] = DecodePullRequest(std::move(*msg));
+  EXPECT_EQ(ids, Ids(8));
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].first, rid) << "callback sees the wire rid";
+  EXPECT_EQ(batches[0].second, 8u);
+  EXPECT_EQ(c0.pull_batches_sent.load(), 1);
+  EXPECT_EQ(coalescer.batches_flushed(), 1);
+}
+
+TEST(PullCoalescerTest, FlushesOnDeadline) {
+  WorkerCounters c0;
+  WorkerCounters c1;
+  Network net(2, {&c0, &c1});
+  PullCoalescerOptions opts;
+  opts.batch_bytes = 1 << 20;  // size threshold effectively off
+  opts.flush_us = 2'000;
+  PullCoalescer coalescer(0, 2, opts, &net, &c0, nullptr);
+  coalescer.Enqueue(1, Ids(4));
+  // Blocking receive: the flusher thread must push the half-empty batch out
+  // on its own once the 2ms deadline passes.
+  auto msg = net.Receive(1);
+  ASSERT_TRUE(msg.has_value());
+  auto [rid, ids] = DecodePullRequest(std::move(*msg));
+  EXPECT_EQ(ids, Ids(4));
+  EXPECT_EQ(coalescer.batches_flushed(), 1);
+}
+
+TEST(PullCoalescerTest, BackpressureBlocksEnqueueUntilSpaceFrees) {
+  WorkerCounters c0;
+  WorkerCounters c1;
+  Network net(2, {&c0, &c1});
+  PullCoalescerOptions opts;
+  opts.batch_bytes = 1 << 20;   // no size flush: the buffer must fill up
+  opts.flush_us = 1'000'000;    // no deadline flush either
+  opts.queue_bytes = 8 * sizeof(VertexId);
+  PullCoalescer coalescer(0, 2, opts, &net, &c0, nullptr);
+  EXPECT_TRUE(coalescer.Enqueue(1, Ids(8)));  // exactly at the bound
+  std::atomic<bool> blocked_done{false};
+  std::thread blocked([&] {
+    EXPECT_TRUE(coalescer.Enqueue(1, Ids(1, 100)));  // over the bound: blocks
+    blocked_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(blocked_done.load()) << "enqueue past the bound must block";
+  coalescer.Flush(1);  // drains the buffer, freeing space
+  blocked.join();
+  EXPECT_TRUE(blocked_done.load());
+  // First message: the 8 buffered ids; second: the unblocked enqueue.
+  auto first = net.Receive(1);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(DecodePullRequest(std::move(*first)).second.size(), 8u);
+  coalescer.Flush(1);
+  auto second = net.Receive(1);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(DecodePullRequest(std::move(*second)).second, Ids(1, 100));
+}
+
+TEST(PullCoalescerTest, CloseDrainsBuffersAndCountsDrops) {
+  WorkerCounters c0;
+  WorkerCounters c1;
+  Network net(2, {&c0, &c1});
+  PullCoalescerOptions opts;
+  opts.batch_bytes = 1 << 20;
+  opts.flush_us = 1'000'000;
+  PullCoalescer coalescer(0, 2, opts, &net, &c0, nullptr);
+  coalescer.Enqueue(1, Ids(5));
+  coalescer.Close();
+  // The buffered ids were drained to the wire, not lost.
+  auto msg = net.TryReceive(1);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(DecodePullRequest(std::move(*msg)).second, Ids(5));
+  EXPECT_EQ(coalescer.dropped_ids(), 0);
+  // Post-close enqueues are refused and counted.
+  EXPECT_FALSE(coalescer.Enqueue(1, Ids(3)));
+  EXPECT_EQ(coalescer.dropped_ids(), 3);
+  coalescer.Close();  // idempotent
+}
+
+TEST(PullCoalescerTest, DisabledModeSendsEveryEnqueueImmediately) {
+  WorkerCounters c0;
+  WorkerCounters c1;
+  Network net(2, {&c0, &c1});
+  PullCoalescerOptions opts;
+  opts.enabled = false;
+  opts.batch_bytes = 1 << 20;
+  PullCoalescer coalescer(0, 2, opts, &net, &c0, nullptr);
+  coalescer.Enqueue(1, Ids(2, 0));
+  coalescer.Enqueue(1, Ids(3, 2));
+  auto first = net.TryReceive(1);
+  auto second = net.TryReceive(1);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(DecodePullRequest(std::move(*first)).second, Ids(2, 0));
+  EXPECT_EQ(DecodePullRequest(std::move(*second)).second, Ids(3, 2));
+  EXPECT_EQ(coalescer.batches_flushed(), 2);
+}
+
+TEST(PullCoalescerTest, EnvVarPinsBatchingOnOrOff) {
+  // Save any CI-provided value (the batching-off matrix leg exports it).
+  const char* prior = std::getenv("GMINER_PULL_BATCH");
+  const std::string saved = prior != nullptr ? prior : "";
+  ASSERT_EQ(setenv("GMINER_PULL_BATCH", "off", 1), 0);
+  EXPECT_FALSE(PullBatchingEnabled(true));
+  EXPECT_FALSE(PullBatchingEnabled(false));
+  ASSERT_EQ(setenv("GMINER_PULL_BATCH", "on", 1), 0);
+  EXPECT_TRUE(PullBatchingEnabled(false));
+  ASSERT_EQ(setenv("GMINER_PULL_BATCH", "garbage", 1), 0);
+  EXPECT_TRUE(PullBatchingEnabled(true));
+  EXPECT_FALSE(PullBatchingEnabled(false));
+  ASSERT_EQ(unsetenv("GMINER_PULL_BATCH"), 0);
+  EXPECT_TRUE(PullBatchingEnabled(true));
+  EXPECT_FALSE(PullBatchingEnabled(false));
+  if (prior != nullptr) {
+    ASSERT_EQ(setenv("GMINER_PULL_BATCH", saved.c_str(), 1), 0);
   }
 }
 

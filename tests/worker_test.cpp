@@ -92,11 +92,12 @@ TEST_F(WorkerProtocolTest, ServesPullRequestsFromItsPartition) {
   const uint64_t count = in.Read<uint64_t>();
   ASSERT_EQ(count, owned.size());
   for (uint64_t i = 0; i < count; ++i) {
-    const VertexRecord record = VertexRecord::Deserialize(in);
+    const VertexRecord record = VertexRecord::ReadFlat(in);
     EXPECT_EQ((*owner_)[record.id], 0);
     const auto adj = graph_.neighbors(record.id);
     EXPECT_TRUE(std::equal(record.adj.begin(), record.adj.end(), adj.begin(), adj.end()));
   }
+  EXPECT_TRUE(in.AtEnd()) << "flat response must carry exactly `count` blocks";
   Shutdown(*worker);
 }
 
