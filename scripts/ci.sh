@@ -5,8 +5,10 @@
 #   scripts/ci.sh                 # RelWithDebInfo build + ctest
 #   scripts/ci.sh address         # additionally run the suite under ASan
 #   scripts/ci.sh address thread  # ... ASan then TSan
-#   scripts/ci.sh lint            # repo lint (serialize symmetry, naked
-#                                 # threads, include layering)
+#   scripts/ci.sh address,undefined  # combined ASan+UBSan leg
+#   scripts/ci.sh lint            # repo lint: regex checks (lint.py) plus the
+#                                 # AST-grounded gmlint passes over
+#                                 # compile_commands.json (scripts/gmlint/)
 #   scripts/ci.sh tidy            # clang-tidy over src/ (needs clang-tidy +
 #                                 # a compile_commands.json)
 #   scripts/ci.sh threadsafety    # Clang -Wthread-safety build (needs clang++)
@@ -21,6 +23,13 @@ cd "$(dirname "$0")/.."
 
 run_lint() {
   python3 scripts/lint.py
+  # gmlint wants a compilation database to know the real TU set; configure a
+  # throwaway build dir if no existing one has exported it yet.
+  if ! python3 -c "import sys; sys.path.insert(0, 'scripts'); \
+from gmlint import compdb; sys.exit(0 if compdb.find_compdb('.') else 1)"; then
+    cmake -B build -S . >/dev/null
+  fi
+  PYTHONPATH=scripts python3 -m gmlint
 }
 
 run_tidy() {
@@ -84,13 +93,20 @@ run_suite() {
 echo "=== plain build + tests ==="
 run_suite build
 
+# Shared suppression files (scripts/sanitizers/): the env vars are harmless
+# for non-sanitized binaries, so export them once for every leg.
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1:${ASAN_OPTIONS:-}"
+export LSAN_OPTIONS="suppressions=$(pwd)/scripts/sanitizers/lsan.supp:${LSAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$(pwd)/scripts/sanitizers/ubsan.supp:${UBSAN_OPTIONS:-}"
+
 for sanitizer in "$@"; do
   case "${sanitizer}" in
     address) dir=build-asan ;;
     thread) dir=build-tsan ;;
     undefined) dir=build-ubsan ;;
+    address,undefined) dir=build-asan-ubsan ;;
     *)
-      echo "unknown sanitizer '${sanitizer}' (expected address|thread|undefined)" >&2
+      echo "unknown sanitizer '${sanitizer}' (expected address|thread|undefined|address,undefined)" >&2
       exit 2
       ;;
   esac

@@ -1,0 +1,48 @@
+"""gmlint — AST-grounded static analysis for the G-Miner tree.
+
+A small analysis framework driven by CMake's compile_commands.json. Five
+whole-system passes prove invariants no compiler checks:
+
+  serialize-symmetry   untagged byte-stream writers/readers mirror exactly,
+                       through helper calls, loops and conditionals
+  lock-order           the global mutex-acquisition graph is acyclic
+  blocking-under-lock  no wire sends / blocking waits / coalescer flushes
+                       while an annotated Mutex is held
+  protocol             every MessageType value has a sender, a dispatch
+                       handler, and consistent payload framing
+  span-balance         every non-RAII trace begin is ended (or escapes)
+                       on every control-flow path
+
+Frontends (gmlint.frontend): the pass pipeline consumes a token-level IR
+(functions with statement trees, classes, enums). When the python clang
+bindings and a libclang shared object are available the IR is built from
+libclang cursors/tokens; otherwise a built-in C++ structural parser produces
+the identical IR, so the gate runs everywhere the repo builds.
+
+Suppressions: a `lint:allow(<pass>)` comment on the finding line or the line
+above silences one finding and must carry a justification. A committed
+baseline (scripts/gmlint/baseline.json) grandfathers listed fingerprints;
+the checked-in baseline is empty — src/ is gmlint-clean.
+"""
+
+from dataclasses import dataclass, field
+
+__version__ = "2.0"
+
+
+@dataclass
+class Finding:
+    path: str  # repo-relative
+    line: int
+    check: str
+    message: str
+    symbol: str = ""  # enclosing function/class, for baseline fingerprints
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [gmlint/{self.check}] {self.message}"
+
+    def fingerprint(self) -> str:
+        import hashlib
+
+        h = hashlib.sha256(self.message.encode()).hexdigest()[:8]
+        return f"{self.check}|{self.path}|{self.symbol}|{h}"

@@ -1,0 +1,137 @@
+"""gmlint CLI.
+
+    python3 -m gmlint [--compdb build/compile_commands.json]
+                      [--checks a,b,c] [--baseline scripts/gmlint/baseline.json]
+                      [--changed-files f1.cc f2.h ...] [--update-baseline]
+
+Exit status: 0 when clean (or every finding is baselined/suppressed),
+1 when findings remain, 2 on usage/environment errors.
+
+The whole program is always parsed — the protocol and lock-order passes need
+a global view — but `--changed-files` restricts which findings are *reported*,
+which is what the pre-commit hook wants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from gmlint import Finding, compdb, frontend, model
+from gmlint.passes import ALL_PASSES
+
+
+def _repo_root() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(os.path.dirname(here))  # scripts/gmlint -> repo
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="gmlint", description=__doc__)
+    ap.add_argument("--repo-root", default=_repo_root())
+    ap.add_argument("--compdb", default=None,
+                    help="compile_commands.json (default: search build dirs)")
+    ap.add_argument("--src-prefix", default="src",
+                    help="only analyze files under this repo-relative prefix")
+    ap.add_argument("--checks", default=None,
+                    help="comma-separated subset of passes to run")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline JSON of accepted finding fingerprints")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline file with current findings")
+    ap.add_argument("--changed-files", nargs="*", default=None,
+                    help="report findings only in these files (paths relative "
+                         "to the repo root or absolute)")
+    ap.add_argument("--list-checks", action="store_true")
+    ap.add_argument("-q", "--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_checks:
+        for name in ALL_PASSES:
+            print(name)
+        return 0
+
+    checks = list(ALL_PASSES)
+    if args.checks:
+        checks = [c.strip() for c in args.checks.split(",") if c.strip()]
+        unknown = [c for c in checks if c not in ALL_PASSES]
+        if unknown:
+            print(f"gmlint: unknown checks: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    root = os.path.abspath(args.repo_root)
+    t0 = time.monotonic()
+    db = None
+    cdb_path = compdb.find_compdb(root, args.compdb)
+    if cdb_path is not None:
+        db = compdb.load(cdb_path)
+        files = compdb.reachable_files(db, root, args.src_prefix)
+    else:
+        files = []
+    if not files:
+        # no build tree, or the prefix (e.g. lint fixtures) has no TUs
+        files = compdb.fallback_files(root, args.src_prefix)
+    if not files:
+        print("gmlint: no sources found", file=sys.stderr)
+        return 2
+
+    fe = frontend.active_frontend()
+    index = model.Index()
+    for path in files:
+        index.add(frontend.parse(path, root, db, fe))
+
+    findings: list[Finding] = []
+    for name in checks:
+        findings.extend(ALL_PASSES[name].run(index))
+    findings.sort(key=lambda f: (f.path, f.line, f.check))
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default = os.path.join(root, "scripts", "gmlint", "baseline.json")
+        baseline_path = default if os.path.isfile(default) else None
+    baselined: set[str] = set()
+    if baseline_path and os.path.isfile(baseline_path) and not args.update_baseline:
+        with open(baseline_path, encoding="utf-8") as f:
+            baselined = set(json.load(f).get("fingerprints", []))
+
+    if args.update_baseline:
+        target = args.baseline or os.path.join(root, "scripts", "gmlint", "baseline.json")
+        with open(target, "w", encoding="utf-8") as f:
+            json.dump({"fingerprints": sorted({fi.fingerprint() for fi in findings})},
+                      f, indent=2)
+            f.write("\n")
+        print(f"gmlint: wrote {len(findings)} fingerprints to {target}")
+        return 0
+
+    changed: set[str] | None = None
+    if args.changed_files is not None:
+        changed = set()
+        for p in args.changed_files:
+            ap_ = os.path.abspath(p) if os.path.isabs(p) else os.path.abspath(
+                os.path.join(root, p))
+            changed.add(os.path.relpath(ap_, root))
+
+    shown = []
+    for fi in findings:
+        if fi.fingerprint() in baselined:
+            continue
+        if changed is not None and fi.path not in changed:
+            continue
+        shown.append(fi)
+
+    for fi in shown:
+        print(fi.render())
+    dt = time.monotonic() - t0
+    if not args.quiet:
+        tag = f"compdb={os.path.relpath(cdb_path, root)}" if cdb_path else "no compdb"
+        print(f"gmlint: {len(files)} files, {len(checks)} passes, "
+              f"{len(shown)} finding(s) ({tag}, frontend={fe}, {dt:.2f}s)",
+              file=sys.stderr)
+    return 1 if shown else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

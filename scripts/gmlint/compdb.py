@@ -1,0 +1,127 @@
+"""compile_commands.json driver.
+
+gmlint analyzes the translation units CMake actually builds: the TU list,
+include directories and per-file compile arguments all come from the
+compilation database (CMAKE_EXPORT_COMPILE_COMMANDS=ON, on by default in the
+top-level CMakeLists.txt). Headers are attributed to the TU set by resolving
+quoted includes against the -I paths of the database entries, so a header
+that no built TU includes is (correctly) invisible to the analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shlex
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TranslationUnit:
+    source: str  # absolute path to the .cc
+    args: list[str]
+    include_dirs: list[str]
+    defines: list[str]
+
+
+@dataclass
+class CompilationDatabase:
+    path: str
+    units: list[TranslationUnit] = field(default_factory=list)
+
+    def source_files(self) -> list[str]:
+        return [tu.source for tu in self.units]
+
+
+_DEFAULT_BUILD_DIRS = ("build", "build-bench", "build-asan", "build-ubsan",
+                      "build-asan-ubsan", "build-tsan", "build-tidy")
+
+
+def find_compdb(repo_root: str, explicit: str | None = None) -> str | None:
+    if explicit:
+        return explicit if os.path.isfile(explicit) else None
+    for d in _DEFAULT_BUILD_DIRS:
+        p = os.path.join(repo_root, d, "compile_commands.json")
+        if os.path.isfile(p):
+            return p
+    return None
+
+
+def load(path: str) -> CompilationDatabase:
+    with open(path, encoding="utf-8") as f:
+        entries = json.load(f)
+    db = CompilationDatabase(path)
+    seen = set()
+    for e in entries:
+        src = e["file"]
+        if not os.path.isabs(src):
+            src = os.path.normpath(os.path.join(e.get("directory", "."), src))
+        if src in seen:
+            continue
+        seen.add(src)
+        args = e.get("arguments") or shlex.split(e.get("command", ""))
+        inc, defs = [], []
+        it = iter(range(len(args)))
+        for i in it:
+            a = args[i]
+            if a == "-I" and i + 1 < len(args):
+                inc.append(args[i + 1])
+            elif a.startswith("-I"):
+                inc.append(a[2:])
+            elif a.startswith("-D"):
+                defs.append(a[2:])
+        inc = [d if os.path.isabs(d) else os.path.normpath(os.path.join(e.get("directory", "."), d))
+               for d in inc]
+        db.units.append(TranslationUnit(src, args, inc, defs))
+    return db
+
+
+_INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"', re.M)
+
+
+def reachable_files(db: CompilationDatabase, repo_root: str,
+                    restrict_prefix: str = "src") -> list[str]:
+    """All .cc TUs under `restrict_prefix` plus every repo header they reach
+    through quoted includes (transitively), absolute paths, sorted."""
+    prefix = os.path.join(repo_root, restrict_prefix)
+    work = [tu.source for tu in db.units if tu.source.startswith(prefix + os.sep)]
+    include_dirs: list[str] = []
+    for tu in db.units:
+        for d in tu.include_dirs:
+            if d not in include_dirs:
+                include_dirs.append(d)
+    if not include_dirs:
+        include_dirs = [prefix]
+    seen: set[str] = set()
+    out: list[str] = []
+    while work:
+        path = work.pop()
+        if path in seen or not os.path.isfile(path):
+            continue
+        seen.add(path)
+        if path.startswith(prefix + os.sep):
+            out.append(path)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError:
+            continue
+        for inc in _INCLUDE_RE.findall(text):
+            for d in include_dirs + [os.path.dirname(path)]:
+                cand = os.path.normpath(os.path.join(d, inc))
+                if os.path.isfile(cand):
+                    work.append(cand)
+                    break
+    return sorted(out)
+
+
+def fallback_files(repo_root: str, restrict_prefix: str = "src") -> list[str]:
+    """Plain directory walk, for running without a build tree."""
+    base = os.path.join(repo_root, restrict_prefix)
+    out = []
+    for root, _dirs, files in os.walk(base):
+        for f in sorted(files):
+            if f.endswith((".h", ".cc")):
+                out.append(os.path.join(root, f))
+    return sorted(out)

@@ -1,0 +1,463 @@
+"""Built-in C++ structural frontend: lexer + statement-tree parser.
+
+Produces the token-level IR the passes consume (see model.py). The parser is
+deliberately structural rather than semantic: it recognizes declarations,
+function definitions, class/namespace nesting, and statement shape
+(if/else/for/while/switch/return), which is exactly the granularity the five
+passes need. Preprocessor conditionals are treated textually (both arms are
+parsed; #else/#elif arms are skipped to keep one linear token stream).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Tok:
+    kind: str  # 'id', 'num', 'str', 'chr', 'punct'
+    text: str
+    line: int
+
+    def __repr__(self):  # compact for debugging
+        return f"{self.text}@{self.line}"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<id>[A-Za-z_]\w*)
+  | (?P<num>\.?\d(?:[\w.]|[eEpP][+-])*)
+  | (?P<punct>::|->\*|->|\+\+|--|<<=|>>=|<=>|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|\.\.\.|.)
+    """,
+    re.VERBOSE,
+)
+
+_LINE_COMMENT = re.compile(r"//[^\n]*")
+_BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.S)
+_STRING = re.compile(r'"(?:[^"\\\n]|\\.)*"')
+_RAWSTRING = re.compile(r'R"([^(\s]*)\((?:.|\n)*?\)\1"')
+_CHAR = re.compile(r"'(?:[^'\\\n]|\\.)*'")
+
+ALLOW_RE = re.compile(r"lint:allow\(([\w\-, ]+)\)")
+
+
+def scrub(text: str):
+    """Blank comments/strings (preserving newlines) and collect suppressions.
+
+    Returns (scrubbed_text, suppressions) where suppressions maps line number
+    -> set of check names allowed on that line (from its own or the previous
+    line's comment, resolved later by the caller).
+    """
+    suppress: dict[int, set[str]] = {}
+
+    def note(match_text: str, start: int):
+        line = text.count("\n", 0, start) + 1
+        for m in ALLOW_RE.finditer(match_text):
+            for name in m.group(1).split(","):
+                suppress.setdefault(line, set()).add(name.strip())
+        # multi-line block comments: credit the closing line too
+        end_line = line + match_text.count("\n")
+        if end_line != line:
+            for m in ALLOW_RE.finditer(match_text):
+                for name in m.group(1).split(","):
+                    suppress.setdefault(end_line, set()).add(name.strip())
+
+    def blank(m: re.Match) -> str:
+        s = m.group(0)
+        note(s, m.start())
+        return re.sub(r"[^\n]", " ", s)
+
+    def blank_str(m: re.Match) -> str:
+        s = m.group(0)
+        return '"' + re.sub(r"[^\n]", " ", s[1:-1]) + '"' if len(s) >= 2 else s
+
+    # Order matters: raw strings first (may contain // and "), then block
+    # comments, strings, chars, line comments.
+    text = _RAWSTRING.sub(blank_str, text)
+    text = _BLOCK_COMMENT.sub(blank, text)
+
+    # Handle strings and line comments in one left-to-right scan so a // inside
+    # a string literal is not taken for a comment (and vice versa).
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == '"':
+            m = _STRING.match(text, i)
+            if m:
+                out.append(blank_str(m))
+                i = m.end()
+                continue
+        elif c == "'":
+            m = _CHAR.match(text, i)
+            if m:
+                out.append("' '" if len(m.group(0)) > 2 else m.group(0))
+                i = m.end()
+                continue
+        elif c == "/" and i + 1 < n and text[i + 1] == "/":
+            m = _LINE_COMMENT.match(text, i)
+            note(m.group(0), i)
+            out.append(" " * len(m.group(0)))
+            i = m.end()
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), suppress
+
+
+def lex(text: str) -> list[Tok]:
+    """Tokenize scrubbed text. Preprocessor lines become no tokens except
+    that #else/#elif ... #endif alternate arms are dropped wholesale so the
+    stream stays a single well-braced program."""
+    toks: list[Tok] = []
+    line = 1
+    skip_depth = 0  # inside a dropped #else arm
+    cond_stack: list[bool] = []  # True = we kept the first arm of this #if
+    for raw in text.split("\n"):
+        stripped = raw.lstrip()
+        if stripped.startswith("#"):
+            directive = stripped[1:].lstrip()
+            if directive.startswith(("if", "ifdef", "ifndef")):
+                if skip_depth:
+                    skip_depth += 1
+                else:
+                    cond_stack.append(True)
+            elif directive.startswith(("else", "elif")):
+                if skip_depth == 0 and cond_stack:
+                    skip_depth = 1  # drop the alternate arm
+            elif directive.startswith("endif"):
+                if skip_depth:
+                    skip_depth -= 1
+                elif cond_stack:
+                    cond_stack.pop()
+            line += 1
+            continue
+        if skip_depth:
+            line += 1
+            continue
+        for m in _TOKEN_RE.finditer(raw):
+            kind = m.lastgroup
+            if kind == "ws":
+                continue
+            text_ = m.group(0)
+            if kind == "punct" and text_ == '"':
+                kind = "str"
+            toks.append(Tok(kind, text_, line))
+        line += 1
+    return toks
+
+
+# ---------------------------------------------------------------------------
+# Statement tree
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    kind: str  # 'simple' | 'if' | 'loop' | 'do' | 'switch' | 'block' | 'return' | 'case' | 'break' | 'continue'
+    line: int
+    tokens: list[Tok] = field(default_factory=list)  # condition / expression
+    body: list["Stmt"] = field(default_factory=list)
+    orelse: list["Stmt"] = field(default_factory=list)
+
+
+def _match_forward(toks: list[Tok], i: int, open_t: str, close_t: str) -> int:
+    """Index just past the token matching toks[i] (which must be open_t)."""
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i].text
+        if t == open_t:
+            depth += 1
+        elif t == close_t:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def parse_stmts(toks: list[Tok]) -> list[Stmt]:
+    """Parse a token list (a function body, braces stripped) into statements."""
+    out: list[Stmt] = []
+    i, n = 0, len(toks)
+    while i < n:
+        t = toks[i]
+        if t.text == ";":
+            i += 1
+            continue
+        if t.text == "{":
+            end = _match_forward(toks, i, "{", "}")
+            out.append(Stmt("block", t.line, [], parse_stmts(toks[i + 1 : end - 1])))
+            i = end
+            continue
+        if t.kind == "id" and t.text in ("if", "while", "for", "switch"):
+            # condition
+            j = i + 1
+            if j < n and toks[j].text == "constexpr":
+                j += 1
+            if j >= n or toks[j].text != "(":
+                i += 1
+                continue
+            cend = _match_forward(toks, j, "(", ")")
+            cond = toks[j + 1 : cend - 1]
+            body, i2 = _parse_substmt(toks, cend)
+            if t.text == "if":
+                orelse: list[Stmt] = []
+                if i2 < n and toks[i2].text == "else":
+                    orelse, i2 = _parse_substmt(toks, i2 + 1)
+                out.append(Stmt("if", t.line, cond, body, orelse))
+            elif t.text == "switch":
+                out.append(Stmt("switch", t.line, cond, body))
+            else:
+                out.append(Stmt("loop", t.line, cond, body))
+            i = i2
+            continue
+        if t.kind == "id" and t.text == "do":
+            body, i2 = _parse_substmt(toks, i + 1)
+            # consume trailing `while ( ... ) ;`
+            cond: list[Tok] = []
+            if i2 < n and toks[i2].text == "while" and i2 + 1 < n and toks[i2 + 1].text == "(":
+                cend = _match_forward(toks, i2 + 1, "(", ")")
+                cond = toks[i2 + 2 : cend - 1]
+                i2 = cend
+            out.append(Stmt("do", t.line, cond, body))
+            i = i2
+            continue
+        if t.kind == "id" and t.text == "else":
+            # dangling else from an if parsed as simple; treat as block
+            body, i2 = _parse_substmt(toks, i + 1)
+            out.append(Stmt("block", t.line, [], body))
+            i = i2
+            continue
+        if t.kind == "id" and t.text in ("case", "default"):
+            j = i
+            while j < n and toks[j].text != ":":
+                j += 1
+            out.append(Stmt("case", t.line, toks[i : j + 1]))
+            i = j + 1
+            continue
+        if t.kind == "id" and t.text == "return":
+            j = _until_semicolon(toks, i)
+            out.append(Stmt("return", t.line, toks[i + 1 : j]))
+            i = j + 1
+            continue
+        if t.kind == "id" and t.text in ("break", "continue"):
+            j = _until_semicolon(toks, i)
+            out.append(Stmt(t.text, t.line, []))
+            i = j + 1
+            continue
+        # simple statement (may contain lambda/init braces)
+        j = _until_semicolon(toks, i)
+        out.append(Stmt("simple", t.line, toks[i:j]))
+        i = j + 1
+    return out
+
+
+def _parse_substmt(toks: list[Tok], i: int):
+    """Parse either a braced block or a single statement; returns (stmts, next_i)."""
+    n = len(toks)
+    if i < n and toks[i].text == "{":
+        end = _match_forward(toks, i, "{", "}")
+        return parse_stmts(toks[i + 1 : end - 1]), end
+    # single statement: re-use the main loop on a slice
+    if i >= n:
+        return [], i
+    t = toks[i]
+    if t.kind == "id" and t.text in ("if", "while", "for", "switch", "do"):
+        # structured single statement: find its extent by parsing greedily
+        sub = parse_stmts(toks[i:])
+        if sub:
+            consumed = _stmt_extent(toks, i)
+            return parse_stmts(toks[i:consumed]), consumed
+    j = _until_semicolon(toks, i)
+    return parse_stmts(toks[i : j + 1]), j + 1
+
+
+def _stmt_extent(toks: list[Tok], i: int) -> int:
+    """End index of the single structured statement starting at i."""
+    n = len(toks)
+    t = toks[i].text
+    j = i + 1
+    if j < n and toks[j].text == "constexpr":
+        j += 1
+    if t in ("if", "while", "for", "switch") and j < n and toks[j].text == "(":
+        j = _match_forward(toks, j, "(", ")")
+    if t == "do":
+        j = i + 1
+    # body
+    if j < n and toks[j].text == "{":
+        j = _match_forward(toks, j, "{", "}")
+    else:
+        j = _until_semicolon(toks, j) + 1
+    if t == "if":
+        while j < n and toks[j].text == "else":
+            k = j + 1
+            if k < n and toks[k].text == "if":
+                j = _stmt_extent(toks, k)
+            elif k < n and toks[k].text == "{":
+                j = _match_forward(toks, k, "{", "}")
+            else:
+                j = _until_semicolon(toks, k) + 1
+    if t == "do":
+        if j < n and toks[j].text == "while":
+            j = _match_forward(toks, j + 1, "(", ")")
+        j = _until_semicolon(toks, j) + 1 if j < n else j
+    return j
+
+
+def _until_semicolon(toks: list[Tok], i: int) -> int:
+    """Index of the `;` ending the simple statement starting at i (skipping
+    nested parens/braces/brackets, e.g. lambdas and braced initializers)."""
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i].text
+        if t in ("(", "{", "["):
+            depth += 1
+        elif t in (")", "}", "]"):
+            depth -= 1
+            if depth < 0:  # stray closer — end of enclosing context
+                return i
+        elif t == ";" and depth == 0:
+            return i
+        i += 1
+    return n
+
+
+# ---------------------------------------------------------------------------
+# Call extraction
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Call:
+    name: str  # callee identifier (last component)
+    recv: str  # receiver chain text, e.g. "out", "net_->", "state_->memory."
+    targs: str  # template argument text, "" if none
+    args: list[list[Tok]]  # top-level comma-split argument token slices
+    line: int
+    in_lambda: bool = False
+    start: int = -1  # index of the name token in the scanned slice
+    end: int = -1    # index just past the closing paren
+
+
+_NOT_CALLS = {
+    "if", "while", "for", "switch", "return", "sizeof", "alignof", "decltype",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast", "catch",
+    "noexcept", "defined", "assert", "static_assert", "alignas", "new", "delete",
+}
+
+
+def lambda_spans(toks: list[Tok]) -> list[tuple[int, int]]:
+    """Half-open index ranges of lambda bodies within a token slice."""
+    spans = []
+    i, n = 0, len(toks)
+    while i < n:
+        if toks[i].text == "[":
+            close = _match_forward(toks, i, "[", "]")
+            j = close
+            # optional capture-list-adjacent: (params) [specs] { body }
+            if j < n and toks[j].text == "(":
+                j = _match_forward(toks, j, "(", ")")
+            while j < n and toks[j].kind == "id" and toks[j].text in ("mutable", "noexcept", "constexpr"):
+                j += 1
+            if j < n and toks[j].text == "->":
+                # trailing return type: skip to `{`
+                while j < n and toks[j].text != "{":
+                    j += 1
+            if j < n and toks[j].text == "{":
+                end = _match_forward(toks, j, "{", "}")
+                spans.append((j, end))
+                i = close
+                continue
+        i += 1
+    return spans
+
+
+def extract_calls(toks: list[Tok]) -> list[Call]:
+    """All call expressions in a token slice, with receiver chains."""
+    calls = []
+    lspans = lambda_spans(toks)
+
+    def in_lambda(idx):
+        return any(a <= idx < b for a, b in lspans)
+
+    i, n = 0, len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind != "id" or t.text in _NOT_CALLS:
+            i += 1
+            continue
+        # optional template args
+        j = i + 1
+        targs = ""
+        if j < n and toks[j].text == "<":
+            # heuristically match a short template-arg list: balanced < > with
+            # no ; and no unbalanced parens, within 24 tokens
+            depth, k = 0, j
+            ok = False
+            while k < n and k - j < 24:
+                if toks[k].text == "<":
+                    depth += 1
+                elif toks[k].text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        ok = True
+                        break
+                elif toks[k].text == ">>":
+                    depth -= 2
+                    if depth <= 0:
+                        ok = True
+                        break
+                elif toks[k].text in (";", "{", "}", "&&", "||"):
+                    break
+                k += 1
+            if ok and k + 1 < n and toks[k + 1].text == "(":
+                targs = " ".join(x.text for x in toks[j + 1 : k])
+                j = k + 1
+        if j >= n or toks[j].text != "(":
+            i += 1
+            continue
+        close = _match_forward(toks, j, "(", ")")
+        # receiver chain: walk back over `X::`, `x.`, `x->`, `)`. chains
+        k = i - 1
+        recv_parts = []
+        while k >= 0:
+            tt = toks[k].text
+            if tt in (".", "->", "::"):
+                if k - 1 >= 0 and toks[k - 1].kind == "id":
+                    recv_parts.append(toks[k - 1].text + tt)
+                    k -= 2
+                    continue
+                if k - 1 >= 0 and toks[k - 1].text in (")", "]"):
+                    recv_parts.append("()" + tt)
+                    k -= 2
+                    continue
+            break
+        recv = "".join(reversed(recv_parts))
+        # split args on top-level commas
+        args: list[list[Tok]] = []
+        cur: list[Tok] = []
+        depth = 0
+        for tok in toks[j + 1 : close - 1]:
+            if tok.text in ("(", "[", "{"):
+                depth += 1
+            elif tok.text in (")", "]", "}"):
+                depth -= 1
+            if tok.text == "," and depth == 0:
+                args.append(cur)
+                cur = []
+            else:
+                cur.append(tok)
+        if cur or args:
+            args.append(cur)
+        calls.append(Call(t.text, recv, targs, args, t.line, in_lambda(i), i, close))
+        i = j  # continue inside the arg list to catch nested calls
+    return calls
+
+
+def toks_text(toks: list[Tok]) -> str:
+    return " ".join(t.text for t in toks)

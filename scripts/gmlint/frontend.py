@@ -1,0 +1,153 @@
+"""Frontend selection: libclang when available, built-in parser otherwise.
+
+Both frontends produce the same IR (model.FileIR). The libclang adapter uses
+clang.cindex only to locate function extents and tokenize them — the
+statement/effect layers are shared — so behavior stays identical across
+frontends; the built-in parser is the reference implementation and the one
+exercised by the self-test fixtures.
+
+Selection: GMLINT_FRONTEND=clang|python|auto (default auto). `auto` uses
+libclang when `import clang.cindex` succeeds AND a libclang shared object
+loads; anything else falls back to the built-in parser. `clang` fails hard
+when libclang is unusable, for CI environments that install it on purpose.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from gmlint import model
+from gmlint.compdb import CompilationDatabase
+
+
+def _try_libclang():
+    try:
+        import clang.cindex as cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+    except Exception:
+        return None
+    return cindex
+
+
+def active_frontend() -> str:
+    mode = os.environ.get("GMLINT_FRONTEND", "auto")
+    if mode == "python":
+        return "python"
+    cindex = _try_libclang()
+    if mode == "clang":
+        if cindex is None:
+            raise RuntimeError(
+                "GMLINT_FRONTEND=clang but clang.cindex / libclang is not usable")
+        return "clang"
+    return "clang" if cindex is not None else "python"
+
+
+def parse(abs_path: str, repo_root: str, db: CompilationDatabase | None,
+          frontend: str) -> model.FileIR:
+    if frontend == "clang":
+        try:
+            return _parse_with_clang(abs_path, repo_root, db)
+        except Exception as e:  # pragma: no cover - depends on local clang
+            print(f"gmlint: libclang failed on {abs_path} ({e}); "
+                  "falling back to built-in parser", file=sys.stderr)
+    return model.parse_file(abs_path, repo_root)
+
+
+def _parse_with_clang(abs_path: str, repo_root: str,
+                      db: CompilationDatabase | None) -> model.FileIR:
+    """Build FileIR from libclang cursors; tokens come from cursor extents so
+    the downstream statement/effect analysis is byte-for-byte the shared one.
+    """
+    import clang.cindex as cindex  # type: ignore
+    from gmlint.cpp import Tok, scrub
+
+    args = ["-std=c++20", "-xc++"]
+    if db is not None:
+        for tu_entry in db.units:
+            if tu_entry.source == abs_path:
+                args = [a for a in tu_entry.args[1:]
+                        if a.startswith(("-I", "-D", "-std", "-x"))]
+                break
+        else:
+            for d in {d for u in db.units for d in u.include_dirs}:
+                args.append("-I" + d)
+
+    index = cindex.Index.create()
+    tu = index.parse(abs_path, args=args,
+                     options=cindex.TranslationUnit.PARSE_INCOMPLETE
+                     | cindex.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0)
+
+    with open(abs_path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    _, suppress = scrub(text)
+    rel = os.path.relpath(abs_path, repo_root)
+    fir = model.FileIR(rel, suppress=suppress)
+
+    def toks_of(cursor):
+        out = []
+        for t in cursor.get_tokens():
+            kind = {"IDENTIFIER": "id", "KEYWORD": "id", "LITERAL": "num",
+                    "PUNCTUATION": "punct"}.get(t.kind.name, "punct")
+            if t.kind.name == "COMMENT":
+                continue
+            out.append(Tok(kind, t.spelling, t.location.line))
+        return out
+
+    def visit(cursor, namespace, cls):
+        for c in cursor.get_children():
+            if c.location.file is None or c.location.file.name != abs_path:
+                continue
+            k = c.kind.name
+            if k == "NAMESPACE":
+                visit(c, f"{namespace}::{c.spelling}" if namespace else c.spelling, cls)
+            elif k in ("CLASS_DECL", "STRUCT_DECL", "CLASS_TEMPLATE"):
+                info = model.ClassInfo(c.spelling, namespace, rel, c.location.line)
+                fir.classes.setdefault(c.spelling, info)
+                visit(c, namespace, c.spelling)
+            elif k == "FIELD_DECL" and cls:
+                info = fir.classes.get(cls)
+                if info is not None:
+                    info.members.setdefault(
+                        c.spelling, model.Member(c.spelling, c.type.spelling))
+            elif k == "ENUM_DECL":
+                fir.enums[c.spelling] = model.EnumInfo(
+                    c.spelling, rel, c.location.line,
+                    [e.spelling for e in c.get_children()
+                     if e.kind.name == "ENUM_CONSTANT_DECL"])
+            elif k in ("CXX_METHOD", "FUNCTION_DECL", "CONSTRUCTOR", "DESTRUCTOR",
+                       "FUNCTION_TEMPLATE"):
+                if not c.is_definition():
+                    continue
+                toks = toks_of(c)
+                # split signature from body at the first top-level `{`
+                depth = 0
+                body_at = None
+                for idx, t in enumerate(toks):
+                    if t.text == "(":
+                        depth += 1
+                    elif t.text == ")":
+                        depth -= 1
+                    elif t.text == "{" and depth == 0:
+                        body_at = idx
+                        break
+                if body_at is None:
+                    continue
+                head, body = toks[:body_at], toks[body_at + 1 : -1]
+                fn = model._make_function(head, body, namespace,
+                                          cls or _semantic_class(c), rel)
+                if fn is not None:
+                    fir.functions.append(fn)
+                visit(c, namespace, cls)
+
+    def _semantic_class(c):
+        p = c.semantic_parent
+        if p is not None and p.kind.name in ("CLASS_DECL", "STRUCT_DECL", "CLASS_TEMPLATE"):
+            return p.spelling
+        return ""
+
+    visit(tu.cursor, "", "")
+    return fir

@@ -1,0 +1,211 @@
+"""Shared lock-state analysis for the lock-order and blocking-under-lock passes.
+
+Walks a function's statement tree tracking which mutexes are held at each
+point. Three acquisition forms are modeled:
+
+  * scoped guards:   `MutexLock lock(mutex_);` (also std::lock_guard et al.)
+                     — released at the end of the enclosing block;
+  * manual toggling: `mutex_.Lock()` / `mutex_.Unlock()` — the hand-off
+                     pattern used by PullCoalescer::FlushLocked and
+                     Network's delivery loop;
+  * entry contracts: REQUIRES(mu) on the definition or the header
+                     declaration — the lock is held on entry and may be
+                     released by a manual Unlock inside the body.
+
+Mutex identity is the class-qualified member name ("PullCoalescer::mutex_"),
+or file-qualified for free functions, so the same lock is recognized across
+methods and translation units.
+
+The walk yields AcquireEvent / CallEvent records; calls inside lambda bodies
+are excluded (deferred execution — the lambda does not run at the point the
+enclosing lock is held).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from gmlint import cpp
+from gmlint.cpp import Call, Stmt, Tok
+from gmlint.model import Function, Index
+
+_GUARD_CLASSES = {"MutexLock", "lock_guard", "unique_lock", "scoped_lock"}
+_TYPE_NOISE = {
+    "const", "std", "unique_ptr", "shared_ptr", "atomic", "vector", "deque",
+    "optional", "mutable", "struct", "class",
+}
+
+
+@dataclass
+class AcquireEvent:
+    identity: str
+    held_before: tuple[str, ...]
+    line: int
+
+
+@dataclass
+class CallEvent:
+    call: Call
+    held: tuple[str, ...]
+    line: int
+
+
+def class_of_type(type_text: str, index: Index) -> str:
+    """Best-effort class name inside a member type ("std::unique_ptr<RcvCache>"
+    -> "RcvCache")."""
+    ids = re.findall(r"[A-Za-z_]\w*", type_text)
+    known = index.classes()
+    for name in ids:
+        if name in known:
+            return name
+    for name in reversed(ids):
+        if name not in _TYPE_NOISE:
+            return name
+    return ""
+
+
+def resolve_lock_expr(expr: str, fn: Function, index: Index) -> str:
+    """Canonical identity for a lock expression in `fn`'s context."""
+    expr = expr.replace(" ", "")
+    parts = [p for p in re.split(r"->|\.", expr) if p]
+    if not parts:
+        return ""
+    if len(parts) == 1:
+        owner = fn.cls or fn.file
+        return f"{owner}::{parts[0]}"
+    base, last = parts[-2], parts[-1]
+    btype = index.member_type(fn.cls, base) if fn.cls else ""
+    if btype:
+        bcls = class_of_type(btype, index)
+        if bcls:
+            return f"{bcls}::{last}"
+    return expr  # locals / unresolvable chains keep their textual identity
+
+
+def entry_locks(fn: Function, index: Index) -> list[str]:
+    """Identities held on entry per REQUIRES on the definition or the header
+    declaration of the same method."""
+    annots = dict(fn.annotations)
+    if fn.cls:
+        info = index.classes().get(fn.cls)
+        if info is not None:
+            for key, vals in info.decl_annotations.get(fn.short_name, {}).items():
+                annots.setdefault(key, vals)
+    out: list[str] = []
+    for arg_text in annots.get("REQUIRES", []):
+        for piece in arg_text.split(","):
+            piece = piece.strip()
+            if piece:
+                ident = resolve_lock_expr(piece, fn, index)
+                if ident and ident not in out:
+                    out.append(ident)
+    return out
+
+
+def lock_events(fn: Function, index: Index) -> list[AcquireEvent | CallEvent]:
+    """Linear walk of `fn` emitting acquisition and call events with held-set
+    context. Conditional arms and loop bodies see a copy of the held set, so
+    lock-state changes inside them do not leak out (conservative)."""
+    events: list[AcquireEvent | CallEvent] = []
+    held = list(entry_locks(fn, index))
+
+    def scan_tokens(toks: list[Tok], held: list[str], frame: list[str]):
+        # scoped guard declarations: Guard [<T>] var ( expr ) / { expr }
+        k = 0
+        guard_lines = set()
+        while k < len(toks):
+            t = toks[k]
+            if t.kind == "id" and t.text in _GUARD_CLASSES:
+                j = k + 1
+                if j < len(toks) and toks[j].text == "<":
+                    depth = 0
+                    while j < len(toks):
+                        if toks[j].text == "<":
+                            depth += 1
+                        elif toks[j].text in (">", ">>"):
+                            depth -= 1 if toks[j].text == ">" else 2
+                            if depth <= 0:
+                                j += 1
+                                break
+                        j += 1
+                if j < len(toks) and toks[j].kind == "id":
+                    var_at = j
+                    j += 1
+                    if j < len(toks) and toks[j].text in ("(", "{"):
+                        close = cpp._match_forward(
+                            toks, j, toks[j].text, ")" if toks[j].text == "(" else "}")
+                        expr = cpp.toks_text(toks[j + 1 : close - 1])
+                        ident = resolve_lock_expr(expr, fn, index)
+                        if ident:
+                            events.append(AcquireEvent(ident, tuple(held), t.line))
+                            if ident not in held:
+                                held.append(ident)
+                                frame.append(ident)
+                            guard_lines.add(toks[var_at].line)
+                        k = close
+                        continue
+            k += 1
+        for call in cpp.extract_calls(toks):
+            if call.in_lambda:
+                continue
+            if call.name in ("Lock", "Unlock") and call.recv:
+                ident = resolve_lock_expr(call.recv.rstrip(".->:"), fn, index)
+                if not ident:
+                    continue
+                if call.name == "Lock":
+                    events.append(AcquireEvent(ident, tuple(held), call.line))
+                    if ident not in held:
+                        held.append(ident)
+                else:
+                    if ident in held:
+                        held.remove(ident)
+                continue
+            if call.name in _GUARD_CLASSES:
+                continue
+            events.append(CallEvent(call, tuple(held), call.line))
+
+    def walk(stmts: list[Stmt], held: list[str]):
+        frame: list[str] = []
+        for st in stmts:
+            if st.kind == "simple" or st.kind == "return":
+                scan_tokens(st.tokens, held, frame)
+            elif st.kind == "if":
+                scan_tokens(st.tokens, held, frame)
+                walk(st.body, list(held))
+                walk(st.orelse, list(held))
+            elif st.kind in ("loop", "do", "switch"):
+                scan_tokens(st.tokens, held, frame)
+                walk(st.body, list(held))
+            elif st.kind == "block":
+                walk(st.body, list(held))
+        for ident in frame:
+            if ident in held:
+                held.remove(ident)
+
+    walk(fn.stmts(), held)
+    return events
+
+
+def resolve_callee(call: Call, fn: Function, index: Index) -> list[Function]:
+    """Functions a call may target, via receiver member types. Ambiguous
+    unqualified names (no receiver, multiple unrelated definitions) resolve to
+    nothing rather than everything."""
+    recv = call.recv
+    if not recv:
+        cands = index.resolve(call.name, fn.cls)
+        if fn.cls and any(c.cls == fn.cls for c in cands):
+            return [c for c in cands if c.cls == fn.cls]
+        return cands if len(cands) == 1 else []
+    if recv.endswith("::"):
+        return index.resolve(call.name, recv[:-2].split("::")[-1])
+    base = recv.rstrip(".->:")
+    base = re.split(r"->|\.", base.replace(" ", ""))[-1]
+    if base in ("this",):
+        return [c for c in index.resolve(call.name, fn.cls) if c.cls == fn.cls]
+    btype = index.member_type(fn.cls, base) if fn.cls else ""
+    if btype:
+        bcls = class_of_type(btype, index)
+        if bcls:
+            return [c for c in index.resolve(call.name, bcls) if c.cls == bcls]
+    return []

@@ -1,0 +1,474 @@
+"""File- and program-level IR built on the structural frontend.
+
+A `FileIR` holds the functions, classes and enums of one file; an `Index`
+aggregates every analyzed file so passes can resolve helper calls, member
+types, and enum definitions across translation units.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from gmlint import cpp
+from gmlint.cpp import Call, Stmt, Tok
+
+_TRAILERS = {
+    "const", "override", "final", "noexcept", "mutable", "constexpr", "inline",
+    "NO_THREAD_SAFETY_ANALYSIS",
+}
+_ANNOT_MACROS = {
+    "REQUIRES", "REQUIRES_SHARED", "EXCLUDES", "ACQUIRE", "ACQUIRE_SHARED",
+    "RELEASE", "RELEASE_SHARED", "TRY_ACQUIRE", "ASSERT_CAPABILITY",
+    "RETURN_CAPABILITY", "GUARDED_BY", "PT_GUARDED_BY", "ACQUIRED_BEFORE",
+    "ACQUIRED_AFTER",
+}
+_ACCESS = {"public", "private", "protected"}
+_ANNOT_CLASS = {"CAPABILITY", "SCOPED_CAPABILITY"}
+_CONTROL = {"if", "while", "for", "switch", "do", "else", "return", "catch"}
+
+
+@dataclass
+class Param:
+    type: str
+    name: str
+
+
+@dataclass
+class Function:
+    name: str            # declared name, possibly qualified ("Worker::Run")
+    cls: str             # enclosing (or qualifying) class, "" for free functions
+    namespace: str
+    file: str            # repo-relative path
+    line: int
+    params: list[Param]
+    body: list[Tok]      # body token slice (braces stripped)
+    annotations: dict[str, list[str]] = field(default_factory=dict)
+    is_const: bool = False
+
+    _stmts: list[Stmt] | None = None
+
+    @property
+    def short_name(self) -> str:
+        return self.name.split("::")[-1]
+
+    @property
+    def qualified(self) -> str:
+        cls = self.cls
+        short = self.short_name
+        return f"{cls}::{short}" if cls else short
+
+    def stmts(self) -> list[Stmt]:
+        if self._stmts is None:
+            self._stmts = cpp.parse_stmts(self.body)
+        return self._stmts
+
+    def calls(self) -> list[Call]:
+        return cpp.extract_calls(self.body)
+
+
+@dataclass
+class Member:
+    name: str
+    type: str
+    guarded_by: str = ""
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    namespace: str
+    file: str
+    line: int
+    members: dict[str, Member] = field(default_factory=dict)
+    bases: list[str] = field(default_factory=list)
+    # annotations from method *declarations* (REQUIRES etc. live on the
+    # header declaration while the definition carries none)
+    decl_annotations: dict[str, dict[str, list[str]]] = field(default_factory=dict)
+
+
+@dataclass
+class EnumInfo:
+    name: str
+    file: str
+    line: int
+    enumerators: list[str] = field(default_factory=list)
+
+
+@dataclass
+class FileIR:
+    path: str  # repo-relative
+    functions: list[Function] = field(default_factory=list)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    enums: dict[str, EnumInfo] = field(default_factory=dict)
+    suppress: dict[int, set[str]] = field(default_factory=dict)
+
+    def allowed(self, line: int, check: str) -> bool:
+        for ln in (line, line - 1):
+            checks = self.suppress.get(ln)
+            if checks and (check in checks or "*" in checks):
+                return True
+        return False
+
+
+class Index:
+    """Whole-program view over every parsed file."""
+
+    def __init__(self):
+        self.files: dict[str, FileIR] = {}
+
+    def add(self, fir: FileIR):
+        self.files[fir.path] = fir
+
+    def functions(self):
+        for fir in self.files.values():
+            yield from fir.functions
+
+    def classes(self) -> dict[str, ClassInfo]:
+        out = {}
+        for fir in self.files.values():
+            out.update(fir.classes)
+        return out
+
+    def enums(self) -> dict[str, EnumInfo]:
+        out = {}
+        for fir in self.files.values():
+            for name, e in fir.enums.items():
+                out.setdefault(name, e)
+        return out
+
+    def resolve(self, name: str, cls: str = "") -> list[Function]:
+        """Functions matching a short or qualified name, preferring `cls`."""
+        short = name.split("::")[-1]
+        in_cls = [f for f in self.functions() if f.short_name == short and cls and f.cls == cls]
+        if in_cls:
+            return in_cls
+        if "::" in name:
+            qcls = name.rsplit("::", 1)[0].split("::")[-1]
+            qual = [f for f in self.functions() if f.short_name == short and f.cls == qcls]
+            if qual:
+                return qual
+        return [f for f in self.functions() if f.short_name == short]
+
+    def member_type(self, cls: str, member: str) -> str:
+        info = self.classes().get(cls)
+        if info and member in info.members:
+            return info.members[member].type
+        return ""
+
+
+# ---------------------------------------------------------------------------
+# Parsing a file into FileIR
+# ---------------------------------------------------------------------------
+
+
+def parse_file(abs_path: str, repo_root: str) -> FileIR:
+    with open(abs_path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    rel = os.path.relpath(abs_path, repo_root)
+    scrubbed, suppress = cpp.scrub(text)
+    toks = cpp.lex(scrubbed)
+    fir = FileIR(rel, suppress=suppress)
+    _parse_scope(toks, 0, len(toks), "", "", fir)
+    return fir
+
+
+def _parse_scope(toks: list[Tok], i: int, end: int, namespace: str, cls: str, fir: FileIR):
+    """Parse declarations in [i, end): namespaces, classes, enums, functions."""
+    head_start = i
+    while i < end:
+        t = toks[i]
+        if t.text == ";":
+            _maybe_member(toks[head_start:i], cls, fir)
+            i += 1
+            head_start = i
+            continue
+        if t.kind == "id" and t.text in _ACCESS and i + 1 < end and toks[i + 1].text == ":":
+            i += 2
+            head_start = i
+            continue
+        if t.text == "(":
+            i = cpp._match_forward(toks, i, "(", ")")
+            continue
+        if t.text == "[":
+            i = cpp._match_forward(toks, i, "[", "]")
+            continue
+        if t.text == "=":
+            # initializer: consume to `;` (may contain braces/lambdas)
+            j = cpp._until_semicolon(toks, i)
+            _maybe_member(toks[head_start:i], cls, fir)
+            i = j + 1
+            head_start = i
+            continue
+        if t.text == "{":
+            head = toks[head_start:i]
+            close = cpp._match_forward(toks, i, "{", "}")
+            kind, name = _classify_head(head)
+            if kind == "namespace":
+                ns = f"{namespace}::{name}" if namespace and name else (name or namespace)
+                _parse_scope(toks, i + 1, close - 1, ns, cls, fir)
+            elif kind == "class":
+                full = name
+                info = ClassInfo(full, namespace, fir.path, head[0].line if head else t.line,
+                                 bases=_bases(head))
+                fir.classes.setdefault(full, info)
+                _parse_scope(toks, i + 1, close - 1, namespace, full, fir)
+            elif kind == "enum":
+                fir.enums[name] = EnumInfo(name, fir.path, head[0].line if head else t.line,
+                                           _enumerators(toks[i + 1 : close - 1]))
+            elif kind == "function":
+                fn = _make_function(head, toks[i + 1 : close - 1], namespace, cls, fir.path)
+                if fn is not None:
+                    fir.functions.append(fn)
+            # else: plain block / initializer — skip
+            i = close
+            head_start = i
+            continue
+        if t.text == "}":
+            i += 1
+            head_start = i
+            continue
+        i += 1
+    _maybe_member(toks[head_start:end], cls, fir)
+
+
+def _classify_head(head: list[Tok]):
+    if not head:
+        return "block", ""
+    words = [t.text for t in head]
+    if "namespace" in words:
+        ids = [t.text for t in head if t.kind == "id" and t.text != "namespace" and t.text != "inline"]
+        return "namespace", ids[-1] if ids else ""
+    if "enum" in words:
+        ids = [t.text for t in head[: _colon_index(head)] if t.kind == "id"
+               and t.text not in ("enum", "class", "struct")]
+        return "enum", ids[-1] if ids else ""
+    if any(w in ("class", "struct", "union") for w in words):
+        ci = _colon_index(head)
+        ids = [t.text for t in head[:ci] if t.kind == "id"
+               and t.text not in ("class", "struct", "union", "final", "alignas",
+                                  "template", "typename") and t.text not in _ANNOT_CLASS]
+        return "class", ids[-1] if ids else ""
+    # function: find a top-level (params) whose opener is preceded by an id
+    paren = _params_span(head)
+    if paren is not None:
+        return "function", ""
+    return "block", ""
+
+
+def _colon_index(head: list[Tok]) -> int:
+    depth = 0
+    for k, t in enumerate(head):
+        if t.text in ("(", "[", "<"):
+            depth += 1
+        elif t.text in (")", "]", ">"):
+            depth -= 1
+        elif t.text == ":" and depth <= 0:
+            return k
+    return len(head)
+
+
+def _init_list_cut(head: list[Tok]) -> int:
+    """Index of a constructor-init-list / base-clause `:` at depth 0 (the
+    lexer merges `::`, so a lone `:` here is structural), or len(head)."""
+    depth = 0
+    for k, t in enumerate(head):
+        if t.text in ("(", "[", "{"):
+            depth += 1
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+        elif t.text == ":" and depth == 0 and t.kind == "punct":
+            return k
+    return len(head)
+
+
+def _params_span(head: list[Tok]):
+    """(open, close) of the parameter list if `head` looks like a function
+    signature: `... name ( params ) trailers [: init-list]`."""
+    head = head[: _init_list_cut(head)]
+    # walk from the end: skip trailers / annotation macros
+    k = len(head) - 1
+    depth = 0
+    last_close = None
+    while k >= 0:
+        t = head[k]
+        if t.text == ")":
+            depth += 1
+            if depth == 1:
+                last_close = k
+        elif t.text == "(":
+            depth -= 1
+            if depth == 0 and last_close is not None:
+                # is the token before `(` a plausible function name?
+                prev = head[k - 1] if k > 0 else None
+                if prev is None or prev.kind != "id" or prev.text in _CONTROL:
+                    return None
+                # macro annotation parens? then keep walking left
+                if prev.text in _ANNOT_MACROS:
+                    last_close = None
+                    k -= 1
+                    continue
+                return (k, last_close)
+        k -= 1
+    return None
+
+
+def _bases(head: list[Tok]) -> list[str]:
+    ci = _colon_index(head)
+    if ci >= len(head):
+        return []
+    return [t.text for t in head[ci + 1 :] if t.kind == "id"
+            and t.text not in ("public", "private", "protected", "virtual")]
+
+
+def _enumerators(toks: list[Tok]) -> list[str]:
+    out = []
+    depth = 0
+    expect = True
+    for t in toks:
+        if t.text in ("(", "{", "["):
+            depth += 1
+        elif t.text in (")", "}", "]"):
+            depth -= 1
+        elif depth == 0:
+            if t.text == ",":
+                expect = True
+            elif expect and t.kind == "id":
+                out.append(t.text)
+                expect = False
+    return out
+
+
+def _make_function(head: list[Tok], body: list[Tok], namespace: str, cls: str, path: str):
+    span = _params_span(head)
+    if span is None:
+        return None
+    popen, pclose = span
+    # name: walk back over qualified-id chain `A::B::name` (with `~` dtors)
+    k = popen - 1
+    name_parts = [head[k].text]
+    k -= 1
+    if k >= 0 and head[k].text == "~":
+        name_parts[-1] = "~" + name_parts[-1]
+        k -= 1
+    while k >= 1 and head[k].text == "::" and head[k - 1].kind == "id":
+        name_parts.append(head[k - 1].text)
+        k -= 2
+    name = "::".join(reversed(name_parts))
+    fn_cls = cls
+    if "::" in name:
+        fn_cls = name.rsplit("::", 1)[0].split("::")[-1]
+    params = _parse_params(head[popen + 1 : pclose])
+    annotations: dict[str, list[str]] = {}
+    trailer = head[pclose + 1 :]
+    is_const = any(t.text == "const" for t in trailer)
+    j = 0
+    while j < len(trailer):
+        t = trailer[j]
+        if t.kind == "id" and (t.text in _ANNOT_MACROS or t.text == "NO_THREAD_SAFETY_ANALYSIS"):
+            if j + 1 < len(trailer) and trailer[j + 1].text == "(":
+                close = cpp._match_forward(trailer, j + 1, "(", ")")
+                args = cpp.toks_text(trailer[j + 2 : close - 1])
+                annotations.setdefault(t.text, []).append(args)
+                j = close
+                continue
+            annotations.setdefault(t.text, []).append("")
+        elif t.text == ":" :
+            break  # constructor init list
+        j += 1
+    line = head[0].line if head else (body[0].line if body else 0)
+    return Function(name, fn_cls, namespace, path, line, params, body,
+                    annotations, is_const)
+
+
+def _parse_params(toks: list[Tok]) -> list[Param]:
+    params: list[Param] = []
+    cur: list[Tok] = []
+    depth = 0
+    for t in toks:
+        if t.text in ("(", "[", "{", "<"):
+            depth += 1
+        elif t.text in (")", "]", "}", ">"):
+            depth -= 1
+        if t.text == "," and depth == 0:
+            params.append(_one_param(cur))
+            cur = []
+        else:
+            cur.append(t)
+    if cur:
+        params.append(_one_param(cur))
+    return [p for p in params if p is not None]
+
+
+def _one_param(toks: list[Tok]):
+    # drop default value
+    depth = 0
+    cut = len(toks)
+    for k, t in enumerate(toks):
+        if t.text in ("(", "[", "{", "<"):
+            depth += 1
+        elif t.text in (")", "]", "}", ">"):
+            depth -= 1
+        elif t.text == "=" and depth == 0:
+            cut = k
+            break
+    toks = toks[:cut]
+    ids = [t for t in toks if t.kind == "id"]
+    if not ids:
+        return None
+    name = ids[-1].text
+    type_toks = toks[:-1] if toks and toks[-1].kind == "id" else toks
+    return Param(cpp.toks_text(type_toks), name)
+
+
+def _maybe_member(head: list[Tok], cls: str, fir: FileIR):
+    """Record a class member declaration `Type name_ [GUARDED_BY(mu)] ;`."""
+    if not cls or not head:
+        return
+    words = [t.text for t in head]
+    if any(w in ("using", "typedef", "friend", "static_assert", "return") for w in words):
+        return
+    span = _params_span(head)
+    if span is not None:
+        # method declaration: keep its capability annotations for the passes
+        _, pclose = span
+        annots: dict[str, list[str]] = {}
+        j = pclose + 1
+        cut = _init_list_cut(head)
+        while j < cut:
+            t = head[j]
+            if t.kind == "id" and (t.text in _ANNOT_MACROS or t.text == "NO_THREAD_SAFETY_ANALYSIS"):
+                if j + 1 < cut and head[j + 1].text == "(":
+                    close = cpp._match_forward(head, j + 1, "(", ")")
+                    annots.setdefault(t.text, []).append(
+                        cpp.toks_text(head[j + 2 : close - 1]))
+                    j = close
+                    continue
+                annots.setdefault(t.text, []).append("")
+            j += 1
+        if annots:
+            k = span[0] - 1
+            if k >= 0 and head[k].kind == "id":
+                info = fir.classes.get(cls)
+                if info is not None:
+                    info.decl_annotations[head[k].text] = annots
+        return
+    guarded = ""
+    cut = len(head)
+    for k, t in enumerate(head):
+        if t.kind == "id" and t.text in ("GUARDED_BY", "PT_GUARDED_BY"):
+            if k + 1 < len(head) and head[k + 1].text == "(":
+                close = cpp._match_forward(head, k + 1, "(", ")")
+                guarded = cpp.toks_text(head[k + 2 : close - 1])
+            cut = min(cut, k)
+    decl = head[:cut]
+    ids = [t for t in decl if t.kind == "id"]
+    if len(ids) < 2:
+        return
+    name = ids[-1].text
+    if name == "operator" or "operator" in (t.text for t in decl):
+        return
+    type_text = cpp.toks_text(decl).rsplit(name, 1)[0].strip()
+    info = fir.classes.get(cls)
+    if info is not None and name not in info.members:
+        info.members[name] = Member(name, type_text, guarded)

@@ -1,0 +1,17 @@
+"""Pass registry. Each pass module exposes NAME and run(index) -> [Finding]."""
+
+from gmlint.passes import (
+    blocking_under_lock,
+    lock_order,
+    protocol,
+    serialize_symmetry,
+    span_balance,
+)
+
+ALL_PASSES = {
+    serialize_symmetry.NAME: serialize_symmetry,
+    lock_order.NAME: lock_order,
+    blocking_under_lock.NAME: blocking_under_lock,
+    protocol.NAME: protocol,
+    span_balance.NAME: span_balance,
+}

@@ -1,0 +1,166 @@
+"""blocking-under-lock: no network sends, queue waits, or coalescer flushes
+while a Mutex is held.
+
+A thread that blocks on the network (or on queue backpressure) while holding
+a lock stalls every thread contending on that lock — in the worst case the
+very thread whose progress would unblock the send. The pass walks each
+function with the held-set machinery from gmlint.locks and flags blocking
+primitives reached while any lock is held, directly or through callees
+(depth-limited). A callee that releases the caller's lock first — the
+PullCoalescer::FlushLocked hand-off, declared via REQUIRES + explicit
+Unlock — is recognized and not flagged.
+
+CondVar waits are exempt: waiting on a condition variable *requires* the
+mutex and atomically releases it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from gmlint import locks
+from gmlint.cpp import Call
+from gmlint.model import Function, Index
+
+from gmlint import Finding
+
+NAME = "blocking-under-lock"
+
+_MAX_DEPTH = 4
+
+# Classes whose own methods implement the blocking primitives; their bodies
+# legitimately combine their internal lock with the underlying wait/IO.
+_IMPLEMENTOR_CLASSES = {"Network", "BlockingQueue", "Mutex", "MutexLock", "CondVar"}
+
+# method name -> (owning class or "" for any, description)
+_BLOCKING = {
+    "Send": ("Network", "sends on the network"),
+    "Receive": ("Network", "blocks receiving from the network"),
+    "ReceiveFor": ("Network", "blocks receiving from the network"),
+    "Pop": ("BlockingQueue", "waits on a blocking queue"),
+    "PopFor": ("BlockingQueue", "waits on a blocking queue"),
+    "Enqueue": ("PullCoalescer", "may block on coalescer backpressure"),
+    "Flush": ("PullCoalescer", "flushes the coalescer (network send)"),
+    "FlushAll": ("PullCoalescer", "flushes the coalescer (network send)"),
+    "sleep_for": ("", "sleeps"),
+    "sleep_until": ("", "sleeps"),
+}
+
+
+def _receiver_class(call: Call, fn: Function, index: Index) -> str:
+    recv = call.recv
+    if not recv:
+        return fn.cls
+    if recv.endswith("::"):
+        return recv[:-2].split("::")[-1]
+    base = recv.rstrip(".->:").replace(" ", "")
+    base = base.split("->")[-1].split(".")[-1]
+    if base == "this":
+        return fn.cls
+    if base == "this_thread":
+        return ""
+    btype = index.member_type(fn.cls, base) if fn.cls else ""
+    if btype:
+        return locks.class_of_type(btype, index)
+    return "?"  # local variable / unresolvable
+
+
+def classify_blocking(call: Call, fn: Function, index: Index) -> str | None:
+    """Description if this call is a blocking primitive, else None."""
+    spec = _BLOCKING.get(call.name)
+    if spec is None:
+        return None
+    want_cls, desc = spec
+    rcls = _receiver_class(call, fn, index)
+    if want_cls == "":
+        return desc if rcls == "" else None
+    if rcls == want_cls:
+        return f"{want_cls}::{call.name} {desc}"
+    if rcls == "?" and call.name in ("Send", "Pop", "PopFor"):
+        # unresolvable receiver but a distinctive name: still flag
+        return f"{call.name} {desc}"
+    return None
+
+
+@dataclass
+class BlockSite:
+    desc: str
+    line: int
+    chain: str              # "A::B -> C::D" call chain for the message
+    released: frozenset     # entry-lock identities released before the op
+
+
+def _summary(fn: Function, index: Index, memo: dict[int, list[BlockSite]],
+             stack: set[int], depth: int) -> list[BlockSite]:
+    """Blocking ops reachable in `fn`, each with the subset of fn's entry
+    (REQUIRES) locks that were explicitly released before the op executes."""
+    key = id(fn)
+    if key in memo:
+        return memo[key]
+    if key in stack or depth > _MAX_DEPTH or fn.cls in _IMPLEMENTOR_CLASSES:
+        return []
+    stack.add(key)
+    entry = set(locks.entry_locks(fn, index))
+    sites: list[BlockSite] = []
+    for ev in locks.lock_events(fn, index):
+        if not isinstance(ev, locks.CallEvent):
+            continue
+        released = frozenset(entry - set(ev.held))
+        desc = classify_blocking(ev.call, fn, index)
+        if desc is not None:
+            sites.append(BlockSite(desc, ev.line, fn.qualified, released))
+            continue
+        for callee in locks.resolve_callee(ev.call, fn, index):
+            for sub in _summary(callee, index, memo, stack, depth + 1):
+                # locks the callee released count only if they are also locks
+                # this function can name (entry identities); everything else
+                # stays "held" from the outer caller's perspective
+                sites.append(BlockSite(
+                    sub.desc, ev.line, f"{fn.qualified} -> {sub.chain}",
+                    released | sub.released))
+    stack.discard(key)
+    memo[key] = sites
+    return sites
+
+
+def run(index: Index) -> list[Finding]:
+    findings: list[Finding] = []
+    memo: dict[int, list[BlockSite]] = {}
+    for fn in index.functions():
+        if fn.cls in _IMPLEMENTOR_CLASSES:
+            continue
+        fir = index.files.get(fn.file)
+        entry = set(locks.entry_locks(fn, index))
+        for ev in locks.lock_events(fn, index):
+            if not isinstance(ev, locks.CallEvent) or not ev.held:
+                continue
+            desc = classify_blocking(ev.call, fn, index)
+            if desc is not None:
+                if fir is None or not fir.allowed(ev.line, NAME):
+                    findings.append(Finding(
+                        fn.file, ev.line, NAME,
+                        f"{desc} while holding {{{', '.join(ev.held)}}}",
+                        symbol=fn.qualified))
+                continue
+            for callee in locks.resolve_callee(ev.call, fn, index):
+                for sub in _summary(callee, index, memo, set(), 1):
+                    eff = [h for h in ev.held if h not in sub.released]
+                    if not eff:
+                        continue
+                    if fir is not None and fir.allowed(ev.line, NAME):
+                        continue
+                    findings.append(Finding(
+                        fn.file, ev.line, NAME,
+                        f"calls {sub.chain} which {sub.desc} "
+                        f"while holding {{{', '.join(eff)}}}",
+                        symbol=fn.qualified))
+    # dedupe identical (site, message) pairs from multi-candidate resolution
+    seen = set()
+    out = []
+    for f in findings:
+        k = (f.path, f.line, f.message)
+        if k in seen:
+            continue
+        seen.add(k)
+        out.append(f)
+    return out

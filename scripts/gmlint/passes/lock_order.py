@@ -1,0 +1,116 @@
+"""lock-order: global mutex-acquisition-order graph, cycle = deadlock risk.
+
+Every acquisition of lock B while lock A is held adds a directed edge A -> B,
+both for direct acquisitions (a nested MutexLock / .Lock()) and through calls
+into functions that acquire locks internally (transitive, depth-limited).
+A cycle in the resulting graph means two threads can acquire the same pair of
+locks in opposite orders; the finding carries one witness site per edge.
+"""
+
+from __future__ import annotations
+
+from gmlint import locks
+from gmlint.model import Function, Index
+
+from gmlint import Finding
+
+NAME = "lock-order"
+
+_MAX_DEPTH = 3
+# Lock-primitive wrappers: their bodies implement locking and must not
+# contribute acquisition edges of their own.
+_PRIMITIVE_CLASSES = {"Mutex", "MutexLock", "CondVar"}
+
+
+def _transitive_acquires(fn: Function, index: Index,
+                         memo: dict[int, set[str]],
+                         stack: set[int], depth: int) -> set[str]:
+    key = id(fn)
+    if key in memo:
+        return memo[key]
+    if key in stack or depth > _MAX_DEPTH or fn.cls in _PRIMITIVE_CLASSES:
+        return set()
+    stack.add(key)
+    acq: set[str] = set()
+    for ev in locks.lock_events(fn, index):
+        if isinstance(ev, locks.AcquireEvent):
+            acq.add(ev.identity)
+        else:
+            for callee in locks.resolve_callee(ev.call, fn, index):
+                acq |= _transitive_acquires(callee, index, memo, stack, depth + 1)
+    stack.discard(key)
+    memo[key] = acq
+    return acq
+
+
+def run(index: Index) -> list[Finding]:
+    # edge (A, B) -> witness (file, line, description)
+    edges: dict[tuple[str, str], tuple[str, int, str]] = {}
+    memo: dict[int, set[str]] = {}
+
+    for fn in index.functions():
+        if fn.cls in _PRIMITIVE_CLASSES:
+            continue
+        for ev in locks.lock_events(fn, index):
+            if isinstance(ev, locks.AcquireEvent):
+                for h in ev.held_before:
+                    if h != ev.identity:
+                        edges.setdefault(
+                            (h, ev.identity),
+                            (fn.file, ev.line, f"in {fn.qualified}"))
+            else:
+                if not ev.held:
+                    continue
+                for callee in locks.resolve_callee(ev.call, fn, index):
+                    for acq in _transitive_acquires(callee, index, memo, set(), 1):
+                        for h in ev.held:
+                            if h != acq:
+                                edges.setdefault(
+                                    (h, acq),
+                                    (fn.file, ev.line,
+                                     f"in {fn.qualified} via {callee.qualified}"))
+
+    # cycle detection over the edge graph
+    adj: dict[str, list[str]] = {}
+    for (a, b) in edges:
+        adj.setdefault(a, []).append(b)
+
+    findings: list[Finding] = []
+    reported: set[frozenset[tuple[str, str]]] = set()
+
+    def dfs(node: str, path: list[str], on_path: set[str], visited: set[str]):
+        on_path.add(node)
+        path.append(node)
+        for nxt in adj.get(node, []):
+            if nxt in on_path:
+                cycle = path[path.index(nxt):] + [nxt]
+                cyc_edges = frozenset(zip(cycle, cycle[1:]))
+                if cyc_edges not in reported:
+                    reported.add(cyc_edges)
+                    witness_file, witness_line, _ = edges[(cycle[0], cycle[1])]
+                    steps = []
+                    for a, b in zip(cycle, cycle[1:]):
+                        f, ln, desc = edges[(a, b)]
+                        steps.append(f"{a} -> {b} ({f}:{ln} {desc})")
+                    findings.append(Finding(
+                        witness_file, witness_line, NAME,
+                        "lock-order cycle: " + "; ".join(steps),
+                        symbol=" / ".join(sorted(set(cycle)))))
+            elif nxt not in visited:
+                dfs(nxt, path, on_path, visited)
+        on_path.discard(node)
+        path.pop()
+        visited.add(node)
+
+    visited: set[str] = set()
+    for node in sorted(adj):
+        if node not in visited:
+            dfs(node, [], set(), visited)
+
+    out = []
+    for f in findings:
+        fir = index.files.get(f.path)
+        if fir is not None and fir.allowed(f.line, NAME):
+            continue
+        out.append(f)
+    return out

@@ -1,0 +1,171 @@
+"""protocol: every MessageType enumerator is sent, handled, and framed
+consistently.
+
+The wire protocol is an untagged byte stream: the only schema is the code on
+both sides. The pass cross-references three things for every enumerator of
+the MessageType enum:
+
+  * a send site — `net_->Send(self, dst, MessageType::kX, payload)` anywhere
+    in the analyzed sources;
+  * a dispatch handler — a `case MessageType::kX:` label in some switch;
+  * framing consistency — a sender that ships an archive frame
+    (`out.TakeBuffer()` / `agg.buffer()`) must land in a handler whose case
+    body actually consumes the payload (mentions `payload`, constructs an
+    `InArchive`, or forwards the message object); a handler that
+    deserializes a payload must have at least one sender that provides one.
+
+An enumerator nobody sends is a dead frame; one nobody handles is dropped on
+the floor at the receiver (or hits the default: log-and-drop arm, which is a
+protocol hole the compiler cannot see because the switch has a default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from gmlint.cpp import Stmt, toks_text
+from gmlint.model import Function, Index
+
+from gmlint import Finding
+
+NAME = "protocol"
+
+_ENUM_NAME = "MessageType"
+
+
+@dataclass
+class _Use:
+    fn: Function
+    line: int
+    payload: str = ""  # send payload text, "" for non-send uses
+
+
+@dataclass
+class _Proto:
+    senders: list[_Use] = field(default_factory=list)
+    handlers: list[_Use] = field(default_factory=list)
+    handler_reads_payload: bool = False
+    other_uses: list[_Use] = field(default_factory=list)
+
+
+def _payload_kind(text: str) -> str:
+    text = text.replace(" ", "")
+    if text in ("{}", "std::string()", "std::string{}", '""'):
+        return "empty"
+    if "TakeBuffer" in text or "buffer" in text or "Buffer" in text:
+        return "framed"
+    return "unknown"
+
+
+def _case_value(st: Stmt) -> str | None:
+    """`case MessageType :: kX :` -> kX."""
+    txt = [t.text for t in st.tokens]
+    for i, w in enumerate(txt):
+        if w == _ENUM_NAME and i + 2 < len(txt) and txt[i + 1] == "::":
+            return txt[i + 2]
+    return None
+
+
+def _collect_switch_cases(stmts: list[Stmt], fn: Function, proto: dict[str, _Proto]):
+    """Associate each case label with the statements up to the next label and
+    record whether that body consumes the payload."""
+    for st in stmts:
+        if st.kind == "switch":
+            current: list[str] = []
+            body_toks: list[str] = []
+
+            def flush():
+                if not current:
+                    return
+                consumes = "payload" in body_toks or "InArchive" in body_toks
+                for val in current:
+                    p = proto.setdefault(val, _Proto())
+                    if consumes:
+                        p.handler_reads_payload = True
+
+            for sub in st.body:
+                if sub.kind == "case":
+                    val = _case_value(sub)
+                    if val is not None:
+                        if body_toks:
+                            flush()
+                            current, body_toks = [], []
+                        current.append(val)
+                        proto.setdefault(val, _Proto()).handlers.append(
+                            _Use(fn, sub.line))
+                    elif any(t.text == "default" for t in sub.tokens):
+                        flush()
+                        current, body_toks = [], []
+                else:
+                    body_toks.extend(t.text for t in _flatten(sub))
+            flush()
+            _collect_switch_cases(st.body, fn, proto)
+        elif st.kind in ("if", "loop", "do", "block"):
+            _collect_switch_cases(st.body, fn, proto)
+            _collect_switch_cases(st.orelse, fn, proto)
+
+
+def _flatten(st: Stmt):
+    yield from st.tokens
+    for s in st.body:
+        yield from _flatten(s)
+    for s in st.orelse:
+        yield from _flatten(s)
+
+
+def run(index: Index) -> list[Finding]:
+    enums = index.enums()
+    enum = enums.get(_ENUM_NAME)
+    if enum is None:
+        return []
+    proto: dict[str, _Proto] = {v: _Proto() for v in enum.enumerators}
+
+    for fn in index.functions():
+        # send sites and other uses, from call extraction
+        for call in fn.calls():
+            for ai, arg in enumerate(call.args):
+                txt = [t.text for t in arg]
+                for i, w in enumerate(txt):
+                    if w == _ENUM_NAME and i + 2 < len(txt) and txt[i + 1] == "::":
+                        val = txt[i + 2]
+                        if val not in proto:
+                            continue
+                        if call.name == "Send":
+                            payload = toks_text(call.args[-1]) if ai < len(call.args) - 1 else ""
+                            proto[val].senders.append(_Use(fn, call.line, payload))
+                        else:
+                            proto[val].other_uses.append(_Use(fn, call.line))
+        _collect_switch_cases(fn.stmts(), fn, proto)
+
+    findings: list[Finding] = []
+
+    def emit(path: str, line: int, msg: str, symbol: str):
+        fir = index.files.get(path)
+        if fir is not None and fir.allowed(line, NAME):
+            return
+        findings.append(Finding(path, line, NAME, msg, symbol=symbol))
+
+    for val in enum.enumerators:
+        p = proto[val]
+        if not p.senders:
+            emit(enum.file, enum.line,
+                 f"{_ENUM_NAME}::{val} has no Send site: dead frame "
+                 "(or its sender builds frames the pass cannot see — "
+                 "suppress with a justification)", val)
+        if not p.handlers:
+            emit(enum.file, enum.line,
+                 f"{_ENUM_NAME}::{val} has no `case` handler in any dispatch "
+                 "switch: frames of this type are dropped by the default arm",
+                 val)
+        kinds = {_payload_kind(u.payload) for u in p.senders}
+        if "framed" in kinds and p.handlers and not p.handler_reads_payload:
+            u = p.handlers[0]
+            emit(u.fn.file, u.line,
+                 f"{_ENUM_NAME}::{val} is sent with an archive payload but "
+                 "this handler never reads it (no payload/InArchive use)", val)
+        if p.senders and kinds == {"empty"} and p.handler_reads_payload:
+            u = p.senders[0]
+            emit(u.fn.file, u.line,
+                 f"{_ENUM_NAME}::{val} handler deserializes a payload but "
+                 "every sender ships an empty one", val)
+    return findings

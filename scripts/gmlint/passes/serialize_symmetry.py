@@ -1,0 +1,417 @@
+"""serialize-symmetry: byte-stream writers and readers must mirror exactly.
+
+The archives (common/serialize.h) are untagged byte streams: a reader that
+reads one field out of order, with the wrong width, or with the wrong shape
+silently corrupts every message behind it. This pass extracts the *effect
+sequence* of each writer/reader pair — through helper calls, loops and
+conditionals — and proves mirror symmetry structurally.
+
+Effect language (normalized, per control-flow shape):
+
+  scalar(T) | string | vector(T) | bytes | span   stream atoms
+  nested(Family, target)                          paired sub-serializer call
+  call(Stem)                                      unresolved helper; stems
+                                                  must pair Write*/Read*
+  loop([...])  branch([then],[else])              control shapes
+
+Write/read kinds mirror 1:1 (span covers WriteSpan vs ReadSpanInto / RawSpan
+/ Skip). ReserveU64 is a stream scalar(uint64_t) whose slot must also be
+patched before the writer returns. A WriteVector is byte-equivalent to
+scalar(uint64_t)+loop(scalar(T)) for trivially copyable T, and the pass
+canonicalizes that shape before comparing, so a hand-rolled element loop may
+legally mirror a vector write.
+
+Paired families (writer name -> reader name), matched per class (or per
+file for free functions): Serialize/Deserialize, SerializeBody/
+DeserializeBody, WriteFlat/ReadFlat, SerializePartial/MergePartial,
+SerializeGlobal/ApplyGlobal.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from gmlint import Finding
+from gmlint.cpp import Call, Stmt, Tok, extract_calls, toks_text
+from gmlint.model import Function, Index
+
+NAME = "serialize-symmetry"
+
+PAIRS = {
+    "Serialize": "Deserialize",
+    "SerializeBody": "DeserializeBody",
+    "WriteFlat": "ReadFlat",
+    "SerializePartial": "MergePartial",
+    "SerializeGlobal": "ApplyGlobal",
+}
+READERS = {r: w for w, r in PAIRS.items()}
+
+_WRITE_OPS = {
+    "Write": "scalar", "WriteString": "string", "WriteVector": "vector",
+    "WriteBytes": "bytes", "WriteSpan": "span", "ReserveU64": "reserve",
+    "PatchU64": "patch",
+}
+_READ_OPS = {
+    "Read": "scalar", "ReadString": "string", "ReadVector": "vector",
+    "ReadBytes": "bytes", "ReadSpanInto": "span", "RawSpan": "span",
+    "Skip": "span",
+}
+_ARCHIVE_NOOPS = {"AtEnd", "position", "remaining", "size", "buffer", "TakeBuffer"}
+
+_TYPE_ALIASES = {
+    "u8": "uint8_t", "u16": "uint16_t", "u32": "uint32_t", "u64": "uint64_t",
+    "size_t": "uint64_t", "std::size_t": "uint64_t",
+}
+
+
+def _norm_type(t: str | None) -> str | None:
+    if not t:
+        return None
+    t = re.sub(r"\b(const|typename)\b", "", t).replace(" ", "").strip("&")
+    return _TYPE_ALIASES.get(t, t)
+
+
+# --- effect tree -----------------------------------------------------------
+
+
+@dataclass
+class Eff:
+    kind: str  # scalar/string/vector/bytes/span/reserve/nested/call/loop/branch
+    type: str | None = None
+    name: str = ""      # nested family or call stem
+    line: int = 0
+    body: list["Eff"] = field(default_factory=list)
+    orelse: list["Eff"] = field(default_factory=list)
+
+    def shape(self) -> str:
+        if self.kind == "loop":
+            return "loop[" + ", ".join(e.shape() for e in self.body) + "]"
+        if self.kind == "branch":
+            return ("branch(" + ", ".join(e.shape() for e in self.body) + " | "
+                    + ", ".join(e.shape() for e in self.orelse) + ")")
+        if self.kind == "nested":
+            return f"nested:{self.name}"
+        if self.kind == "call":
+            return f"call:{self.name}"
+        return self.kind + (f"<{self.type}>" if self.type else "")
+
+
+def _call_stem(name: str) -> str | None:
+    """Normalize helper names so Write*/Read*, Serialize*/Deserialize*,
+    Save*/Load* pair up: WriteHeader and ReadHeader share stem 'Header'."""
+    for prefix in ("Write", "Read", "Serialize", "Deserialize", "Save", "Load"):
+        if name.startswith(prefix) and len(name) > len(prefix):
+            return name[len(prefix):]
+    return None
+
+
+class _Extractor:
+    def __init__(self, index: Index, side: str):
+        self.index = index
+        self.side = side  # 'w' or 'r'
+        self.ops = _WRITE_OPS if side == "w" else _READ_OPS
+        self.patches = 0
+        self.reserves = 0
+
+    def extract(self, fn: Function, arch: str, depth: int = 0,
+                seen: tuple = ()) -> list[Eff]:
+        if depth > 8 or fn.qualified in seen:
+            return []
+        return self._stmts(fn, arch, fn.stmts(), depth, seen + (fn.qualified,))
+
+    def _stmts(self, fn, arch, stmts: list[Stmt], depth, seen) -> list[Eff]:
+        out: list[Eff] = []
+        for st in stmts:
+            if st.kind in ("simple", "return", "case"):
+                out.extend(self._tokens(fn, arch, st.tokens, depth, seen))
+            elif st.kind == "block":
+                out.extend(self._stmts(fn, arch, st.body, depth, seen))
+            elif st.kind == "if":
+                out.extend(self._tokens(fn, arch, st.tokens, depth, seen))
+                then = self._stmts(fn, arch, st.body, depth, seen)
+                els = self._stmts(fn, arch, st.orelse, depth, seen)
+                if then or els:
+                    out.append(Eff("branch", line=st.line, body=then, orelse=els))
+            elif st.kind in ("loop", "do"):
+                cond = self._tokens(fn, arch, st.tokens, depth, seen)
+                body = self._stmts(fn, arch, st.body, depth, seen)
+                inner = cond + body
+                if inner:
+                    out.append(Eff("loop", line=st.line, body=inner))
+            elif st.kind == "switch":
+                # treat the whole switch as one branch shape: arms must agree
+                body = self._stmts(fn, arch, st.body, depth, seen)
+                if body:
+                    out.append(Eff("branch", line=st.line, body=body))
+        return out
+
+    def _tokens(self, fn, arch, toks: list[Tok], depth, seen) -> list[Eff]:
+        """Emit effects in stream order: a call's argument sub-calls evaluate
+        (and touch the archive) before the call itself, so
+        `in.ReadSpanInto(v, in.Read<u64>())` is scalar-then-span."""
+        calls = [c for c in extract_calls(toks) if not c.in_lambda]
+        roots: list[tuple[Call, list]] = []
+        stack: list[tuple[Call, list]] = []
+        for c in sorted(calls, key=lambda c: c.start):
+            while stack and c.start >= stack[-1][0].end:
+                stack.pop()
+            node = (c, [])
+            (stack[-1][1] if stack else roots).append(node)
+            stack.append(node)
+
+        def emit(node) -> list[Eff]:
+            c, kids = node
+            kid_effs: list[Eff] = []
+            for k in kids:
+                kid_effs.extend(emit(k))
+            own = self._call(fn, arch, c, depth, seen, bool(kid_effs))
+            return kid_effs + own
+
+        out: list[Eff] = []
+        for n in roots:
+            out.extend(emit(n))
+        return out
+
+    def _call(self, fn: Function, arch: str, call: Call, depth, seen,
+              nested_effects: bool = False) -> list[Eff]:
+        recv = call.recv
+        # the archive is handed onward only when it is passed as a value
+        # (`Helper(out, x)`, `T::Deserialize(in)`), not when an accessor like
+        # `in.position()` merely appears inside an argument expression
+        arch_in_args = False
+        for a in call.args:
+            for k, t in enumerate(a):
+                if t.kind == "id" and t.text == arch:
+                    nxt = a[k + 1].text if k + 1 < len(a) else ""
+                    if nxt not in (".", "->"):
+                        arch_in_args = True
+        # archive method call: out.Write<T>(x) / in.Read<T>()
+        if recv in (f"{arch}.", f"{arch}->"):
+            kind = self.ops.get(call.name)
+            if kind == "patch":
+                self.patches += 1
+                return []
+            if kind == "reserve":
+                self.reserves += 1
+                return [Eff("scalar", "uint64_t", "reserve", call.line)]
+            if kind:
+                ty = _norm_type(call.targs)
+                if not ty:
+                    ty = self._infer(fn, call)
+                    if kind == "vector" and ty:
+                        # WriteVector(member) infers the *container* type;
+                        # the effect's type is the element type
+                        m = re.match(r"(?:std::)?vector<(.+)>$", ty)
+                        ty = _norm_type(m.group(1)) if m else None
+                return [Eff(kind, ty, "", call.line)]
+            if call.name in _ARCHIVE_NOOPS:
+                return []
+            return []  # unknown archive method: ignore
+        # nested pair-family call: x.Serialize(out), T::ReadFlat(in), body calls
+        fam = call.name
+        if fam in PAIRS or fam in READERS:
+            if arch_in_args:
+                base = fam if fam in PAIRS else READERS[fam]
+                target = recv.rstrip(".:->")
+                return [Eff("nested", None, base, call.line)]
+            return []
+        # pure consumer of nested archive effects: value_.store(in.Read<u64>()),
+        # std::max(x, in.Read<u64>()) — the nested ops already account for the
+        # stream bytes; the outer call itself touches nothing
+        if nested_effects:
+            return []
+        # helper call that threads the archive through
+        if arch_in_args:
+            cands = self.index.resolve(call.name, fn.cls)
+            cands = [c for c in cands
+                     if any(("OutArchive" if self.side == "w" else "InArchive") in p.type
+                            for p in c.params)]
+            if cands:
+                callee = cands[0]
+                sub_arch = next(
+                    (p.name for p in callee.params
+                     if ("OutArchive" if self.side == "w" else "InArchive") in p.type),
+                    arch)
+                sub = self.extract(callee, sub_arch, depth + 1, seen)
+                return sub
+            stem = _call_stem(call.name)
+            if stem:
+                return [Eff("call", None, stem, call.line)]
+            return [Eff("call", None, call.name, call.line)]
+        return []
+
+    def _infer(self, fn: Function, call: Call) -> str | None:
+        """Infer the written type of `out.Write(x)` from x's declared type."""
+        if not call.args or not call.args[0]:
+            return None
+        a = call.args[0]
+        # strip trailing .load(...) (atomics)
+        ids = [t.text for t in a if t.kind == "id"]
+        if len(a) == 1 and a[0].kind == "id":
+            ty = self.index.member_type(fn.cls, a[0].text)
+            return _norm_type(ty) or None
+        if len(ids) >= 1 and toks_text(a).startswith(ids[0]) and len(ids) <= 2:
+            ty = self.index.member_type(fn.cls, ids[0])
+            if ty and ids[-1] == "load":
+                m = re.search(r"atomic\s*<\s*([^>]+)\s*>", ty)
+                return _norm_type(m.group(1)) if m else None
+        return None
+
+
+# --- canonicalization and comparison ---------------------------------------
+
+
+def _canon(effs: list[Eff]) -> list[Eff]:
+    out: list[Eff] = []
+    for e in effs:
+        if e.kind == "loop":
+            body = _canon(e.body)
+            if body:
+                out.append(Eff("loop", line=e.line, body=body))
+        elif e.kind == "branch":
+            then, els = _canon(e.body), _canon(e.orelse)
+            if not then and not els:
+                continue
+            if [x.shape() for x in then] == [x.shape() for x in els]:
+                out.extend(then)  # both arms identical: unconditional
+            else:
+                out.append(Eff("branch", line=e.line, body=then, orelse=els))
+        else:
+            out.append(e)
+    return out
+
+
+def _expand_vector(e: Eff) -> list[Eff]:
+    """vector(T) == scalar(uint64_t) + loop[scalar(T)] byte-wise."""
+    return [Eff("scalar", "uint64_t", "", e.line),
+            Eff("loop", line=e.line, body=[Eff("scalar", e.type, "", e.line)])]
+
+
+def _compare(w: list[Eff], r: list[Eff], wf: Function, rf: Function,
+             findings: list[Finding], path_desc: str):
+    i = j = 0
+    while i < len(w) or j < len(r):
+        if i >= len(w) or j >= len(r):
+            if i < len(w):
+                e = w[i]
+                findings.append(Finding(
+                    wf.file, e.line or wf.line, NAME,
+                    f"{wf.qualified} writes {e.shape()}{path_desc} with no matching "
+                    f"read in {rf.qualified} ({rf.file}:{rf.line}) — reader ends early",
+                    wf.qualified))
+            else:
+                e = r[j]
+                findings.append(Finding(
+                    rf.file, e.line or rf.line, NAME,
+                    f"{rf.qualified} reads {e.shape()}{path_desc} with no matching "
+                    f"write in {wf.qualified} ({wf.file}:{wf.line}) — writer ends early",
+                    rf.qualified))
+            return
+        a, b = w[i], r[j]
+        if a.kind == b.kind:
+            if a.kind == "loop":
+                _compare(_canon(a.body), _canon(b.body), wf, rf, findings,
+                         f" inside the loop at line {a.line}")
+            elif a.kind == "branch":
+                _compare(_canon(a.body), _canon(b.body), wf, rf, findings,
+                         f" in the then-branch at line {a.line}")
+                _compare(_canon(a.orelse), _canon(b.orelse), wf, rf, findings,
+                         f" in the else-branch at line {a.line}")
+            elif a.kind == "nested":
+                if a.name != b.name:
+                    findings.append(Finding(
+                        wf.file, a.line, NAME,
+                        f"{wf.qualified} invokes nested {a.name}{path_desc} but "
+                        f"{rf.qualified} ({rf.file}:{b.line}) invokes {b.name}",
+                        wf.qualified))
+            elif a.kind == "call":
+                if a.name != b.name:
+                    findings.append(Finding(
+                        wf.file, a.line, NAME,
+                        f"{wf.qualified} calls helper *{a.name}{path_desc} but "
+                        f"{rf.qualified} ({rf.file}:{b.line}) calls *{b.name}",
+                        wf.qualified))
+            else:
+                ta, tb = _norm_type(a.type), _norm_type(b.type)
+                if ta and tb and ta != tb:
+                    findings.append(Finding(
+                        wf.file, a.line, NAME,
+                        f"{wf.qualified} writes {a.kind}<{ta}>{path_desc} but "
+                        f"{rf.qualified} ({rf.file}:{b.line}) reads {b.kind}<{tb}>",
+                        wf.qualified))
+            i += 1
+            j += 1
+            continue
+        # vector-vs-(scalar+loop) canonicalization, either direction
+        if a.kind == "vector" and b.kind in ("scalar", "loop"):
+            w = w[:i] + _expand_vector(a) + w[i + 1 :]
+            continue
+        if b.kind == "vector" and a.kind in ("scalar", "loop"):
+            r = r[:j] + _expand_vector(b) + r[j + 1 :]
+            continue
+        findings.append(Finding(
+            wf.file, a.line or wf.line, NAME,
+            f"{wf.qualified} field #{i + 1}{path_desc} is a {a.shape()} write but "
+            f"{rf.qualified} ({rf.file}:{b.line or rf.line}) reads {b.shape()}",
+            wf.qualified))
+        return  # positions desynchronized; further diffs would be noise
+
+
+def _archive_param(fn: Function, side: str) -> str | None:
+    want = "OutArchive" if side == "w" else "InArchive"
+    for p in fn.params:
+        if want in p.type:
+            return p.name
+    return None
+
+
+def run(index: Index) -> list[Finding]:
+    findings: list[Finding] = []
+    # group serializer functions by (file, class) scope
+    writers: dict[tuple, dict[str, Function]] = {}
+    readers: dict[tuple, dict[str, Function]] = {}
+    for fn in index.functions():
+        short = fn.short_name
+        if short in PAIRS and _archive_param(fn, "w"):
+            writers.setdefault((fn.cls or fn.file), {})[short] = fn
+        elif short in READERS and _archive_param(fn, "r"):
+            readers.setdefault((fn.cls or fn.file), {})[short] = fn
+
+    for scope, ws in writers.items():
+        rs = readers.get(scope, {})
+        for wname, wfn in ws.items():
+            rname = PAIRS[wname]
+            rfn = rs.get(rname)
+            if rfn is None:
+                findings.append(Finding(
+                    wfn.file, wfn.line, NAME,
+                    f"{wfn.qualified} has no matching {rname} — every untagged "
+                    "frame needs a reader that mirrors it", wfn.qualified))
+                continue
+            wex = _Extractor(index, "w")
+            rex = _Extractor(index, "r")
+            weff = _canon(wex.extract(wfn, _archive_param(wfn, "w")))
+            reff = _canon(rex.extract(rfn, _archive_param(rfn, "r")))
+            _compare(weff, reff, wfn, rfn, findings, "")
+            if wex.reserves > 0 and wex.patches == 0:
+                findings.append(Finding(
+                    wfn.file, wfn.line, NAME,
+                    f"{wfn.qualified} reserves a u64 slot (ReserveU64) but never "
+                    "patches it — the frame ships an uninitialized length",
+                    wfn.qualified))
+    for scope, rs in readers.items():
+        ws = writers.get(scope, {})
+        for rname, rfn in rs.items():
+            if READERS[rname] not in ws:
+                findings.append(Finding(
+                    rfn.file, rfn.line, NAME,
+                    f"{rfn.qualified} has no matching {READERS[rname]} — "
+                    "readers without writers drift silently", rfn.qualified))
+    out = []
+    for f in findings:
+        fir = index.files.get(f.path)
+        if fir is not None and fir.allowed(f.line, NAME):
+            continue
+        out.append(f)
+    return out

@@ -1,0 +1,156 @@
+"""span-balance: every trace span that is begun is closed on every path.
+
+The tracing API is non-RAII: code captures `const int64_t begin =
+TraceNowNs();` and later emits `TraceSpan(type, id, begin, arg)`. An early
+return between the two silently loses the span — the trace shows a gap
+instead of the slow operation that caused it. The pass tracks locals
+initialized from TraceNowNs() through the statement tree and reports any
+path (early return or function end) on which the value is neither passed to
+TraceSpan/TraceInstant, nor escaped into a member / another call / the
+return value, nor deliberately reset to 0.
+
+Guard-correlated closes are recognized: `if (begin != 0) TraceSpan(...,
+begin, ...)` closes `begin` — the untaken arm is exactly the never-started
+case.
+"""
+
+from __future__ import annotations
+
+from gmlint.cpp import Stmt, Tok, extract_calls
+from gmlint.model import Function, Index
+
+from gmlint import Finding
+
+NAME = "span-balance"
+
+_CLOCK_CALLS = {"TraceNowNs"}
+
+
+def _open_target(toks: list[Tok]) -> str | None:
+    """Var name if this statement is `[const T] var = ... TraceNowNs() ...`
+    with a bare-identifier target (member targets escape immediately)."""
+    eq = None
+    depth = 0
+    for k, t in enumerate(toks):
+        if t.text in ("(", "[", "{"):
+            depth += 1
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+        elif t.text == "=" and depth == 0:
+            eq = k
+            break
+    if eq is None or eq == 0:
+        return None
+    if not any(t.kind == "id" and t.text in _CLOCK_CALLS for t in toks[eq:]):
+        return None
+    tgt = toks[eq - 1]
+    if tgt.kind != "id":
+        return None
+    if eq >= 2 and toks[eq - 2].text in (".", "->", "::", "]"):
+        return None  # member / indexed target: the value escapes by storage
+    return tgt.text
+
+
+def _process_simple(st: Stmt, env: dict[str, int], findings_sink):
+    toks = st.tokens
+    opened = _open_target(toks)
+    # `var = 0` reset closes deliberately
+    if len(toks) >= 3 and toks[0].kind == "id" and toks[0].text in env \
+            and toks[1].text == "=" and all(t.text in ("0", "-", "1") for t in toks[2:]):
+        env.pop(toks[0].text, None)
+        return
+    mentioned = {t.text for t in toks if t.kind == "id"}
+    for var in list(env):
+        if var == opened:
+            continue
+        if var in mentioned:
+            # consumed or escaped: TraceSpan arg, helper-call arg, arithmetic
+            # into another local, member store — all count as handed off
+            env.pop(var, None)
+    if opened is not None:
+        env[opened] = st.line
+
+
+def _check_exit(env: dict[str, int], st: Stmt, fn: Function, index, findings):
+    fir = index.files.get(fn.file)
+    keep = {t.text for t in st.tokens if t.kind == "id"}  # `return var;` escapes
+    for var, opened_at in env.items():
+        if var in keep:
+            continue
+        line = st.line
+        if fir is not None and (fir.allowed(line, NAME) or fir.allowed(opened_at, NAME)):
+            continue
+        findings.append(Finding(
+            fn.file, line, NAME,
+            f"returns without closing trace span '{var}' begun at line {opened_at}",
+            symbol=fn.qualified))
+
+
+def _scan(stmts: list[Stmt], env: dict[str, int], fn: Function, index,
+          findings: list[Finding]) -> bool:
+    """Walk statements updating `env` (open spans). Returns True if this
+    statement list terminates (returns) on every path through it."""
+    for st in stmts:
+        if st.kind == "simple":
+            _process_simple(st, env, findings)
+        elif st.kind == "return":
+            _check_exit(env, st, fn, index, findings)
+            return True
+        elif st.kind == "if":
+            cond_ids = {t.text for t in st.tokens if t.kind == "id"}
+            e_then, e_else = dict(env), dict(env)
+            t_then = _scan(st.body, e_then, fn, index, findings)
+            t_else = _scan(st.orelse, e_else, fn, index, findings)
+            if t_then and t_else:
+                return True
+            if t_then:
+                merged = e_else
+            elif t_else:
+                merged = e_then
+            else:
+                merged = {}
+                for var in set(e_then) | set(e_else):
+                    in_then, in_else = var in e_then, var in e_else
+                    if in_then and in_else:
+                        merged[var] = e_then[var]
+                    elif var in cond_ids:
+                        # guard-correlated: the arm that saw the var closed it
+                        # (or opened it under the guard); trust the guard
+                        if in_then and not st.orelse:
+                            merged[var] = e_then[var]
+                        elif in_else and not st.body:
+                            merged[var] = e_else[var]
+                    else:
+                        merged[var] = (e_then.get(var) or e_else.get(var))
+            env.clear()
+            env.update(merged)
+        elif st.kind in ("loop", "do", "switch"):
+            e = dict(env)
+            _scan(st.body, e, fn, index, findings)
+            env.clear()
+            env.update(e)
+        elif st.kind == "block":
+            if _scan(st.body, env, fn, index, findings):
+                return True
+        # case/break/continue: no span effect
+    return False
+
+
+def run(index: Index) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in index.functions():
+        if not any(t.kind == "id" and t.text in _CLOCK_CALLS for t in fn.body):
+            continue
+        env: dict[str, int] = {}
+        terminated = _scan(fn.stmts(), env, fn, index, findings)
+        if not terminated and env:
+            fir = index.files.get(fn.file)
+            for var, opened_at in env.items():
+                if fir is not None and fir.allowed(opened_at, NAME):
+                    continue
+                findings.append(Finding(
+                    fn.file, opened_at, NAME,
+                    f"trace span '{var}' begun here is never closed "
+                    "before the function ends",
+                    symbol=fn.qualified))
+    return findings

@@ -1,14 +1,11 @@
 #!/usr/bin/env python3
-"""Repo-specific static lint for the G-Miner tree.
+"""Repo-specific regex lint for the G-Miner tree.
 
-Three checks, all cheap enough for a pre-commit hook and run in CI
-(scripts/ci.sh lint):
-
-1. serialize-symmetry: every type that defines a Serialize(OutArchive&) /
-   Deserialize(InArchive&) pair (or SerializeBody/DeserializeBody) must
-   read fields back in exactly the order and shape it wrote them. The
-   archives are raw byte streams with no tags, so a mismatch silently
-   corrupts every message that crosses the (simulated) wire.
+Cheap textual checks run in CI (scripts/ci.sh lint) alongside the
+AST-grounded analyses in scripts/gmlint/ (serialize symmetry, lock order,
+blocking-under-lock, protocol exhaustiveness, span balance live there —
+the old regex serialize-symmetry check was subsumed by
+gmlint/serialize-symmetry and deleted).
 
 2. naked-thread: std::thread may only be constructed in the files that own
    thread lifetime (common/thread_pool, core/worker). Everything else goes
@@ -77,15 +74,8 @@ def strip_comments(text):
 
 
 # --------------------------------------------------------------------------
-# Check 1: serialize/deserialize symmetry
+# Shared helpers
 # --------------------------------------------------------------------------
-
-SER_DEF = re.compile(
-    r"\b(?:void\s+)?((?:\w+::)*)(Serialize|SerializeBody)\s*\(\s*(?:gminer::)?OutArchive\s*&\s*(\w+)\s*\)\s*(?:const)?\s*(?:override)?\s*\{"
-)
-DES_DEF = re.compile(
-    r"\b(?:static\s+)?(?:[\w:]+\s+)??((?:\w+::)*)(Deserialize|DeserializeBody)\s*\(\s*(?:gminer::)?InArchive\s*&\s*(\w+)\s*\)\s*(?:override)?\s*\{"
-)
 
 
 def extract_body(text, open_brace_idx):
@@ -102,19 +92,6 @@ def extract_body(text, open_brace_idx):
     return text[open_brace_idx + 1 :]
 
 
-def field_name(expr):
-    """Normalize `r.id`, `members[i].adj`, `round_` to a bare field name.
-
-    Returns None for anything that is not a plain lvalue chain (calls,
-    arithmetic, casts) — those carry no comparable name.
-    """
-    expr = expr.strip()
-    if not re.fullmatch(r"[\w\.\[\]>\-]+", expr) or "(" in expr:
-        return None
-    idents = re.findall(r"\w+", expr)
-    return idents[-1].rstrip("_") if idents else None
-
-
 def matched_paren(text, open_idx):
     depth = 0
     for i in range(open_idx, len(text)):
@@ -125,119 +102,6 @@ def matched_paren(text, open_idx):
             if depth == 0:
                 return i
     return len(text)
-
-
-def write_ops(body, arch):
-    """Flatten a Serialize body into (kind, type|None, field|None) tuples."""
-    ops = []
-    token = re.compile(
-        rf"\b{arch}\s*\.\s*(WriteVector|WriteString|WriteBytes|Write)\s*(?:<\s*([^>]+?)\s*>)?\s*\("
-        rf"|\b(\w+)\s*\.\s*Serialize\s*\(\s*{arch}\s*\)"
-        rf"|\bSerializeBody\s*\(\s*{arch}\s*\)"
-    )
-    for m in token.finditer(body):
-        if m.group(1):
-            kind = {"Write": "scalar", "WriteVector": "vector",
-                    "WriteString": "string", "WriteBytes": "bytes"}[m.group(1)]
-            arg = body[m.end() : matched_paren(body, m.end() - 1)]
-            ops.append((kind, m.group(2), field_name(arg)))
-        elif m.group(3):
-            ops.append(("nested", None, field_name(m.group(3))))
-        else:
-            ops.append(("body", None, None))
-    return ops
-
-
-def read_ops(body, arch):
-    """Flatten a Deserialize body into (kind, type|None, field|None) tuples."""
-    ops = []
-    token = re.compile(
-        rf"\b{arch}\s*\.\s*(ReadVector|ReadString|ReadBytes|Read)\s*(?:<\s*([^>]+?)\s*>)?\s*\("
-        rf"|\b([\w:]*)\.?Deserialize\s*\(\s*{arch}\s*\)"
-        rf"|\bDeserializeBody\s*\(\s*{arch}\s*\)"
-    )
-    # The assignment target preceding a Read call, e.g. `r.id = in.Read<...>`.
-    # Declarations (`const uint64_t n = ...`) yield the local's name, which
-    # only matters when the write side also produced a comparable name.
-    target = re.compile(r"([\w\.\[\]>\-]+)\s*=\s*$")
-    for m in token.finditer(body):
-        if m.group(1):
-            kind = {"Read": "scalar", "ReadVector": "vector",
-                    "ReadString": "string", "ReadBytes": "bytes"}[m.group(1)]
-            prefix = body[: m.start()].rsplit(";", 1)[-1].rsplit("{", 1)[-1]
-            t = target.search(prefix)
-            ops.append((kind, m.group(2), field_name(t.group(1)) if t else None))
-        elif "DeserializeBody" in m.group(0):
-            ops.append(("body", None, None))
-        else:
-            recv = m.group(3) or ""
-            ops.append(("nested", None, field_name(recv) if recv else None))
-    return ops
-
-
-def check_serialize_symmetry(path, text):
-    clean = strip_comments(text)
-
-    def collect(pattern, op_fn):
-        out = []
-        for m in pattern.finditer(clean):
-            body = extract_body(clean, m.end() - 1)
-            line = clean[: m.start()].count("\n") + 1
-            name = (m.group(1) or "") + m.group(2)
-            out.append((name, line, op_fn(body, m.group(3))))
-        return out
-
-    writers = collect(SER_DEF, write_ops)
-    readers = collect(DES_DEF, read_ops)
-    if not writers and not readers:
-        return
-
-    def base(name):
-        # "VertexRecord::Serialize" -> "VertexRecord"; bare "Serialize" -> ""
-        short = name.split("::")[-1]
-        scope = name[: -len(short)].rstrip(":")
-        return scope, short.replace("Serialize", "").replace("Deserialize", "")
-
-    # Pair writer i with reader i after grouping by (scope, Body-suffix).
-    by_key_w, by_key_r = {}, {}
-    for name, line, ops in writers:
-        by_key_w.setdefault(base(name), []).append((name, line, ops))
-    for name, line, ops in readers:
-        by_key_r.setdefault(base(name), []).append((name, line, ops))
-
-    for key, ws in by_key_w.items():
-        rs = by_key_r.get(key, [])
-        if len(ws) != len(rs):
-            name, line, _ = ws[0]
-            finding(path, line, "serialize-symmetry",
-                    f"{name} has no matching Deserialize in this file")
-            continue
-        for (wname, wline, wops), (rname, rline, rops) in zip(ws, rs):
-            if len(wops) != len(rops):
-                finding(path, wline, "serialize-symmetry",
-                        f"{wname} writes {len(wops)} fields but {rname} (line {rline}) "
-                        f"reads {len(rops)}")
-                continue
-            rnames = {rf for _, _, rf in rops if rf}
-            for i, ((wk, wt, wf), (rk, rt, rf)) in enumerate(zip(wops, rops)):
-                if wk != rk:
-                    finding(path, wline, "serialize-symmetry",
-                            f"{wname} field #{i + 1} is a {wk} write but {rname} "
-                            f"(line {rline}) reads a {rk}")
-                elif wt is not None and rt is not None and wt != rt:
-                    finding(path, wline, "serialize-symmetry",
-                            f"{wname} field #{i + 1} written as <{wt}> but read as <{rt}>")
-                elif (wf and rf and wf != rf and wf in rnames):
-                    # The written field IS read back, just at a different
-                    # position — an order swap, not a renamed local.
-                    finding(path, wline, "serialize-symmetry",
-                            f"{wname} field #{i + 1} writes '{wf}' but {rname} "
-                            f"(line {rline}) reads '{rf}' here — field order differs")
-    for key, rs in by_key_r.items():
-        if key not in by_key_w:
-            name, line, _ = rs[0]
-            finding(path, line, "serialize-symmetry",
-                    f"{name} has no matching Serialize in this file")
 
 
 # --------------------------------------------------------------------------
@@ -502,7 +366,6 @@ def main():
     for path in files:
         with open(path, encoding="utf-8") as f:
             text = f.read()
-        check_serialize_symmetry(path, text)
         check_naked_thread(path, text)
         check_raw_sync(path, text)
         check_raw_clock(path, text)

@@ -7,7 +7,7 @@
 namespace gminer {
 
 namespace trace_internal {
-thread_local TraceRing* g_ring = nullptr;
+thread_local constinit TraceRing* g_ring = nullptr;
 }  // namespace trace_internal
 
 const char* TraceEventTypeName(TraceEventType type) {

@@ -189,7 +189,11 @@ class Tracer {
 namespace trace_internal {
 // The calling thread's current ring; null when tracing is off or the thread
 // never entered a TraceThreadScope. Emit helpers below no-op on null.
-extern thread_local TraceRing* g_ring;
+// constinit so cross-TU reads bind the TLS slot directly instead of going
+// through the compiler's thread_local init wrapper — the wrapper is both
+// overhead on every instrumentation site and, under combined ASan+UBSan,
+// miscompiles to a null TLS address on GCC 12 (caught by the sanitizer leg).
+extern thread_local constinit TraceRing* g_ring;
 }  // namespace trace_internal
 
 // RAII: registers a ring for this thread (null tracer = leave the current

@@ -580,6 +580,9 @@ void Worker::HandleAdoptTasks(InArchive in) {
     GM_LOG_ERROR << "worker " << id_ << ": adoption of worker " << dead
                  << " failed: " << error;
     state_->Cancel(JobStatus::kCheckpointError);
+    // A failed adoption still spent recovery time; close the span so the
+    // trace shows the stall instead of a gap (arg 0 = no tasks recovered).
+    TraceSpan(TraceEventType::kAdoption, static_cast<uint64_t>(dead), adopt_begin, 0);
     ack(0);
     return;
   }

@@ -1,0 +1,33 @@
+// gmlint fixture: blocking primitives under a held lock. Parsed by the lint
+// frontend only.
+namespace fixture {
+
+class Sender {
+ public:
+  // Direct violation: the network send blocks while mutex_ is held.
+  void DirectSend() {
+    MutexLock lock(mutex_);
+    net_->Send(0, 1, 2, "");
+  }
+
+  // Indirect violation: the helper sends; calling it under the lock blocks.
+  void IndirectSend() {
+    MutexLock lock(mutex_);
+    SendReport();
+  }
+
+  // Queue wait under the lock.
+  void QueueWait() {
+    MutexLock lock(mutex_);
+    queue_.Pop();
+  }
+
+ private:
+  void SendReport() { net_->Send(0, 1, 3, ""); }
+
+  Mutex mutex_;
+  Network* net_ = nullptr;
+  BlockingQueue<int> queue_;
+};
+
+}  // namespace fixture

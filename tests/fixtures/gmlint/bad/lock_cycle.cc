@@ -1,0 +1,24 @@
+// gmlint fixture: lock-order cycle. Parsed by the lint frontend only.
+namespace fixture {
+
+class Pair {
+ public:
+  void Forward() {
+    MutexLock la(a_);
+    MutexLock lb(b_);
+    Touch();
+  }
+
+  void Backward() {
+    MutexLock lb(b_);
+    MutexLock la(a_);
+    Touch();
+  }
+
+ private:
+  void Touch() {}
+  Mutex a_;
+  Mutex b_;
+};
+
+}  // namespace fixture

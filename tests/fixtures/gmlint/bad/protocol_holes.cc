@@ -1,0 +1,49 @@
+// gmlint fixture: protocol-exhaustiveness holes. Parsed by the lint
+// frontend only.
+#include <cstdint>
+
+namespace fixture {
+
+enum class MessageType : uint8_t {
+  kPing,       // sent + handled, empty payload: fine
+  kData,       // sent framed, but the handler never reads the payload
+  kDead,       // handled but nothing sends it -> dead frame
+  kUnhandled,  // sent but no case label -> dropped by default arm
+};
+
+class Node {
+ public:
+  void SendAll() {
+    net_->Send(0, 1, MessageType::kPing, {});
+    OutArchive out;
+    out.Write(seq_);
+    net_->Send(0, 1, MessageType::kData, out.TakeBuffer());
+    net_->Send(0, 1, MessageType::kUnhandled, {});
+  }
+
+  void Dispatch(Message* msg) {
+    switch (msg->type) {
+      case MessageType::kPing:
+        HandlePing();
+        break;
+      case MessageType::kData:
+        HandleData();
+        break;
+      case MessageType::kDead:
+        HandleDead();
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  void HandlePing() {}
+  void HandleData() {}
+  void HandleDead() {}
+
+  Network* net_ = nullptr;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,50 @@
+// gmlint fixture: serialize-symmetry violations. Parsed by the lint
+// frontend only — never compiled.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+// Field order swap: writer emits a (u32) then b (u64); reader pulls the
+// u64 first. The untagged stream desynchronizes after the first field.
+struct SwappedOrder {
+  uint32_t a = 0;
+  uint64_t b = 0;
+  std::vector<int> v;
+
+  void Serialize(OutArchive& out) const {
+    out.Write(a);
+    out.Write(b);
+    out.WriteVector(v);
+  }
+
+  void Deserialize(InArchive& in) {
+    b = in.Read<uint64_t>();
+    a = in.Read<uint32_t>();
+  }
+};
+
+// Writer with no reader at all.
+struct Orphan {
+  int x_ = 0;
+  void Serialize(OutArchive& out) const { out.Write(x_); }
+};
+
+// ReserveU64 slot that is never patched: the frame ships garbage length.
+struct UnpatchedReserve {
+  uint32_t n_ = 0;
+
+  void WriteFlat(OutArchive& out) const {
+    out.ReserveU64();
+    out.Write(n_);
+  }
+
+  static UnpatchedReserve ReadFlat(InArchive& in) {
+    UnpatchedReserve r;
+    in.Read<uint64_t>();
+    r.n_ = in.Read<uint32_t>();
+    return r;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// gmlint fixture: unbalanced trace spans. Parsed by the lint frontend only.
+#include <cstdint>
+
+namespace fixture {
+
+class Tracer {
+ public:
+  // Early return leaks the span: the error path never emits it.
+  void EarlyReturn(bool fail) {
+    const int64_t begin = TraceNowNs();
+    if (fail) {
+      return;
+    }
+    TraceSpan(1, 2, begin, 3);
+  }
+
+  // The span is opened and simply forgotten.
+  void NeverClosed() {
+    const int64_t begin = TraceNowNs();
+    DoWork();
+  }
+
+ private:
+  void DoWork() {}
+};
+
+}  // namespace fixture

@@ -1,0 +1,87 @@
+// gmlint fixture: legal locking shapes. Parsed by the lint frontend only.
+namespace fixture {
+
+// The FlushLocked hand-off: the callee owns the REQUIRES contract, drops the
+// lock across the send, and re-acquires before returning. Neither the callee
+// nor callers that invoke it under the lock may be flagged.
+class Coalescer {
+ public:
+  void Flush() {
+    MutexLock lock(mutex_);
+    FlushLocked();
+  }
+
+  void Drain() {
+    MutexLock lock(mutex_);
+    while (Pending()) {
+      // CondVar waits are the sanctioned way to block under a mutex.
+      space_cv_.Wait(mutex_);
+      FlushLocked();
+    }
+  }
+
+ private:
+  void FlushLocked() REQUIRES(mutex_) {
+    mutex_.Unlock();
+    net_->Send(0, 1, 2, "");
+    mutex_.Lock();
+  }
+
+  bool Pending() { return false; }
+
+  Mutex mutex_;
+  CondVar space_cv_;
+  Network* net_ = nullptr;
+};
+
+// Consistent two-lock ordering in both paths: an edge a_ -> b_ twice is a
+// DAG, not a cycle.
+class Ordered {
+ public:
+  void First() {
+    MutexLock la(a_);
+    MutexLock lb(b_);
+  }
+  void Second() {
+    MutexLock la(a_);
+    MutexLock lb(b_);
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};
+
+// The send happens after the scoped lock's block ends.
+class SendAfterUnlock {
+ public:
+  void Report() {
+    int snapshot = 0;
+    {
+      MutexLock lock(mutex_);
+      snapshot = value_;
+    }
+    net_->Send(0, 1, snapshot, "");
+  }
+
+ private:
+  Mutex mutex_;
+  int value_ = 0;
+  Network* net_ = nullptr;
+};
+
+// Deliberate, justified exception: suppressions must silence the finding.
+class Suppressed {
+ public:
+  void ShutdownBarrier() {
+    MutexLock lock(mutex_);
+    // Shutdown runs single-threaded; nothing else contends on mutex_ here.
+    net_->Send(0, 1, 2, "");  // lint:allow(blocking-under-lock)
+  }
+
+ private:
+  Mutex mutex_;
+  Network* net_ = nullptr;
+};
+
+}  // namespace fixture

@@ -1,0 +1,41 @@
+// gmlint fixture: a complete protocol. Parsed by the lint frontend only.
+#include <cstdint>
+
+namespace fixture {
+
+enum class MessageType : uint8_t {
+  kPing,
+  kData,
+};
+
+class Node {
+ public:
+  void SendAll() {
+    net_->Send(0, 1, MessageType::kPing, {});
+    OutArchive out;
+    out.Write(seq_);
+    net_->Send(0, 1, MessageType::kData, out.TakeBuffer());
+  }
+
+  void Dispatch(Message* msg) {
+    switch (msg->type) {
+      case MessageType::kPing:
+        HandlePing();
+        break;
+      case MessageType::kData:
+        HandleData(InArchive(msg->payload));
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  void HandlePing() {}
+  void HandleData(InArchive in) { seq_ = in.Read<uint64_t>(); }
+
+  Network* net_ = nullptr;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,80 @@
+// gmlint fixture: legal serializer shapes the symmetry pass must accept.
+// Parsed by the lint frontend only.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Inner {
+  void Serialize(OutArchive& out) const { out.Write(x_); }
+  static Inner Deserialize(InArchive& in) {
+    Inner r;
+    r.x_ = in.Read<uint32_t>();
+    return r;
+  }
+  uint32_t x_ = 0;
+};
+
+struct Outer {
+  bool has = false;
+  Inner inner;
+  uint64_t id = 0;
+  std::vector<uint32_t> vals;
+  std::string tag_;
+
+  // Helper pair threading the archive through: inlined on both sides.
+  void WriteExtras(OutArchive& out) const { out.WriteString(tag_); }
+  void ReadExtras(InArchive& in) { tag_ = in.ReadString(); }
+
+  void Serialize(OutArchive& out) const {
+    out.Write(id);
+    // hand-rolled element loop: byte-equivalent to the reader's ReadVector
+    out.Write<uint64_t>(vals.size());
+    for (uint32_t v : vals) {
+      out.Write(v);
+    }
+    out.Write(has);
+    if (has) {
+      inner.Serialize(out);
+    }
+    WriteExtras(out);
+  }
+
+  void Deserialize(InArchive& in) {
+    id = in.Read<uint64_t>();
+    vals = in.ReadVector<uint32_t>();
+    has = in.Read<bool>();
+    if (has) {
+      inner = Inner::Deserialize(in);
+    }
+    ReadExtras(in);
+  }
+};
+
+// Nested archive calls as arguments evaluate before the outer consumer:
+// scalar count, then the span bytes, and the max() wrapper is transparent.
+struct FlatBlock {
+  std::vector<uint32_t> data;
+  uint64_t high_water = 0;
+
+  void WriteFlat(OutArchive& out) const {
+    const size_t len_at = out.ReserveU64();
+    out.Write<uint64_t>(data.size());
+    out.WriteSpan(data.data(), data.size());
+    out.Write(high_water);
+    out.PatchU64(len_at, out.size() - len_at - sizeof(uint64_t));
+  }
+
+  static FlatBlock ReadFlat(InArchive& in) {
+    const uint64_t len = in.Read<uint64_t>();
+    const size_t end = in.position() + len;
+    FlatBlock r;
+    in.ReadSpanInto(r.data, in.Read<uint64_t>());
+    r.high_water = std::max(r.high_water, in.Read<uint64_t>());
+    GM_CHECK(in.position() == end) << "length mismatch";
+    return r;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,49 @@
+// gmlint fixture: legal span shapes. Parsed by the lint frontend only.
+#include <cstdint>
+
+namespace fixture {
+
+class Tracer {
+ public:
+  // Plain open/close.
+  void Balanced() {
+    const int64_t begin = TraceNowNs();
+    DoWork();
+    TraceSpan(1, 0, begin, 2);
+  }
+
+  // Guard-correlated close: the span only opens under backpressure, and the
+  // close is guarded by the same variable — both paths balance.
+  void GuardPattern() {
+    int64_t stall = 0;
+    while (Full()) {
+      if (stall == 0) {
+        stall = TraceNowNs();
+      }
+      WaitForSpace();
+    }
+    if (stall != 0) {
+      TraceSpan(7, 0, stall, 1);
+    }
+  }
+
+  // Escape into a member: ownership of the close moves with the value.
+  void Handoff(Task* task) {
+    task->trace_enqueue_ns = TraceNowNs();
+  }
+
+  // Escape through a helper call.
+  void Delegated() {
+    const int64_t begin = TraceNowNs();
+    RecordLatency(begin);
+  }
+
+ private:
+  void DoWork() {}
+  bool Full() { return false; }
+  void WaitForSpace() {}
+  void RecordLatency(int64_t begin_ns) { last_ = begin_ns; }
+  int64_t last_ = 0;
+};
+
+}  // namespace fixture
