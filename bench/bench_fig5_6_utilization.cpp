@@ -128,6 +128,52 @@ void RunPullBatchingRow(benchmark::State& state, bool batched, const std::string
   }
 }
 
+// --------------------------------------------------------------------------
+// Metrics-plane overhead rows (gated in CI next to the pull-batching rows):
+// the same TC/skitter run with the live metrics plane on versus pinned off
+// via the GMINER_METRICS escape hatch — the env override is exactly what an
+// operator would use, so the rows measure the real toggle. The On row carries
+// the full cost (registry registration, 50 ms snapshot serialization on every
+// worker, master-side merge); linked counters make the hot paths themselves
+// free, so the two rows must stay within the gate's 15% band of their
+// baselines — an On-row regression that the Off row doesn't share is the
+// metrics plane getting expensive.
+// --------------------------------------------------------------------------
+
+void RunMetricsOverheadRow(benchmark::State& state, bool metrics_on,
+                           const std::string& row_name) {
+  const Graph& g = BenchDataset("skitter");
+  ::setenv("GMINER_METRICS", metrics_on ? "on" : "off", 1);
+  for (auto _ : state) {
+    TriangleCountJob job;
+    Cluster cluster(PullBatchingConfig(/*batched=*/true));
+    const JobResult r = cluster.Run(g, job);
+    ReportJobCounters(state, r.status, r.elapsed_seconds, r.avg_cpu_utilization,
+                      r.peak_memory_bytes, r.totals.net_bytes_sent);
+    state.counters["result"] =
+        static_cast<double>(TriangleCountJob::Count(r.final_aggregate));
+    state.counters["metrics_enabled"] = r.metrics_enabled ? 1.0 : 0.0;
+    state.counters["metrics_dropped"] =
+        static_cast<double>(r.cluster_metrics.Value("metrics.dropped"));
+    bench::RecordStages(row_name, r.stage_latencies);
+  }
+  ::unsetenv("GMINER_METRICS");
+}
+
+void RegisterMetricsOverheadRows() {
+  for (const bool metrics_on : {true, false}) {
+    const std::string name =
+        std::string("MetricsOverhead/TC/skitter/") + (metrics_on ? "On" : "Off");
+    bench::AnnotateRow(name, "TC", "skitter");
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [metrics_on, name](benchmark::State& s) {
+                                   RunMetricsOverheadRow(s, metrics_on, name);
+                                 })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
 void RegisterPullBatchingRows() {
   for (const bool batched : {true, false}) {
     const std::string name =
@@ -147,5 +193,6 @@ void RegisterPullBatchingRows() {
 
 int main(int argc, char** argv) {
   gminer::RegisterPullBatchingRows();
+  gminer::RegisterMetricsOverheadRows();
   return gminer::bench::RunBenchSuite(argc, argv, "fig5_6_utilization");
 }

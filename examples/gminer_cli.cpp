@@ -39,7 +39,11 @@ void Usage() {
                "                  [--scale F] [--workers N] [--threads N] [--k K]\n"
                "                  [--labels L] [--partition bdg|hash] [--no-lsh]\n"
                "                  [--no-steal] [--outputs] [--json out.json] [--trace out.json]\n"
-               "                  [--verbose] [--seed S]\n");
+               "                  [--metrics-port P] [--verbose] [--seed S]\n"
+               "\n"
+               "  --metrics-port P  serve live GET /metrics (Prometheus) and GET /status\n"
+               "                    (JSON) on 127.0.0.1:P for the duration of the run\n"
+               "                    (0 = ephemeral port, printed at startup)\n");
 }
 
 }  // namespace
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
   std::string adjacency_path;
   std::string json_path;
   std::string trace_path;
+  int metrics_port = -1;
   double scale = 1.0;
   uint32_t k = 4;
   int labels = 7;
@@ -95,6 +100,8 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (arg == "--trace") {
       trace_path = next();
+    } else if (arg == "--metrics-port") {
+      metrics_port = std::atoi(next());
     } else if (arg == "--outputs") {
       print_outputs = true;
     } else if (arg == "--verbose") {
@@ -138,6 +145,13 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) {
     options.enable_tracing = true;
     options.trace_json_path = trace_path;
+  }
+  if (metrics_port >= 0) {
+    options.metrics_port = metrics_port;
+    options.on_metrics_ready = [](int port) {
+      std::printf("metrics:  http://127.0.0.1:%d/metrics and /status\n", port);
+      std::fflush(stdout);
+    };
   }
   JobResult result;
   std::string headline;

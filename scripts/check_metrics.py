@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Validator for the live metrics endpoint's output (CI metrics-smoke job).
+
+Checks a scraped Prometheus text exposition (format 0.0.4, what the master
+serves on GET /metrics) for structural validity:
+
+  * every line is a comment (# TYPE / # HELP), blank, or a sample
+    `name{labels} value` with a legal metric name and label syntax;
+  * each family has exactly one # TYPE line, emitted before its samples;
+  * counter and histogram sample values are non-negative and finite;
+  * histogram families are internally consistent per label set: bucket
+    counts are cumulative (non-decreasing in le order), the +Inf bucket
+    equals _count, and _sum / _count samples exist.
+
+Optionally validates a scraped /status document as JSON with the expected
+top-level shape, and asserts specific families are present (--require).
+
+Usage:
+    check_metrics.py metrics.txt [--status status.json]
+                     [--require gminer_task_created ...]
+
+Exit code 0 when everything holds; 1 with per-line diagnostics otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# One label: key="value" with \\, \" and \n escapes allowed in the value.
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$")
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class Checker:
+    def __init__(self) -> None:
+        self.errors: list[str] = []
+
+    def error(self, lineno: int, message: str) -> None:
+        self.errors.append(f"line {lineno}: {message}")
+
+
+def parse_labels(raw: str, lineno: int, check: Checker) -> dict[str, str]:
+    """Parses `k1="v1",k2="v2"` strictly: the whole string must be consumed."""
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(raw):
+        m = LABEL_RE.match(raw, pos)
+        if m is None:
+            check.error(lineno, f"malformed label syntax at ...{raw[pos:]!r}")
+            return labels
+        if m.group(1) in labels:
+            check.error(lineno, f"duplicate label {m.group(1)!r}")
+        labels[m.group(1)] = m.group(2)
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                check.error(lineno, f"expected ',' between labels at ...{raw[pos:]!r}")
+                return labels
+            pos += 1
+    return labels
+
+
+def base_family(name: str) -> str:
+    """The family a histogram-series sample belongs to (strips the suffix)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_exposition(text: str, check: Checker) -> dict[str, str]:
+    """Validates the document; returns family -> declared type."""
+    types: dict[str, str] = {}
+    # (family, frozen non-le labels) -> {"buckets": [(le, v)], "count": v|None,
+    # "sum": v|None} for histogram consistency checks.
+    histograms: dict[tuple[str, frozenset], dict] = {}
+    samples_seen: set[str] = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    check.error(lineno, f"malformed TYPE line: {line!r}")
+                    continue
+                _, _, family, mtype = parts
+                if not METRIC_NAME_RE.match(family):
+                    check.error(lineno, f"illegal metric name {family!r}")
+                if mtype not in VALID_TYPES:
+                    check.error(lineno, f"unknown metric type {mtype!r}")
+                if family in types:
+                    check.error(lineno, f"duplicate TYPE for {family!r}")
+                if family in samples_seen:
+                    check.error(lineno, f"TYPE for {family!r} after its samples")
+                types[family] = mtype
+            # HELP and other comments are free-form.
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            check.error(lineno, f"not a valid sample line: {line!r}")
+            continue
+        name = m.group("name")
+        family = base_family(name)
+        if types.get(family) != "histogram":
+            family = name  # only histogram families use suffixed series
+        samples_seen.add(family)
+        if family not in types:
+            check.error(lineno, f"sample for {name!r} has no preceding TYPE")
+
+        labels = parse_labels(m.group("labels") or "", lineno, check)
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            check.error(lineno, f"non-numeric value {m.group('value')!r}")
+            continue
+        if math.isnan(value):
+            check.error(lineno, f"{name}: NaN sample value")
+            continue
+
+        mtype = types.get(family)
+        if mtype in ("counter", "histogram") and value < 0:
+            check.error(lineno, f"{name}: negative {mtype} value {value}")
+        if mtype == "histogram":
+            key = (family, frozenset((k, v) for k, v in labels.items() if k != "le"))
+            state = histograms.setdefault(key, {"buckets": [], "count": None, "sum": None})
+            if name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    check.error(lineno, f"{name}: bucket sample without le label")
+                else:
+                    bound = math.inf if le == "+Inf" else float(le)
+                    state["buckets"].append((bound, value, lineno))
+            elif name.endswith("_count"):
+                state["count"] = (value, lineno)
+            elif name.endswith("_sum"):
+                state["sum"] = (value, lineno)
+
+    for (family, labelset), state in histograms.items():
+        where = dict(labelset)
+        desc = f"{family}{where if where else ''}"
+        buckets = sorted(state["buckets"])
+        if not buckets:
+            check.error(0, f"{desc}: histogram family with no _bucket samples")
+            continue
+        prev = -1.0
+        for bound, value, lineno in buckets:
+            if value < prev:
+                check.error(lineno,
+                            f"{desc}: bucket le={bound} count {value} below "
+                            f"previous bucket's {prev} (not cumulative)")
+            prev = value
+        if buckets[-1][0] != math.inf:
+            check.error(buckets[-1][2], f"{desc}: missing le=\"+Inf\" bucket")
+        if state["count"] is None:
+            check.error(0, f"{desc}: missing _count sample")
+        elif buckets[-1][0] == math.inf and state["count"][0] != buckets[-1][1]:
+            check.error(state["count"][1],
+                        f"{desc}: _count {state['count'][0]} != +Inf bucket "
+                        f"{buckets[-1][1]}")
+        if state["sum"] is None:
+            check.error(0, f"{desc}: missing _sum sample")
+    return types
+
+
+def check_status(text: str, check: Checker) -> None:
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        check.error(0, f"/status is not valid JSON: {err}")
+        return
+    if not isinstance(doc, dict):
+        check.error(0, "/status document is not a JSON object")
+        return
+    for key in ("phase", "uptime_seconds", "num_workers", "workers", "cluster"):
+        if key not in doc:
+            check.error(0, f"/status missing key {key!r}")
+    workers = doc.get("workers")
+    if isinstance(workers, list) and isinstance(doc.get("num_workers"), int):
+        if len(workers) != doc["num_workers"]:
+            check.error(0, f"/status workers list has {len(workers)} entries, "
+                           f"num_workers says {doc['num_workers']}")
+        for w in workers:
+            for key in ("id", "dead", "heartbeat_age_ms", "queue"):
+                if key not in w:
+                    check.error(0, f"/status worker entry missing {key!r}: {w}")
+    cluster = doc.get("cluster")
+    if isinstance(cluster, dict):
+        for key in ("tasks_created", "tasks_completed", "mem_current_bytes"):
+            if key not in cluster:
+                check.error(0, f"/status cluster rollup missing {key!r}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("metrics", help="scraped /metrics exposition file")
+    parser.add_argument("--status", help="scraped /status JSON file")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="FAMILY",
+                        help="fail unless this metric family is present "
+                             "(repeatable)")
+    args = parser.parse_args()
+
+    check = Checker()
+    with open(args.metrics, encoding="utf-8") as f:
+        types = check_exposition(f.read(), check)
+    for family in args.require:
+        if family not in types:
+            check.error(0, f"required metric family {family!r} not in exposition")
+    if args.status is not None:
+        with open(args.status, encoding="utf-8") as f:
+            check_status(f.read(), check)
+
+    if check.errors:
+        for err in check.errors:
+            print(f"check_metrics: {err}", file=sys.stderr)
+        print(f"check_metrics: FAILED with {len(check.errors)} error(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_metrics: ok ({len(types)} families"
+          f"{', status valid' if args.status else ''})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

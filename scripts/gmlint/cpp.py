@@ -46,11 +46,15 @@ ALLOW_RE = re.compile(r"lint:allow\(([\w\-, ]+)\)")
 def scrub(text: str):
     """Blank comments/strings (preserving newlines) and collect suppressions.
 
-    Returns (scrubbed_text, suppressions) where suppressions maps line number
-    -> set of check names allowed on that line (from its own or the previous
-    line's comment, resolved later by the caller).
+    Returns (scrubbed_text, suppressions, strings): suppressions maps line
+    number -> set of check names allowed on that line (from its own or the
+    previous line's comment, resolved later by the caller); strings maps
+    line number -> the original contents of the string literals starting on
+    that line, in source order, so literal-aware passes (metrics-registration)
+    can recover what the blanking erased.
     """
     suppress: dict[int, set[str]] = {}
+    strings: dict[int, list[str]] = {}
 
     def note(match_text: str, start: int):
         line = text.count("\n", 0, start) + 1
@@ -82,11 +86,15 @@ def scrub(text: str):
     # a string literal is not taken for a comment (and vice versa).
     out = []
     i, n = 0, len(text)
+    line = 1
     while i < n:
         c = text[i]
         if c == '"':
             m = _STRING.match(text, i)
             if m:
+                s = m.group(0)
+                strings.setdefault(line, []).append(s[1:-1])
+                line += s.count("\n")
                 out.append(blank_str(m))
                 i = m.end()
                 continue
@@ -102,9 +110,11 @@ def scrub(text: str):
             out.append(" " * len(m.group(0)))
             i = m.end()
             continue
+        if c == "\n":
+            line += 1
         out.append(c)
         i += 1
-    return "".join(out), suppress
+    return "".join(out), suppress, strings
 
 
 def lex(text: str) -> list[Tok]:

@@ -83,9 +83,9 @@ def _parse_with_clang(abs_path: str, repo_root: str,
 
     with open(abs_path, encoding="utf-8", errors="replace") as f:
         text = f.read()
-    _, suppress = scrub(text)
+    _, suppress, strings = scrub(text)
     rel = os.path.relpath(abs_path, repo_root)
-    fir = model.FileIR(rel, suppress=suppress)
+    fir = model.FileIR(rel, suppress=suppress, strings=strings)
 
     def toks_of(cursor):
         out = []

@@ -102,6 +102,10 @@ class FileIR:
     classes: dict[str, ClassInfo] = field(default_factory=dict)
     enums: dict[str, EnumInfo] = field(default_factory=dict)
     suppress: dict[int, set[str]] = field(default_factory=dict)
+    # line -> contents of the string literals starting on that line, in
+    # source order (the lexer blanks literal bodies; literal-aware passes
+    # recover them here).
+    strings: dict[int, list[str]] = field(default_factory=dict)
 
     def allowed(self, line: int, check: str) -> bool:
         for ln in (line, line - 1):
@@ -166,9 +170,9 @@ def parse_file(abs_path: str, repo_root: str) -> FileIR:
     with open(abs_path, encoding="utf-8", errors="replace") as f:
         text = f.read()
     rel = os.path.relpath(abs_path, repo_root)
-    scrubbed, suppress = cpp.scrub(text)
+    scrubbed, suppress, strings = cpp.scrub(text)
     toks = cpp.lex(scrubbed)
-    fir = FileIR(rel, suppress=suppress)
+    fir = FileIR(rel, suppress=suppress, strings=strings)
     _parse_scope(toks, 0, len(toks), "", "", fir)
     return fir
 

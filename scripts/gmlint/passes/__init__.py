@@ -3,6 +3,7 @@
 from gmlint.passes import (
     blocking_under_lock,
     lock_order,
+    metrics_registration,
     protocol,
     serialize_symmetry,
     span_balance,
@@ -14,4 +15,5 @@ ALL_PASSES = {
     blocking_under_lock.NAME: blocking_under_lock,
     protocol.NAME: protocol,
     span_balance.NAME: span_balance,
+    metrics_registration.NAME: metrics_registration,
 }

@@ -1,0 +1,122 @@
+"""metrics-registration: every metric name literal is registered exactly once.
+
+MetricsRegistry (src/metrics/registry.h) resolves metrics by name:
+`registry->GetCounter("task.created")` at two different source sites silently
+aliases both call sites onto one counter — each site believes it owns the
+metric, and the rendered series becomes the sum of two unrelated
+instrumentation points. Link* registrations are worse: the second Link wins
+and the first source silently stops being sampled.
+
+The pass collects every registration call (GetCounter / GetGauge /
+GetHistogram / LinkCounter / LinkGauge / LinkHistogram) whose first argument
+is a string literal and reports:
+
+  * the same literal registered at more than one distinct source site
+    (file:line), regardless of registration kind — silent aliasing;
+  * a literal that does not match the naming convention
+    `[a-z][a-z0-9_.]*` ("<subsystem>.<metric>", lowercase dotted) — such a
+    name survives SanitizeMetricName only by mangling, so two distinct
+    registry names can collide post-sanitation.
+
+Re-fetching a handle by calling the same Get* from the *same* site (a loop,
+a re-entered Start()) is idempotent by design and not a finding — sites are
+deduplicated by (file, line). Suppress intentional cases with
+`// lint:allow(metrics-registration)`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from gmlint.cpp import extract_calls
+from gmlint.model import Index
+
+from gmlint import Finding
+
+NAME = "metrics-registration"
+
+_REGISTRATION_CALLS = {
+    "GetCounter", "GetGauge", "GetHistogram",
+    "LinkCounter", "LinkGauge", "LinkHistogram",
+}
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_.]*$")
+
+
+def _literal_arg(arg_toks, fn, fir) -> str | None:
+    """The decoded string if the argument is exactly string literal(s)
+    (adjacent literal concatenation accepted), else None.
+
+    Two frontends, two token shapes: libclang keeps the whole spelling in one
+    token ('"pull.requests"'); the built-in frontend blanks literal bodies
+    during scrub, so each literal lexes as a pair of lone '"' tokens and the
+    content is recovered from FileIR.strings by (line, ordinal-on-line).
+    """
+    # libclang shape: whole-spelling tokens.
+    if all(len(t.text) >= 2 and t.text[0] == '"' and t.text[-1] == '"'
+           for t in arg_toks) and arg_toks:
+        return "".join(t.text[1:-1] for t in arg_toks)
+    # built-in shape: pairs of bare quotes.
+    if not arg_toks or len(arg_toks) % 2 != 0 or any(t.text != '"' for t in arg_toks):
+        return None
+    parts = []
+    for k in range(0, len(arg_toks), 2):
+        content = _recover_blanked(arg_toks[k], fn, fir)
+        if content is None:
+            return None
+        parts.append(content)
+    return "".join(parts)
+
+
+def _recover_blanked(open_tok, fn, fir) -> str | None:
+    """Content of the literal whose opening quote is `open_tok`: the Nth
+    literal starting on its line, where N is half the count of preceding
+    quote tokens on that line (each blanked literal contributes a pair)."""
+    per_line = fir.strings.get(open_tok.line, []) if fir is not None else []
+    quotes_before = 0
+    for t in fn.body:
+        if t is open_tok:
+            break
+        if t.line == open_tok.line and t.text == '"':
+            quotes_before += 1
+    ordinal = quotes_before // 2
+    if ordinal < len(per_line):
+        return per_line[ordinal]
+    return None
+
+
+def run(index: Index) -> list[Finding]:
+    findings: list[Finding] = []
+    # name -> list of (file, line, callee) registration sites, deduplicated
+    # by (file, line) so a re-fetch from one site never counts twice.
+    sites: dict[str, dict[tuple[str, int], str]] = {}
+    for fn in index.functions():
+        fir = index.files.get(fn.file)
+        for call in fn.calls():
+            if call.name not in _REGISTRATION_CALLS or not call.args:
+                continue
+            name = _literal_arg(call.args[0], fn, fir)
+            if name is None:
+                continue
+            if fir is not None and fir.allowed(call.line, NAME):
+                continue
+            if not _NAME_RE.match(name):
+                findings.append(Finding(
+                    fn.file, call.line, NAME,
+                    f'metric name "{name}" does not match the registry '
+                    "convention [a-z][a-z0-9_.]* "
+                    '("<subsystem>.<metric>", lowercase dotted)',
+                    symbol=fn.qualified))
+            sites.setdefault(name, {})[(fn.file, call.line)] = call.name
+    for name, by_site in sorted(sites.items()):
+        if len(by_site) < 2:
+            continue
+        ordered = sorted(by_site.items())
+        first_file, first_line = ordered[0][0]
+        for (file, line), callee in ordered[1:]:
+            findings.append(Finding(
+                file, line, NAME,
+                f'metric "{name}" is also registered at '
+                f"{first_file}:{first_line} — two registration sites "
+                f"silently alias one {callee.removeprefix('Get').removeprefix('Link').lower()}"))
+    return findings

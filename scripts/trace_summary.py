@@ -1,19 +1,23 @@
 #!/usr/bin/env python3
-"""Print a per-stage latency table from a G-Miner trace artifact.
+"""Print per-stage latency and final-registry tables from G-Miner artifacts.
 
-Accepts either of the two JSON files a traced run produces:
+Accepts either of the JSON files a run produces:
 
   * the Chrome trace-event file written via RunOptions::trace_json_path
     (percentiles are recomputed exactly from the individual span durations), or
   * the job report written by WriteJobResultJson, whose "trace" object carries
-    the pre-folded per-stage histograms (p50/p95/p99 from log buckets).
+    the pre-folded per-stage histograms (p50/p95/p99 from log buckets) and
+    whose "metrics" object (schema v4) carries the final metrics-registry
+    state — cluster-wide counters, gauges and log2-bucket histograms, printed
+    as a registry table.
 
 Usage:
     python3 scripts/trace_summary.py trace.json
     python3 scripts/trace_summary.py report.json
 
-Exits 1 when the file holds no stage data (tracing disabled or empty run), so
-CI can use it as a smoke check.
+Exits 1 when the file holds neither stage data nor registry metrics (tracing
+and the metrics plane both disabled, or an empty run), so CI can use it as a
+smoke check.
 """
 
 import json
@@ -63,6 +67,47 @@ def stages_from_report(doc):
     ]
 
 
+def bucket_percentile(buckets, count, p):
+    """Lower-bound percentile from log2 buckets: bucket b holds [2^b, 2^(b+1))."""
+    if count <= 0:
+        return 0
+    target = p / 100.0 * count
+    cumulative = 0
+    for b, n in enumerate(buckets):
+        cumulative += n
+        if cumulative >= target:
+            return 2 ** b
+    return 2 ** max(0, len(buckets) - 1)
+
+
+def print_registry_table(metrics):
+    """The final registry state from a schema-v4 report's "metrics" object."""
+    cluster = metrics.get("cluster", {})
+    counters = cluster.get("counters", {})
+    gauges = cluster.get("gauges", {})
+    histograms = cluster.get("histograms", {})
+    if not (counters or gauges or histograms):
+        return False
+
+    workers = metrics.get("workers", [])
+    print(f"final metrics registry (cluster rollup of {len(workers)} workers):")
+    header = f"{'metric':<28} {'kind':>9} {'value':>14}"
+    print(header)
+    print("-" * len(header))
+    for name in sorted(counters):
+        print(f"{name:<28} {'counter':>9} {counters[name]:>14}")
+    for name in sorted(gauges):
+        print(f"{name:<28} {'gauge':>9} {gauges[name]:>14}")
+    for name in sorted(histograms):
+        h = histograms[name]
+        count = h.get("count", 0)
+        print(f"{name:<28} {'histogram':>9} {count:>14}"
+              f"  (sum={h.get('sum', 0)}"
+              f" p50~{bucket_percentile(h.get('buckets', []), count, 50)}"
+              f" p95~{bucket_percentile(h.get('buckets', []), count, 95)})")
+    return True
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
@@ -75,38 +120,47 @@ def main():
         source = "chrome trace"
         dropped = None
         totals = {}
+        metrics = {}
     else:
         stages = stages_from_report(doc)
         source = "job report"
         dropped = doc.get("trace", {}).get("trace_events_dropped")
         totals = doc.get("totals", {})
+        metrics = doc.get("metrics", {}) if doc.get("metrics", {}).get("enabled") else {}
 
-    if not stages:
-        print(f"no stage data in {sys.argv[1]} ({source}) -- was tracing enabled?",
-              file=sys.stderr)
+    if stages:
+        grand_total = sum(s["total_ns"] for s in stages) or 1.0
+        header = f"{'stage':<14} {'count':>10} {'p50':>12} {'p95':>12} {'p99':>12} " \
+                 f"{'total':>12} {'share':>7}"
+        print(header)
+        print("-" * len(header))
+        for s in stages:
+            print(f"{s['stage']:<14} {s['count']:>10} "
+                  f"{s['p50_ns'] / 1e6:>10.3f}ms {s['p95_ns'] / 1e6:>10.3f}ms "
+                  f"{s['p99_ns'] / 1e6:>10.3f}ms {s['total_ns'] / 1e6:>10.3f}ms "
+                  f"{100.0 * s['total_ns'] / grand_total:>6.1f}%")
+        if dropped:
+            print(f"warning: {dropped} events dropped (raise RunOptions::trace_ring_capacity)")
+        if totals.get("pull_batches_sent"):
+            batches = totals["pull_batches_sent"]
+            requests = totals.get("pull_requests", 0)
+            per_batch = requests / batches if batches else 0.0
+            print(f"pull batching: {batches} batches, {requests} vertex requests "
+                  f"({per_batch:.1f} ids/batch avg, "
+                  f"p50={totals.get('pull_batch_size_p50', 0)} "
+                  f"p95={totals.get('pull_batch_size_p95', 0)}), "
+                  f"{totals.get('dedup_hits', 0)} dedup hits")
+
+    printed_registry = False
+    if metrics:
+        if stages:
+            print()
+        printed_registry = print_registry_table(metrics)
+
+    if not stages and not printed_registry:
+        print(f"no stage or registry data in {sys.argv[1]} ({source}) -- "
+              "were tracing / the metrics plane enabled?", file=sys.stderr)
         return 1
-
-    grand_total = sum(s["total_ns"] for s in stages) or 1.0
-    header = f"{'stage':<14} {'count':>10} {'p50':>12} {'p95':>12} {'p99':>12} " \
-             f"{'total':>12} {'share':>7}"
-    print(header)
-    print("-" * len(header))
-    for s in stages:
-        print(f"{s['stage']:<14} {s['count']:>10} "
-              f"{s['p50_ns'] / 1e6:>10.3f}ms {s['p95_ns'] / 1e6:>10.3f}ms "
-              f"{s['p99_ns'] / 1e6:>10.3f}ms {s['total_ns'] / 1e6:>10.3f}ms "
-              f"{100.0 * s['total_ns'] / grand_total:>6.1f}%")
-    if dropped:
-        print(f"warning: {dropped} events dropped (raise RunOptions::trace_ring_capacity)")
-    if totals.get("pull_batches_sent"):
-        batches = totals["pull_batches_sent"]
-        requests = totals.get("pull_requests", 0)
-        per_batch = requests / batches if batches else 0.0
-        print(f"pull batching: {batches} batches, {requests} vertex requests "
-              f"({per_batch:.1f} ids/batch avg, "
-              f"p50={totals.get('pull_batch_size_p50', 0)} "
-              f"p95={totals.get('pull_batch_size_p95', 0)}), "
-              f"{totals.get('dedup_hits', 0)} dedup hits")
     return 0
 
 

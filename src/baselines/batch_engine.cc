@@ -235,10 +235,16 @@ JobResult RunBatch(const Graph& g, JobBase& job, const JobConfig& config) {
   ThreadPool pool(total_threads);
   std::unique_ptr<UtilizationSampler> sampler;
   const auto snapshot = [&counters] { return Snapshot(counters); };
+  // The baseline has no metrics plane; a local sink keeps the utilization
+  // series for the report. Written only by the sampler thread; read after
+  // Stop() has joined it.
+  std::vector<UtilizationSample> samples;
   if (config.sample_utilization) {
-    sampler = std::make_unique<UtilizationSampler>(snapshot, effective_cores,
-                                                   config.net_bandwidth_gbps,
-                                                   config.sample_interval_ms);
+    auto* out = &samples;
+    sampler = std::make_unique<UtilizationSampler>(
+        snapshot, [out](const UtilizationSample& s) { out->push_back(s); },
+        /*registry=*/nullptr, effective_cores, config.net_bandwidth_gbps,
+        config.sample_interval_ms);
     sampler->Start();
   }
 
@@ -417,7 +423,7 @@ JobResult RunBatch(const Graph& g, JobBase& job, const JobConfig& config) {
 
   if (sampler != nullptr) {
     sampler->Stop();
-    result.utilization = sampler->TakeSamples();
+    result.utilization = std::move(samples);
   }
 
   // Final aggregate.

@@ -95,6 +95,18 @@ struct JobConfig {
   bool sample_utilization = false;
   int sample_interval_ms = 20;
 
+  // Live metrics plane (metrics/registry.h, DESIGN.md "Observability").
+  // Workers piggyback absolute MetricsSnapshot frames on the heartbeat path
+  // every metrics_interval_ms; frames are trimmed to metrics_max_frame_bytes
+  // (drop-oldest entries, counted on metrics.dropped) so heartbeats never
+  // bloat; the master keeps metrics_ring_points snapshots per time series.
+  // The GMINER_METRICS env var ("off"/"on") overrides enable_metrics at
+  // runtime — used by the registry-overhead bench row.
+  bool enable_metrics = true;
+  int metrics_interval_ms = 50;
+  size_t metrics_max_frame_bytes = 16384;
+  size_t metrics_ring_points = 128;
+
   uint64_t seed = 42;  // job-level RNG seed (seed ordering, LSH hash seeds)
 };
 

@@ -1,0 +1,20 @@
+// JSON string escaping shared by every JSON producer in the tree: the job
+// report (core/report.cc), the metrics /status endpoint and the Prometheus
+// label renderer (metrics/cluster_series.cc). Lives in common so the metrics
+// layer can use it without violating the include layering (metrics -> common
+// only).
+#ifndef GMINER_COMMON_JSON_H_
+#define GMINER_COMMON_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace gminer {
+
+// Escapes a string for embedding in a JSON double-quoted literal: quotes,
+// backslashes, and control characters (\b \f \n \r \t, \u00XX otherwise).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace gminer
+
+#endif  // GMINER_COMMON_JSON_H_

@@ -12,6 +12,9 @@
 #include "common/trace.h"
 #include "core/master.h"
 #include "core/worker.h"
+#include "metrics/cluster_series.h"
+#include "metrics/http_endpoint.h"
+#include "metrics/registry.h"
 #include "metrics/sampler.h"
 #include "metrics/trace_stats.h"
 #include "net/network.h"
@@ -186,15 +189,58 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
               config_.net_bandwidth_gbps, config_.net_latency_us, injector.get(),
               tracer.get());
 
+  // Metrics plane (metrics/registry.h): one registry per worker plus one for
+  // the master process, aggregated into ClusterMetrics by the master's
+  // control loop. GMINER_METRICS=off/on overrides the config default.
+  const bool metrics_on = MetricsEnabled(config_.enable_metrics);
+  std::vector<std::unique_ptr<MetricsRegistry>> registries;
+  std::unique_ptr<MetricsRegistry> master_registry;
+  std::unique_ptr<ClusterMetrics> cluster_metrics;
+  if (metrics_on) {
+    registries.reserve(static_cast<size_t>(config_.num_workers));
+    for (int i = 0; i < config_.num_workers; ++i) {
+      registries.push_back(std::make_unique<MetricsRegistry>());
+    }
+    master_registry = std::make_unique<MetricsRegistry>();
+    master_registry->LinkGauge("mem.current_bytes",
+                               [&state] { return state.memory.current(); });
+    master_registry->LinkGauge("mem.peak_bytes", [&state] { return state.memory.peak(); });
+    cluster_metrics =
+        std::make_unique<ClusterMetrics>(config_.num_workers, config_.metrics_ring_points);
+    cluster_metrics->set_master_registry(master_registry.get());
+    cluster_metrics->SetPhase("deploying");
+  }
+
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(static_cast<size_t>(config_.num_workers));
   for (int i = 0; i < config_.num_workers; ++i) {
     workers.push_back(
         std::make_unique<Worker>(i, config_, &net, &state, counters[i].get(), &job));
     workers.back()->set_tracer(tracer.get());
+    if (metrics_on) {
+      workers.back()->set_registry(registries[static_cast<size_t>(i)].get());
+    }
     workers.back()->LoadPartition(g, owner);
     if (!options.checkpoint_dir.empty()) {
       workers.back()->set_checkpoint_path(CheckpointTaskFile(options.checkpoint_dir, i));
+    }
+  }
+
+  // HTTP endpoint: blocking responder thread on the master, loopback only.
+  std::unique_ptr<MetricsHttpServer> http_server;
+  if (metrics_on && options.metrics_port >= 0) {
+    ClusterMetrics* cm = cluster_metrics.get();
+    http_server = std::make_unique<MetricsHttpServer>(
+        options.metrics_port, [cm] { return cm->RenderPrometheus(); },
+        [cm] { return cm->RenderStatusJson(); });
+    if (http_server->Start()) {
+      GM_LOG_INFO << "metrics endpoint listening on 127.0.0.1:" << http_server->port();
+      if (options.on_metrics_ready) {
+        options.on_metrics_ready(http_server->port());
+      }
+    } else {
+      GM_LOG_ERROR << "failed to bind metrics endpoint on port " << options.metrics_port;
+      http_server.reset();
     }
   }
 
@@ -274,11 +320,26 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
     }
     return total;
   };
+  std::vector<UtilizationSample> fallback_samples;
   std::unique_ptr<UtilizationSampler> sampler;
   if (config_.sample_utilization) {
-    sampler = std::make_unique<UtilizationSampler>(snapshot_all, total_cores,
-                                                   config_.net_bandwidth_gbps,
-                                                   config_.sample_interval_ms);
+    // The sampler pushes each sample into the cluster series (when the
+    // metrics plane is on) and mirrors the latest values onto the master
+    // registry's util.* gauges — no private sample store anymore.
+    UtilizationSampler::SampleSink sink;
+    if (cluster_metrics != nullptr) {
+      ClusterMetrics* cm = cluster_metrics.get();
+      sink = [cm](const UtilizationSample& s) { cm->RecordUtilization(s); };
+    } else {
+      // Metrics plane off but sampling on: keep the series locally so the
+      // report's "utilization" array survives. Written only by the sampler
+      // thread; read after Stop() has joined it.
+      auto* samples = &fallback_samples;
+      sink = [samples](const UtilizationSample& s) { samples->push_back(s); };
+    }
+    sampler = std::make_unique<UtilizationSampler>(
+        snapshot_all, std::move(sink), master_registry.get(), total_cores,
+        config_.net_bandwidth_gbps, config_.sample_interval_ms);
     sampler->Start();
   }
 
@@ -318,7 +379,8 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
   }
 
   Master master(config_, &net, &state, &job, options.checkpoint_dir,
-                /*bounded_shutdown=*/injector != nullptr || config_.enable_fault_tolerance);
+                /*bounded_shutdown=*/injector != nullptr || config_.enable_fault_tolerance,
+                cluster_metrics.get());
   {
     // The master runs on this (caller) thread; give it a trace track.
     TraceThreadScope master_scope(tracer.get(), config_.num_workers, "master");
@@ -357,7 +419,25 @@ JobResult Cluster::Run(const Graph& g, JobBase& job, const RunOptions& options) 
 
   if (sampler != nullptr) {
     sampler->Stop();
-    result.utilization = sampler->TakeSamples();
+    result.utilization = cluster_metrics != nullptr ? cluster_metrics->UtilizationSeries()
+                                                    : std::move(fallback_samples);
+  }
+
+  // Final registry state: collect fresh (the last piggybacked snapshot can be
+  // up to metrics_interval_ms stale) while the workers — whose queues the
+  // gauge callbacks sample — are still alive. The endpoint keeps serving the
+  // frozen ring until the server is torn down with the workers below.
+  if (metrics_on) {
+    result.metrics_enabled = true;
+    result.final_metrics.reserve(registries.size());
+    for (const auto& registry : registries) {
+      result.final_metrics.push_back(registry->Collect());
+      result.cluster_metrics.Merge(result.final_metrics.back());
+    }
+    result.cluster_metrics.Merge(master_registry->Collect());
+    if (cluster_metrics != nullptr) {
+      cluster_metrics->SetPhase("done");
+    }
   }
 
   // --- Metrics collection ---

@@ -4,6 +4,7 @@
 #ifndef GMINER_CORE_CLUSTER_H_
 #define GMINER_CORE_CLUSTER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -49,6 +50,17 @@ struct RunOptions {
   // Events each thread's ring can hold before dropping (drop-newest, counted
   // in JobResult::trace_events_dropped). Default 32K events ≈ 1 MiB/thread.
   size_t trace_ring_capacity = size_t{1} << 15;
+
+  // --- Live metrics endpoint (metrics/http_endpoint.h) ---
+  // When >= 0 and the metrics plane is enabled, the master serves GET
+  // /metrics (Prometheus text exposition) and GET /status (JSON) on
+  // 127.0.0.1:<metrics_port> for the duration of the run. 0 binds an
+  // ephemeral port. -1 (default) disables the endpoint.
+  int metrics_port = -1;
+
+  // Invoked once the endpoint is listening, with the bound port — lets tests
+  // (and embedders) scrape an ephemeral-port server mid-job.
+  std::function<void(int)> on_metrics_ready;
 };
 
 class Cluster {

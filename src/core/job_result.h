@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "metrics/counters.h"
+#include "metrics/registry.h"
 #include "metrics/sampler.h"
 #include "metrics/trace_stats.h"
 
@@ -54,6 +55,13 @@ struct JobResult {
   std::vector<UtilizationSample> utilization;  // when sampling was enabled
   std::vector<std::string> outputs;
   std::vector<uint8_t> final_aggregate;  // serialized global aggregator value
+
+  // Live metrics plane (metrics/registry.h): final absolute snapshot of each
+  // worker's registry plus the merged cluster view (includes the master
+  // registry's memory/utilization gauges). Empty when the plane was off.
+  bool metrics_enabled = false;
+  std::vector<MetricsSnapshot> final_metrics;  // indexed by worker
+  MetricsSnapshot cluster_metrics;
 
   // Tracing (RunOptions::enable_tracing; common/trace.h).
   bool trace_enabled = false;

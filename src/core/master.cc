@@ -19,7 +19,7 @@ constexpr int64_t kShutdownResendNs = 200'000'000;
 }  // namespace
 
 Master::Master(const JobConfig& config, Network* net, ClusterState* state, JobBase* job,
-               std::string checkpoint_dir, bool bounded_shutdown)
+               std::string checkpoint_dir, bool bounded_shutdown, ClusterMetrics* metrics)
     : config_(config),
       net_(net),
       state_(state),
@@ -27,6 +27,7 @@ Master::Master(const JobConfig& config, Network* net, ClusterState* state, JobBa
       master_id_(config.num_workers),
       checkpoint_dir_(std::move(checkpoint_dir)),
       bounded_shutdown_(bounded_shutdown),
+      metrics_(metrics),
       progress_(static_cast<size_t>(config.num_workers)),
       health_(static_cast<size_t>(config.num_workers)),
       adopter_of_(static_cast<size_t>(config.num_workers), kInvalidWorker),
@@ -78,6 +79,18 @@ void Master::HandleProgress(WorkerId from, InArchive in) {
   if (seeded != 0 && IsWorker(from) && !health_[static_cast<size_t>(from)].seeded) {
     health_[static_cast<size_t>(from)].seeded = true;
     ++seeded_workers_;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->UpdateWorkerProgress(from, p.inactive, p.ready, p.local_tasks, seeded != 0);
+  }
+}
+
+void Master::HandleMetricsReport(WorkerId from, InArchive in) {
+  // Deserialize unconditionally: a framed payload must be consumed even when
+  // the plane is off on the master side (protocol framing consistency).
+  MetricsSnapshot snap = MetricsSnapshot::Deserialize(in);
+  if (metrics_ != nullptr && IsWorker(from)) {
+    metrics_->RecordWorkerSnapshot(from, std::move(snap));
   }
 }
 
@@ -162,6 +175,9 @@ void Master::DeclareDead(WorkerId w, int64_t now_ns) {
                static_cast<int32_t>(silent_ns / 1'000'000));
   TraceInstant(TraceEventType::kWorkerDead, static_cast<uint64_t>(w));
   h.dead = true;
+  if (metrics_ != nullptr) {
+    metrics_->MarkDead(w);
+  }
   if (!h.seeded) {
     // Its seeds (if any were generated before the crash) come back through
     // the checkpoint, not through a kSeedDone that will never arrive.
@@ -287,6 +303,9 @@ void Master::Dispatch(NetMessage& msg) {
     case MessageType::kAdoptDone:
       HandleAdoptDone(InArchive(std::move(msg.payload)));
       break;
+    case MessageType::kMetricsReport:
+      HandleMetricsReport(msg.from, InArchive(std::move(msg.payload)));
+      break;
     default:
       break;
   }
@@ -297,6 +316,10 @@ std::vector<uint8_t> Master::Run() {
   for (auto& h : health_) {
     h.last_seen_ns = start_ns_;  // grace period measured from job start
   }
+  if (metrics_ != nullptr) {
+    metrics_->SetPhase("seeding");
+  }
+  bool running_phase = false;
   const auto tick = std::chrono::milliseconds(std::max(1, config_.progress_interval_ms));
   // Main control loop. Progress reports arrive every few milliseconds from
   // every worker and double as heartbeats; the timed receive keeps failure
@@ -309,6 +332,9 @@ std::vector<uint8_t> Master::Run() {
       if (!from_worker || !health_[static_cast<size_t>(msg->from)].dead) {
         if (from_worker) {
           health_[static_cast<size_t>(msg->from)].last_seen_ns = now;
+          if (metrics_ != nullptr) {
+            metrics_->UpdateHeartbeat(msg->from, now);
+          }
         }
         Dispatch(*msg);
       }
@@ -316,11 +342,18 @@ std::vector<uint8_t> Master::Run() {
     } else if (net_->IsClosed(master_id_)) {
       break;  // network closed externally
     }
+    if (metrics_ != nullptr && !running_phase && seeded_workers_ == config_.num_workers) {
+      running_phase = true;
+      metrics_->SetPhase("running");
+    }
     if (config_.enable_fault_tolerance) {
       CheckFailures(now);
       RetryAdoptions(now);
     }
     CheckBudgets();
+  }
+  if (metrics_ != nullptr) {
+    metrics_->SetPhase("shutdown");
   }
 
   // Shutdown: each surviving worker acknowledges with a final aggregator

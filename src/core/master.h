@@ -26,6 +26,7 @@
 #include "common/config.h"
 #include "core/cluster_state.h"
 #include "core/job.h"
+#include "metrics/cluster_series.h"
 #include "net/network.h"
 
 namespace gminer {
@@ -35,9 +36,12 @@ class Master {
   // `checkpoint_dir` names the seed-checkpoint directory used for online
   // task adoption (empty = a dead worker fails the job with kWorkerLost).
   // `bounded_shutdown` bounds the final-partial wait, for runs where faults
-  // may have eaten shutdown traffic.
+  // may have eaten shutdown traffic. `metrics` (may be null) receives the
+  // live cluster view: worker heartbeats/progress/liveness, job phase, and
+  // the kMetricsReport snapshots workers piggyback on the heartbeat path.
   Master(const JobConfig& config, Network* net, ClusterState* state, JobBase* job,
-         std::string checkpoint_dir = {}, bool bounded_shutdown = false);
+         std::string checkpoint_dir = {}, bool bounded_shutdown = false,
+         ClusterMetrics* metrics = nullptr);
 
   // Runs the control loop until the job completes or a budget trips, then
   // shuts the workers down and collects their final aggregator partials.
@@ -47,6 +51,7 @@ class Master {
  private:
   void Dispatch(NetMessage& msg);
   void HandleProgress(WorkerId from, InArchive in);
+  void HandleMetricsReport(WorkerId from, InArchive in);
   void HandleStealRequest(WorkerId requester);
   void HandleAggPartial(WorkerId from, InArchive in);
   void HandleAdoptDone(InArchive in);
@@ -70,6 +75,7 @@ class Master {
   const WorkerId master_id_;
   const std::string checkpoint_dir_;
   const bool bounded_shutdown_;
+  ClusterMetrics* metrics_;  // may be null (metrics plane off)
 
   struct WorkerProgress {
     uint64_t inactive = 0;

@@ -1,6 +1,5 @@
 #include "core/report.h"
 
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -44,46 +43,44 @@ void AppendCounters(std::ostringstream& out, const CountersSnapshot& c) {
       << ",\"recovery_wall_ns\":" << c.recovery_wall_ns << "}";
 }
 
-}  // namespace
-
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char ch : s) {
-    switch (ch) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\b':
-        out += "\\b";
-        break;
-      case '\f':
-        out += "\\f";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;
-        }
+// Final registry state (metrics/registry.h): flat name→value tables plus the
+// log2-bucket histograms. Names are escaped — registrations are code-side
+// literals, but hostile names must not be able to break the document.
+void AppendMetricsSnapshot(std::ostringstream& out, const MetricsSnapshot& snap) {
+  out << "{\"counters\":{";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i > 0) {
+      out << ',';
     }
+    out << '"' << JsonEscape(snap.counters[i].first) << "\":" << snap.counters[i].second;
   }
-  return out;
+  out << "},\"gauges\":{";
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i > 0) {
+      out << ',';
+    }
+    out << '"' << JsonEscape(snap.gauges[i].first) << "\":" << snap.gauges[i].second;
+  }
+  out << "},\"histograms\":{";
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramCell& h = snap.histograms[i];
+    if (i > 0) {
+      out << ',';
+    }
+    out << '"' << JsonEscape(h.name) << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+        << ",\"buckets\":[";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) {
+        out << ',';
+      }
+      out << h.buckets[b];
+    }
+    out << "]}";
+  }
+  out << "}}";
 }
+
+}  // namespace
 
 std::string JobResultToJson(const JobResult& result) {
   std::ostringstream out;
@@ -124,7 +121,17 @@ std::string JobResultToJson(const JobResult& result) {
         << ",\"p50_ns\":" << s.p50_ns << ",\"p95_ns\":" << s.p95_ns
         << ",\"p99_ns\":" << s.p99_ns << "}";
   }
-  out << "]},\"num_outputs\":" << result.outputs.size() << "}";
+  out << "]},\"metrics\":{\"enabled\":" << (result.metrics_enabled ? "true" : "false")
+      << ",\"workers\":[";
+  for (size_t i = 0; i < result.final_metrics.size(); ++i) {
+    if (i > 0) {
+      out << ',';
+    }
+    AppendMetricsSnapshot(out, result.final_metrics[i]);
+  }
+  out << "],\"cluster\":";
+  AppendMetricsSnapshot(out, result.cluster_metrics);
+  out << "},\"num_outputs\":" << result.outputs.size() << "}";
   return out.str();
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/json.h"  // JsonEscape, re-exported for existing callers
 #include "core/job_result.h"
 
 namespace gminer {
@@ -16,11 +17,10 @@ namespace gminer {
 //   2: adds schema_version, string escaping, and the "trace" object.
 //   3: adds the pull-batching counters (pull_batches_sent, dedup_hits,
 //      pull_batch_size_p50/p95) to every counters object.
-constexpr int kReportSchemaVersion = 3;
-
-// Escapes a string for embedding in a JSON double-quoted literal: quotes,
-// backslashes, and control characters (\b \f \n \r \t, \u00XX otherwise).
-std::string JsonEscape(std::string_view s);
+//   4: adds the "metrics" object — the final registry state of the live
+//      metrics plane (per-worker and merged cluster snapshots with named
+//      counters, gauges, and log2-bucket histograms).
+constexpr int kReportSchemaVersion = 4;
 
 // Serializes the result (status, timings, totals, per-worker counters,
 // utilization samples, trace stage latencies) as a single JSON object.

@@ -156,6 +156,29 @@ void Worker::LoadPartition(const Graph& g, std::shared_ptr<const std::vector<Wor
 
 void Worker::Start(const std::vector<std::vector<uint8_t>>* seed_blobs) {
   running_.store(true, std::memory_order_release);
+  if (registry_ != nullptr) {
+    // Link the existing lock-free counters (zero hot-path cost) and expose
+    // the pipeline's live depths as callback gauges, sampled at Collect().
+    RegisterWorkerCounters(*registry_, *counters_);
+    registry_->LinkGauge("pull.in_flight", [this] {
+      MutexLock lock(pull_mutex_);
+      return static_cast<int64_t>(pending_pulls_.size());
+    });
+    registry_->LinkGauge("store.depth",
+                         [this] { return static_cast<int64_t>(store_->ApproxSize()); });
+    registry_->LinkGauge("store.in_memory",
+                         [this] { return static_cast<int64_t>(store_->InMemorySize()); });
+    registry_->LinkGauge("cache.resident",
+                         [this] { return static_cast<int64_t>(cache_.size()); });
+    registry_->LinkGauge("queue.ready",
+                         [this] { return static_cast<int64_t>(cpq_.Size()); });
+    registry_->LinkGauge("task.local",
+                         [this] { return local_tasks_.load(std::memory_order_relaxed); });
+    registry_->LinkGauge("task.in_pipeline",
+                         [this] { return in_pipeline_.load(std::memory_order_relaxed); });
+    metrics_dropped_ = registry_->GetCounter("metrics.dropped");
+    metrics_snapshot_bytes_ = registry_->GetHistogram("metrics.snapshot_bytes");
+  }
   PullCoalescerOptions copts;
   copts.enabled = PullBatchingEnabled(config_.enable_pull_batching);
   copts.batch_bytes = config_.pull_batch_bytes;
@@ -740,6 +763,7 @@ void Worker::HandleMigrateTasks(InArchive in) {
 void Worker::ReporterLoop() {
   TraceThreadScope trace_scope(tracer_, id_, "reporter");
   int64_t last_agg_ns = 0;
+  int64_t last_metrics_ns = 0;
   while (!ShuttingDown()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(config_.progress_interval_ms));
     if (ShuttingDown()) {
@@ -756,6 +780,22 @@ void Worker::ReporterLoop() {
     net_->Send(id_, master_id_, MessageType::kProgressReport, progress.TakeBuffer());
 
     const int64_t now = MonotonicNanos();
+    if (registry_ != nullptr &&
+        now - last_metrics_ns >= config_.metrics_interval_ms * 1'000'000) {
+      last_metrics_ns = now;
+      // Absolute cumulative snapshot piggybacked on the heartbeat path: a
+      // drop or duplicate on the simulated network is harmless, the master
+      // just keeps the freshest captured_at_ns per worker.
+      MetricsSnapshot snap = registry_->Collect();
+      const int dropped = snap.TrimToBudget(config_.metrics_max_frame_bytes);
+      if (dropped > 0) {
+        metrics_dropped_->Add(dropped);
+      }
+      metrics_snapshot_bytes_->Observe(static_cast<int64_t>(snap.EncodedBytes()));
+      OutArchive report;
+      snap.Serialize(report);
+      net_->Send(id_, master_id_, MessageType::kMetricsReport, report.TakeBuffer());
+    }
     if (aggregator_ != nullptr &&
         now - last_agg_ns >= config_.aggregator_interval_ms * 1'000'000) {
       last_agg_ns = now;

@@ -47,6 +47,7 @@
 #include "core/task_store.h"
 #include "graph/graph.h"
 #include "metrics/counters.h"
+#include "metrics/registry.h"
 #include "net/coalescer.h"
 #include "net/network.h"
 #include "storage/vertex_table.h"
@@ -103,6 +104,12 @@ class Worker {
   // Optional tracing (common/trace.h). Must be set before Start(); the tracer
   // must outlive the worker's threads. Null = no tracing.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  // Optional metrics plane (metrics/registry.h). Must be set before Start();
+  // the registry must outlive the worker's threads. Start() links the
+  // WorkerCounters and registers the live queue-depth gauges; the reporter
+  // piggybacks kMetricsReport snapshots on the heartbeat path. Null = off.
+  void set_registry(MetricsRegistry* registry) { registry_ = registry; }
 
  private:
   friend class WorkerSeedSink;
@@ -229,6 +236,12 @@ class Worker {
 
   std::string checkpoint_path_;
   Tracer* tracer_ = nullptr;
+
+  // Metrics plane (null = off). The owned handles are fetched once in
+  // Start() so the reporter's snapshot path never touches the registry map.
+  MetricsRegistry* registry_ = nullptr;
+  MetricCounter* metrics_dropped_ = nullptr;
+  MetricHistogram* metrics_snapshot_bytes_ = nullptr;
 
   Rng rng_;
   // The pipeline threads' lifetime is tied to the worker itself, not to

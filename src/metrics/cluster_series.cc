@@ -1,0 +1,295 @@
+#include "metrics/cluster_series.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/timer.h"
+
+namespace gminer {
+
+namespace {
+
+// Prometheus exposition metric name for a registry name: prefixed and mapped
+// onto the legal alphabet ("pull.batch_size" → "gminer_pull_batch_size").
+std::string PromName(const std::string& name) {
+  return "gminer_" + SanitizeMetricName(name);
+}
+
+// Prometheus label values share JSON's escaping needs (backslash, quote,
+// control characters), so the existing JsonEscape covers them.
+std::string PromLabel(int worker) {
+  return "{worker=\"" + std::to_string(worker) + "\"}";
+}
+
+void RenderScalarFamily(std::ostringstream& out, const std::string& type,
+                        const std::string& name,
+                        const std::vector<std::pair<int, int64_t>>& samples) {
+  const std::string prom = PromName(name);
+  out << "# TYPE " << prom << ' ' << type << '\n';
+  for (const auto& [worker, value] : samples) {
+    out << prom << PromLabel(worker) << ' ' << value << '\n';
+  }
+}
+
+void RenderHistogramFamily(std::ostringstream& out, const std::string& name,
+                           const std::vector<std::pair<int, const HistogramCell*>>& cells) {
+  const std::string prom = PromName(name);
+  out << "# TYPE " << prom << " histogram\n";
+  for (const auto& [worker, cell] : cells) {
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < cell->buckets.size(); ++b) {
+      cumulative += cell->buckets[b];
+      // Bucket b counts [2^b, 2^(b+1)), so the inclusive upper bound is the
+      // next power of two.
+      out << prom << "_bucket{worker=\"" << worker << "\",le=\"" << (int64_t{1} << (b + 1))
+          << "\"} " << cumulative << '\n';
+    }
+    out << prom << "_bucket{worker=\"" << worker << "\",le=\"+Inf\"} " << cell->count
+        << '\n';
+    out << prom << "_sum" << PromLabel(worker) << ' ' << cell->sum << '\n';
+    out << prom << "_count" << PromLabel(worker) << ' ' << cell->count << '\n';
+  }
+}
+
+}  // namespace
+
+ClusterMetrics::ClusterMetrics(int num_workers, size_t ring_points)
+    : num_workers_(num_workers),
+      ring_points_(ring_points == 0 ? 1 : ring_points),
+      start_ns_(MonotonicNanos()),
+      status_(static_cast<size_t>(num_workers)),
+      worker_series_(static_cast<size_t>(num_workers)) {
+  for (auto& s : status_) {
+    s.last_seen_ns = start_ns_;
+  }
+}
+
+MetricsSnapshot ClusterMetrics::MergedLatestLocked() const {
+  MetricsSnapshot merged;
+  for (const auto& ring : worker_series_) {
+    if (!ring.empty()) {
+      merged.Merge(ring.back());
+    }
+  }
+  return merged;
+}
+
+void ClusterMetrics::RecordWorkerSnapshot(int worker, MetricsSnapshot snap) {
+  if (worker < 0 || worker >= num_workers_) {
+    return;
+  }
+  MutexLock lock(mutex_);
+  auto& ring = worker_series_[static_cast<size_t>(worker)];
+  // Reordered or duplicated frames (injected faults) must not step the
+  // series backwards; absolute snapshots make dropping them lossless.
+  if (!ring.empty() && snap.captured_at_ns <= ring.back().captured_at_ns) {
+    return;
+  }
+  ring.push_back(std::move(snap));
+  while (ring.size() > ring_points_) {
+    ring.pop_front();
+  }
+  cluster_series_.push_back(MergedLatestLocked());
+  while (cluster_series_.size() > ring_points_) {
+    cluster_series_.pop_front();
+  }
+}
+
+void ClusterMetrics::UpdateWorkerProgress(int worker, uint64_t inactive, uint64_t ready,
+                                          int64_t local_tasks, bool seeded) {
+  if (worker < 0 || worker >= num_workers_) {
+    return;
+  }
+  MutexLock lock(mutex_);
+  WorkerStatus& s = status_[static_cast<size_t>(worker)];
+  s.inactive = inactive;
+  s.ready = ready;
+  s.local_tasks = local_tasks;
+  s.seeded = s.seeded || seeded;
+}
+
+void ClusterMetrics::UpdateHeartbeat(int worker, int64_t seen_ns) {
+  if (worker < 0 || worker >= num_workers_) {
+    return;
+  }
+  MutexLock lock(mutex_);
+  status_[static_cast<size_t>(worker)].last_seen_ns = seen_ns;
+}
+
+void ClusterMetrics::MarkDead(int worker) {
+  if (worker < 0 || worker >= num_workers_) {
+    return;
+  }
+  MutexLock lock(mutex_);
+  status_[static_cast<size_t>(worker)].dead = true;
+}
+
+void ClusterMetrics::SetPhase(const std::string& phase) {
+  MutexLock lock(mutex_);
+  phase_ = phase;
+}
+
+std::string ClusterMetrics::phase() const {
+  MutexLock lock(mutex_);
+  return phase_;
+}
+
+void ClusterMetrics::RecordUtilization(const UtilizationSample& sample) {
+  MutexLock lock(mutex_);
+  utilization_.push_back(sample);
+}
+
+std::vector<UtilizationSample> ClusterMetrics::UtilizationSeries() const {
+  MutexLock lock(mutex_);
+  return utilization_;
+}
+
+std::vector<MetricsSnapshot> ClusterMetrics::LatestWorkerSnapshots() const {
+  MutexLock lock(mutex_);
+  std::vector<MetricsSnapshot> out;
+  out.reserve(worker_series_.size());
+  for (const auto& ring : worker_series_) {
+    out.push_back(ring.empty() ? MetricsSnapshot{} : ring.back());
+  }
+  return out;
+}
+
+MetricsSnapshot ClusterMetrics::ClusterSnapshot() const {
+  MutexLock lock(mutex_);
+  MetricsSnapshot merged = MergedLatestLocked();
+  if (master_registry_ != nullptr) {
+    merged.Merge(master_registry_->Collect());
+  }
+  return merged;
+}
+
+std::string ClusterMetrics::RenderPrometheus() const {
+  MutexLock lock(mutex_);
+  const int64_t now_ns = MonotonicNanos();
+  std::ostringstream out;
+
+  out << "# TYPE gminer_job_phase gauge\n"
+      << "gminer_job_phase{phase=\"" << JsonEscape(phase_) << "\"} 1\n";
+  out << "# TYPE gminer_job_uptime_seconds gauge\n"
+      << "gminer_job_uptime_seconds "
+      << static_cast<double>(now_ns - start_ns_) / 1e9 << '\n';
+
+  out << "# TYPE gminer_worker_up gauge\n";
+  for (int w = 0; w < num_workers_; ++w) {
+    out << "gminer_worker_up" << PromLabel(w) << ' '
+        << (status_[static_cast<size_t>(w)].dead ? 0 : 1) << '\n';
+  }
+  out << "# TYPE gminer_worker_heartbeat_age_seconds gauge\n";
+  for (int w = 0; w < num_workers_; ++w) {
+    const double age =
+        static_cast<double>(now_ns - status_[static_cast<size_t>(w)].last_seen_ns) / 1e9;
+    out << "gminer_worker_heartbeat_age_seconds" << PromLabel(w) << ' ' << age << '\n';
+  }
+
+  // Union the latest per-worker snapshots into per-family sample lists so
+  // every family gets exactly one TYPE header.
+  std::map<std::string, std::vector<std::pair<int, int64_t>>> counter_families;
+  std::map<std::string, std::vector<std::pair<int, int64_t>>> gauge_families;
+  std::map<std::string, std::vector<std::pair<int, const HistogramCell*>>> histogram_families;
+  for (int w = 0; w < num_workers_; ++w) {
+    const auto& ring = worker_series_[static_cast<size_t>(w)];
+    if (ring.empty()) {
+      continue;
+    }
+    const MetricsSnapshot& snap = ring.back();
+    for (const auto& c : snap.counters) {
+      counter_families[c.first].emplace_back(w, c.second);
+    }
+    for (const auto& g : snap.gauges) {
+      gauge_families[g.first].emplace_back(w, g.second);
+    }
+    for (const HistogramCell& h : snap.histograms) {
+      histogram_families[h.name].emplace_back(w, &h);
+    }
+  }
+  for (const auto& [name, samples] : counter_families) {
+    RenderScalarFamily(out, "counter", name, samples);
+  }
+  for (const auto& [name, samples] : gauge_families) {
+    RenderScalarFamily(out, "gauge", name, samples);
+  }
+  for (const auto& [name, cells] : histogram_families) {
+    RenderHistogramFamily(out, name, cells);
+  }
+
+  // Master-process metrics (memory tracker, utilization gauges) under a
+  // distinguishable label.
+  if (master_registry_ != nullptr) {
+    const MetricsSnapshot master = master_registry_->Collect();
+    for (const auto& c : master.counters) {
+      const std::string prom = PromName(c.first);
+      out << "# TYPE " << prom << " counter\n"
+          << prom << "{worker=\"master\"} " << c.second << '\n';
+    }
+    for (const auto& g : master.gauges) {
+      const std::string prom = PromName(g.first);
+      out << "# TYPE " << prom << " gauge\n"
+          << prom << "{worker=\"master\"} " << g.second << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string ClusterMetrics::RenderStatusJson() const {
+  MutexLock lock(mutex_);
+  const int64_t now_ns = MonotonicNanos();
+  std::ostringstream out;
+  out << "{\"phase\":\"" << JsonEscape(phase_) << "\""
+      << ",\"uptime_seconds\":" << static_cast<double>(now_ns - start_ns_) / 1e9
+      << ",\"num_workers\":" << num_workers_ << ",\"workers\":[";
+  for (int w = 0; w < num_workers_; ++w) {
+    const WorkerStatus& s = status_[static_cast<size_t>(w)];
+    const auto& ring = worker_series_[static_cast<size_t>(w)];
+    const MetricsSnapshot* snap = ring.empty() ? nullptr : &ring.back();
+    if (w > 0) {
+      out << ',';
+    }
+    out << "{\"id\":" << w << ",\"dead\":" << (s.dead ? "true" : "false")
+        << ",\"seeded\":" << (s.seeded ? "true" : "false")
+        << ",\"heartbeat_age_ms\":" << (now_ns - s.last_seen_ns) / 1'000'000
+        << ",\"queue\":{\"inactive\":" << s.inactive << ",\"ready\":" << s.ready
+        << ",\"local_tasks\":" << s.local_tasks << "}";
+    if (snap != nullptr) {
+      out << ",\"tasks_created\":" << snap->Value("task.created")
+          << ",\"tasks_completed\":" << snap->Value("task.completed")
+          << ",\"in_flight_pulls\":" << snap->Value("pull.in_flight")
+          << ",\"store_depth\":" << snap->Value("store.depth")
+          << ",\"spill_bytes\":" << snap->Value("disk.bytes_written")
+          << ",\"cache_resident\":" << snap->Value("cache.resident")
+          << ",\"snapshot_age_ms\":" << (now_ns - snap->captured_at_ns) / 1'000'000;
+    }
+    out << "}";
+  }
+  out << "],\"cluster\":{";
+  const MetricsSnapshot merged = MergedLatestLocked();
+  MetricsSnapshot master;
+  if (master_registry_ != nullptr) {
+    master = master_registry_->Collect();
+  }
+  out << "\"tasks_created\":" << merged.Value("task.created")
+      << ",\"tasks_completed\":" << merged.Value("task.completed")
+      << ",\"pull_requests\":" << merged.Value("pull.requests")
+      << ",\"cache_hits\":" << merged.Value("cache.hits")
+      << ",\"cache_misses\":" << merged.Value("cache.misses")
+      << ",\"spill_bytes\":" << merged.Value("disk.bytes_written")
+      << ",\"metrics_dropped\":" << merged.Value("metrics.dropped")
+      << ",\"mem_current_bytes\":" << master.Value("mem.current_bytes")
+      << ",\"mem_peak_bytes\":" << master.Value("mem.peak_bytes") << "}";
+  if (!utilization_.empty()) {
+    const UtilizationSample& u = utilization_.back();
+    out << ",\"utilization\":{\"t\":" << u.t_seconds << ",\"cpu\":" << u.cpu_pct
+        << ",\"net\":" << u.net_pct << ",\"disk\":" << u.disk_pct << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace gminer

@@ -1,0 +1,94 @@
+// Master-side aggregation of the metrics plane (DESIGN.md "Observability"):
+// per-worker MetricsSnapshot ring buffers fed by kMetricsReport frames, a
+// merged cluster-wide ring, live worker status (queue depths, heartbeat
+// ages, liveness) fed by the master's control loop, the job-phase string,
+// and the utilization time series fed by the UtilizationSampler.
+//
+// Rendering lives here too: Prometheus text exposition for /metrics and the
+// /status JSON document, both served by MetricsHttpServer. Everything is
+// guarded by one mutex — writers are the master control thread and the
+// sampler (low rate), readers the HTTP responder thread and the final
+// report; none of it is hot-path.
+#ifndef GMINER_METRICS_CLUSTER_SERIES_H_
+#define GMINER_METRICS_CLUSTER_SERIES_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "metrics/registry.h"
+#include "metrics/sampler.h"
+
+namespace gminer {
+
+class ClusterMetrics {
+ public:
+  // `ring_points` bounds each time series (per-worker and cluster) to that
+  // many snapshots; older points fall off the front.
+  ClusterMetrics(int num_workers, size_t ring_points);
+
+  ClusterMetrics(const ClusterMetrics&) = delete;
+  ClusterMetrics& operator=(const ClusterMetrics&) = delete;
+
+  // --- Master control loop ---
+  // Appends an absolute snapshot to worker w's ring and refreshes the merged
+  // cluster ring. Duplicate or stale frames (injected faults) are dropped by
+  // the captured_at_ns watermark — absolute snapshots make that safe.
+  void RecordWorkerSnapshot(int worker, MetricsSnapshot snap) EXCLUDES(mutex_);
+  void UpdateWorkerProgress(int worker, uint64_t inactive, uint64_t ready,
+                            int64_t local_tasks, bool seeded) EXCLUDES(mutex_);
+  void UpdateHeartbeat(int worker, int64_t seen_ns) EXCLUDES(mutex_);
+  void MarkDead(int worker) EXCLUDES(mutex_);
+  void SetPhase(const std::string& phase) EXCLUDES(mutex_);
+  std::string phase() const EXCLUDES(mutex_);
+
+  // --- Utilization sampler sink (replaces the sampler's private series) ---
+  void RecordUtilization(const UtilizationSample& sample) EXCLUDES(mutex_);
+  std::vector<UtilizationSample> UtilizationSeries() const EXCLUDES(mutex_);
+
+  // Master-process registry (memory tracker gauges, utilization gauges).
+  // Sampled at render time under the worker="master" label. The registry
+  // must outlive this object.
+  void set_master_registry(const MetricsRegistry* registry) {
+    master_registry_ = registry;
+  }
+
+  // --- Final report ---
+  std::vector<MetricsSnapshot> LatestWorkerSnapshots() const EXCLUDES(mutex_);
+  // Merged latest per-worker snapshots plus the master registry's state.
+  MetricsSnapshot ClusterSnapshot() const EXCLUDES(mutex_);
+
+  // --- HTTP responder thread ---
+  std::string RenderPrometheus() const EXCLUDES(mutex_);
+  std::string RenderStatusJson() const EXCLUDES(mutex_);
+
+ private:
+  struct WorkerStatus {
+    int64_t last_seen_ns = 0;
+    bool dead = false;
+    bool seeded = false;
+    uint64_t inactive = 0;
+    uint64_t ready = 0;
+    int64_t local_tasks = 0;
+  };
+
+  MetricsSnapshot MergedLatestLocked() const REQUIRES(mutex_);
+
+  const int num_workers_;
+  const size_t ring_points_;
+  const int64_t start_ns_;
+  const MetricsRegistry* master_registry_ = nullptr;
+
+  mutable Mutex mutex_;
+  std::string phase_ GUARDED_BY(mutex_) = "init";
+  std::vector<WorkerStatus> status_ GUARDED_BY(mutex_);
+  std::vector<std::deque<MetricsSnapshot>> worker_series_ GUARDED_BY(mutex_);
+  std::deque<MetricsSnapshot> cluster_series_ GUARDED_BY(mutex_);
+  std::vector<UtilizationSample> utilization_ GUARDED_BY(mutex_);
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_METRICS_CLUSTER_SERIES_H_

@@ -1,0 +1,163 @@
+#include "metrics/http_endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gminer {
+
+namespace {
+
+// Requests are one GET line plus headers; anything beyond this is abuse.
+constexpr size_t kMaxRequestBytes = 4096;
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return;  // peer went away; nothing to clean up beyond the caller's close
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(const char* status, const char* content_type,
+                         const std::string& body) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(int port, std::function<std::string()> metrics_fn,
+                                     std::function<std::string()> status_fn)
+    : requested_port_(port),
+      metrics_fn_(std::move(metrics_fn)),
+      status_fn_(std::move(status_fn)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+bool MetricsHttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return true;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    GM_LOG_ERROR << "metrics endpoint: socket() failed: " << std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(requested_port_));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    GM_LOG_ERROR << "metrics endpoint: cannot bind 127.0.0.1:" << requested_port_ << ": "
+                 << std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 16) != 0) {
+    GM_LOG_ERROR << "metrics endpoint: listen() failed: " << std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  // Joined by Stop(); see the member declaration. lint:allow(naked-thread)
+  thread_ = std::thread([this] { AcceptLoop(); });
+  GM_LOG_INFO << "metrics endpoint listening on 127.0.0.1:" << port();
+  return true;
+}
+
+void MetricsHttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    // shutdown() wakes the blocked accept(); close() alone may not on Linux.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) {
+      return;
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listening socket closed by Stop()
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      return;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+  // Parse "GET <path> ..." from the request line.
+  if (request.rfind("GET ", 0) != 0) {
+    SendAll(fd, HttpResponse("405 Method Not Allowed", "text/plain",
+                             "only GET is supported\n"));
+    return;
+  }
+  const size_t path_begin = 4;
+  const size_t path_end = request.find_first_of(" \r\n", path_begin);
+  const std::string path = request.substr(
+      path_begin, path_end == std::string::npos ? std::string::npos : path_end - path_begin);
+  if (path == "/metrics") {
+    // Prometheus text exposition format version 0.0.4.
+    SendAll(fd, HttpResponse("200 OK", "text/plain; version=0.0.4; charset=utf-8",
+                             metrics_fn_()));
+  } else if (path == "/status") {
+    SendAll(fd, HttpResponse("200 OK", "application/json", status_fn_()));
+  } else if (path == "/" || path.empty()) {
+    SendAll(fd, HttpResponse("200 OK", "text/plain", "gminer: /metrics /status\n"));
+  } else {
+    SendAll(fd, HttpResponse("404 Not Found", "text/plain", "unknown path\n"));
+  }
+}
+
+}  // namespace gminer

@@ -1,0 +1,62 @@
+// Minimal blocking HTTP/1.0 responder for the live metrics plane: one
+// listener thread on a loopback TCP socket serving GET /metrics (Prometheus
+// text exposition) and GET /status (JSON), each rendered by a callback at
+// request time. No external dependencies — plain POSIX sockets — and no
+// concurrency beyond the single accept loop: scrapes are rare (seconds),
+// rendering is cheap, and a blocked scraper can never back-pressure the job
+// because the renderers only take the ClusterMetrics mutex briefly.
+//
+// The simulated Network (net/network.h) is an in-process mailbox fabric with
+// no real sockets, so this is the one place in the tree that touches the
+// host network stack; it binds 127.0.0.1 only.
+#ifndef GMINER_METRICS_HTTP_ENDPOINT_H_
+#define GMINER_METRICS_HTTP_ENDPOINT_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace gminer {
+
+class MetricsHttpServer {
+ public:
+  // `port` 0 binds an ephemeral port (query it with port() after Start).
+  // The callbacks render the response bodies and must be thread-safe; they
+  // run on the server's accept thread.
+  MetricsHttpServer(int port, std::function<std::string()> metrics_fn,
+                    std::function<std::string()> status_fn);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Binds, listens, and spawns the accept loop. Returns false (with a log
+  // line) if the socket cannot be bound — the job proceeds without the
+  // endpoint rather than failing.
+  bool Start();
+
+  // Closes the listening socket and joins the accept loop. Idempotent.
+  void Stop();
+
+  // The bound port (the real one when 0 was requested); -1 before Start.
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  const int requested_port_;
+  std::function<std::string()> metrics_fn_;
+  std::function<std::string()> status_fn_;
+
+  std::atomic<int> port_{-1};
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> running_{false};
+  // Owned accept-loop thread (lifetime == Start..Stop). lint:allow(naked-thread)
+  std::thread thread_;
+};
+
+}  // namespace gminer
+
+#endif  // GMINER_METRICS_HTTP_ENDPOINT_H_

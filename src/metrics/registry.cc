@@ -1,0 +1,366 @@
+#include "metrics/registry.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "metrics/counters.h"
+
+namespace gminer {
+
+namespace {
+
+// Round-robin stripe assignment: the first kMetricCounterStripes threads get
+// distinct stripes, later ones wrap. Assigned once per thread, shared by
+// every counter (stripes are per-counter storage, the index is global).
+int ThisThreadStripe() {
+  static std::atomic<uint32_t> next_stripe{0};
+  thread_local const uint32_t stripe =
+      next_stripe.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<uint32_t>(kMetricCounterStripes);
+  return static_cast<int>(stripe);
+}
+
+// Log2 bucket with the [2^b, 2^(b+1)) convention; non-positive values land
+// in bucket 0, the last bucket absorbs the tail.
+int HistogramBucket(int64_t value) {
+  int bucket = 0;
+  while ((value >> (bucket + 1)) != 0 && bucket < kMetricHistogramBuckets - 1) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+// Encoded size of one name→value entry: length prefix + bytes + i64 value.
+size_t ScalarEntryBytes(const std::pair<std::string, int64_t>& e) {
+  return sizeof(uint64_t) + e.first.size() + sizeof(int64_t);
+}
+
+size_t HistogramEntryBytes(const HistogramCell& h) {
+  return sizeof(uint64_t) + h.name.size() + 2 * sizeof(int64_t) + sizeof(uint64_t) +
+         h.buckets.size() * sizeof(int64_t);
+}
+
+}  // namespace
+
+void MetricCounter::Add(int64_t delta) {
+  stripes_[ThisThreadStripe()].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t MetricCounter::Value() const {
+  int64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void MetricHistogram::Observe(int64_t value) {
+  buckets_[HistogramBucket(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value > 0 ? value : 0, std::memory_order_relaxed);
+}
+
+void MetricsSnapshot::Serialize(OutArchive& out) const {
+  out.Write<int64_t>(captured_at_ns);
+  out.Write<uint64_t>(static_cast<uint64_t>(counters.size()));
+  for (const auto& c : counters) {
+    out.WriteString(c.first);
+    out.Write<int64_t>(c.second);
+  }
+  out.Write<uint64_t>(static_cast<uint64_t>(gauges.size()));
+  for (const auto& g : gauges) {
+    out.WriteString(g.first);
+    out.Write<int64_t>(g.second);
+  }
+  out.Write<uint64_t>(static_cast<uint64_t>(histograms.size()));
+  for (const HistogramCell& h : histograms) {
+    out.WriteString(h.name);
+    out.Write<int64_t>(h.count);
+    out.Write<int64_t>(h.sum);
+    out.WriteVector(h.buckets);
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::Deserialize(InArchive& in) {
+  MetricsSnapshot snap;
+  snap.captured_at_ns = in.Read<int64_t>();
+  const uint64_t num_counters = in.Read<uint64_t>();
+  for (uint64_t i = 0; i < num_counters; ++i) {
+    std::string name = in.ReadString();
+    const int64_t value = in.Read<int64_t>();
+    snap.counters.emplace_back(std::move(name), value);
+  }
+  const uint64_t num_gauges = in.Read<uint64_t>();
+  for (uint64_t i = 0; i < num_gauges; ++i) {
+    std::string name = in.ReadString();
+    const int64_t value = in.Read<int64_t>();
+    snap.gauges.emplace_back(std::move(name), value);
+  }
+  const uint64_t num_histograms = in.Read<uint64_t>();
+  for (uint64_t i = 0; i < num_histograms; ++i) {
+    HistogramCell cell;
+    cell.name = in.ReadString();
+    cell.count = in.Read<int64_t>();
+    cell.sum = in.Read<int64_t>();
+    cell.buckets = in.ReadVector<int64_t>();
+    snap.histograms.push_back(std::move(cell));
+  }
+  return snap;
+}
+
+size_t MetricsSnapshot::EncodedBytes() const {
+  size_t total = sizeof(int64_t) + 3 * sizeof(uint64_t);
+  for (const auto& c : counters) {
+    total += ScalarEntryBytes(c);
+  }
+  for (const auto& g : gauges) {
+    total += ScalarEntryBytes(g);
+  }
+  for (const HistogramCell& h : histograms) {
+    total += HistogramEntryBytes(h);
+  }
+  return total;
+}
+
+int MetricsSnapshot::TrimToBudget(size_t max_bytes) {
+  size_t bytes = EncodedBytes();
+  int dropped = 0;
+  while (bytes > max_bytes && !histograms.empty()) {
+    bytes -= HistogramEntryBytes(histograms.back());
+    histograms.pop_back();
+    ++dropped;
+  }
+  while (bytes > max_bytes && !gauges.empty()) {
+    bytes -= ScalarEntryBytes(gauges.back());
+    gauges.pop_back();
+    ++dropped;
+  }
+  while (bytes > max_bytes && !counters.empty()) {
+    bytes -= ScalarEntryBytes(counters.back());
+    counters.pop_back();
+    ++dropped;
+  }
+  return dropped;
+}
+
+namespace {
+
+// Merge-join of two sorted name→value tables, summing on name collisions.
+void MergeScalars(std::vector<std::pair<std::string, int64_t>>& into,
+                  const std::vector<std::pair<std::string, int64_t>>& from) {
+  std::vector<std::pair<std::string, int64_t>> merged;
+  merged.reserve(into.size() + from.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < into.size() || j < from.size()) {
+    if (j >= from.size() || (i < into.size() && into[i].first < from[j].first)) {
+      merged.push_back(std::move(into[i++]));
+    } else if (i >= into.size() || from[j].first < into[i].first) {
+      merged.push_back(from[j++]);
+    } else {
+      merged.emplace_back(std::move(into[i].first), into[i].second + from[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  into = std::move(merged);
+}
+
+}  // namespace
+
+MetricsSnapshot& MetricsSnapshot::Merge(const MetricsSnapshot& o) {
+  captured_at_ns = std::max(captured_at_ns, o.captured_at_ns);
+  MergeScalars(counters, o.counters);
+  MergeScalars(gauges, o.gauges);
+  for (const HistogramCell& oh : o.histograms) {
+    auto it = std::find_if(histograms.begin(), histograms.end(),
+                           [&oh](const HistogramCell& h) { return h.name == oh.name; });
+    if (it == histograms.end()) {
+      histograms.push_back(oh);
+      continue;
+    }
+    if (it->buckets.size() < oh.buckets.size()) {
+      it->buckets.resize(oh.buckets.size(), 0);
+    }
+    for (size_t b = 0; b < oh.buckets.size(); ++b) {
+      it->buckets[b] += oh.buckets[b];
+    }
+    it->count += oh.count;
+    it->sum += oh.sum;
+  }
+  std::sort(histograms.begin(), histograms.end(),
+            [](const HistogramCell& a, const HistogramCell& b) { return a.name < b.name; });
+  return *this;
+}
+
+int64_t MetricsSnapshot::Value(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.first == name) {
+      return c.second;
+    }
+  }
+  for (const auto& g : gauges) {
+    if (g.first == name) {
+      return g.second;
+    }
+  }
+  return 0;
+}
+
+MetricCounter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(mutex_);
+  Entry& e = entries_[name];
+  if (e.counter == nullptr) {
+    e.counter = std::make_unique<MetricCounter>();
+  }
+  return e.counter.get();
+}
+
+MetricGauge* MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(mutex_);
+  Entry& e = entries_[name];
+  if (e.gauge == nullptr) {
+    e.gauge = std::make_unique<MetricGauge>();
+  }
+  return e.gauge.get();
+}
+
+MetricHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  MutexLock lock(mutex_);
+  Entry& e = entries_[name];
+  if (e.histogram == nullptr) {
+    e.histogram = std::make_unique<MetricHistogram>();
+  }
+  return e.histogram.get();
+}
+
+void MetricsRegistry::LinkCounter(const std::string& name,
+                                  const std::atomic<int64_t>* source) {
+  MutexLock lock(mutex_);
+  entries_[name].linked_counter = source;
+}
+
+void MetricsRegistry::LinkGauge(const std::string& name, std::function<int64_t()> fn) {
+  MutexLock lock(mutex_);
+  entries_[name].linked_gauge = std::move(fn);
+}
+
+void MetricsRegistry::LinkHistogram(const std::string& name,
+                                    const std::atomic<int64_t>* buckets, int num_buckets) {
+  MutexLock lock(mutex_);
+  Entry& e = entries_[name];
+  e.linked_buckets = buckets;
+  e.linked_bucket_count = num_buckets;
+}
+
+MetricsSnapshot MetricsRegistry::Collect() const {
+  MetricsSnapshot snap;
+  snap.captured_at_ns = MonotonicNanos();
+  // Linked-gauge callbacks run under mutex_ and may take subsystem locks
+  // (task store, pull table): the lock order is registry → subsystem, and no
+  // subsystem path calls back into the registry's guarded sections.
+  MutexLock lock(mutex_);
+  for (const auto& [name, e] : entries_) {
+    if (e.counter != nullptr) {
+      snap.counters.emplace_back(name, e.counter->Value());
+    } else if (e.linked_counter != nullptr) {
+      snap.counters.emplace_back(name, e.linked_counter->load(std::memory_order_relaxed));
+    } else if (e.gauge != nullptr) {
+      snap.gauges.emplace_back(name, e.gauge->Value());
+    } else if (e.linked_gauge) {
+      snap.gauges.emplace_back(name, e.linked_gauge());
+    } else if (e.histogram != nullptr) {
+      HistogramCell cell;
+      cell.name = name;
+      cell.buckets.resize(kMetricHistogramBuckets);
+      for (int b = 0; b < kMetricHistogramBuckets; ++b) {
+        cell.buckets[static_cast<size_t>(b)] = e.histogram->BucketValue(b);
+      }
+      cell.count = e.histogram->Count();
+      cell.sum = e.histogram->Sum();
+      snap.histograms.push_back(std::move(cell));
+    } else if (e.linked_buckets != nullptr) {
+      HistogramCell cell;
+      cell.name = name;
+      cell.buckets.resize(static_cast<size_t>(e.linked_bucket_count));
+      for (int b = 0; b < e.linked_bucket_count; ++b) {
+        const int64_t n =
+            e.linked_buckets[b].load(std::memory_order_relaxed);
+        cell.buckets[static_cast<size_t>(b)] = n;
+        cell.count += n;
+        cell.sum += n << b;  // lower-bound approximation: sources track no sum
+      }
+      snap.histograms.push_back(std::move(cell));
+    }
+  }
+  return snap;
+}
+
+void RegisterWorkerCounters(MetricsRegistry& registry, const WorkerCounters& c) {
+  registry.LinkCounter("net.bytes_sent", &c.net_bytes_sent);
+  registry.LinkCounter("net.bytes_received", &c.net_bytes_received);
+  registry.LinkCounter("net.messages", &c.net_messages);
+  registry.LinkCounter("net.messages_delivered", &c.net_messages_delivered);
+  registry.LinkCounter("net.messages_dropped", &c.net_messages_dropped);
+  registry.LinkCounter("net.bytes_dropped", &c.net_bytes_dropped);
+  registry.LinkCounter("net.messages_duplicated", &c.net_messages_duplicated);
+  registry.LinkCounter("net.bytes_duplicated", &c.net_bytes_duplicated);
+  registry.LinkCounter("net.messages_delayed", &c.net_messages_delayed);
+  registry.LinkCounter("pull.retries", &c.pull_retries);
+  registry.LinkCounter("pull.duplicate_responses", &c.duplicate_pull_responses);
+  registry.LinkCounter("pull.requests", &c.pull_requests);
+  registry.LinkCounter("pull.responses", &c.pull_responses);
+  registry.LinkCounter("pull.batches_sent", &c.pull_batches_sent);
+  registry.LinkCounter("pull.dedup_hits", &c.dedup_hits);
+  registry.LinkHistogram("pull.batch_size", c.pull_batch_size_buckets, kPullBatchBuckets);
+  registry.LinkCounter("cache.hits", &c.cache_hits);
+  registry.LinkCounter("cache.misses", &c.cache_misses);
+  registry.LinkCounter("disk.bytes_written", &c.disk_bytes_written);
+  registry.LinkCounter("disk.bytes_read", &c.disk_bytes_read);
+  registry.LinkCounter("task.created", &c.tasks_created);
+  registry.LinkCounter("task.completed", &c.tasks_completed);
+  registry.LinkCounter("task.stolen_in", &c.tasks_stolen_in);
+  registry.LinkCounter("task.stolen_out", &c.tasks_stolen_out);
+  registry.LinkCounter("task.update_rounds", &c.update_rounds);
+  registry.LinkCounter("task.compute_busy_ns", &c.compute_busy_ns);
+  registry.LinkCounter("fault.heartbeat_misses", &c.heartbeat_misses);
+  registry.LinkCounter("fault.failovers", &c.failovers);
+  registry.LinkCounter("fault.tasks_adopted", &c.tasks_adopted);
+  registry.LinkCounter("fault.recovery_wall_ns", &c.recovery_wall_ns);
+}
+
+std::string SanitizeMetricName(std::string_view name) {
+  if (name.empty()) {
+    return "_";
+  }
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out += ok ? ch : '_';
+  }
+  const char first = out[0];
+  if (first >= '0' && first <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+bool MetricsEnabled(bool config_default) {
+  const char* env = std::getenv("GMINER_METRICS");
+  if (env == nullptr || *env == '\0') {
+    return config_default;
+  }
+  const std::string v(env);
+  if (v == "off" || v == "0" || v == "false") {
+    return false;
+  }
+  if (v == "on" || v == "1" || v == "true") {
+    return true;
+  }
+  return config_default;
+}
+
+}  // namespace gminer

@@ -1,0 +1,205 @@
+// Central metrics plane (DESIGN.md "Observability"): a per-process registry
+// of named counters, gauges and log2-bucketed histograms that every subsystem
+// registers into by name, replacing bespoke metric structs threaded through
+// the report.
+//
+// Hot-path discipline follows TraceRing (common/trace.h): writers never take
+// a lock. Owned counters stripe their value over cache-line-padded atomic
+// shards (one stripe per writer thread, assigned round-robin) so concurrent
+// Add()s from the pipeline threads do not contend on one cache line; readers
+// sum the stripes. Existing lock-free instrumentation (WorkerCounters,
+// MemoryTracker, the coalescer's pull-batch buckets) is *linked* rather than
+// duplicated: the registry stores a pointer to the live atomic and samples it
+// at Collect() time, so migration costs zero cycles on the paths the perf
+// gate watches.
+//
+// Collect() produces a MetricsSnapshot: sorted name→value tables plus
+// histogram cells, with a mirrored Serialize/Deserialize pair (untagged
+// archive framing, checked by gmlint's serialize-symmetry pass) so workers
+// can piggyback absolute cumulative snapshots on the heartbeat path
+// (MessageType::kMetricsReport). Snapshots are ABSOLUTE, not deltas: the
+// simulated network injects drops and duplicates, and an absolute snapshot
+// is idempotent — a lost or repeated report never skews the series.
+#ifndef GMINER_METRICS_REGISTRY_H_
+#define GMINER_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/thread_annotations.h"
+
+namespace gminer {
+
+struct WorkerCounters;
+
+// Stripes per owned counter. 16 covers every pipeline thread shape the
+// JobConfig can express without making Value() reads expensive.
+inline constexpr int kMetricCounterStripes = 16;
+
+// Log2 buckets for owned histograms: bucket b counts observations in
+// [2^b, 2^(b+1)), the same convention as WorkerCounters'
+// pull_batch_size_buckets so linked and owned histograms render identically.
+// 32 buckets absorb anything up to ~4 G units.
+inline constexpr int kMetricHistogramBuckets = 32;
+
+// Owned monotonic counter, striped to keep concurrent writers off one cache
+// line. Writers use relaxed adds on their thread's stripe; Value() sums all
+// stripes (a torn-across-stripes read is fine — each stripe is monotone, so
+// the sum is a valid point between two quiescent values).
+class MetricCounter {
+ public:
+  void Add(int64_t delta);
+  void Increment() { Add(1); }
+  int64_t Value() const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<int64_t> value{0};
+  };
+  Stripe stripes_[kMetricCounterStripes];
+};
+
+// Owned gauge: a single atomic level (queue depth, resident bytes, ...).
+class MetricGauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Owned log2 histogram. Observe() is lock-free (relaxed atomics); count and
+// sum are tracked exactly.
+class MetricHistogram {
+ public:
+  void Observe(int64_t value);
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t BucketValue(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> buckets_[kMetricHistogramBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+// One histogram's state in a snapshot. `buckets[b]` counts observations in
+// [2^b, 2^(b+1)); the vector length is whatever the source histogram had
+// (16 for the linked pull-batch buckets, kMetricHistogramBuckets for owned
+// ones). For linked histograms `sum` is the lower-bound approximation
+// Σ count[b]·2^b — the sources never tracked an exact sum.
+struct HistogramCell {
+  std::string name;
+  std::vector<int64_t> buckets;
+  int64_t count = 0;
+  int64_t sum = 0;
+};
+
+// Point-in-time, absolute-cumulative state of one registry. Name tables are
+// sorted by name (registration order is a map walk), which the merge and the
+// renderers rely on.
+struct MetricsSnapshot {
+  int64_t captured_at_ns = 0;
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramCell> histograms;
+
+  // Untagged archive framing for the kMetricsReport payload. Mirrored
+  // writer/reader pair — gmlint serialize-symmetry checks the effect streams.
+  void Serialize(OutArchive& out) const;
+  static MetricsSnapshot Deserialize(InArchive& in);
+
+  // Exact encoded size of Serialize()'s output.
+  size_t EncodedBytes() const;
+
+  // Drops entries (histograms first, then gauge tail, then counter tail)
+  // until the encoded size fits max_bytes, so a piggybacked snapshot can
+  // never bloat a heartbeat past the frame budget. Returns the number of
+  // entries dropped; the caller accounts them on the `metrics.dropped`
+  // counter so starvation is visible in the next snapshot.
+  int TrimToBudget(size_t max_bytes);
+
+  // Name-wise sum (counters, gauges, histogram cells). Entries present in
+  // only one side pass through. Used by the master for the cluster series.
+  MetricsSnapshot& Merge(const MetricsSnapshot& o);
+
+  // Looks `name` up in counters, then gauges; 0 when absent.
+  int64_t Value(std::string_view name) const;
+};
+
+// Registry of named metrics for one worker (or the master). Registration is
+// mutex-guarded and expected at startup; the returned objects are stable for
+// the registry's lifetime and written to lock-free.
+//
+// Naming convention: lowercase dotted, "<subsystem>.<metric>" (net.bytes_sent,
+// task.created, cache.hits, store.depth, mem.current_bytes, util.cpu_pct_x100,
+// metrics.dropped). gmlint's metrics-registration pass enforces that each
+// literal is registered at exactly one source site — no silent aliasing.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Owned metrics. Re-registering a name returns the existing object.
+  MetricCounter* GetCounter(const std::string& name) EXCLUDES(mutex_);
+  MetricGauge* GetGauge(const std::string& name) EXCLUDES(mutex_);
+  MetricHistogram* GetHistogram(const std::string& name) EXCLUDES(mutex_);
+
+  // Linked metrics: sample an existing lock-free source at Collect() time.
+  // The source must outlive the registry's last Collect().
+  void LinkCounter(const std::string& name, const std::atomic<int64_t>* source)
+      EXCLUDES(mutex_);
+  void LinkGauge(const std::string& name, std::function<int64_t()> fn) EXCLUDES(mutex_);
+  // `buckets[b]` counts [2^b, 2^(b+1)); count is derived, sum approximated.
+  void LinkHistogram(const std::string& name, const std::atomic<int64_t>* buckets,
+                     int num_buckets) EXCLUDES(mutex_);
+
+  MetricsSnapshot Collect() const EXCLUDES(mutex_);
+
+ private:
+  struct Entry {
+    std::unique_ptr<MetricCounter> counter;
+    std::unique_ptr<MetricGauge> gauge;
+    std::unique_ptr<MetricHistogram> histogram;
+    const std::atomic<int64_t>* linked_counter = nullptr;
+    std::function<int64_t()> linked_gauge;
+    const std::atomic<int64_t>* linked_buckets = nullptr;
+    int linked_bucket_count = 0;
+  };
+
+  mutable Mutex mutex_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mutex_);
+};
+
+// Registers every WorkerCounters field on the registry under its dotted name
+// (net.bytes_sent, pull.retries, task.created, ...) as linked metrics —
+// zero added cost on the counters' write paths.
+void RegisterWorkerCounters(MetricsRegistry& registry, const WorkerCounters& counters);
+
+// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*. Maps the registry's
+// dotted names onto that alphabet ('.' and every other invalid byte become
+// '_'; a leading digit gets a '_' prefix; empty becomes "_").
+std::string SanitizeMetricName(std::string_view name);
+
+// Resolves the GMINER_METRICS escape hatch: "off"/"0"/"false" pins the
+// metrics plane off, "on"/"1"/"true" pins it on, anything else (or unset)
+// keeps the JobConfig default. Lets the overhead bench and operators toggle
+// collection without a rebuild.
+bool MetricsEnabled(bool config_default);
+
+}  // namespace gminer
+
+#endif  // GMINER_METRICS_REGISTRY_H_

@@ -8,13 +8,21 @@
 namespace gminer {
 
 UtilizationSampler::UtilizationSampler(std::function<CountersSnapshot()> snapshot_fn,
+                                       SampleSink sink, MetricsRegistry* registry,
                                        int total_cores, double net_bandwidth_gbps,
                                        int interval_ms, double disk_throughput_mbps)
     : snapshot_fn_(std::move(snapshot_fn)),
+      sink_(std::move(sink)),
       total_cores_(total_cores),
       net_bytes_per_sec_(net_bandwidth_gbps * 1e9 / 8.0),
       disk_bytes_per_sec_(disk_throughput_mbps * 1e6),
-      interval_ms_(interval_ms) {}
+      interval_ms_(interval_ms) {
+  if (registry != nullptr) {
+    cpu_gauge_ = registry->GetGauge("util.cpu_pct_x100");
+    net_gauge_ = registry->GetGauge("util.net_pct_x100");
+    disk_gauge_ = registry->GetGauge("util.disk_pct_x100");
+  }
+}
 
 UtilizationSampler::~UtilizationSampler() { Stop(); }
 
@@ -45,11 +53,6 @@ void UtilizationSampler::Stop() {
   running_ = false;
 }
 
-std::vector<UtilizationSample> UtilizationSampler::TakeSamples() {
-  MutexLock lock(mutex_);
-  return std::move(samples_);
-}
-
 void UtilizationSampler::RunLoop() {
   WallTimer timer;
   CountersSnapshot prev = snapshot_fn_();
@@ -72,7 +75,8 @@ void UtilizationSampler::RunLoop() {
     if (stop_requested_) {
       break;
     }
-    // Snapshot outside the lock: snapshot_fn_ sums every worker's counters.
+    // Snapshot outside the lock: snapshot_fn_ sums every worker's counters,
+    // and the sink takes the ClusterMetrics mutex.
     mutex_.Unlock();
     const double now_t = timer.ElapsedSeconds();
     const CountersSnapshot now = snapshot_fn_();
@@ -92,10 +96,18 @@ void UtilizationSampler::RunLoop() {
                             (now.disk_bytes_read - prev.disk_bytes_read));
     sample.disk_pct = std::min(100.0, 100.0 * disk_bytes / (dt * disk_bytes_per_sec_));
 
+    if (cpu_gauge_ != nullptr) {
+      cpu_gauge_->Set(static_cast<int64_t>(sample.cpu_pct * 100.0));
+      net_gauge_->Set(static_cast<int64_t>(sample.net_pct * 100.0));
+      disk_gauge_->Set(static_cast<int64_t>(sample.disk_pct * 100.0));
+    }
+    if (sink_) {
+      sink_(sample);
+    }
+
     prev = now;
     prev_t = now_t;
     mutex_.Lock();
-    samples_.push_back(sample);
   }
   mutex_.Unlock();
 }

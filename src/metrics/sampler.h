@@ -4,16 +4,23 @@
 // percentage: CPU = busy compute time over available core time, network =
 // bytes moved over the configured bandwidth, disk = spill bytes over an
 // assumed disk throughput.
+//
+// The sampler is a producer for the metrics plane, not a store: each sample
+// is pushed to the `sink` callback (Cluster wires it to
+// ClusterMetrics::RecordUtilization) and mirrored onto registry gauges
+// (util.cpu_pct_x100 / util.net_pct_x100 / util.disk_pct_x100, fixed-point
+// ×100 so the int64 gauges keep two decimals). The old private sample
+// vector and TakeSamples() are gone — the time series lives in one place.
 #ifndef GMINER_METRICS_SAMPLER_H_
 #define GMINER_METRICS_SAMPLER_H_
 
 #include <cstdint>
 #include <functional>
 #include <thread>
-#include <vector>
 
 #include "common/thread_annotations.h"
 #include "metrics/counters.h"
+#include "metrics/registry.h"
 
 namespace gminer {
 
@@ -26,11 +33,15 @@ struct UtilizationSample {
 
 class UtilizationSampler {
  public:
+  using SampleSink = std::function<void(const UtilizationSample&)>;
+
   // snapshot_fn returns the summed counters of every worker in the job.
-  // total_cores is workers × computing threads; bandwidth converts bytes/s to
-  // a percentage of a Gigabit-class link; disk throughput defaults to a SATA
-  // disk as in the paper's testbed.
-  UtilizationSampler(std::function<CountersSnapshot()> snapshot_fn, int total_cores,
+  // sink receives every sample (null = discard); registry (may be null)
+  // gets the util.* gauges. total_cores is workers × computing threads;
+  // bandwidth converts bytes/s to a percentage of a Gigabit-class link; disk
+  // throughput defaults to a SATA disk as in the paper's testbed.
+  UtilizationSampler(std::function<CountersSnapshot()> snapshot_fn, SampleSink sink,
+                     MetricsRegistry* registry, int total_cores,
                      double net_bandwidth_gbps, int interval_ms,
                      double disk_throughput_mbps = 150.0);
   ~UtilizationSampler();
@@ -40,8 +51,6 @@ class UtilizationSampler {
 
   void Start() EXCLUDES(mutex_);
   void Stop() EXCLUDES(mutex_);
-
-  std::vector<UtilizationSample> TakeSamples() EXCLUDES(mutex_);
 
   // Next absolute sampling deadline: the smallest start_ns + k * interval_ns
   // (k >= 1) that lies strictly after now_ns. Anchoring every deadline to the
@@ -58,10 +67,16 @@ class UtilizationSampler {
   void RunLoop() EXCLUDES(mutex_);
 
   std::function<CountersSnapshot()> snapshot_fn_;
+  SampleSink sink_;
   int total_cores_;
   double net_bytes_per_sec_;
   double disk_bytes_per_sec_;
   int interval_ms_;
+
+  // Registry gauges (null when no registry was given).
+  MetricGauge* cpu_gauge_ = nullptr;
+  MetricGauge* net_gauge_ = nullptr;
+  MetricGauge* disk_gauge_ = nullptr;
 
   // Owned background sampling thread (lifetime == Start..Stop).
   std::thread thread_;  // lint:allow(naked-thread)
@@ -69,7 +84,6 @@ class UtilizationSampler {
   CondVar cv_;
   bool stop_requested_ GUARDED_BY(mutex_) = false;
   bool running_ GUARDED_BY(mutex_) = false;
-  std::vector<UtilizationSample> samples_ GUARDED_BY(mutex_);
 };
 
 }  // namespace gminer

@@ -25,6 +25,8 @@ enum class MessageType : uint8_t {
   kShutdown = 10,      // master → worker: job complete, stop threads
   kAdoptTasks = 11,    // master → worker: adopt a dead worker's checkpoint + vertices
   kAdoptDone = 12,     // worker → master: adoption finished (count of tasks loaded)
+  kMetricsReport = 13, // worker → master: serialized MetricsSnapshot (absolute,
+                       // piggybacked on the heartbeat path; metrics/registry.h)
 };
 
 struct NetMessage {

@@ -1,0 +1,37 @@
+// gmlint fixture: metric registration aliasing. Parsed by the lint frontend
+// only — never compiled.
+
+namespace fixture {
+
+class MetricsRegistry;
+class MetricCounter;
+class MetricGauge;
+
+class PullPath {
+ public:
+  void Register(MetricsRegistry* registry) {
+    // First registration of the literal: fine on its own.
+    requests_ = registry->GetCounter("pull.requests");
+  }
+
+ private:
+  MetricCounter* requests_ = nullptr;
+};
+
+class RetryPath {
+ public:
+  void Register(MetricsRegistry* registry) {
+    // Silent aliasing: the same literal is already registered by PullPath —
+    // both sites now bump one counter and each believes it owns it.
+    retries_ = registry->GetCounter("pull.requests");
+    // Naming-convention violation: uppercase and spaces survive only by
+    // sanitation mangling, which can collide two registry names.
+    bad_name_ = registry->GetGauge("Pull Requests In Flight");
+  }
+
+ private:
+  MetricCounter* retries_ = nullptr;
+  MetricGauge* bad_name_ = nullptr;
+};
+
+}  // namespace fixture

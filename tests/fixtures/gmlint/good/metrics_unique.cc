@@ -1,0 +1,35 @@
+// gmlint fixture: clean metric registration — every literal appears at
+// exactly one source site and follows the lowercase dotted convention.
+// Parsed by the lint frontend only — never compiled.
+
+namespace fixture {
+
+class MetricsRegistry;
+class MetricCounter;
+class MetricGauge;
+
+class PullPath {
+ public:
+  void Register(MetricsRegistry* registry) {
+    requests_ = registry->GetCounter("pull.requests");
+    retries_ = registry->GetCounter("pull.retries");
+    in_flight_ = registry->GetGauge("pull.in_flight");
+  }
+
+  void Refresh(MetricsRegistry* registry) {
+    // Re-entering a registration path is idempotent by design (Get* returns
+    // the existing object): one source site may execute many times. Sites
+    // are deduplicated by (file, line), so the loop is not aliasing.
+    for (int i = 0; i < 3; ++i) {
+      rounds_ = registry->GetCounter("pull.refresh_rounds");
+    }
+  }
+
+ private:
+  MetricCounter* requests_ = nullptr;
+  MetricCounter* retries_ = nullptr;
+  MetricCounter* rounds_ = nullptr;
+  MetricGauge* in_flight_ = nullptr;
+};
+
+}  // namespace fixture

@@ -43,7 +43,8 @@ class BadFixtures(unittest.TestCase):
 
     def test_every_pass_fires(self):
         for check in ("serialize-symmetry", "lock-order",
-                      "blocking-under-lock", "protocol", "span-balance"):
+                      "blocking-under-lock", "protocol", "span-balance",
+                      "metrics-registration"):
             self.assertIn(f"[gmlint/{check}]", self.proc.stdout,
                           f"{check} produced no finding on the bad fixtures")
 
@@ -67,6 +68,9 @@ class BadFixtures(unittest.TestCase):
         # span-balance: early return and fall-off-the-end leak
         self.assertIn("returns without closing trace span", out)
         self.assertIn("never closed before the function ends", out)
+        # metrics-registration: aliasing and naming-convention findings
+        self.assertIn('metric "pull.requests" is also registered at', out)
+        self.assertIn("does not match the registry", out)
 
     def test_finding_format(self):
         for line in self.proc.stdout.splitlines():
@@ -88,7 +92,7 @@ class CheckSelection(unittest.TestCase):
         self.assertEqual(proc.returncode, 1)
         self.assertIn("[gmlint/lock-order]", proc.stdout)
         for other in ("serialize-symmetry", "blocking-under-lock",
-                      "protocol", "span-balance"):
+                      "protocol", "span-balance", "metrics-registration"):
             self.assertNotIn(f"[gmlint/{other}]", proc.stdout)
 
     def test_unknown_check_is_usage_error(self):
@@ -100,7 +104,8 @@ class CheckSelection(unittest.TestCase):
         proc = run_gmlint("--list-checks")
         self.assertEqual(proc.returncode, 0)
         for check in ("serialize-symmetry", "lock-order",
-                      "blocking-under-lock", "protocol", "span-balance"):
+                      "blocking-under-lock", "protocol", "span-balance",
+                      "metrics-registration"):
             self.assertIn(check, proc.stdout)
 
 

@@ -1,0 +1,257 @@
+// End-to-end metrics endpoint test: runs a real cluster job with
+// RunOptions::metrics_port = 0 (ephemeral bind on 127.0.0.1) and scrapes
+// GET /metrics and GET /status over an actual TCP socket while the job is
+// live — the acceptance path for the observability plane. Scrapes mid-job
+// must show monotone non-decreasing task counters; /status must be a JSON
+// document reflecting the live cluster.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/tc.h"
+#include "baselines/serial.h"
+#include "core/cluster.h"
+#include "tests/test_util.h"
+
+namespace gminer {
+namespace {
+
+// Minimal blocking HTTP/1.0 client: one GET, read to EOF (the server sends
+// Connection: close). Empty string on any failure — the caller treats that
+// as "server already shut down".
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  const size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? "" : response.substr(at + 4);
+}
+
+// Sums every `<family>{worker="N"} <value>` sample in a Prometheus text body
+// (skipping the "master" label and # comment lines).
+int64_t SumFamily(const std::string& body, const std::string& family) {
+  int64_t total = 0;
+  const std::string needle = family + "{worker=\"";
+  size_t at = 0;
+  while ((at = body.find(needle, at)) != std::string::npos) {
+    if (at != 0 && body[at - 1] != '\n') {  // samples start at line begin
+      at += needle.size();
+      continue;
+    }
+    const size_t label_end = body.find("} ", at);
+    if (label_end == std::string::npos) {
+      break;
+    }
+    if (body.compare(at + needle.size(), 7, "master\"") == 0) {
+      at = label_end;
+      continue;
+    }
+    total += std::strtoll(body.c_str() + label_end + 2, nullptr, 10);
+    at = label_end;
+  }
+  return total;
+}
+
+class EndpointFixture {
+ public:
+  // Starts the job on a background thread and blocks until the endpoint is
+  // listening. A TC job over a largish random graph with 1 pipeline thread
+  // per worker runs long enough (hundreds of ms) to scrape repeatedly.
+  EndpointFixture() {
+    config_ = FastTestConfig(3, 1);
+    config_.metrics_interval_ms = 2;  // snapshots reach the master quickly
+    graph_ = RandomTestGraph(6000, 24.0, 77);
+    runner_ = std::thread([this] {
+      RunOptions options;
+      options.metrics_port = 0;
+      options.on_metrics_ready = [this](int port) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        port_ = port;
+        ready_.notify_all();
+      };
+      TriangleCountJob job;
+      result_ = Cluster(config_).Run(graph_, job, options);
+      std::unique_lock<std::mutex> lock(mutex_);
+      finished_ = true;
+      ready_.notify_all();  // wake a waiter even if the endpoint never bound
+    });
+  }
+
+  ~EndpointFixture() {
+    if (runner_.joinable()) {
+      runner_.join();
+    }
+  }
+
+  // Bound port, or -1 if the job finished without the endpoint coming up.
+  int WaitForPort() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return port_ > 0 || finished_; });
+    return port_ > 0 ? port_ : -1;
+  }
+
+  void Join() {
+    if (runner_.joinable()) {
+      runner_.join();
+    }
+  }
+
+  const JobConfig& config() const { return config_; }
+  const Graph& graph() const { return graph_; }
+  const JobResult& result() const { return result_; }
+
+ private:
+  JobConfig config_;
+  Graph graph_;
+  JobResult result_;
+  std::thread runner_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  int port_ = -1;
+  bool finished_ = false;
+};
+
+TEST(MetricsEndpointTest, LiveScrapeShowsMonotoneCountersAndStatusJson) {
+  EndpointFixture fixture;
+  const int port = fixture.WaitForPort();
+  ASSERT_GT(port, 0) << "metrics endpoint never came up";
+
+  // Scrape /metrics repeatedly while the job runs. Every successful scrape
+  // must be a well-formed exposition; task counters must never regress.
+  std::vector<int64_t> created_series;
+  std::string last_metrics_body;
+  std::string status_body;
+  for (int i = 0; i < 4000; ++i) {
+    const std::string response = HttpGet(port, "/metrics");
+    if (response.empty()) {
+      break;  // job finished, server gone
+    }
+    ASSERT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    ASSERT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+              std::string::npos);
+    const std::string body = Body(response);
+    ASSERT_NE(body.find("# TYPE gminer_job_phase gauge"), std::string::npos);
+    ASSERT_NE(body.find("gminer_worker_up{worker=\"0\"} 1"), std::string::npos);
+    created_series.push_back(SumFamily(body, "gminer_task_created"));
+    last_metrics_body = body;
+
+    if (status_body.empty()) {
+      const std::string status = HttpGet(port, "/status");
+      if (!status.empty()) {
+        EXPECT_NE(status.find("HTTP/1.0 200 OK"), std::string::npos);
+        EXPECT_NE(status.find("Content-Type: application/json"), std::string::npos);
+        status_body = Body(status);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  fixture.Join();
+
+  // The endpoint was scrapeable mid-job, more than once, and the counters it
+  // exposed only ever moved forward.
+  ASSERT_GE(created_series.size(), 2u)
+      << "job finished before /metrics could be scraped twice";
+  for (size_t i = 1; i < created_series.size(); ++i) {
+    EXPECT_GE(created_series[i], created_series[i - 1]);
+  }
+  EXPECT_GT(created_series.back(), 0);
+
+  // The last scrape carries real per-worker series from heartbeat-piggybacked
+  // snapshots: task, pull, cache and memory families.
+  EXPECT_NE(last_metrics_body.find("# TYPE gminer_task_created counter"),
+            std::string::npos);
+  EXPECT_NE(last_metrics_body.find("# TYPE gminer_pull_requests counter"),
+            std::string::npos);
+  EXPECT_NE(last_metrics_body.find("# TYPE gminer_cache_hits counter"),
+            std::string::npos);
+  EXPECT_NE(last_metrics_body.find("gminer_mem_current_bytes{worker=\"master\"}"),
+            std::string::npos);
+
+  // /status was a JSON document describing the live cluster.
+  ASSERT_FALSE(status_body.empty()) << "/status was never scraped successfully";
+  EXPECT_EQ(status_body.front(), '{');
+  EXPECT_EQ(status_body.back(), '}');
+  EXPECT_NE(status_body.find("\"phase\":\""), std::string::npos);
+  EXPECT_NE(status_body.find("\"num_workers\":3"), std::string::npos);
+  EXPECT_NE(status_body.find("\"workers\":[{\"id\":0,"), std::string::npos);
+  EXPECT_NE(status_body.find("\"queue\":{\"inactive\":"), std::string::npos);
+  EXPECT_NE(status_body.find("\"cluster\":{\"tasks_created\":"), std::string::npos);
+
+  // The job itself still computed the right answer with the endpoint live.
+  EXPECT_EQ(TriangleCountJob::Count(fixture.result().final_aggregate),
+            SerialTriangleCount(fixture.graph()));
+
+  // The run's final report carries the registry state (schema v4).
+  EXPECT_TRUE(fixture.result().metrics_enabled);
+  ASSERT_EQ(fixture.result().final_metrics.size(), 3u);
+  int64_t final_created = 0;
+  for (const MetricsSnapshot& snap : fixture.result().final_metrics) {
+    final_created += snap.Value("task.created");
+  }
+  EXPECT_GE(final_created, created_series.back());
+  EXPECT_EQ(fixture.result().cluster_metrics.Value("task.created"), final_created);
+}
+
+TEST(MetricsEndpointTest, UnknownPathsAnd404) {
+  EndpointFixture fixture;
+  const int port = fixture.WaitForPort();
+  ASSERT_GT(port, 0);
+
+  const std::string root = HttpGet(port, "/");
+  const std::string missing = HttpGet(port, "/nope");
+  fixture.Join();
+
+  // The server may have gone away between WaitForPort and the request under
+  // extreme load; only assert on responses we actually got.
+  if (!root.empty()) {
+    EXPECT_NE(root.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(root.find("/metrics /status"), std::string::npos);
+  }
+  if (!missing.empty()) {
+    EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gminer

@@ -1,0 +1,412 @@
+// Metrics-plane unit tests: registry registration semantics, lock-free
+// counter/histogram writers racing Collect() (the suites are named Metrics*
+// so the CI TSan stress job's -R filter runs them under ThreadSanitizer),
+// snapshot serialization symmetry, frame-budget trimming, name-wise merge,
+// Prometheus name sanitation, the GMINER_METRICS escape hatch, and golden
+// checks of the ClusterMetrics Prometheus text exposition.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.h"
+#include "metrics/cluster_series.h"
+#include "metrics/registry.h"
+
+namespace gminer {
+namespace {
+
+TEST(MetricsRegistryTest, GetIsIdempotentPerKind) {
+  MetricsRegistry reg;
+  MetricCounter* c1 = reg.GetCounter("task.created");
+  MetricCounter* c2 = reg.GetCounter("task.created");
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(reg.GetGauge("queue.ready"), reg.GetGauge("queue.ready"));
+  EXPECT_EQ(reg.GetHistogram("pull.batch_size"), reg.GetHistogram("pull.batch_size"));
+
+  c1->Add(3);
+  c2->Increment();
+  EXPECT_EQ(c1->Value(), 4);
+}
+
+TEST(MetricsRegistryTest, CollectSamplesOwnedAndLinkedMetrics) {
+  MetricsRegistry reg;
+  reg.GetCounter("task.created")->Add(11);
+  reg.GetGauge("queue.ready")->Set(5);
+  MetricHistogram* h = reg.GetHistogram("pull.latency");
+  h->Observe(1);   // bucket 0: [1, 2)
+  h->Observe(3);   // bucket 1: [2, 4)
+  h->Observe(3);
+
+  std::atomic<int64_t> linked_counter{42};
+  reg.LinkCounter("cache.hits", &linked_counter);
+  reg.LinkGauge("store.depth", [] { return int64_t{9}; });
+  std::atomic<int64_t> linked_buckets[4] = {{2}, {1}, {0}, {1}};
+  reg.LinkHistogram("pull.batch_size", linked_buckets, 4);
+
+  const MetricsSnapshot snap = reg.Collect();
+  EXPECT_GT(snap.captured_at_ns, 0);
+  EXPECT_EQ(snap.Value("task.created"), 11);
+  EXPECT_EQ(snap.Value("queue.ready"), 5);
+  EXPECT_EQ(snap.Value("cache.hits"), 42);
+  EXPECT_EQ(snap.Value("store.depth"), 9);
+  EXPECT_EQ(snap.Value("no.such.metric"), 0);
+
+  ASSERT_EQ(snap.histograms.size(), 2u);
+  // Name tables come out of a map walk, so histograms are sorted by name.
+  const HistogramCell& batch = snap.histograms[0];
+  EXPECT_EQ(batch.name, "pull.batch_size");
+  ASSERT_EQ(batch.buckets.size(), 4u);
+  EXPECT_EQ(batch.count, 4);               // derived: sum of linked buckets
+  EXPECT_EQ(batch.sum, 2 * 1 + 1 * 2 + 1 * 8);  // lower bound: sum count[b]*2^b
+
+  const HistogramCell& lat = snap.histograms[1];
+  EXPECT_EQ(lat.name, "pull.latency");
+  ASSERT_EQ(lat.buckets.size(), static_cast<size_t>(kMetricHistogramBuckets));
+  EXPECT_EQ(lat.buckets[0], 1);
+  EXPECT_EQ(lat.buckets[1], 2);
+  EXPECT_EQ(lat.count, 3);
+  EXPECT_EQ(lat.sum, 7);  // owned histograms track the exact sum
+}
+
+TEST(MetricsRegistryTest, SnapshotTablesAreSortedByName) {
+  MetricsRegistry reg;
+  reg.GetCounter("z.last")->Increment();
+  reg.GetCounter("a.first")->Increment();
+  reg.GetCounter("m.middle")->Increment();
+  const MetricsSnapshot snap = reg.Collect();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "a.first");
+  EXPECT_EQ(snap.counters[1].first, "m.middle");
+  EXPECT_EQ(snap.counters[2].first, "z.last");
+}
+
+// Writers hammer one striped counter from more threads than stripes while a
+// reader loops Collect(); the final value must be exact and every snapshot a
+// valid intermediate (monotone non-decreasing). Run under TSan by CI.
+TEST(MetricsRegistryStressTest, ConcurrentAddsSumExactlyWhileCollectRaces) {
+  constexpr int kThreads = 2 * kMetricCounterStripes + 3;  // force stripe sharing
+  constexpr int kPerThread = 20000;
+  MetricsRegistry reg;
+  MetricCounter* counter = reg.GetCounter("stress.adds");
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    int64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const int64_t v = reg.Collect().Value("stress.adds");
+      EXPECT_GE(v, last);  // counters are monotone; a torn read may not regress
+      EXPECT_LE(v, int64_t{kThreads} * kPerThread);
+      last = v;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Add(1);
+      }
+    });
+  }
+  for (std::thread& w : writers) {
+    w.join();
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(counter->Value(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(reg.Collect().Value("stress.adds"), int64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsRegistryStressTest, HistogramObserveRaceKeepsExactCountAndSum) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  MetricsRegistry reg;
+  MetricHistogram* h = reg.GetHistogram("stress.observe");
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Observe(1 + (i + t) % 7);
+      }
+    });
+  }
+  for (std::thread& w : writers) {
+    w.join();
+  }
+
+  EXPECT_EQ(h->Count(), int64_t{kThreads} * kPerThread);
+  int64_t bucket_total = 0;
+  for (int b = 0; b < kMetricHistogramBuckets; ++b) {
+    bucket_total += h->BucketValue(b);
+  }
+  EXPECT_EQ(bucket_total, h->Count());
+  // Each thread observes the same multiset {1..7} spread over kPerThread
+  // observations (kPerThread is not a multiple of 7, so compute it directly).
+  int64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      expected_sum += 1 + (i + t) % 7;
+    }
+  }
+  EXPECT_EQ(h->Sum(), expected_sum);
+}
+
+MetricsSnapshot MakeSnapshot() {
+  MetricsSnapshot snap;
+  snap.captured_at_ns = 12345;
+  snap.counters = {{"cache.hits", 7}, {"task.created", 42}};
+  snap.gauges = {{"queue.ready", 3}, {"store.depth", 9}};
+  HistogramCell cell;
+  cell.name = "pull.batch_size";
+  cell.buckets = {2, 1, 0, 1};
+  cell.count = 4;
+  cell.sum = 12;
+  snap.histograms.push_back(std::move(cell));
+  return snap;
+}
+
+TEST(MetricsSnapshotTest, SerializeRoundTripsAndMatchesEncodedBytes) {
+  const MetricsSnapshot snap = MakeSnapshot();
+  OutArchive out;
+  snap.Serialize(out);
+  EXPECT_EQ(out.size(), snap.EncodedBytes());
+
+  InArchive in(out.TakeBuffer());
+  const MetricsSnapshot back = MetricsSnapshot::Deserialize(in);
+  EXPECT_EQ(back.captured_at_ns, snap.captured_at_ns);
+  ASSERT_EQ(back.counters.size(), snap.counters.size());
+  EXPECT_EQ(back.counters, snap.counters);
+  EXPECT_EQ(back.gauges, snap.gauges);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  EXPECT_EQ(back.histograms[0].name, "pull.batch_size");
+  EXPECT_EQ(back.histograms[0].buckets, snap.histograms[0].buckets);
+  EXPECT_EQ(back.histograms[0].count, 4);
+  EXPECT_EQ(back.histograms[0].sum, 12);
+}
+
+TEST(MetricsSnapshotTest, TrimToBudgetDropsHistogramsThenGaugesThenCounters) {
+  // Roomy budget: nothing dropped.
+  MetricsSnapshot snap = MakeSnapshot();
+  EXPECT_EQ(snap.TrimToBudget(1 << 20), 0);
+  EXPECT_EQ(snap.histograms.size(), 1u);
+
+  // Just below full size: the histogram (the biggest, least essential entry)
+  // goes first.
+  snap = MakeSnapshot();
+  EXPECT_EQ(snap.TrimToBudget(snap.EncodedBytes() - 1), 1);
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.gauges.size(), 2u);
+
+  // Tiny budget: gauges go next, then the counter tail; counters survive
+  // longest because the status page is built from them.
+  snap = MakeSnapshot();
+  const int dropped = snap.TrimToBudget(64);
+  EXPECT_EQ(dropped, 4);
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "cache.hits");
+  EXPECT_LE(snap.EncodedBytes(), 64u);
+
+  // Budget smaller than the empty frame: everything goes, frame still sends.
+  snap = MakeSnapshot();
+  EXPECT_EQ(snap.TrimToBudget(0), 5);
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(MetricsSnapshotTest, MergeSumsByNameAndPassesThroughSingletons) {
+  MetricsSnapshot a = MakeSnapshot();
+  MetricsSnapshot b;
+  b.captured_at_ns = 99999;
+  b.counters = {{"pull.requests", 5}, {"task.created", 8}};
+  b.gauges = {{"queue.ready", 4}};
+  HistogramCell cell;
+  cell.name = "pull.batch_size";
+  cell.buckets = {1, 1};  // shorter vector than a's: merge must widen, not drop
+  cell.count = 2;
+  cell.sum = 3;
+  b.histograms.push_back(std::move(cell));
+
+  a.Merge(b);
+  EXPECT_EQ(a.captured_at_ns, 99999);
+  EXPECT_EQ(a.Value("task.created"), 50);
+  EXPECT_EQ(a.Value("pull.requests"), 5);   // only in b: passes through
+  EXPECT_EQ(a.Value("cache.hits"), 7);      // only in a: unchanged
+  EXPECT_EQ(a.Value("queue.ready"), 7);
+  EXPECT_EQ(a.Value("store.depth"), 9);
+  ASSERT_EQ(a.histograms.size(), 1u);
+  EXPECT_EQ(a.histograms[0].buckets, (std::vector<int64_t>{3, 2, 0, 1}));
+  EXPECT_EQ(a.histograms[0].count, 6);
+  EXPECT_EQ(a.histograms[0].sum, 15);
+  // Merged scalar tables stay sorted (the merge-join and renderers rely on it).
+  for (size_t i = 1; i < a.counters.size(); ++i) {
+    EXPECT_LT(a.counters[i - 1].first, a.counters[i].first);
+  }
+}
+
+TEST(MetricsNameTest, SanitizeMapsOntoPrometheusAlphabet) {
+  EXPECT_EQ(SanitizeMetricName("task.created"), "task_created");
+  EXPECT_EQ(SanitizeMetricName("util.cpu_pct_x100"), "util_cpu_pct_x100");
+  EXPECT_EQ(SanitizeMetricName("already_legal:name"), "already_legal:name");
+  EXPECT_EQ(SanitizeMetricName("weird metric!"), "weird_metric_");
+  EXPECT_EQ(SanitizeMetricName("2fast"), "_2fast");
+  EXPECT_EQ(SanitizeMetricName(""), "_");
+}
+
+TEST(MetricsEnabledTest, EnvOverridesConfigDefault) {
+  const char* saved = std::getenv("GMINER_METRICS");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  ::unsetenv("GMINER_METRICS");
+  EXPECT_TRUE(MetricsEnabled(true));
+  EXPECT_FALSE(MetricsEnabled(false));
+
+  ::setenv("GMINER_METRICS", "off", 1);
+  EXPECT_FALSE(MetricsEnabled(true));
+  ::setenv("GMINER_METRICS", "0", 1);
+  EXPECT_FALSE(MetricsEnabled(true));
+  ::setenv("GMINER_METRICS", "false", 1);
+  EXPECT_FALSE(MetricsEnabled(true));
+
+  ::setenv("GMINER_METRICS", "on", 1);
+  EXPECT_TRUE(MetricsEnabled(false));
+  ::setenv("GMINER_METRICS", "1", 1);
+  EXPECT_TRUE(MetricsEnabled(false));
+  ::setenv("GMINER_METRICS", "true", 1);
+  EXPECT_TRUE(MetricsEnabled(false));
+
+  // Unrecognized values keep the config default rather than guessing.
+  ::setenv("GMINER_METRICS", "maybe", 1);
+  EXPECT_TRUE(MetricsEnabled(true));
+  EXPECT_FALSE(MetricsEnabled(false));
+
+  if (saved != nullptr) {
+    ::setenv("GMINER_METRICS", restore.c_str(), 1);
+  } else {
+    ::unsetenv("GMINER_METRICS");
+  }
+}
+
+TEST(MetricsExpositionTest, PrometheusCounterAndGaugeFamilies) {
+  ClusterMetrics cm(2, 8);
+  cm.SetPhase("running");
+
+  MetricsSnapshot s0;
+  s0.captured_at_ns = 100;
+  s0.counters = {{"task.created", 42}};
+  s0.gauges = {{"queue.ready", 5}};
+  cm.RecordWorkerSnapshot(0, std::move(s0));
+
+  MetricsSnapshot s1;
+  s1.captured_at_ns = 90;  // per-worker watermark: fine for a fresh ring
+  s1.counters = {{"task.created", 7}};
+  cm.RecordWorkerSnapshot(1, std::move(s1));
+
+  const std::string text = cm.RenderPrometheus();
+  EXPECT_NE(text.find("gminer_job_phase{phase=\"running\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gminer_job_uptime_seconds gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("gminer_worker_up{worker=\"0\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("gminer_worker_up{worker=\"1\"} 1\n"), std::string::npos);
+  // One TYPE header per family, then one sample per worker, dotted names
+  // mapped onto the exposition alphabet.
+  EXPECT_NE(text.find("# TYPE gminer_task_created counter\n"
+                      "gminer_task_created{worker=\"0\"} 42\n"
+                      "gminer_task_created{worker=\"1\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gminer_queue_ready gauge\n"
+                      "gminer_queue_ready{worker=\"0\"} 5\n"),
+            std::string::npos);
+
+  cm.MarkDead(1);
+  const std::string after = cm.RenderPrometheus();
+  EXPECT_NE(after.find("gminer_worker_up{worker=\"1\"} 0\n"), std::string::npos);
+}
+
+TEST(MetricsExpositionTest, PrometheusHistogramIsCumulativeWithPowerOfTwoBounds) {
+  ClusterMetrics cm(1, 8);
+  MetricsSnapshot snap;
+  snap.captured_at_ns = 100;
+  HistogramCell cell;
+  cell.name = "pull.batch_size";
+  cell.buckets = {2, 1, 0, 1};
+  cell.count = 4;
+  cell.sum = 10;
+  snap.histograms.push_back(std::move(cell));
+  cm.RecordWorkerSnapshot(0, std::move(snap));
+
+  const std::string text = cm.RenderPrometheus();
+  // Bucket b counts [2^b, 2^(b+1)), so le is the next power of two and the
+  // series is cumulative, capped by the +Inf bucket == _count.
+  EXPECT_NE(text.find("# TYPE gminer_pull_batch_size histogram\n"
+                      "gminer_pull_batch_size_bucket{worker=\"0\",le=\"2\"} 2\n"
+                      "gminer_pull_batch_size_bucket{worker=\"0\",le=\"4\"} 3\n"
+                      "gminer_pull_batch_size_bucket{worker=\"0\",le=\"8\"} 3\n"
+                      "gminer_pull_batch_size_bucket{worker=\"0\",le=\"16\"} 4\n"
+                      "gminer_pull_batch_size_bucket{worker=\"0\",le=\"+Inf\"} 4\n"
+                      "gminer_pull_batch_size_sum{worker=\"0\"} 10\n"
+                      "gminer_pull_batch_size_count{worker=\"0\"} 4\n"),
+            std::string::npos);
+}
+
+TEST(MetricsExpositionTest, StaleOrDuplicateFramesAreDropped) {
+  ClusterMetrics cm(1, 8);
+  MetricsSnapshot fresh;
+  fresh.captured_at_ns = 100;
+  fresh.counters = {{"task.created", 10}};
+  cm.RecordWorkerSnapshot(0, std::move(fresh));
+
+  // The simulated network can duplicate or reorder kMetricsReport frames:
+  // a frame at or before the per-worker watermark must not regress the series.
+  MetricsSnapshot dup;
+  dup.captured_at_ns = 100;
+  dup.counters = {{"task.created", 999}};
+  cm.RecordWorkerSnapshot(0, std::move(dup));
+  MetricsSnapshot stale;
+  stale.captured_at_ns = 50;
+  stale.counters = {{"task.created", 999}};
+  cm.RecordWorkerSnapshot(0, std::move(stale));
+
+  EXPECT_EQ(cm.ClusterSnapshot().Value("task.created"), 10);
+  const std::string text = cm.RenderPrometheus();
+  EXPECT_NE(text.find("gminer_task_created{worker=\"0\"} 10\n"), std::string::npos);
+  EXPECT_EQ(text.find("999"), std::string::npos);
+
+  // Out-of-range worker ids (corrupt frames) are ignored outright.
+  MetricsSnapshot bogus;
+  bogus.captured_at_ns = 200;
+  bogus.counters = {{"task.created", 999}};
+  cm.RecordWorkerSnapshot(7, std::move(bogus));
+  EXPECT_EQ(cm.ClusterSnapshot().Value("task.created"), 10);
+}
+
+TEST(MetricsExpositionTest, MasterRegistryRendersUnderMasterLabel) {
+  ClusterMetrics cm(1, 8);
+  MetricsRegistry master;
+  master.GetGauge("mem.current_bytes")->Set(123);
+  master.GetCounter("metrics.dropped")->Add(2);
+  cm.set_master_registry(&master);
+
+  const std::string text = cm.RenderPrometheus();
+  EXPECT_NE(text.find("gminer_mem_current_bytes{worker=\"master\"} 123\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gminer_metrics_dropped{worker=\"master\"} 2\n"),
+            std::string::npos);
+
+  // ClusterSnapshot folds the master registry into the merged view.
+  EXPECT_EQ(cm.ClusterSnapshot().Value("mem.current_bytes"), 123);
+}
+
+}  // namespace
+}  // namespace gminer

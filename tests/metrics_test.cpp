@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "core/report.h"
+#include "metrics/cluster_series.h"
 #include "metrics/counters.h"
 #include "metrics/memory_tracker.h"
+#include "metrics/registry.h"
 #include "metrics/sampler.h"
 
 namespace gminer {
@@ -126,14 +128,17 @@ TEST(SamplerTest, ProducesSamplesWithBusyCpu) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
   });
-  UtilizationSampler sampler([&counters] { return Snapshot(counters); }, /*total_cores=*/1,
-                             /*net_bandwidth_gbps=*/1.0, /*interval_ms=*/10);
+  std::vector<UtilizationSample> samples;
+  UtilizationSampler sampler(
+      [&counters] { return Snapshot(counters); },
+      [&samples](const UtilizationSample& s) { samples.push_back(s); },
+      /*registry=*/nullptr, /*total_cores=*/1,
+      /*net_bandwidth_gbps=*/1.0, /*interval_ms=*/10);
   sampler.Start();
   std::this_thread::sleep_for(std::chrono::milliseconds(120));
   sampler.Stop();
   stop = true;
   busy.join();
-  const auto samples = sampler.TakeSamples();
   ASSERT_GE(samples.size(), 5u);
   double max_cpu = 0;
   for (const auto& s : samples) {
@@ -184,12 +189,15 @@ TEST(SamplerTest, NextDeadlineNsSkipsAheadAfterOverrun) {
 
 TEST(SamplerTest, AbsoluteDeadlinesKeepTheSampleRate) {
   WorkerCounters counters;
-  UtilizationSampler sampler([&counters] { return Snapshot(counters); }, /*total_cores=*/1,
-                             /*net_bandwidth_gbps=*/1.0, /*interval_ms=*/10);
+  std::vector<UtilizationSample> samples;
+  UtilizationSampler sampler(
+      [&counters] { return Snapshot(counters); },
+      [&samples](const UtilizationSample& s) { samples.push_back(s); },
+      /*registry=*/nullptr, /*total_cores=*/1,
+      /*net_bandwidth_gbps=*/1.0, /*interval_ms=*/10);
   sampler.Start();
   std::this_thread::sleep_for(std::chrono::milliseconds(500));
   sampler.Stop();
-  const auto samples = sampler.TakeSamples();
   // 500ms / 10ms = 50 expected ticks. Loose lower bound: scheduling jitter
   // can swallow a few, but drift-free deadlines cannot halve the rate.
   EXPECT_GE(samples.size(), 38u);
@@ -371,7 +379,7 @@ TEST(ReportTest, JsonRoundTripsWithHostileStrings) {
   EXPECT_EQ(parser.StringValue("status"), "ok");
   EXPECT_EQ(parser.StringValue("stage"), "compute");
   // Schema version is declared up front.
-  EXPECT_NE(json.find("{\"schema_version\":3,"), std::string::npos);
+  EXPECT_NE(json.find("{\"schema_version\":4,"), std::string::npos);
   EXPECT_NE(json.find("\"trace_events_dropped\":0"), std::string::npos);
 }
 
@@ -409,6 +417,85 @@ TEST(ReportTest, JobResultJsonContainsKeyFields) {
     ++count;
   }
   EXPECT_EQ(count, 3u);  // totals + 2 workers
+}
+
+TEST(ReportTest, MetricsObjectRoundTripsInV4Report) {
+  JobResult r;
+  r.status = JobStatus::kOk;
+  r.metrics_enabled = true;
+  MetricsSnapshot snap;
+  snap.captured_at_ns = 1000;
+  snap.counters = {{"task.created", 42}};
+  snap.gauges = {{"queue.ready", 3}};
+  HistogramCell cell;
+  cell.name = "pull.batch_size";
+  cell.buckets = {2, 1, 0, 1};
+  cell.count = 4;
+  cell.sum = 12;
+  snap.histograms.push_back(std::move(cell));
+  r.final_metrics.push_back(snap);
+  r.cluster_metrics = snap;
+
+  const std::string json = JobResultToJson(r);
+  MiniJsonParser parser{json, 0, {}};
+  ASSERT_TRUE(parser.Parse()) << "not well-formed near offset " << parser.i << ":\n" << json;
+  EXPECT_NE(json.find("\"metrics\":{\"enabled\":true,\"workers\":["), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":{\"task.created\":42}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"queue.ready\":3}"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{\"pull.batch_size\":"
+                      "{\"count\":4,\"sum\":12,\"buckets\":[2,1,0,1]}}"),
+            std::string::npos);
+  // The cluster-wide snapshot rides along next to the per-worker list.
+  EXPECT_NE(json.find("],\"cluster\":{\"counters\":{\"task.created\":42}"),
+            std::string::npos);
+}
+
+TEST(StatusJsonTest, RoundTripsThroughParserWithLiveClusterState) {
+  ClusterMetrics cm(2, 8);
+  // A hostile phase string must survive escaping and decode back exactly.
+  const std::string phase = "run\"ning\\phase\nx";
+  cm.SetPhase(phase);
+  cm.UpdateWorkerProgress(0, /*inactive=*/4, /*ready=*/2, /*local_tasks=*/6,
+                          /*seeded=*/true);
+  cm.UpdateWorkerProgress(1, 0, 0, 0, false);
+  cm.MarkDead(1);
+
+  MetricsSnapshot snap;
+  snap.captured_at_ns = 1000;
+  snap.counters = {{"cache.hits", 5}, {"cache.misses", 2},
+                   {"disk.bytes_written", 64}, {"pull.requests", 9},
+                   {"task.completed", 7}, {"task.created", 11}};
+  snap.gauges = {{"pull.in_flight", 1}, {"store.depth", 3}};
+  cm.RecordWorkerSnapshot(0, std::move(snap));
+  cm.RecordUtilization({0.5, 42.0, 7.0, 1.0});
+
+  MetricsRegistry master;
+  master.GetGauge("mem.current_bytes")->Set(2048);
+  cm.set_master_registry(&master);
+
+  const std::string json = cm.RenderStatusJson();
+  MiniJsonParser parser{json, 0, {}};
+  ASSERT_TRUE(parser.Parse()) << "not well-formed near offset " << parser.i << ":\n" << json;
+  EXPECT_EQ(parser.StringValue("phase"), phase);
+
+  EXPECT_NE(json.find("\"num_workers\":2"), std::string::npos);
+  // Worker 0 carries queue depths from the progress report and counters from
+  // its snapshot; worker 1 is dead and never reported a snapshot.
+  EXPECT_NE(json.find("\"queue\":{\"inactive\":4,\"ready\":2,\"local_tasks\":6}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tasks_created\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"in_flight_pulls\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"store_depth\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":1,\"dead\":true"), std::string::npos);
+  // Cluster rollup merges the latest snapshots; memory comes from the master
+  // registry; the utilization object carries the last sample.
+  EXPECT_NE(json.find("\"cluster\":{\"tasks_created\":11,\"tasks_completed\":7,"
+                      "\"pull_requests\":9,\"cache_hits\":5,\"cache_misses\":2,"
+                      "\"spill_bytes\":64,\"metrics_dropped\":0,"
+                      "\"mem_current_bytes\":2048,\"mem_peak_bytes\":0}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"utilization\":{\"t\":0.5,\"cpu\":42,\"net\":7,\"disk\":1}"),
+            std::string::npos);
 }
 
 TEST(ReportTest, WritesToFile) {
